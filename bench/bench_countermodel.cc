@@ -1,0 +1,110 @@
+// Experiments T3.6 / B4: the cost of deciding general-L implication with
+// the chase, and of exhaustive small-model search. Shows (a) chase cost
+// growing with the foreign-key chain length, (b) bound exhaustion on
+// cyclic inputs (the undecidability frontier), (c) enumeration cost vs
+// bounds.
+
+#include <benchmark/benchmark.h>
+
+#include "constraints/constraint.h"
+#include "implication/countermodel.h"
+#include "implication/l_general_solver.h"
+
+namespace {
+
+using namespace xic;
+
+ConstraintSet ChainSigma(int n) {
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  for (int i = 0; i < n; ++i) {
+    sigma.constraints.push_back(
+        Constraint::Key("r" + std::to_string(i), {"k"}));
+  }
+  for (int i = 1; i < n; ++i) {
+    sigma.constraints.push_back(Constraint::ForeignKey(
+        "r" + std::to_string(i), {"f"}, "r" + std::to_string(i - 1), {"k"}));
+  }
+  return sigma;
+}
+
+void BM_ChaseChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ConstraintSet sigma = ChainSigma(n);
+  // Not implied: the chase terminates after materializing the chain.
+  Constraint phi = Constraint::ForeignKey(
+      "r" + std::to_string(n - 1), {"f"}, "r0", {"k"});
+  GeneralResult last;
+  for (auto _ : state) {
+    last = ChaseImplication(sigma, phi);
+    benchmark::DoNotOptimize(last.outcome);
+  }
+  state.counters["chase_steps"] = static_cast<double>(last.chase_steps);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ChaseChain)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity();
+
+void BM_ChaseUnknownOnCycle(benchmark::State& state) {
+  // Cyclic key/foreign-key interaction: the chase runs to its bound.
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints = {Constraint::Key("r", {"a"}),
+                       Constraint::ForeignKey("r", {"b"}, "r", {"a"})};
+  Constraint phi = Constraint::ForeignKey("r", {"a"}, "r", {"b"});
+  GeneralOptions options;
+  options.max_chase_rows = static_cast<size_t>(state.range(0));
+  options.max_chase_steps = 1u << 20;
+  GeneralResult last;
+  for (auto _ : state) {
+    last = ChaseImplication(sigma, phi, options);
+    benchmark::DoNotOptimize(last.outcome);
+  }
+  state.counters["outcome_unknown"] =
+      last.outcome == ImplicationOutcome::kUnknown ? 1 : 0;
+}
+BENCHMARK(BM_ChaseUnknownOnCycle)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024);
+
+void BM_EnumerationByValueDomain(benchmark::State& state) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  sigma.constraints = {
+      Constraint::UnaryKey("t0", "a"),
+      Constraint::UnaryKey("t1", "a"),
+      Constraint::UnaryForeignKey("t0", "b", "t1", "a")};
+  // Implied (UFK-K target key): full space is searched without a hit.
+  Constraint phi = Constraint::UnaryKey("t1", "a");
+  EnumerationBounds bounds;
+  bounds.num_values = static_cast<size_t>(state.range(0));
+  bounds.max_rows_per_type = 2;
+  bounds.max_instances = 0;
+  for (auto _ : state) {
+    std::optional<TableInstance> cm =
+        EnumerateCountermodel(sigma, phi, bounds);
+    benchmark::DoNotOptimize(cm.has_value());
+  }
+}
+BENCHMARK(BM_EnumerationByValueDomain)->DenseRange(1, 4, 1);
+
+void BM_EnumerationByRowBound(benchmark::State& state) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  sigma.constraints = {Constraint::UnaryKey("t0", "a")};
+  Constraint phi = Constraint::UnaryForeignKey("t0", "a", "t1", "a");
+  EnumerationBounds bounds;
+  bounds.num_values = 2;
+  bounds.max_rows_per_type = static_cast<size_t>(state.range(0));
+  bounds.max_instances = 0;
+  for (auto _ : state) {
+    std::optional<TableInstance> cm =
+        EnumerateCountermodel(sigma, phi, bounds);
+    benchmark::DoNotOptimize(cm.has_value());
+  }
+}
+BENCHMARK(BM_EnumerationByRowBound)->DenseRange(1, 4, 1);
+
+}  // namespace

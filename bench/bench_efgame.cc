@@ -1,0 +1,68 @@
+// Experiment F1 (Figure 1): certifying FO^2-equivalence of the
+// matching/shared-target family with the 2-pebble EF game, and checking
+// the key constraint that separates them. Sweeps the family size n.
+
+#include <benchmark/benchmark.h>
+
+#include "logic/ef_game.h"
+#include "logic/figure1.h"
+
+namespace {
+
+using namespace xic;
+
+void BM_Figure1Fixpoint(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  FoStructure g = MakeFigure1Matching(n);
+  FoStructure g2 = MakeFigure1Shared(n);
+  bool equivalent = false;
+  size_t rounds = 0;
+  for (auto _ : state) {
+    EfGame2 game(g, g2);
+    EfGame2::FixpointResult fp = game.DecideFo2Equivalence();
+    equivalent = fp.equivalent;
+    rounds = fp.rounds_to_fixpoint;
+    benchmark::DoNotOptimize(fp.equivalent);
+  }
+  state.counters["fo2_equivalent"] = equivalent ? 1 : 0;
+  state.counters["rounds_to_fixpoint"] = static_cast<double>(rounds);
+  state.counters["key_separates"] =
+      (g.SatisfiesUnaryKey(kFigure1Relation) !=
+       g2.SatisfiesUnaryKey(kFigure1Relation))
+          ? 1
+          : 0;
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Figure1Fixpoint)
+    ->DenseRange(2, 8, 2)
+    ->Arg(12)
+    ->Arg(16)
+    ->Complexity();
+
+void BM_Figure1BoundedRounds(benchmark::State& state) {
+  // Cost of the round-bounded game (quantifier-rank-m equivalence).
+  size_t n = 6;
+  size_t rounds = static_cast<size_t>(state.range(0));
+  FoStructure g = MakeFigure1Matching(n);
+  FoStructure g2 = MakeFigure1Shared(n);
+  for (auto _ : state) {
+    EfGame2 game(g, g2);
+    benchmark::DoNotOptimize(game.DuplicatorWins(rounds));
+  }
+}
+BENCHMARK(BM_Figure1BoundedRounds)->DenseRange(1, 9, 2);
+
+void BM_KeyEvaluationOnStructures(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  FoStructure g2 = MakeFigure1Shared(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g2.SatisfiesUnaryKey(kFigure1Relation));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KeyEvaluationOnStructures)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity();
+
+}  // namespace

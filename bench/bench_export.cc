@@ -1,0 +1,125 @@
+// Experiment B3: cost and fidelity of legacy export (relational and
+// object instances -> DTD^C + document), including post-export
+// validation of the produced document.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "constraints/checker.h"
+#include "model/structural_validator.h"
+#include "oo/export_xml.h"
+#include "relational/export_xml.h"
+
+namespace {
+
+using namespace xic;
+
+RelationalInstance MakeRelational(const RelationalSchema& schema, int n) {
+  RelationalInstance inst(schema);
+  for (int i = 0; i < n; ++i) {
+    (void)inst.Insert("publisher", {"P" + std::to_string(i),
+                                    "C" + std::to_string(i % 7),
+                                    "addr" + std::to_string(i)});
+  }
+  for (int i = 0; i < n; ++i) {
+    (void)inst.Insert("editor", {"E" + std::to_string(i),
+                                 "P" + std::to_string(i),
+                                 "C" + std::to_string(i % 7)});
+  }
+  return inst;
+}
+
+RelationalSchema MakeSchema() {
+  RelationalSchema schema;
+  (void)schema.AddRelation("publisher", {"pname", "country", "address"});
+  (void)schema.AddRelation("editor", {"name", "pname", "country"});
+  (void)schema.AddKey("publisher", {"pname", "country"});
+  (void)schema.AddKey("editor", {"name"});
+  (void)schema.AddForeignKey(
+      {"editor", {"pname", "country"}, "publisher", {"pname", "country"}});
+  return schema;
+}
+
+void BM_RelationalExport(benchmark::State& state) {
+  RelationalSchema schema = MakeSchema();
+  RelationalInstance inst =
+      MakeRelational(schema, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<RelationalExport> exported = ExportRelational(inst);
+    benchmark::DoNotOptimize(exported.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RelationalExport)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Complexity(benchmark::oN);
+
+void BM_RelationalExportAndRevalidate(benchmark::State& state) {
+  RelationalSchema schema = MakeSchema();
+  RelationalInstance inst =
+      MakeRelational(schema, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<RelationalExport> exported = ExportRelational(inst);
+    StructuralValidator validator(exported.value().dtd);
+    ConstraintChecker checker(exported.value().dtd, exported.value().sigma);
+    bool ok = validator.Validate(exported.value().tree).ok() &&
+              checker.Check(exported.value().tree).ok();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RelationalExportAndRevalidate)
+    ->RangeMultiplier(8)
+    ->Range(8, 8192)
+    ->Complexity();
+
+OdlSchema MakeOdlSchema() {
+  OdlSchema schema;
+  OdlClass person;
+  person.name = "person";
+  person.attributes = {"name"};
+  person.keys = {"name"};
+  person.relationships = {
+      {"in_dept", "dept", RelationshipCardinality::kMany, "has_staff"}};
+  OdlClass dept;
+  dept.name = "dept";
+  dept.attributes = {"dname"};
+  dept.keys = {"dname"};
+  dept.relationships = {
+      {"has_staff", "person", RelationshipCardinality::kMany, "in_dept"}};
+  (void)schema.AddClass(person);
+  (void)schema.AddClass(dept);
+  return schema;
+}
+
+void BM_OdlExport(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  OdlSchema schema = MakeOdlSchema();
+  OdlInstance inst(schema);
+  int depts = n / 10 + 1;
+  for (int d = 0; d < depts; ++d) {
+    OdlObject obj{"dept", "d" + std::to_string(d),
+                  {{"dname", "D" + std::to_string(d)}},
+                  {{"has_staff", {}}}};
+    (void)inst.AddObject(obj);
+  }
+  for (int i = 0; i < n; ++i) {
+    OdlObject obj{"person", "p" + std::to_string(i),
+                  {{"name", "N" + std::to_string(i)}},
+                  {{"in_dept", {"d" + std::to_string(i % depts)}}}};
+    (void)inst.AddObject(obj);
+  }
+  for (auto _ : state) {
+    Result<OdlExport> exported = ExportOdl(inst);
+    benchmark::DoNotOptimize(exported.ok());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OdlExport)
+    ->RangeMultiplier(8)
+    ->Range(8, 8192)
+    ->Complexity(benchmark::oN);
+
+}  // namespace

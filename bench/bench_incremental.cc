@@ -1,0 +1,121 @@
+// Experiment B5: incremental constraint maintenance vs. full re-checking
+// under an update stream ("constraints maintained by the system", the
+// paper's conclusion). The incremental checker pays O(affected values)
+// per update; the batch baseline pays O(document) per update.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "constraints/checker.h"
+#include "constraints/constraint_parser.h"
+#include "constraints/incremental.h"
+
+namespace {
+
+using namespace xic;
+
+DtdStructure MakeDtd() {
+  DtdStructure dtd;
+  (void)dtd.AddElement("db", "(person*, dept*)");
+  (void)dtd.AddElement("person", "EMPTY");
+  (void)dtd.AddElement("dept", "EMPTY");
+  (void)dtd.AddAttribute("person", "oid", AttrCardinality::kSingle);
+  (void)dtd.SetKind("person", "oid", AttrKind::kId);
+  (void)dtd.AddAttribute("person", "name", AttrCardinality::kSingle);
+  (void)dtd.AddAttribute("person", "dept", AttrCardinality::kSingle);
+  (void)dtd.AddAttribute("dept", "oid", AttrCardinality::kSingle);
+  (void)dtd.SetKind("dept", "oid", AttrKind::kId);
+  (void)dtd.AddAttribute("dept", "dname", AttrCardinality::kSingle);
+  (void)dtd.SetRoot("db");
+  return dtd;
+}
+
+ConstraintSet MakeSigma() {
+  return ParseConstraintSet(R"(
+    key person.name
+    key dept.dname
+    fk person.dept -> dept.dname
+    id person.oid
+    id dept.oid
+  )", Language::kLid).value();
+}
+
+// Builds a consistent document with n persons / n/10 depts, returns the
+// checker primed with it.
+struct World {
+  DtdStructure dtd = MakeDtd();
+  ConstraintSet sigma = MakeSigma();
+  IncrementalChecker inc{dtd, sigma};
+  std::vector<VertexId> persons;
+  std::vector<VertexId> depts;
+};
+
+void Populate(World& w, int n) {
+  VertexId root = w.inc.AddElement(kInvalidVertex, "db").value();
+  int depts = n / 10 + 1;
+  for (int i = 0; i < depts; ++i) {
+    VertexId d = w.inc.AddElement(root, "dept").value();
+    (void)w.inc.SetAttribute(d, "oid", "d" + std::to_string(i));
+    (void)w.inc.SetAttribute(d, "dname", "D" + std::to_string(i));
+    w.depts.push_back(d);
+  }
+  for (int i = 0; i < n; ++i) {
+    VertexId p = w.inc.AddElement(root, "person").value();
+    (void)w.inc.SetAttribute(p, "oid", "p" + std::to_string(i));
+    (void)w.inc.SetAttribute(p, "name", "N" + std::to_string(i));
+    (void)w.inc.SetAttribute(p, "dept", "D" + std::to_string(i % depts));
+    w.persons.push_back(p);
+  }
+}
+
+void BM_IncrementalUpdates(benchmark::State& state) {
+  World w;
+  Populate(w, static_cast<int>(state.range(0)));
+  std::mt19937 rng(42);
+  int i = 0;
+  for (auto _ : state) {
+    VertexId p = w.persons[rng() % w.persons.size()];
+    (void)w.inc.SetAttribute(p, "name", "N" + std::to_string(i++));
+    benchmark::DoNotOptimize(w.inc.consistent());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalUpdates)
+    ->RangeMultiplier(8)
+    ->Range(64, 32768)
+    ->Complexity(benchmark::o1);
+
+void BM_BatchRecheckPerUpdate(benchmark::State& state) {
+  World w;
+  Populate(w, static_cast<int>(state.range(0)));
+  ConstraintChecker batch(w.dtd, w.sigma);
+  std::mt19937 rng(42);
+  int i = 0;
+  for (auto _ : state) {
+    VertexId p = w.persons[rng() % w.persons.size()];
+    (void)w.inc.SetAttribute(p, "name", "N" + std::to_string(i++));
+    benchmark::DoNotOptimize(batch.Check(w.inc.tree()).ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BatchRecheckPerUpdate)
+    ->RangeMultiplier(8)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_IncrementalDocumentBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    World w;
+    Populate(w, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(w.inc.consistent());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalDocumentBuild)
+    ->RangeMultiplier(8)
+    ->Range(64, 8192)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Experiment P3.1 (Proposition 3.1): implication of L_id constraints is
+// decidable in linear time. Sweeps |Sigma| and reports the fitted
+// complexity of closure construction + a fixed batch of queries.
+
+#include <benchmark/benchmark.h>
+
+#include "implication/lid_solver.h"
+#include "model/dtd_structure.h"
+
+namespace {
+
+using namespace xic;
+
+struct LidWorkload {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+};
+
+// n element types in a reference chain: t_i.refs <=S t_{i-1}.oid, every
+// type with an ID constraint; one third of the types also get an inverse
+// partner to exercise every rule.
+LidWorkload MakeLidWorkload(int n) {
+  LidWorkload w;
+  w.sigma.language = Language::kLid;
+  (void)w.dtd.AddElement("db", "EMPTY");
+  (void)w.dtd.SetRoot("db");
+  for (int i = 0; i < n; ++i) {
+    std::string t = "t" + std::to_string(i);
+    (void)w.dtd.AddElement(t, "EMPTY");
+    (void)w.dtd.AddAttribute(t, "oid", AttrCardinality::kSingle);
+    (void)w.dtd.SetKind(t, "oid", AttrKind::kId);
+    (void)w.dtd.AddAttribute(t, "refs", AttrCardinality::kSet);
+    (void)w.dtd.SetKind(t, "refs", AttrKind::kIdref);
+    w.sigma.constraints.push_back(Constraint::Id(t, "oid"));
+    if (i > 0) {
+      w.sigma.constraints.push_back(Constraint::SetForeignKey(
+          t, "refs", "t" + std::to_string(i - 1), "oid"));
+    }
+    if (i % 3 == 2) {
+      w.sigma.constraints.push_back(Constraint::InverseId(
+          t, "refs", "t" + std::to_string(i - 1), "refs"));
+    }
+  }
+  return w;
+}
+
+void BM_LidClosureConstruction(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  LidWorkload w = MakeLidWorkload(n);
+  for (auto _ : state) {
+    LidSolver solver(w.dtd, w.sigma);
+    benchmark::DoNotOptimize(solver.closure_size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(w.sigma.constraints.size()));
+}
+BENCHMARK(BM_LidClosureConstruction)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_LidQueries(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  LidWorkload w = MakeLidWorkload(n);
+  LidSolver solver(w.dtd, w.sigma);
+  // A fixed batch of 64 queries spread over the chain.
+  std::vector<Constraint> queries;
+  for (int i = 0; i < 64; ++i) {
+    std::string t = "t" + std::to_string((i * 997) % n);
+    queries.push_back(Constraint::UnaryKey(t, "oid"));
+    queries.push_back(Constraint::Id(t, "oid"));
+  }
+  for (auto _ : state) {
+    int implied = 0;
+    for (const Constraint& q : queries) {
+      implied += solver.Implies(q) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(implied);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LidQueries)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::o1);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Experiment T3.8 (Theorem 3.8): the I_p decision procedure for primary
+// keys / foreign keys. Two sweeps: number of constraints (chain of typed
+// foreign keys, closure quadratic in chain length at worst) and key
+// arity (the permutation group blow-up behind the paper's open PSPACE
+// question).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "implication/lp_solver.h"
+
+namespace {
+
+using namespace xic;
+
+// Chain r0 -> r1 -> ... -> r_{n-1} of arity-2 foreign keys.
+ConstraintSet ChainSigma(int n) {
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  for (int i = 0; i < n; ++i) {
+    std::string r = "r" + std::to_string(i);
+    sigma.constraints.push_back(Constraint::Key(r, {"k1", "k2"}));
+  }
+  for (int i = 1; i < n; ++i) {
+    sigma.constraints.push_back(Constraint::ForeignKey(
+        "r" + std::to_string(i), {"x1", "x2"}, "r" + std::to_string(i - 1),
+        (i % 2 == 0) ? std::vector<std::string>{"k1", "k2"}
+                     : std::vector<std::string>{"k2", "k1"}));
+  }
+  return sigma;
+}
+
+// One type with an arity-k primary key and a rotated self foreign key:
+// the closure is the cyclic group of order k.
+ConstraintSet RotationSigma(int arity) {
+  std::vector<std::string> attrs;
+  for (int i = 0; i < arity; ++i) attrs.push_back("k" + std::to_string(i));
+  std::vector<std::string> rotated = attrs;
+  std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints.push_back(Constraint::Key("r", attrs));
+  sigma.constraints.push_back(
+      Constraint::ForeignKey("r", attrs, "r", rotated));
+  return sigma;
+}
+
+void BM_LpChainClosure(benchmark::State& state) {
+  ConstraintSet sigma = ChainSigma(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    LpSolver solver(sigma);
+    benchmark::DoNotOptimize(solver.closure_size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LpChainClosure)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_LpChainQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  LpSolver solver(ChainSigma(n));
+  // End-to-end composed mapping.
+  Constraint phi = Constraint::ForeignKey(
+      "r" + std::to_string(n - 1), {"x1", "x2"}, "r0", {"k1", "k2"});
+  Constraint phi_swapped = Constraint::ForeignKey(
+      "r" + std::to_string(n - 1), {"x1", "x2"}, "r0", {"k2", "k1"});
+  for (auto _ : state) {
+    Result<bool> a = solver.Implies(phi);
+    Result<bool> b = solver.Implies(phi_swapped);
+    benchmark::DoNotOptimize(a.ok() && b.ok());
+  }
+}
+BENCHMARK(BM_LpChainQuery)->RangeMultiplier(2)->Range(4, 256);
+
+void BM_LpArityBlowup(benchmark::State& state) {
+  ConstraintSet sigma = RotationSigma(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    LpSolver solver(sigma);
+    benchmark::DoNotOptimize(solver.closure_size());
+  }
+  state.counters["closure"] = static_cast<double>(
+      LpSolver(sigma).closure_size());
+}
+BENCHMARK(BM_LpArityBlowup)->DenseRange(1, 8, 1);
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Experiment C3.3 (Corollary 3.3): implication and finite implication of
+// L_u are linear-time (and differ). Sweeps |Sigma| for closure
+// construction, per-query BFS, and the cycle-rule machinery on the
+// divergence family; T3.4 measures the primary-restricted mode.
+
+#include <benchmark/benchmark.h>
+
+#include "implication/lu_solver.h"
+
+namespace {
+
+using namespace xic;
+
+// A long foreign-key chain with keys everywhere plus set-valued entry
+// points: t0.a <- t1.a <- ... ; queries traverse the chain.
+ConstraintSet ChainSigma(int n) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  for (int i = 0; i < n; ++i) {
+    std::string t = "t" + std::to_string(i);
+    sigma.constraints.push_back(Constraint::UnaryKey(t, "a"));
+    if (i > 0) {
+      sigma.constraints.push_back(Constraint::UnaryForeignKey(
+          t, "a", "t" + std::to_string(i - 1), "a"));
+    }
+    if (i % 4 == 1) {
+      sigma.constraints.push_back(Constraint::SetForeignKey(
+          t, "refs", "t" + std::to_string(i - 1), "a"));
+    }
+  }
+  return sigma;
+}
+
+// The divergence family scaled: k disjoint 2-type tight cycles
+// (Corollary 3.3's witness that |= and |=_f differ).
+ConstraintSet DivergenceSigma(int k) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  for (int i = 0; i < k; ++i) {
+    std::string t = "t" + std::to_string(i);
+    std::string u = "u" + std::to_string(i);
+    for (const char* a : {"a", "b"}) {
+      sigma.constraints.push_back(Constraint::UnaryKey(t, a));
+      sigma.constraints.push_back(Constraint::UnaryKey(u, a));
+    }
+    sigma.constraints.push_back(Constraint::UnaryForeignKey(t, "a", u, "a"));
+    sigma.constraints.push_back(Constraint::UnaryForeignKey(u, "b", t, "b"));
+  }
+  return sigma;
+}
+
+void BM_LuClosureConstruction(benchmark::State& state) {
+  ConstraintSet sigma = ChainSigma(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    LuSolver solver(sigma);
+    benchmark::DoNotOptimize(solver.num_nodes());
+  }
+  state.SetComplexityN(static_cast<int64_t>(sigma.constraints.size()));
+}
+BENCHMARK(BM_LuClosureConstruction)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_LuImplicationQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  LuSolver solver(ChainSigma(n));
+  // Worst-case query: end of chain to start (BFS over the whole graph).
+  Constraint phi = Constraint::UnaryForeignKey(
+      "t" + std::to_string(n - 1), "a", "t0", "a");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Implies(phi));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LuImplicationQuery)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_LuFiniteImplicationQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  LuSolver solver(DivergenceSigma(n));
+  // Finite-only implication (cycle reversal) on the last cycle.
+  Constraint phi = Constraint::UnaryForeignKey(
+      "u" + std::to_string(n - 1), "a", "t" + std::to_string(n - 1), "a");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.FinitelyImplies(phi));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LuFiniteImplicationQuery)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_LuCycleRulePreprocessing(benchmark::State& state) {
+  // Closure construction including SCC computation on the tight graph.
+  ConstraintSet sigma = DivergenceSigma(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    LuSolver solver(sigma);
+    benchmark::DoNotOptimize(solver.status().ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(sigma.constraints.size()));
+}
+BENCHMARK(BM_LuCycleRulePreprocessing)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_LuPrimaryRestrictionCheck(benchmark::State& state) {
+  // Theorem 3.4 machinery: verifying the restriction over the closure.
+  ConstraintSet sigma = ChainSigma(static_cast<int>(state.range(0)));
+  LuSolver solver(sigma);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.CheckPrimaryKeyRestriction().ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LuPrimaryRestrictionCheck)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace

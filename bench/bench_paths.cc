@@ -1,0 +1,159 @@
+// Experiments P4.1 / P4.2 / P4.3: path-constraint implication is
+// O(|phi| (|Sigma| + |P|)) for functional / inclusion constraints and
+// O(|Sigma| |phi|) for inverse constraints. Sweeps path length |phi| at
+// fixed schema size, and schema size at fixed |phi|.
+
+#include <benchmark/benchmark.h>
+
+#include "constraints/constraint.h"
+#include "paths/path_solver.h"
+
+namespace {
+
+using namespace xic;
+
+// A reference chain of n element types: t_i has an ID, a key attribute
+// and an IDREF to t_{i+1}; paths walk the chain by dereferencing.
+struct ChainContext {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+};
+
+ChainContext MakeChain(int n) {
+  ChainContext c;
+  c.sigma.language = Language::kLid;
+  (void)c.dtd.AddElement("db", "(t0*)");
+  (void)c.dtd.SetRoot("db");
+  for (int i = 0; i < n; ++i) {
+    std::string t = "t" + std::to_string(i);
+    (void)c.dtd.AddElement(t, "EMPTY");
+    (void)c.dtd.AddAttribute(t, "oid", AttrCardinality::kSingle);
+    (void)c.dtd.SetKind(t, "oid", AttrKind::kId);
+    c.sigma.constraints.push_back(Constraint::Id(t, "oid"));
+    if (i + 1 < n) {
+      (void)c.dtd.AddAttribute(t, "next", AttrCardinality::kSingle);
+      (void)c.dtd.SetKind(t, "next", AttrKind::kIdref);
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    c.sigma.constraints.push_back(Constraint::UnaryForeignKey(
+        "t" + std::to_string(i), "next", "t" + std::to_string(i + 1),
+        "oid"));
+    // `next` is also a key, so chains of `next` are key paths.
+    c.sigma.constraints.push_back(
+        Constraint::UnaryKey("t" + std::to_string(i), "next"));
+  }
+  return c;
+}
+
+Path ChainPath(int length) {
+  Path p;
+  for (int i = 0; i < length; ++i) p.steps.push_back("next");
+  return p;
+}
+
+void BM_PathFunctionalByPathLength(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  ChainContext c = MakeChain(len + 2);
+  PathContext context(c.dtd, c.sigma);
+  PathSolver solver(context);
+  PathFunctionalConstraint phi{"t0", ChainPath(len), ChainPath(len / 2)};
+  for (auto _ : state) {
+    Result<bool> r = solver.ImpliesFunctional(phi);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_PathFunctionalByPathLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_PathInclusionByPathLength(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  ChainContext c = MakeChain(len + 2);
+  PathContext context(c.dtd, c.sigma);
+  PathSolver solver(context);
+  PathInclusionConstraint phi{"t0", ChainPath(len),
+                              "t" + std::to_string(len / 2),
+                              ChainPath(len - len / 2)};
+  for (auto _ : state) {
+    Result<bool> r = solver.ImpliesInclusion(phi);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_PathInclusionByPathLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_PathContextBySchemaSize(benchmark::State& state) {
+  // |Sigma| + |P| term: building the context (closure + typing tables).
+  int n = static_cast<int>(state.range(0));
+  ChainContext c = MakeChain(n);
+  for (auto _ : state) {
+    PathContext context(c.dtd, c.sigma);
+    benchmark::DoNotOptimize(context.status().ok());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PathContextBySchemaSize)
+    ->RangeMultiplier(2)
+    ->Range(4, 1024)
+    ->Complexity();
+
+// Inverse chains: n types in a ring of mutual inverse references.
+struct InverseChain {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+};
+
+InverseChain MakeInverseChain(int n) {
+  InverseChain c;
+  c.sigma.language = Language::kLid;
+  (void)c.dtd.AddElement("db", "EMPTY");
+  (void)c.dtd.SetRoot("db");
+  for (int i = 0; i < n; ++i) {
+    std::string t = "t" + std::to_string(i);
+    (void)c.dtd.AddElement(t, "EMPTY");
+    (void)c.dtd.AddAttribute(t, "oid", AttrCardinality::kSingle);
+    (void)c.dtd.SetKind(t, "oid", AttrKind::kId);
+    (void)c.dtd.AddAttribute(t, "fwd", AttrCardinality::kSet);
+    (void)c.dtd.SetKind(t, "fwd", AttrKind::kIdref);
+    (void)c.dtd.AddAttribute(t, "bwd", AttrCardinality::kSet);
+    (void)c.dtd.SetKind(t, "bwd", AttrKind::kIdref);
+    c.sigma.constraints.push_back(Constraint::Id(t, "oid"));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    c.sigma.constraints.push_back(Constraint::InverseId(
+        "t" + std::to_string(i), "fwd", "t" + std::to_string(i + 1), "bwd"));
+  }
+  return c;
+}
+
+void BM_PathInverseByChainLength(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  InverseChain c = MakeInverseChain(len + 1);
+  PathContext context(c.dtd, c.sigma);
+  PathSolver solver(context);
+  // phi composes all len basic inverses.
+  PathInverseConstraint phi;
+  phi.lhs_element = "t0";
+  phi.rhs_element = "t" + std::to_string(len);
+  for (int i = 0; i < len; ++i) {
+    phi.lhs.steps.push_back("fwd");
+    phi.rhs.steps.push_back("bwd");
+  }
+  for (auto _ : state) {
+    Result<bool> r = solver.ImpliesInverse(phi);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_PathInverseByChainLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Experiment B2: XML substrate throughput -- parsing and serialization
+// of generated book catalogs, plus DTD parsing.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "xml/dtd_parser.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using namespace xic;
+
+std::string MakeCatalogXml(int n) {
+  std::string out = R"(<?xml version="1.0"?>
+<!DOCTYPE catalog [
+  <!ELEMENT catalog (book*)>
+  <!ELEMENT book (entry, author*, ref)>
+  <!ELEMENT entry (title)>
+  <!ATTLIST entry isbn CDATA #REQUIRED>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT ref EMPTY>
+  <!ATTLIST ref to NMTOKENS #REQUIRED>
+]>
+<catalog>)";
+  for (int i = 0; i < n; ++i) {
+    std::string isbn = "i" + std::to_string(i);
+    out += "<book><entry isbn=\"" + isbn + "\"><title>Book &amp; title " +
+           std::to_string(i) + "</title></entry><author>A" +
+           std::to_string(i) + "</author><ref to=\"" + isbn + " i0\"/></book>";
+  }
+  out += "</catalog>";
+  return out;
+}
+
+void BM_ParseXml(benchmark::State& state) {
+  std::string text = MakeCatalogXml(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<XmlDocument> doc = ParseXml(text);
+    benchmark::DoNotOptimize(doc.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseXml)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_SerializeXml(benchmark::State& state) {
+  std::string text = MakeCatalogXml(static_cast<int>(state.range(0)));
+  XmlDocument doc = ParseXml(text).value();
+  for (auto _ : state) {
+    std::string out = SerializeXml(doc.tree);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SerializeXml)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_ParseDtd(benchmark::State& state) {
+  // n element declarations with attributes.
+  int n = static_cast<int>(state.range(0));
+  std::string dtd = "<!ELEMENT root (t0*)>";
+  for (int i = 0; i < n; ++i) {
+    std::string t = "t" + std::to_string(i);
+    dtd += "<!ELEMENT " + t + " (#PCDATA)>";
+    dtd += "<!ATTLIST " + t + " oid ID #REQUIRED refs IDREFS #IMPLIED>";
+  }
+  for (auto _ : state) {
+    Result<DtdStructure> parsed = ParseDtd(dtd, "root");
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ParseDtd)
+    ->RangeMultiplier(8)
+    ->Range(8, 4096)
+    ->Complexity();
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Interactive implication explorer for the three constraint languages.
+//
+// Usage:
+//   implication_explorer L_u  < statements
+//   implication_explorer L    < statements       (primary-key restricted)
+//   implication_explorer Lgen < statements       (general L: chase)
+//
+// Input is the textual constraint syntax (see constraint_parser.h), one
+// statement per line. Lines starting with '?' are implication queries;
+// everything else extends Sigma. Example session:
+//
+//   key entry.isbn
+//   sfk ref.to -> entry.isbn
+//   ? key entry.isbn
+//   ? fk entry.isbn -> entry.isbn
+//
+// For L_u, both unrestricted and finite implication are reported.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "xic.h"
+
+namespace {
+
+using namespace xic;
+
+int RunLu(const std::vector<std::pair<bool, std::string>>& lines) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  for (const auto& [is_query, text] : lines) {
+    if (!is_query) {
+      Result<std::vector<Constraint>> cs = ParseConstraints(text);
+      if (!cs.ok()) {
+        std::cerr << cs.status() << "\n";
+        return 1;
+      }
+      for (Constraint& c : cs.value()) {
+        sigma.constraints.push_back(std::move(c));
+      }
+      continue;
+    }
+    Result<std::vector<Constraint>> query = ParseConstraints(text);
+    if (!query.ok() || query.value().size() != 1) {
+      std::cerr << "bad query: " << text << "\n";
+      return 1;
+    }
+    LuSolver solver(sigma);
+    if (!solver.status().ok()) {
+      std::cerr << solver.status() << "\n";
+      return 1;
+    }
+    const Constraint& phi = query.value()[0];
+    bool implies = solver.Implies(phi);
+    bool finite = solver.FinitelyImplies(phi);
+    std::cout << "Sigma |= " << phi.ToString() << "  : "
+              << (implies ? "yes" : "no") << "    Sigma |=_f : "
+              << (finite ? "yes" : "no")
+              << (implies != finite ? "   (differs!)" : "") << "\n";
+    if (std::optional<std::string> proof =
+            solver.Explain(phi, /*finite=*/!implies && finite)) {
+      std::cout << *proof;
+    }
+  }
+  return 0;
+}
+
+int RunLid(const std::vector<std::pair<bool, std::string>>& lines) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  for (const auto& [is_query, text] : lines) {
+    if (!is_query) {
+      Result<std::vector<Constraint>> cs = ParseConstraints(text);
+      if (!cs.ok()) {
+        std::cerr << cs.status() << "\n";
+        return 1;
+      }
+      for (Constraint& c : cs.value()) {
+        sigma.constraints.push_back(std::move(c));
+      }
+      continue;
+    }
+    Result<std::vector<Constraint>> query = ParseConstraints(text);
+    if (!query.ok() || query.value().size() != 1) {
+      std::cerr << "bad query: " << text << "\n";
+      return 1;
+    }
+    // The structure is synthesized from Sigma's usage (the implication
+    // problem quantifies over DTDs with this Sigma).
+    Result<DtdStructure> dtd = InferDtdForSigma(sigma);
+    if (!dtd.ok()) {
+      std::cerr << dtd.status() << "\n";
+      return 1;
+    }
+    LidSolver solver(dtd.value(), sigma);
+    if (!solver.status().ok()) {
+      std::cerr << solver.status() << "\n";
+      return 1;
+    }
+    const Constraint& phi = query.value()[0];
+    bool implied = solver.Implies(phi);
+    std::cout << "Sigma |= " << phi.ToString() << "  : "
+              << (implied ? "yes" : "no") << "\n";
+    if (implied) {
+      if (std::optional<std::string> proof = solver.Explain(phi)) {
+        std::cout << *proof;
+      }
+    }
+  }
+  return 0;
+}
+
+int RunLPrimary(const std::vector<std::pair<bool, std::string>>& lines) {
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  for (const auto& [is_query, text] : lines) {
+    if (!is_query) {
+      Result<std::vector<Constraint>> cs = ParseConstraints(text);
+      if (!cs.ok()) {
+        std::cerr << cs.status() << "\n";
+        return 1;
+      }
+      for (Constraint& c : cs.value()) {
+        sigma.constraints.push_back(std::move(c));
+      }
+      continue;
+    }
+    Result<std::vector<Constraint>> query = ParseConstraints(text);
+    if (!query.ok() || query.value().size() != 1) {
+      std::cerr << "bad query: " << text << "\n";
+      return 1;
+    }
+    LpSolver solver(sigma);
+    if (!solver.status().ok()) {
+      std::cerr << solver.status() << "\n";
+      return 1;
+    }
+    Result<bool> implied = solver.Implies(query.value()[0]);
+    std::cout << "Sigma |= " << query.value()[0].ToString() << "  : "
+              << (implied.ok() ? (implied.value() ? "yes" : "no")
+                               : implied.status().ToString())
+              << "\n";
+    if (implied.ok() && implied.value()) {
+      if (std::optional<std::string> proof =
+              solver.Explain(query.value()[0])) {
+        std::cout << *proof;
+      }
+    }
+  }
+  return 0;
+}
+
+int RunLGeneral(const std::vector<std::pair<bool, std::string>>& lines) {
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  for (const auto& [is_query, text] : lines) {
+    if (!is_query) {
+      Result<std::vector<Constraint>> cs = ParseConstraints(text);
+      if (!cs.ok()) {
+        std::cerr << cs.status() << "\n";
+        return 1;
+      }
+      for (Constraint& c : cs.value()) {
+        sigma.constraints.push_back(std::move(c));
+      }
+      continue;
+    }
+    Result<std::vector<Constraint>> query = ParseConstraints(text);
+    if (!query.ok() || query.value().size() != 1) {
+      std::cerr << "bad query: " << text << "\n";
+      return 1;
+    }
+    LGeneralSolver solver(sigma);
+    GeneralResult result = solver.Decide(query.value()[0]);
+    std::cout << "Sigma |= " << query.value()[0].ToString() << "  : "
+              << ImplicationOutcomeToString(result.outcome) << " (by "
+              << result.decided_by << ", " << result.chase_steps
+              << " chase steps)\n";
+    if (result.countermodel.has_value()) {
+      std::cout << "countermodel:\n" << result.countermodel->ToString();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = argc > 1 ? argv[1] : "L_u";
+  std::vector<std::pair<bool, std::string>> lines;
+  std::string line;
+  bool any_input = false;
+  while (std::getline(std::cin, line)) {
+    any_input = true;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    if (stripped[0] == '?') {
+      lines.emplace_back(true, std::string(stripped.substr(1)));
+    } else {
+      lines.emplace_back(false, std::string(stripped));
+    }
+  }
+  if (!any_input) {
+    // Demo session so the binary does something useful stand-alone.
+    std::cout << "(no input; running the demo session)\n";
+    lines = {
+        {false, "key t.a"}, {false, "key t.b"},
+        {false, "key u.c"}, {false, "key u.d"},
+        {false, "fk t.a -> u.c"}, {false, "fk u.d -> t.b"},
+        {true, "fk u.c -> t.a"},
+        {true, "key u.c"},
+    };
+    mode = "L_u";
+  }
+  if (mode == "L_u") return RunLu(lines);
+  if (mode == "L_id") return RunLid(lines);
+  if (mode == "L") return RunLPrimary(lines);
+  if (mode == "Lgen") return RunLGeneral(lines);
+  std::cerr << "unknown mode " << mode << " (use L_u, L_id, L or Lgen)\n";
+  return 1;
+}

@@ -1,0 +1,140 @@
+// Quickstart: the paper's book document (Sections 1, 2.4) end to end.
+//
+//   1. Parse an XML document whose DOCTYPE carries the DTD.
+//   2. Validate its structure (Definition 2.4).
+//   3. Attach the L_u constraint set
+//        entry.isbn -> entry
+//        section.sid -> section
+//        ref.to <=S entry.isbn
+//      and check satisfaction.
+//   4. Ask the implication solver what else must hold.
+//
+// Build: cmake --build build --target quickstart && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "xic.h"
+
+namespace {
+
+const char* kBookXml = R"(<?xml version="1.0"?>
+<!DOCTYPE catalog [
+  <!ELEMENT catalog  (book*)>
+  <!ELEMENT book     (entry, author*, section*, ref)>
+  <!ELEMENT entry    (title, publisher)>
+  <!ATTLIST entry    isbn   CDATA    #REQUIRED>
+  <!ELEMENT title    (#PCDATA)>
+  <!ELEMENT publisher (#PCDATA)>
+  <!ELEMENT author   (#PCDATA)>
+  <!ELEMENT text     (#PCDATA)>
+  <!ELEMENT section  (title, (text|section)*)>
+  <!ATTLIST section  sid    CDATA    #REQUIRED>
+  <!ELEMENT ref      EMPTY>
+  <!ATTLIST ref      to     NMTOKENS #REQUIRED>
+]>
+<catalog>
+  <book>
+    <entry isbn="1-55860-622-X">
+      <title>Data on the Web</title>
+      <publisher>Morgan Kaufmann</publisher>
+    </entry>
+    <author>Serge Abiteboul</author>
+    <author>Peter Buneman</author>
+    <author>Dan Suciu</author>
+    <section sid="intro">
+      <title>Introduction</title>
+      <text>Data everywhere...</text>
+      <section sid="audience"><title>Audience</title></section>
+    </section>
+    <ref to="1-55860-622-X"/>
+  </book>
+  <book>
+    <entry isbn="0-201-53771-0">
+      <title>Foundations of Databases</title>
+      <publisher>Addison-Wesley</publisher>
+    </entry>
+    <author>Serge Abiteboul</author>
+    <author>Richard Hull</author>
+    <author>Victor Vianu</author>
+    <section sid="alice"><title>Alice</title></section>
+    <ref to="1-55860-622-X 0-201-53771-0"/>
+  </book>
+</catalog>
+)";
+
+}  // namespace
+
+int main() {
+  using namespace xic;
+
+  // 1. Parse.
+  Result<XmlDocument> doc = ParseXml(kBookXml);
+  if (!doc.ok()) {
+    std::cerr << "parse failed: " << doc.status() << "\n";
+    return 1;
+  }
+  const DataTree& tree = doc.value().tree;
+  const DtdStructure& dtd = *doc.value().dtd;
+  std::cout << "parsed " << tree.size() << " elements, root <"
+            << tree.label(tree.root()) << ">\n";
+
+  // 2. Structural validity.
+  StructuralValidator validator(dtd);
+  ValidationReport structure = validator.Validate(tree);
+  std::cout << "structure: " << (structure.ok() ? "valid" : "INVALID")
+            << "; deterministic content models: "
+            << (validator.AllContentModelsDeterministic() ? "yes" : "no")
+            << "\n";
+
+  // 3. The paper's L_u constraints.
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    key entry.isbn
+    key section.sid
+    sfk ref.to -> entry.isbn
+  )", Language::kLu);
+  if (!sigma.ok()) {
+    std::cerr << sigma.status() << "\n";
+    return 1;
+  }
+  if (Status wf = CheckWellFormed(sigma.value(), dtd); !wf.ok()) {
+    std::cerr << "Sigma ill-formed: " << wf << "\n";
+    return 1;
+  }
+  ConstraintChecker checker(dtd, sigma.value());
+  ConstraintReport report = checker.Check(tree);
+  std::cout << "constraints:\n" << sigma.value().ToString() << "\n";
+  std::cout << "satisfaction: "
+            << (report.ok() ? "G |= Sigma"
+                            : "violated\n" + report.ToString(sigma.value()))
+            << "\n";
+
+  // 4. Implication: what else follows from Sigma?
+  LuSolver solver(sigma.value());
+  std::vector<Constraint> queries = {
+      Constraint::UnaryKey("entry", "isbn"),
+      Constraint::UnaryForeignKey("entry", "isbn", "entry", "isbn"),
+      Constraint::UnaryKey("ref", "to"),
+  };
+  std::cout << "\nimplication (I_u):\n";
+  for (const Constraint& phi : queries) {
+    bool implied = solver.Implies(phi);
+    std::cout << "  Sigma |= " << phi.ToString() << " ?  "
+              << (implied ? "yes" : "no") << "\n";
+    if (implied) {
+      if (std::optional<std::string> proof = solver.Explain(phi)) {
+        std::cout << "    " << *proof;
+      }
+    }
+  }
+
+  // 5. Break the key and watch the checker object.
+  DataTree broken = tree;
+  VertexId extra_entry = broken.Extent("entry")[1];
+  broken.SetAttribute(extra_entry, "isbn", std::string("1-55860-622-X"));
+  ConstraintReport broken_report = checker.Check(broken);
+  std::cout << "\nafter forging a duplicate isbn: "
+            << (broken_report.ok() ? "still fine (bug!)" : "violation caught")
+            << "\n"
+            << broken_report.ToString(sigma.value());
+  return structure.ok() && report.ok() && !broken_report.ok() ? 0 : 1;
+}

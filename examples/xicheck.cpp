@@ -1,0 +1,145 @@
+// xicheck: a command-line validator for self-describing documents.
+//
+// Usage:
+//   xicheck file.xml [more.xml ...]    validate files
+//   xicheck --repair file.xml          validate, repair, print the result
+//   xicheck                            validate the built-in demo document
+//
+// A "self-describing" document carries its DTD in the DOCTYPE internal
+// subset and (optionally) its constraint set in an embedded
+// "<!-- xic:constraints ... -->" block (see xml/dtdc_io.h). xicheck
+// reports structural validity (Definition 2.4), constraint satisfaction
+// (G |= Sigma) and, with --repair, the edits needed to restore
+// consistency. Exit code: 0 valid, 1 invalid, 2 usage/parse error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "xic.h"
+
+namespace {
+
+using namespace xic;
+
+const char* kDemo = R"(<?xml version="1.0"?>
+<!DOCTYPE db [
+<!ELEMENT db (person*, dept*)>
+<!ELEMENT person EMPTY>
+<!ATTLIST person oid ID #REQUIRED name CDATA #REQUIRED
+          in_dept IDREFS #REQUIRED>
+<!ELEMENT dept EMPTY>
+<!ATTLIST dept oid ID #REQUIRED has_staff IDREFS #REQUIRED>
+<!-- xic:constraints language=L_id
+  id person.oid
+  id dept.oid
+  key person.name
+  sfk person.in_dept -> dept.oid
+  sfk dept.has_staff -> person.oid
+  inverse person.in_dept <-> dept.has_staff
+-->
+]>
+<db>
+  <person oid="p1" name="Ada" in_dept="d1"/>
+  <person oid="p2" name="Bob" in_dept="d1 ghost"/>
+  <dept oid="d1" has_staff="p1 p2"/>
+</db>
+)";
+
+int CheckOne(const std::string& name, const std::string& text, bool repair) {
+  Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+  if (!parsed.ok()) {
+    std::cerr << name << ": " << parsed.status() << "\n";
+    return 2;
+  }
+  SelfDescribingDocument& doc = parsed.value();
+  if (!doc.document.dtd.has_value()) {
+    std::cerr << name << ": no DTD in the DOCTYPE; nothing to check\n";
+    return 2;
+  }
+  const DtdStructure& dtd = *doc.document.dtd;
+  int exit_code = 0;
+
+  StructuralValidator validator(dtd, {.allow_missing_attributes = true});
+  ValidationReport structure = validator.Validate(doc.document.tree);
+  std::cout << name << ": structure "
+            << (structure.ok() ? "valid" : "INVALID") << "\n";
+  if (!structure.ok()) {
+    std::cout << structure.ToString();
+    exit_code = 1;
+  }
+
+  if (!doc.sigma.has_value()) {
+    std::cout << name << ": no embedded constraints\n";
+    return exit_code;
+  }
+  const ConstraintSet& sigma = *doc.sigma;
+  if (Status wf = CheckWellFormed(sigma, dtd); !wf.ok()) {
+    std::cerr << name << ": constraint block ill-formed: " << wf << "\n";
+    return 2;
+  }
+  ConstraintChecker checker(dtd, sigma);
+  ConstraintReport report = checker.Check(doc.document.tree);
+  std::cout << name << ": " << sigma.constraints.size() << " constraints, "
+            << report.violations.size() << " violation(s)\n";
+  if (!report.ok()) {
+    std::cout << report.ToString(sigma);
+    exit_code = 1;
+    if (repair) {
+      Result<RepairReport> repaired =
+          RepairDocument(&doc.document.tree, dtd, sigma);
+      if (!repaired.ok()) {
+        std::cerr << name << ": repair failed: " << repaired.status() << "\n";
+        return 2;
+      }
+      for (const std::string& action : repaired.value().actions) {
+        std::cout << "  repair: " << action << "\n";
+      }
+      if (repaired.value().fully_repaired()) {
+        std::cout << name << ": repaired document:\n"
+                  << WriteDocumentWithDtdC(doc.document.tree, dtd, sigma);
+        exit_code = 0;
+      } else {
+        std::cout << name << ": not fully repairable:\n"
+                  << repaired.value().remaining.ToString(sigma);
+      }
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--repair") {
+      repair = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: xicheck [--repair] [file.xml ...]\n";
+      return 0;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    std::cout << "(no files given; checking the built-in demo, which has "
+                 "one dangling reference)\n";
+    return CheckOne("<demo>", kDemo, /*repair=*/true) == 2 ? 2 : 0;
+  }
+  int worst = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << file << ": cannot open\n";
+      worst = std::max(worst, 2);
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    worst = std::max(worst, CheckOne(file, buffer.str(), repair));
+  }
+  return worst;
+}

@@ -1,0 +1,367 @@
+#include "constraints/checker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "constraints/well_formed.h"
+#include "util/strings.h"
+
+namespace xic {
+
+std::string ConstraintReport::ToString(const ConstraintSet& sigma) const {
+  if (ok()) return "all constraints satisfied";
+  std::string out;
+  for (const ConstraintViolation& v : violations) {
+    out += sigma.constraints[v.constraint_index].ToString() + ": " +
+           v.message + "\n";
+  }
+  return out;
+}
+
+ConstraintChecker::ConstraintChecker(const DtdStructure& dtd,
+                                     const ConstraintSet& sigma,
+                                     CheckOptions options)
+    : dtd_(dtd), sigma_(sigma), options_(options) {}
+
+namespace {
+
+// Concatenated character data beneath `v` (depth-first).
+std::string TextContent(const DataTree& tree, VertexId v) {
+  std::string out;
+  for (const Child& c : tree.children(v)) {
+    if (const std::string* s = std::get_if<std::string>(&c)) {
+      out += *s;
+    } else {
+      out += TextContent(tree, std::get<VertexId>(c));
+    }
+  }
+  return out;
+}
+
+// Encodes a tuple of values into one hashable string (values are
+// length-prefixed so distinct tuples never collide).
+std::string EncodeTuple(const std::vector<std::string>& values) {
+  std::string out;
+  for (const std::string& v : values) {
+    out += std::to_string(v.size());
+    out += ':';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AttrValue> ConstraintChecker::FieldValue(const DataTree& tree,
+                                                VertexId v,
+                                                const std::string& name) const {
+  if (tree.HasAttribute(v, name)) return tree.Attribute(v, name);
+  // Section 3.4: a unique sub-element acts as a field whose value is its
+  // character data.
+  VertexId match = kInvalidVertex;
+  int count = 0;
+  for (VertexId child : tree.ChildVertices(v)) {
+    if (tree.label(child) == name) {
+      match = child;
+      ++count;
+    }
+  }
+  if (count == 1) return AttrValue{TextContent(tree, match)};
+  return Status::InvalidArgument(
+      "field " + name + " undefined on vertex " + std::to_string(v) +
+      (count > 1 ? " (sub-element not unique)" : ""));
+}
+
+ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
+  ConstraintReport report;
+  ExtentIndex extents(tree);
+  auto add = [&](size_t index, std::string msg, std::vector<VertexId> wit,
+                 std::vector<std::string> values = {}) {
+    if (options_.max_violations == 0 ||
+        report.violations.size() < options_.max_violations) {
+      report.violations.push_back(
+          {index, std::move(msg), std::move(wit), std::move(values)});
+    }
+  };
+  auto full = [&] {
+    return options_.max_violations != 0 &&
+           report.violations.size() >= options_.max_violations;
+  };
+
+  // Single value of a field, or nullopt (missing fields are reported by
+  // the caller as violations of the constraint that needed them).
+  auto single = [&](VertexId v,
+                    const std::string& name) -> std::optional<std::string> {
+    Result<AttrValue> value = FieldValue(tree, v, name);
+    if (!value.ok() || value.value().size() != 1) return std::nullopt;
+    return *value.value().begin();
+  };
+  auto tuple = [&](VertexId v, const std::vector<std::string>& names)
+      -> std::optional<std::vector<std::string>> {
+    std::vector<std::string> out;
+    for (const std::string& name : names) {
+      std::optional<std::string> val = single(v, name);
+      if (!val.has_value()) return std::nullopt;
+      out.push_back(std::move(*val));
+    }
+    return out;
+  };
+
+  // Global ID table for kId constraints: value -> vertices carrying it in
+  // their type's ID attribute (document-wide scope).
+  std::unordered_map<std::string, std::vector<VertexId>> global_ids;
+  bool needs_global_ids = false;
+  for (const Constraint& c : sigma_.constraints) {
+    if (c.kind == ConstraintKind::kId) needs_global_ids = true;
+  }
+  if (needs_global_ids) {
+    for (VertexId v = 0; v < tree.size(); ++v) {
+      std::optional<std::string> id_attr = dtd_.IdAttribute(tree.label(v));
+      if (!id_attr.has_value()) continue;
+      if (std::optional<std::string> val = single(v, *id_attr)) {
+        global_ids[*val].push_back(v);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < sigma_.constraints.size() && !full(); ++i) {
+    const Constraint& c = sigma_.constraints[i];
+    const std::vector<VertexId>& ext = extents.Extent(c.element);
+    const std::vector<VertexId>& ref_ext = extents.Extent(c.ref_element);
+
+    switch (c.kind) {
+      case ConstraintKind::kKey: {
+        if (options_.naive) {
+          for (size_t a = 0; a < ext.size() && !full(); ++a) {
+            std::optional<std::vector<std::string>> ta = tuple(ext[a], c.attrs);
+            if (!ta.has_value()) {
+              add(i, "key field missing", {ext[a]});
+              continue;
+            }
+            for (size_t b = a + 1; b < ext.size() && !full(); ++b) {
+              std::optional<std::vector<std::string>> tb =
+                  tuple(ext[b], c.attrs);
+              if (tb.has_value() && *ta == *tb) {
+                add(i, "duplicate key [" + Join(*ta, ",") + "]",
+                    {ext[a], ext[b]}, *ta);
+              }
+            }
+          }
+          break;
+        }
+        std::unordered_map<std::string, VertexId> seen;
+        for (VertexId v : ext) {
+          std::optional<std::vector<std::string>> t = tuple(v, c.attrs);
+          if (!t.has_value()) {
+            add(i, "key field missing", {v});
+            continue;
+          }
+          auto [it, inserted] = seen.try_emplace(EncodeTuple(*t), v);
+          if (!inserted) {
+            add(i, "duplicate key [" + Join(*t, ",") + "]", {it->second, v},
+                *t);
+          }
+          if (full()) break;
+        }
+        break;
+      }
+
+      case ConstraintKind::kId: {
+        for (VertexId v : ext) {
+          std::optional<std::string> val = single(v, c.attr());
+          if (!val.has_value()) {
+            add(i, "ID attribute missing", {v});
+            continue;
+          }
+          const std::vector<VertexId>& holders = global_ids[*val];
+          if (holders.size() > 1) {
+            add(i, "ID value \"" + *val + "\" is not document-unique",
+                holders, {*val});
+          }
+          if (full()) break;
+        }
+        break;
+      }
+
+      case ConstraintKind::kForeignKey: {
+        if (options_.naive) {
+          for (VertexId v : ext) {
+            std::optional<std::vector<std::string>> t = tuple(v, c.attrs);
+            if (!t.has_value()) {
+              add(i, "foreign-key field missing", {v});
+              continue;
+            }
+            bool found = false;
+            for (VertexId w : ref_ext) {
+              std::optional<std::vector<std::string>> u =
+                  tuple(w, c.ref_attrs);
+              if (u.has_value() && *u == *t) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              add(i, "dangling reference [" + Join(*t, ",") + "]", {v}, *t);
+            }
+            if (full()) break;
+          }
+          break;
+        }
+        std::unordered_set<std::string> targets;
+        for (VertexId w : ref_ext) {
+          std::optional<std::vector<std::string>> u = tuple(w, c.ref_attrs);
+          if (u.has_value()) targets.insert(EncodeTuple(*u));
+        }
+        for (VertexId v : ext) {
+          std::optional<std::vector<std::string>> t = tuple(v, c.attrs);
+          if (!t.has_value()) {
+            add(i, "foreign-key field missing", {v});
+            continue;
+          }
+          if (targets.count(EncodeTuple(*t)) == 0) {
+            add(i, "dangling reference [" + Join(*t, ",") + "]", {v}, *t);
+          }
+          if (full()) break;
+        }
+        break;
+      }
+
+      case ConstraintKind::kSetForeignKey: {
+        std::unordered_set<std::string> targets;
+        for (VertexId w : ref_ext) {
+          if (std::optional<std::string> u = single(w, c.ref_attr())) {
+            targets.insert(*u);
+          }
+        }
+        for (VertexId v : ext) {
+          Result<AttrValue> vals = FieldValue(tree, v, c.attr());
+          if (!vals.ok()) {
+            add(i, "set-valued field missing", {v});
+            continue;
+          }
+          for (const std::string& val : vals.value()) {
+            bool found;
+            if (options_.naive) {
+              found = false;
+              for (VertexId w : ref_ext) {
+                std::optional<std::string> u = single(w, c.ref_attr());
+                if (u.has_value() && *u == val) {
+                  found = true;
+                  break;
+                }
+              }
+            } else {
+              found = targets.count(val) > 0;
+            }
+            if (!found) {
+              add(i, "dangling reference \"" + val + "\"", {v}, {val});
+              if (full()) break;
+            }
+          }
+          if (full()) break;
+        }
+        break;
+      }
+
+      case ConstraintKind::kInverse: {
+        // Resolve the key attributes: named in L_u, ID attributes in L_id.
+        std::string lk = c.inv_key;
+        std::string lk2 = c.inv_ref_key;
+        if (lk.empty()) lk = dtd_.IdAttribute(c.element).value_or("");
+        if (lk2.empty()) lk2 = dtd_.IdAttribute(c.ref_element).value_or("");
+        if (lk.empty() || lk2.empty()) {
+          add(i, "inverse constraint lacks key attributes", {});
+          break;
+        }
+        // key value -> vertices (multimap: key violations must not mask
+        // inverse violations).
+        std::unordered_map<std::string, std::vector<VertexId>> by_key;
+        std::unordered_map<std::string, std::vector<VertexId>> ref_by_key;
+        for (VertexId v : ext) {
+          if (std::optional<std::string> val = single(v, lk)) {
+            by_key[*val].push_back(v);
+          }
+        }
+        for (VertexId w : ref_ext) {
+          if (std::optional<std::string> val = single(w, lk2)) {
+            ref_by_key[*val].push_back(w);
+          }
+        }
+        // Typed semantics (DESIGN.md): the referenced values must be keys
+        // of the partner type (the containments Inv-SFK-ID derives).
+        for (VertexId x : ext) {
+          Result<AttrValue> xl = FieldValue(tree, x, c.attr());
+          if (!xl.ok()) continue;
+          for (const std::string& val : xl.value()) {
+            if (ref_by_key.count(val) == 0) {
+              add(i, "inverse reference \"" + val + "\" is not a " +
+                         c.ref_element + " key",
+                  {x}, {val});
+              if (full()) break;
+            }
+          }
+          if (full()) break;
+        }
+        for (VertexId y : ref_ext) {
+          Result<AttrValue> yl = FieldValue(tree, y, c.ref_attr());
+          if (!yl.ok()) continue;
+          for (const std::string& val : yl.value()) {
+            if (by_key.count(val) == 0) {
+              add(i, "inverse reference \"" + val + "\" is not a " +
+                         c.element + " key",
+                  {y}, {val});
+              if (full()) break;
+            }
+          }
+          if (full()) break;
+        }
+        // Direction 1: x.lk in y.l'  ==>  y.lk' in x.l.
+        for (VertexId y : ref_ext) {
+          Result<AttrValue> yl2 = FieldValue(tree, y, c.ref_attr());
+          std::optional<std::string> ykey = single(y, lk2);
+          if (!yl2.ok() || !ykey.has_value()) continue;
+          for (const std::string& val : yl2.value()) {
+            auto it = by_key.find(val);
+            if (it == by_key.end()) continue;
+            for (VertexId x : it->second) {
+              Result<AttrValue> xl = FieldValue(tree, x, c.attr());
+              if (!xl.ok() || xl.value().count(*ykey) == 0) {
+                add(i, "inverse missing: " + c.ref_element + " \"" + *ykey +
+                           "\" references \"" + val + "\" but not back",
+                    {x, y}, {*ykey});
+              }
+              if (full()) break;
+            }
+            if (full()) break;
+          }
+          if (full()) break;
+        }
+        // Direction 2 (symmetric).
+        for (VertexId x : ext) {
+          Result<AttrValue> xl = FieldValue(tree, x, c.attr());
+          std::optional<std::string> xkey = single(x, lk);
+          if (!xl.ok() || !xkey.has_value()) continue;
+          for (const std::string& val : xl.value()) {
+            auto it = ref_by_key.find(val);
+            if (it == ref_by_key.end()) continue;
+            for (VertexId y : it->second) {
+              Result<AttrValue> yl2 = FieldValue(tree, y, c.ref_attr());
+              if (!yl2.ok() || yl2.value().count(*xkey) == 0) {
+                add(i, "inverse missing: " + c.element + " \"" + *xkey +
+                           "\" references \"" + val + "\" but not back",
+                    {y, x}, {*xkey});
+              }
+              if (full()) break;
+            }
+            if (full()) break;
+          }
+          if (full()) break;
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace xic

@@ -1,0 +1,81 @@
+// Constraint satisfaction: does a data tree G satisfy a constraint set
+// Sigma (the G |= Sigma half of Definition 2.4)?
+//
+// Evaluation follows the paper's semantics exactly:
+//   * keys are scoped to ext(tau) (per element type),
+//   * L_id ID constraints are scoped to the *whole document* (a value must
+//     not recur in any vertex's ID attribute, regardless of type),
+//   * foreign keys / set-valued foreign keys are value inclusions into the
+//     target extent's key values,
+//   * inverse constraints assert the two symmetric membership implications.
+//
+// Key and foreign-key positions may be unique sub-elements (Section 3.4);
+// the value of a sub-element field is the concatenated character data of
+// the unique child with that label.
+//
+// The checker builds hash indexes per (type, attribute) so a full check is
+// O(|G| + |Sigma|) modulo hashing; a naive quadratic mode exists for the
+// B1 ablation benchmark.
+
+#ifndef XIC_CONSTRAINTS_CHECKER_H_
+#define XIC_CONSTRAINTS_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// One constraint violation with the witnesses that falsify the formula.
+struct ConstraintViolation {
+  size_t constraint_index;  // into sigma.constraints
+  std::string message;
+  /// Falsifying vertices. For repairable violations the vertex to edit
+  /// comes first (see constraints/repair.h).
+  std::vector<VertexId> witnesses;
+  /// The offending values: the dangling reference value(s), duplicated
+  /// key tuple, or (for inverse violations) the key missing from the
+  /// first witness's reference set.
+  std::vector<std::string> values;
+};
+
+struct ConstraintReport {
+  std::vector<ConstraintViolation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string ToString(const ConstraintSet& sigma) const;
+};
+
+struct CheckOptions {
+  /// Use the O(|ext(tau)| * |ext(tau')|) nested-loop evaluation instead of
+  /// hash indexes (benchmark baseline only).
+  bool naive = false;
+  /// Stop after this many violations (0 = collect all).
+  size_t max_violations = 0;
+};
+
+class ConstraintChecker {
+ public:
+  ConstraintChecker(const DtdStructure& dtd, const ConstraintSet& sigma,
+                    CheckOptions options = {});
+
+  /// Evaluates G |= Sigma; the report lists every violated constraint.
+  ConstraintReport Check(const DataTree& tree) const;
+
+  /// The value of field `name` (attribute or unique sub-element) on vertex
+  /// `v`, as a set of atomic values. Missing fields yield an error.
+  Result<AttrValue> FieldValue(const DataTree& tree, VertexId v,
+                               const std::string& name) const;
+
+ private:
+  const DtdStructure& dtd_;
+  const ConstraintSet& sigma_;
+  CheckOptions options_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_CHECKER_H_

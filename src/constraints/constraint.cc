@@ -1,0 +1,148 @@
+#include "constraints/constraint.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace xic {
+
+const char* LanguageToString(Language lang) {
+  switch (lang) {
+    case Language::kL:
+      return "L";
+    case Language::kLu:
+      return "L_u";
+    case Language::kLid:
+      return "L_id";
+  }
+  return "?";
+}
+
+Constraint Constraint::Key(std::string tau, std::vector<std::string> x) {
+  Constraint c;
+  c.kind = ConstraintKind::kKey;
+  c.element = std::move(tau);
+  c.attrs = std::move(x);
+  // Key attribute sets are unordered (the paper writes tau[X] with X a
+  // set); normalize for equality.
+  std::sort(c.attrs.begin(), c.attrs.end());
+  return c;
+}
+
+Constraint Constraint::UnaryKey(std::string tau, std::string l) {
+  return Key(std::move(tau), {std::move(l)});
+}
+
+Constraint Constraint::Id(std::string tau, std::string l) {
+  Constraint c;
+  c.kind = ConstraintKind::kId;
+  c.element = std::move(tau);
+  c.attrs = {std::move(l)};
+  return c;
+}
+
+Constraint Constraint::ForeignKey(std::string tau, std::vector<std::string> x,
+                                  std::string tau2,
+                                  std::vector<std::string> y) {
+  Constraint c;
+  c.kind = ConstraintKind::kForeignKey;
+  c.element = std::move(tau);
+  c.attrs = std::move(x);
+  c.ref_element = std::move(tau2);
+  c.ref_attrs = std::move(y);
+  return c;
+}
+
+Constraint Constraint::UnaryForeignKey(std::string tau, std::string l,
+                                       std::string tau2, std::string l2) {
+  return ForeignKey(std::move(tau), {std::move(l)}, std::move(tau2),
+                    {std::move(l2)});
+}
+
+Constraint Constraint::SetForeignKey(std::string tau, std::string l,
+                                     std::string tau2, std::string l2) {
+  Constraint c;
+  c.kind = ConstraintKind::kSetForeignKey;
+  c.element = std::move(tau);
+  c.attrs = {std::move(l)};
+  c.ref_element = std::move(tau2);
+  c.ref_attrs = {std::move(l2)};
+  return c;
+}
+
+Constraint Constraint::InverseU(std::string tau, std::string lk,
+                                std::string l, std::string tau2,
+                                std::string lk2, std::string l2) {
+  Constraint c;
+  c.kind = ConstraintKind::kInverse;
+  c.element = std::move(tau);
+  c.attrs = {std::move(l)};
+  c.ref_element = std::move(tau2);
+  c.ref_attrs = {std::move(l2)};
+  c.inv_key = std::move(lk);
+  c.inv_ref_key = std::move(lk2);
+  return c;
+}
+
+Constraint Constraint::InverseId(std::string tau, std::string l,
+                                 std::string tau2, std::string l2) {
+  Constraint c;
+  c.kind = ConstraintKind::kInverse;
+  c.element = std::move(tau);
+  c.attrs = {std::move(l)};
+  c.ref_element = std::move(tau2);
+  c.ref_attrs = {std::move(l2)};
+  return c;
+}
+
+namespace {
+
+std::string AttrList(const std::string& element,
+                     const std::vector<std::string>& attrs) {
+  if (attrs.size() == 1) return element + "." + attrs.front();
+  return element + "[" + Join(attrs, ",") + "]";
+}
+
+}  // namespace
+
+std::string Constraint::ToString() const {
+  switch (kind) {
+    case ConstraintKind::kKey:
+      return AttrList(element, attrs) + " -> " + element;
+    case ConstraintKind::kId:
+      return element + "." + attrs.front() + " ->id " + element;
+    case ConstraintKind::kForeignKey:
+      return AttrList(element, attrs) + " <= " +
+             AttrList(ref_element, ref_attrs);
+    case ConstraintKind::kSetForeignKey:
+      return element + "." + attrs.front() + " <=S " + ref_element + "." +
+             ref_attrs.front();
+    case ConstraintKind::kInverse: {
+      std::string lhs = element;
+      std::string rhs = ref_element;
+      if (!inv_key.empty()) lhs += "(" + inv_key + ")";
+      if (!inv_ref_key.empty()) rhs += "(" + inv_ref_key + ")";
+      return lhs + "." + attrs.front() + " <-> " + rhs + "." +
+             ref_attrs.front();
+    }
+  }
+  return "?";
+}
+
+bool ConstraintSet::Contains(const Constraint& c) const {
+  return std::find(constraints.begin(), constraints.end(), c) !=
+         constraints.end();
+}
+
+std::string ConstraintSet::ToString() const {
+  std::string out = "Sigma (";
+  out += LanguageToString(language);
+  out += ") {\n";
+  for (const Constraint& c : constraints) {
+    out += "  " + c.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,104 @@
+// Basic XML constraints: the languages L, L_u and L_id of Section 2.2.
+//
+// One Constraint value represents a constraint of any of the three
+// languages; which combinations are legal for a given language (and
+// against a given DTD structure) is decided by well_formed.h. The kinds:
+//
+//   kKey            tau[X] -> tau            (L; unary in L_u / L_id)
+//   kForeignKey     tau[X] <= tau'[Y]        (L; unary in L_u / L_id)
+//   kSetForeignKey  tau.l <=S tau'.l'        (L_u; l' = id attr in L_id)
+//   kId             tau.id ->id tau          (L_id only)
+//   kInverse        tau(lk).l <-> tau'(lk').l'
+//                   (L_u names the keys lk / lk' explicitly; in L_id the
+//                    keys are the ID attributes and lk / lk' stay empty.)
+
+#ifndef XIC_CONSTRAINTS_CONSTRAINT_H_
+#define XIC_CONSTRAINTS_CONSTRAINT_H_
+
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace xic {
+
+enum class Language {
+  kL,    // multi-attribute keys and foreign keys (relational legacy)
+  kLu,   // unary constraints + set-valued FKs + inverses (native XML)
+  kLid,  // object-identity style: ID constraints scoped to the document
+};
+
+const char* LanguageToString(Language lang);
+
+enum class ConstraintKind {
+  kKey,
+  kForeignKey,
+  kSetForeignKey,
+  kId,
+  kInverse,
+};
+
+struct Constraint {
+  ConstraintKind kind = ConstraintKind::kKey;
+  std::string element;                  // tau
+  std::vector<std::string> attrs;       // X (singleton for unary forms)
+  std::string ref_element;              // tau'
+  std::vector<std::string> ref_attrs;   // Y
+  std::string inv_key;                  // l_k  (L_u inverse only)
+  std::string inv_ref_key;              // l_k' (L_u inverse only)
+
+  // -- Factories -----------------------------------------------------------
+
+  /// tau[X] -> tau
+  static Constraint Key(std::string tau, std::vector<std::string> x);
+  /// tau.l -> tau
+  static Constraint UnaryKey(std::string tau, std::string l);
+  /// tau.id ->id tau (l must be tau's ID attribute)
+  static Constraint Id(std::string tau, std::string l);
+  /// tau[X] <= tau'[Y]
+  static Constraint ForeignKey(std::string tau, std::vector<std::string> x,
+                               std::string tau2, std::vector<std::string> y);
+  /// tau.l <= tau'.l'
+  static Constraint UnaryForeignKey(std::string tau, std::string l,
+                                    std::string tau2, std::string l2);
+  /// tau.l <=S tau'.l'
+  static Constraint SetForeignKey(std::string tau, std::string l,
+                                  std::string tau2, std::string l2);
+  /// L_u inverse: tau(lk).l <-> tau'(lk').l'
+  static Constraint InverseU(std::string tau, std::string lk, std::string l,
+                             std::string tau2, std::string lk2,
+                             std::string l2);
+  /// L_id inverse: tau.l <-> tau'.l' (keys are the ID attributes)
+  static Constraint InverseId(std::string tau, std::string l,
+                              std::string tau2, std::string l2);
+
+  // -- Introspection -------------------------------------------------------
+
+  bool IsUnary() const { return attrs.size() == 1; }
+  /// The single attribute of a unary constraint.
+  const std::string& attr() const { return attrs.front(); }
+  const std::string& ref_attr() const { return ref_attrs.front(); }
+
+  /// Paper-style ASCII rendering, e.g. "entry.isbn -> entry",
+  /// "editor[pname,country] <= publisher[pname,country]",
+  /// "ref.to <=S entry.isbn", "person.oid ->id person",
+  /// "dept(oid).has_staff <-> person(oid).in_dept".
+  std::string ToString() const;
+
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+  friend std::strong_ordering operator<=>(const Constraint&,
+                                          const Constraint&) = default;
+};
+
+/// A constraint set Sigma with its language; the Sigma of a DTD^C
+/// (Definition 2.3) together with a DtdStructure.
+struct ConstraintSet {
+  Language language = Language::kLu;
+  std::vector<Constraint> constraints;
+
+  bool Contains(const Constraint& c) const;
+  std::string ToString() const;
+};
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_CONSTRAINT_H_

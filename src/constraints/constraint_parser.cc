@@ -1,0 +1,194 @@
+#include "constraints/constraint_parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace xic {
+
+namespace {
+
+// A field reference: element plus attribute list, optionally with an
+// inverse-key annotation "tau(lk).l".
+struct FieldRef {
+  std::string element;
+  std::vector<std::string> attrs;
+  std::string inv_key;  // empty unless "tau(lk).l" form
+};
+
+class ConstraintTextParser {
+ public:
+  explicit ConstraintTextParser(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Constraint>> Parse() {
+    std::vector<Constraint> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) return out;
+      if (text_[pos_] == ';') {
+        ++pos_;
+        continue;
+      }
+      XIC_ASSIGN_OR_RETURN(Constraint c, ParseStatement());
+      out.push_back(std::move(c));
+    }
+  }
+
+ private:
+  Result<Constraint> ParseStatement() {
+    XIC_ASSIGN_OR_RETURN(std::string keyword, ParseName());
+    if (keyword == "key") {
+      XIC_ASSIGN_OR_RETURN(FieldRef ref, ParseFieldRef(false));
+      return Constraint::Key(ref.element, ref.attrs);
+    }
+    if (keyword == "id") {
+      XIC_ASSIGN_OR_RETURN(FieldRef ref, ParseFieldRef(false));
+      if (ref.attrs.size() != 1) {
+        return Result<Constraint>(Error("id constraints are unary"));
+      }
+      return Constraint::Id(ref.element, ref.attrs[0]);
+    }
+    if (keyword == "fk" || keyword == "sfk") {
+      XIC_ASSIGN_OR_RETURN(FieldRef lhs, ParseFieldRef(false));
+      XIC_RETURN_IF_ERROR(Expect("->"));
+      XIC_ASSIGN_OR_RETURN(FieldRef rhs, ParseFieldRef(false));
+      if (keyword == "sfk") {
+        if (lhs.attrs.size() != 1 || rhs.attrs.size() != 1) {
+          return Result<Constraint>(
+              Error("set-valued foreign keys are unary"));
+        }
+        return Constraint::SetForeignKey(lhs.element, lhs.attrs[0],
+                                         rhs.element, rhs.attrs[0]);
+      }
+      if (lhs.attrs.size() != rhs.attrs.size()) {
+        return Result<Constraint>(
+            Error("foreign-key attribute lists differ in length"));
+      }
+      return Constraint::ForeignKey(lhs.element, lhs.attrs, rhs.element,
+                                    rhs.attrs);
+    }
+    if (keyword == "inverse") {
+      XIC_ASSIGN_OR_RETURN(FieldRef lhs, ParseFieldRef(true));
+      XIC_RETURN_IF_ERROR(Expect("<->"));
+      XIC_ASSIGN_OR_RETURN(FieldRef rhs, ParseFieldRef(true));
+      if (lhs.attrs.size() != 1 || rhs.attrs.size() != 1) {
+        return Result<Constraint>(Error("inverse constraints are unary"));
+      }
+      if (lhs.inv_key.empty() != rhs.inv_key.empty()) {
+        return Result<Constraint>(
+            Error("either both or neither side of an inverse names a key"));
+      }
+      if (lhs.inv_key.empty()) {
+        return Constraint::InverseId(lhs.element, lhs.attrs[0], rhs.element,
+                                     rhs.attrs[0]);
+      }
+      return Constraint::InverseU(lhs.element, lhs.inv_key, lhs.attrs[0],
+                                  rhs.element, rhs.inv_key, rhs.attrs[0]);
+    }
+    return Result<Constraint>(
+        Error("unknown constraint keyword \"" + keyword + "\""));
+  }
+
+  Result<FieldRef> ParseFieldRef(bool allow_inv_key) {
+    FieldRef ref;
+    XIC_ASSIGN_OR_RETURN(ref.element, ParseName());
+    SkipSpaceAndComments();
+    if (allow_inv_key && pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      XIC_ASSIGN_OR_RETURN(ref.inv_key, ParseName());
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Result<FieldRef>(Error("expected ')'"));
+      }
+      ++pos_;
+      SkipSpaceAndComments();
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      XIC_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      ref.attrs.push_back(std::move(attr));
+      return ref;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '[') {
+      ++pos_;
+      while (true) {
+        XIC_ASSIGN_OR_RETURN(std::string attr, ParseName());
+        ref.attrs.push_back(std::move(attr));
+        SkipSpaceAndComments();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return ref;
+        }
+        return Result<FieldRef>(Error("expected ',' or ']'"));
+      }
+    }
+    return Result<FieldRef>(Error("expected '.' or '[' after element name"));
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    // Unlike XML names, '.' is excluded: it separates element from
+    // attribute in the constraint syntax.
+    if (pos_ < text_.size() && IsNameStartChar(text_[pos_])) {
+      ++pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_]) &&
+             text_[pos_] != '.') {
+        ++pos_;
+      }
+      return std::string(text_.substr(start, pos_ - start));
+    }
+    return Result<std::string>(Error("expected name"));
+  }
+
+  Status Expect(std::string_view token) {
+    SkipSpaceAndComments();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return Status::OK();
+    }
+    return Error("expected \"" + std::string(token) + "\"");
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("constraints: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Constraint>> ParseConstraints(const std::string& text) {
+  return ConstraintTextParser(text).Parse();
+}
+
+Result<ConstraintSet> ParseConstraintSet(const std::string& text,
+                                         Language lang) {
+  XIC_ASSIGN_OR_RETURN(std::vector<Constraint> constraints,
+                       ParseConstraints(text));
+  ConstraintSet out;
+  out.language = lang;
+  out.constraints = std::move(constraints);
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,35 @@
+// Textual surface syntax for basic XML constraints.
+//
+//   key tau.l                    unary key         tau.l -> tau
+//   key tau[a, b, c]             multi-attr key    tau[X] -> tau
+//   id tau.l                     ID constraint     tau.l ->id tau
+//   fk tau.l -> tau2.l2          unary foreign key
+//   fk tau[a,b] -> tau2[c,d]     multi-attr foreign key
+//   sfk tau.l -> tau2.l2         set-valued foreign key
+//   inverse tau(lk).l <-> tau2(lk2).l2     L_u inverse
+//   inverse tau.l <-> tau2.l2              L_id inverse
+//
+// Statements are separated by ';' or newlines; '#' starts a comment that
+// runs to end of line.
+
+#ifndef XIC_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#define XIC_CONSTRAINTS_CONSTRAINT_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// Parses a sequence of constraint statements.
+Result<std::vector<Constraint>> ParseConstraints(const std::string& text);
+
+/// Parses statements and wraps them in a ConstraintSet of `lang`.
+Result<ConstraintSet> ParseConstraintSet(const std::string& text,
+                                         Language lang);
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_CONSTRAINT_PARSER_H_

@@ -1,0 +1,137 @@
+// Incremental constraint maintenance.
+//
+// The paper's conclusion envisions constraints "specified by the XML
+// designer and maintained by the system". This module maintains
+// satisfaction of a constraint set under document updates without
+// re-checking the whole document: indexes are updated in O(affected
+// values) per mutation and a running violation count answers
+// consistency queries in O(1).
+//
+// Supported constraints: keys, ID constraints, foreign keys and
+// set-valued foreign keys whose fields are *attributes*. Inverse
+// constraints and sub-element fields are rejected with NotSupported
+// (use the batch ConstraintChecker for those).
+//
+// Violation accounting (consistent() is true iff all counts are zero):
+//   * key tau[X] -> tau: one violation per extra vertex sharing an
+//     X-tuple, plus one per vertex with an incomplete tuple;
+//   * ID constraint: one violation per *constrained* vertex whose ID
+//     value is held by more than one ID-bearing vertex, plus missing
+//     IDs on constrained types;
+//   * (set-valued) foreign key: one violation per dangling source tuple
+//     occurrence / set member, plus incomplete source tuples.
+
+#ifndef XIC_CONSTRAINTS_INCREMENTAL_H_
+#define XIC_CONSTRAINTS_INCREMENTAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+class IncrementalChecker {
+ public:
+  /// Prepares indexes for `sigma` over an initially empty document.
+  /// Unsupported constraint forms surface in status().
+  IncrementalChecker(const DtdStructure& dtd, const ConstraintSet& sigma);
+
+  const Status& status() const { return status_; }
+
+  // -- Document construction / mutation ------------------------------------
+
+  /// Adds an element labeled `label` under `parent` (kInvalidVertex for
+  /// the root). Content models are not enforced here (use
+  /// StructuralValidator for batch structural checks); constraint
+  /// indexes are updated.
+  Result<VertexId> AddElement(VertexId parent, const std::string& label);
+
+  /// Sets (or replaces) attribute `attr` of `v`, updating all affected
+  /// constraint indexes.
+  Status SetAttribute(VertexId v, const std::string& attr, AttrValue value);
+
+  /// Convenience overload for single-valued attributes.
+  Status SetAttribute(VertexId v, const std::string& attr,
+                      std::string value);
+
+  const DataTree& tree() const { return tree_; }
+
+  // -- Constraint state -----------------------------------------------------
+
+  /// True iff the current document satisfies every constraint in Sigma
+  /// (O(1)).
+  bool consistent() const { return total_violations_ == 0; }
+
+  /// Current total violation count (see the accounting rules above).
+  size_t violation_count() const { return total_violations_; }
+
+  /// Per-constraint violation counts, aligned with sigma.constraints.
+  /// Document-wide ID duplications are reported separately by
+  /// id_conflicts() (they belong to every Id constraint at once).
+  const std::vector<size_t>& per_constraint_violations() const {
+    return violations_;
+  }
+
+  /// Constrained vertices whose ID value is duplicated document-wide.
+  size_t id_conflicts() const { return id_conflicts_; }
+
+ private:
+  struct KeyIndex {
+    std::unordered_map<std::string, size_t> tuple_counts;
+    size_t incomplete = 0;
+  };
+  struct FkIndex {
+    std::unordered_map<std::string, size_t> source_counts;
+    std::unordered_map<std::string, size_t> target_counts;
+    size_t dangling = 0;    // source occurrences without a target
+    size_t incomplete = 0;  // incomplete source tuples
+  };
+  struct IdValueEntry {
+    size_t holders = 0;      // ID-bearing vertices holding the value
+    size_t constrained = 0;  // of those, vertices of Id-constrained types
+  };
+
+  // Removes / re-adds vertex v's contribution to constraint `index`.
+  void Retract(size_t index, VertexId v);
+  void Contribute(size_t index, VertexId v);
+  void Bump(size_t index, int64_t delta);
+  // Document-wide ID duplication count (not attributed to a single
+  // constraint slot; included in the total).
+  void BumpIdConflicts(int64_t delta);
+
+  // Global ID bookkeeping (shared by all kId constraints).
+  void RetractIdValue(VertexId v);
+  void ContributeIdValue(VertexId v);
+  bool IsIdConstrainedType(const std::string& type) const;
+
+  const DtdStructure& dtd_;
+  ConstraintSet sigma_;
+  Status status_;
+  DataTree tree_;
+
+  std::vector<size_t> violations_;
+  size_t total_violations_ = 0;
+  // Indexes parallel to sigma_.constraints (only the matching slot used).
+  std::vector<KeyIndex> key_indexes_;
+  std::vector<FkIndex> fk_indexes_;
+  // (element, attr) -> constraints that read this field.
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      field_watchers_;
+  // Global ID table: value -> holder counts.
+  std::unordered_map<std::string, IdValueEntry> id_values_;
+  size_t id_conflicts_ = 0;  // constrained holders of duplicated values
+  bool has_id_constraints_ = false;
+  std::map<std::string, size_t> id_missing_;     // per Id-constrained type
+  std::map<std::string, size_t> id_constraint_;  // type -> constraint index
+};
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_INCREMENTAL_H_

@@ -1,0 +1,106 @@
+#include "constraints/infer_dtd.h"
+
+#include <map>
+#include <set>
+
+namespace xic {
+
+Result<DtdStructure> InferDtdForSigma(const ConstraintSet& sigma,
+                                      const std::string& root) {
+  // Collect per (type, attr): cardinality and kind requirements.
+  struct FieldInfo {
+    bool set_valued = false;
+    bool single_valued = false;
+    bool is_id = false;
+    bool is_idref = false;
+  };
+  std::map<std::string, std::map<std::string, FieldInfo>> fields;
+  const bool lid = sigma.language == Language::kLid;
+
+  auto single = [&](const std::string& type, const std::string& attr) {
+    fields[type][attr].single_valued = true;
+  };
+  auto set_valued = [&](const std::string& type, const std::string& attr) {
+    fields[type][attr].set_valued = true;
+  };
+
+  for (const Constraint& c : sigma.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kKey:
+        for (const std::string& a : c.attrs) single(c.element, a);
+        break;
+      case ConstraintKind::kId:
+        single(c.element, c.attr());
+        fields[c.element][c.attr()].is_id = true;
+        break;
+      case ConstraintKind::kForeignKey:
+        for (const std::string& a : c.attrs) single(c.element, a);
+        for (const std::string& a : c.ref_attrs) single(c.ref_element, a);
+        if (lid) {
+          fields[c.element][c.attr()].is_idref = true;
+          fields[c.ref_element][c.ref_attr()].is_id = true;
+        }
+        break;
+      case ConstraintKind::kSetForeignKey:
+        set_valued(c.element, c.attr());
+        single(c.ref_element, c.ref_attr());
+        if (lid) {
+          fields[c.element][c.attr()].is_idref = true;
+          fields[c.ref_element][c.ref_attr()].is_id = true;
+        }
+        break;
+      case ConstraintKind::kInverse:
+        set_valued(c.element, c.attr());
+        set_valued(c.ref_element, c.ref_attr());
+        if (!c.inv_key.empty()) single(c.element, c.inv_key);
+        if (!c.inv_ref_key.empty()) single(c.ref_element, c.inv_ref_key);
+        if (lid) {
+          fields[c.element][c.attr()].is_idref = true;
+          fields[c.ref_element][c.ref_attr()].is_idref = true;
+        }
+        break;
+    }
+  }
+
+  DtdStructure dtd;
+  std::vector<RegexPtr> root_parts;
+  for (const auto& [type, attrs] : fields) {
+    if (type == root) {
+      return Status::InvalidArgument("root name " + root +
+                                     " collides with an element type");
+    }
+    root_parts.push_back(Regex::Star(Regex::Symbol(type)));
+    XIC_RETURN_IF_ERROR(dtd.AddElement(type, Regex::Epsilon()));
+    // At most one ID attribute can be accommodated per type.
+    std::set<std::string> id_attrs;
+    for (const auto& [attr, info] : attrs) {
+      if (info.is_id) id_attrs.insert(attr);
+    }
+    if (id_attrs.size() > 1) {
+      return Status::InvalidArgument(
+          "element type " + type + " would need " +
+          std::to_string(id_attrs.size()) + " ID attributes");
+    }
+    for (const auto& [attr, info] : attrs) {
+      if (info.set_valued && info.single_valued) {
+        return Status::InvalidArgument("attribute " + type + "." + attr +
+                                       " used both single- and set-valued");
+      }
+      XIC_RETURN_IF_ERROR(dtd.AddAttribute(
+          type, attr,
+          info.set_valued ? AttrCardinality::kSet
+                          : AttrCardinality::kSingle));
+      if (info.is_id) {
+        XIC_RETURN_IF_ERROR(dtd.SetKind(type, attr, AttrKind::kId));
+      } else if (info.is_idref) {
+        XIC_RETURN_IF_ERROR(dtd.SetKind(type, attr, AttrKind::kIdref));
+      }
+    }
+  }
+  XIC_RETURN_IF_ERROR(dtd.AddElement(root, Regex::Sequence(root_parts)));
+  XIC_RETURN_IF_ERROR(dtd.SetRoot(root));
+  XIC_RETURN_IF_ERROR(dtd.Validate());
+  return dtd;
+}
+
+}  // namespace xic

@@ -1,0 +1,35 @@
+// Inference of a minimal DTD structure from a constraint set.
+//
+// The implication problems of Section 3 quantify over "any DTD^C with the
+// set Sigma of constraints": the structure is secondary, but the API
+// needs one (L_id resolves `.id` through the kind function, checkers need
+// cardinalities). This helper synthesizes the least structure consistent
+// with Sigma's usage:
+//   * every mentioned element type is declared (EMPTY content) under a
+//     fresh root db -> (t1*, ..., tn*);
+//   * fields used as keys / foreign-key components become single-valued
+//     attributes; set foreign-key and inverse sources become set-valued;
+//   * for L_id, ID-constraint attributes get kind ID and reference
+//     sources kind IDREF.
+// Useful for tools that receive bare constraint text (the implication
+// explorer, quick tests).
+
+#ifndef XIC_CONSTRAINTS_INFER_DTD_H_
+#define XIC_CONSTRAINTS_INFER_DTD_H_
+
+#include "constraints/constraint.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// Synthesizes the minimal structure for `sigma`. `root` must not
+/// collide with a mentioned element type. Fails on contradictory usage
+/// (e.g. one attribute used both single- and set-valued, or two
+/// different ID attributes forced on one type).
+Result<DtdStructure> InferDtdForSigma(const ConstraintSet& sigma,
+                                      const std::string& root = "db");
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_INFER_DTD_H_

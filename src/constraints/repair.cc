@@ -1,0 +1,128 @@
+#include "constraints/repair.h"
+
+#include "util/strings.h"
+
+namespace xic {
+
+namespace {
+
+// Removes `value` from a set-valued attribute of `v`.
+bool DropSetMember(DataTree* tree, VertexId v, const std::string& attr,
+                   const std::string& value) {
+  Result<AttrValue> current = tree->Attribute(v, attr);
+  if (!current.ok()) return false;
+  AttrValue next = current.value();
+  if (next.erase(value) == 0) return false;
+  tree->SetAttribute(v, attr, std::move(next));
+  return true;
+}
+
+// Inserts `value` into a set-valued attribute of `v`.
+bool AddSetMember(DataTree* tree, VertexId v, const std::string& attr,
+                  const std::string& value) {
+  Result<AttrValue> current = tree->Attribute(v, attr);
+  AttrValue next = current.ok() ? current.value() : AttrValue{};
+  if (!next.insert(value).second) return false;
+  tree->SetAttribute(v, attr, std::move(next));
+  return true;
+}
+
+}  // namespace
+
+Result<RepairReport> RepairDocument(DataTree* tree, const DtdStructure& dtd,
+                                    const ConstraintSet& sigma,
+                                    const RepairOptions& options) {
+  if (tree == nullptr) {
+    return Status::InvalidArgument("null document");
+  }
+  RepairReport report;
+  ConstraintChecker checker(dtd, sigma);
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    ConstraintReport violations = checker.Check(*tree);
+    if (violations.ok()) {
+      report.remaining = std::move(violations);
+      return report;
+    }
+    bool edited = false;
+    for (const ConstraintViolation& v : violations.violations) {
+      const Constraint& c = sigma.constraints[v.constraint_index];
+      switch (c.kind) {
+        case ConstraintKind::kSetForeignKey: {
+          // Drop the dangling member.
+          if (v.values.size() != 1 || v.witnesses.empty()) break;
+          if (DropSetMember(tree, v.witnesses[0], c.attr(), v.values[0])) {
+            report.actions.push_back(
+                "dropped dangling \"" + v.values[0] + "\" from " +
+                c.element + "." + c.attr() + " of vertex " +
+                std::to_string(v.witnesses[0]));
+            edited = true;
+          }
+          break;
+        }
+        case ConstraintKind::kForeignKey: {
+          if (!options.create_missing_targets) break;
+          if (v.values.size() != c.ref_attrs.size() || v.witnesses.empty()) {
+            break;
+          }
+          if (v.message.find("dangling") == std::string::npos) break;
+          // Create the missing target under the root with the referenced
+          // key values (structure may need follow-up editing; see the
+          // header comment).
+          VertexId target = tree->AddVertex(c.ref_element);
+          Status attached = tree->AddChildVertex(tree->root(), target);
+          if (!attached.ok()) break;
+          for (size_t a = 0; a < c.ref_attrs.size(); ++a) {
+            tree->SetAttribute(target, c.ref_attrs[a], v.values[a]);
+          }
+          report.actions.push_back("created missing " + c.ref_element +
+                                   " [" + Join(v.values, ",") +
+                                   "] referenced by vertex " +
+                                   std::to_string(v.witnesses[0]));
+          edited = true;
+          break;
+        }
+        case ConstraintKind::kInverse: {
+          if (v.values.size() != 1 || v.witnesses.empty()) break;
+          if (v.message.find("inverse missing") != std::string::npos) {
+            // The first witness lacks the partner's key in its reference
+            // set; which side's attribute depends on the witness's type.
+            VertexId fix = v.witnesses[0];
+            const std::string& attr =
+                tree->label(fix) == c.element ? c.attr() : c.ref_attr();
+            if (AddSetMember(tree, fix, attr, v.values[0])) {
+              report.actions.push_back(
+                  "inserted back-reference \"" + v.values[0] + "\" into " +
+                  tree->label(fix) + "." + attr + " of vertex " +
+                  std::to_string(fix));
+              edited = true;
+            }
+          } else if (v.message.find("is not a") != std::string::npos) {
+            // Untyped reference: drop it.
+            VertexId fix = v.witnesses[0];
+            const std::string& attr =
+                tree->label(fix) == c.element ? c.attr() : c.ref_attr();
+            if (DropSetMember(tree, fix, attr, v.values[0])) {
+              report.actions.push_back(
+                  "dropped untyped reference \"" + v.values[0] + "\" from " +
+                  tree->label(fix) + "." + attr + " of vertex " +
+                  std::to_string(fix));
+              edited = true;
+            }
+          }
+          break;
+        }
+        case ConstraintKind::kKey:
+        case ConstraintKind::kId:
+          break;  // no safe automatic repair
+      }
+    }
+    if (!edited) {
+      report.remaining = std::move(violations);
+      return report;
+    }
+  }
+  report.remaining = checker.Check(*tree);
+  return report;
+}
+
+}  // namespace xic

@@ -1,0 +1,54 @@
+// Constraint repair: turning an inconsistent document into a consistent
+// one with minimal, explainable edits (the paper's Section 1 motivates
+// constraints for "update anomaly prevention"; this is the mechanical
+// half of that story).
+//
+// Strategies, applied to a violation report in rounds until a fixpoint:
+//   * dangling set-valued foreign-key members -> drop the member value;
+//   * dangling unary/multi-attribute foreign keys -> optionally create
+//     the missing target element (under the root; off by default since
+//     it can violate the content model);
+//   * missing inverse back-references -> insert the partner's key into
+//     the referencing set;
+//   * key duplicates and ID conflicts are *not* auto-repaired (no safe
+//     canonical choice); they are reported as unrepaired.
+//
+// Every edit is recorded as a human-readable action.
+
+#ifndef XIC_CONSTRAINTS_REPAIR_H_
+#define XIC_CONSTRAINTS_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/checker.h"
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct RepairOptions {
+  /// Create missing foreign-key targets as new elements under the root.
+  bool create_missing_targets = false;
+  /// Maximum repair rounds (edits can cascade).
+  size_t max_rounds = 8;
+};
+
+struct RepairReport {
+  /// Human-readable description of each edit, in order.
+  std::vector<std::string> actions;
+  /// Violations that remain after repair (duplicates, ID conflicts, ...).
+  ConstraintReport remaining;
+  bool fully_repaired() const { return remaining.ok(); }
+};
+
+/// Repairs `tree` in place against (dtd, sigma).
+Result<RepairReport> RepairDocument(DataTree* tree, const DtdStructure& dtd,
+                                    const ConstraintSet& sigma,
+                                    const RepairOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_REPAIR_H_

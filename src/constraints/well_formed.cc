@@ -1,0 +1,254 @@
+#include "constraints/well_formed.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xic {
+
+FieldKind ResolveField(const DtdStructure& dtd, const std::string& tau,
+                       const std::string& name) {
+  if (dtd.HasAttribute(tau, name)) {
+    return dtd.IsSingleValued(tau, name) ? FieldKind::kSingleAttribute
+                                         : FieldKind::kSetAttribute;
+  }
+  if (dtd.IsUniqueSubElement(tau, name)) return FieldKind::kUniqueSubElement;
+  return FieldKind::kUnknown;
+}
+
+bool IsKeyField(const DtdStructure& dtd, const std::string& tau,
+                const std::string& name) {
+  FieldKind kind = ResolveField(dtd, tau, name);
+  return kind == FieldKind::kSingleAttribute ||
+         kind == FieldKind::kUniqueSubElement;
+}
+
+namespace {
+
+Status Err(const Constraint& c, const std::string& what) {
+  return Status::InvalidArgument("constraint \"" + c.ToString() + "\": " +
+                                 what);
+}
+
+Status CheckElementDeclared(const Constraint& c, const DtdStructure& dtd,
+                            const std::string& tau) {
+  if (!dtd.HasElement(tau)) {
+    return Err(c, "undeclared element type " + tau);
+  }
+  return Status::OK();
+}
+
+Status CheckKeyFields(const Constraint& c, const DtdStructure& dtd,
+                      const std::string& tau,
+                      const std::vector<std::string>& names) {
+  if (names.empty()) return Err(c, "empty attribute list");
+  std::set<std::string> seen;
+  for (const std::string& name : names) {
+    if (!seen.insert(name).second) {
+      return Err(c, "duplicate attribute " + name);
+    }
+    if (!IsKeyField(dtd, tau, name)) {
+      return Err(c, name + " is not a single-valued attribute or a unique "
+                        "sub-element of " + tau);
+    }
+  }
+  return Status::OK();
+}
+
+// L_id: `name` must be an IDREF attribute of tau with the given
+// cardinality.
+Status CheckIdrefAttr(const Constraint& c, const DtdStructure& dtd,
+                      const std::string& tau, const std::string& name,
+                      AttrCardinality card) {
+  if (dtd.Kind(tau, name) != AttrKind::kIdref) {
+    return Err(c, tau + "." + name + " must be an IDREF attribute");
+  }
+  Result<AttrCardinality> actual = dtd.Cardinality(tau, name);
+  if (!actual.ok() || actual.value() != card) {
+    return Err(c, tau + "." + name +
+                      (card == AttrCardinality::kSet
+                           ? " must be set-valued"
+                           : " must be single-valued"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckConstraintShape(const Constraint& c, Language lang,
+                            const DtdStructure& dtd) {
+  XIC_RETURN_IF_ERROR(CheckElementDeclared(c, dtd, c.element));
+  if (c.kind == ConstraintKind::kForeignKey ||
+      c.kind == ConstraintKind::kSetForeignKey ||
+      c.kind == ConstraintKind::kInverse) {
+    XIC_RETURN_IF_ERROR(CheckElementDeclared(c, dtd, c.ref_element));
+  }
+
+  switch (c.kind) {
+    case ConstraintKind::kKey:
+      if (lang != Language::kL && !c.IsUnary()) {
+        return Err(c, "multi-attribute keys exist only in L");
+      }
+      return CheckKeyFields(c, dtd, c.element, c.attrs);
+
+    case ConstraintKind::kId: {
+      if (lang != Language::kLid) {
+        return Err(c, "ID constraints exist only in L_id");
+      }
+      std::optional<std::string> id = dtd.IdAttribute(c.element);
+      if (!id.has_value() || *id != c.attr()) {
+        return Err(c, c.attr() + " is not the ID attribute of " + c.element);
+      }
+      return Status::OK();
+    }
+
+    case ConstraintKind::kForeignKey: {
+      if (c.attrs.size() != c.ref_attrs.size()) {
+        return Err(c, "attribute sequences differ in length");
+      }
+      if (lang != Language::kL && !c.IsUnary()) {
+        return Err(c, "multi-attribute foreign keys exist only in L");
+      }
+      XIC_RETURN_IF_ERROR(CheckKeyFields(c, dtd, c.element, c.attrs));
+      XIC_RETURN_IF_ERROR(CheckKeyFields(c, dtd, c.ref_element, c.ref_attrs));
+      if (lang == Language::kLid) {
+        // tau.l <= tau'.id: l is a single-valued IDREF, target is the ID.
+        XIC_RETURN_IF_ERROR(CheckIdrefAttr(c, dtd, c.element, c.attr(),
+                                           AttrCardinality::kSingle));
+        std::optional<std::string> id = dtd.IdAttribute(c.ref_element);
+        if (!id.has_value() || *id != c.ref_attr()) {
+          return Err(c, "target must be the ID attribute of " +
+                            c.ref_element);
+        }
+      }
+      return Status::OK();
+    }
+
+    case ConstraintKind::kSetForeignKey: {
+      if (lang == Language::kL) {
+        return Err(c, "set-valued foreign keys do not exist in L");
+      }
+      if (ResolveField(dtd, c.element, c.attr()) != FieldKind::kSetAttribute) {
+        return Err(c, c.element + "." + c.attr() +
+                          " must be a set-valued attribute");
+      }
+      if (!IsKeyField(dtd, c.ref_element, c.ref_attr())) {
+        return Err(c, c.ref_element + "." + c.ref_attr() +
+                          " must be single-valued");
+      }
+      if (lang == Language::kLid) {
+        XIC_RETURN_IF_ERROR(CheckIdrefAttr(c, dtd, c.element, c.attr(),
+                                           AttrCardinality::kSet));
+        std::optional<std::string> id = dtd.IdAttribute(c.ref_element);
+        if (!id.has_value() || *id != c.ref_attr()) {
+          return Err(c, "target must be the ID attribute of " +
+                            c.ref_element);
+        }
+      }
+      return Status::OK();
+    }
+
+    case ConstraintKind::kInverse: {
+      if (lang == Language::kL) {
+        return Err(c, "inverse constraints do not exist in L");
+      }
+      if (ResolveField(dtd, c.element, c.attr()) != FieldKind::kSetAttribute ||
+          ResolveField(dtd, c.ref_element, c.ref_attr()) !=
+              FieldKind::kSetAttribute) {
+        return Err(c, "both inverse attributes must be set-valued");
+      }
+      if (lang == Language::kLu) {
+        if (c.inv_key.empty() || c.inv_ref_key.empty()) {
+          return Err(c, "L_u inverse constraints must name their keys");
+        }
+        if (!IsKeyField(dtd, c.element, c.inv_key) ||
+            !IsKeyField(dtd, c.ref_element, c.inv_ref_key)) {
+          return Err(c, "inverse key attributes must be single-valued");
+        }
+      } else {  // L_id
+        if (!c.inv_key.empty() || !c.inv_ref_key.empty()) {
+          return Err(c, "L_id inverse constraints use ID attributes "
+                        "implicitly; do not name keys");
+        }
+        XIC_RETURN_IF_ERROR(CheckIdrefAttr(c, dtd, c.element, c.attr(),
+                                           AttrCardinality::kSet));
+        XIC_RETURN_IF_ERROR(CheckIdrefAttr(c, dtd, c.ref_element,
+                                           c.ref_attr(),
+                                           AttrCardinality::kSet));
+        if (!dtd.IdAttribute(c.element).has_value() ||
+            !dtd.IdAttribute(c.ref_element).has_value()) {
+          return Err(c, "both element types must have ID attributes");
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown constraint kind");
+}
+
+Status CheckWellFormed(const ConstraintSet& sigma, const DtdStructure& dtd) {
+  for (const Constraint& c : sigma.constraints) {
+    XIC_RETURN_IF_ERROR(CheckConstraintShape(c, sigma.language, dtd));
+  }
+  // Cross-constraint conditions: every reference target must be a key (a
+  // key constraint of Sigma, or an ID constraint for L_id).
+  auto has_key = [&](const std::string& tau,
+                     const std::vector<std::string>& attrs) {
+    std::vector<std::string> sorted = attrs;
+    std::sort(sorted.begin(), sorted.end());
+    for (const Constraint& k : sigma.constraints) {
+      if (k.kind == ConstraintKind::kKey && k.element == tau &&
+          k.attrs == sorted) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto has_id = [&](const std::string& tau) {
+    for (const Constraint& k : sigma.constraints) {
+      if (k.kind == ConstraintKind::kId && k.element == tau) return true;
+    }
+    return false;
+  };
+  for (const Constraint& c : sigma.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kForeignKey:
+      case ConstraintKind::kSetForeignKey:
+        if (sigma.language == Language::kLid) {
+          if (!has_id(c.ref_element)) {
+            return Status::InvalidArgument(
+                "constraint \"" + c.ToString() + "\": Sigma must contain " +
+                c.ref_element + ".id ->id " + c.ref_element);
+          }
+        } else {
+          if (!has_key(c.ref_element, c.ref_attrs)) {
+            return Status::InvalidArgument(
+                "constraint \"" + c.ToString() +
+                "\": Sigma must contain the target key " +
+                Constraint::Key(c.ref_element, c.ref_attrs).ToString());
+          }
+        }
+        break;
+      case ConstraintKind::kInverse:
+        if (sigma.language == Language::kLu) {
+          if (!has_key(c.element, {c.inv_key}) ||
+              !has_key(c.ref_element, {c.inv_ref_key})) {
+            return Status::InvalidArgument(
+                "constraint \"" + c.ToString() +
+                "\": Sigma must contain both named keys");
+          }
+        } else {
+          if (!has_id(c.element) || !has_id(c.ref_element)) {
+            return Status::InvalidArgument(
+                "constraint \"" + c.ToString() +
+                "\": Sigma must contain both ID constraints");
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xic

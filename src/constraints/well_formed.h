@@ -1,0 +1,51 @@
+// Well-formedness of constraint sets against a DTD structure.
+//
+// Each language imposes side conditions on its constraints (Section 2.2):
+// e.g. a foreign key's target must be a key that is itself in Sigma, an
+// L_id foreign key's source must be an IDREF attribute and its target the
+// ID attribute, inverse constraints need set-valued attributes, and so on.
+// Section 3.4 extends key/foreign-key positions to *unique sub-elements*
+// (sub-elements occurring exactly once in every word of the content
+// model); we accept those wherever the paper does.
+
+#ifndef XIC_CONSTRAINTS_WELL_FORMED_H_
+#define XIC_CONSTRAINTS_WELL_FORMED_H_
+
+#include "constraints/constraint.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// How a name used in a constraint position resolves against the DTD.
+enum class FieldKind {
+  kSingleAttribute,   // R(tau, l) = S
+  kSetAttribute,      // R(tau, l) = S*
+  kUniqueSubElement,  // l occurs exactly once in every word of L(P(tau))
+  kUnknown,
+};
+
+/// Resolves `name` on element type `tau`. Attributes shadow sub-elements
+/// (XML keeps the two namespaces separate; collisions are rejected by
+/// CheckWellFormed).
+FieldKind ResolveField(const DtdStructure& dtd, const std::string& tau,
+                       const std::string& name);
+
+/// True if `name` may serve as a key / foreign-key component of `tau`:
+/// a single-valued attribute or a unique sub-element.
+bool IsKeyField(const DtdStructure& dtd, const std::string& tau,
+                const std::string& name);
+
+/// Checks one constraint's own side conditions (not the "target key is in
+/// Sigma" conditions, which need the whole set).
+Status CheckConstraintShape(const Constraint& c, Language lang,
+                            const DtdStructure& dtd);
+
+/// Checks the whole set: every constraint's shape, plus the cross-
+/// constraint conditions (foreign-key targets are keys of Sigma; L_id
+/// references target ID-constrained types).
+Status CheckWellFormed(const ConstraintSet& sigma, const DtdStructure& dtd);
+
+}  // namespace xic
+
+#endif  // XIC_CONSTRAINTS_WELL_FORMED_H_

@@ -1,0 +1,369 @@
+#include "implication/countermodel.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace xic {
+
+std::string TableInstance::ToString() const {
+  std::string out;
+  for (const auto& [type, rows] : tables) {
+    out += type + ":\n";
+    for (const TableRow& row : rows) {
+      out += "  {";
+      bool first_attr = true;
+      for (const auto& [attr, values] : row) {
+        if (!first_attr) out += ", ";
+        first_attr = false;
+        out += attr + "=";
+        if (values.size() == 1) {
+          out += *values.begin();
+        } else {
+          out += "{";
+          bool first_val = true;
+          for (const std::string& v : values) {
+            if (!first_val) out += ",";
+            first_val = false;
+            out += v;
+          }
+          out += "}";
+        }
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+TableSchema TableSchema::Infer(const ConstraintSet& sigma,
+                               const Constraint& phi) {
+  TableSchema schema;
+  auto add = [&](const std::string& type, const std::string& attr,
+                 bool set_valued) {
+    auto [it, inserted] = schema.attrs[type].try_emplace(attr, set_valued);
+    if (!inserted && set_valued) it->second = true;
+  };
+  auto visit = [&](const Constraint& c) {
+    switch (c.kind) {
+      case ConstraintKind::kKey:
+      case ConstraintKind::kId:
+        for (const std::string& a : c.attrs) add(c.element, a, false);
+        break;
+      case ConstraintKind::kForeignKey:
+        for (const std::string& a : c.attrs) add(c.element, a, false);
+        for (const std::string& a : c.ref_attrs) add(c.ref_element, a, false);
+        break;
+      case ConstraintKind::kSetForeignKey:
+        add(c.element, c.attr(), true);
+        add(c.ref_element, c.ref_attr(), false);
+        break;
+      case ConstraintKind::kInverse:
+        add(c.element, c.attr(), true);
+        add(c.ref_element, c.ref_attr(), true);
+        if (!c.inv_key.empty()) add(c.element, c.inv_key, false);
+        if (!c.inv_ref_key.empty()) add(c.ref_element, c.inv_ref_key, false);
+        break;
+    }
+  };
+  for (const Constraint& c : sigma.constraints) visit(c);
+  visit(phi);
+  return schema;
+}
+
+TableSchema TableSchema::Infer(const ConstraintSet& sigma) {
+  if (sigma.constraints.empty()) return TableSchema{};
+  ConstraintSet rest = sigma;
+  Constraint last = rest.constraints.back();
+  rest.constraints.pop_back();
+  return Infer(rest, last);
+}
+
+namespace {
+
+// The single value of `attr` in `row`, or nullopt when absent or not a
+// singleton.
+std::optional<std::string> SingleValue(const TableRow& row,
+                                       const std::string& attr) {
+  auto it = row.find(attr);
+  if (it == row.end() || it->second.size() != 1) return std::nullopt;
+  return *it->second.begin();
+}
+
+std::optional<std::vector<std::string>> TupleValue(
+    const TableRow& row, const std::vector<std::string>& attrs) {
+  std::vector<std::string> out;
+  for (const std::string& attr : attrs) {
+    std::optional<std::string> v = SingleValue(row, attr);
+    if (!v.has_value()) return std::nullopt;
+    out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+const std::vector<TableRow>& Rows(const TableInstance& instance,
+                                  const std::string& type) {
+  static const std::vector<TableRow> kEmpty;
+  auto it = instance.tables.find(type);
+  return it == instance.tables.end() ? kEmpty : it->second;
+}
+
+// Resolves the key attribute of an inverse side: named key (L_u) or the
+// type's ID attribute (L_id, needs the DTD).
+std::optional<std::string> InverseKey(const std::string& named,
+                                      const std::string& type,
+                                      const DtdStructure* dtd) {
+  if (!named.empty()) return named;
+  if (dtd != nullptr) return dtd->IdAttribute(type);
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Satisfies(const TableInstance& instance, const Constraint& c,
+               const DtdStructure* dtd) {
+  switch (c.kind) {
+    case ConstraintKind::kKey: {
+      std::set<std::vector<std::string>> seen;
+      for (const TableRow& row : Rows(instance, c.element)) {
+        std::optional<std::vector<std::string>> t = TupleValue(row, c.attrs);
+        if (!t.has_value()) return false;
+        if (!seen.insert(std::move(*t)).second) return false;
+      }
+      return true;
+    }
+    case ConstraintKind::kId: {
+      // Document-wide uniqueness: the ID values of c.element must not
+      // collide with any ID value in the whole instance. Which attribute
+      // is the ID of another type comes from the DTD; without one, any
+      // attribute with the same name is compared (tests supply DTDs).
+      std::multiset<std::string> all_ids;
+      for (const auto& [type, rows] : instance.tables) {
+        std::optional<std::string> id_attr =
+            (dtd != nullptr) ? dtd->IdAttribute(type)
+                             : std::optional<std::string>(c.attr());
+        if (!id_attr.has_value()) continue;
+        for (const TableRow& row : rows) {
+          if (std::optional<std::string> v = SingleValue(row, *id_attr)) {
+            all_ids.insert(*v);
+          }
+        }
+      }
+      for (const TableRow& row : Rows(instance, c.element)) {
+        std::optional<std::string> v = SingleValue(row, c.attr());
+        if (!v.has_value()) return false;
+        if (all_ids.count(*v) != 1) return false;
+      }
+      return true;
+    }
+    case ConstraintKind::kForeignKey: {
+      std::set<std::vector<std::string>> targets;
+      for (const TableRow& row : Rows(instance, c.ref_element)) {
+        if (std::optional<std::vector<std::string>> t =
+                TupleValue(row, c.ref_attrs)) {
+          targets.insert(std::move(*t));
+        }
+      }
+      for (const TableRow& row : Rows(instance, c.element)) {
+        std::optional<std::vector<std::string>> t = TupleValue(row, c.attrs);
+        if (!t.has_value() || targets.count(*t) == 0) return false;
+      }
+      return true;
+    }
+    case ConstraintKind::kSetForeignKey: {
+      std::set<std::string> targets;
+      for (const TableRow& row : Rows(instance, c.ref_element)) {
+        if (std::optional<std::string> v = SingleValue(row, c.ref_attr())) {
+          targets.insert(*v);
+        }
+      }
+      for (const TableRow& row : Rows(instance, c.element)) {
+        auto it = row.find(c.attr());
+        if (it == row.end()) return false;
+        for (const std::string& v : it->second) {
+          if (targets.count(v) == 0) return false;
+        }
+      }
+      return true;
+    }
+    case ConstraintKind::kInverse: {
+      std::optional<std::string> lk =
+          InverseKey(c.inv_key, c.element, dtd);
+      std::optional<std::string> lk2 =
+          InverseKey(c.inv_ref_key, c.ref_element, dtd);
+      if (!lk.has_value() || !lk2.has_value()) return false;
+      // Typed semantics: the two set-valued containments...
+      Constraint sfk1 = Constraint::SetForeignKey(c.element, c.attr(),
+                                                  c.ref_element, *lk2);
+      Constraint sfk2 = Constraint::SetForeignKey(c.ref_element, c.ref_attr(),
+                                                  c.element, *lk);
+      if (!Satisfies(instance, sfk1, dtd) || !Satisfies(instance, sfk2, dtd)) {
+        return false;
+      }
+      // ...plus the two membership implications.
+      for (const TableRow& x : Rows(instance, c.element)) {
+        std::optional<std::string> xk = SingleValue(x, *lk);
+        auto xl = x.find(c.attr());
+        if (!xk.has_value() || xl == x.end()) return false;
+        for (const TableRow& y : Rows(instance, c.ref_element)) {
+          std::optional<std::string> yk = SingleValue(y, *lk2);
+          auto yl = y.find(c.ref_attr());
+          if (!yk.has_value() || yl == y.end()) return false;
+          bool x_in_y = yl->second.count(*xk) > 0;
+          bool y_in_x = xl->second.count(*yk) > 0;
+          if (x_in_y != y_in_x) return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SatisfiesAll(const TableInstance& instance, const ConstraintSet& sigma,
+                  const DtdStructure* dtd) {
+  for (const Constraint& c : sigma.constraints) {
+    if (!Satisfies(instance, c, dtd)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Decodes one row of `type` from a choice index. The per-attribute radix
+// is num_values for single attributes and 2^num_values for set ones.
+TableRow DecodeRow(const std::map<std::string, bool>& attrs, size_t code,
+                   size_t num_values,
+                   const std::vector<std::string>& values) {
+  TableRow row;
+  for (const auto& [attr, set_valued] : attrs) {
+    if (set_valued) {
+      size_t radix = static_cast<size_t>(1) << num_values;
+      size_t bits = code % radix;
+      code /= radix;
+      std::set<std::string> subset;
+      for (size_t i = 0; i < num_values; ++i) {
+        if (bits & (static_cast<size_t>(1) << i)) subset.insert(values[i]);
+      }
+      row[attr] = std::move(subset);
+    } else {
+      row[attr] = {values[code % num_values]};
+      code /= num_values;
+    }
+  }
+  return row;
+}
+
+size_t RowSpace(const std::map<std::string, bool>& attrs, size_t num_values) {
+  size_t space = 1;
+  for (const auto& [attr, set_valued] : attrs) {
+    space *= set_valued ? (static_cast<size_t>(1) << num_values) : num_values;
+  }
+  return space;
+}
+
+}  // namespace
+
+std::optional<TableInstance> EnumerateCountermodel(
+    const ConstraintSet& sigma, const Constraint& phi,
+    const EnumerationBounds& bounds, const DtdStructure* dtd) {
+  TableSchema schema = TableSchema::Infer(sigma, phi);
+  std::vector<std::string> values;
+  for (size_t i = 0; i < bounds.num_values; ++i) {
+    values.push_back("v" + std::to_string(i));
+  }
+  std::vector<std::string> types;
+  for (const auto& [type, attrs] : schema.attrs) types.push_back(type);
+
+  TableInstance instance;
+  size_t inspected = 0;
+  std::optional<TableInstance> found;
+
+  // Recursively choose, per type, a multiset of row codes (non-decreasing
+  // sequences cover all multisets; row order is semantically irrelevant).
+  std::function<bool(size_t)> recurse = [&](size_t type_index) -> bool {
+    if (type_index == types.size()) {
+      ++inspected;
+      if (bounds.max_instances != 0 && inspected > bounds.max_instances) {
+        return true;  // abort
+      }
+      if (SatisfiesAll(instance, sigma, dtd) &&
+          !Satisfies(instance, phi, dtd)) {
+        found = instance;
+        return true;
+      }
+      return false;
+    }
+    const std::string& type = types[type_index];
+    const auto& attrs = schema.attrs.at(type);
+    size_t space = RowSpace(attrs, bounds.num_values);
+    // Decode each row choice once; instances share the cached rows.
+    std::vector<TableRow> decoded(space);
+    for (size_t code = 0; code < space; ++code) {
+      decoded[code] = DecodeRow(attrs, code, bounds.num_values, values);
+    }
+    std::vector<size_t> codes;
+    std::function<bool(size_t)> choose_rows = [&](size_t min_code) -> bool {
+      // Materialize the current multiset and descend.
+      std::vector<TableRow>& rows = instance.tables[type];
+      rows.clear();
+      for (size_t code : codes) rows.push_back(decoded[code]);
+      if (recurse(type_index + 1)) return true;
+      if (codes.size() < bounds.max_rows_per_type) {
+        for (size_t code = min_code; code < space; ++code) {
+          codes.push_back(code);
+          if (choose_rows(code)) return true;
+          codes.pop_back();
+        }
+      }
+      return false;
+    };
+    return choose_rows(0);
+  };
+  recurse(0);
+  return found;
+}
+
+Result<LiftedDocument> LiftToDocument(const TableInstance& instance,
+                                      const TableSchema& schema) {
+  LiftedDocument out;
+  // Document order: schema types first, then instance-only types.
+  std::vector<std::string> types;
+  for (const auto& [type, attrs] : schema.attrs) types.push_back(type);
+  for (const auto& [type, rows] : instance.tables) {
+    if (schema.attrs.count(type) == 0) types.push_back(type);
+  }
+  std::vector<RegexPtr> parts;
+  for (const std::string& type : types) {
+    parts.push_back(Regex::Star(Regex::Symbol(type)));
+    XIC_RETURN_IF_ERROR(out.dtd.AddElement(type, Regex::Epsilon()));
+    auto attrs = schema.attrs.find(type);
+    if (attrs != schema.attrs.end()) {
+      for (const auto& [attr, set_valued] : attrs->second) {
+        XIC_RETURN_IF_ERROR(out.dtd.AddAttribute(
+            type, attr,
+            set_valued ? AttrCardinality::kSet : AttrCardinality::kSingle));
+      }
+    }
+  }
+  XIC_RETURN_IF_ERROR(out.dtd.AddElement("db", Regex::Sequence(parts)));
+  XIC_RETURN_IF_ERROR(out.dtd.SetRoot("db"));
+  XIC_RETURN_IF_ERROR(out.dtd.Validate());
+
+  VertexId root = out.tree.AddVertex("db");
+  for (const std::string& type : types) {
+    auto attrs = schema.attrs.find(type);
+    for (const TableRow& row : Rows(instance, type)) {
+      VertexId v = out.tree.AddVertex(type);
+      XIC_RETURN_IF_ERROR(out.tree.AddChildVertex(root, v));
+      if (attrs == schema.attrs.end()) continue;
+      for (const auto& [attr, set_valued] : attrs->second) {
+        auto it = row.find(attr);
+        out.tree.SetAttribute(v, attr,
+                              it != row.end() ? it->second : AttrValue{});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,95 @@
+// Small-model tools: witnessing non-implication and cross-validating the
+// axiomatic solvers.
+//
+// Constraint satisfaction of all three languages depends only on, per
+// element type, the bag of attribute tuples of its extension -- the tree
+// shape is irrelevant as long as a document can host the extents, which a
+// trivial (tau1*, ..., taun*) root always can (DESIGN.md). TableInstance
+// is that abstraction; LiftToDocument materializes a table instance as an
+// actual valid DataTree + DtdStructure so end-to-end tests can replay a
+// countermodel against the real ConstraintChecker.
+//
+// Two search strategies:
+//   * EnumerateCountermodel -- exhaustive enumeration of instances within
+//     bounds (rows per type, value domain); sound and complete within the
+//     bounds. Used by property tests against LuSolver / LidSolver.
+//   * (see l_general_solver.h) the chase, which decides implication for
+//     full L when it terminates.
+
+#ifndef XIC_IMPLICATION_COUNTERMODEL_H_
+#define XIC_IMPLICATION_COUNTERMODEL_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// One element's attribute values: attr -> set of atomic values
+/// (singletons for single-valued attributes).
+using TableRow = std::map<std::string, std::set<std::string>>;
+
+/// Extensions of every element type, as bags of rows.
+struct TableInstance {
+  std::map<std::string, std::vector<TableRow>> tables;
+  std::string ToString() const;
+};
+
+/// The attribute schema a constraint set ranges over: per type, the
+/// attributes used and whether each is set-valued (inferred from how the
+/// constraints use them).
+struct TableSchema {
+  // type -> attr -> set-valued?
+  std::map<std::string, std::map<std::string, bool>> attrs;
+
+  /// Infers the schema mentioned by sigma and phi.
+  static TableSchema Infer(const ConstraintSet& sigma, const Constraint& phi);
+  /// Infers the schema mentioned by sigma alone.
+  static TableSchema Infer(const ConstraintSet& sigma);
+};
+
+/// Does `instance` satisfy `c`? `dtd` is only needed to resolve implicit
+/// ID attributes (kId constraints and L_id inverses); it may be null
+/// otherwise. Inverse constraints use the typed semantics (the two
+/// set-valued containments plus the two membership implications; see
+/// DESIGN.md).
+bool Satisfies(const TableInstance& instance, const Constraint& c,
+               const DtdStructure* dtd = nullptr);
+
+bool SatisfiesAll(const TableInstance& instance, const ConstraintSet& sigma,
+                  const DtdStructure* dtd = nullptr);
+
+struct EnumerationBounds {
+  size_t max_rows_per_type = 2;
+  size_t num_values = 2;
+  /// Abort after inspecting this many instances (0 = no cap).
+  size_t max_instances = 2'000'000;
+};
+
+/// Exhaustively searches for an instance satisfying `sigma` but not
+/// `phi`. Returns the first countermodel found, or nullopt if none exists
+/// within the bounds (or the instance cap was hit).
+std::optional<TableInstance> EnumerateCountermodel(
+    const ConstraintSet& sigma, const Constraint& phi,
+    const EnumerationBounds& bounds = {}, const DtdStructure* dtd = nullptr);
+
+/// Materializes `instance` as a valid document: a DTD with root content
+/// (tau1*, ..., taun*) and one child element per row. Attribute names and
+/// cardinalities come from `schema`.
+struct LiftedDocument {
+  DtdStructure dtd;
+  DataTree tree;
+};
+Result<LiftedDocument> LiftToDocument(const TableInstance& instance,
+                                      const TableSchema& schema);
+
+}  // namespace xic
+
+#endif  // XIC_IMPLICATION_COUNTERMODEL_H_

@@ -1,0 +1,42 @@
+#include "implication/derivation.h"
+
+namespace xic {
+
+bool ProofTable::Add(const Constraint& c, std::string rule,
+                     std::vector<Constraint> premises) {
+  auto [it, inserted] = facts_.try_emplace(
+      c, Justification{std::move(rule), std::move(premises)});
+  return inserted;
+}
+
+bool ProofTable::Contains(const Constraint& c) const {
+  return facts_.count(c) > 0;
+}
+
+std::optional<std::string> ProofTable::Explain(const Constraint& c) const {
+  if (!Contains(c)) return std::nullopt;
+  std::string out;
+  ExplainRec(c, 0, &out);
+  return out;
+}
+
+void ProofTable::ExplainRec(const Constraint& c, int depth,
+                            std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  auto it = facts_.find(c);
+  if (it == facts_.end()) {
+    *out += c.ToString() + "  [missing]\n";
+    return;
+  }
+  *out += c.ToString() + "  [" + it->second.rule + "]\n";
+  if (depth > 32) {
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    *out += "...\n";
+    return;
+  }
+  for (const Constraint& premise : it->second.premises) {
+    ExplainRec(premise, depth + 1, out);
+  }
+}
+
+}  // namespace xic

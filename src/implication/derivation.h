@@ -1,0 +1,53 @@
+// Proof bookkeeping for the axiomatic implication solvers.
+//
+// Solvers compute closures of Sigma under their axiom systems (I_id, I_u,
+// I_u^f, I_p). Every fact added to a closure records the rule that
+// produced it and its premise facts, so a positive implication answer can
+// be explained by a derivation tree -- useful both for users and for the
+// test suite (each axiom's soundness is checked by replaying derivations
+// against the semantic checker).
+
+#ifndef XIC_IMPLICATION_DERIVATION_H_
+#define XIC_IMPLICATION_DERIVATION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+
+namespace xic {
+
+/// Why a fact is in the closure: the rule name ("hypothesis" for members
+/// of Sigma) and the premise constraints it was derived from.
+struct Justification {
+  std::string rule;
+  std::vector<Constraint> premises;
+};
+
+/// A closure set with provenance.
+class ProofTable {
+ public:
+  /// Adds `c` with its justification; returns true if `c` was new.
+  bool Add(const Constraint& c, std::string rule,
+           std::vector<Constraint> premises = {});
+
+  bool Contains(const Constraint& c) const;
+  size_t size() const { return facts_.size(); }
+
+  const std::map<Constraint, Justification>& facts() const { return facts_; }
+
+  /// Renders the derivation tree of `c` (indented, one step per line), or
+  /// nullopt if `c` is not in the table.
+  std::optional<std::string> Explain(const Constraint& c) const;
+
+ private:
+  void ExplainRec(const Constraint& c, int depth, std::string* out) const;
+
+  std::map<Constraint, Justification> facts_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_IMPLICATION_DERIVATION_H_

@@ -1,0 +1,417 @@
+#include "implication/l_general_solver.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace xic {
+
+const char* ImplicationOutcomeToString(ImplicationOutcome outcome) {
+  switch (outcome) {
+    case ImplicationOutcome::kImplied:
+      return "implied";
+    case ImplicationOutcome::kNotImplied:
+      return "not implied";
+    case ImplicationOutcome::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateL(const ConstraintSet& sigma) {
+  if (sigma.language != Language::kL) {
+    return Status::InvalidArgument("LGeneralSolver requires L constraints");
+  }
+  for (const Constraint& c : sigma.constraints) {
+    if (c.kind != ConstraintKind::kKey &&
+        c.kind != ConstraintKind::kForeignKey) {
+      return Status::InvalidArgument("constraint kind not in L: " +
+                                     c.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// The chase.
+// ---------------------------------------------------------------------------
+
+class Chase {
+ public:
+  Chase(const ConstraintSet& sigma, const Constraint& phi,
+        const GeneralOptions& options)
+      : sigma_(sigma), phi_(phi), options_(options) {}
+
+  GeneralResult Run() {
+    CollectSchema();
+    SeedTableau();
+    GeneralResult result;
+    bool changed = true;
+    while (changed) {
+      if (steps_ > options_.max_chase_steps ||
+          TotalRows() > options_.max_chase_rows) {
+        result.outcome = ImplicationOutcome::kUnknown;
+        result.chase_steps = steps_;
+        result.decided_by = "bounds";
+        return result;
+      }
+      changed = false;
+      for (const Constraint& c : sigma_.constraints) {
+        if (c.kind == ConstraintKind::kKey) {
+          changed |= ApplyKey(c);
+        } else {
+          changed |= ApplyForeignKey(c);
+        }
+      }
+    }
+    result.chase_steps = steps_;
+    result.decided_by = "chase";
+    // The chase instance is universal: phi is implied iff it holds here.
+    if (phi_.kind == ConstraintKind::kKey) {
+      // Implied iff the two designated rows merged.
+      bool merged = !alive_[d1_.first][d1_.second] ||
+                    !alive_[d2_.first][d2_.second] || d1_ == d2_;
+      result.outcome = merged ? ImplicationOutcome::kImplied
+                              : ImplicationOutcome::kNotImplied;
+    } else {
+      std::vector<int> want = Tuple(d1_.first, d1_.second, phi_.attrs);
+      bool found = FindMatch(phi_.ref_element, phi_.ref_attrs, want) >= 0;
+      result.outcome = found ? ImplicationOutcome::kImplied
+                             : ImplicationOutcome::kNotImplied;
+    }
+    if (result.outcome == ImplicationOutcome::kNotImplied) {
+      result.countermodel = Materialize();
+    }
+    return result;
+  }
+
+ private:
+  using RowRef = std::pair<std::string, size_t>;  // (type, row index)
+
+  void CollectSchema() {
+    auto visit = [&](const Constraint& c) {
+      for (const std::string& a : c.attrs) schema_[c.element].insert(a);
+      if (c.kind == ConstraintKind::kForeignKey) {
+        for (const std::string& a : c.ref_attrs) {
+          schema_[c.ref_element].insert(a);
+        }
+      }
+    };
+    for (const Constraint& c : sigma_.constraints) visit(c);
+    visit(phi_);
+    for (const auto& [type, attrs] : schema_) {
+      std::vector<std::string> sorted(attrs.begin(), attrs.end());
+      attr_index_[type] = {};
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        attr_index_[type][sorted[i]] = i;
+      }
+      attr_names_[type] = std::move(sorted);
+      rows_[type];
+      alive_[type];
+    }
+  }
+
+  void SeedTableau() {
+    if (phi_.kind == ConstraintKind::kKey) {
+      // Two distinct rows agreeing exactly on phi's key attributes.
+      std::map<std::string, int> shared;
+      for (const std::string& a : phi_.attrs) shared[a] = Fresh();
+      d1_ = AddRow(phi_.element, shared);
+      d2_ = AddRow(phi_.element, shared);
+    } else {
+      d1_ = AddRow(phi_.element, {});
+    }
+  }
+
+  int Fresh() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+
+  int Find(int v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+  RowRef AddRow(const std::string& type,
+                const std::map<std::string, int>& fixed) {
+    std::vector<int> row;
+    for (const std::string& attr : attr_names_[type]) {
+      auto it = fixed.find(attr);
+      row.push_back(it != fixed.end() ? it->second : Fresh());
+    }
+    rows_[type].push_back(std::move(row));
+    alive_[type].push_back(true);
+    return {type, rows_[type].size() - 1};
+  }
+
+  size_t TotalRows() const {
+    size_t total = 0;
+    for (const auto& [type, rows] : rows_) total += rows.size();
+    return total;
+  }
+
+  std::vector<int> Tuple(const std::string& type, size_t row,
+                         const std::vector<std::string>& attrs) {
+    std::vector<int> out;
+    for (const std::string& a : attrs) {
+      out.push_back(Find(rows_[type][row][attr_index_[type].at(a)]));
+    }
+    return out;
+  }
+
+  // Index of an alive row of `type` whose `attrs` tuple equals `want`, or
+  // -1.
+  int FindMatch(const std::string& type, const std::vector<std::string>& attrs,
+                const std::vector<int>& want) {
+    if (rows_.count(type) == 0) return -1;
+    for (size_t i = 0; i < rows_[type].size(); ++i) {
+      if (!alive_[type][i]) continue;
+      if (Tuple(type, i, attrs) == want) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // Key rule: two alive rows agreeing on the key merge into one node.
+  // Applies every merge found in one pass.
+  bool ApplyKey(const Constraint& key) {
+    auto& rows = rows_[key.element];
+    auto& alive = alive_[key.element];
+    std::map<std::vector<int>, size_t> seen;
+    bool fired = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!alive[i]) continue;
+      std::vector<int> tuple = Tuple(key.element, i, key.attrs);
+      auto [it, inserted] = seen.emplace(std::move(tuple), i);
+      if (inserted) continue;
+      // Merge row i into row it->second: unify all attribute values.
+      size_t keep = it->second;
+      for (size_t a = 0; a < rows[i].size(); ++a) {
+        Union(rows[keep][a], rows[i][a]);
+      }
+      alive[i] = false;
+      if (d2_ == RowRef{key.element, i}) d2_ = {key.element, keep};
+      if (d1_ == RowRef{key.element, i}) d1_ = {key.element, keep};
+      ++steps_;
+      fired = true;
+    }
+    return fired;
+  }
+
+  // Foreign-key rule: every source row needs a matching target row.
+  // Adds all missing targets for the current pass at once (deduplicated
+  // by wanted tuple), indexing the target extent once.
+  bool ApplyForeignKey(const Constraint& fk) {
+    auto& rows = rows_[fk.element];
+    auto& alive = alive_[fk.element];
+    std::set<std::vector<int>> targets;
+    auto& ref_rows = rows_[fk.ref_element];
+    for (size_t i = 0; i < ref_rows.size(); ++i) {
+      if (alive_[fk.ref_element][i]) {
+        targets.insert(Tuple(fk.ref_element, i, fk.ref_attrs));
+      }
+    }
+    std::set<std::vector<int>> missing;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!alive[i]) continue;
+      std::vector<int> want = Tuple(fk.element, i, fk.attrs);
+      if (targets.count(want) == 0) missing.insert(std::move(want));
+    }
+    for (const std::vector<int>& want : missing) {
+      std::map<std::string, int> fixed;
+      for (size_t a = 0; a < fk.ref_attrs.size(); ++a) {
+        fixed[fk.ref_attrs[a]] = want[a];
+      }
+      AddRow(fk.ref_element, fixed);
+      ++steps_;
+    }
+    return !missing.empty();
+  }
+
+  TableInstance Materialize() {
+    TableInstance out;
+    for (const auto& [type, rows] : rows_) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (!alive_[type][i]) continue;
+        TableRow row;
+        for (size_t a = 0; a < rows[i].size(); ++a) {
+          row[attr_names_[type][a]] = {
+              "v" + std::to_string(Find(rows[i][a]))};
+        }
+        out.tables[type].push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  const ConstraintSet& sigma_;
+  const Constraint& phi_;
+  const GeneralOptions& options_;
+
+  std::map<std::string, std::set<std::string>> schema_;
+  std::map<std::string, std::vector<std::string>> attr_names_;
+  std::map<std::string, std::map<std::string, size_t>> attr_index_;
+  std::map<std::string, std::vector<std::vector<int>>> rows_;
+  std::map<std::string, std::vector<bool>> alive_;
+  std::vector<int> parent_;  // union-find over value ids
+  RowRef d1_, d2_;           // designated witness rows
+  size_t steps_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sound axiomatic prover: foreign-key mappings closed under composition
+// with projection; keys closed under superkey weakening.
+// ---------------------------------------------------------------------------
+
+struct FkMapping {
+  std::string from_type;
+  std::string to_type;
+  std::map<std::string, std::string> attr_map;
+  auto operator<=>(const FkMapping&) const = default;
+};
+
+std::optional<FkMapping> MakeMapping(const Constraint& fk) {
+  FkMapping m;
+  m.from_type = fk.element;
+  m.to_type = fk.ref_element;
+  for (size_t i = 0; i < fk.attrs.size(); ++i) {
+    auto [it, inserted] = m.attr_map.emplace(fk.attrs[i], fk.ref_attrs[i]);
+    if (!inserted && it->second != fk.ref_attrs[i]) return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace
+
+LGeneralSolver::LGeneralSolver(const ConstraintSet& sigma,
+                               GeneralOptions options)
+    : sigma_(sigma), options_(options) {
+  status_ = ValidateL(sigma_);
+}
+
+bool LGeneralSolver::ProvablyImplies(const Constraint& phi) const {
+  if (!status_.ok()) return false;
+  if (phi.kind == ConstraintKind::kKey) {
+    // Superkey weakening: some known key's attribute set is contained in
+    // phi's. Known keys: Sigma's keys plus foreign-key targets (the
+    // well-formedness side condition makes targets keys).
+    std::set<std::string> want(phi.attrs.begin(), phi.attrs.end());
+    for (const Constraint& c : sigma_.constraints) {
+      std::set<std::string> have;
+      std::string type;
+      if (c.kind == ConstraintKind::kKey) {
+        type = c.element;
+        have.insert(c.attrs.begin(), c.attrs.end());
+      } else {
+        type = c.ref_element;
+        have.insert(c.ref_attrs.begin(), c.ref_attrs.end());
+      }
+      if (type == phi.element &&
+          std::includes(want.begin(), want.end(), have.begin(), have.end())) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (phi.kind != ConstraintKind::kForeignKey) return false;
+  // FK-refl.
+  if (phi.element == phi.ref_element && phi.attrs == phi.ref_attrs) {
+    return true;
+  }
+  std::optional<FkMapping> goal = MakeMapping(phi);
+  if (!goal.has_value()) return false;
+
+  // Closure of foreign-key mappings under composition-with-projection:
+  // m1: t1 -> t2 composes with m2: t2 -> t3 when dom(m2) is contained in
+  // range(m1) (project m1 first -- projection of a foreign key is sound).
+  std::set<FkMapping> closure;
+  std::deque<FkMapping> worklist;
+  auto add = [&](FkMapping m) {
+    if (closure.size() >= options_.max_derived) return;
+    auto [it, inserted] = closure.insert(m);
+    if (inserted) worklist.push_back(std::move(m));
+  };
+  for (const Constraint& c : sigma_.constraints) {
+    if (c.kind != ConstraintKind::kForeignKey) continue;
+    if (std::optional<FkMapping> m = MakeMapping(c)) add(std::move(*m));
+  }
+  auto compose = [&](const FkMapping& m1, const FkMapping& m2) {
+    if (m1.to_type != m2.from_type) return;
+    FkMapping out;
+    out.from_type = m1.from_type;
+    out.to_type = m2.to_type;
+    // range(m1) must cover dom(m2).
+    std::set<std::string> range1;
+    for (const auto& [x, y] : m1.attr_map) range1.insert(y);
+    for (const auto& [y, z] : m2.attr_map) {
+      if (range1.count(y) == 0) return;
+    }
+    for (const auto& [x, y] : m1.attr_map) {
+      auto it = m2.attr_map.find(y);
+      if (it != m2.attr_map.end()) out.attr_map.emplace(x, it->second);
+    }
+    if (!out.attr_map.empty()) add(std::move(out));
+  };
+  while (!worklist.empty()) {
+    FkMapping m = worklist.front();
+    worklist.pop_front();
+    std::vector<FkMapping> snapshot(closure.begin(), closure.end());
+    for (const FkMapping& other : snapshot) {
+      compose(m, other);
+      compose(other, m);
+    }
+  }
+  // phi is provable if some closure mapping extends it (projection).
+  for (const FkMapping& m : closure) {
+    if (m.from_type != goal->from_type || m.to_type != goal->to_type) {
+      continue;
+    }
+    bool covers = true;
+    for (const auto& [x, y] : goal->attr_map) {
+      auto it = m.attr_map.find(x);
+      if (it == m.attr_map.end() || it->second != y) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return true;
+  }
+  return false;
+}
+
+GeneralResult LGeneralSolver::Decide(const Constraint& phi) const {
+  GeneralResult result;
+  if (!status_.ok()) return result;
+  if (ProvablyImplies(phi)) {
+    result.outcome = ImplicationOutcome::kImplied;
+    result.decided_by = "axioms";
+    return result;
+  }
+  return ChaseImplication(sigma_, phi, options_);
+}
+
+GeneralResult ChaseImplication(const ConstraintSet& sigma,
+                               const Constraint& phi,
+                               const GeneralOptions& options) {
+  GeneralResult bad;
+  if (!ValidateL(sigma).ok() || (phi.kind != ConstraintKind::kKey &&
+                                 phi.kind != ConstraintKind::kForeignKey)) {
+    return bad;
+  }
+  return Chase(sigma, phi, options).Run();
+}
+
+}  // namespace xic

@@ -1,0 +1,90 @@
+// Implication for unrestricted L (multi-attribute keys and foreign keys
+// with no primary-key restriction).
+//
+// Theorem 3.6: this problem (and its finite variant) is UNDECIDABLE, by
+// reduction from implication of functional + inclusion dependencies
+// (implemented in relational/reduction.h). A complete decision procedure
+// therefore cannot exist; LGeneralSolver is the honest alternative:
+//
+//   * a *sound* axiomatic prover (reflexivity, permutation, projection,
+//     transitivity of foreign keys; superkey weakening for keys) -- a
+//     "yes" is a proof, silence is not a "no";
+//   * the classical *chase*: start from a tableau violating phi, repair
+//     Sigma violations (key constraints merge rows, foreign keys add
+//     rows); if the chase terminates, its result decides implication
+//     exactly (the chase instance is universal); if the step bound is
+//     hit, the answer is Unknown.
+//
+// Outcomes: kImplied and kNotImplied answer both implication and finite
+// implication (an unrestricted proof covers finite models; a terminating
+// chase yields a *finite* countermodel). Instances whose implication and
+// finite implication differ necessarily end in kUnknown.
+
+#ifndef XIC_IMPLICATION_L_GENERAL_SOLVER_H_
+#define XIC_IMPLICATION_L_GENERAL_SOLVER_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/constraint.h"
+#include "implication/countermodel.h"
+#include "util/status.h"
+
+namespace xic {
+
+enum class ImplicationOutcome {
+  kImplied,     // proof found (holds for all models, finite or not)
+  kNotImplied,  // finite countermodel found
+  kUnknown,     // bounds exhausted (the problem is undecidable)
+};
+
+const char* ImplicationOutcomeToString(ImplicationOutcome outcome);
+
+struct GeneralResult {
+  ImplicationOutcome outcome = ImplicationOutcome::kUnknown;
+  /// Present when outcome == kNotImplied.
+  std::optional<TableInstance> countermodel;
+  /// Chase statistics.
+  size_t chase_steps = 0;
+  /// Which component settled the answer ("axioms", "chase", "bounds").
+  std::string decided_by = "bounds";
+};
+
+struct GeneralOptions {
+  /// Maximum chase rule applications before giving up.
+  size_t max_chase_steps = 10'000;
+  /// Maximum rows the chase may create in total.
+  size_t max_chase_rows = 5'000;
+  /// Maximum derived foreign-key mappings in the axiomatic prover.
+  size_t max_derived = 50'000;
+};
+
+class LGeneralSolver {
+ public:
+  explicit LGeneralSolver(const ConstraintSet& sigma,
+                          GeneralOptions options = {});
+
+  const Status& status() const { return status_; }
+
+  /// Attempts to decide Sigma |= phi. See the header comment for the
+  /// meaning of each outcome.
+  GeneralResult Decide(const Constraint& phi) const;
+
+  /// The sound axiomatic prover alone (never returns kNotImplied).
+  bool ProvablyImplies(const Constraint& phi) const;
+
+ private:
+  Status status_;
+  ConstraintSet sigma_;
+  GeneralOptions options_;
+};
+
+/// Runs the chase for Sigma |= phi directly (exposed for tests and for
+/// bench_countermodel).
+GeneralResult ChaseImplication(const ConstraintSet& sigma,
+                               const Constraint& phi,
+                               const GeneralOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_IMPLICATION_L_GENERAL_SOLVER_H_

@@ -1,0 +1,103 @@
+#include "implication/lid_solver.h"
+
+namespace xic {
+
+LidSolver::LidSolver(const DtdStructure& dtd, const ConstraintSet& sigma)
+    : dtd_(dtd) {
+  status_ = BuildClosure(sigma);
+}
+
+Status LidSolver::BuildClosure(const ConstraintSet& sigma) {
+  if (sigma.language != Language::kLid) {
+    return Status::InvalidArgument("LidSolver requires L_id constraints");
+  }
+  // Pass 1: hypotheses, plus symmetry of inverses.
+  for (const Constraint& c : sigma.constraints) {
+    closure_.Add(c, "hypothesis");
+    if (c.kind == ConstraintKind::kInverse) {
+      closure_.Add(
+          Constraint::InverseId(c.ref_element, c.ref_attr(), c.element,
+                                c.attr()),
+          "Inv-Symm", {c});
+    }
+  }
+  // Pass 2: one application of each rule per hypothesis suffices -- every
+  // rule's conclusion is an ID constraint, a key on the ID attribute, a
+  // reflexive foreign key, or a set-valued foreign key into an ID, and no
+  // rule consumes those conclusion forms to produce anything further that
+  // a direct application would not already produce. We still iterate to a
+  // fixpoint for robustness; it converges in <= 3 rounds.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::pair<Constraint, Justification>> pending;
+    for (const auto& [c, just] : closure_.facts()) {
+      switch (c.kind) {
+        case ConstraintKind::kId: {
+          // ID-FK: tau.id ->id tau |- tau.id <= tau.id.
+          pending.emplace_back(
+              Constraint::UnaryForeignKey(c.element, c.attr(), c.element,
+                                          c.attr()),
+              Justification{"ID-FK", {c}});
+          // ID-Key: document-wide uniqueness implies per-type uniqueness.
+          pending.emplace_back(Constraint::UnaryKey(c.element, c.attr()),
+                               Justification{"ID-Key", {c}});
+          break;
+        }
+        case ConstraintKind::kForeignKey: {
+          // FK-ID: tau.l <= tau'.id |- tau'.id ->id tau'.
+          pending.emplace_back(
+              Constraint::Id(c.ref_element, c.ref_attr()),
+              Justification{"FK-ID", {c}});
+          break;
+        }
+        case ConstraintKind::kSetForeignKey: {
+          // SFK-ID.
+          pending.emplace_back(
+              Constraint::Id(c.ref_element, c.ref_attr()),
+              Justification{"SFK-ID", {c}});
+          break;
+        }
+        case ConstraintKind::kInverse: {
+          // Inv-SFK-ID: the inverse's references are typed set-valued
+          // foreign keys into the partner's ID attribute.
+          std::optional<std::string> id2 = dtd_.IdAttribute(c.ref_element);
+          std::optional<std::string> id1 = dtd_.IdAttribute(c.element);
+          if (!id1.has_value() || !id2.has_value()) {
+            return Status::InvalidArgument(
+                "inverse constraint \"" + c.ToString() +
+                "\" on element types without ID attributes");
+          }
+          pending.emplace_back(
+              Constraint::SetForeignKey(c.element, c.attr(), c.ref_element,
+                                        *id2),
+              Justification{"Inv-SFK-ID", {c}});
+          pending.emplace_back(
+              Constraint::SetForeignKey(c.ref_element, c.ref_attr(),
+                                        c.element, *id1),
+              Justification{"Inv-SFK-ID", {c}});
+          break;
+        }
+        case ConstraintKind::kKey:
+          break;  // keys have no L_id derivation rules
+      }
+    }
+    for (auto& [c, just] : pending) {
+      if (closure_.Add(c, just.rule, std::move(just.premises))) {
+        changed = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool LidSolver::Implies(const Constraint& phi) const {
+  if (!status_.ok()) return false;
+  return closure_.Contains(phi);
+}
+
+std::optional<std::string> LidSolver::Explain(const Constraint& phi) const {
+  return closure_.Explain(phi);
+}
+
+}  // namespace xic

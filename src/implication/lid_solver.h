@@ -1,0 +1,67 @@
+// Implication of L_id constraints (Section 3.1, Proposition 3.1).
+//
+// The axiomatization I_id:
+//   ID-FK:       tau.id ->id tau          |-  tau.id <= tau.id
+//   FK-ID:       tau.l <= tau'.id         |-  tau'.id ->id tau'
+//   SFK-ID:      tau.l <=S tau'.id        |-  tau'.id ->id tau'
+//   Inv-SFK-ID:  tau.l <-> tau'.l'        |-  tau.l <=S tau'.id,
+//                                             tau'.l' <=S tau.id
+// plus two rules required for soundness/completeness against the declared
+// semantics (documented in DESIGN.md):
+//   ID-Key:      tau.id ->id tau          |-  tau.id -> tau
+//                (document-wide uniqueness implies per-type uniqueness)
+//   Inv-Symm:    tau.l <-> tau'.l'        |-  tau'.l' <-> tau.l
+//                (the inverse semantics is symmetric)
+//
+// Implication and finite implication coincide for L_id and are decidable
+// in linear time: the closure is computed once in O(|Sigma|) and queries
+// are O(1) lookups.
+
+#ifndef XIC_IMPLICATION_LID_SOLVER_H_
+#define XIC_IMPLICATION_LID_SOLVER_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/constraint.h"
+#include "implication/derivation.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+class LidSolver {
+ public:
+  /// Builds the I_id closure of `sigma`. The DTD is needed to resolve the
+  /// implicit `.id` attribute of each element type. `sigma` should be
+  /// well-formed (CheckWellFormed); Init reports structural problems.
+  LidSolver(const DtdStructure& dtd, const ConstraintSet& sigma);
+
+  /// Status of closure construction (errors for non-L_id input).
+  const Status& status() const { return status_; }
+
+  /// Sigma |= phi (== Sigma |=_f phi for L_id).
+  bool Implies(const Constraint& phi) const;
+
+  /// Derivation tree for an implied constraint, or nullopt.
+  std::optional<std::string> Explain(const Constraint& phi) const;
+
+  /// Number of facts in the closure (linear in |Sigma|).
+  size_t closure_size() const { return closure_.size(); }
+
+  /// The closure facts with provenance (used by path typing).
+  const std::map<Constraint, Justification>& facts() const {
+    return closure_.facts();
+  }
+
+ private:
+  Status BuildClosure(const ConstraintSet& sigma);
+
+  const DtdStructure& dtd_;
+  Status status_;
+  ProofTable closure_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_IMPLICATION_LID_SOLVER_H_

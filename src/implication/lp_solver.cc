@@ -1,0 +1,215 @@
+#include "implication/lp_solver.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace xic {
+
+LpSolver::LpSolver(const ConstraintSet& sigma) { status_ = Build(sigma); }
+
+std::optional<LpSolver::Mapping> LpSolver::ToMapping(const Constraint& fk) {
+  Mapping m;
+  m.from_type = fk.element;
+  m.to_type = fk.ref_element;
+  for (size_t i = 0; i < fk.attrs.size(); ++i) {
+    auto [it, inserted] = m.attr_map.emplace(fk.attrs[i], fk.ref_attrs[i]);
+    if (!inserted) return std::nullopt;  // repeated source attribute
+  }
+  // The map must be a bijection (distinct targets).
+  std::set<std::string> targets;
+  for (const auto& [from, to] : m.attr_map) {
+    if (!targets.insert(to).second) return std::nullopt;
+  }
+  return m;
+}
+
+Constraint LpSolver::FromMapping(const Mapping& m) const {
+  std::vector<std::string> xs, ys;
+  for (const auto& [from, to] : m.attr_map) {
+    xs.push_back(from);
+    ys.push_back(to);
+  }
+  return Constraint::ForeignKey(m.from_type, std::move(xs), m.to_type,
+                                std::move(ys));
+}
+
+Status LpSolver::Build(const ConstraintSet& sigma) {
+  if (sigma.language != Language::kL) {
+    return Status::InvalidArgument("LpSolver requires L constraints");
+  }
+  // Collect primary keys: those declared, plus the targets of foreign keys
+  // (PFK-K). The restriction forbids two distinct key sets per type.
+  auto add_primary = [&](const std::string& tau,
+                         std::set<std::string> attrs) -> Status {
+    auto [it, inserted] = primary_keys_.try_emplace(tau, attrs);
+    if (!inserted && it->second != attrs) {
+      return Status::InvalidArgument(
+          "primary-key restriction violated: element type " + tau +
+          " has two distinct keys");
+    }
+    return Status::OK();
+  };
+
+  std::deque<Mapping> worklist;
+  auto add_mapping = [&](Mapping m, std::optional<Mapping> p1,
+                         std::optional<Mapping> p2) {
+    auto [it, inserted] = mappings_.insert(m);
+    if (inserted) {
+      parents_.emplace(m, std::make_pair(std::move(p1), std::move(p2)));
+      worklist.push_back(std::move(m));
+    }
+  };
+
+  for (const Constraint& c : sigma.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kKey: {
+        XIC_RETURN_IF_ERROR(add_primary(
+            c.element,
+            std::set<std::string>(c.attrs.begin(), c.attrs.end())));
+        break;
+      }
+      case ConstraintKind::kForeignKey: {
+        std::optional<Mapping> m = ToMapping(c);
+        if (!m.has_value()) {
+          return Status::InvalidArgument(
+              "foreign key with repeated attributes: " + c.ToString());
+        }
+        std::set<std::string> target_attrs(c.ref_attrs.begin(),
+                                           c.ref_attrs.end());
+        // PFK-K: the target is a key.
+        XIC_RETURN_IF_ERROR(add_primary(c.ref_element, target_attrs));
+        add_mapping(std::move(*m), std::nullopt, std::nullopt);
+        break;
+      }
+      default:
+        return Status::InvalidArgument("constraint kind not in L: " +
+                                       c.ToString());
+    }
+  }
+  // Restriction check: every foreign key must target exactly the primary
+  // key of its referenced type (implied by uniqueness above, but verify
+  // against declared keys for a clear diagnostic).
+  for (const Mapping& m : mappings_) {
+    std::set<std::string> targets;
+    for (const auto& [from, to] : m.attr_map) targets.insert(to);
+    auto pk = primary_keys_.find(m.to_type);
+    if (pk == primary_keys_.end() || pk->second != targets) {
+      return Status::InvalidArgument(
+          "foreign key " + FromMapping(m).ToString() +
+          " does not target the primary key of " + m.to_type);
+    }
+  }
+  // PK-FK: identity mapping on every primary key.
+  for (const auto& [tau, attrs] : primary_keys_) {
+    Mapping identity;
+    identity.from_type = tau;
+    identity.to_type = tau;
+    for (const std::string& a : attrs) identity.attr_map.emplace(a, a);
+    add_mapping(std::move(identity), std::nullopt, std::nullopt);
+  }
+  // PFK-trans (modulo PFK-perm): compose m1: tau1 -> tau2 with
+  // m2: tau2 -> tau3 whenever m2's source attribute set equals m1's
+  // target set (always the primary key of tau2 by the restriction).
+  while (!worklist.empty()) {
+    Mapping m = worklist.front();
+    worklist.pop_front();
+    std::vector<Mapping> snapshot(mappings_.begin(), mappings_.end());
+    for (const Mapping& other : snapshot) {
+      // m o other and other o m.
+      for (const auto& [first, second] :
+           {std::make_pair(m, other), std::make_pair(other, m)}) {
+        if (first.to_type != second.from_type) continue;
+        Mapping composed;
+        composed.from_type = first.from_type;
+        composed.to_type = second.to_type;
+        bool ok = true;
+        for (const auto& [x, y] : first.attr_map) {
+          auto it = second.attr_map.find(y);
+          if (it == second.attr_map.end()) {
+            ok = false;
+            break;
+          }
+          composed.attr_map.emplace(x, it->second);
+        }
+        if (ok) add_mapping(std::move(composed), first, second);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<std::set<std::string>> LpSolver::PrimaryKey(
+    const std::string& tau) const {
+  auto it = primary_keys_.find(tau);
+  if (it == primary_keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<bool> LpSolver::Implies(const Constraint& phi) const {
+  if (!status_.ok()) return status_;
+  switch (phi.kind) {
+    case ConstraintKind::kKey: {
+      std::set<std::string> attrs(phi.attrs.begin(), phi.attrs.end());
+      auto it = primary_keys_.find(phi.element);
+      if (it == primary_keys_.end()) return false;
+      if (it->second == attrs) return true;
+      // A different key set for a type with a known primary key is outside
+      // the restricted problem (supersets are semantic superkeys but not
+      // legal primary-key constraints; see DESIGN.md).
+      return Status::InvalidArgument(
+          "query " + phi.ToString() +
+          " violates the primary-key restriction (primary key of " +
+          phi.element + " differs)");
+    }
+    case ConstraintKind::kForeignKey: {
+      // FK-refl: tau[X] <= tau[X] holds in every document.
+      if (phi.element == phi.ref_element && phi.attrs == phi.ref_attrs) {
+        return true;
+      }
+      std::optional<Mapping> m = ToMapping(phi);
+      if (!m.has_value()) {
+        return Status::InvalidArgument(
+            "foreign key with repeated attributes: " + phi.ToString());
+      }
+      return mappings_.count(*m) > 0;
+    }
+    default:
+      return Status::InvalidArgument("constraint kind not in L: " +
+                                     phi.ToString());
+  }
+}
+
+std::optional<std::string> LpSolver::Explain(const Constraint& phi) const {
+  if (phi.kind != ConstraintKind::kForeignKey) return std::nullopt;
+  std::optional<Mapping> m = ToMapping(phi);
+  if (!m.has_value() || mappings_.count(*m) == 0) return std::nullopt;
+  std::string out;
+  // Recursively expand composition parents.
+  std::vector<std::pair<Mapping, int>> stack{{*m, 0}};
+  while (!stack.empty()) {
+    auto [cur, depth] = stack.back();
+    stack.pop_back();
+    auto it = parents_.find(cur);
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    bool is_identity = cur.from_type == cur.to_type;
+    if (is_identity) {
+      for (const auto& [a, b] : cur.attr_map) {
+        if (a != b) is_identity = false;
+      }
+    }
+    std::string rule = "hypothesis";
+    if (it != parents_.end() && it->second.first.has_value()) {
+      rule = "PFK-trans";
+    } else if (is_identity) {
+      rule = "PK-FK";
+    }
+    out += FromMapping(cur).ToString() + "  [" + rule + "]\n";
+    if (it != parents_.end() && it->second.first.has_value() && depth < 16) {
+      stack.emplace_back(*it->second.second, depth + 1);
+      stack.emplace_back(*it->second.first, depth + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,87 @@
+// Implication of L constraints under the primary-key restriction
+// (Section 3.3, Theorem 3.8 / Corollary 3.9).
+//
+// The restriction: each element type tau has at most one key
+// tau[X] -> tau (its *primary key*), no proper subset of which is a key,
+// and every foreign key targets the primary key of its referenced type.
+// Under it, implication and finite implication coincide and are decided
+// by the axiom system I_p:
+//   PK-FK      tau[X] -> tau               |- tau[X] <= tau[X]
+//   PFK-K      tau[X] <= tau'[Y]           |- tau'[Y] -> tau'
+//   PFK-perm   simultaneous reordering of both sides of a foreign key
+//   PFK-trans  tau1[X] <= tau2[Y], tau2[Y] <= tau3[Z] |- tau1[X] <= tau3[Z]
+//
+// Decision procedure: modulo PFK-perm, a foreign key tau[X] <= tau'[Y] is
+// an attribute *bijection* set(X) -> set(Y); since every foreign key into
+// tau' targets exactly its primary-key attribute set, PFK-trans is
+// composition of bijections along paths in the type graph. The set of
+// derivable mappings between any two types is finite (at most |X|!), so a
+// worklist fixpoint terminates; queries are closure lookups. The closure
+// can be exponential in the key arity (the paper leaves sub-PSPACE
+// decision open); bench_lp sweeps the arity to exhibit this.
+
+#ifndef XIC_IMPLICATION_LP_SOLVER_H_
+#define XIC_IMPLICATION_LP_SOLVER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "util/status.h"
+
+namespace xic {
+
+class LpSolver {
+ public:
+  /// Builds the I_p closure. `sigma` must be an L set satisfying the
+  /// primary-key restriction; violations surface in status().
+  explicit LpSolver(const ConstraintSet& sigma);
+
+  const Status& status() const { return status_; }
+
+  /// Sigma |= phi (== Sigma |=_f phi under the restriction). Returns an
+  /// error if phi itself violates the primary-key restriction relative to
+  /// Sigma (e.g. asks about a second key for a type) -- such queries are
+  /// outside the restricted implication problem (DESIGN.md discusses the
+  /// superkey subtlety).
+  Result<bool> Implies(const Constraint& phi) const;
+
+  /// The primary key attribute set of `tau` known to Sigma's closure.
+  std::optional<std::set<std::string>> PrimaryKey(
+      const std::string& tau) const;
+
+  /// Number of distinct foreign-key mappings in the closure.
+  size_t closure_size() const { return mappings_.size(); }
+
+  /// Chain of composed foreign keys justifying an implied inclusion.
+  std::optional<std::string> Explain(const Constraint& phi) const;
+
+ private:
+  // A foreign-key fact modulo PFK-perm: source type, target type, and the
+  // attribute bijection (keyed by source attribute, sorted).
+  struct Mapping {
+    std::string from_type;
+    std::string to_type;
+    std::map<std::string, std::string> attr_map;
+    auto operator<=>(const Mapping&) const = default;
+  };
+
+  Status Build(const ConstraintSet& sigma);
+  static std::optional<Mapping> ToMapping(const Constraint& fk);
+  Constraint FromMapping(const Mapping& m) const;
+
+  Status status_;
+  std::map<std::string, std::set<std::string>> primary_keys_;
+  std::set<Mapping> mappings_;
+  // Provenance: how each mapping was obtained ("hypothesis", "PK-FK", or
+  // "PFK-trans" with the two parents).
+  std::map<Mapping, std::pair<std::optional<Mapping>, std::optional<Mapping>>>
+      parents_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_IMPLICATION_LP_SOLVER_H_

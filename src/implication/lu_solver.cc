@@ -1,0 +1,361 @@
+#include "implication/lu_solver.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace xic {
+
+LuSolver::LuSolver(const ConstraintSet& sigma) { status_ = Build(sigma); }
+
+int LuSolver::Intern(const std::string& tau, const std::string& attr) {
+  Node node{tau, attr};
+  auto it = node_ids_.find(node);
+  if (it != node_ids_.end()) return it->second;
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  node_ids_.emplace(std::move(node), id);
+  unary_adj_.emplace_back();
+  set_adj_.emplace_back();
+  return id;
+}
+
+std::optional<int> LuSolver::Lookup(const std::string& tau,
+                                    const std::string& attr) const {
+  auto it = node_ids_.find(Node{tau, attr});
+  if (it == node_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Constraint LuSolver::NodeFk(int from, int to) const {
+  return Constraint::UnaryForeignKey(nodes_[from].first, nodes_[from].second,
+                                     nodes_[to].first, nodes_[to].second);
+}
+
+Status LuSolver::Build(const ConstraintSet& sigma) {
+  if (sigma.language == Language::kLid) {
+    return Status::InvalidArgument("LuSolver handles L_u (or unary L), not "
+                                   "L_id; use LidSolver");
+  }
+  for (const Constraint& c : sigma.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kKey: {
+        if (!c.IsUnary()) {
+          return Status::InvalidArgument("non-unary key in L_u input: " +
+                                         c.ToString());
+        }
+        int node = Intern(c.element, c.attr());
+        keys_.insert(node);
+        base_.Add(c, "hypothesis");
+        break;
+      }
+      case ConstraintKind::kForeignKey: {
+        if (!c.IsUnary()) {
+          return Status::InvalidArgument(
+              "non-unary foreign key in L_u input: " + c.ToString());
+        }
+        int from = Intern(c.element, c.attr());
+        int to = Intern(c.ref_element, c.ref_attr());
+        unary_adj_[from].push_back(to);
+        base_.Add(c, "hypothesis");
+        // UFK-K: the target of a foreign key is a key.
+        keys_.insert(to);
+        base_.Add(Constraint::UnaryKey(c.ref_element, c.ref_attr()),
+                  "UFK-K", {c});
+        break;
+      }
+      case ConstraintKind::kSetForeignKey: {
+        int from = Intern(c.element, c.attr());
+        int to = Intern(c.ref_element, c.ref_attr());
+        set_adj_[from].push_back(to);
+        base_.Add(c, "hypothesis");
+        // SFK-K.
+        keys_.insert(to);
+        base_.Add(Constraint::UnaryKey(c.ref_element, c.ref_attr()),
+                  "SFK-K", {c});
+        break;
+      }
+      case ConstraintKind::kInverse: {
+        if (c.inv_key.empty() || c.inv_ref_key.empty()) {
+          return Status::InvalidArgument(
+              "L_u inverse constraints must name their keys: " +
+              c.ToString());
+        }
+        base_.Add(c, "hypothesis");
+        Constraint symmetric = Constraint::InverseU(
+            c.ref_element, c.inv_ref_key, c.ref_attr(), c.element, c.inv_key,
+            c.attr());
+        base_.Add(symmetric, "Inv-Symm", {c});
+        // Inv-SFK: the inverse's references are typed set-valued foreign
+        // keys into the partner's named key attribute.
+        Constraint sfk1 = Constraint::SetForeignKey(
+            c.element, c.attr(), c.ref_element, c.inv_ref_key);
+        Constraint sfk2 = Constraint::SetForeignKey(
+            c.ref_element, c.ref_attr(), c.element, c.inv_key);
+        for (const Constraint& sfk : {sfk1, sfk2}) {
+          int from = Intern(sfk.element, sfk.attr());
+          int to = Intern(sfk.ref_element, sfk.ref_attr());
+          set_adj_[from].push_back(to);
+          base_.Add(sfk, "Inv-SFK", {c});
+          keys_.insert(to);
+          base_.Add(Constraint::UnaryKey(sfk.ref_element, sfk.ref_attr()),
+                    "SFK-K", {sfk});
+        }
+        // The named keys must hold for the inverse to be well-formed;
+        // record them (they are premises of Inv-SFK in I_u).
+        int k1 = Intern(c.element, c.inv_key);
+        int k2 = Intern(c.ref_element, c.inv_ref_key);
+        keys_.insert(k1);
+        keys_.insert(k2);
+        base_.Add(Constraint::UnaryKey(c.element, c.inv_key), "Inv-SFK",
+                  {c});
+        base_.Add(Constraint::UnaryKey(c.ref_element, c.inv_ref_key),
+                  "Inv-SFK", {c});
+        break;
+      }
+      case ConstraintKind::kId:
+        return Status::InvalidArgument("ID constraint in L_u input: " +
+                                       c.ToString());
+    }
+  }
+  BuildFiniteEdges();
+  return Status::OK();
+}
+
+void LuSolver::BuildFiniteEdges() {
+  // Cycle rules C_k. Type-level tight graph: an edge tau -> tau' for every
+  // unary FK (tau,m) -> (tau',k) whose source attribute m is a key.
+  // Compute SCCs of that graph (iterative Tarjan); reverse every tight
+  // edge whose endpoints share an SCC.
+  unary_adj_finite_ = unary_adj_;
+
+  std::map<std::string, int> type_ids;
+  auto type_id = [&](const std::string& tau) {
+    auto [it, inserted] = type_ids.try_emplace(
+        tau, static_cast<int>(type_ids.size()));
+    return it->second;
+  };
+  // Collect tight edges as (from_node, to_node).
+  std::vector<std::pair<int, int>> tight;
+  for (int from = 0; from < static_cast<int>(unary_adj_.size()); ++from) {
+    if (keys_.count(from) == 0) continue;
+    for (int to : unary_adj_[from]) {
+      tight.emplace_back(from, to);
+    }
+  }
+  std::vector<std::vector<int>> type_adj;
+  for (const auto& [from, to] : tight) {
+    int a = type_id(nodes_[from].first);
+    int b = type_id(nodes_[to].first);
+    if (static_cast<int>(type_adj.size()) < static_cast<int>(type_ids.size())) {
+      type_adj.resize(type_ids.size());
+    }
+    type_adj[a].push_back(b);
+  }
+  type_adj.resize(type_ids.size());
+
+  // Iterative Tarjan SCC.
+  int n = static_cast<int>(type_adj.size());
+  std::vector<int> index(n, -1), low(n, 0), scc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0, next_scc = 0;
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < type_adj[f.v].size()) {
+        int w = type_adj[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = next_scc;
+            if (w == f.v) break;
+          }
+          ++next_scc;
+        }
+        int v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+
+  // Reverse tight edges inside an SCC.
+  for (const auto& [from, to] : tight) {
+    int a = type_ids.at(nodes_[from].first);
+    int b = type_ids.at(nodes_[to].first);
+    if (scc[a] == scc[b]) {
+      unary_adj_finite_[to].push_back(from);
+    }
+  }
+}
+
+std::optional<std::vector<int>> LuSolver::FindPath(int from, int to,
+                                                   bool finite) const {
+  const std::vector<std::vector<int>>& adj =
+      finite ? unary_adj_finite_ : unary_adj_;
+  std::vector<int> prev(nodes_.size(), -2);
+  std::deque<int> queue{from};
+  prev[from] = -1;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    if (v == to) {
+      std::vector<int> path;
+      for (int cur = to; cur != -1; cur = prev[cur]) path.push_back(cur);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    if (v >= static_cast<int>(adj.size())) continue;
+    for (int w : adj[v]) {
+      if (prev[w] == -2) {
+        prev[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool LuSolver::ImpliesInternal(const Constraint& phi, bool finite) const {
+  if (!status_.ok()) return false;
+  switch (phi.kind) {
+    case ConstraintKind::kKey: {
+      if (!phi.IsUnary()) return false;
+      std::optional<int> node = Lookup(phi.element, phi.attr());
+      return node.has_value() && keys_.count(*node) > 0;
+    }
+    case ConstraintKind::kForeignKey: {
+      if (!phi.IsUnary()) return false;
+      // FK-refl: tau.l <= tau.l holds in every document.
+      if (phi.element == phi.ref_element && phi.attr() == phi.ref_attr()) {
+        return true;
+      }
+      std::optional<int> from = Lookup(phi.element, phi.attr());
+      std::optional<int> to = Lookup(phi.ref_element, phi.ref_attr());
+      if (!from.has_value() || !to.has_value()) return false;
+      return FindPath(*from, *to, finite).has_value();
+    }
+    case ConstraintKind::kSetForeignKey: {
+      std::optional<int> from = Lookup(phi.element, phi.attr());
+      std::optional<int> to = Lookup(phi.ref_element, phi.ref_attr());
+      if (!from.has_value() || !to.has_value()) return false;
+      for (int mid : set_adj_[*from]) {
+        if (mid == *to || FindPath(mid, *to, finite).has_value()) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case ConstraintKind::kInverse:
+      return base_.Contains(phi);
+    case ConstraintKind::kId:
+      return false;
+  }
+  return false;
+}
+
+bool LuSolver::Implies(const Constraint& phi) const {
+  return ImpliesInternal(phi, /*finite=*/false);
+}
+
+bool LuSolver::FinitelyImplies(const Constraint& phi) const {
+  return ImpliesInternal(phi, /*finite=*/true);
+}
+
+Status LuSolver::CheckPrimaryKeyRestriction() const {
+  std::map<std::string, std::string> key_attr;
+  for (int node : keys_) {
+    const auto& [tau, attr] = nodes_[node];
+    auto [it, inserted] = key_attr.try_emplace(tau, attr);
+    if (!inserted && it->second != attr) {
+      return Status::InvalidArgument(
+          "primary-key restriction violated: " + tau + " has keys " +
+          it->second + " and " + attr);
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> LuSolver::Explain(const Constraint& phi,
+                                             bool finite) const {
+  if (!ImpliesInternal(phi, finite)) return std::nullopt;
+  switch (phi.kind) {
+    case ConstraintKind::kKey:
+    case ConstraintKind::kInverse:
+      return base_.Explain(phi).value_or(phi.ToString() + "  [closure]\n");
+    case ConstraintKind::kForeignKey: {
+      if (phi.element == phi.ref_element && phi.attr() == phi.ref_attr()) {
+        std::optional<int> node = Lookup(phi.element, phi.attr());
+        if (node.has_value() && keys_.count(*node) > 0) {
+          return phi.ToString() + "  [UK-FK]\n";
+        }
+        return phi.ToString() + "  [FK-refl]\n";
+      }
+      std::optional<int> from = Lookup(phi.element, phi.attr());
+      std::optional<int> to = Lookup(phi.ref_element, phi.ref_attr());
+      std::optional<std::vector<int>> path = FindPath(*from, *to, finite);
+      std::string out = phi.ToString() + "  [UFK-trans chain]\n";
+      for (size_t i = 0; i + 1 < path->size(); ++i) {
+        bool reversal =
+            std::find(unary_adj_[(*path)[i]].begin(),
+                      unary_adj_[(*path)[i]].end(),
+                      (*path)[i + 1]) == unary_adj_[(*path)[i]].end();
+        out += "  " + NodeFk((*path)[i], (*path)[i + 1]).ToString() +
+               (reversal ? "  [Ck cycle reversal]\n" : "  [hypothesis]\n");
+      }
+      return out;
+    }
+    case ConstraintKind::kSetForeignKey: {
+      std::optional<int> from = Lookup(phi.element, phi.attr());
+      std::optional<int> to = Lookup(phi.ref_element, phi.ref_attr());
+      for (int mid : set_adj_[*from]) {
+        std::optional<std::vector<int>> path =
+            (mid == *to) ? std::vector<int>{mid} : FindPath(mid, *to, finite);
+        if (!path.has_value() && mid != *to) continue;
+        std::string out = phi.ToString() + "  [USFK-trans chain]\n";
+        Constraint hop = Constraint::SetForeignKey(
+            phi.element, phi.attr(), nodes_[mid].first, nodes_[mid].second);
+        out += "  " + hop.ToString() + "  [" +
+               (base_.Contains(hop) ? base_.facts().at(hop).rule
+                                    : std::string("hypothesis")) +
+               "]\n";
+        if (path.has_value()) {
+          for (size_t i = 0; i + 1 < path->size(); ++i) {
+            out += "  " + NodeFk((*path)[i], (*path)[i + 1]).ToString() +
+                   "  [hypothesis]\n";
+          }
+        }
+        return out;
+      }
+      return std::nullopt;
+    }
+    case ConstraintKind::kId:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xic

@@ -1,0 +1,130 @@
+#include "implication/satisfy.h"
+
+#include <map>
+#include <set>
+
+namespace xic {
+
+namespace {
+
+// The single reference target of a set-valued source attribute (from set
+// foreign keys and inverse constraints), or nullopt / conflict marker.
+struct SetAttrTargets {
+  std::set<std::string> targets;    // referenced element types
+  bool used_by_inverse = false;
+};
+
+}  // namespace
+
+Result<TableInstance> GenerateSatisfyingInstance(const ConstraintSet& sigma,
+                                                 const DtdStructure* dtd,
+                                                 size_t rows_per_type) {
+  if (sigma.language == Language::kLid && dtd == nullptr) {
+    return Status::InvalidArgument(
+        "L_id generation needs the DTD to resolve ID attributes");
+  }
+  TableSchema schema = TableSchema::Infer(sigma);
+  const bool lid = sigma.language == Language::kLid;
+
+  // Per single-valued field, the value column: either the uniform global
+  // column v#i, the type's own ID column <type>#i, or a referenced
+  // type's ID column (L_id IDREF fields).
+  // column key: (type, attr) -> prefix string ("v" or "<type>").
+  std::map<std::pair<std::string, std::string>, std::string> prefix;
+  std::map<std::pair<std::string, std::string>, SetAttrTargets> set_targets;
+
+  for (const auto& [type, attrs] : schema.attrs) {
+    for (const auto& [attr, set_valued] : attrs) {
+      if (set_valued) continue;
+      std::string p = "v";
+      if (lid) {
+        std::optional<std::string> id = dtd->IdAttribute(type);
+        if (id.has_value() && *id == attr) p = type;
+      }
+      prefix[{type, attr}] = p;
+    }
+  }
+  for (const Constraint& c : sigma.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kForeignKey:
+        if (lid) {
+          // Unary IDREF field: copy the target's ID column.
+          prefix[{c.element, c.attr()}] = c.ref_element;
+        }
+        break;
+      case ConstraintKind::kSetForeignKey:
+        set_targets[{c.element, c.attr()}].targets.insert(c.ref_element);
+        break;
+      case ConstraintKind::kInverse: {
+        auto& forward = set_targets[{c.element, c.attr()}];
+        forward.targets.insert(c.ref_element);
+        forward.used_by_inverse = true;
+        auto& backward = set_targets[{c.ref_element, c.ref_attr()}];
+        backward.targets.insert(c.element);
+        backward.used_by_inverse = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  auto column_value = [&](const std::string& p, size_t i) {
+    return p + "#" + std::to_string(i);
+  };
+  // In L / L_u every single-valued field carries the same uniform column,
+  // so a set-valued field can safely be filled with it regardless of how
+  // many constraints target it. In L_id, ID columns differ per type, so a
+  // set field needs a *unique* target type.
+  auto set_fill = [&](const std::string& type, const std::string& attr)
+      -> Result<AttrValue> {
+    auto it = set_targets.find({type, attr});
+    if (it == set_targets.end()) return AttrValue{};  // unconstrained
+    std::string p = "v";
+    if (lid) {
+      if (it->second.targets.size() > 1) {
+        if (it->second.used_by_inverse) {
+          return Status::NotSupported(
+              "set-valued attribute " + type + "." + attr +
+              " is constrained toward multiple element types and "
+              "participates in an inverse; no uniform fill exists");
+        }
+        return AttrValue{};  // empty satisfies all set foreign keys
+      }
+      p = *it->second.targets.begin();
+    }
+    AttrValue out;
+    for (size_t i = 0; i < rows_per_type; ++i) {
+      out.insert(column_value(p, i));
+    }
+    return out;
+  };
+
+  TableInstance instance;
+  for (const auto& [type, attrs] : schema.attrs) {
+    std::vector<TableRow>& rows = instance.tables[type];
+    for (size_t i = 0; i < rows_per_type; ++i) {
+      TableRow row;
+      for (const auto& [attr, set_valued] : attrs) {
+        if (set_valued) {
+          XIC_ASSIGN_OR_RETURN(AttrValue fill, set_fill(type, attr));
+          row[attr] = std::move(fill);
+        } else {
+          row[attr] = {column_value(prefix.at({type, attr}), i)};
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return instance;
+}
+
+Result<LiftedDocument> GenerateSatisfyingDocument(const ConstraintSet& sigma,
+                                                  const DtdStructure* dtd,
+                                                  size_t rows_per_type) {
+  XIC_ASSIGN_OR_RETURN(TableInstance instance,
+                       GenerateSatisfyingInstance(sigma, dtd, rows_per_type));
+  return LiftToDocument(instance, TableSchema::Infer(sigma));
+}
+
+}  // namespace xic

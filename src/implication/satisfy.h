@@ -1,0 +1,50 @@
+// Constructive satisfiability: synthesize documents that satisfy a
+// constraint set.
+//
+// Every well-formed basic constraint set is satisfiable at every extent
+// size -- the constructions behind the paper's completeness proofs make
+// this concrete, and the generator doubles as a test-data factory:
+//
+//   * L / L_u: give row i of *every* type the value v<i> in every
+//     single-valued field. Keys hold (rows differ), and every
+//     (multi-attribute) foreign key holds because all extents carry the
+//     same value columns. Set-valued fields are filled with the full
+//     value column, satisfying set foreign keys and inverse constraints
+//     (complete bipartite references).
+//   * L_id: ID attributes take per-type values <type>#i (document-wide
+//     unique); IDREF fields copy their unique target's ID column; other
+//     fields fall back to the uniform scheme.
+//
+// GenerateSatisfyingDocument lifts the instance to a valid DataTree so
+// callers can feed it to the real checker, serializer, or benchmarks.
+
+#ifndef XIC_IMPLICATION_SATISFY_H_
+#define XIC_IMPLICATION_SATISFY_H_
+
+#include <cstddef>
+
+#include "constraints/constraint.h"
+#include "implication/countermodel.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// A table instance with `rows_per_type` rows in every mentioned type,
+/// satisfying every constraint of `sigma`. `dtd` is required for L_id
+/// (to resolve ID attributes) and ignored otherwise. Fails with
+/// NotSupported for L_id sets where one set-valued IDREF attribute is
+/// constrained toward two different element types *and* participates in
+/// an inverse (no uniform fill exists).
+Result<TableInstance> GenerateSatisfyingInstance(const ConstraintSet& sigma,
+                                                 const DtdStructure* dtd,
+                                                 size_t rows_per_type);
+
+/// The instance lifted to a valid document (flat DTD + data tree).
+Result<LiftedDocument> GenerateSatisfyingDocument(const ConstraintSet& sigma,
+                                                  const DtdStructure* dtd,
+                                                  size_t rows_per_type);
+
+}  // namespace xic
+
+#endif  // XIC_IMPLICATION_SATISFY_H_

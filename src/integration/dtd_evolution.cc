@@ -1,0 +1,90 @@
+#include "integration/dtd_evolution.h"
+
+namespace xic {
+
+std::string DtdEvolutionReport::ToString() const {
+  std::string out = backward_compatible ? "backward compatible"
+                                        : "NOT backward compatible";
+  out += "\n";
+  for (const std::string& change : changes) {
+    out += "  " + change + "\n";
+  }
+  return out;
+}
+
+DtdEvolutionReport CompareDtds(const DtdStructure& from,
+                               const DtdStructure& to) {
+  DtdEvolutionReport report;
+  auto incompatible = [&](std::string change) {
+    report.backward_compatible = false;
+    report.changes.push_back(std::move(change));
+  };
+  auto note = [&](std::string change) {
+    report.changes.push_back(std::move(change));
+  };
+
+  if (from.root() != to.root()) {
+    incompatible("root changed: " + from.root() + " -> " + to.root());
+  }
+  for (const std::string& element : from.Elements()) {
+    if (!to.HasElement(element)) {
+      incompatible("element " + element + " removed");
+      continue;
+    }
+    Result<RegexPtr> old_model = from.ContentModel(element);
+    Result<RegexPtr> new_model = to.ContentModel(element);
+    if (old_model.ok() && new_model.ok()) {
+      ModelCompatibility verdict =
+          CompareContentModels(old_model.value(), new_model.value());
+      switch (verdict) {
+        case ModelCompatibility::kEquivalent:
+          break;
+        case ModelCompatibility::kWidening:
+          note("element " + element + ": content model widening (" +
+               old_model.value()->ToString() + " -> " +
+               new_model.value()->ToString() + ")");
+          break;
+        case ModelCompatibility::kNarrowing:
+        case ModelCompatibility::kIncomparable:
+          incompatible("element " + element + ": content model " +
+                       ModelCompatibilityToString(verdict) + " (" +
+                       old_model.value()->ToString() + " -> " +
+                       new_model.value()->ToString() + ")");
+          break;
+      }
+    }
+    // Attribute declarations must match exactly (Definition 2.4 is
+    // strict in both directions).
+    for (const std::string& attr : from.Attributes(element)) {
+      if (!to.HasAttribute(element, attr)) {
+        incompatible("attribute " + element + "." + attr + " removed");
+        continue;
+      }
+      Result<AttrCardinality> old_card = from.Cardinality(element, attr);
+      Result<AttrCardinality> new_card = to.Cardinality(element, attr);
+      if (old_card.ok() && new_card.ok() &&
+          old_card.value() != new_card.value()) {
+        incompatible("attribute " + element + "." + attr +
+                     " changed cardinality");
+      }
+      if (from.Kind(element, attr) != to.Kind(element, attr)) {
+        note("attribute " + element + "." + attr + " changed ID/IDREF kind");
+      }
+    }
+    for (const std::string& attr : to.Attributes(element)) {
+      if (!from.HasAttribute(element, attr)) {
+        incompatible("attribute " + element + "." + attr +
+                     " added (strict validation requires it on old "
+                     "documents)");
+      }
+    }
+  }
+  for (const std::string& element : to.Elements()) {
+    if (!from.HasElement(element)) {
+      note("element " + element + " added");
+    }
+  }
+  return report;
+}
+
+}  // namespace xic

@@ -1,0 +1,39 @@
+// DTD evolution analysis: is a revised DTD backward compatible?
+//
+// A revision is *backward compatible* when every document valid under
+// the old structure (Definition 2.4) is valid under the new one:
+//   * the root type is unchanged and no element type disappeared,
+//   * each kept content model accepts at least the old language
+//     (language inclusion, regex/inclusion.h),
+//   * each kept element's attribute declarations are unchanged
+//     (Definition 2.4 requires attributes to be present iff declared, so
+//     both additions and removals break old documents).
+// The report lists every difference with its direction, so schema owners
+// can see exactly which change breaks compatibility -- the structural
+// complement of constraint propagation (integration/mapping.h).
+
+#ifndef XIC_INTEGRATION_DTD_EVOLUTION_H_
+#define XIC_INTEGRATION_DTD_EVOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "model/dtd_structure.h"
+#include "regex/inclusion.h"
+
+namespace xic {
+
+struct DtdEvolutionReport {
+  bool backward_compatible = true;
+  /// Human-readable differences ("element x: content model narrowing",
+  /// "element y removed", ...).
+  std::vector<std::string> changes;
+  std::string ToString() const;
+};
+
+DtdEvolutionReport CompareDtds(const DtdStructure& from,
+                               const DtdStructure& to);
+
+}  // namespace xic
+
+#endif  // XIC_INTEGRATION_DTD_EVOLUTION_H_

@@ -1,0 +1,362 @@
+#include "integration/mapping.h"
+
+#include <functional>
+#include <set>
+
+namespace xic {
+
+std::string MappingStepToString(const MappingStep& step) {
+  if (const auto* re = std::get_if<RenameElement>(&step)) {
+    return "rename-element " + re->from + " -> " + re->to;
+  }
+  if (const auto* rf = std::get_if<RenameField>(&step)) {
+    return "rename-field " + rf->element + "." + rf->from + " -> " +
+           rf->element + "." + rf->to;
+  }
+  if (const auto* de = std::get_if<DropElement>(&step)) {
+    return "drop-element " + de->element;
+  }
+  const auto& df = std::get<DropField>(step);
+  return "drop-field " + df.element + "." + df.field;
+}
+
+Mapping& Mapping::Rename(std::string from, std::string to) {
+  steps_.push_back(RenameElement{std::move(from), std::move(to)});
+  return *this;
+}
+Mapping& Mapping::RenameFieldOf(std::string element, std::string from,
+                                std::string to) {
+  steps_.push_back(
+      RenameField{std::move(element), std::move(from), std::move(to)});
+  return *this;
+}
+Mapping& Mapping::Drop(std::string element) {
+  steps_.push_back(DropElement{std::move(element)});
+  return *this;
+}
+Mapping& Mapping::DropFieldOf(std::string element, std::string field) {
+  steps_.push_back(DropField{std::move(element), std::move(field)});
+  return *this;
+}
+
+namespace {
+
+// Rebuilds a regex with symbols transformed: rename via `rename` (nullptr
+// = identity) or erased when `drop` matches (replaced by epsilon).
+RegexPtr TransformRegex(const RegexPtr& re,
+                        const std::function<std::string(const std::string&)>&
+                            rename,
+                        const std::string& drop) {
+  switch (re->kind()) {
+    case RegexKind::kEpsilon:
+      return re;
+    case RegexKind::kSymbol: {
+      if (re->symbol() == drop) return Regex::Epsilon();
+      std::string renamed = rename(re->symbol());
+      if (renamed == re->symbol()) return re;
+      return Regex::Symbol(std::move(renamed));
+    }
+    case RegexKind::kUnion:
+      return Regex::Union(TransformRegex(re->left(), rename, drop),
+                          TransformRegex(re->right(), rename, drop));
+    case RegexKind::kConcat:
+      return Regex::Concat(TransformRegex(re->left(), rename, drop),
+                           TransformRegex(re->right(), rename, drop));
+    case RegexKind::kStar:
+      return Regex::Star(TransformRegex(re->inner(), rename, drop));
+  }
+  return re;
+}
+
+// One step applied to a structure.
+Result<DtdStructure> StepDtd(const DtdStructure& dtd,
+                             const MappingStep& step) {
+  auto copy_attrs = [&](const DtdStructure& source, const std::string& from,
+                        const std::string& to, DtdStructure* out,
+                        const std::string& rename_attr_from = "",
+                        const std::string& rename_attr_to = "",
+                        const std::string& drop_attr = "") -> Status {
+    for (const std::string& attr : source.Attributes(from)) {
+      if (attr == drop_attr) continue;
+      std::string name = attr == rename_attr_from ? rename_attr_to : attr;
+      XIC_ASSIGN_OR_RETURN(AttrCardinality card,
+                           source.Cardinality(from, attr));
+      XIC_RETURN_IF_ERROR(out->AddAttribute(to, name, card));
+      if (std::optional<AttrKind> kind = source.Kind(from, attr)) {
+        XIC_RETURN_IF_ERROR(out->SetKind(to, name, *kind));
+      }
+    }
+    return Status::OK();
+  };
+
+  DtdStructure out;
+  if (const auto* re = std::get_if<RenameElement>(&step)) {
+    if (!dtd.HasElement(re->from)) {
+      return Status::InvalidArgument("rename of undeclared element " +
+                                     re->from);
+    }
+    if (re->from != re->to && dtd.HasElement(re->to)) {
+      return Status::InvalidArgument("rename target " + re->to +
+                                     " already exists");
+    }
+    auto rename = [&](const std::string& s) {
+      return s == re->from ? re->to : s;
+    };
+    for (const std::string& element : dtd.Elements()) {
+      std::string name = rename(element);
+      XIC_ASSIGN_OR_RETURN(RegexPtr model, dtd.ContentModel(element));
+      XIC_RETURN_IF_ERROR(
+          out.AddElement(name, TransformRegex(model, rename, "")));
+      XIC_RETURN_IF_ERROR(copy_attrs(dtd, element, name, &out));
+    }
+    XIC_RETURN_IF_ERROR(out.SetRoot(rename(dtd.root())));
+  } else if (const auto* rf = std::get_if<RenameField>(&step)) {
+    if (!dtd.HasAttribute(rf->element, rf->from)) {
+      return Status::NotSupported(
+          "rename-field applies to attributes only (" + rf->element + "." +
+          rf->from + " is not an attribute; rename the element type "
+          "instead)");
+    }
+    if (dtd.HasAttribute(rf->element, rf->to)) {
+      return Status::InvalidArgument("attribute " + rf->to +
+                                     " already exists on " + rf->element);
+    }
+    for (const std::string& element : dtd.Elements()) {
+      XIC_ASSIGN_OR_RETURN(RegexPtr model, dtd.ContentModel(element));
+      XIC_RETURN_IF_ERROR(out.AddElement(element, model));
+      if (element == rf->element) {
+        XIC_RETURN_IF_ERROR(
+            copy_attrs(dtd, element, element, &out, rf->from, rf->to));
+      } else {
+        XIC_RETURN_IF_ERROR(copy_attrs(dtd, element, element, &out));
+      }
+    }
+    XIC_RETURN_IF_ERROR(out.SetRoot(dtd.root()));
+  } else if (const auto* de = std::get_if<DropElement>(&step)) {
+    if (de->element == dtd.root()) {
+      return Status::InvalidArgument("cannot drop the root element");
+    }
+    auto identity = [](const std::string& s) { return s; };
+    for (const std::string& element : dtd.Elements()) {
+      if (element == de->element) continue;
+      XIC_ASSIGN_OR_RETURN(RegexPtr model, dtd.ContentModel(element));
+      XIC_RETURN_IF_ERROR(out.AddElement(
+          element, TransformRegex(model, identity, de->element)));
+      XIC_RETURN_IF_ERROR(copy_attrs(dtd, element, element, &out));
+    }
+    XIC_RETURN_IF_ERROR(out.SetRoot(dtd.root()));
+  } else {
+    const auto& df = std::get<DropField>(step);
+    auto identity = [](const std::string& s) { return s; };
+    bool is_attr = dtd.HasAttribute(df.element, df.field);
+    for (const std::string& element : dtd.Elements()) {
+      XIC_ASSIGN_OR_RETURN(RegexPtr model, dtd.ContentModel(element));
+      if (element == df.element && !is_attr) {
+        model = TransformRegex(model, identity, df.field);
+      }
+      XIC_RETURN_IF_ERROR(out.AddElement(element, model));
+      if (element == df.element && is_attr) {
+        XIC_RETURN_IF_ERROR(
+            copy_attrs(dtd, element, element, &out, "", "", df.field));
+      } else {
+        XIC_RETURN_IF_ERROR(copy_attrs(dtd, element, element, &out));
+      }
+    }
+    XIC_RETURN_IF_ERROR(out.SetRoot(dtd.root()));
+  }
+  XIC_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+// One step applied to a document (builds a fresh tree).
+Result<DataTree> StepDocument(const DataTree& tree,
+                              const MappingStep& step) {
+  DataTree out;
+  const auto* rename_element = std::get_if<RenameElement>(&step);
+  const auto* rename_field = std::get_if<RenameField>(&step);
+  const auto* drop_element = std::get_if<DropElement>(&step);
+  const auto* drop_field = std::get_if<DropField>(&step);
+
+  if (tree.empty()) return out;
+  if (drop_element != nullptr &&
+      tree.label(tree.root()) == drop_element->element) {
+    return Status::InvalidArgument("mapping drops the document root");
+  }
+
+  std::function<Status(VertexId, VertexId)> copy =
+      [&](VertexId source, VertexId parent) -> Status {
+    const std::string& label = tree.label(source);
+    if (drop_element != nullptr && label == drop_element->element) {
+      return Status::OK();  // subtree projected away
+    }
+    std::string new_label = label;
+    if (rename_element != nullptr && label == rename_element->from) {
+      new_label = rename_element->to;
+    }
+    VertexId v = out.AddVertex(new_label);
+    if (parent != kInvalidVertex) {
+      XIC_RETURN_IF_ERROR(out.AddChildVertex(parent, v));
+    }
+    for (const auto& [attr, value] : tree.attributes(source)) {
+      std::string name = attr;
+      if (rename_field != nullptr && label == rename_field->element &&
+          attr == rename_field->from) {
+        name = rename_field->to;
+      }
+      if (drop_field != nullptr && label == drop_field->element &&
+          attr == drop_field->field) {
+        continue;
+      }
+      out.SetAttribute(v, name, value);
+    }
+    for (const Child& child : tree.children(source)) {
+      if (const VertexId* c = std::get_if<VertexId>(&child)) {
+        if (drop_field != nullptr && label == drop_field->element &&
+            tree.label(*c) == drop_field->field) {
+          continue;  // sub-element field projected away
+        }
+        XIC_RETURN_IF_ERROR(copy(*c, v));
+      } else {
+        out.AddChildText(v, std::get<std::string>(child));
+      }
+    }
+    return Status::OK();
+  };
+  XIC_RETURN_IF_ERROR(copy(tree.root(), kInvalidVertex));
+  return out;
+}
+
+// Element types whose instances can occur inside `root_type` subtrees
+// (including root_type itself): reachability over content models.
+std::set<std::string> Descendants(const DtdStructure& dtd,
+                                  const std::string& root_type) {
+  std::set<std::string> reached{root_type};
+  std::vector<std::string> frontier{root_type};
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.back());
+    frontier.pop_back();
+    Result<RegexPtr> model = dtd.ContentModel(current);
+    if (!model.ok()) continue;
+    for (const std::string& symbol : model.value()->Symbols()) {
+      if (symbol != kStringSymbol && reached.insert(symbol).second) {
+        frontier.push_back(symbol);
+      }
+    }
+  }
+  return reached;
+}
+
+// One step applied to a constraint set. `dtd` is the structure *before*
+// the step (used for nesting analysis).
+ConstraintSet StepConstraints(const ConstraintSet& sigma,
+                              const MappingStep& step,
+                              const DtdStructure& dtd) {
+  ConstraintSet out;
+  out.language = sigma.language;
+  auto uses_field = [](const Constraint& c, const std::string& element,
+                       const std::string& field) {
+    auto in = [&](const std::string& e,
+                  const std::vector<std::string>& attrs,
+                  const std::string& key) {
+      if (e != element) return false;
+      for (const std::string& a : attrs) {
+        if (a == field) return true;
+      }
+      return key == field;
+    };
+    return in(c.element, c.attrs, c.inv_key) ||
+           in(c.ref_element, c.ref_attrs, c.inv_ref_key);
+  };
+
+  for (Constraint c : sigma.constraints) {
+    if (const auto* re = std::get_if<RenameElement>(&step)) {
+      if (c.element == re->from) c.element = re->to;
+      if (c.ref_element == re->from) c.ref_element = re->to;
+      // Sub-element fields carry the old element name too.
+      for (std::string& a : c.attrs) {
+        if (a == re->from) a = re->to;
+      }
+      for (std::string& a : c.ref_attrs) {
+        if (a == re->from) a = re->to;
+      }
+    } else if (const auto* rf = std::get_if<RenameField>(&step)) {
+      if (c.element == rf->element) {
+        for (std::string& a : c.attrs) {
+          if (a == rf->from) a = rf->to;
+        }
+        if (c.inv_key == rf->from) c.inv_key = rf->to;
+      }
+      if (c.ref_element == rf->element) {
+        for (std::string& a : c.ref_attrs) {
+          if (a == rf->from) a = rf->to;
+        }
+        if (c.inv_ref_key == rf->from) c.inv_ref_key = rf->to;
+      }
+    } else if (const auto* de = std::get_if<DropElement>(&step)) {
+      // Dropping e removes whole subtrees, so every type nested under e
+      // loses instances. Keys and ID constraints survive extent
+      // shrinkage, but reference constraints whose *target* extent may
+      // shrink are no longer sound and must be dropped; so are
+      // constraints stated on the dropped type itself.
+      std::set<std::string> gone = Descendants(dtd, de->element);
+      // Constraints on the dropped type itself are no longer stateable.
+      if (c.element == de->element || c.ref_element == de->element) {
+        continue;
+      }
+      // Keys / ID constraints survive extent shrinkage on descendants;
+      // references into a (possibly) shrunken target extent do not.
+      bool is_reference = c.kind == ConstraintKind::kForeignKey ||
+                          c.kind == ConstraintKind::kSetForeignKey ||
+                          c.kind == ConstraintKind::kInverse;
+      if (is_reference && gone.count(c.ref_element) > 0) continue;
+      // Inverses constrain both extents symmetrically.
+      if (c.kind == ConstraintKind::kInverse &&
+          gone.count(c.element) > 0) {
+        continue;
+      }
+      // A constraint over a dropped sub-element field is gone too.
+      if (uses_field(c, c.element, de->element) ||
+          uses_field(c, c.ref_element, de->element)) {
+        continue;
+      }
+    } else {
+      const auto& df = std::get<DropField>(step);
+      if (uses_field(c, df.element, df.field)) continue;
+    }
+    out.constraints.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DtdStructure> Mapping::ApplyToDtd(const DtdStructure& dtd) const {
+  DtdStructure current = dtd;
+  for (const MappingStep& step : steps_) {
+    XIC_ASSIGN_OR_RETURN(current, StepDtd(current, step));
+  }
+  return current;
+}
+
+Result<DataTree> Mapping::ApplyToDocument(const DataTree& tree,
+                                          const DtdStructure& dtd) const {
+  (void)dtd;
+  DataTree current = tree;
+  for (const MappingStep& step : steps_) {
+    XIC_ASSIGN_OR_RETURN(current, StepDocument(current, step));
+  }
+  return current;
+}
+
+Result<ConstraintSet> Mapping::PropagateConstraints(
+    const ConstraintSet& sigma, const DtdStructure& dtd) const {
+  ConstraintSet current = sigma;
+  DtdStructure current_dtd = dtd;
+  for (const MappingStep& step : steps_) {
+    current = StepConstraints(current, step, current_dtd);
+    XIC_ASSIGN_OR_RETURN(current_dtd, StepDtd(current_dtd, step));
+  }
+  return current;
+}
+
+}  // namespace xic

@@ -1,0 +1,90 @@
+// Integration mappings and constraint propagation.
+//
+// The paper closes with: "important questions are how constraints
+// propagate through integration programs, and how they can help in
+// verifying their correctness". This module implements the propagation
+// half for a concrete class of integration programs -- compositions of
+// renamings and projections over a DTD^C:
+//
+//   rename-element  e  -> e'      (element type renamed everywhere)
+//   rename-field    e.f -> e.f'   (attribute or sub-element field)
+//   drop-element    e             (projection: subtrees removed)
+//   drop-field      e.f           (projection: attribute / child removed)
+//
+// A Mapping applies to the three components of a DTD^C world: the
+// structure (ApplyToDtd), documents (ApplyToDocument -- a fresh tree is
+// built), and the constraint set (PropagateConstraints). The propagation
+// guarantee, checked by the test suite:
+//
+//   if G |= Sigma, then Apply(G) |= Propagate(Sigma),
+//
+// i.e. propagated constraints are sound; constraints whose fields are
+// projected away are dropped (their information is no longer stated).
+
+#ifndef XIC_INTEGRATION_MAPPING_H_
+#define XIC_INTEGRATION_MAPPING_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct RenameElement {
+  std::string from;
+  std::string to;
+};
+struct RenameField {
+  std::string element;
+  std::string from;
+  std::string to;
+};
+struct DropElement {
+  std::string element;
+};
+struct DropField {
+  std::string element;
+  std::string field;
+};
+
+using MappingStep =
+    std::variant<RenameElement, RenameField, DropElement, DropField>;
+
+std::string MappingStepToString(const MappingStep& step);
+
+class Mapping {
+ public:
+  Mapping& Rename(std::string from, std::string to);
+  Mapping& RenameFieldOf(std::string element, std::string from,
+                         std::string to);
+  Mapping& Drop(std::string element);
+  Mapping& DropFieldOf(std::string element, std::string field);
+
+  const std::vector<MappingStep>& steps() const { return steps_; }
+
+  /// The transformed structure. Renames must not collide with existing
+  /// names; the root cannot be dropped.
+  Result<DtdStructure> ApplyToDtd(const DtdStructure& dtd) const;
+
+  /// A fresh tree with the mapping applied (dropped elements' subtrees
+  /// removed, labels / attributes renamed, dropped fields removed).
+  Result<DataTree> ApplyToDocument(const DataTree& tree,
+                                   const DtdStructure& dtd) const;
+
+  /// The constraints that survive the mapping, with names rewritten.
+  /// Constraints touching a dropped element or field are removed.
+  Result<ConstraintSet> PropagateConstraints(const ConstraintSet& sigma,
+                                             const DtdStructure& dtd) const;
+
+ private:
+  std::vector<MappingStep> steps_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_INTEGRATION_MAPPING_H_

@@ -1,0 +1,141 @@
+#include "logic/ef_game.h"
+
+#include <set>
+#include <string>
+
+namespace xic {
+
+EfGame2::EfGame2(const FoStructure& a, const FoStructure& b)
+    : a_(a),
+      b_(b),
+      size_a_(a.size()),
+      size_b_(b.size()),
+      num_pairs_(size_a_ * size_b_) {}
+
+size_t EfGame2::num_configs() const {
+  return (num_pairs_ + 1) * (num_pairs_ + 1);
+}
+
+bool EfGame2::PairCompatible(size_t a, size_t b) const {
+  // Unary relations and self-loops must agree.
+  std::set<std::string> relations;
+  for (const auto& [name, elems] : a_.unary()) relations.insert(name);
+  for (const auto& [name, elems] : b_.unary()) relations.insert(name);
+  for (const std::string& r : relations) {
+    if (a_.HasUnary(r, a) != b_.HasUnary(r, b)) return false;
+  }
+  std::set<std::string> binaries;
+  for (const auto& [name, edges] : a_.binary()) binaries.insert(name);
+  for (const auto& [name, edges] : b_.binary()) binaries.insert(name);
+  for (const std::string& r : binaries) {
+    if (a_.HasEdge(r, a, a) != b_.HasEdge(r, b, b)) return false;
+  }
+  return true;
+}
+
+bool EfGame2::ConfigValid(size_t p1, size_t p2) const {
+  const size_t unset = num_pairs_;
+  auto pair_ok = [&](size_t p) {
+    return p == unset || PairCompatible(p / size_b_, p % size_b_);
+  };
+  if (!pair_ok(p1) || !pair_ok(p2)) return false;
+  if (p1 == unset || p2 == unset) return true;
+  size_t a1 = p1 / size_b_, b1 = p1 % size_b_;
+  size_t a2 = p2 / size_b_, b2 = p2 % size_b_;
+  if ((a1 == a2) != (b1 == b2)) return false;
+  std::set<std::string> binaries;
+  for (const auto& [name, edges] : a_.binary()) binaries.insert(name);
+  for (const auto& [name, edges] : b_.binary()) binaries.insert(name);
+  for (const std::string& r : binaries) {
+    if (a_.HasEdge(r, a1, a2) != b_.HasEdge(r, b1, b2)) return false;
+    if (a_.HasEdge(r, a2, a1) != b_.HasEdge(r, b2, b1)) return false;
+  }
+  return true;
+}
+
+void EfGame2::InitWin() {
+  win_.assign(num_configs(), 0);
+  for (size_t p1 = 0; p1 <= num_pairs_; ++p1) {
+    for (size_t p2 = 0; p2 <= num_pairs_; ++p2) {
+      win_[ConfigIndex(p1, p2)] = ConfigValid(p1, p2) ? 1 : 0;
+    }
+  }
+  initialized_ = true;
+  rounds_computed_ = 0;
+  fixpoint_ = false;
+}
+
+bool EfGame2::Refine() {
+  // ok_a[q]: with the other pebble at q, every spoiler placement a' in A
+  // has a reply b' with (q, (a', b')) winning. ok_b symmetric.
+  std::vector<uint8_t> ok_a(num_pairs_ + 1, 1), ok_b(num_pairs_ + 1, 1);
+  std::vector<uint8_t> row(size_a_), col(size_b_);
+  for (size_t q = 0; q <= num_pairs_; ++q) {
+    std::fill(row.begin(), row.end(), 0);
+    std::fill(col.begin(), col.end(), 0);
+    const size_t base = q * (num_pairs_ + 1);
+    for (size_t a = 0; a < size_a_; ++a) {
+      for (size_t b = 0; b < size_b_; ++b) {
+        if (win_[base + PairIndex(a, b)]) {
+          row[a] = 1;
+          col[b] = 1;
+        }
+      }
+    }
+    for (size_t a = 0; a < size_a_; ++a) {
+      if (!row[a]) {
+        ok_a[q] = 0;
+        break;
+      }
+    }
+    for (size_t b = 0; b < size_b_; ++b) {
+      if (!col[b]) {
+        ok_b[q] = 0;
+        break;
+      }
+    }
+  }
+  bool changed = false;
+  for (size_t p1 = 0; p1 <= num_pairs_; ++p1) {
+    for (size_t p2 = 0; p2 <= num_pairs_; ++p2) {
+      size_t idx = ConfigIndex(p1, p2);
+      if (!win_[idx]) continue;
+      // Spoiler may move pebble 1 (other pebble p2) or pebble 2 (other
+      // pebble p1), on either side.
+      if (!(ok_a[p2] && ok_b[p2] && ok_a[p1] && ok_b[p1])) {
+        win_[idx] = 0;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool EfGame2::DuplicatorWins(size_t rounds) {
+  if (!initialized_) InitWin();
+  while (rounds_computed_ < rounds && !fixpoint_) {
+    if (!Refine()) {
+      fixpoint_ = true;
+      break;
+    }
+    ++rounds_computed_;
+  }
+  const size_t unset = num_pairs_;
+  return win_[ConfigIndex(unset, unset)] != 0;
+}
+
+EfGame2::FixpointResult EfGame2::DecideFo2Equivalence(size_t max_rounds) {
+  if (!initialized_) InitWin();
+  while (!fixpoint_ && rounds_computed_ < max_rounds) {
+    if (!Refine()) {
+      fixpoint_ = true;
+      break;
+    }
+    ++rounds_computed_;
+  }
+  const size_t unset = num_pairs_;
+  return FixpointResult{win_[ConfigIndex(unset, unset)] != 0,
+                        rounds_computed_};
+}
+
+}  // namespace xic

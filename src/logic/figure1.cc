@@ -1,0 +1,28 @@
+#include "logic/figure1.h"
+
+namespace xic {
+
+FoStructure MakeFigure1Matching(size_t n) {
+  // Elements 0..n-1 are sources, n..2n-1 targets; edges s_i -> t_i.
+  FoStructure g(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(kFigure1Relation, i, n + i);
+  }
+  return g;
+}
+
+FoStructure MakeFigure1Shared(size_t n) {
+  // Elements 0..n are sources, n+1..2n targets.
+  // Edges: s_0 -> t_0, s_1 -> t_0 (the shared target), s_{i+1} -> t_i for
+  // i = 1..n-1.
+  FoStructure g(2 * n + 1);
+  const size_t target_base = n + 1;
+  g.AddEdge(kFigure1Relation, 0, target_base);
+  g.AddEdge(kFigure1Relation, 1, target_base);
+  for (size_t i = 1; i < n; ++i) {
+    g.AddEdge(kFigure1Relation, i + 1, target_base + i);
+  }
+  return g;
+}
+
+}  // namespace xic

@@ -1,0 +1,37 @@
+// The Figure 1 family: pairs (G, G') of structures over one binary
+// relation l that are FO^2-equivalent yet separated by the unary key
+// constraint tau.l -> tau.
+//
+// The paper's figure is a drawing (not recoverable from the text); we
+// reconstruct a family with exactly the stated properties and certify
+// them mechanically (tests run the EF-game solver to a fixpoint and the
+// key evaluator on both structures):
+//   * G(n): a perfect matching s_i -> t_i, i = 1..n  (key holds);
+//   * G'(n): n+1 sources and n targets where s_1 and s_2 both point to
+//     t_1 and s_{i+1} -> t_i for i >= 2  (t_1 has two predecessors, so
+//     the key fails).
+// For n >= 2 both structures have >= 2 sources and >= 2 targets of every
+// realized 1-type, and with only two pebbles the spoiler can never
+// exhibit two predecessors of one target simultaneously, so duplicator
+// wins every round.
+
+#ifndef XIC_LOGIC_FIGURE1_H_
+#define XIC_LOGIC_FIGURE1_H_
+
+#include <string>
+
+#include "logic/structure.h"
+
+namespace xic {
+
+inline constexpr const char* kFigure1Relation = "l";
+
+/// G(n): perfect matching with n edges (2n elements).
+FoStructure MakeFigure1Matching(size_t n);
+
+/// G'(n): one shared target (2n + 1 elements, n + 1 edges).
+FoStructure MakeFigure1Shared(size_t n);
+
+}  // namespace xic
+
+#endif  // XIC_LOGIC_FIGURE1_H_

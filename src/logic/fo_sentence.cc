@@ -1,0 +1,178 @@
+#include "logic/fo_sentence.h"
+
+#include <map>
+
+namespace xic {
+
+FoPtr FoFormula::True() {
+  return FoPtr(new FoFormula(FoKind::kTrue, "", "", "", nullptr, nullptr));
+}
+FoPtr FoFormula::Atom(std::string relation, std::string x, std::string y) {
+  return FoPtr(new FoFormula(FoKind::kAtom, std::move(relation), std::move(x), std::move(y),
+              nullptr, nullptr));
+}
+FoPtr FoFormula::Unary(std::string relation, std::string x) {
+  return FoPtr(new FoFormula(FoKind::kUnary, std::move(relation), std::move(x), "", nullptr,
+              nullptr));
+}
+FoPtr FoFormula::Equals(std::string x, std::string y) {
+  return FoPtr(new FoFormula(FoKind::kEquals, "", std::move(x), std::move(y), nullptr,
+              nullptr));
+}
+FoPtr FoFormula::Not(FoPtr inner) {
+  return FoPtr(new FoFormula(FoKind::kNot, "", "", "", std::move(inner), nullptr));
+}
+FoPtr FoFormula::And(FoPtr left, FoPtr right) {
+  return FoPtr(new FoFormula(FoKind::kAnd, "", "", "", std::move(left), std::move(right)));
+}
+FoPtr FoFormula::Or(FoPtr left, FoPtr right) {
+  return FoPtr(new FoFormula(FoKind::kOr, "", "", "", std::move(left), std::move(right)));
+}
+FoPtr FoFormula::Implies(FoPtr left, FoPtr right) {
+  return Or(Not(std::move(left)), std::move(right));
+}
+FoPtr FoFormula::Exists(std::string var, FoPtr inner) {
+  return FoPtr(new FoFormula(FoKind::kExists, "", std::move(var), "", std::move(inner),
+              nullptr));
+}
+FoPtr FoFormula::Forall(std::string var, FoPtr inner) {
+  return FoPtr(new FoFormula(FoKind::kForall, "", std::move(var), "", std::move(inner),
+              nullptr));
+}
+
+void FoFormula::CollectVariables(std::set<std::string>* out) const {
+  switch (kind_) {
+    case FoKind::kTrue:
+      return;
+    case FoKind::kAtom:
+      out->insert(var1_);
+      out->insert(var2_);
+      return;
+    case FoKind::kUnary:
+      out->insert(var1_);
+      return;
+    case FoKind::kEquals:
+      out->insert(var1_);
+      out->insert(var2_);
+      return;
+    case FoKind::kNot:
+      left_->CollectVariables(out);
+      return;
+    case FoKind::kAnd:
+    case FoKind::kOr:
+      left_->CollectVariables(out);
+      right_->CollectVariables(out);
+      return;
+    case FoKind::kExists:
+    case FoKind::kForall:
+      out->insert(var1_);
+      left_->CollectVariables(out);
+      return;
+  }
+}
+
+size_t FoFormula::VariableCount() const {
+  std::set<std::string> vars;
+  CollectVariables(&vars);
+  return vars.size();
+}
+
+bool FoFormula::Eval(const FoStructure& structure,
+                     std::map<std::string, size_t>* binding) const {
+  switch (kind_) {
+    case FoKind::kTrue:
+      return true;
+    case FoKind::kAtom:
+      return structure.HasEdge(relation_, binding->at(var1_),
+                               binding->at(var2_));
+    case FoKind::kUnary:
+      return structure.HasUnary(relation_, binding->at(var1_));
+    case FoKind::kEquals:
+      return binding->at(var1_) == binding->at(var2_);
+    case FoKind::kNot:
+      return !left_->Eval(structure, binding);
+    case FoKind::kAnd:
+      return left_->Eval(structure, binding) &&
+             right_->Eval(structure, binding);
+    case FoKind::kOr:
+      return left_->Eval(structure, binding) ||
+             right_->Eval(structure, binding);
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      // Save and restore any outer binding of the re-quantified name.
+      auto it = binding->find(var1_);
+      bool had = it != binding->end();
+      size_t saved = had ? it->second : 0;
+      bool result = kind_ == FoKind::kForall;
+      for (size_t e = 0; e < structure.size(); ++e) {
+        (*binding)[var1_] = e;
+        bool inner = left_->Eval(structure, binding);
+        if (kind_ == FoKind::kExists && inner) {
+          result = true;
+          break;
+        }
+        if (kind_ == FoKind::kForall && !inner) {
+          result = false;
+          break;
+        }
+      }
+      if (had) {
+        (*binding)[var1_] = saved;
+      } else {
+        binding->erase(var1_);
+      }
+      return result;
+    }
+  }
+  return false;
+}
+
+bool FoFormula::Evaluate(const FoStructure& structure) const {
+  std::map<std::string, size_t> binding;
+  return Eval(structure, &binding);
+}
+
+std::string FoFormula::ToString() const {
+  switch (kind_) {
+    case FoKind::kTrue:
+      return "true";
+    case FoKind::kAtom:
+      return relation_ + "(" + var1_ + "," + var2_ + ")";
+    case FoKind::kUnary:
+      return relation_ + "(" + var1_ + ")";
+    case FoKind::kEquals:
+      return var1_ + "=" + var2_;
+    case FoKind::kNot:
+      return "!(" + left_->ToString() + ")";
+    case FoKind::kAnd:
+      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+    case FoKind::kOr:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+    case FoKind::kExists:
+      return "E" + var1_ + ".(" + left_->ToString() + ")";
+    case FoKind::kForall:
+      return "A" + var1_ + ".(" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+FoPtr UnaryKeySentence(const std::string& relation) {
+  using F = FoFormula;
+  return F::Forall(
+      "x", F::Forall(
+               "y", F::Implies(
+                        F::Exists("z", F::And(F::Atom(relation, "x", "z"),
+                                              F::Atom(relation, "y", "z"))),
+                        F::Equals("x", "y"))));
+}
+
+FoPtr AtLeastTwo(const std::string& var1, const std::string& var2,
+                 FoPtr phi_of_var1, FoPtr phi_of_var2) {
+  using F = FoFormula;
+  return F::Exists(
+      var1, F::And(std::move(phi_of_var1),
+                   F::Exists(var2, F::And(F::Not(F::Equals(var1, var2)),
+                                          std::move(phi_of_var2)))));
+}
+
+}  // namespace xic

@@ -1,0 +1,39 @@
+#include "logic/structure.h"
+
+namespace xic {
+
+void FoStructure::AddUnary(const std::string& relation, size_t element) {
+  unary_[relation].insert(element);
+}
+
+void FoStructure::AddEdge(const std::string& relation, size_t from,
+                          size_t to) {
+  binary_[relation].insert({from, to});
+}
+
+bool FoStructure::HasUnary(const std::string& relation,
+                           size_t element) const {
+  auto it = unary_.find(relation);
+  return it != unary_.end() && it->second.count(element) > 0;
+}
+
+bool FoStructure::HasEdge(const std::string& relation, size_t from,
+                          size_t to) const {
+  auto it = binary_.find(relation);
+  return it != binary_.end() && it->second.count({from, to}) > 0;
+}
+
+bool FoStructure::SatisfiesUnaryKey(const std::string& relation) const {
+  auto it = binary_.find(relation);
+  if (it == binary_.end()) return true;
+  // successor -> first predecessor seen; a second distinct predecessor
+  // falsifies the key.
+  std::map<size_t, size_t> pred;
+  for (const auto& [from, to] : it->second) {
+    auto [entry, inserted] = pred.emplace(to, from);
+    if (!inserted && entry->second != from) return false;
+  }
+  return true;
+}
+
+}  // namespace xic

@@ -1,0 +1,48 @@
+// Finite first-order structures over a vocabulary of unary and binary
+// relation symbols -- the substrate for the paper's Figure 1 argument
+// that unary key constraints are not expressible in FO^2.
+
+#ifndef XIC_LOGIC_STRUCTURE_H_
+#define XIC_LOGIC_STRUCTURE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace xic {
+
+class FoStructure {
+ public:
+  explicit FoStructure(size_t universe_size) : size_(universe_size) {}
+
+  size_t size() const { return size_; }
+
+  void AddUnary(const std::string& relation, size_t element);
+  void AddEdge(const std::string& relation, size_t from, size_t to);
+
+  bool HasUnary(const std::string& relation, size_t element) const;
+  bool HasEdge(const std::string& relation, size_t from, size_t to) const;
+
+  const std::map<std::string, std::set<size_t>>& unary() const {
+    return unary_;
+  }
+  const std::map<std::string, std::set<std::pair<size_t, size_t>>>& binary()
+      const {
+    return binary_;
+  }
+
+  /// Evaluates the paper's unary key constraint
+  ///   forall x, y (exists z (l(x,z) and l(y,z)) -> x = y)
+  /// i.e. no two distinct elements share an l-successor.
+  bool SatisfiesUnaryKey(const std::string& relation) const;
+
+ private:
+  size_t size_;
+  std::map<std::string, std::set<size_t>> unary_;
+  std::map<std::string, std::set<std::pair<size_t, size_t>>> binary_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_LOGIC_STRUCTURE_H_

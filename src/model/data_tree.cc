@@ -1,0 +1,117 @@
+#include "model/data_tree.h"
+
+namespace xic {
+
+VertexId DataTree::AddVertex(std::string element_name) {
+  VertexId id = static_cast<VertexId>(labels_.size());
+  labels_.push_back(std::move(element_name));
+  children_.emplace_back();
+  parents_.push_back(kInvalidVertex);
+  attributes_.emplace_back();
+  if (root_ == kInvalidVertex) root_ = id;
+  return id;
+}
+
+Status DataTree::AddChildVertex(VertexId parent, VertexId child) {
+  if (parent >= size() || child >= size()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  if (child == root_) {
+    return Status::InvalidArgument("the root cannot become a child");
+  }
+  if (parents_[child] != kInvalidVertex) {
+    return Status::InvalidArgument("vertex already has a parent");
+  }
+  parents_[child] = parent;
+  children_[parent].emplace_back(child);
+  return Status::OK();
+}
+
+void DataTree::AddChildText(VertexId parent, std::string text) {
+  children_[parent].emplace_back(std::move(text));
+}
+
+void DataTree::SetAttribute(VertexId v, const std::string& name,
+                            AttrValue value) {
+  attributes_[v][name] = std::move(value);
+}
+
+void DataTree::SetAttribute(VertexId v, const std::string& name,
+                            std::string value) {
+  attributes_[v][name] = AttrValue{std::move(value)};
+}
+
+bool DataTree::HasAttribute(VertexId v, const std::string& name) const {
+  return attributes_[v].count(name) > 0;
+}
+
+Result<AttrValue> DataTree::Attribute(VertexId v,
+                                      const std::string& name) const {
+  auto it = attributes_[v].find(name);
+  if (it == attributes_[v].end()) {
+    return Status::InvalidArgument("attribute " + name +
+                                   " undefined on vertex");
+  }
+  return it->second;
+}
+
+Result<std::string> DataTree::SingleAttribute(VertexId v,
+                                              const std::string& name) const {
+  auto it = attributes_[v].find(name);
+  if (it == attributes_[v].end()) {
+    return Status::InvalidArgument("attribute " + name +
+                                   " undefined on vertex");
+  }
+  if (it->second.size() != 1) {
+    return Status::InvalidArgument("attribute " + name +
+                                   " is not single-valued on vertex");
+  }
+  return *it->second.begin();
+}
+
+std::vector<VertexId> DataTree::Extent(
+    const std::string& element_name) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < size(); ++v) {
+    if (labels_[v] == element_name) out.push_back(v);
+  }
+  return out;
+}
+
+std::set<std::string> DataTree::Labels() const {
+  return std::set<std::string>(labels_.begin(), labels_.end());
+}
+
+std::vector<VertexId> DataTree::ChildVertices(VertexId v) const {
+  std::vector<VertexId> out;
+  for (const Child& c : children_[v]) {
+    if (const VertexId* id = std::get_if<VertexId>(&c)) out.push_back(*id);
+  }
+  return out;
+}
+
+std::vector<std::string> DataTree::ChildWord(VertexId v) const {
+  std::vector<std::string> out;
+  for (const Child& c : children_[v]) {
+    if (const VertexId* id = std::get_if<VertexId>(&c)) {
+      out.push_back(labels_[*id]);
+    } else {
+      out.push_back("#PCDATA");
+    }
+  }
+  return out;
+}
+
+ExtentIndex::ExtentIndex(const DataTree& tree) {
+  for (VertexId v = 0; v < tree.size(); ++v) {
+    extents_[tree.label(v)].push_back(v);
+  }
+}
+
+const std::vector<VertexId>& ExtentIndex::Extent(
+    const std::string& element_name) const {
+  auto it = extents_.find(element_name);
+  return it == extents_.end() ? empty_ : it->second;
+}
+
+}  // namespace xic

@@ -1,0 +1,123 @@
+// The XML data model of Definition 2.1.
+//
+// A data tree is (V, elem, att, root):
+//   * V     -- a set of vertices,
+//   * elem  -- maps each vertex to its element name and ordered list of
+//              children (string values or vertices), forming a tree,
+//   * att   -- partial map from (vertex, attribute name) to a *set* of
+//              atomic values (single-valued attributes hold singletons),
+//   * root  -- the distinguished root vertex.
+//
+// Vertices are arena-allocated and identified by dense VertexId indexes,
+// so ext(tau) extents and per-attribute indexes are cheap arrays.
+
+#ifndef XIC_MODEL_DATA_TREE_H_
+#define XIC_MODEL_DATA_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic {
+
+using VertexId = uint32_t;
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// A child of a vertex: either a string value or a sub-tree vertex.
+using Child = std::variant<std::string, VertexId>;
+
+/// The (unordered) value of one attribute: a set of atomic values.
+using AttrValue = std::set<std::string>;
+
+class DataTree {
+ public:
+  DataTree() = default;
+
+  /// Creates a vertex labeled `element_name`; the first vertex created
+  /// becomes the root. Returns its id.
+  VertexId AddVertex(std::string element_name);
+
+  /// Appends `child` as the last child of `parent`. Fails if `child`
+  /// already has a parent or if the edge would break the tree shape.
+  Status AddChildVertex(VertexId parent, VertexId child);
+
+  /// Appends a string child (character data) to `parent`.
+  void AddChildText(VertexId parent, std::string text);
+
+  /// Sets attribute `name` of `v` to the given set of values, replacing
+  /// any previous value.
+  void SetAttribute(VertexId v, const std::string& name, AttrValue value);
+
+  /// Convenience for single-valued attributes.
+  void SetAttribute(VertexId v, const std::string& name, std::string value);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  VertexId root() const { return root_; }
+
+  const std::string& label(VertexId v) const { return labels_[v]; }
+  const std::vector<Child>& children(VertexId v) const {
+    return children_[v];
+  }
+  /// Parent of `v`, or kInvalidVertex for the root.
+  VertexId parent(VertexId v) const { return parents_[v]; }
+
+  /// The attribute map of `v` (name -> set of values).
+  const std::map<std::string, AttrValue>& attributes(VertexId v) const {
+    return attributes_[v];
+  }
+
+  /// True iff att(v, name) is defined.
+  bool HasAttribute(VertexId v, const std::string& name) const;
+
+  /// att(v, name); fails if undefined.
+  Result<AttrValue> Attribute(VertexId v, const std::string& name) const;
+
+  /// The single value of a single-valued attribute; fails if undefined or
+  /// not a singleton.
+  Result<std::string> SingleAttribute(VertexId v,
+                                      const std::string& name) const;
+
+  /// ext(tau): ids of all vertices labeled `element_name`, in creation
+  /// order. O(|V|) per call; see ExtentIndex for repeated queries.
+  std::vector<VertexId> Extent(const std::string& element_name) const;
+
+  /// All distinct labels in the tree.
+  std::set<std::string> Labels() const;
+
+  /// Vertex-labelled children only (skipping string children), in order.
+  std::vector<VertexId> ChildVertices(VertexId v) const;
+
+  /// Labels of all children in order, with string children rendered as
+  /// the reserved S symbol -- the word checked against P(tau).
+  std::vector<std::string> ChildWord(VertexId v) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::vector<Child>> children_;
+  std::vector<VertexId> parents_;
+  std::vector<std::map<std::string, AttrValue>> attributes_;
+  VertexId root_ = kInvalidVertex;
+};
+
+/// Precomputed ext(tau) index over an immutable DataTree.
+class ExtentIndex {
+ public:
+  explicit ExtentIndex(const DataTree& tree);
+
+  /// ext(tau) (empty if the label does not occur).
+  const std::vector<VertexId>& Extent(const std::string& element_name) const;
+
+ private:
+  std::map<std::string, std::vector<VertexId>> extents_;
+  std::vector<VertexId> empty_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_MODEL_DATA_TREE_H_

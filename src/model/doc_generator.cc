@@ -1,0 +1,177 @@
+#include "model/doc_generator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xic {
+
+namespace {
+
+constexpr size_t kInfinite = std::numeric_limits<size_t>::max();
+
+// Minimal element-nesting cost of deriving a word of L(re), given the
+// current estimates for element types. Epsilon-derivable parts cost 0;
+// an element symbol costs its own min depth.
+size_t RegexCost(const Regex& re,
+                 const std::map<std::string, size_t>& depths) {
+  switch (re.kind()) {
+    case RegexKind::kEpsilon:
+      return 0;
+    case RegexKind::kSymbol: {
+      if (re.symbol() == kStringSymbol) return 0;
+      auto it = depths.find(re.symbol());
+      return it == depths.end() ? kInfinite : it->second;
+    }
+    case RegexKind::kUnion:
+      return std::min(RegexCost(*re.left(), depths),
+                      RegexCost(*re.right(), depths));
+    case RegexKind::kConcat: {
+      size_t l = RegexCost(*re.left(), depths);
+      size_t r = RegexCost(*re.right(), depths);
+      return (l == kInfinite || r == kInfinite) ? kInfinite
+                                                : std::max(l, r);
+    }
+    case RegexKind::kStar:
+      return 0;  // zero repetitions
+  }
+  return kInfinite;
+}
+
+}  // namespace
+
+DocGenerator::DocGenerator(const DtdStructure& dtd,
+                           DocGeneratorOptions options)
+    : dtd_(dtd), options_(options), rng_(options.seed) {
+  status_ = BuildMinDepths();
+}
+
+Status DocGenerator::BuildMinDepths() {
+  XIC_RETURN_IF_ERROR(dtd_.Validate());
+  // Fixpoint: D(e) = 1 + cost(P(e)) with unknown types costing infinity.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& element : dtd_.Elements()) {
+      Result<RegexPtr> model = dtd_.ContentModel(element);
+      if (!model.ok()) return model.status();
+      size_t cost = RegexCost(*model.value(), min_depth_);
+      if (cost == kInfinite) continue;
+      size_t depth = 1 + cost;
+      auto it = min_depth_.find(element);
+      if (it == min_depth_.end() || it->second > depth) {
+        min_depth_[element] = depth;
+        changed = true;
+      }
+    }
+  }
+  if (min_depth_.count(dtd_.root()) == 0) {
+    return Status::InvalidArgument(
+        "the root type has no finite derivation (every branch recurses)");
+  }
+  return Status::OK();
+}
+
+std::optional<size_t> DocGenerator::MinDepth(
+    const std::string& element) const {
+  auto it = min_depth_.find(element);
+  if (it == min_depth_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string DocGenerator::RandomValue() {
+  return "v" + std::to_string(rng_() % options_.value_pool);
+}
+
+Status DocGenerator::SampleWord(const RegexPtr& re, size_t budget,
+                                std::vector<std::string>* out) {
+  switch (re->kind()) {
+    case RegexKind::kEpsilon:
+      return Status::OK();
+    case RegexKind::kSymbol:
+      if (re->symbol() != kStringSymbol) {
+        auto it = min_depth_.find(re->symbol());
+        if (it == min_depth_.end() || it->second > budget) {
+          return Status::InvalidArgument(
+              "depth budget exhausted deriving " + re->symbol());
+        }
+      }
+      out->push_back(re->symbol());
+      return Status::OK();
+    case RegexKind::kUnion: {
+      size_t l = RegexCost(*re->left(), min_depth_);
+      size_t r = RegexCost(*re->right(), min_depth_);
+      bool left_ok = l <= budget;
+      bool right_ok = r <= budget;
+      if (!left_ok && !right_ok) {
+        return Status::InvalidArgument("depth budget exhausted in a union");
+      }
+      bool pick_left =
+          left_ok && (!right_ok || rng_() % 2 == 0);
+      return SampleWord(pick_left ? re->left() : re->right(), budget, out);
+    }
+    case RegexKind::kConcat:
+      XIC_RETURN_IF_ERROR(SampleWord(re->left(), budget, out));
+      return SampleWord(re->right(), budget, out);
+    case RegexKind::kStar: {
+      if (RegexCost(*re->inner(), min_depth_) > budget ||
+          options_.star_mean <= 0.0) {
+        return Status::OK();  // zero repetitions fit any budget
+      }
+      std::geometric_distribution<size_t> repeats(
+          1.0 / (1.0 + options_.star_mean));
+      size_t k = repeats(rng_);
+      for (size_t i = 0; i < k; ++i) {
+        XIC_RETURN_IF_ERROR(SampleWord(re->inner(), budget, out));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown regex kind");
+}
+
+Status DocGenerator::BuildElement(DataTree* tree, VertexId vertex,
+                                  const std::string& element, size_t depth) {
+  // Attributes.
+  for (const std::string& attr : dtd_.Attributes(element)) {
+    if (dtd_.IsSetValued(element, attr)) {
+      AttrValue values;
+      size_t n = rng_() % 3;
+      for (size_t i = 0; i < n; ++i) values.insert(RandomValue());
+      tree->SetAttribute(vertex, attr, std::move(values));
+    } else {
+      tree->SetAttribute(vertex, attr, RandomValue());
+    }
+  }
+  // Children.
+  if (depth >= options_.max_depth) {
+    return Status::InvalidArgument("depth budget exhausted");
+  }
+  XIC_ASSIGN_OR_RETURN(RegexPtr model, dtd_.ContentModel(element));
+  std::vector<std::string> word;
+  XIC_RETURN_IF_ERROR(
+      SampleWord(model, options_.max_depth - depth - 1, &word));
+  for (const std::string& symbol : word) {
+    if (symbol == kStringSymbol) {
+      tree->AddChildText(vertex, RandomValue());
+      continue;
+    }
+    VertexId child = tree->AddVertex(symbol);
+    XIC_RETURN_IF_ERROR(tree->AddChildVertex(vertex, child));
+    XIC_RETURN_IF_ERROR(BuildElement(tree, child, symbol, depth + 1));
+  }
+  return Status::OK();
+}
+
+Result<DataTree> DocGenerator::Generate() {
+  XIC_RETURN_IF_ERROR(status_);
+  if (MinDepth(dtd_.root()).value_or(kInfinite) > options_.max_depth) {
+    return Status::InvalidArgument("max_depth below the root's minimal "
+                                   "derivation depth");
+  }
+  DataTree tree;
+  VertexId root = tree.AddVertex(dtd_.root());
+  XIC_RETURN_IF_ERROR(BuildElement(&tree, root, dtd_.root(), 0));
+  return tree;
+}
+
+}  // namespace xic

@@ -1,0 +1,70 @@
+// Random generation of structurally valid documents from a DTD.
+//
+// Samples words from each content model's regular language (unions pick
+// a branch, stars repeat geometrically) under a depth budget; a min-
+// derivation-depth analysis steers recursive models (e.g. the book DTD's
+// nested sections) toward termination. Declared attributes are filled
+// from a small value pool. The generator is the Glushkov matcher's
+// adversary-in-tests (everything generated must validate) and the
+// workload factory for the validation benchmarks.
+
+#ifndef XIC_MODEL_DOC_GENERATOR_H_
+#define XIC_MODEL_DOC_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct DocGeneratorOptions {
+  uint32_t seed = 1;
+  /// Maximum element nesting depth (the root is depth 0). Content models
+  /// whose minimal derivation exceeds the budget fail with
+  /// InvalidArgument.
+  size_t max_depth = 12;
+  /// Expected extra repetitions of starred sub-expressions.
+  double star_mean = 1.0;
+  /// Number of distinct atomic values used for attributes and text.
+  size_t value_pool = 16;
+};
+
+class DocGenerator {
+ public:
+  /// Precomputes the min-derivation-depth table for `dtd` (which must
+  /// outlive the generator).
+  explicit DocGenerator(const DtdStructure& dtd,
+                        DocGeneratorOptions options = {});
+
+  const Status& status() const { return status_; }
+
+  /// A fresh random document rooted at the DTD's root type.
+  Result<DataTree> Generate();
+
+  /// Minimal element-nesting depth needed to derive a complete `element`
+  /// subtree, or nullopt when no finite derivation exists.
+  std::optional<size_t> MinDepth(const std::string& element) const;
+
+ private:
+  Status BuildMinDepths();
+  // Appends a sampled word of L(re) to `out`, spending at most `budget`
+  // nesting levels for element symbols.
+  Status SampleWord(const RegexPtr& re, size_t budget,
+                    std::vector<std::string>* out);
+  Status BuildElement(DataTree* tree, VertexId vertex,
+                      const std::string& element, size_t depth);
+  std::string RandomValue();
+
+  const DtdStructure& dtd_;
+  DocGeneratorOptions options_;
+  Status status_;
+  std::mt19937 rng_;
+  std::map<std::string, size_t> min_depth_;  // element -> minimal depth
+};
+
+}  // namespace xic
+
+#endif  // XIC_MODEL_DOC_GENERATOR_H_

@@ -1,0 +1,222 @@
+#include "model/dtd_structure.h"
+
+#include <cstddef>
+
+namespace xic {
+
+Status DtdStructure::AddElement(const std::string& name, RegexPtr content) {
+  if (name.empty()) return Status::InvalidArgument("empty element name");
+  if (content == nullptr) {
+    return Status::InvalidArgument("null content model for " + name);
+  }
+  auto [it, inserted] = elements_.try_emplace(name);
+  if (!inserted) {
+    return Status::InvalidArgument("element type redeclared: " + name);
+  }
+  it->second.content = std::move(content);
+  return Status::OK();
+}
+
+Status DtdStructure::AddElement(const std::string& name,
+                                const std::string& content) {
+  XIC_ASSIGN_OR_RETURN(RegexPtr re, ParseContentModel(content));
+  return AddElement(name, std::move(re));
+}
+
+Status DtdStructure::AddAttribute(const std::string& element,
+                                  const std::string& attr,
+                                  AttrCardinality card) {
+  auto it = elements_.find(element);
+  if (it == elements_.end()) {
+    return Status::InvalidArgument("attribute on undeclared element: " +
+                                   element);
+  }
+  auto [attr_it, inserted] = it->second.attrs.try_emplace(attr);
+  if (!inserted) {
+    return Status::InvalidArgument("attribute redeclared: " + element + "." +
+                                   attr);
+  }
+  attr_it->second.card = card;
+  return Status::OK();
+}
+
+Status DtdStructure::SetKind(const std::string& element,
+                             const std::string& attr, AttrKind kind) {
+  auto it = elements_.find(element);
+  if (it == elements_.end()) {
+    return Status::InvalidArgument("kind on undeclared element: " + element);
+  }
+  auto attr_it = it->second.attrs.find(attr);
+  if (attr_it == it->second.attrs.end()) {
+    // Definition 2.2: kind(tau, l) defined implies R(tau, l) defined.
+    return Status::InvalidArgument("kind on undeclared attribute: " +
+                                   element + "." + attr);
+  }
+  if (kind == AttrKind::kId) {
+    if (attr_it->second.card != AttrCardinality::kSingle) {
+      return Status::InvalidArgument("ID attribute must be single-valued: " +
+                                     element + "." + attr);
+    }
+    if (it->second.id_attr.has_value() && *it->second.id_attr != attr) {
+      return Status::InvalidArgument("element " + element +
+                                     " already has an ID attribute " +
+                                     *it->second.id_attr);
+    }
+    it->second.id_attr = attr;
+  }
+  attr_it->second.kind = kind;
+  return Status::OK();
+}
+
+Status DtdStructure::SetRoot(const std::string& element) {
+  root_ = element;
+  return Status::OK();
+}
+
+Status DtdStructure::Validate() const {
+  if (root_.empty()) return Status::InvalidArgument("no root element set");
+  if (elements_.find(root_) == elements_.end()) {
+    return Status::InvalidArgument("root element undeclared: " + root_);
+  }
+  for (const auto& [name, info] : elements_) {
+    for (const std::string& sym : info.content->Symbols()) {
+      if (sym == kStringSymbol) continue;
+      if (elements_.find(sym) == elements_.end()) {
+        return Status::InvalidArgument("content model of " + name +
+                                       " references undeclared element " +
+                                       sym);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const DtdStructure::ElementInfo* DtdStructure::Find(
+    const std::string& element) const {
+  auto it = elements_.find(element);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+bool DtdStructure::HasElement(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> DtdStructure::Elements() const {
+  std::vector<std::string> out;
+  out.reserve(elements_.size());
+  for (const auto& [name, info] : elements_) out.push_back(name);
+  return out;
+}
+
+Result<RegexPtr> DtdStructure::ContentModel(const std::string& element) const {
+  const ElementInfo* info = Find(element);
+  if (info == nullptr) {
+    return Status::InvalidArgument("undeclared element: " + element);
+  }
+  return info->content;
+}
+
+std::vector<std::string> DtdStructure::Attributes(
+    const std::string& element) const {
+  std::vector<std::string> out;
+  if (const ElementInfo* info = Find(element)) {
+    for (const auto& [attr, ai] : info->attrs) out.push_back(attr);
+  }
+  return out;
+}
+
+bool DtdStructure::HasAttribute(const std::string& element,
+                                const std::string& attr) const {
+  const ElementInfo* info = Find(element);
+  return info != nullptr && info->attrs.count(attr) > 0;
+}
+
+Result<AttrCardinality> DtdStructure::Cardinality(
+    const std::string& element, const std::string& attr) const {
+  const ElementInfo* info = Find(element);
+  if (info == nullptr) {
+    return Status::InvalidArgument("undeclared element: " + element);
+  }
+  auto it = info->attrs.find(attr);
+  if (it == info->attrs.end()) {
+    return Status::InvalidArgument("undeclared attribute: " + element + "." +
+                                   attr);
+  }
+  return it->second.card;
+}
+
+bool DtdStructure::IsSingleValued(const std::string& element,
+                                  const std::string& attr) const {
+  Result<AttrCardinality> card = Cardinality(element, attr);
+  return card.ok() && card.value() == AttrCardinality::kSingle;
+}
+
+bool DtdStructure::IsSetValued(const std::string& element,
+                               const std::string& attr) const {
+  Result<AttrCardinality> card = Cardinality(element, attr);
+  return card.ok() && card.value() == AttrCardinality::kSet;
+}
+
+std::optional<AttrKind> DtdStructure::Kind(const std::string& element,
+                                           const std::string& attr) const {
+  const ElementInfo* info = Find(element);
+  if (info == nullptr) return std::nullopt;
+  auto it = info->attrs.find(attr);
+  if (it == info->attrs.end()) return std::nullopt;
+  return it->second.kind;
+}
+
+std::optional<std::string> DtdStructure::IdAttribute(
+    const std::string& element) const {
+  const ElementInfo* info = Find(element);
+  if (info == nullptr) return std::nullopt;
+  return info->id_attr;
+}
+
+bool DtdStructure::IsUniqueSubElement(const std::string& element,
+                                      const std::string& sub) const {
+  const ElementInfo* info = Find(element);
+  if (info == nullptr) return false;
+  return info->content->IsUniqueSymbol(sub);
+}
+
+size_t DtdStructure::DefinitionSize() const {
+  size_t total = 0;
+  for (const auto& [name, info] : elements_) {
+    total += 1 + info.content->ToString().size() / 4 + info.attrs.size();
+    total += info.content->Symbols().size();
+  }
+  return total;
+}
+
+std::string DtdStructure::ToString() const {
+  std::string out;
+  for (const auto& [name, info] : elements_) {
+    // XML requires parentheses around non-EMPTY content models.
+    std::string model = info.content->ToString();
+    if (info.content->kind() != RegexKind::kEpsilon) {
+      model = "(" + model + ")";
+    }
+    out += "<!ELEMENT " + name + " " + model + ">\n";
+    if (!info.attrs.empty()) {
+      out += "<!ATTLIST " + name;
+      for (const auto& [attr, ai] : info.attrs) {
+        out += "\n          " + attr + " ";
+        if (ai.kind.has_value()) {
+          out += (*ai.kind == AttrKind::kId) ? "ID" : "IDREF";
+          if (*ai.kind == AttrKind::kIdref &&
+              ai.card == AttrCardinality::kSet) {
+            out += "S";
+          }
+        } else {
+          out += (ai.card == AttrCardinality::kSet) ? "NMTOKENS" : "CDATA";
+        }
+        out += " #REQUIRED";
+      }
+      out += ">\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xic

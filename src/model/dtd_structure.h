@@ -1,0 +1,131 @@
+// DTD structures (Definition 2.2): S = (E, P, R, kind, r).
+//
+//   * E    -- finite set of element types,
+//   * P    -- element type -> content-model regular expression,
+//   * R    -- partial map (type, attribute) -> S | S* (single/set valued),
+//   * kind -- partial map (type, attribute) -> ID | IDREF, with at most one
+//             single-valued ID attribute per type,
+//   * r    -- root element type.
+//
+// The builder API validates the definition's side conditions eagerly; a
+// final Validate() checks global coherence (P defined for every type,
+// content models mention only declared types, root declared).
+
+#ifndef XIC_MODEL_DTD_STRUCTURE_H_
+#define XIC_MODEL_DTD_STRUCTURE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "regex/content_model.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// R(tau, l): whether an attribute holds one atomic value or a set.
+enum class AttrCardinality {
+  kSingle,  // S
+  kSet,     // S*
+};
+
+/// kind(tau, l) in {ID, IDREF} when defined.
+enum class AttrKind {
+  kId,
+  kIdref,
+};
+
+class DtdStructure {
+ public:
+  DtdStructure() = default;
+
+  /// Declares an element type with its content model. Re-declaring a type
+  /// fails.
+  Status AddElement(const std::string& name, RegexPtr content);
+
+  /// Declares an element type whose content model is given in DTD surface
+  /// syntax (e.g. "(title, publisher)", "EMPTY", "(#PCDATA)").
+  Status AddElement(const std::string& name, const std::string& content);
+
+  /// Declares attribute `attr` on `element` with cardinality `card`.
+  Status AddAttribute(const std::string& element, const std::string& attr,
+                      AttrCardinality card);
+
+  /// Sets kind(element, attr). Requires R(element, attr) defined; an ID
+  /// attribute must be single-valued and unique for its element type.
+  Status SetKind(const std::string& element, const std::string& attr,
+                 AttrKind kind);
+
+  /// Sets the root element type r.
+  Status SetRoot(const std::string& element);
+
+  /// Checks global coherence; call after construction is complete.
+  Status Validate() const;
+
+  // -- Accessors -----------------------------------------------------------
+
+  bool HasElement(const std::string& name) const;
+  /// All declared element types, sorted.
+  std::vector<std::string> Elements() const;
+  const std::string& root() const { return root_; }
+
+  /// P(element); fails if undeclared.
+  Result<RegexPtr> ContentModel(const std::string& element) const;
+
+  /// Att(tau): declared attribute names of `element`, sorted.
+  std::vector<std::string> Attributes(const std::string& element) const;
+
+  /// True iff R(element, attr) is defined.
+  bool HasAttribute(const std::string& element,
+                    const std::string& attr) const;
+
+  /// R(element, attr); fails if undefined.
+  Result<AttrCardinality> Cardinality(const std::string& element,
+                                      const std::string& attr) const;
+
+  bool IsSingleValued(const std::string& element,
+                      const std::string& attr) const;
+  bool IsSetValued(const std::string& element, const std::string& attr) const;
+
+  /// kind(element, attr) if defined.
+  std::optional<AttrKind> Kind(const std::string& element,
+                               const std::string& attr) const;
+
+  /// The name of the (unique) ID attribute of `element`, if any -- the
+  /// paper's `tau.id` notation resolves to this attribute.
+  std::optional<std::string> IdAttribute(const std::string& element) const;
+
+  /// True iff `sub` is a *unique sub-element* of `element` (Section 3.4):
+  /// `sub` occurs exactly once in every word of L(P(element)).
+  bool IsUniqueSubElement(const std::string& element,
+                          const std::string& sub) const;
+
+  /// Total size |P| used in the paper's complexity bounds: sum of content
+  /// model sizes plus attribute declarations.
+  size_t DefinitionSize() const;
+
+  /// DTD surface rendering of the structure (<!ELEMENT ...>/<!ATTLIST ...>).
+  std::string ToString() const;
+
+ private:
+  struct AttrInfo {
+    AttrCardinality card;
+    std::optional<AttrKind> kind;
+  };
+  struct ElementInfo {
+    RegexPtr content;
+    std::map<std::string, AttrInfo> attrs;
+    std::optional<std::string> id_attr;
+  };
+
+  const ElementInfo* Find(const std::string& element) const;
+
+  std::map<std::string, ElementInfo> elements_;
+  std::string root_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_MODEL_DTD_STRUCTURE_H_

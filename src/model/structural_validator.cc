@@ -1,0 +1,92 @@
+#include "model/structural_validator.h"
+
+#include "regex/glushkov.h"
+#include "util/strings.h"
+
+namespace xic {
+
+std::string ValidationReport::ToString() const {
+  if (ok()) return "valid";
+  std::string out;
+  for (const Violation& v : violations) {
+    out += "vertex " + std::to_string(v.vertex) + ": " + v.message + "\n";
+  }
+  return out;
+}
+
+StructuralValidator::StructuralValidator(const DtdStructure& dtd,
+                                         ValidationOptions options)
+    : dtd_(dtd), options_(options) {
+  for (const std::string& element : dtd_.Elements()) {
+    Result<RegexPtr> content = dtd_.ContentModel(element);
+    if (content.ok()) {
+      automata_.emplace(element, GlushkovAutomaton(content.value()));
+    }
+  }
+}
+
+ValidationReport StructuralValidator::Validate(const DataTree& tree) const {
+  ValidationReport report;
+  auto add = [&](VertexId v, std::string msg) {
+    if (options_.max_violations == 0 ||
+        report.violations.size() < options_.max_violations) {
+      report.violations.push_back({v, std::move(msg)});
+    }
+  };
+  auto full = [&] {
+    return options_.max_violations != 0 &&
+           report.violations.size() >= options_.max_violations;
+  };
+
+  if (tree.empty()) {
+    add(kInvalidVertex, "empty document");
+    return report;
+  }
+  if (tree.label(tree.root()) != dtd_.root()) {
+    add(tree.root(), "root labeled " + tree.label(tree.root()) +
+                         ", expected " + dtd_.root());
+  }
+
+  for (VertexId v = 0; v < tree.size() && !full(); ++v) {
+    const std::string& tau = tree.label(v);
+    if (!dtd_.HasElement(tau)) {
+      add(v, "undeclared element type " + tau);
+      continue;
+    }
+    // Children against L(P(tau)).
+    auto automaton = automata_.find(tau);
+    if (automaton != automata_.end() &&
+        !automaton->second.Matches(tree.ChildWord(v))) {
+      std::string word = Join(tree.ChildWord(v), " ");
+      add(v, "children [" + word + "] do not match content model of " + tau);
+    }
+    // Attributes: declared <-> present, single-valued are singletons.
+    for (const auto& [name, value] : tree.attributes(v)) {
+      if (!dtd_.HasAttribute(tau, name)) {
+        add(v, "undeclared attribute " + tau + "." + name);
+        continue;
+      }
+      if (dtd_.IsSingleValued(tau, name) && value.size() != 1) {
+        add(v, "single-valued attribute " + tau + "." + name + " holds " +
+                   std::to_string(value.size()) + " values");
+      }
+    }
+    if (!options_.allow_missing_attributes) {
+      for (const std::string& name : dtd_.Attributes(tau)) {
+        if (!tree.HasAttribute(v, name)) {
+          add(v, "missing declared attribute " + tau + "." + name);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+bool StructuralValidator::AllContentModelsDeterministic() const {
+  for (const auto& [element, automaton] : automata_) {
+    if (!automaton.IsOneUnambiguous()) return false;
+  }
+  return true;
+}
+
+}  // namespace xic

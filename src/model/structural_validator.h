@@ -1,0 +1,69 @@
+// Structural validity of a data tree against a DTD structure
+// (Definition 2.4 without the constraint-set condition G |= Sigma; the
+// constraint half lives in constraints/checker.h).
+//
+// Checks, for every vertex v with label tau:
+//   * the root is labeled r,
+//   * tau is a declared element type,
+//   * the child word of v (string children mapped to S) is in L(P(tau)),
+//   * att(v, l) is defined iff R(tau, l) is defined (strict mode), and
+//     single-valued attributes hold singleton sets.
+//
+// `allow_missing_attributes` relaxes the "only if" direction (XML
+// #IMPLIED attributes); undeclared attributes are always rejected.
+
+#ifndef XIC_MODEL_STRUCTURAL_VALIDATOR_H_
+#define XIC_MODEL_STRUCTURAL_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "regex/glushkov.h"
+
+namespace xic {
+
+struct ValidationOptions {
+  /// Permit a declared attribute to be absent on a vertex (the paper's
+  /// Definition 2.4 is strict; XML's #IMPLIED is not).
+  bool allow_missing_attributes = false;
+  /// Stop after this many violations (0 = collect all).
+  size_t max_violations = 0;
+};
+
+struct Violation {
+  VertexId vertex;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+class StructuralValidator {
+ public:
+  /// Compiles the DTD's content models to Glushkov automata once; the
+  /// validator can then be reused across documents.
+  explicit StructuralValidator(const DtdStructure& dtd,
+                               ValidationOptions options = {});
+
+  /// Validates the tree; the report lists every violation found.
+  ValidationReport Validate(const DataTree& tree) const;
+
+  /// True iff every content model in the DTD is 1-unambiguous
+  /// (deterministic per the XML spec) -- an extension check beyond the
+  /// paper's model.
+  bool AllContentModelsDeterministic() const;
+
+ private:
+  const DtdStructure& dtd_;
+  ValidationOptions options_;
+  std::map<std::string, GlushkovAutomaton> automata_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_MODEL_STRUCTURAL_VALIDATOR_H_

@@ -1,0 +1,111 @@
+#include "oo/export_xml.h"
+
+namespace xic {
+
+Result<OdlExport> ExportOdl(const OdlInstance& instance,
+                            const OdlExportOptions& options) {
+  const OdlSchema& schema = instance.schema();
+  XIC_RETURN_IF_ERROR(schema.Validate());
+
+  OdlExport out;
+  out.sigma.language = Language::kLid;
+
+  // Structure.
+  std::vector<RegexPtr> root_parts;
+  for (const OdlClass& cls : schema.classes()) {
+    root_parts.push_back(Regex::Star(Regex::Symbol(cls.name)));
+    std::vector<RegexPtr> fields;
+    for (const std::string& attr : cls.attributes) {
+      fields.push_back(Regex::Symbol(attr));
+      if (!out.dtd.HasElement(attr)) {
+        XIC_RETURN_IF_ERROR(out.dtd.AddElement(attr, Regex::String()));
+      }
+    }
+    XIC_RETURN_IF_ERROR(
+        out.dtd.AddElement(cls.name, Regex::Sequence(std::move(fields))));
+    XIC_RETURN_IF_ERROR(out.dtd.AddAttribute(cls.name, options.oid_attribute,
+                                             AttrCardinality::kSingle));
+    XIC_RETURN_IF_ERROR(
+        out.dtd.SetKind(cls.name, options.oid_attribute, AttrKind::kId));
+    for (const OdlRelationship& rel : cls.relationships) {
+      bool set_valued = rel.cardinality == RelationshipCardinality::kMany;
+      XIC_RETURN_IF_ERROR(out.dtd.AddAttribute(
+          cls.name, rel.name,
+          set_valued ? AttrCardinality::kSet : AttrCardinality::kSingle));
+      XIC_RETURN_IF_ERROR(out.dtd.SetKind(cls.name, rel.name,
+                                          AttrKind::kIdref));
+    }
+  }
+  XIC_RETURN_IF_ERROR(
+      out.dtd.AddElement(options.root, Regex::Sequence(root_parts)));
+  XIC_RETURN_IF_ERROR(out.dtd.SetRoot(options.root));
+  XIC_RETURN_IF_ERROR(out.dtd.Validate());
+
+  // Constraints.
+  for (const OdlClass& cls : schema.classes()) {
+    out.sigma.constraints.push_back(
+        Constraint::Id(cls.name, options.oid_attribute));
+    for (const std::string& key : cls.keys) {
+      out.sigma.constraints.push_back(Constraint::UnaryKey(cls.name, key));
+    }
+  }
+  for (const OdlClass& cls : schema.classes()) {
+    for (const OdlRelationship& rel : cls.relationships) {
+      bool set_valued = rel.cardinality == RelationshipCardinality::kMany;
+      if (set_valued) {
+        out.sigma.constraints.push_back(Constraint::SetForeignKey(
+            cls.name, rel.name, rel.target_class, options.oid_attribute));
+      } else {
+        out.sigma.constraints.push_back(Constraint::UnaryForeignKey(
+            cls.name, rel.name, rel.target_class, options.oid_attribute));
+      }
+      if (rel.inverse.has_value() && set_valued) {
+        const OdlClass* target = schema.Find(rel.target_class);
+        const OdlRelationship* partner = nullptr;
+        for (const OdlRelationship& r : target->relationships) {
+          if (r.name == *rel.inverse) partner = &r;
+        }
+        if (partner != nullptr &&
+            partner->cardinality == RelationshipCardinality::kMany) {
+          // Emit each inverse pair once (ordered by class/name).
+          Constraint inv = Constraint::InverseId(
+              cls.name, rel.name, rel.target_class, partner->name);
+          Constraint flipped = Constraint::InverseId(
+              rel.target_class, partner->name, cls.name, rel.name);
+          bool already = false;
+          for (const Constraint& c : out.sigma.constraints) {
+            if (c == inv || c == flipped) already = true;
+          }
+          if (!already) out.sigma.constraints.push_back(std::move(inv));
+        }
+      }
+    }
+  }
+
+  // Data.
+  VertexId root = out.tree.AddVertex(options.root);
+  for (const OdlClass& cls : schema.classes()) {
+    for (const OdlObject& obj : instance.objects()) {
+      if (obj.class_name != cls.name) continue;
+      VertexId v = out.tree.AddVertex(cls.name);
+      XIC_RETURN_IF_ERROR(out.tree.AddChildVertex(root, v));
+      out.tree.SetAttribute(v, options.oid_attribute, obj.oid);
+      for (const std::string& attr : cls.attributes) {
+        VertexId field = out.tree.AddVertex(attr);
+        XIC_RETURN_IF_ERROR(out.tree.AddChildVertex(v, field));
+        auto it = obj.attributes.find(attr);
+        out.tree.AddChildText(field,
+                              it != obj.attributes.end() ? it->second : "");
+      }
+      for (const OdlRelationship& rel : cls.relationships) {
+        auto it = obj.relationships.find(rel.name);
+        AttrValue value =
+            it != obj.relationships.end() ? it->second : AttrValue{};
+        out.tree.SetAttribute(v, rel.name, std::move(value));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,44 @@
+// Export of object databases to XML preserving object identity -- the
+// paper's person/dept scenario (Sections 1 and 2.4).
+//
+// Each class becomes an element type with:
+//   * an `oid` ID attribute carrying the object identity,
+//   * attributes exported as unique sub-elements with string content
+//     (so keys like person.name -> person are expressible, Section 3.4),
+//   * relationships exported as IDREF (single) / IDREFS (set) attributes.
+// The constraint set is in L_id: oid ->id per class, the declared unary
+// keys, (set-valued) foreign keys typing each relationship, and inverse
+// constraints for mutually declared set-valued relationship pairs
+// (single-valued sides keep their foreign keys only; L_id inverse
+// constraints require set-valued attributes on both sides).
+
+#ifndef XIC_OO_EXPORT_XML_H_
+#define XIC_OO_EXPORT_XML_H_
+
+#include <string>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "oo/odl_instance.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct OdlExport {
+  DtdStructure dtd;
+  ConstraintSet sigma;  // language L_id
+  DataTree tree;
+};
+
+struct OdlExportOptions {
+  std::string root = "db";
+  std::string oid_attribute = "oid";
+};
+
+Result<OdlExport> ExportOdl(const OdlInstance& instance,
+                            const OdlExportOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_OO_EXPORT_XML_H_

@@ -1,0 +1,96 @@
+#include "oo/odl_instance.h"
+
+#include <algorithm>
+
+namespace xic {
+
+Status OdlInstance::AddObject(OdlObject object) {
+  const OdlClass* cls = schema_.Find(object.class_name);
+  if (cls == nullptr) {
+    return Status::InvalidArgument("unknown class: " + object.class_name);
+  }
+  if (object.oid.empty() || !oids_.insert(object.oid).second) {
+    return Status::InvalidArgument("duplicate or empty oid: " + object.oid);
+  }
+  for (const auto& [name, value] : object.attributes) {
+    if (std::find(cls->attributes.begin(), cls->attributes.end(), name) ==
+        cls->attributes.end()) {
+      return Status::InvalidArgument("undeclared attribute " +
+                                     object.class_name + "." + name);
+    }
+  }
+  for (const auto& [name, refs] : object.relationships) {
+    const OdlRelationship* rel = nullptr;
+    for (const OdlRelationship& r : cls->relationships) {
+      if (r.name == name) rel = &r;
+    }
+    if (rel == nullptr) {
+      return Status::InvalidArgument("undeclared relationship " +
+                                     object.class_name + "." + name);
+    }
+    if (rel->cardinality == RelationshipCardinality::kOne &&
+        refs.size() != 1) {
+      return Status::InvalidArgument("relationship " + object.class_name +
+                                     "." + name + " must hold exactly one "
+                                     "reference");
+    }
+  }
+  objects_.push_back(std::move(object));
+  return Status::OK();
+}
+
+std::vector<std::string> OdlInstance::CheckIntegrity() const {
+  std::vector<std::string> violations;
+  // oid -> object, per class extents.
+  std::map<std::string, const OdlObject*> by_oid;
+  for (const OdlObject& o : objects_) by_oid[o.oid] = &o;
+
+  // Key uniqueness per class.
+  for (const OdlClass& cls : schema_.classes()) {
+    for (const std::string& key : cls.keys) {
+      std::set<std::string> seen;
+      for (const OdlObject& o : objects_) {
+        if (o.class_name != cls.name) continue;
+        auto it = o.attributes.find(key);
+        if (it == o.attributes.end()) {
+          violations.push_back("object " + o.oid + " misses key attribute " +
+                               key);
+          continue;
+        }
+        if (!seen.insert(it->second).second) {
+          violations.push_back("duplicate key " + cls.name + "." + key +
+                               " = " + it->second);
+        }
+      }
+    }
+  }
+  // References: targets exist, have the right class; inverses are mutual.
+  for (const OdlObject& o : objects_) {
+    const OdlClass* cls = schema_.Find(o.class_name);
+    for (const OdlRelationship& rel : cls->relationships) {
+      auto refs = o.relationships.find(rel.name);
+      if (refs == o.relationships.end()) continue;
+      for (const std::string& target_oid : refs->second) {
+        auto target = by_oid.find(target_oid);
+        if (target == by_oid.end() ||
+            target->second->class_name != rel.target_class) {
+          violations.push_back("dangling reference " + o.oid + "." +
+                               rel.name + " -> " + target_oid);
+          continue;
+        }
+        if (rel.inverse.has_value()) {
+          auto back = target->second->relationships.find(*rel.inverse);
+          if (back == target->second->relationships.end() ||
+              back->second.count(o.oid) == 0) {
+            violations.push_back("inverse violation: " + o.oid + "." +
+                                 rel.name + " -> " + target_oid +
+                                 " lacks the back reference");
+          }
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace xic

@@ -1,0 +1,49 @@
+// Object instances for ODL schemas: objects with document-unique oids,
+// attribute values and relationship references.
+
+#ifndef XIC_OO_ODL_INSTANCE_H_
+#define XIC_OO_ODL_INSTANCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "oo/odl_schema.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct OdlObject {
+  std::string class_name;
+  std::string oid;
+  std::map<std::string, std::string> attributes;
+  // relationship name -> referenced oids (singleton for kOne).
+  std::map<std::string, std::set<std::string>> relationships;
+};
+
+class OdlInstance {
+ public:
+  explicit OdlInstance(const OdlSchema& schema) : schema_(schema) {}
+
+  /// Adds an object; fails on unknown class, duplicate oid, undeclared
+  /// attribute / relationship names, or a non-singleton value for a
+  /// single-valued relationship.
+  Status AddObject(OdlObject object);
+
+  const std::vector<OdlObject>& objects() const { return objects_; }
+  const OdlSchema& schema() const { return schema_; }
+
+  /// Integrity report: dangling references, inverse-relationship
+  /// violations, key violations (empty = consistent).
+  std::vector<std::string> CheckIntegrity() const;
+
+ private:
+  const OdlSchema& schema_;
+  std::vector<OdlObject> objects_;
+  std::set<std::string> oids_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_OO_ODL_INSTANCE_H_

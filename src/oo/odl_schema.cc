@@ -1,0 +1,55 @@
+#include "oo/odl_schema.h"
+
+#include <algorithm>
+
+namespace xic {
+
+const OdlClass* OdlSchema::Find(const std::string& name) const {
+  for (const OdlClass& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Status OdlSchema::AddClass(OdlClass cls) {
+  if (Find(cls.name) != nullptr) {
+    return Status::InvalidArgument("class redeclared: " + cls.name);
+  }
+  classes_.push_back(std::move(cls));
+  return Status::OK();
+}
+
+Status OdlSchema::Validate() const {
+  for (const OdlClass& cls : classes_) {
+    for (const std::string& key : cls.keys) {
+      if (std::find(cls.attributes.begin(), cls.attributes.end(), key) ==
+          cls.attributes.end()) {
+        return Status::InvalidArgument("key " + key +
+                                       " is not an attribute of " + cls.name);
+      }
+    }
+    for (const OdlRelationship& rel : cls.relationships) {
+      const OdlClass* target = Find(rel.target_class);
+      if (target == nullptr) {
+        return Status::InvalidArgument("relationship " + cls.name + "." +
+                                       rel.name +
+                                       " targets unknown class " +
+                                       rel.target_class);
+      }
+      if (!rel.inverse.has_value()) continue;
+      const OdlRelationship* partner = nullptr;
+      for (const OdlRelationship& r : target->relationships) {
+        if (r.name == *rel.inverse) partner = &r;
+      }
+      if (partner == nullptr || partner->target_class != cls.name ||
+          partner->inverse != rel.name) {
+        return Status::InvalidArgument(
+            "inverse declaration of " + cls.name + "." + rel.name +
+            " is not mutual with " + rel.target_class + "::" + *rel.inverse);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xic

@@ -1,0 +1,56 @@
+// ODL-style object schemas: the paper's person/dept example (Sections 1
+// and 2.4). Classes have string attributes, keys, and relationships
+// (single- or set-valued) that may declare inverses; exporting to XML
+// (oo/export_xml.h) preserves object identity via ID attributes and the
+// relationship semantics via L_id constraints.
+
+#ifndef XIC_OO_ODL_SCHEMA_H_
+#define XIC_OO_ODL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic {
+
+enum class RelationshipCardinality {
+  kOne,   // relationship <Target>
+  kMany,  // relationship set<Target>
+};
+
+struct OdlRelationship {
+  std::string name;
+  std::string target_class;
+  RelationshipCardinality cardinality = RelationshipCardinality::kOne;
+  /// Name of the inverse relationship on the target class, if declared
+  /// (ODL `inverse Target::name`).
+  std::optional<std::string> inverse;
+};
+
+struct OdlClass {
+  std::string name;
+  std::vector<std::string> attributes;          // string-valued
+  std::vector<std::string> keys;                // unary keys on attributes
+  std::vector<OdlRelationship> relationships;
+};
+
+class OdlSchema {
+ public:
+  Status AddClass(OdlClass cls);
+
+  /// Checks: classes unique, keys/relationships reference declared names,
+  /// inverse declarations are mutual and agree on targets.
+  Status Validate() const;
+
+  const std::vector<OdlClass>& classes() const { return classes_; }
+  const OdlClass* Find(const std::string& name) const;
+
+ private:
+  std::vector<OdlClass> classes_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_OO_ODL_SCHEMA_H_

@@ -1,0 +1,36 @@
+#include "oo/odl_writer.h"
+
+#include "util/strings.h"
+
+namespace xic {
+
+std::string WriteOdl(const OdlSchema& schema) {
+  std::string out;
+  for (const OdlClass& cls : schema.classes()) {
+    out += "interface " + cls.name + " (extent " + cls.name + "s";
+    if (!cls.keys.empty()) {
+      out += ", key " + Join(cls.keys, ", key ");
+    }
+    out += ") {\n";
+    for (const std::string& attr : cls.attributes) {
+      out += "  attribute string " + attr + ";\n";
+    }
+    for (const OdlRelationship& rel : cls.relationships) {
+      out += "  relationship ";
+      if (rel.cardinality == RelationshipCardinality::kMany) {
+        out += "set<" + rel.target_class + ">";
+      } else {
+        out += rel.target_class;
+      }
+      out += " " + rel.name;
+      if (rel.inverse.has_value()) {
+        out += " inverse " + rel.target_class + "::" + *rel.inverse;
+      }
+      out += ";\n";
+    }
+    out += "};\n\n";
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,18 @@
+// ODL text rendering of object schemas -- mirrors the paper's Section 1
+// ODL listing (interface Person (extent persons, key name) { ... }).
+
+#ifndef XIC_OO_ODL_WRITER_H_
+#define XIC_OO_ODL_WRITER_H_
+
+#include <string>
+
+#include "oo/odl_schema.h"
+
+namespace xic {
+
+/// Renders the schema in ODL syntax.
+std::string WriteOdl(const OdlSchema& schema);
+
+}  // namespace xic
+
+#endif  // XIC_OO_ODL_WRITER_H_

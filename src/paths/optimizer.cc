@@ -1,0 +1,123 @@
+#include "paths/optimizer.h"
+
+#include <set>
+
+namespace xic {
+
+std::string PathQuery::ToString() const {
+  return element + "." + path.ToString();
+}
+
+bool PathOptimizer::OccursOnlyUnder(const std::string& element,
+                                    const std::string& parent) const {
+  const DtdStructure& dtd = context_.dtd();
+  for (const std::string& type : dtd.Elements()) {
+    Result<RegexPtr> model = dtd.ContentModel(type);
+    if (!model.ok()) continue;
+    if (model.value()->Symbols().count(element) > 0 && type != parent) {
+      return false;
+    }
+  }
+  // The parent itself must mention it (otherwise the chain is broken).
+  Result<RegexPtr> model = dtd.ContentModel(parent);
+  return model.ok() && model.value()->Symbols().count(element) > 0;
+}
+
+Result<PathPlan> PathOptimizer::Optimize(const PathQuery& query) const {
+  XIC_RETURN_IF_ERROR(context_.status());
+  XIC_ASSIGN_OR_RETURN(std::string result_type,
+                       context_.TypeOf(query.element, query.path));
+  PathPlan plan;
+  plan.scan_element = query.element;
+  plan.path = query.path;
+  plan.result_type = result_type;
+  plan.rewrites.push_back("result type = " + result_type +
+                          " (Prop 4.2 typing)");
+
+  // Rule 2: scan-root promotion over a dominated child-step chain, valid
+  // from the document root.
+  if (query.element == context_.dtd().root()) {
+    size_t promoted = 0;
+    std::string current = query.element;
+    for (const std::string& step : query.path.steps) {
+      if (context_.dtd().HasAttribute(current, step)) break;  // deref/attr
+      if (step == kStringSymbol) break;
+      if (!OccursOnlyUnder(step, current)) break;
+      current = step;
+      ++promoted;
+    }
+    if (promoted > 0) {
+      plan.scan_element = current;
+      plan.path = query.path.Suffix(promoted);
+      plan.rewrites.push_back(
+          "promoted scan root to ext(" + current + ") over " +
+          query.path.Prefix(promoted).ToString() +
+          " (dominated chain, Prop 4.2 equality)");
+    }
+  }
+
+  // Rule 1: dedup elimination when the remaining path has only child
+  // steps (subtree disjointness in trees).
+  bool only_child_steps = true;
+  std::string current = plan.scan_element;
+  for (const std::string& step : plan.path.steps) {
+    if (context_.dtd().HasAttribute(current, step)) {
+      only_child_steps = false;
+      break;
+    }
+    Result<std::string> next =
+        context_.TypeOf(current, Path(std::vector<std::string>{step}));
+    if (!next.ok()) {
+      only_child_steps = false;
+      break;
+    }
+    current = next.value();
+  }
+  if (only_child_steps) {
+    plan.needs_dedup = false;
+    plan.rewrites.push_back(
+        "dedup eliminated (child-step path: subtrees are disjoint)");
+  }
+
+  // Key-path annotation (Prop 4.1).
+  if (context_.IsKeyPath(plan.scan_element, plan.path)) {
+    plan.unique_per_root = true;
+    plan.rewrites.push_back("key path: results determine their scan root "
+                            "(Prop 4.1)");
+  }
+  return plan;
+}
+
+PathPlan NaivePlan(const PathContext& context, const PathQuery& query) {
+  PathPlan plan;
+  plan.scan_element = query.element;
+  plan.path = query.path;
+  plan.needs_dedup = true;
+  Result<std::string> type = context.TypeOf(query.element, query.path);
+  plan.result_type = type.ok() ? type.value() : "";
+  return plan;
+}
+
+std::vector<PathNode> ExecutePlan(const PathEvaluator& evaluator,
+                                  const ExtentIndex& extents,
+                                  const PathPlan& plan,
+                                  ExecutionStats* stats) {
+  std::vector<PathNode> out;
+  std::set<PathNode> seen;
+  for (VertexId root : extents.Extent(plan.scan_element)) {
+    if (stats != nullptr) {
+      ++stats->roots_scanned;
+      stats->steps_walked += plan.path.size();
+    }
+    for (const PathNode& node : evaluator.Nodes(root, plan.path)) {
+      if (plan.needs_dedup) {
+        if (!seen.insert(node).second) continue;
+      }
+      out.push_back(node);
+    }
+  }
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+}  // namespace xic

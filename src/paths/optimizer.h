@@ -1,0 +1,85 @@
+// Constraint-driven optimization of path queries.
+//
+// Section 4 motivates path constraints with query optimization; this
+// module implements three rewrite rules an optimizer can justify with
+// the DTD^C and the Section 4 machinery:
+//
+//   1. *Dedup elimination* -- a query's results need no distinct-set if
+//      the path uses only child steps (subtrees of distinct extent roots
+//      are disjoint in a tree) -- and the plan records when key paths
+//      (Prop 4.1) additionally make results unique per root.
+//   2. *Scan-root promotion* (Prop 4.2 inclusions with equality) -- when
+//      the query path starts with a chain of child steps tau.e1...ek
+//      such that each step's element type occurs in no other content
+//      model and tau is the document root, ext(tau.e1...ek) = ext(ek),
+//      so the scan can start at ext(ek) with the shorter remaining path.
+//   3. *Result typing* (Prop 4.2 with rho2 = epsilon) -- the plan
+//      records the element type of the results, letting consumers prune
+//      type checks (the paper's typed-reference improvement).
+//
+// ExecutePlan runs plans over a PathEvaluator with instrumentation, so
+// tests and bench_optimizer can verify both equivalence and savings.
+
+#ifndef XIC_PATHS_OPTIMIZER_H_
+#define XIC_PATHS_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "paths/path_eval.h"
+#include "paths/path_typing.h"
+
+namespace xic {
+
+/// "Collect ext(element . path)" with distinct results.
+struct PathQuery {
+  std::string element;
+  Path path;
+  std::string ToString() const;
+};
+
+struct PathPlan {
+  std::string scan_element;  // extent to scan (possibly promoted)
+  Path path;                 // remaining navigation
+  bool needs_dedup = true;   // false when disjointness is proven
+  bool unique_per_root = false;  // key-path: <= 1 result set collision
+  std::string result_type;   // element type of results, or "#PCDATA"
+  std::vector<std::string> rewrites;  // applied rules, human-readable
+};
+
+class PathOptimizer {
+ public:
+  explicit PathOptimizer(const PathContext& context) : context_(context) {}
+
+  /// Produces an optimized plan; errors if the path is invalid.
+  Result<PathPlan> Optimize(const PathQuery& query) const;
+
+ private:
+  // True iff e occurs in the content model of exactly one element type,
+  // namely `parent` (so every e vertex sits under a parent vertex).
+  bool OccursOnlyUnder(const std::string& element,
+                       const std::string& parent) const;
+
+  const PathContext& context_;
+};
+
+struct ExecutionStats {
+  size_t roots_scanned = 0;
+  size_t steps_walked = 0;  // total path steps navigated
+  size_t results = 0;
+};
+
+/// Executes a plan over a prebuilt extent index; results are
+/// deduplicated iff the plan requires it (callers can compare against
+/// the naive always-dedup execution).
+std::vector<PathNode> ExecutePlan(const PathEvaluator& evaluator,
+                                  const ExtentIndex& extents,
+                                  const PathPlan& plan,
+                                  ExecutionStats* stats = nullptr);
+
+/// The naive plan for a query (scan `element`, full path, dedup).
+PathPlan NaivePlan(const PathContext& context, const PathQuery& query);
+
+}  // namespace xic
+
+#endif  // XIC_PATHS_OPTIMIZER_H_

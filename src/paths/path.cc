@@ -1,0 +1,58 @@
+#include "paths/path.h"
+
+#include "util/strings.h"
+
+namespace xic {
+
+Result<Path> Path::Parse(const std::string& text) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty() || stripped == "epsilon") return Path{};
+  Path out;
+  for (const std::string& step : Split(stripped, '.')) {
+    std::string_view name = StripWhitespace(step);
+    // "#PCDATA" is the reserved S step (character-data children).
+    if (name != "#PCDATA" && !IsXmlName(name)) {
+      return Status::ParseError("path: invalid step \"" + step + "\" in \"" +
+                                text + "\"");
+    }
+    out.steps.emplace_back(name);
+  }
+  return out;
+}
+
+Path Path::Concat(const Path& suffix) const {
+  Path out = *this;
+  out.steps.insert(out.steps.end(), suffix.steps.begin(),
+                   suffix.steps.end());
+  return out;
+}
+
+Path Path::Prefix(size_t n) const {
+  Path out;
+  out.steps.assign(steps.begin(),
+                   steps.begin() + static_cast<ptrdiff_t>(std::min(n, size())));
+  return out;
+}
+
+Path Path::Suffix(size_t n) const {
+  Path out;
+  if (n < size()) {
+    out.steps.assign(steps.begin() + static_cast<ptrdiff_t>(n), steps.end());
+  }
+  return out;
+}
+
+bool Path::StartsWith(const Path& prefix) const {
+  if (prefix.size() > size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (steps[i] != prefix.steps[i]) return false;
+  }
+  return true;
+}
+
+std::string Path::ToString() const {
+  if (empty()) return "epsilon";
+  return Join(steps, ".");
+}
+
+}  // namespace xic

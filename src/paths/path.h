@@ -1,0 +1,46 @@
+// Navigation paths (Section 4.1): sequences of element / attribute labels.
+
+#ifndef XIC_PATHS_PATH_H_
+#define XIC_PATHS_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic {
+
+/// A path is a (possibly empty) sequence of names in E union A. The empty
+/// path is the paper's epsilon.
+struct Path {
+  std::vector<std::string> steps;
+
+  Path() = default;
+  explicit Path(std::vector<std::string> s) : steps(std::move(s)) {}
+
+  /// Parses dot syntax: "entry.isbn"; "" parses to epsilon.
+  static Result<Path> Parse(const std::string& text);
+
+  bool empty() const { return steps.empty(); }
+  size_t size() const { return steps.size(); }
+
+  /// Concatenation rho . sigma.
+  Path Concat(const Path& suffix) const;
+
+  /// The first `n` steps.
+  Path Prefix(size_t n) const;
+  /// The steps from `n` on.
+  Path Suffix(size_t n) const;
+
+  /// True iff this == prefix.sigma for some sigma.
+  bool StartsWith(const Path& prefix) const;
+
+  /// "epsilon" for the empty path, else dot-joined steps.
+  std::string ToString() const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+}  // namespace xic
+
+#endif  // XIC_PATHS_PATH_H_

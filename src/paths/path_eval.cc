@@ -1,0 +1,110 @@
+#include "paths/path_eval.h"
+
+#include <map>
+
+namespace xic {
+
+PathEvaluator::PathEvaluator(const PathContext& context, const DataTree& tree)
+    : context_(context), tree_(tree), extents_(tree) {
+  const DtdStructure& dtd = context_.dtd();
+  for (VertexId v = 0; v < tree_.size(); ++v) {
+    std::optional<std::string> id_attr = dtd.IdAttribute(tree_.label(v));
+    if (!id_attr.has_value()) continue;
+    Result<std::string> value = tree_.SingleAttribute(v, *id_attr);
+    if (value.ok()) ids_[value.value()].push_back(v);
+  }
+}
+
+std::set<PathNode> PathEvaluator::Nodes(VertexId x, const Path& rho) const {
+  const DtdStructure& dtd = context_.dtd();
+  std::set<PathNode> frontier{PathNode{x}};
+  for (const std::string& step : rho.steps) {
+    std::set<PathNode> next;
+    for (const PathNode& node : frontier) {
+      const VertexId* y = std::get_if<VertexId>(&node);
+      if (y == nullptr) continue;  // atomic values have no further steps
+      const std::string& tau1 = tree_.label(*y);
+      if (dtd.HasAttribute(tau1, step)) {
+        Result<AttrValue> values = tree_.Attribute(*y, step);
+        if (!values.ok()) continue;
+        std::optional<std::string> target =
+            context_.ReferenceTarget(tau1, step);
+        for (const std::string& value : values.value()) {
+          if (target.has_value()) {
+            // Dereference: vertices labeled tau2 whose id equals the value.
+            auto it = ids_.find(value);
+            if (it == ids_.end()) continue;
+            for (VertexId z : it->second) {
+              if (tree_.label(z) == *target) next.insert(PathNode{z});
+            }
+          } else {
+            next.insert(PathNode{value});
+          }
+        }
+        continue;
+      }
+      // Element (or #PCDATA) child step.
+      for (const Child& child : tree_.children(*y)) {
+        if (const VertexId* z = std::get_if<VertexId>(&child)) {
+          if (tree_.label(*z) == step) next.insert(PathNode{*z});
+        } else if (step == kStringSymbol) {
+          next.insert(PathNode{std::get<std::string>(child)});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+std::set<PathNode> PathEvaluator::Extent(const std::string& tau,
+                                         const Path& rho) const {
+  std::set<PathNode> out;
+  for (VertexId x : extents_.Extent(tau)) {
+    std::set<PathNode> nodes = Nodes(x, rho);
+    out.insert(nodes.begin(), nodes.end());
+  }
+  return out;
+}
+
+bool PathEvaluator::SatisfiesFunctional(const std::string& tau,
+                                        const Path& lhs,
+                                        const Path& rhs) const {
+  std::map<std::set<PathNode>, std::set<PathNode>> groups;
+  for (VertexId x : extents_.Extent(tau)) {
+    std::set<PathNode> key = Nodes(x, lhs);
+    std::set<PathNode> value = Nodes(x, rhs);
+    auto [it, inserted] = groups.emplace(std::move(key), value);
+    if (!inserted && it->second != value) return false;
+  }
+  return true;
+}
+
+bool PathEvaluator::SatisfiesInclusion(const std::string& tau1,
+                                       const Path& rho1,
+                                       const std::string& tau2,
+                                       const Path& rho2) const {
+  std::set<PathNode> lhs = Extent(tau1, rho1);
+  std::set<PathNode> rhs = Extent(tau2, rho2);
+  for (const PathNode& node : lhs) {
+    if (rhs.count(node) == 0) return false;
+  }
+  return true;
+}
+
+bool PathEvaluator::SatisfiesInverse(const std::string& tau1,
+                                     const Path& rho1,
+                                     const std::string& tau2,
+                                     const Path& rho2) const {
+  for (VertexId x : extents_.Extent(tau1)) {
+    std::set<PathNode> forward = Nodes(x, rho1);
+    for (VertexId y : extents_.Extent(tau2)) {
+      bool y_from_x = forward.count(PathNode{y}) > 0;
+      bool x_from_y = Nodes(y, rho2).count(PathNode{x}) > 0;
+      if (y_from_x != x_from_y) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xic

@@ -1,0 +1,58 @@
+// Evaluation of paths on data trees: nodes(x.rho) and ext(tau.rho) of
+// Section 4.1, plus semantic satisfaction of the three path-constraint
+// forms (used to validate the implication deciders of path_solver.h
+// against actual documents).
+
+#ifndef XIC_PATHS_PATH_EVAL_H_
+#define XIC_PATHS_PATH_EVAL_H_
+
+#include <set>
+#include <string>
+#include <variant>
+
+#include "model/data_tree.h"
+#include "paths/path.h"
+#include "paths/path_typing.h"
+
+namespace xic {
+
+/// A node reached by a path: a vertex, or an atomic value (attribute
+/// steps with type S yield strings).
+using PathNode = std::variant<VertexId, std::string>;
+
+class PathEvaluator {
+ public:
+  /// Indexes `tree` (extents and the global id -> vertex map used to
+  /// dereference typed attribute steps). The tree must outlive this.
+  PathEvaluator(const PathContext& context, const DataTree& tree);
+
+  /// nodes(x.rho).
+  std::set<PathNode> Nodes(VertexId x, const Path& rho) const;
+
+  /// ext(tau.rho) = union of nodes(x.rho) over x in ext(tau).
+  std::set<PathNode> Extent(const std::string& tau, const Path& rho) const;
+
+  // Semantic checks of path constraints on this tree:
+  /// forall x,y in ext(tau): nodes(x.lhs) == nodes(y.lhs) implies
+  /// nodes(x.rhs) == nodes(y.rhs).
+  bool SatisfiesFunctional(const std::string& tau, const Path& lhs,
+                           const Path& rhs) const;
+  /// ext(tau1.rho1) is a subset of ext(tau2.rho2).
+  bool SatisfiesInclusion(const std::string& tau1, const Path& rho1,
+                          const std::string& tau2, const Path& rho2) const;
+  /// forall x in ext(tau1), y in ext(tau2):
+  ///   y in nodes(x.rho1) iff x in nodes(y.rho2).
+  bool SatisfiesInverse(const std::string& tau1, const Path& rho1,
+                        const std::string& tau2, const Path& rho2) const;
+
+ private:
+  const PathContext& context_;
+  const DataTree& tree_;
+  ExtentIndex extents_;
+  // ID value -> vertices whose type's ID attribute holds it.
+  std::map<std::string, std::vector<VertexId>> ids_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_PATHS_PATH_EVAL_H_

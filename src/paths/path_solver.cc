@@ -1,0 +1,85 @@
+#include "paths/path_solver.h"
+
+#include <set>
+
+namespace xic {
+
+std::string PathFunctionalConstraint::ToString() const {
+  return element + "." + lhs.ToString() + " -> " + element + "." +
+         rhs.ToString();
+}
+
+std::string PathInclusionConstraint::ToString() const {
+  return lhs_element + "." + lhs.ToString() + " <= " + rhs_element + "." +
+         rhs.ToString();
+}
+
+std::string PathInverseConstraint::ToString() const {
+  return lhs_element + "." + lhs.ToString() + " <-> " + rhs_element + "." +
+         rhs.ToString();
+}
+
+Result<bool> PathSolver::ImpliesFunctional(
+    const PathFunctionalConstraint& phi) const {
+  XIC_RETURN_IF_ERROR(context_.status());
+  XIC_ASSIGN_OR_RETURN(std::string lhs_type,
+                       context_.TypeOf(phi.element, phi.lhs));
+  (void)lhs_type;
+  XIC_ASSIGN_OR_RETURN(std::string rhs_type,
+                       context_.TypeOf(phi.element, phi.rhs));
+  (void)rhs_type;
+  // Trivial direction: rhs is an extension of lhs, so nodes(x.rhs) is a
+  // function of nodes(x.lhs).
+  if (phi.rhs.StartsWith(phi.lhs)) return true;
+  // Main criterion (Proposition 4.1): lhs is a key path of tau.
+  return context_.IsKeyPath(phi.element, phi.lhs);
+}
+
+Result<bool> PathSolver::ImpliesInclusion(
+    const PathInclusionConstraint& phi) const {
+  XIC_RETURN_IF_ERROR(context_.status());
+  XIC_RETURN_IF_ERROR(context_.TypeOf(phi.lhs_element, phi.lhs).status());
+  XIC_RETURN_IF_ERROR(context_.TypeOf(phi.rhs_element, phi.rhs).status());
+  // Proposition 4.2: implied iff lhs = theta.rhs with
+  // type(lhs_element.theta) = rhs_element.
+  if (phi.rhs.size() > phi.lhs.size()) return false;
+  size_t split = phi.lhs.size() - phi.rhs.size();
+  if (phi.lhs.Suffix(split) != phi.rhs) return false;
+  Path theta = phi.lhs.Prefix(split);
+  Result<std::string> theta_type = context_.TypeOf(phi.lhs_element, theta);
+  return theta_type.ok() && theta_type.value() == phi.rhs_element;
+}
+
+Result<bool> PathSolver::ImpliesInverse(
+    const PathInverseConstraint& phi) const {
+  XIC_RETURN_IF_ERROR(context_.status());
+  XIC_RETURN_IF_ERROR(context_.TypeOf(phi.lhs_element, phi.lhs).status());
+  XIC_RETURN_IF_ERROR(context_.TypeOf(phi.rhs_element, phi.rhs).status());
+  size_t k = phi.lhs.size();
+  if (k == 0 || phi.rhs.size() != k) return false;
+  // Basic inverses (with symmetry) from the L_id closure.
+  std::vector<Constraint> inverses;
+  for (const auto& [c, just] : context_.solver().facts()) {
+    if (c.kind == ConstraintKind::kInverse) inverses.push_back(c);
+  }
+  // Chain matching: types t_1 .. t_{k+1} with t_i.a_i <-> t_{i+1}.b_i,
+  // a_i = lhs[i], b_i = rhs[k-1-i] (rhs is the reversed b-sequence).
+  // Dynamic programming over the set of possible t_i.
+  std::set<std::string> current{phi.lhs_element};
+  for (size_t i = 0; i < k; ++i) {
+    const std::string& a = phi.lhs.steps[i];
+    const std::string& b = phi.rhs.steps[k - 1 - i];
+    std::set<std::string> next;
+    for (const Constraint& inv : inverses) {
+      if (inv.attr() == a && inv.ref_attr() == b &&
+          current.count(inv.element) > 0) {
+        next.insert(inv.ref_element);
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  return current.count(phi.rhs_element) > 0;
+}
+
+}  // namespace xic

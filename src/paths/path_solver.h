@@ -1,0 +1,71 @@
+// Implication of path constraints by basic L_id constraints
+// (Section 4.2: Propositions 4.1, 4.2, 4.3).
+//
+//   * Path functional constraints tau.rho -> tau.sigma: implied iff rho is
+//     a key path of tau, OR sigma extends rho (sigma = rho.theta, whose
+//     value is a function of rho's -- a trivially-true case the paper's
+//     proof sketch leaves implicit; DESIGN.md).
+//   * Path inclusion constraints tau1.rho1 <= tau2.rho2: implied iff
+//     rho1 = theta.rho2 for some theta with type(tau1.theta) = tau2.
+//   * Path inverse constraints tau1.rho1 <-> tau2.rho2: implied iff the
+//     paths decompose into a chain of basic inverse constraints,
+//     rho1 = a1...ak and rho2 = bk...b1 with t_i.a_i <-> t_{i+1}.b_i in
+//     Sigma's closure, t_1 = tau1, t_{k+1} = tau2 (the composition rule
+//     of Proposition 4.3).
+//
+// Complexities match the paper: O(|phi| (|Sigma| + |P|)) for functional /
+// inclusion, O(|Sigma| |phi|) for inverse.
+
+#ifndef XIC_PATHS_PATH_SOLVER_H_
+#define XIC_PATHS_PATH_SOLVER_H_
+
+#include <string>
+
+#include "paths/path_typing.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// tau.lhs -> tau.rhs
+struct PathFunctionalConstraint {
+  std::string element;
+  Path lhs;
+  Path rhs;
+  std::string ToString() const;
+};
+
+/// lhs_element.lhs <= rhs_element.rhs
+struct PathInclusionConstraint {
+  std::string lhs_element;
+  Path lhs;
+  std::string rhs_element;
+  Path rhs;
+  std::string ToString() const;
+};
+
+/// lhs_element.lhs <-> rhs_element.rhs
+struct PathInverseConstraint {
+  std::string lhs_element;
+  Path lhs;
+  std::string rhs_element;
+  Path rhs;
+  std::string ToString() const;
+};
+
+class PathSolver {
+ public:
+  explicit PathSolver(const PathContext& context) : context_(context) {}
+
+  /// Sigma |= phi (== Sigma |=_f phi for all three forms). Errors when a
+  /// path is not in paths() of its element type.
+  Result<bool> ImpliesFunctional(const PathFunctionalConstraint& phi) const;
+  Result<bool> ImpliesInclusion(const PathInclusionConstraint& phi) const;
+  Result<bool> ImpliesInverse(const PathInverseConstraint& phi) const;
+
+ private:
+  const PathContext& context_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_PATHS_PATH_SOLVER_H_

@@ -1,0 +1,102 @@
+#include "paths/path_typing.h"
+
+namespace xic {
+
+PathContext::PathContext(const DtdStructure& dtd, const ConstraintSet& sigma)
+    : dtd_(dtd), sigma_(sigma), solver_(dtd, sigma) {
+  status_ = solver_.status();
+  if (!status_.ok()) return;
+  // Precompute reference targets from the closure: every (set-valued or
+  // unary) foreign key tau.l <= tau2.id fixes the type of l.
+  for (const auto& [c, just] : solver_.facts()) {
+    if (c.kind != ConstraintKind::kForeignKey &&
+        c.kind != ConstraintKind::kSetForeignKey) {
+      continue;
+    }
+    // Only references into ID attributes type a path step (L_id form).
+    std::optional<std::string> id = dtd_.IdAttribute(c.ref_element);
+    if (!id.has_value() || *id != c.ref_attr()) continue;
+    // Skip the reflexive tau.id <= tau.id facts produced by ID-FK: they
+    // would make every ID attribute a self-reference.
+    if (c.element == c.ref_element && c.attr() == c.ref_attr()) continue;
+    auto key = std::make_pair(c.element, c.attr());
+    auto [it, inserted] = ref_targets_.try_emplace(key, c.ref_element);
+    if (!inserted && it->second != c.ref_element) {
+      status_ = Status::InvalidArgument(
+          "attribute " + c.element + "." + c.attr() +
+          " references two element types (" + it->second + ", " +
+          c.ref_element + "); type(tau.rho) would be ambiguous");
+      return;
+    }
+  }
+}
+
+std::optional<std::string> PathContext::ReferenceTarget(
+    const std::string& tau, const std::string& attr) const {
+  auto it = ref_targets_.find(std::make_pair(tau, attr));
+  if (it == ref_targets_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::string> PathContext::TypeOf(const std::string& tau,
+                                        const Path& rho) const {
+  if (!status_.ok()) return status_;
+  if (!dtd_.HasElement(tau)) {
+    return Status::InvalidArgument("undeclared element type " + tau);
+  }
+  std::string current = tau;
+  for (size_t i = 0; i < rho.size(); ++i) {
+    const std::string& step = rho.steps[i];
+    if (current == kStringSymbol) {
+      return Status::InvalidArgument(
+          "path " + rho.ToString() + " extends beyond S at step " +
+          std::to_string(i));
+    }
+    if (dtd_.HasAttribute(current, step)) {
+      std::optional<std::string> target = ReferenceTarget(current, step);
+      current = target.has_value() ? *target : std::string(kStringSymbol);
+      continue;
+    }
+    // Element step: the name must occur in P(current).
+    Result<RegexPtr> content = dtd_.ContentModel(current);
+    if (!content.ok()) return content.status();
+    if (content.value()->Symbols().count(step) == 0) {
+      return Status::InvalidArgument(
+          "path " + rho.ToString() + " invalid: " + step +
+          " is neither an attribute of " + current +
+          " nor occurs in its content model");
+    }
+    current = step;  // step may itself be kStringSymbol (#PCDATA)
+  }
+  return current;
+}
+
+bool PathContext::IsValidPath(const std::string& tau, const Path& rho) const {
+  return TypeOf(tau, rho).ok();
+}
+
+bool PathContext::IsKeyPath(const std::string& tau, const Path& rho) const {
+  if (!status_.ok()) return false;
+  std::string current = tau;
+  for (const std::string& step : rho.steps) {
+    if (current == kStringSymbol) return false;
+    if (dtd_.HasAttribute(current, step)) {
+      // An attribute extends a key path when it is a key of the current
+      // type, or it is the ID attribute with its ID constraint implied.
+      bool is_key =
+          solver_.Implies(Constraint::UnaryKey(current, step)) ||
+          (dtd_.IdAttribute(current) == step &&
+           solver_.Implies(Constraint::Id(current, step)));
+      if (!is_key) return false;
+      std::optional<std::string> target = ReferenceTarget(current, step);
+      current = target.has_value() ? *target : std::string(kStringSymbol);
+      continue;
+    }
+    // Element steps extend key paths only through unique sub-elements.
+    if (!dtd_.IsUniqueSubElement(current, step)) return false;
+    current = step;
+  }
+  return true;
+}
+
+}  // namespace xic

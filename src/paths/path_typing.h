@@ -1,0 +1,70 @@
+// The paths(tau) family and the type(tau.rho) function of Section 4.1,
+// plus key paths (the engine of Proposition 4.1).
+//
+// Paths extend through three kinds of steps from a type tau1:
+//   * an attribute l of tau1 whose reference type is known, i.e. Sigma
+//     implies tau1.l <= tau2.id or tau1.l <=S tau2.id -- the step
+//     dereferences to tau2;
+//   * any other attribute l of tau1 -- the step has type S and ends the
+//     path;
+//   * an element name tau2 occurring in P(tau1) -- the step moves to the
+//     children labeled tau2 (or to S for #PCDATA positions).
+//
+// Basic constraints are in L_id here, as in the paper's Section 4.
+
+#ifndef XIC_PATHS_PATH_TYPING_H_
+#define XIC_PATHS_PATH_TYPING_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "constraints/constraint.h"
+#include "implication/lid_solver.h"
+#include "model/dtd_structure.h"
+#include "paths/path.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// A DTD^C (Definition 2.3) prepared for path reasoning: the structure,
+/// the L_id constraint set, its implication closure, and the reference-
+/// target map for attributes.
+class PathContext {
+ public:
+  PathContext(const DtdStructure& dtd, const ConstraintSet& sigma);
+
+  const Status& status() const { return status_; }
+  const DtdStructure& dtd() const { return dtd_; }
+  const ConstraintSet& sigma() const { return sigma_; }
+  const LidSolver& solver() const { return solver_; }
+
+  /// The element type tau2 that attribute l of tau references (via an
+  /// implied tau.l <= tau2.id or tau.l <=S tau2.id), if any.
+  std::optional<std::string> ReferenceTarget(const std::string& tau,
+                                             const std::string& attr) const;
+
+  /// type(tau.rho): the element type reached, or kStringSymbol for S.
+  /// Fails when rho is not in paths(tau).
+  Result<std::string> TypeOf(const std::string& tau, const Path& rho) const;
+
+  bool IsValidPath(const std::string& tau, const Path& rho) const;
+
+  /// Key paths (Section 4.2): epsilon is a key path; a key path extends
+  /// through unique sub-elements and through attributes that are keys
+  /// (Sigma |= tau1.l -> tau1, or l is the ID attribute with its ID
+  /// constraint implied).
+  bool IsKeyPath(const std::string& tau, const Path& rho) const;
+
+ private:
+  const DtdStructure& dtd_;
+  const ConstraintSet& sigma_;
+  LidSolver solver_;
+  Status status_;
+  // (tau, attr) -> reference target, precomputed from Sigma.
+  std::map<std::pair<std::string, std::string>, std::string> ref_targets_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_PATHS_PATH_TYPING_H_

@@ -1,0 +1,326 @@
+#include "regex/content_model.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace xic {
+
+RegexPtr Regex::Epsilon() {
+  return RegexPtr(
+      new Regex(RegexKind::kEpsilon, std::string(), nullptr, nullptr));
+}
+
+RegexPtr Regex::Symbol(std::string name) {
+  return RegexPtr(
+      new Regex(RegexKind::kSymbol, std::move(name), nullptr, nullptr));
+}
+
+RegexPtr Regex::String() { return Symbol(kStringSymbol); }
+
+RegexPtr Regex::Union(RegexPtr left, RegexPtr right) {
+  return RegexPtr(new Regex(RegexKind::kUnion, std::string(),
+                            std::move(left), std::move(right)));
+}
+
+RegexPtr Regex::Concat(RegexPtr left, RegexPtr right) {
+  return RegexPtr(new Regex(RegexKind::kConcat, std::string(),
+                            std::move(left), std::move(right)));
+}
+
+RegexPtr Regex::Star(RegexPtr inner) {
+  return RegexPtr(
+      new Regex(RegexKind::kStar, std::string(), std::move(inner), nullptr));
+}
+
+RegexPtr Regex::Plus(RegexPtr inner) {
+  return Concat(inner, Star(inner));
+}
+
+RegexPtr Regex::Optional(RegexPtr inner) {
+  return Union(std::move(inner), Epsilon());
+}
+
+RegexPtr Regex::Sequence(std::vector<RegexPtr> parts) {
+  if (parts.empty()) return Epsilon();
+  RegexPtr out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = Concat(std::move(out), parts[i]);
+  }
+  return out;
+}
+
+RegexPtr Regex::Choice(std::vector<RegexPtr> parts) {
+  RegexPtr out = parts.at(0);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = Union(std::move(out), parts[i]);
+  }
+  return out;
+}
+
+bool Regex::Nullable() const {
+  switch (kind_) {
+    case RegexKind::kEpsilon:
+      return true;
+    case RegexKind::kSymbol:
+      return false;
+    case RegexKind::kUnion:
+      return left_->Nullable() || right_->Nullable();
+    case RegexKind::kConcat:
+      return left_->Nullable() && right_->Nullable();
+    case RegexKind::kStar:
+      return true;
+  }
+  return false;
+}
+
+std::set<std::string> Regex::Symbols() const {
+  std::set<std::string> out;
+  switch (kind_) {
+    case RegexKind::kEpsilon:
+      break;
+    case RegexKind::kSymbol:
+      out.insert(symbol_);
+      break;
+    case RegexKind::kUnion:
+    case RegexKind::kConcat: {
+      out = left_->Symbols();
+      std::set<std::string> rhs = right_->Symbols();
+      out.insert(rhs.begin(), rhs.end());
+      break;
+    }
+    case RegexKind::kStar:
+      out = left_->Symbols();
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// Saturating addition treating kUnbounded as infinity.
+int64_t AddBound(int64_t a, int64_t b) {
+  if (a == Regex::kUnbounded || b == Regex::kUnbounded) {
+    return Regex::kUnbounded;
+  }
+  return a + b;
+}
+
+int64_t MaxBound(int64_t a, int64_t b) {
+  if (a == Regex::kUnbounded || b == Regex::kUnbounded) {
+    return Regex::kUnbounded;
+  }
+  return std::max(a, b);
+}
+
+}  // namespace
+
+Regex::Bounds Regex::OccurrenceBounds(const std::string& symbol) const {
+  switch (kind_) {
+    case RegexKind::kEpsilon:
+      return {0, 0};
+    case RegexKind::kSymbol:
+      if (symbol_ == symbol) return {1, 1};
+      return {0, 0};
+    case RegexKind::kUnion: {
+      Bounds l = left_->OccurrenceBounds(symbol);
+      Bounds r = right_->OccurrenceBounds(symbol);
+      return {std::min(l.min, r.min), MaxBound(l.max, r.max)};
+    }
+    case RegexKind::kConcat: {
+      Bounds l = left_->OccurrenceBounds(symbol);
+      Bounds r = right_->OccurrenceBounds(symbol);
+      return {l.min + r.min, AddBound(l.max, r.max)};
+    }
+    case RegexKind::kStar: {
+      Bounds in = left_->OccurrenceBounds(symbol);
+      if (in.max == 0) return {0, 0};
+      return {0, kUnbounded};
+    }
+  }
+  return {0, 0};
+}
+
+bool Regex::IsUniqueSymbol(const std::string& symbol) const {
+  Bounds b = OccurrenceBounds(symbol);
+  return b.min == 1 && b.max == 1;
+}
+
+namespace {
+
+// Renders with minimal parenthesization: union < concat < star.
+void Render(const Regex& re, int parent_precedence, std::string* out) {
+  switch (re.kind()) {
+    case RegexKind::kEpsilon:
+      *out += "EMPTY";
+      return;
+    case RegexKind::kSymbol:
+      *out += re.symbol();
+      return;
+    case RegexKind::kUnion: {
+      bool parens = parent_precedence > 0;
+      if (parens) *out += '(';
+      Render(*re.left(), 0, out);
+      *out += " | ";
+      Render(*re.right(), 0, out);
+      if (parens) *out += ')';
+      return;
+    }
+    case RegexKind::kConcat: {
+      bool parens = parent_precedence > 1;
+      if (parens) *out += '(';
+      Render(*re.left(), 1, out);
+      *out += ", ";
+      Render(*re.right(), 1, out);
+      if (parens) *out += ')';
+      return;
+    }
+    case RegexKind::kStar:
+      Render(*re.inner(), 2, out);
+      *out += '*';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Regex::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser for the DTD content-model syntax.
+//
+//   model   := 'EMPTY' | choice
+//   choice  := seq ( '|' seq )*
+//   seq     := factor ( ',' factor )*
+//   factor  := atom ( '*' | '+' | '?' )?
+//   atom    := NAME | '#PCDATA' | '(' choice ')'
+class ModelParser {
+ public:
+  explicit ModelParser(std::string_view text) : text_(text) {}
+
+  Result<RegexPtr> Parse() {
+    SkipSpace();
+    if (Consume("EMPTY")) {
+      SkipSpace();
+      if (pos_ != text_.size()) return Error("trailing input after EMPTY");
+      return Regex::Epsilon();
+    }
+    if (Consume("ANY")) {
+      return Status::NotSupported(
+          "ANY content models are outside the paper's model");
+    }
+    Result<RegexPtr> re = ParseChoice();
+    if (!re.ok()) return re;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return re;
+  }
+
+ private:
+  Result<RegexPtr> ParseChoice() {
+    std::vector<RegexPtr> parts;
+    XIC_ASSIGN_OR_RETURN(RegexPtr first, ParseSeq());
+    parts.push_back(std::move(first));
+    SkipSpace();
+    while (Peek() == '|') {
+      ++pos_;
+      XIC_ASSIGN_OR_RETURN(RegexPtr next, ParseSeq());
+      parts.push_back(std::move(next));
+      SkipSpace();
+    }
+    return Regex::Choice(std::move(parts));
+  }
+
+  Result<RegexPtr> ParseSeq() {
+    std::vector<RegexPtr> parts;
+    XIC_ASSIGN_OR_RETURN(RegexPtr first, ParseFactor());
+    parts.push_back(std::move(first));
+    SkipSpace();
+    while (Peek() == ',') {
+      ++pos_;
+      XIC_ASSIGN_OR_RETURN(RegexPtr next, ParseFactor());
+      parts.push_back(std::move(next));
+      SkipSpace();
+    }
+    return Regex::Sequence(std::move(parts));
+  }
+
+  Result<RegexPtr> ParseFactor() {
+    XIC_ASSIGN_OR_RETURN(RegexPtr atom, ParseAtom());
+    switch (Peek()) {
+      case '*':
+        ++pos_;
+        return Regex::Star(std::move(atom));
+      case '+':
+        ++pos_;
+        return Regex::Plus(std::move(atom));
+      case '?':
+        ++pos_;
+        return Regex::Optional(std::move(atom));
+      default:
+        return atom;
+    }
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (Peek() == '(') {
+      ++pos_;
+      XIC_ASSIGN_OR_RETURN(RegexPtr inner, ParseChoice());
+      SkipSpace();
+      if (Peek() != ')') return Error("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    if (Consume("#PCDATA")) return Regex::String();
+    size_t start = pos_;
+    if (pos_ < text_.size() && IsNameStartChar(text_[pos_])) {
+      ++pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      return Regex::Symbol(std::string(text_.substr(start, pos_ - start)));
+    }
+    return Error("expected element name, #PCDATA or '('");
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("content model: " + what + " at offset " +
+                              std::to_string(pos_) + " in \"" +
+                              std::string(text_) + "\"");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseContentModel(const std::string& text) {
+  return ModelParser(text).Parse();
+}
+
+}  // namespace xic

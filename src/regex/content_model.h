@@ -1,0 +1,115 @@
+// Content models for element type definitions (Definition 2.2).
+//
+// The paper defines element type definitions P(tau) = alpha with
+//   alpha ::= S | e | epsilon | alpha + alpha | alpha , alpha | alpha*
+// where S is the atomic (string) type and e an element name. This module
+// provides the regular-expression AST, a parser for the DTD surface syntax
+// ("(entry, author*, section*, ref)", "(#PCDATA|b)*", "EMPTY", ...), and
+// static analyses used elsewhere:
+//   * symbol occurrence bounds (min/max occurrences of a symbol over all
+//     words of L(alpha)) -- the "unique sub-element" test of Section 3.4,
+//   * the set of symbols occurring in alpha (path construction, Section 4).
+
+#ifndef XIC_REGEX_CONTENT_MODEL_H_
+#define XIC_REGEX_CONTENT_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic {
+
+/// The reserved symbol naming the atomic string type S. Element names never
+/// collide with it because '#' is not an XML name character.
+inline constexpr const char* kStringSymbol = "#PCDATA";
+
+/// AST node kinds for content-model regular expressions.
+enum class RegexKind {
+  kEpsilon,  // the empty word
+  kSymbol,   // an element name, or kStringSymbol for S
+  kUnion,    // alpha + alpha  (DTD syntax: '|')
+  kConcat,   // alpha , alpha
+  kStar,     // alpha*
+};
+
+/// A regular expression over element names and S. Immutable after
+/// construction; shared via shared_ptr so DTD structures are cheap to copy.
+class Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+class Regex {
+ public:
+  static RegexPtr Epsilon();
+  static RegexPtr Symbol(std::string name);
+  static RegexPtr String();  // the S terminal
+  static RegexPtr Union(RegexPtr left, RegexPtr right);
+  static RegexPtr Concat(RegexPtr left, RegexPtr right);
+  static RegexPtr Star(RegexPtr inner);
+  /// alpha+ == alpha , alpha*
+  static RegexPtr Plus(RegexPtr inner);
+  /// alpha? == alpha + epsilon
+  static RegexPtr Optional(RegexPtr inner);
+  /// Concatenation of a whole sequence (Epsilon when empty).
+  static RegexPtr Sequence(std::vector<RegexPtr> parts);
+  /// Union of a whole sequence; parts must be non-empty.
+  static RegexPtr Choice(std::vector<RegexPtr> parts);
+
+  RegexKind kind() const { return kind_; }
+  /// Only for kSymbol nodes.
+  const std::string& symbol() const { return symbol_; }
+  /// Only for kUnion / kConcat nodes.
+  const RegexPtr& left() const { return left_; }
+  const RegexPtr& right() const { return right_; }
+  /// Only for kStar nodes.
+  const RegexPtr& inner() const { return left_; }
+
+  /// True if the empty word is in L(this).
+  bool Nullable() const;
+
+  /// All symbols (element names and possibly kStringSymbol) occurring in
+  /// the expression.
+  std::set<std::string> Symbols() const;
+
+  /// Occurrence bounds of `symbol` over the words of L(this):
+  /// (min, max) with max == kUnbounded for unbounded.
+  static constexpr int64_t kUnbounded = -1;
+  struct Bounds {
+    int64_t min = 0;
+    int64_t max = 0;  // kUnbounded means no finite bound
+  };
+  Bounds OccurrenceBounds(const std::string& symbol) const;
+
+  /// True iff `symbol` occurs exactly once in every word of L(this) --
+  /// the paper's "unique sub-element" condition (Section 3.4).
+  bool IsUniqueSymbol(const std::string& symbol) const;
+
+  /// DTD-style rendering, e.g. "(entry, author*, (text | section)*)".
+  std::string ToString() const;
+
+ private:
+  Regex(RegexKind kind, std::string symbol, RegexPtr left, RegexPtr right)
+      : kind_(kind),
+        symbol_(std::move(symbol)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  RegexKind kind_;
+  std::string symbol_;
+  RegexPtr left_;
+  RegexPtr right_;
+};
+
+/// Parses the DTD content-model surface syntax. Accepts:
+///   EMPTY | ANY-free subset | "(" ... ")" with ',' '|' '*' '+' '?'
+///   #PCDATA for the atomic type S.
+/// "ANY" is not supported (NotSupported) -- the paper's model has no ANY.
+Result<RegexPtr> ParseContentModel(const std::string& text);
+
+}  // namespace xic
+
+#endif  // XIC_REGEX_CONTENT_MODEL_H_

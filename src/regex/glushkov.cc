@@ -1,0 +1,115 @@
+#include "regex/glushkov.h"
+
+namespace xic {
+
+GlushkovAutomaton::GlushkovAutomaton(const RegexPtr& re) {
+  BuildResult root = Build(*re);
+  nullable_ = root.nullable;
+  first_ = std::move(root.first);
+  last_ = std::move(root.last);
+}
+
+GlushkovAutomaton::BuildResult GlushkovAutomaton::Build(const Regex& re) {
+  switch (re.kind()) {
+    case RegexKind::kEpsilon: {
+      BuildResult out;
+      out.nullable = true;
+      return out;
+    }
+    case RegexKind::kSymbol: {
+      int pos = static_cast<int>(symbols_.size());
+      symbols_.push_back(re.symbol());
+      follow_.emplace_back();
+      BuildResult out;
+      out.nullable = false;
+      out.first = {pos};
+      out.last = {pos};
+      return out;
+    }
+    case RegexKind::kUnion: {
+      BuildResult l = Build(*re.left());
+      BuildResult r = Build(*re.right());
+      BuildResult out;
+      out.nullable = l.nullable || r.nullable;
+      out.first = std::move(l.first);
+      out.first.insert(r.first.begin(), r.first.end());
+      out.last = std::move(l.last);
+      out.last.insert(r.last.begin(), r.last.end());
+      return out;
+    }
+    case RegexKind::kConcat: {
+      BuildResult l = Build(*re.left());
+      BuildResult r = Build(*re.right());
+      for (int p : l.last) {
+        follow_[p].insert(r.first.begin(), r.first.end());
+      }
+      BuildResult out;
+      out.nullable = l.nullable && r.nullable;
+      out.first = l.first;
+      if (l.nullable) out.first.insert(r.first.begin(), r.first.end());
+      out.last = r.last;
+      if (r.nullable) out.last.insert(l.last.begin(), l.last.end());
+      return out;
+    }
+    case RegexKind::kStar: {
+      BuildResult in = Build(*re.inner());
+      for (int p : in.last) {
+        follow_[p].insert(in.first.begin(), in.first.end());
+      }
+      BuildResult out;
+      out.nullable = true;
+      out.first = std::move(in.first);
+      out.last = std::move(in.last);
+      return out;
+    }
+  }
+  return BuildResult{};
+}
+
+bool GlushkovAutomaton::Matches(const std::vector<std::string>& word) const {
+  if (word.empty()) return nullable_;
+  // NFA simulation over position sets; `current` holds the positions whose
+  // symbol matched the most recent input label.
+  std::set<int> current;
+  for (int p : first_) {
+    if (symbols_[p] == word[0]) current.insert(p);
+  }
+  for (size_t i = 1; i < word.size(); ++i) {
+    if (current.empty()) return false;
+    std::set<int> next;
+    for (int p : current) {
+      for (int q : follow_[p]) {
+        if (symbols_[q] == word[i]) next.insert(q);
+      }
+    }
+    current = std::move(next);
+  }
+  for (int p : current) {
+    if (last_.count(p) > 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// True if two distinct positions in `set` carry the same symbol.
+bool HasSymbolClash(const std::set<int>& set,
+                    const std::vector<std::string>& symbols) {
+  std::set<std::string> seen;
+  for (int p : set) {
+    if (!seen.insert(symbols[p]).second) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool GlushkovAutomaton::IsOneUnambiguous() const {
+  if (HasSymbolClash(first_, symbols_)) return false;
+  for (const std::set<int>& follow : follow_) {
+    if (HasSymbolClash(follow, symbols_)) return false;
+  }
+  return true;
+}
+
+}  // namespace xic

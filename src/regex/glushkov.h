@@ -1,0 +1,62 @@
+// Glushkov position automaton for content-model regular expressions.
+//
+// Used to (a) match a children label sequence against P(tau) during
+// structural validation (Definition 2.4), and (b) decide 1-unambiguity
+// (the XML "deterministic content model" requirement), which we expose as
+// an extension check. Matching runs in O(|word| * |positions|) worst case
+// and O(|word|) for deterministic models.
+
+#ifndef XIC_REGEX_GLUSHKOV_H_
+#define XIC_REGEX_GLUSHKOV_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "regex/content_model.h"
+
+namespace xic {
+
+class GlushkovAutomaton {
+ public:
+  /// Builds the position automaton of `re`. `re` must be non-null.
+  explicit GlushkovAutomaton(const RegexPtr& re);
+
+  /// True iff the label sequence is in L(re).
+  bool Matches(const std::vector<std::string>& word) const;
+
+  /// True iff the content model is 1-unambiguous (deterministic per the
+  /// XML spec): no two distinct positions with the same symbol are both in
+  /// First, or both in Follow(p) for some position p.
+  bool IsOneUnambiguous() const;
+
+  /// Number of positions (symbol occurrences) in the expression.
+  size_t num_positions() const { return symbols_.size(); }
+
+  // NFA internals, exposed for language-level algorithms (inclusion.h).
+  const std::vector<std::string>& symbols() const { return symbols_; }
+  const std::vector<std::set<int>>& follow() const { return follow_; }
+  const std::set<int>& first() const { return first_; }
+  const std::set<int>& last() const { return last_; }
+  bool nullable() const { return nullable_; }
+
+ private:
+  struct BuildResult {
+    bool nullable = false;
+    std::set<int> first;
+    std::set<int> last;
+  };
+
+  BuildResult Build(const Regex& re);
+
+  std::vector<std::string> symbols_;   // position -> symbol
+  std::vector<std::set<int>> follow_;  // position -> follow set
+  std::set<int> first_;
+  std::set<int> last_;
+  bool nullable_ = false;
+};
+
+}  // namespace xic
+
+#endif  // XIC_REGEX_GLUSHKOV_H_

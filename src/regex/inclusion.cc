@@ -1,0 +1,121 @@
+#include "regex/inclusion.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "regex/glushkov.h"
+
+namespace xic {
+
+namespace {
+
+// NFA states: -1 is the virtual start state, >= 0 are Glushkov positions.
+constexpr int kStart = -1;
+
+bool Accepting(const GlushkovAutomaton& nfa, int state) {
+  if (state == kStart) return nfa.nullable();
+  return nfa.last().count(state) > 0;
+}
+
+bool AnyAccepting(const GlushkovAutomaton& nfa, const std::set<int>& states) {
+  for (int s : states) {
+    if (Accepting(nfa, s)) return true;
+  }
+  return false;
+}
+
+// States reachable from `state` on `symbol`.
+std::set<int> Move(const GlushkovAutomaton& nfa, int state,
+                   const std::string& symbol) {
+  const std::set<int>& candidates =
+      state == kStart ? nfa.first()
+                      : nfa.follow()[static_cast<size_t>(state)];
+  std::set<int> out;
+  for (int q : candidates) {
+    if (nfa.symbols()[static_cast<size_t>(q)] == symbol) out.insert(q);
+  }
+  return out;
+}
+
+std::set<int> MoveSet(const GlushkovAutomaton& nfa,
+                      const std::set<int>& states,
+                      const std::string& symbol) {
+  std::set<int> out;
+  for (int s : states) {
+    std::set<int> step = Move(nfa, s, symbol);
+    out.insert(step.begin(), step.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b) {
+  GlushkovAutomaton nfa_a(a);
+  GlushkovAutomaton nfa_b(b);
+  // Product search over (a-state, determinized b-set): a counterexample
+  // word exists iff some reachable pair is (accepting in a, rejecting set
+  // in b).
+  using ProductState = std::pair<int, std::set<int>>;
+  std::set<ProductState> visited;
+  std::deque<ProductState> queue;
+  ProductState start{kStart, {kStart}};
+  visited.insert(start);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    auto [pa, set_b] = queue.front();
+    queue.pop_front();
+    if (Accepting(nfa_a, pa) && !AnyAccepting(nfa_b, set_b)) {
+      return false;
+    }
+    // Outgoing symbols from pa.
+    const std::set<int>& candidates =
+        pa == kStart ? nfa_a.first()
+                     : nfa_a.follow()[static_cast<size_t>(pa)];
+    std::set<std::string> symbols;
+    for (int q : candidates) {
+      symbols.insert(nfa_a.symbols()[static_cast<size_t>(q)]);
+    }
+    for (const std::string& symbol : symbols) {
+      std::set<int> next_b = MoveSet(nfa_b, set_b, symbol);
+      for (int qa : Move(nfa_a, pa, symbol)) {
+        ProductState next{qa, next_b};
+        if (visited.insert(next).second) queue.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+bool RegexLanguageEquivalent(const RegexPtr& a, const RegexPtr& b) {
+  return RegexLanguageIncluded(a, b) && RegexLanguageIncluded(b, a);
+}
+
+ModelCompatibility CompareContentModels(const RegexPtr& from,
+                                        const RegexPtr& to) {
+  bool widens = RegexLanguageIncluded(from, to);
+  bool narrows = RegexLanguageIncluded(to, from);
+  if (widens && narrows) return ModelCompatibility::kEquivalent;
+  if (widens) return ModelCompatibility::kWidening;
+  if (narrows) return ModelCompatibility::kNarrowing;
+  return ModelCompatibility::kIncomparable;
+}
+
+const char* ModelCompatibilityToString(ModelCompatibility c) {
+  switch (c) {
+    case ModelCompatibility::kEquivalent:
+      return "equivalent";
+    case ModelCompatibility::kWidening:
+      return "widening";
+    case ModelCompatibility::kNarrowing:
+      return "narrowing";
+    case ModelCompatibility::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+}  // namespace xic

@@ -1,0 +1,41 @@
+// Language inclusion and equivalence for content models.
+//
+// DTD evolution needs to answer "does the new content model accept every
+// document the old one accepted?" -- language inclusion L(a) ⊆ L(b) over
+// the element-name alphabet. Decided by the classical product
+// construction: simulate the Glushkov NFA of `a` against the on-the-fly
+// determinization of `b`'s Glushkov NFA and look for a reachable pair
+// (accepting-in-a, non-accepting-in-b). Exponential in |b| in the worst
+// case (content models are tiny in practice; 1-unambiguous ones
+// determinize without blow-up).
+
+#ifndef XIC_REGEX_INCLUSION_H_
+#define XIC_REGEX_INCLUSION_H_
+
+#include "regex/content_model.h"
+
+namespace xic {
+
+/// True iff L(a) ⊆ L(b).
+bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b);
+
+/// True iff L(a) = L(b).
+bool RegexLanguageEquivalent(const RegexPtr& a, const RegexPtr& b);
+
+/// Compatibility verdict for replacing content model `from` by `to` in a
+/// DTD revision.
+enum class ModelCompatibility {
+  kEquivalent,  // same language
+  kWidening,    // strictly more documents accepted (backward compatible)
+  kNarrowing,   // strictly fewer documents accepted
+  kIncomparable,
+};
+
+ModelCompatibility CompareContentModels(const RegexPtr& from,
+                                        const RegexPtr& to);
+
+const char* ModelCompatibilityToString(ModelCompatibility c);
+
+}  // namespace xic
+
+#endif  // XIC_REGEX_INCLUSION_H_

@@ -1,0 +1,236 @@
+#include "relational/dependencies.h"
+
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace xic {
+
+std::string FunctionalDependency::ToString() const {
+  return relation + ": " + Join(lhs, ",") + " -> " + Join(rhs, ",");
+}
+
+std::string InclusionDependency::ToString() const {
+  return relation + "[" + Join(attrs, ",") + "] <= " + ref_relation + "[" +
+         Join(ref_attrs, ",") + "]";
+}
+
+std::string DependencyToString(const Dependency& d) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&d)) {
+    return fd->ToString();
+  }
+  return std::get<InclusionDependency>(d).ToString();
+}
+
+namespace {
+
+// The standard chase for functional + inclusion dependencies over
+// symbolic values with union-find equality.
+class FdIndChase {
+ public:
+  FdIndChase(const std::vector<Dependency>& sigma, const Dependency& phi,
+             const FdIndChaseOptions& options)
+      : sigma_(sigma), phi_(phi), options_(options) {}
+
+  FdIndResult Run() {
+    CollectSchema();
+    Seed();
+    FdIndResult result;
+    bool changed = true;
+    while (changed) {
+      if (steps_ > options_.max_steps || TotalRows() > options_.max_rows) {
+        result.outcome = ImplicationOutcome::kUnknown;
+        result.steps = steps_;
+        return result;
+      }
+      changed = false;
+      for (const Dependency& d : sigma_) {
+        if (const auto* fd = std::get_if<FunctionalDependency>(&d)) {
+          changed |= ApplyFd(*fd);
+        } else {
+          changed |= ApplyInd(std::get<InclusionDependency>(d));
+        }
+      }
+    }
+    result.steps = steps_;
+    if (const auto* fd = std::get_if<FunctionalDependency>(&phi_)) {
+      bool equal = true;
+      for (const std::string& a : fd->rhs) {
+        size_t idx = attr_index_[fd->relation].at(a);
+        if (Find(rows_[fd->relation][0][idx]) !=
+            Find(rows_[fd->relation][1][idx])) {
+          equal = false;
+          break;
+        }
+      }
+      result.outcome = equal ? ImplicationOutcome::kImplied
+                             : ImplicationOutcome::kNotImplied;
+    } else {
+      const auto& ind = std::get<InclusionDependency>(phi_);
+      std::vector<int> want = Tuple(ind.relation, 0, ind.attrs);
+      bool found =
+          FindMatch(ind.ref_relation, ind.ref_attrs, want) >= 0;
+      result.outcome = found ? ImplicationOutcome::kImplied
+                             : ImplicationOutcome::kNotImplied;
+    }
+    return result;
+  }
+
+ private:
+  void AddAttrs(const std::string& rel,
+                const std::vector<std::string>& attrs) {
+    for (const std::string& a : attrs) schema_[rel].insert(a);
+  }
+
+  void CollectSchema() {
+    auto visit = [&](const Dependency& d) {
+      if (const auto* fd = std::get_if<FunctionalDependency>(&d)) {
+        AddAttrs(fd->relation, fd->lhs);
+        AddAttrs(fd->relation, fd->rhs);
+      } else {
+        const auto& ind = std::get<InclusionDependency>(d);
+        AddAttrs(ind.relation, ind.attrs);
+        AddAttrs(ind.ref_relation, ind.ref_attrs);
+      }
+    };
+    for (const Dependency& d : sigma_) visit(d);
+    visit(phi_);
+    for (const auto& [rel, attrs] : schema_) {
+      size_t i = 0;
+      for (const std::string& a : attrs) attr_index_[rel][a] = i++;
+      rows_[rel];
+    }
+  }
+
+  void Seed() {
+    if (const auto* fd = std::get_if<FunctionalDependency>(&phi_)) {
+      std::map<std::string, int> shared;
+      for (const std::string& a : fd->lhs) shared[a] = Fresh();
+      AddRow(fd->relation, shared);
+      AddRow(fd->relation, shared);
+    } else {
+      AddRow(std::get<InclusionDependency>(phi_).relation, {});
+    }
+  }
+
+  int Fresh() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+
+  int Find(int v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+  void AddRow(const std::string& rel, const std::map<std::string, int>& fixed) {
+    std::vector<int> row(schema_[rel].size());
+    for (const auto& [attr, idx] : attr_index_[rel]) {
+      auto it = fixed.find(attr);
+      row[idx] = it != fixed.end() ? it->second : Fresh();
+    }
+    rows_[rel].push_back(std::move(row));
+  }
+
+  size_t TotalRows() const {
+    size_t total = 0;
+    for (const auto& [rel, rows] : rows_) total += rows.size();
+    return total;
+  }
+
+  std::vector<int> Tuple(const std::string& rel, size_t row,
+                         const std::vector<std::string>& attrs) {
+    std::vector<int> out;
+    for (const std::string& a : attrs) {
+      out.push_back(Find(rows_[rel][row][attr_index_[rel].at(a)]));
+    }
+    return out;
+  }
+
+  int FindMatch(const std::string& rel, const std::vector<std::string>& attrs,
+                const std::vector<int>& want) {
+    for (size_t i = 0; i < rows_[rel].size(); ++i) {
+      if (Tuple(rel, i, attrs) == want) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // Applies every unification found in one pass over the relation.
+  bool ApplyFd(const FunctionalDependency& fd) {
+    auto& rows = rows_[fd.relation];
+    std::map<std::vector<int>, size_t> seen;
+    bool any = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::vector<int> lhs = Tuple(fd.relation, i, fd.lhs);
+      auto [it, inserted] = seen.emplace(std::move(lhs), i);
+      if (inserted) continue;
+      // Unify the RHS values of rows it->second and i if they differ.
+      bool fired = false;
+      for (const std::string& a : fd.rhs) {
+        size_t idx = attr_index_[fd.relation].at(a);
+        if (Find(rows[it->second][idx]) != Find(rows[i][idx])) {
+          Union(rows[it->second][idx], rows[i][idx]);
+          fired = true;
+        }
+      }
+      if (fired) {
+        ++steps_;
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  // Adds all missing target rows for the pass at once.
+  bool ApplyInd(const InclusionDependency& ind) {
+    auto& rows = rows_[ind.relation];
+    std::set<std::vector<int>> targets;
+    for (size_t i = 0; i < rows_[ind.ref_relation].size(); ++i) {
+      targets.insert(Tuple(ind.ref_relation, i, ind.ref_attrs));
+    }
+    std::set<std::vector<int>> missing;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::vector<int> want = Tuple(ind.relation, i, ind.attrs);
+      if (targets.count(want) == 0) missing.insert(std::move(want));
+    }
+    for (const std::vector<int>& want : missing) {
+      std::map<std::string, int> fixed;
+      for (size_t a = 0; a < ind.ref_attrs.size(); ++a) {
+        fixed[ind.ref_attrs[a]] = want[a];
+      }
+      AddRow(ind.ref_relation, fixed);
+      ++steps_;
+    }
+    return !missing.empty();
+  }
+
+  const std::vector<Dependency>& sigma_;
+  const Dependency& phi_;
+  const FdIndChaseOptions& options_;
+
+  std::map<std::string, std::set<std::string>> schema_;
+  std::map<std::string, std::map<std::string, size_t>> attr_index_;
+  std::map<std::string, std::vector<std::vector<int>>> rows_;
+  std::vector<int> parent_;
+  size_t steps_ = 0;
+};
+
+}  // namespace
+
+FdIndResult ChaseFdInd(const std::vector<Dependency>& sigma,
+                       const Dependency& phi,
+                       const FdIndChaseOptions& options) {
+  return FdIndChase(sigma, phi, options).Run();
+}
+
+}  // namespace xic

@@ -1,0 +1,62 @@
+// Functional and inclusion dependencies, with a chase-based implication
+// procedure.
+//
+// This module carries the *source* problem of Theorem 3.6 / Corollary
+// 3.7: implication of FDs + INDs is undecidable (see [2] in the paper),
+// and the paper proves undecidability of L implication by reduction from
+// it. The chase below is the standard semi-decision procedure: it answers
+// exactly when it terminates and reports Unknown otherwise; cyclic
+// IND/FD interactions are the classic non-terminating inputs.
+
+#ifndef XIC_RELATIONAL_DEPENDENCIES_H_
+#define XIC_RELATIONAL_DEPENDENCIES_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "implication/l_general_solver.h"  // ImplicationOutcome
+#include "util/status.h"
+
+namespace xic {
+
+/// Functional dependency R: X -> Y.
+struct FunctionalDependency {
+  std::string relation;
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+  std::string ToString() const;
+};
+
+/// Inclusion dependency R[X] subseteq S[Y].
+struct InclusionDependency {
+  std::string relation;
+  std::vector<std::string> attrs;
+  std::string ref_relation;
+  std::vector<std::string> ref_attrs;
+  std::string ToString() const;
+};
+
+using Dependency = std::variant<FunctionalDependency, InclusionDependency>;
+
+std::string DependencyToString(const Dependency& d);
+
+struct FdIndChaseOptions {
+  size_t max_steps = 10'000;
+  size_t max_rows = 5'000;
+};
+
+struct FdIndResult {
+  ImplicationOutcome outcome = ImplicationOutcome::kUnknown;
+  size_t steps = 0;
+};
+
+/// Chases Sigma |= phi. Terminating chases decide implication exactly;
+/// bound exhaustion yields kUnknown (the problem is undecidable).
+FdIndResult ChaseFdInd(const std::vector<Dependency>& sigma,
+                       const Dependency& phi,
+                       const FdIndChaseOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_DEPENDENCIES_H_

@@ -1,0 +1,53 @@
+#include "relational/export_xml.h"
+
+#include "relational/reduction.h"
+
+namespace xic {
+
+Result<RelationalExport> ExportRelational(
+    const RelationalInstance& instance,
+    const RelationalExportOptions& options) {
+  const RelationalSchema& schema = instance.schema();
+  XIC_RETURN_IF_ERROR(schema.Validate());
+
+  RelationalExport out;
+  // DTD: root -> (R1*, ..., Rn*); each relation element holds its
+  // attributes as unique sub-elements with string content.
+  std::vector<RegexPtr> root_parts;
+  for (const RelationDef& rel : schema.relations()) {
+    root_parts.push_back(Regex::Star(Regex::Symbol(rel.name)));
+    std::vector<RegexPtr> fields;
+    for (const std::string& attr : rel.attributes) {
+      fields.push_back(Regex::Symbol(attr));
+      if (!out.dtd.HasElement(attr)) {
+        XIC_RETURN_IF_ERROR(out.dtd.AddElement(attr, Regex::String()));
+      }
+    }
+    XIC_RETURN_IF_ERROR(
+        out.dtd.AddElement(rel.name, Regex::Sequence(std::move(fields))));
+  }
+  XIC_RETURN_IF_ERROR(
+      out.dtd.AddElement(options.root, Regex::Sequence(root_parts)));
+  XIC_RETURN_IF_ERROR(out.dtd.SetRoot(options.root));
+  XIC_RETURN_IF_ERROR(out.dtd.Validate());
+
+  // Constraints: keys and foreign keys in L over sub-element fields.
+  XIC_ASSIGN_OR_RETURN(out.sigma, EncodeSchemaAsL(schema));
+
+  // Data.
+  VertexId root = out.tree.AddVertex(options.root);
+  for (const RelationDef& rel : schema.relations()) {
+    for (const RelationalTuple& tuple : instance.Rows(rel.name)) {
+      VertexId row = out.tree.AddVertex(rel.name);
+      XIC_RETURN_IF_ERROR(out.tree.AddChildVertex(root, row));
+      for (size_t i = 0; i < rel.attributes.size(); ++i) {
+        VertexId field = out.tree.AddVertex(rel.attributes[i]);
+        XIC_RETURN_IF_ERROR(out.tree.AddChildVertex(row, field));
+        out.tree.AddChildText(field, tuple[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xic

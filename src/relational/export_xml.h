@@ -1,0 +1,45 @@
+// Export of relational data to XML with preserved semantics -- the
+// paper's publishers/editors scenario (Sections 1 and 2.4).
+//
+// Each relation becomes an element type whose attributes are *unique
+// sub-elements* holding character data, exactly as the paper's
+//   <!ELEMENT publisher (pname, country, address)>
+// listing does; keys and foreign keys become L constraints over those
+// sub-elements (legal per Section 3.4). The exporter returns the DTD^C
+// (structure + constraint set) and the document tree, so callers can
+// re-validate with StructuralValidator + ConstraintChecker and reason
+// with the implication solvers.
+
+#ifndef XIC_RELATIONAL_EXPORT_XML_H_
+#define XIC_RELATIONAL_EXPORT_XML_H_
+
+#include <string>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct RelationalExport {
+  DtdStructure dtd;
+  ConstraintSet sigma;  // language L
+  DataTree tree;
+};
+
+struct RelationalExportOptions {
+  /// Root element name.
+  std::string root = "db";
+};
+
+/// Exports the schema (structure + constraints) and the instance's data.
+Result<RelationalExport> ExportRelational(
+    const RelationalInstance& instance,
+    const RelationalExportOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_EXPORT_XML_H_

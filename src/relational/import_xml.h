@@ -1,0 +1,51 @@
+// Shredding XML back into relations: the inverse of relational/export_xml.
+//
+// Applies to "flat" DTD^Cs of the shape the exporter produces (and that
+// the paper's publishers/editors example has): a root whose content is a
+// sequence of starred relation elements, each relation element holding
+// its fields as unique sub-elements with string content and/or
+// single-valued attributes. Keys and foreign keys are recovered from the
+// L constraint set, completing the round trip
+//   relational -> DTD^C + document -> relational
+// with both data and semantics preserved.
+
+#ifndef XIC_RELATIONAL_IMPORT_XML_H_
+#define XIC_RELATIONAL_IMPORT_XML_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct RelationalImport {
+  RelationalSchema schema;
+  // relation name -> shredded tuples (attribute order as in the schema).
+  std::map<std::string, std::vector<RelationalTuple>> rows;
+};
+
+/// Recovers the relational schema from a flat DTD^C. Fails with
+/// NotSupported when the structure is not flat (nested relations,
+/// recursive content, set-valued attributes).
+Result<RelationalSchema> ImportRelationalSchema(const DtdStructure& dtd,
+                                                const ConstraintSet& sigma);
+
+/// Recovers schema and data from a document conforming to the DTD^C.
+Result<RelationalImport> ImportRelational(const DataTree& tree,
+                                          const DtdStructure& dtd,
+                                          const ConstraintSet& sigma);
+
+/// Loads the shredded rows into an instance over `import.schema`.
+Status PopulateInstance(const RelationalImport& import,
+                        RelationalInstance* instance);
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_IMPORT_XML_H_

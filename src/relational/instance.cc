@@ -1,0 +1,78 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xic {
+
+namespace {
+
+// Projects `tuple` onto the named attributes of `rel`.
+std::vector<std::string> Project(const RelationDef& rel,
+                                 const RelationalTuple& tuple,
+                                 const std::vector<std::string>& attrs) {
+  std::vector<std::string> out;
+  for (const std::string& a : attrs) {
+    auto it = std::find(rel.attributes.begin(), rel.attributes.end(), a);
+    out.push_back(tuple[static_cast<size_t>(
+        std::distance(rel.attributes.begin(), it))]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status RelationalInstance::Insert(const std::string& relation,
+                                  RelationalTuple tuple) {
+  const RelationDef* rel = schema_.Find(relation);
+  if (rel == nullptr) {
+    return Status::InvalidArgument("unknown relation: " + relation);
+  }
+  if (tuple.size() != rel->attributes.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into " + relation + ": got " +
+        std::to_string(tuple.size()) + ", want " +
+        std::to_string(rel->attributes.size()));
+  }
+  rows_[relation].push_back(std::move(tuple));
+  return Status::OK();
+}
+
+const std::vector<RelationalTuple>& RelationalInstance::Rows(
+    const std::string& relation) const {
+  static const std::vector<RelationalTuple> kEmpty;
+  auto it = rows_.find(relation);
+  return it == rows_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> RelationalInstance::CheckIntegrity() const {
+  std::vector<std::string> violations;
+  for (const RelationDef& rel : schema_.relations()) {
+    for (const std::vector<std::string>& key : rel.keys) {
+      std::set<std::vector<std::string>> seen;
+      for (const RelationalTuple& t : Rows(rel.name)) {
+        if (!seen.insert(Project(rel, t, key)).second) {
+          violations.push_back("duplicate key in " + rel.name);
+        }
+      }
+    }
+  }
+  for (const RelationalForeignKey& fk : schema_.foreign_keys()) {
+    const RelationDef* from = schema_.Find(fk.relation);
+    const RelationDef* to = schema_.Find(fk.ref_relation);
+    if (from == nullptr || to == nullptr) continue;
+    std::set<std::vector<std::string>> targets;
+    for (const RelationalTuple& t : Rows(fk.ref_relation)) {
+      targets.insert(Project(*to, t, fk.ref_attrs));
+    }
+    for (const RelationalTuple& t : Rows(fk.relation)) {
+      if (targets.count(Project(*from, t, fk.attrs)) == 0) {
+        violations.push_back("dangling foreign key from " + fk.relation +
+                             " to " + fk.ref_relation);
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace xic

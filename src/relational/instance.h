@@ -1,0 +1,43 @@
+// Relational instances: bags of tuples per relation, with integrity
+// checking against a RelationalSchema (keys and foreign keys) -- the
+// relational counterpart of the XML ConstraintChecker, used to verify
+// that XML export preserves constraint satisfaction.
+
+#ifndef XIC_RELATIONAL_INSTANCE_H_
+#define XIC_RELATIONAL_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace xic {
+
+using RelationalTuple = std::vector<std::string>;
+
+class RelationalInstance {
+ public:
+  explicit RelationalInstance(const RelationalSchema& schema)
+      : schema_(schema) {}
+
+  /// Appends a tuple; fails on arity mismatch or unknown relation.
+  Status Insert(const std::string& relation, RelationalTuple tuple);
+
+  const std::vector<RelationalTuple>& Rows(const std::string& relation) const;
+
+  /// Checks every key and foreign key of the schema; returns the list of
+  /// violation messages (empty = consistent).
+  std::vector<std::string> CheckIntegrity() const;
+
+  const RelationalSchema& schema() const { return schema_; }
+
+ private:
+  const RelationalSchema& schema_;
+  std::map<std::string, std::vector<RelationalTuple>> rows_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,74 @@
+#include "relational/reduction.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xic {
+
+Result<ConstraintSet> EncodeSchemaAsL(const RelationalSchema& schema) {
+  XIC_RETURN_IF_ERROR(schema.Validate());
+  ConstraintSet out;
+  out.language = Language::kL;
+  for (const RelationDef& rel : schema.relations()) {
+    for (const std::vector<std::string>& key : rel.keys) {
+      out.constraints.push_back(Constraint::Key(rel.name, key));
+    }
+  }
+  for (const RelationalForeignKey& fk : schema.foreign_keys()) {
+    out.constraints.push_back(Constraint::ForeignKey(
+        fk.relation, fk.attrs, fk.ref_relation, fk.ref_attrs));
+  }
+  return out;
+}
+
+Result<Constraint> EncodeDependencyAsL(const Dependency& dep,
+                                       const RelationalSchema& schema) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&dep)) {
+    const RelationDef* rel = schema.Find(fd->relation);
+    if (rel == nullptr) {
+      return Status::InvalidArgument("unknown relation: " + fd->relation);
+    }
+    // Key-shaped FD: lhs determines every attribute of the relation.
+    std::set<std::string> determined(fd->lhs.begin(), fd->lhs.end());
+    determined.insert(fd->rhs.begin(), fd->rhs.end());
+    for (const std::string& a : rel->attributes) {
+      if (determined.count(a) == 0) {
+        return Status::NotSupported(
+            "FD " + fd->ToString() +
+            " is not key-shaped (attribute " + a +
+            " undetermined); the general FD+IND reduction is the "
+            "undecidability gadget and is out of scope (DESIGN.md)");
+      }
+    }
+    return Constraint::Key(fd->relation, fd->lhs);
+  }
+  const auto& ind = std::get<InclusionDependency>(dep);
+  const RelationDef* target = schema.Find(ind.ref_relation);
+  if (target == nullptr) {
+    return Status::InvalidArgument("unknown relation: " + ind.ref_relation);
+  }
+  std::vector<std::string> sorted = ind.ref_attrs;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::find(target->keys.begin(), target->keys.end(), sorted) ==
+      target->keys.end()) {
+    return Status::NotSupported(
+        "IND " + ind.ToString() +
+        " does not target a declared key; L foreign keys require key "
+        "targets");
+  }
+  return Constraint::ForeignKey(ind.relation, ind.attrs, ind.ref_relation,
+                                ind.ref_attrs);
+}
+
+Result<ConstraintSet> EncodeDependenciesAsL(
+    const std::vector<Dependency>& deps, const RelationalSchema& schema) {
+  ConstraintSet out;
+  out.language = Language::kL;
+  for (const Dependency& dep : deps) {
+    XIC_ASSIGN_OR_RETURN(Constraint c, EncodeDependencyAsL(dep, schema));
+    out.constraints.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,49 @@
+// The bridge between relational dependency theory and L (Section 3.3,
+// Theorem 3.6 / Corollaries 3.7 and 3.9).
+//
+// Two encodings:
+//
+//   * EncodeSchemaAsL: a RelationalSchema's keys and foreign keys map
+//     verbatim to L key / foreign-key constraints over element types (one
+//     type per relation, one field per attribute). This is the faithful
+//     fragment the paper's corollaries speak about: implication questions
+//     about relational keys/foreign keys and about their L images have
+//     the same answers, which the tests verify by running the FD/IND
+//     chase and the L chase side by side.
+//
+//   * EncodeDependenciesAsL: maps a set of FDs + INDs into L when every
+//     FD is a key dependency (X -> all attributes) and every IND targets
+//     a declared key. General FDs/INDs are rejected with NotSupported:
+//     the paper's full reduction (which shows undecidability) requires
+//     gadget constructions from its technical report; the undecidability
+//     itself is demonstrated here by chase non-termination on cyclic
+//     inputs (see tests and DESIGN.md).
+
+#ifndef XIC_RELATIONAL_REDUCTION_H_
+#define XIC_RELATIONAL_REDUCTION_H_
+
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "relational/dependencies.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// Keys and foreign keys of `schema` as an L constraint set.
+Result<ConstraintSet> EncodeSchemaAsL(const RelationalSchema& schema);
+
+/// FDs/INDs as L constraints (key-shaped fragment only; see above).
+/// `relation_attrs` supplies each relation's full attribute list so key
+/// FDs can be recognized.
+Result<ConstraintSet> EncodeDependenciesAsL(
+    const std::vector<Dependency>& deps, const RelationalSchema& schema);
+
+/// The L image of a single dependency (same fragment restrictions).
+Result<Constraint> EncodeDependencyAsL(const Dependency& dep,
+                                       const RelationalSchema& schema);
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_REDUCTION_H_

@@ -1,0 +1,85 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xic {
+
+const RelationDef* RelationalSchema::Find(const std::string& name) const {
+  for (const RelationDef& r : relations_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+Status RelationalSchema::AddRelation(std::string name,
+                                     std::vector<std::string> attributes) {
+  if (Find(name) != nullptr) {
+    return Status::InvalidArgument("relation redeclared: " + name);
+  }
+  std::set<std::string> seen;
+  for (const std::string& a : attributes) {
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("duplicate attribute " + a +
+                                     " in relation " + name);
+    }
+  }
+  relations_.push_back({std::move(name), std::move(attributes), {}});
+  return Status::OK();
+}
+
+Status RelationalSchema::AddKey(const std::string& relation,
+                                std::vector<std::string> attrs) {
+  for (RelationDef& r : relations_) {
+    if (r.name != relation) continue;
+    for (const std::string& a : attrs) {
+      if (std::find(r.attributes.begin(), r.attributes.end(), a) ==
+          r.attributes.end()) {
+        return Status::InvalidArgument("key attribute " + a +
+                                       " not in relation " + relation);
+      }
+    }
+    std::sort(attrs.begin(), attrs.end());
+    r.keys.push_back(std::move(attrs));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown relation: " + relation);
+}
+
+Status RelationalSchema::AddForeignKey(RelationalForeignKey fk) {
+  if (fk.attrs.size() != fk.ref_attrs.size() || fk.attrs.empty()) {
+    return Status::InvalidArgument(
+        "foreign key attribute lists empty or of different lengths");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+Status RelationalSchema::Validate() const {
+  for (const RelationalForeignKey& fk : foreign_keys_) {
+    const RelationDef* from = Find(fk.relation);
+    const RelationDef* to = Find(fk.ref_relation);
+    if (from == nullptr || to == nullptr) {
+      return Status::InvalidArgument("foreign key references unknown "
+                                     "relation");
+    }
+    for (const std::string& a : fk.attrs) {
+      if (std::find(from->attributes.begin(), from->attributes.end(), a) ==
+          from->attributes.end()) {
+        return Status::InvalidArgument("foreign-key attribute " + a +
+                                       " not in " + fk.relation);
+      }
+    }
+    std::vector<std::string> target = fk.ref_attrs;
+    std::sort(target.begin(), target.end());
+    if (std::find(to->keys.begin(), to->keys.end(), target) ==
+        to->keys.end()) {
+      return Status::InvalidArgument(
+          "foreign key into " + fk.ref_relation +
+          " does not target a declared key");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xic

@@ -1,0 +1,55 @@
+// Relational schemas: the legacy-source model of the paper's Section 1
+// publishers/editors example. Relations carry attribute lists, candidate
+// keys and foreign keys; ExportToXml (export_xml.h) turns a schema into a
+// DTD^C whose constraints are in L, preserving keys and foreign keys.
+
+#ifndef XIC_RELATIONAL_SCHEMA_H_
+#define XIC_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic {
+
+struct RelationDef {
+  std::string name;
+  std::vector<std::string> attributes;
+  /// Candidate keys; the first is the primary key.
+  std::vector<std::vector<std::string>> keys;
+};
+
+struct RelationalForeignKey {
+  std::string relation;
+  std::vector<std::string> attrs;
+  std::string ref_relation;
+  std::vector<std::string> ref_attrs;
+};
+
+class RelationalSchema {
+ public:
+  Status AddRelation(std::string name, std::vector<std::string> attributes);
+  Status AddKey(const std::string& relation, std::vector<std::string> attrs);
+  Status AddForeignKey(RelationalForeignKey fk);
+
+  /// Global coherence: attribute references valid, every foreign key
+  /// targets a declared key of its referenced relation.
+  Status Validate() const;
+
+  const std::vector<RelationDef>& relations() const { return relations_; }
+  const std::vector<RelationalForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+  const RelationDef* Find(const std::string& name) const;
+
+ private:
+  std::vector<RelationDef> relations_;
+  std::vector<RelationalForeignKey> foreign_keys_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,62 @@
+#include "relational/sql_ddl.h"
+
+#include "util/strings.h"
+
+namespace xic {
+
+std::string SqlEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  return out;
+}
+
+std::string WriteSqlDdl(const RelationalSchema& schema) {
+  std::string out;
+  for (const RelationDef& rel : schema.relations()) {
+    out += "CREATE TABLE " + rel.name + " (\n";
+    for (const std::string& attr : rel.attributes) {
+      out += "  " + attr + " VARCHAR NOT NULL,\n";
+    }
+    bool first_key = true;
+    for (const std::vector<std::string>& key : rel.keys) {
+      out += first_key ? "  PRIMARY KEY (" : "  UNIQUE (";
+      out += Join(key, ", ");
+      out += "),\n";
+      first_key = false;
+    }
+    for (const RelationalForeignKey& fk : schema.foreign_keys()) {
+      if (fk.relation != rel.name) continue;
+      out += "  FOREIGN KEY (" + Join(fk.attrs, ", ") + ") REFERENCES " +
+             fk.ref_relation + " (" + Join(fk.ref_attrs, ", ") + "),\n";
+    }
+    // Trim the trailing comma.
+    size_t comma = out.rfind(",\n");
+    if (comma != std::string::npos && comma == out.size() - 2) {
+      out.erase(comma, 1);
+    }
+    out += ");\n\n";
+  }
+  return out;
+}
+
+std::string WriteSqlInserts(const RelationalInstance& instance) {
+  std::string out;
+  for (const RelationDef& rel : instance.schema().relations()) {
+    for (const RelationalTuple& tuple : instance.Rows(rel.name)) {
+      out += "INSERT INTO " + rel.name + " (" + Join(rel.attributes, ", ") +
+             ") VALUES (";
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "'" + SqlEscape(tuple[i]) + "'";
+      }
+      out += ");\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,29 @@
+// SQL DDL rendering of relational schemas -- the presentation-layer
+// counterpart of the paper's Section 1 "relational database" listings.
+// Useful when xic acts as the bridge in a round trip
+//   SQL world -> RelationalSchema -> DTD^C -> XML -> back.
+
+#ifndef XIC_RELATIONAL_SQL_DDL_H_
+#define XIC_RELATIONAL_SQL_DDL_H_
+
+#include <string>
+
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace xic {
+
+/// CREATE TABLE statements: every attribute as VARCHAR, the first
+/// declared key as PRIMARY KEY, further keys as UNIQUE constraints,
+/// foreign keys as REFERENCES clauses.
+std::string WriteSqlDdl(const RelationalSchema& schema);
+
+/// INSERT statements for every tuple (values SQL-escaped).
+std::string WriteSqlInserts(const RelationalInstance& instance);
+
+/// Escapes a string literal for SQL ('' doubling).
+std::string SqlEscape(const std::string& value);
+
+}  // namespace xic
+
+#endif  // XIC_RELATIONAL_SQL_DDL_H_

@@ -1,0 +1,38 @@
+// Small string utilities shared across xic modules.
+
+#ifndef XIC_UTIL_STRINGS_H_
+#define XIC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xic {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True for XML NameStartChar restricted to the ASCII subset we support
+/// (letters, '_', ':').
+bool IsNameStartChar(char c);
+
+/// True for XML NameChar restricted to ASCII (NameStartChar, digits, '-',
+/// '.').
+bool IsNameChar(char c);
+
+/// True if `name` is a well-formed (ASCII-subset) XML name.
+bool IsXmlName(std::string_view name);
+
+}  // namespace xic
+
+#endif  // XIC_UTIL_STRINGS_H_

@@ -1,0 +1,31 @@
+// Parser for DTD declarations (<!ELEMENT ...> and <!ATTLIST ...>),
+// producing a DtdStructure (Definition 2.2).
+//
+// Attribute type mapping:
+//   ID                  -> R = S,  kind = ID
+//   IDREF               -> R = S,  kind = IDREF
+//   IDREFS              -> R = S*, kind = IDREF
+//   NMTOKENS / ENTITIES -> R = S*
+//   CDATA / NMTOKEN / enumerations / ENTITY -> R = S
+// Default declarations (#REQUIRED / #IMPLIED / #FIXED "v" / "v") are
+// parsed and discarded: the paper's R has no notion of optionality.
+// Parameter entities are not supported.
+
+#ifndef XIC_XML_DTD_PARSER_H_
+#define XIC_XML_DTD_PARSER_H_
+
+#include <string>
+
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// Parses a DTD (a sequence of declarations, e.g. the internal subset of a
+/// DOCTYPE). `root` becomes the structure's root element type r.
+Result<DtdStructure> ParseDtd(const std::string& text,
+                              const std::string& root);
+
+}  // namespace xic
+
+#endif  // XIC_XML_DTD_PARSER_H_

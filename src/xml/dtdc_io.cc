@@ -1,0 +1,138 @@
+#include "xml/dtdc_io.h"
+
+#include "constraints/constraint_parser.h"
+#include "util/strings.h"
+#include "xml/dtd_parser.h"
+#include "xml/serializer.h"
+
+namespace xic {
+
+namespace {
+
+constexpr const char* kBlockStart = "<!-- xic:constraints";
+constexpr const char* kBlockEnd = "-->";
+
+std::string FieldRef(const std::string& element,
+                     const std::vector<std::string>& attrs) {
+  if (attrs.size() == 1) return element + "." + attrs.front();
+  return element + "[" + Join(attrs, ", ") + "]";
+}
+
+std::optional<Language> ParseLanguageTag(std::string_view tag) {
+  if (tag == "L") return Language::kL;
+  if (tag == "L_u") return Language::kLu;
+  if (tag == "L_id") return Language::kLid;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string WriteConstraintStatement(const Constraint& c) {
+  switch (c.kind) {
+    case ConstraintKind::kKey:
+      return "key " + FieldRef(c.element, c.attrs);
+    case ConstraintKind::kId:
+      return "id " + c.element + "." + c.attr();
+    case ConstraintKind::kForeignKey:
+      return "fk " + FieldRef(c.element, c.attrs) + " -> " +
+             FieldRef(c.ref_element, c.ref_attrs);
+    case ConstraintKind::kSetForeignKey:
+      return "sfk " + c.element + "." + c.attr() + " -> " + c.ref_element +
+             "." + c.ref_attr();
+    case ConstraintKind::kInverse: {
+      std::string lhs = c.element;
+      std::string rhs = c.ref_element;
+      if (!c.inv_key.empty()) lhs += "(" + c.inv_key + ")";
+      if (!c.inv_ref_key.empty()) rhs += "(" + c.inv_ref_key + ")";
+      return "inverse " + lhs + "." + c.attr() + " <-> " + rhs + "." +
+             c.ref_attr();
+    }
+  }
+  return "";
+}
+
+std::string WriteConstraintBlock(const ConstraintSet& sigma) {
+  std::string out = kBlockStart;
+  out += " language=";
+  out += LanguageToString(sigma.language);
+  out += "\n";
+  for (const Constraint& c : sigma.constraints) {
+    out += "  " + WriteConstraintStatement(c) + "\n";
+  }
+  out += kBlockEnd;
+  out += "\n";
+  return out;
+}
+
+std::string WriteDtdC(const DtdStructure& dtd, const ConstraintSet& sigma) {
+  return dtd.ToString() + WriteConstraintBlock(sigma);
+}
+
+Result<DtdC> ParseDtdC(const std::string& text, const std::string& root) {
+  DtdC out;
+  XIC_ASSIGN_OR_RETURN(out.dtd, ParseDtd(text, root));
+  size_t start = text.find(kBlockStart);
+  if (start != std::string::npos) {
+    size_t header_end = start + std::string(kBlockStart).size();
+    size_t end = text.find(kBlockEnd, header_end);
+    if (end == std::string::npos) {
+      return Status::ParseError("unterminated xic:constraints block");
+    }
+    std::string body = text.substr(header_end, end - header_end);
+    // Optional "language=..." tag on the first line.
+    Language lang = Language::kLu;
+    std::string_view rest = StripWhitespace(body);
+    if (StartsWith(rest, "language=")) {
+      size_t eol = rest.find_first_of(" \t\n");
+      std::string_view tag = rest.substr(9, eol == std::string_view::npos
+                                                ? std::string_view::npos
+                                                : eol - 9);
+      std::optional<Language> parsed = ParseLanguageTag(tag);
+      if (!parsed.has_value()) {
+        return Status::ParseError("unknown constraint language tag \"" +
+                                  std::string(tag) + "\"");
+      }
+      lang = *parsed;
+      rest = eol == std::string_view::npos ? std::string_view()
+                                           : rest.substr(eol);
+    }
+    XIC_ASSIGN_OR_RETURN(
+        ConstraintSet sigma,
+        ParseConstraintSet(std::string(rest), lang));
+    out.sigma = std::move(sigma);
+  }
+  return out;
+}
+
+std::string WriteDocumentWithDtdC(const DataTree& tree,
+                                  const DtdStructure& dtd,
+                                  const ConstraintSet& sigma) {
+  std::string out = "<?xml version=\"1.0\"?>\n<!DOCTYPE ";
+  out += tree.empty() ? dtd.root() : tree.label(tree.root());
+  out += " [\n";
+  out += WriteDtdC(dtd, sigma);
+  out += "]>\n";
+  // SerializeXml emits its own prolog; strip it.
+  std::string body = SerializeXml(tree);
+  size_t prolog_end = body.find("?>\n");
+  if (prolog_end != std::string::npos) {
+    body = body.substr(prolog_end + 3);
+  }
+  out += body;
+  return out;
+}
+
+Result<SelfDescribingDocument> ParseDocumentWithDtdC(
+    const std::string& text) {
+  SelfDescribingDocument out;
+  XIC_ASSIGN_OR_RETURN(out.document, ParseXml(text));
+  if (!out.document.internal_subset.empty()) {
+    XIC_ASSIGN_OR_RETURN(DtdC dtdc,
+                         ParseDtdC(out.document.internal_subset,
+                                   out.document.doctype_name));
+    out.sigma = std::move(dtdc.sigma);
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,90 @@
+#include "xml/serializer.h"
+
+namespace xic {
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasVertexChild(const DataTree& tree, VertexId v) {
+  for (const Child& c : tree.children(v)) {
+    if (std::holds_alternative<VertexId>(c)) return true;
+  }
+  return false;
+}
+
+void Render(const DataTree& tree, VertexId v, const SerializeOptions& options,
+            int depth, std::string* out) {
+  std::string indent =
+      options.pretty ? std::string(static_cast<size_t>(depth) * 2, ' ') : "";
+  *out += indent + "<" + tree.label(v);
+  for (const auto& [name, value] : tree.attributes(v)) {
+    *out += " " + name + "=\"";
+    bool first = true;
+    for (const std::string& item : value) {
+      if (!first) *out += ' ';
+      first = false;
+      *out += EscapeXml(item);
+    }
+    *out += "\"";
+  }
+  const std::vector<Child>& children = tree.children(v);
+  if (children.empty()) {
+    *out += "/>";
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += ">";
+  bool block = options.pretty && HasVertexChild(tree, v);
+  if (block) *out += '\n';
+  for (const Child& c : children) {
+    if (const VertexId* id = std::get_if<VertexId>(&c)) {
+      Render(tree, *id, options, depth + 1, out);
+    } else {
+      if (block) *out += indent + "  ";
+      *out += EscapeXml(std::get<std::string>(c));
+      if (block) *out += '\n';
+    }
+  }
+  if (block) *out += indent;
+  *out += "</" + tree.label(v) + ">";
+  if (options.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string SerializeXml(const DataTree& tree,
+                         const SerializeOptions& options) {
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  if (!tree.empty()) {
+    Render(tree, tree.root(), options, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace xic

@@ -1,0 +1,29 @@
+// Serialization of data trees back to XML text.
+
+#ifndef XIC_XML_SERIALIZER_H_
+#define XIC_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+
+namespace xic {
+
+struct SerializeOptions {
+  /// Indent nested elements (2 spaces per level); text-bearing elements
+  /// stay on one line.
+  bool pretty = true;
+};
+
+/// Renders the tree rooted at tree.root() as an XML document. Set-valued
+/// attributes are joined with single spaces (the IDREFS convention).
+std::string SerializeXml(const DataTree& tree,
+                         const SerializeOptions& options = {});
+
+/// Escapes '<', '>', '&', '"', '\'' for use in content / attribute values.
+std::string EscapeXml(const std::string& text);
+
+}  // namespace xic
+
+#endif  // XIC_XML_SERIALIZER_H_

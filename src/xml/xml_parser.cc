@@ -1,0 +1,398 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.h"
+#include "xml/dtd_parser.h"
+
+namespace xic {
+
+namespace {
+
+bool IsAllWhitespace(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, const XmlParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<XmlDocument> Parse() {
+    XIC_RETURN_IF_ERROR(ParseProlog());
+    XIC_ASSIGN_OR_RETURN(VertexId root, ParseElement(kInvalidVertex));
+    (void)root;
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Result<XmlDocument>(Error("content after document element"));
+    }
+    return std::move(doc_);
+  }
+
+ private:
+  Status ParseProlog() {
+    SkipMisc();
+    if (Peek("<?xml")) {
+      size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) {
+        return Error("unterminated XML declaration");
+      }
+      pos_ = end + 2;
+    }
+    SkipMisc();
+    if (Peek("<!DOCTYPE")) {
+      XIC_RETURN_IF_ERROR(ParseDoctype());
+    }
+    SkipMisc();
+    return Status::OK();
+  }
+
+  Status ParseDoctype() {
+    pos_ += 9;  // "<!DOCTYPE"
+    SkipSpace();
+    XIC_ASSIGN_OR_RETURN(doc_.doctype_name, ParseName());
+    SkipSpace();
+    // External id (SYSTEM/PUBLIC) -- recorded as unsupported external
+    // subset; we only read the internal subset.
+    if (Peek("SYSTEM") || Peek("PUBLIC")) {
+      while (pos_ < text_.size() && text_[pos_] != '[' && text_[pos_] != '>') {
+        if (text_[pos_] == '"' || text_[pos_] == '\'') {
+          size_t end = text_.find(text_[pos_], pos_ + 1);
+          if (end == std::string_view::npos) {
+            return Error("unterminated literal in DOCTYPE");
+          }
+          pos_ = end + 1;
+        } else {
+          ++pos_;
+        }
+      }
+    }
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '[') {
+      ++pos_;
+      // The subset ends at the first ']' outside comments, processing
+      // instructions and quoted literals (comments may contain ']', e.g.
+      // embedded constraint blocks with multi-attribute keys).
+      size_t end = std::string_view::npos;
+      for (size_t i = pos_; i < text_.size();) {
+        if (text_.substr(i, 4) == "<!--") {
+          size_t close = text_.find("-->", i + 4);
+          if (close == std::string_view::npos) break;
+          i = close + 3;
+        } else if (text_.substr(i, 2) == "<?") {
+          size_t close = text_.find("?>", i + 2);
+          if (close == std::string_view::npos) break;
+          i = close + 2;
+        } else if (text_[i] == '"' || text_[i] == '\'') {
+          size_t close = text_.find(text_[i], i + 1);
+          if (close == std::string_view::npos) break;
+          i = close + 1;
+        } else if (text_[i] == ']') {
+          end = i;
+          break;
+        } else {
+          ++i;
+        }
+      }
+      if (end == std::string_view::npos) {
+        return Error("unterminated internal subset");
+      }
+      std::string subset(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+      XIC_ASSIGN_OR_RETURN(DtdStructure dtd,
+                           ParseDtd(subset, doc_.doctype_name));
+      doc_.dtd = std::move(dtd);
+      doc_.internal_subset = std::move(subset);
+    }
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return Error("expected '>' closing DOCTYPE");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // Parses one element; attaches it to `parent` (or makes it the root).
+  Result<VertexId> ParseElement(VertexId parent) {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Result<VertexId>(Error("expected '<'"));
+    }
+    ++pos_;
+    XIC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    VertexId v = doc_.tree.AddVertex(name);
+    if (parent != kInvalidVertex) {
+      XIC_RETURN_IF_ERROR(doc_.tree.AddChildVertex(parent, v));
+    }
+    // Attributes.
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Result<VertexId>(Error("unterminated start tag"));
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (Peek("/>")) {
+        pos_ += 2;
+        return v;
+      }
+      XIC_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Result<VertexId>(Error("expected '=' after attribute name"));
+      }
+      ++pos_;
+      SkipSpace();
+      XIC_ASSIGN_OR_RETURN(std::string raw, ParseQuoted());
+      doc_.tree.SetAttribute(v, attr, MakeAttrValue(name, attr, raw));
+    }
+    // Content.
+    std::string text_buffer;
+    auto flush_text = [&] {
+      if (text_buffer.empty()) return;
+      if (!(options_.skip_ignorable_whitespace &&
+            IsAllWhitespace(text_buffer))) {
+        doc_.tree.AddChildText(v, text_buffer);
+      }
+      text_buffer.clear();
+    };
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Result<VertexId>(Error("unterminated element " + name));
+      }
+      if (Peek("</")) {
+        flush_text();
+        pos_ += 2;
+        XIC_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != name) {
+          return Result<VertexId>(
+              Error("mismatched end tag </" + close + "> for <" + name + ">"));
+        }
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Result<VertexId>(Error("expected '>' in end tag"));
+        }
+        ++pos_;
+        return v;
+      }
+      if (Peek("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) {
+          return Result<VertexId>(Error("unterminated comment"));
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek("<![CDATA[")) {
+        size_t end = text_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Result<VertexId>(Error("unterminated CDATA"));
+        }
+        text_buffer.append(text_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek("<?")) {
+        size_t end = text_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          return Result<VertexId>(Error("unterminated PI"));
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (text_[pos_] == '<') {
+        flush_text();
+        XIC_ASSIGN_OR_RETURN(VertexId child, ParseElement(v));
+        (void)child;
+        continue;
+      }
+      if (text_[pos_] == '&') {
+        XIC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
+        text_buffer += expanded;
+        continue;
+      }
+      text_buffer += text_[pos_++];
+    }
+  }
+
+  Result<std::string> ParseQuoted() {
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      return Result<std::string>(Error("expected quoted value"));
+    }
+    char quote = text_[pos_++];
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '&') {
+        XIC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
+        out += expanded;
+      } else {
+        out += text_[pos_++];
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Result<std::string>(Error("unterminated attribute value"));
+    }
+    ++pos_;
+    return out;
+  }
+
+  Result<std::string> ParseReference() {
+    size_t end = text_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 12) {
+      return Result<std::string>(Error("malformed entity reference"));
+    }
+    std::string_view ref = text_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    if (ref == "lt") return std::string("<");
+    if (ref == "gt") return std::string(">");
+    if (ref == "amp") return std::string("&");
+    if (ref == "apos") return std::string("'");
+    if (ref == "quot") return std::string("\"");
+    if (!ref.empty() && ref[0] == '#') {
+      int base = 10;
+      std::string_view digits = ref.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      unsigned long code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') {
+          d = c - '0';
+        } else if (base == 16 && std::isxdigit(static_cast<unsigned char>(c))) {
+          d = std::tolower(c) - 'a' + 10;
+        } else {
+          return Result<std::string>(Error("bad character reference"));
+        }
+        code = code * base + static_cast<unsigned long>(d);
+        if (code > 0x10FFFF) {
+          return Result<std::string>(Error("character reference out of range"));
+        }
+      }
+      // UTF-8 encode.
+      std::string out;
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else if (code < 0x10000) {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+      return out;
+    }
+    return Result<std::string>(
+        Error("unknown entity reference &" + std::string(ref) + ";"));
+  }
+
+  // Tokenizes a raw attribute string into the paper's set-of-values form,
+  // consulting the effective DTD for set-valuedness.
+  AttrValue MakeAttrValue(const std::string& element, const std::string& attr,
+                          const std::string& raw) {
+    const DtdStructure* dtd =
+        doc_.dtd.has_value() ? &*doc_.dtd : options_.dtd;
+    if (dtd != nullptr && dtd->IsSetValued(element, attr)) {
+      AttrValue out;
+      std::string current;
+      for (char c : raw) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          if (!current.empty()) out.insert(std::move(current));
+          current.clear();
+        } else {
+          current += c;
+        }
+      }
+      if (!current.empty()) out.insert(std::move(current));
+      return out;
+    }
+    return AttrValue{raw};
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && IsNameStartChar(text_[pos_])) {
+      ++pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      return std::string(text_.substr(start, pos_ - start));
+    }
+    return Result<std::string>(Error("expected name"));
+  }
+
+  bool Peek(std::string_view token) const {
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, comments and processing instructions.
+  void SkipMisc() {
+    while (true) {
+      SkipSpace();
+      if (Peek("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+          return;
+        }
+        pos_ = end + 3;
+      } else if (Peek("<?") && !Peek("<?xml")) {
+        size_t end = text_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+          return;
+        }
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    // Report 1-based line/column for the current offset.
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError("XML: " + what + " at line " +
+                              std::to_string(line) + ", column " +
+                              std::to_string(col));
+  }
+
+  std::string_view text_;
+  const XmlParseOptions& options_;
+  size_t pos_ = 0;
+  XmlDocument doc_;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(const std::string& text,
+                             const XmlParseOptions& options) {
+  return XmlParser(text, options).Parse();
+}
+
+}  // namespace xic

@@ -1,0 +1,50 @@
+// XML document parser producing data trees (Definition 2.1).
+//
+// Supports the subset of XML 1.0 needed for the paper's model: prolog,
+// DOCTYPE with an internal DTD subset, elements, attributes, character
+// data, comments, CDATA sections, character and predefined entity
+// references. Namespaces, processing instructions inside content, and
+// parameter entities are outside the scope (processing instructions are
+// skipped; parameter entities are rejected).
+//
+// XML attribute values are strings; the paper's att() maps to *sets* of
+// atomic values. When a DtdStructure is supplied, values of set-valued
+// attributes (IDREFS / NMTOKENS) are tokenized on whitespace into sets;
+// all other values become singletons.
+
+#ifndef XIC_XML_XML_PARSER_H_
+#define XIC_XML_XML_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct XmlParseOptions {
+  /// Drop text nodes consisting only of whitespace (layout between tags).
+  bool skip_ignorable_whitespace = true;
+  /// Tokenize set-valued attribute values using this DTD (may be null;
+  /// ignored when the document carries its own internal subset).
+  const DtdStructure* dtd = nullptr;
+};
+
+/// A parsed document: the data tree plus the DTD recovered from the
+/// internal subset (if the document had a DOCTYPE with declarations).
+struct XmlDocument {
+  DataTree tree;
+  std::optional<DtdStructure> dtd;
+  std::string doctype_name;     // empty when no DOCTYPE
+  std::string internal_subset;  // raw text between '[' and ']', if any
+};
+
+/// Parses a complete XML document.
+Result<XmlDocument> ParseXml(const std::string& text,
+                             const XmlParseOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_XML_XML_PARSER_H_

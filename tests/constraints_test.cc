@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint.h"
+#include "constraints/constraint_parser.h"
+#include "constraints/well_formed.h"
+#include "xml/dtd_parser.h"
+
+namespace xic {
+namespace {
+
+TEST(Constraint, FactoriesAndToString) {
+  EXPECT_EQ(Constraint::UnaryKey("entry", "isbn").ToString(),
+            "entry.isbn -> entry");
+  EXPECT_EQ(Constraint::Key("publisher", {"pname", "country"}).ToString(),
+            "publisher[country,pname] -> publisher");
+  EXPECT_EQ(Constraint::Id("person", "oid").ToString(),
+            "person.oid ->id person");
+  EXPECT_EQ(Constraint::UnaryForeignKey("dept", "manager", "person", "oid")
+                .ToString(),
+            "dept.manager <= person.oid");
+  EXPECT_EQ(
+      Constraint::ForeignKey("editor", {"pname", "country"}, "publisher",
+                             {"pname", "country"})
+          .ToString(),
+      "editor[pname,country] <= publisher[pname,country]");
+  EXPECT_EQ(Constraint::SetForeignKey("ref", "to", "entry", "isbn")
+                .ToString(),
+            "ref.to <=S entry.isbn");
+  EXPECT_EQ(Constraint::InverseU("dept", "dno", "has_staff", "person", "pno",
+                                 "in_dept")
+                .ToString(),
+            "dept(dno).has_staff <-> person(pno).in_dept");
+  EXPECT_EQ(
+      Constraint::InverseId("dept", "has_staff", "person", "in_dept")
+          .ToString(),
+      "dept.has_staff <-> person.in_dept");
+}
+
+TEST(Constraint, KeyAttributeSetsAreNormalized) {
+  // tau[X] -> tau with X a *set*: order does not matter.
+  EXPECT_EQ(Constraint::Key("r", {"b", "a"}), Constraint::Key("r", {"a", "b"}));
+  // Foreign keys are sequences: order matters (PFK-perm relates them).
+  EXPECT_NE(Constraint::ForeignKey("r", {"a", "b"}, "s", {"c", "d"}),
+            Constraint::ForeignKey("r", {"b", "a"}, "s", {"c", "d"}));
+}
+
+TEST(ConstraintParser, ParsesAllForms) {
+  Result<std::vector<Constraint>> r = ParseConstraints(R"(
+    # the book constraints (Section 2.4)
+    key entry.isbn ;
+    key section.sid
+    sfk ref.to -> entry.isbn
+
+    # relational publisher constraints
+    key publisher[pname, country]
+    fk editor[pname, country] -> publisher[pname, country]
+
+    # L_id forms
+    id person.oid
+    fk dept.manager -> person.oid
+    inverse dept.has_staff <-> person.in_dept
+    inverse dept(dno).has_staff <-> person(pno).in_dept
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const std::vector<Constraint>& cs = r.value();
+  ASSERT_EQ(cs.size(), 9u);
+  EXPECT_EQ(cs[0], Constraint::UnaryKey("entry", "isbn"));
+  EXPECT_EQ(cs[1], Constraint::UnaryKey("section", "sid"));
+  EXPECT_EQ(cs[2], Constraint::SetForeignKey("ref", "to", "entry", "isbn"));
+  EXPECT_EQ(cs[3], Constraint::Key("publisher", {"pname", "country"}));
+  EXPECT_EQ(cs[4],
+            Constraint::ForeignKey("editor", {"pname", "country"},
+                                   "publisher", {"pname", "country"}));
+  EXPECT_EQ(cs[5], Constraint::Id("person", "oid"));
+  EXPECT_EQ(cs[6],
+            Constraint::UnaryForeignKey("dept", "manager", "person", "oid"));
+  EXPECT_EQ(cs[7],
+            Constraint::InverseId("dept", "has_staff", "person", "in_dept"));
+  EXPECT_EQ(cs[8], Constraint::InverseU("dept", "dno", "has_staff", "person",
+                                        "pno", "in_dept"));
+}
+
+TEST(ConstraintParser, RoundTripsThroughToString) {
+  // ToString output is not the parser input syntax, but parsing the
+  // original again yields equal constraints.
+  const char* text = "key a.x; fk b.y -> a.x; sfk c.z -> a.x";
+  Result<std::vector<Constraint>> once = ParseConstraints(text);
+  ASSERT_TRUE(once.ok());
+  Result<std::vector<Constraint>> twice = ParseConstraints(text);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once.value(), twice.value());
+}
+
+TEST(ConstraintParser, Errors) {
+  EXPECT_FALSE(ParseConstraints("bogus a.x").ok());
+  EXPECT_FALSE(ParseConstraints("key a").ok());
+  EXPECT_FALSE(ParseConstraints("fk a.x -> b[y,z]").ok());
+  EXPECT_FALSE(ParseConstraints("sfk a[x,y] -> b.z").ok());
+  EXPECT_FALSE(ParseConstraints("inverse a(k).x <-> b.y").ok());
+  EXPECT_FALSE(ParseConstraints("id a[x,y]").ok());
+  EXPECT_FALSE(ParseConstraints("key a.x extra").ok());
+}
+
+// DTDs for well-formedness checks.
+Result<DtdStructure> ObjectDtd() {
+  return ParseDtd(R"(
+    <!ELEMENT db (person*, dept*)>
+    <!ELEMENT person (name, address)>
+    <!ATTLIST person oid ID #REQUIRED in_dept IDREFS #IMPLIED>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT address (#PCDATA)>
+    <!ELEMENT dname (#PCDATA)>
+    <!ELEMENT dept (dname)>
+    <!ATTLIST dept oid ID #REQUIRED manager IDREF #REQUIRED
+              has_staff IDREFS #IMPLIED>
+  )", "db");
+}
+
+TEST(WellFormed, PaperLidExample) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    key person.name
+    key dept.dname
+    sfk person.in_dept -> dept.oid
+    fk dept.manager -> person.oid
+    sfk dept.has_staff -> person.oid
+    inverse dept.has_staff <-> person.in_dept
+  )", Language::kLid);
+  ASSERT_TRUE(sigma.ok()) << sigma.status();
+  EXPECT_TRUE(CheckWellFormed(sigma.value(), dtd.value()).ok())
+      << CheckWellFormed(sigma.value(), dtd.value());
+}
+
+TEST(WellFormed, SubElementKeysAllowed) {
+  // person.name -> person with name a unique sub-element (Section 3.4).
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(ResolveField(dtd.value(), "person", "name"),
+            FieldKind::kUniqueSubElement);
+  EXPECT_EQ(ResolveField(dtd.value(), "person", "oid"),
+            FieldKind::kSingleAttribute);
+  EXPECT_EQ(ResolveField(dtd.value(), "person", "in_dept"),
+            FieldKind::kSetAttribute);
+  EXPECT_EQ(ResolveField(dtd.value(), "person", "ghost"),
+            FieldKind::kUnknown);
+  EXPECT_TRUE(IsKeyField(dtd.value(), "person", "name"));
+  EXPECT_FALSE(IsKeyField(dtd.value(), "person", "in_dept"));
+}
+
+TEST(WellFormed, RejectsBadShapes) {
+  Result<DtdStructure> dtd_result = ObjectDtd();
+  ASSERT_TRUE(dtd_result.ok());
+  const DtdStructure& dtd = dtd_result.value();
+
+  // Undeclared element type.
+  EXPECT_FALSE(CheckConstraintShape(Constraint::UnaryKey("ghost", "x"),
+                                    Language::kLu, dtd)
+                   .ok());
+  // Set-valued attribute cannot be a key.
+  EXPECT_FALSE(CheckConstraintShape(Constraint::UnaryKey("person", "in_dept"),
+                                    Language::kLu, dtd)
+                   .ok());
+  // Multi-attribute keys only in L.
+  Constraint multi = Constraint::Key("person", {"oid", "name"});
+  EXPECT_FALSE(CheckConstraintShape(multi, Language::kLu, dtd).ok());
+  EXPECT_TRUE(CheckConstraintShape(multi, Language::kL, dtd).ok());
+  // ID constraints only in L_id, and only on the actual ID attribute.
+  EXPECT_FALSE(CheckConstraintShape(Constraint::Id("person", "oid"),
+                                    Language::kLu, dtd)
+                   .ok());
+  EXPECT_FALSE(CheckConstraintShape(Constraint::Id("person", "name"),
+                                    Language::kLid, dtd)
+                   .ok());
+  EXPECT_TRUE(CheckConstraintShape(Constraint::Id("person", "oid"),
+                                   Language::kLid, dtd)
+                  .ok());
+  // L_id foreign keys must start from IDREF attributes and end at IDs.
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::UnaryForeignKey("person", "name", "dept",
+                                               "oid"),
+                   Language::kLid, dtd)
+                   .ok());
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::UnaryForeignKey("dept", "manager", "person",
+                                               "name"),
+                   Language::kLid, dtd)
+                   .ok());
+  // Set FK source must be set-valued.
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::SetForeignKey("dept", "manager", "person",
+                                             "oid"),
+                   Language::kLid, dtd)
+                   .ok());
+  // L has no set FKs or inverses.
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::SetForeignKey("dept", "has_staff", "person",
+                                             "oid"),
+                   Language::kL, dtd)
+                   .ok());
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::InverseId("dept", "has_staff", "person",
+                                         "in_dept"),
+                   Language::kL, dtd)
+                   .ok());
+  // L_u inverses must name keys; L_id inverses must not.
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::InverseId("dept", "has_staff", "person",
+                                         "in_dept"),
+                   Language::kLu, dtd)
+                   .ok());
+  EXPECT_FALSE(CheckConstraintShape(
+                   Constraint::InverseU("dept", "oid", "has_staff", "person",
+                                        "oid", "in_dept"),
+                   Language::kLid, dtd)
+                   .ok());
+}
+
+TEST(WellFormed, CrossConstraintConditions) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  // A foreign key whose target key is missing from Sigma.
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  sigma.constraints = {
+      Constraint::UnaryForeignKey("dept", "manager", "person", "oid")};
+  EXPECT_FALSE(CheckWellFormed(sigma, dtd.value()).ok());
+  // Adding the ID constraint fixes it.
+  sigma.constraints.push_back(Constraint::Id("person", "oid"));
+  EXPECT_TRUE(CheckWellFormed(sigma, dtd.value()).ok());
+}
+
+TEST(WellFormed, LuInverseNeedsNamedKeysInSigma) {
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("db", "(a*, b*)").ok());
+  ASSERT_TRUE(dtd.AddElement("a", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddElement("b", "EMPTY").ok());
+  for (const char* e : {"a", "b"}) {
+    ASSERT_TRUE(dtd.AddAttribute(e, "k", AttrCardinality::kSingle).ok());
+    ASSERT_TRUE(dtd.AddAttribute(e, "refs", AttrCardinality::kSet).ok());
+  }
+  ASSERT_TRUE(dtd.SetRoot("db").ok());
+  ASSERT_TRUE(dtd.Validate().ok());
+
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  sigma.constraints = {
+      Constraint::InverseU("a", "k", "refs", "b", "k", "refs")};
+  EXPECT_FALSE(CheckWellFormed(sigma, dtd).ok());
+  sigma.constraints.push_back(Constraint::UnaryKey("a", "k"));
+  sigma.constraints.push_back(Constraint::UnaryKey("b", "k"));
+  EXPECT_TRUE(CheckWellFormed(sigma, dtd).ok());
+}
+
+TEST(ConstraintSet, ContainsAndToString) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  sigma.constraints = {Constraint::UnaryKey("entry", "isbn")};
+  EXPECT_TRUE(sigma.Contains(Constraint::UnaryKey("entry", "isbn")));
+  EXPECT_FALSE(sigma.Contains(Constraint::UnaryKey("entry", "title")));
+  EXPECT_NE(sigma.ToString().find("entry.isbn -> entry"), std::string::npos);
+  EXPECT_NE(sigma.ToString().find("L_u"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xic

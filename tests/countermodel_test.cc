@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "constraints/checker.h"
+#include "constraints/constraint_parser.h"
+#include "implication/countermodel.h"
+#include "model/structural_validator.h"
+
+namespace xic {
+namespace {
+
+ConstraintSet LuSigma(const std::string& text) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(text, Language::kLu);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  return sigma.value();
+}
+
+TableRow Row(std::initializer_list<std::pair<std::string, AttrValue>> kv) {
+  TableRow row;
+  for (const auto& [k, v] : kv) row[k] = v;
+  return row;
+}
+
+TEST(TableInstance, SatisfiesKeys) {
+  TableInstance inst;
+  inst.tables["r"] = {Row({{"k", {"1"}}}), Row({{"k", {"2"}}})};
+  EXPECT_TRUE(Satisfies(inst, Constraint::UnaryKey("r", "k")));
+  inst.tables["r"].push_back(Row({{"k", {"1"}}}));
+  EXPECT_FALSE(Satisfies(inst, Constraint::UnaryKey("r", "k")));
+  // Multi-attribute keys.
+  TableInstance multi;
+  multi.tables["r"] = {Row({{"a", {"1"}}, {"b", {"1"}}}),
+                       Row({{"a", {"1"}}, {"b", {"2"}}})};
+  EXPECT_TRUE(Satisfies(multi, Constraint::Key("r", {"a", "b"})));
+  EXPECT_FALSE(Satisfies(multi, Constraint::Key("r", {"a"})));
+}
+
+TEST(TableInstance, SatisfiesForeignKeys) {
+  TableInstance inst;
+  inst.tables["e"] = {Row({{"f", {"1"}}})};
+  inst.tables["p"] = {Row({{"k", {"1"}}}), Row({{"k", {"2"}}})};
+  EXPECT_TRUE(
+      Satisfies(inst, Constraint::UnaryForeignKey("e", "f", "p", "k")));
+  inst.tables["e"].push_back(Row({{"f", {"9"}}}));
+  EXPECT_FALSE(
+      Satisfies(inst, Constraint::UnaryForeignKey("e", "f", "p", "k")));
+}
+
+TEST(TableInstance, SatisfiesSetForeignKeys) {
+  TableInstance inst;
+  inst.tables["r"] = {Row({{"refs", {"1", "2"}}})};
+  inst.tables["p"] = {Row({{"k", {"1"}}}), Row({{"k", {"2"}}})};
+  EXPECT_TRUE(
+      Satisfies(inst, Constraint::SetForeignKey("r", "refs", "p", "k")));
+  inst.tables["r"].push_back(Row({{"refs", {"3"}}}));
+  EXPECT_FALSE(
+      Satisfies(inst, Constraint::SetForeignKey("r", "refs", "p", "k")));
+  // Empty set references are fine.
+  TableInstance empty;
+  empty.tables["r"] = {Row({{"refs", {}}})};
+  empty.tables["p"] = {};
+  EXPECT_TRUE(
+      Satisfies(empty, Constraint::SetForeignKey("r", "refs", "p", "k")));
+}
+
+TEST(TableInstance, SatisfiesInverse) {
+  // Typed semantics: containments plus mutual membership.
+  Constraint inv = Constraint::InverseU("a", "k", "r", "b", "k2", "s");
+  TableInstance good;
+  good.tables["a"] = {Row({{"k", {"a1"}}, {"r", {"b1"}}})};
+  good.tables["b"] = {Row({{"k2", {"b1"}}, {"s", {"a1"}}})};
+  EXPECT_TRUE(Satisfies(good, inv));
+
+  // Missing back-reference.
+  TableInstance asym;
+  asym.tables["a"] = {Row({{"k", {"a1"}}, {"r", {"b1"}}})};
+  asym.tables["b"] = {Row({{"k2", {"b1"}}, {"s", {}}})};
+  EXPECT_FALSE(Satisfies(asym, inv));
+
+  // Untyped garbage reference violates the containment half.
+  TableInstance garbage;
+  garbage.tables["a"] = {Row({{"k", {"a1"}}, {"r", {"zzz"}}})};
+  garbage.tables["b"] = {Row({{"k2", {"b1"}}, {"s", {}}})};
+  EXPECT_FALSE(Satisfies(garbage, inv));
+}
+
+TEST(TableSchema, InfersSetValuedness) {
+  ConstraintSet sigma = LuSigma(R"(
+    key a.k
+    sfk a.refs -> b.k2
+    key b.k2
+  )");
+  TableSchema schema = TableSchema::Infer(
+      sigma, Constraint::UnaryKey("a", "k"));
+  EXPECT_FALSE(schema.attrs["a"]["k"]);
+  EXPECT_TRUE(schema.attrs["a"]["refs"]);
+  EXPECT_FALSE(schema.attrs["b"]["k2"]);
+}
+
+TEST(EnumerateCountermodel, FindsKeyCountermodel) {
+  // Nothing implies that a.x is a key.
+  ConstraintSet sigma = LuSigma("key a.k");
+  std::optional<TableInstance> cm =
+      EnumerateCountermodel(sigma, Constraint::UnaryKey("a", "x"));
+  ASSERT_TRUE(cm.has_value());
+  EXPECT_TRUE(SatisfiesAll(*cm, sigma));
+  EXPECT_FALSE(Satisfies(*cm, Constraint::UnaryKey("a", "x")));
+}
+
+TEST(EnumerateCountermodel, RespectsImplication) {
+  // a.x <= b.y implies key b.y (UFK-K): no countermodel exists.
+  ConstraintSet sigma = LuSigma("key b.y; fk a.x -> b.y");
+  EXPECT_FALSE(
+      EnumerateCountermodel(sigma, Constraint::UnaryKey("b", "y"))
+          .has_value());
+  // And transitivity: a.x <= c.z given the chain.
+  ConstraintSet chain = LuSigma("key b.y; key c.z; fk a.x -> b.y; fk b.y -> c.z");
+  EXPECT_FALSE(EnumerateCountermodel(
+                   chain, Constraint::UnaryForeignKey("a", "x", "c", "z"))
+                   .has_value());
+  // But not the reverse.
+  EXPECT_TRUE(EnumerateCountermodel(
+                  chain, Constraint::UnaryForeignKey("c", "z", "a", "x"))
+                  .has_value());
+}
+
+TEST(EnumerateCountermodel, WitnessesFiniteDivergence) {
+  // The divergence family of Corollary 3.3: finitely implied constraints
+  // admit no finite countermodel even though unrestricted implication
+  // fails. Bounded enumeration agrees with the finite-implication solver.
+  ConstraintSet sigma = LuSigma(R"(
+    key t.a; key t.b
+    key u.c; key u.d
+    fk t.a -> u.c
+    fk u.d -> t.b
+  )");
+  Constraint reversed = Constraint::UnaryForeignKey("u", "c", "t", "a");
+  EnumerationBounds bounds;
+  bounds.max_rows_per_type = 2;
+  bounds.num_values = 3;
+  EXPECT_FALSE(EnumerateCountermodel(sigma, reversed, bounds).has_value());
+}
+
+TEST(EnumerateCountermodel, BoundsCapRespected) {
+  ConstraintSet sigma = LuSigma("key a.k");
+  EnumerationBounds bounds;
+  bounds.max_instances = 1;  // give up immediately
+  // With the cap hit, no countermodel is reported (sound "no answer").
+  std::optional<TableInstance> cm = EnumerateCountermodel(
+      sigma, Constraint::UnaryKey("a", "k"), bounds);
+  EXPECT_FALSE(cm.has_value());
+}
+
+TEST(LiftToDocument, ProducesValidDocuments) {
+  ConstraintSet sigma = LuSigma("key a.k; sfk a.refs -> b.k2; key b.k2");
+  Constraint phi = Constraint::UnaryKey("b", "k2");
+  TableSchema schema = TableSchema::Infer(sigma, phi);
+  TableInstance inst;
+  inst.tables["a"] = {Row({{"k", {"1"}}, {"refs", {"x", "y"}}})};
+  inst.tables["b"] = {Row({{"k2", {"x"}}}), Row({{"k2", {"y"}}})};
+  Result<LiftedDocument> doc = LiftToDocument(inst, schema);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  StructuralValidator validator(doc.value().dtd);
+  ValidationReport report = validator.Validate(doc.value().tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // The document satisfies sigma under the real checker too.
+  ConstraintChecker checker(doc.value().dtd, sigma);
+  EXPECT_TRUE(checker.Check(doc.value().tree).ok());
+}
+
+TEST(LiftToDocument, AgreesWithTableSatisfaction) {
+  // Satisfaction on the table abstraction coincides with satisfaction on
+  // the lifted document (the abstraction's correctness claim).
+  ConstraintSet sigma = LuSigma("key a.k");
+  Constraint phi = Constraint::UnaryKey("a", "x");
+  std::optional<TableInstance> cm = EnumerateCountermodel(sigma, phi);
+  ASSERT_TRUE(cm.has_value());
+  TableSchema schema = TableSchema::Infer(sigma, phi);
+  Result<LiftedDocument> doc = LiftToDocument(*cm, schema);
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma_and_phi = sigma;
+  sigma_and_phi.constraints.push_back(phi);
+  ConstraintChecker checker(doc.value().dtd, sigma_and_phi);
+  ConstraintReport report = checker.Check(doc.value().tree);
+  // Exactly phi (the last constraint) is violated.
+  ASSERT_FALSE(report.ok());
+  for (const ConstraintViolation& v : report.violations) {
+    EXPECT_EQ(v.constraint_index, sigma.constraints.size());
+  }
+}
+
+TEST(TableInstance, ToStringIsReadable) {
+  TableInstance inst;
+  inst.tables["r"] = {Row({{"a", {"1"}}, {"refs", {"x", "y"}}})};
+  std::string text = inst.ToString();
+  EXPECT_NE(text.find("r:"), std::string::npos);
+  EXPECT_NE(text.find("a=1"), std::string::npos);
+  EXPECT_NE(text.find("refs={x,y}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xic

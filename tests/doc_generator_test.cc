@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "model/doc_generator.h"
+#include "model/structural_validator.h"
+#include "xml/dtd_parser.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+Result<DtdStructure> BookDtd() {
+  return ParseDtd(R"(
+    <!ELEMENT book (entry, author*, section*, ref)>
+    <!ELEMENT entry (title, publisher)>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT publisher (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT text (#PCDATA)>
+    <!ELEMENT section (title, (text|section)*)>
+    <!ATTLIST section sid CDATA #REQUIRED>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #IMPLIED>
+  )", "book");
+}
+
+TEST(DocGenerator, MinDepths) {
+  Result<DtdStructure> dtd = BookDtd();
+  ASSERT_TRUE(dtd.ok());
+  DocGenerator gen(dtd.value());
+  ASSERT_TRUE(gen.status().ok()) << gen.status();
+  EXPECT_EQ(gen.MinDepth("title"), 1u);
+  EXPECT_EQ(gen.MinDepth("ref"), 1u);
+  EXPECT_EQ(gen.MinDepth("entry"), 2u);
+  // A section needs a title below it even though its tail is starred.
+  EXPECT_EQ(gen.MinDepth("section"), 2u);
+  EXPECT_EQ(gen.MinDepth("book"), 3u);
+}
+
+TEST(DocGenerator, GeneratedDocumentsValidate) {
+  Result<DtdStructure> dtd = BookDtd();
+  ASSERT_TRUE(dtd.ok());
+  StructuralValidator validator(dtd.value());
+  for (uint32_t seed = 1; seed <= 25; ++seed) {
+    DocGenerator gen(dtd.value(), {.seed = seed, .star_mean = 1.5});
+    Result<DataTree> tree = gen.Generate();
+    ASSERT_TRUE(tree.ok()) << tree.status() << " (seed " << seed << ")";
+    ValidationReport report = validator.Validate(tree.value());
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ":\n"
+        << report.ToString() << SerializeXml(tree.value());
+  }
+}
+
+TEST(DocGenerator, RecursionRespectsDepthBudget) {
+  Result<DtdStructure> dtd = BookDtd();
+  ASSERT_TRUE(dtd.ok());
+  DocGenerator gen(dtd.value(),
+                   {.seed = 7, .max_depth = 5, .star_mean = 3.0});
+  for (int i = 0; i < 10; ++i) {
+    Result<DataTree> tree = gen.Generate();
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    // Measure the deepest vertex.
+    size_t deepest = 0;
+    for (VertexId v = 0; v < tree.value().size(); ++v) {
+      size_t depth = 0;
+      for (VertexId cur = v; tree.value().parent(cur) != kInvalidVertex;
+           cur = tree.value().parent(cur)) {
+        ++depth;
+      }
+      deepest = std::max(deepest, depth);
+    }
+    EXPECT_LE(deepest, 5u);
+  }
+}
+
+TEST(DocGenerator, GeneratedDocumentsSerializeAndReparse) {
+  Result<DtdStructure> dtd = BookDtd();
+  ASSERT_TRUE(dtd.ok());
+  DocGenerator gen(dtd.value(), {.seed = 3});
+  Result<DataTree> tree = gen.Generate();
+  ASSERT_TRUE(tree.ok());
+  std::string xml = SerializeXml(tree.value());
+  Result<XmlDocument> parsed = ParseXml(xml, {.dtd = &dtd.value()});
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << xml;
+  StructuralValidator validator(dtd.value());
+  EXPECT_TRUE(validator.Validate(parsed.value().tree).ok());
+}
+
+TEST(DocGenerator, RejectsImpossibleBudgets) {
+  Result<DtdStructure> dtd = BookDtd();
+  ASSERT_TRUE(dtd.ok());
+  DocGenerator gen(dtd.value(), {.seed = 1, .max_depth = 2});
+  EXPECT_FALSE(gen.Generate().ok());  // book needs depth 3
+}
+
+TEST(DocGenerator, RejectsHopelesslyRecursiveDtds) {
+  // Every derivation of `loop` requires another loop: no finite document.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("loop", "(loop)").ok());
+  ASSERT_TRUE(dtd.SetRoot("loop").ok());
+  DocGenerator gen(dtd);
+  EXPECT_FALSE(gen.status().ok());
+}
+
+TEST(DocGenerator, ChoiceOnlyModels) {
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("r", "(a | b)").ok());
+  ASSERT_TRUE(dtd.AddElement("a", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddElement("b", "(#PCDATA)").ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  StructuralValidator validator(dtd);
+  bool saw_a = false, saw_b = false;
+  for (uint32_t seed = 1; seed <= 20; ++seed) {
+    DocGenerator gen(dtd, {.seed = seed});
+    Result<DataTree> tree = gen.Generate();
+    ASSERT_TRUE(tree.ok());
+    EXPECT_TRUE(validator.Validate(tree.value()).ok());
+    const std::string& label =
+        tree.value().label(tree.value().ChildVertices(0)[0]);
+    if (label == "a") saw_a = true;
+    if (label == "b") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a && saw_b);  // both branches exercised
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "integration/dtd_evolution.h"
+#include "model/doc_generator.h"
+#include "model/structural_validator.h"
+#include "xml/dtd_parser.h"
+
+namespace xic {
+namespace {
+
+Result<DtdStructure> Parse(const std::string& text) {
+  return ParseDtd(text, "book");
+}
+
+const char* kOriginal = R"(
+  <!ELEMENT book (entry, author*, ref)>
+  <!ELEMENT entry (title)>
+  <!ATTLIST entry isbn CDATA #REQUIRED>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT ref EMPTY>
+  <!ATTLIST ref to NMTOKENS #REQUIRED>
+)";
+
+TEST(DtdEvolution, IdenticalDtdsAreCompatible) {
+  Result<DtdStructure> a = Parse(kOriginal);
+  Result<DtdStructure> b = Parse(kOriginal);
+  ASSERT_TRUE(a.ok() && b.ok());
+  DtdEvolutionReport report = CompareDtds(a.value(), b.value());
+  EXPECT_TRUE(report.backward_compatible) << report.ToString();
+  EXPECT_TRUE(report.changes.empty());
+}
+
+TEST(DtdEvolution, WideningIsCompatible) {
+  Result<DtdStructure> a = Parse(kOriginal);
+  // ref may now repeat; a new optional element type appears.
+  Result<DtdStructure> b = Parse(R"(
+    <!ELEMENT book (entry, author*, ref+, appendix?)>
+    <!ELEMENT entry (title)>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #REQUIRED>
+    <!ELEMENT appendix (#PCDATA)>
+  )");
+  ASSERT_TRUE(a.ok() && b.ok());
+  DtdEvolutionReport report = CompareDtds(a.value(), b.value());
+  EXPECT_TRUE(report.backward_compatible) << report.ToString();
+  EXPECT_FALSE(report.changes.empty());  // widening + addition noted
+}
+
+TEST(DtdEvolution, NarrowingBreaks) {
+  Result<DtdStructure> a = Parse(kOriginal);
+  Result<DtdStructure> b = Parse(R"(
+    <!ELEMENT book (entry, author+, ref)>
+    <!ELEMENT entry (title)>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #REQUIRED>
+  )");
+  ASSERT_TRUE(a.ok() && b.ok());
+  DtdEvolutionReport report = CompareDtds(a.value(), b.value());
+  EXPECT_FALSE(report.backward_compatible);
+  EXPECT_NE(report.ToString().find("narrowing"), std::string::npos)
+      << report.ToString();
+}
+
+TEST(DtdEvolution, AttributeChangesBreak) {
+  Result<DtdStructure> a = Parse(kOriginal);
+  Result<DtdStructure> removed = Parse(R"(
+    <!ELEMENT book (entry, author*, ref)>
+    <!ELEMENT entry (title)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #REQUIRED>
+  )");
+  ASSERT_TRUE(a.ok() && removed.ok());
+  EXPECT_FALSE(CompareDtds(a.value(), removed.value()).backward_compatible);
+
+  Result<DtdStructure> added = Parse(R"(
+    <!ELEMENT book (entry, author*, ref)>
+    <!ELEMENT entry (title)>
+    <!ATTLIST entry isbn CDATA #REQUIRED year CDATA #REQUIRED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #REQUIRED>
+  )");
+  ASSERT_TRUE(added.ok());
+  EXPECT_FALSE(CompareDtds(a.value(), added.value()).backward_compatible);
+}
+
+TEST(DtdEvolution, RemovedElementBreaks) {
+  Result<DtdStructure> a = Parse(kOriginal);
+  Result<DtdStructure> b = Parse(R"(
+    <!ELEMENT book (entry, ref)>
+    <!ELEMENT entry (title)>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #REQUIRED>
+  )");
+  ASSERT_TRUE(a.ok() && b.ok());
+  DtdEvolutionReport report = CompareDtds(a.value(), b.value());
+  EXPECT_FALSE(report.backward_compatible);
+  EXPECT_NE(report.ToString().find("author removed"), std::string::npos);
+}
+
+TEST(DtdEvolution, CompatibleVerdictHoldsOnGeneratedDocuments) {
+  // The semantic guarantee behind the verdict: when CompareDtds says
+  // compatible, every generated old-valid document validates under the
+  // new structure.
+  Result<DtdStructure> a = Parse(kOriginal);
+  Result<DtdStructure> b = Parse(R"(
+    <!ELEMENT book (entry, author*, ref+)>
+    <!ELEMENT entry (title)>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT ref EMPTY>
+    <!ATTLIST ref to NMTOKENS #REQUIRED>
+  )");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(CompareDtds(a.value(), b.value()).backward_compatible);
+  StructuralValidator new_validator(b.value());
+  for (uint32_t seed = 1; seed <= 15; ++seed) {
+    DocGenerator gen(a.value(), {.seed = seed});
+    Result<DataTree> tree = gen.Generate();
+    ASSERT_TRUE(tree.ok());
+    EXPECT_TRUE(new_validator.Validate(tree.value()).ok())
+        << new_validator.Validate(tree.value()).ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/well_formed.h"
+#include "xml/dtdc_io.h"
+#include "xml/serializer.h"
+
+namespace xic {
+namespace {
+
+DtdStructure BookDtd() {
+  DtdStructure dtd;
+  EXPECT_TRUE(dtd.AddElement("book", "(entry, author*, ref)").ok());
+  EXPECT_TRUE(dtd.AddElement("entry", "(title)").ok());
+  EXPECT_TRUE(dtd.AddElement("title", "(#PCDATA)").ok());
+  EXPECT_TRUE(dtd.AddElement("author", "(#PCDATA)").ok());
+  EXPECT_TRUE(dtd.AddElement("ref", "EMPTY").ok());
+  EXPECT_TRUE(
+      dtd.AddAttribute("entry", "isbn", AttrCardinality::kSingle).ok());
+  EXPECT_TRUE(dtd.AddAttribute("ref", "to", AttrCardinality::kSet).ok());
+  EXPECT_TRUE(dtd.SetRoot("book").ok());
+  EXPECT_TRUE(dtd.Validate().ok());
+  return dtd;
+}
+
+ConstraintSet BookSigma() {
+  return ParseConstraintSet("key entry.isbn; sfk ref.to -> entry.isbn",
+                            Language::kLu)
+      .value();
+}
+
+TEST(DtdcIo, ConstraintStatementsRoundTrip) {
+  std::vector<Constraint> constraints = {
+      Constraint::UnaryKey("entry", "isbn"),
+      Constraint::Key("publisher", {"pname", "country"}),
+      Constraint::Id("person", "oid"),
+      Constraint::UnaryForeignKey("dept", "manager", "person", "oid"),
+      Constraint::ForeignKey("editor", {"pname", "country"}, "publisher",
+                             {"pname", "country"}),
+      Constraint::SetForeignKey("ref", "to", "entry", "isbn"),
+      Constraint::InverseId("dept", "has_staff", "person", "in_dept"),
+      Constraint::InverseU("a", "k", "r", "b", "k2", "s"),
+  };
+  for (const Constraint& c : constraints) {
+    std::string statement = WriteConstraintStatement(c);
+    Result<std::vector<Constraint>> parsed = ParseConstraints(statement);
+    ASSERT_TRUE(parsed.ok()) << statement << ": " << parsed.status();
+    ASSERT_EQ(parsed.value().size(), 1u) << statement;
+    EXPECT_EQ(parsed.value()[0], c) << statement;
+  }
+}
+
+TEST(DtdcIo, DtdCRoundTrip) {
+  DtdStructure dtd = BookDtd();
+  ConstraintSet sigma = BookSigma();
+  std::string text = WriteDtdC(dtd, sigma);
+  Result<DtdC> parsed = ParseDtdC(text, "book");
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  // Structure preserved.
+  EXPECT_EQ(parsed.value().dtd.Elements(), dtd.Elements());
+  EXPECT_EQ(parsed.value().dtd.ToString(), dtd.ToString());
+  // Constraints preserved.
+  ASSERT_TRUE(parsed.value().sigma.has_value());
+  EXPECT_EQ(parsed.value().sigma->language, Language::kLu);
+  EXPECT_EQ(parsed.value().sigma->constraints, sigma.constraints);
+}
+
+TEST(DtdcIo, LanguageTagsRoundTrip) {
+  for (Language lang : {Language::kL, Language::kLu, Language::kLid}) {
+    ConstraintSet sigma;
+    sigma.language = lang;
+    if (lang == Language::kL) {
+      sigma.constraints = {Constraint::Key("r", {"a", "b"})};
+    } else {
+      sigma.constraints = {Constraint::UnaryKey("entry", "isbn")};
+    }
+    std::string block = WriteConstraintBlock(sigma);
+    DtdStructure dtd = BookDtd();
+    Result<DtdC> parsed = ParseDtdC(dtd.ToString() + block, "book");
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ASSERT_TRUE(parsed.value().sigma.has_value());
+    EXPECT_EQ(parsed.value().sigma->language, lang);
+  }
+}
+
+TEST(DtdcIo, PlainDtdHasNoSigma) {
+  DtdStructure dtd = BookDtd();
+  Result<DtdC> parsed = ParseDtdC(dtd.ToString(), "book");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().sigma.has_value());
+}
+
+TEST(DtdcIo, MalformedBlocksError) {
+  DtdStructure dtd = BookDtd();
+  EXPECT_FALSE(
+      ParseDtdC(dtd.ToString() + "<!-- xic:constraints language=bogus\n-->",
+                "book")
+          .ok());
+  EXPECT_FALSE(
+      ParseDtdC(dtd.ToString() + "<!-- xic:constraints\n nonsense here\n-->",
+                "book")
+          .ok());
+}
+
+TEST(DtdcIo, SelfDescribingDocumentRoundTrip) {
+  DtdStructure dtd = BookDtd();
+  ConstraintSet sigma = BookSigma();
+  DataTree tree;
+  VertexId book = tree.AddVertex("book");
+  VertexId entry = tree.AddVertex("entry");
+  ASSERT_TRUE(tree.AddChildVertex(book, entry).ok());
+  tree.SetAttribute(entry, "isbn", std::string("i1"));
+  VertexId title = tree.AddVertex("title");
+  ASSERT_TRUE(tree.AddChildVertex(entry, title).ok());
+  tree.AddChildText(title, "T");
+  VertexId ref = tree.AddVertex("ref");
+  ASSERT_TRUE(tree.AddChildVertex(book, ref).ok());
+  tree.SetAttribute(ref, "to", AttrValue{"i1"});
+
+  std::string text = WriteDocumentWithDtdC(tree, dtd, sigma);
+  Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  ASSERT_TRUE(parsed.value().sigma.has_value());
+  EXPECT_EQ(parsed.value().sigma->constraints, sigma.constraints);
+  ASSERT_TRUE(parsed.value().document.dtd.has_value());
+  EXPECT_TRUE(CheckWellFormed(*parsed.value().sigma,
+                              *parsed.value().document.dtd)
+                  .ok());
+  EXPECT_EQ(parsed.value().document.tree.size(), tree.size());
+}
+
+TEST(DtdcIo, MultiAttributeBracketsSurviveDoctypeScan) {
+  // '[' / ']' inside the constraint comment must not terminate the
+  // internal subset early.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("db", "(r*)").ok());
+  ASSERT_TRUE(dtd.AddElement("r", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddAttribute("r", "a", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.AddAttribute("r", "b", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.SetRoot("db").ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints = {Constraint::Key("r", {"a", "b"})};
+  DataTree tree;
+  VertexId db = tree.AddVertex("db");
+  VertexId r = tree.AddVertex("r");
+  ASSERT_TRUE(tree.AddChildVertex(db, r).ok());
+  tree.SetAttribute(r, "a", std::string("1"));
+  tree.SetAttribute(r, "b", std::string("2"));
+
+  std::string text = WriteDocumentWithDtdC(tree, dtd, sigma);
+  Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  ASSERT_TRUE(parsed.value().sigma.has_value());
+  EXPECT_EQ(parsed.value().sigma->constraints, sigma.constraints);
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "logic/ef_game.h"
+#include "logic/figure1.h"
+#include "logic/fo_sentence.h"
+
+namespace xic {
+namespace {
+
+using F = FoFormula;
+
+TEST(FoSentence, VariableCounting) {
+  // The key constraint needs three variable names.
+  FoPtr key = UnaryKeySentence("l");
+  EXPECT_EQ(key->VariableCount(), 3u);
+  EXPECT_FALSE(key->IsFo2());
+  // Degree-one is two-variable.
+  FoPtr has_succ = F::Exists(
+      "x", F::Exists("y", F::Atom("l", "x", "y")));
+  EXPECT_EQ(has_succ->VariableCount(), 2u);
+  EXPECT_TRUE(has_succ->IsFo2());
+  // Variable reuse keeps the count at two.
+  FoPtr reuse = F::Exists(
+      "x", F::Exists("y", F::And(F::Atom("l", "x", "y"),
+                                 F::Exists("x", F::Atom("l", "y", "x")))));
+  EXPECT_TRUE(reuse->IsFo2());
+}
+
+TEST(FoSentence, EvaluatesBasicSentences) {
+  FoStructure g(3);
+  g.AddEdge("l", 0, 2);
+  g.AddEdge("l", 1, 2);
+  // Exists an edge.
+  FoPtr edge = F::Exists("x", F::Exists("y", F::Atom("l", "x", "y")));
+  EXPECT_TRUE(edge->Evaluate(g));
+  EXPECT_FALSE(edge->Evaluate(FoStructure(2)));
+  // Forall x exists y edge(x,y) fails (2 has no successor).
+  FoPtr total = F::Forall("x", F::Exists("y", F::Atom("l", "x", "y")));
+  EXPECT_FALSE(total->Evaluate(g));
+  // Equality and negation.
+  FoPtr two = AtLeastTwo("x", "y", F::True(), F::True());
+  EXPECT_TRUE(two->Evaluate(g));
+  EXPECT_FALSE(two->Evaluate(FoStructure(1)));
+}
+
+TEST(FoSentence, KeySentenceMatchesStructureEvaluator) {
+  FoPtr key = UnaryKeySentence(kFigure1Relation);
+  for (size_t n = 1; n <= 5; ++n) {
+    FoStructure match = MakeFigure1Matching(n);
+    FoStructure shared = MakeFigure1Shared(n);
+    EXPECT_EQ(key->Evaluate(match),
+              match.SatisfiesUnaryKey(kFigure1Relation));
+    EXPECT_EQ(key->Evaluate(shared),
+              shared.SatisfiesUnaryKey(kFigure1Relation));
+  }
+}
+
+TEST(FoSentence, Fo2SentencesAgreeOnFigure1Pair) {
+  // A panel of FO^2 sentences; each must agree on G and G' (which the
+  // EF-game solver certifies are FO^2-equivalent), while the 3-variable
+  // key sentence disagrees -- the Figure 1 argument, sentence by
+  // sentence.
+  FoStructure g = MakeFigure1Matching(3);
+  FoStructure g2 = MakeFigure1Shared(3);
+  ASSERT_TRUE(EfGame2(g, g2).DecideFo2Equivalence().equivalent);
+
+  const char* l = kFigure1Relation;
+  FoPtr has_succ_x = F::Exists("y", F::Atom(l, "x", "y"));
+  FoPtr has_pred_x = F::Exists("y", F::Atom(l, "y", "x"));
+  std::vector<FoPtr> fo2_sentences = {
+      // There is an edge.
+      F::Exists("x", F::Exists("y", F::Atom(l, "x", "y"))),
+      // Some element has no successor.
+      F::Exists("x", F::Not(has_succ_x)),
+      // Every element with a predecessor has no successor (bipartite-ish).
+      F::Forall("x", F::Implies(has_pred_x, F::Not(has_succ_x))),
+      // At least two sources.
+      AtLeastTwo("x", "y", F::Exists("y", F::Atom(l, "x", "y")),
+                 F::Exists("x", F::Atom(l, "y", "x"))),
+      // No self loops.
+      F::Forall("x", F::Not(F::Atom(l, "x", "x"))),
+  };
+  for (const FoPtr& sentence : fo2_sentences) {
+    ASSERT_TRUE(sentence->IsFo2()) << sentence->ToString();
+    EXPECT_EQ(sentence->Evaluate(g), sentence->Evaluate(g2))
+        << sentence->ToString();
+  }
+  FoPtr key = UnaryKeySentence(l);
+  EXPECT_NE(key->Evaluate(g), key->Evaluate(g2));
+}
+
+TEST(FoSentence, ToStringIsReadable) {
+  FoPtr key = UnaryKeySentence("l");
+  std::string text = key->ToString();
+  EXPECT_NE(text.find("Ax."), std::string::npos);
+  EXPECT_NE(text.find("l(x,z)"), std::string::npos);
+  EXPECT_NE(text.find("x=y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "relational/export_xml.h"
+#include "relational/import_xml.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+RelationalSchema PublisherSchema() {
+  RelationalSchema schema;
+  EXPECT_TRUE(
+      schema.AddRelation("publisher", {"pname", "country", "address"}).ok());
+  EXPECT_TRUE(schema.AddRelation("editor", {"name", "pname", "country"}).ok());
+  EXPECT_TRUE(schema.AddKey("publisher", {"pname", "country"}).ok());
+  EXPECT_TRUE(schema.AddKey("editor", {"name"}).ok());
+  EXPECT_TRUE(schema
+                  .AddForeignKey({"editor",
+                                  {"pname", "country"},
+                                  "publisher",
+                                  {"pname", "country"}})
+                  .ok());
+  return schema;
+}
+
+TEST(ImportXml, RoundTripsTheExport) {
+  RelationalSchema schema = PublisherSchema();
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "a1"}).ok());
+  ASSERT_TRUE(inst.Insert("publisher", {"AW", "USA", "a2"}).ok());
+  ASSERT_TRUE(inst.Insert("editor", {"e1", "MK", "USA"}).ok());
+  Result<RelationalExport> exported = ExportRelational(inst);
+  ASSERT_TRUE(exported.ok());
+
+  Result<RelationalImport> imported = ImportRelational(
+      exported.value().tree, exported.value().dtd, exported.value().sigma);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+
+  // Schema round-trips: relations, attributes, keys, foreign keys.
+  const RelationalSchema& back = imported.value().schema;
+  ASSERT_NE(back.Find("publisher"), nullptr);
+  EXPECT_EQ(back.Find("publisher")->attributes,
+            (std::vector<std::string>{"pname", "country", "address"}));
+  EXPECT_EQ(back.Find("publisher")->keys.size(), 1u);
+  EXPECT_EQ(back.foreign_keys().size(), 1u);
+
+  // Data round-trips.
+  EXPECT_EQ(imported.value().rows.at("publisher").size(), 2u);
+  EXPECT_EQ(imported.value().rows.at("editor").size(), 1u);
+  EXPECT_EQ(imported.value().rows.at("editor")[0],
+            (RelationalTuple{"e1", "MK", "USA"}));
+
+  // Rows load into a consistent instance.
+  RelationalInstance reloaded(imported.value().schema);
+  ASSERT_TRUE(PopulateInstance(imported.value(), &reloaded).ok());
+  EXPECT_TRUE(reloaded.CheckIntegrity().empty());
+}
+
+TEST(ImportXml, ImportsHandWrittenDocuments) {
+  const char* text = R"(<!DOCTYPE db [
+    <!ELEMENT db (publisher*, editor*)>
+    <!ELEMENT publisher (pname, country, address)>
+    <!ELEMENT editor (name, pname, country)>
+    <!ELEMENT pname (#PCDATA)> <!ELEMENT country (#PCDATA)>
+    <!ELEMENT address (#PCDATA)> <!ELEMENT name (#PCDATA)>
+  ]>
+  <db>
+    <publisher><pname>MK</pname><country>USA</country><address>a</address></publisher>
+    <editor><name>e</name><pname>MK</pname><country>USA</country></editor>
+  </db>)";
+  Result<XmlDocument> doc = ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints = {
+      Constraint::Key("publisher", {"pname", "country"}),
+      Constraint::ForeignKey("editor", {"pname", "country"}, "publisher",
+                             {"pname", "country"})};
+  Result<RelationalImport> imported =
+      ImportRelational(doc.value().tree, *doc.value().dtd, sigma);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(imported.value().rows.at("publisher")[0],
+            (RelationalTuple{"MK", "USA", "a"}));
+}
+
+TEST(ImportXml, AttributesActAsFields) {
+  const char* text = R"(<!DOCTYPE db [
+    <!ELEMENT db (item*)>
+    <!ELEMENT item EMPTY>
+    <!ATTLIST item sku CDATA #REQUIRED price CDATA #REQUIRED>
+  ]>
+  <db><item sku="s1" price="10"/><item sku="s2" price="20"/></db>)";
+  Result<XmlDocument> doc = ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints = {Constraint::Key("item", {"sku"})};
+  Result<RelationalImport> imported =
+      ImportRelational(doc.value().tree, *doc.value().dtd, sigma);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  ASSERT_NE(imported.value().schema.Find("item"), nullptr);
+  EXPECT_EQ(imported.value().schema.Find("item")->attributes,
+            (std::vector<std::string>{"price", "sku"}));
+  EXPECT_EQ(imported.value().rows.at("item").size(), 2u);
+}
+
+TEST(ImportXml, RejectsNonFlatShapes) {
+  // Recursive / nested structure is not relational.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("db", "(section*)").ok());
+  ASSERT_TRUE(dtd.AddElement("section", "(title, section*)").ok());
+  ASSERT_TRUE(dtd.AddElement("title", "(#PCDATA)").ok());
+  ASSERT_TRUE(dtd.SetRoot("db").ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  EXPECT_EQ(ImportRelationalSchema(dtd, sigma).status().code(),
+            StatusCode::kNotSupported);
+
+  // Set-valued attributes have no single-row counterpart.
+  DtdStructure dtd2;
+  ASSERT_TRUE(dtd2.AddElement("db", "(r*)").ok());
+  ASSERT_TRUE(dtd2.AddElement("r", "EMPTY").ok());
+  ASSERT_TRUE(dtd2.AddAttribute("r", "tags", AttrCardinality::kSet).ok());
+  ASSERT_TRUE(dtd2.SetRoot("db").ok());
+  EXPECT_EQ(ImportRelationalSchema(dtd2, sigma).status().code(),
+            StatusCode::kNotSupported);
+
+  // Optional fields (choice content) are not flat either.
+  DtdStructure dtd3;
+  ASSERT_TRUE(dtd3.AddElement("db", "(r*)").ok());
+  ASSERT_TRUE(dtd3.AddElement("r", "(a | b)").ok());
+  ASSERT_TRUE(dtd3.AddElement("a", "(#PCDATA)").ok());
+  ASSERT_TRUE(dtd3.AddElement("b", "(#PCDATA)").ok());
+  ASSERT_TRUE(dtd3.SetRoot("db").ok());
+  EXPECT_EQ(ImportRelationalSchema(dtd3, sigma).status().code(),
+            StatusCode::kNotSupported);
+
+  // Wrong constraint language.
+  ConstraintSet lu;
+  lu.language = Language::kLu;
+  DtdStructure flat;
+  ASSERT_TRUE(flat.AddElement("db", "(r*)").ok());
+  ASSERT_TRUE(flat.AddElement("r", "EMPTY").ok());
+  ASSERT_TRUE(flat.SetRoot("db").ok());
+  EXPECT_FALSE(ImportRelationalSchema(flat, lu).ok());
+}
+
+TEST(ImportXml, ValidationErrorsOnBadRows) {
+  const char* text = R"(<!DOCTYPE db [
+    <!ELEMENT db (r*)>
+    <!ELEMENT r (a)>
+    <!ELEMENT a (#PCDATA)>
+  ]>
+  <db><r><a>1</a></r><r></r></db>)";
+  Result<XmlDocument> doc = ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  Result<RelationalImport> imported =
+      ImportRelational(doc.value().tree, *doc.value().dtd, sigma);
+  EXPECT_EQ(imported.status().code(), StatusCode::kValidationError);
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,253 @@
+// End-to-end scenarios spanning parsing, validation, constraint checking,
+// implication and path reasoning -- the paper's three motivating examples
+// driven through the whole stack.
+
+#include <gtest/gtest.h>
+
+#include "xic.h"
+
+namespace xic {
+namespace {
+
+const char* kBookXml = R"(<?xml version="1.0"?>
+<!DOCTYPE catalog [
+  <!ELEMENT catalog (book*)>
+  <!ELEMENT book     (entry, author*, section*, ref)>
+  <!ELEMENT entry    (title, publisher)>
+  <!ATTLIST entry    isbn   CDATA   #REQUIRED>
+  <!ELEMENT title    (#PCDATA)>
+  <!ELEMENT publisher (#PCDATA)>
+  <!ELEMENT author   (#PCDATA)>
+  <!ELEMENT text     (#PCDATA)>
+  <!ELEMENT section  (title, (text|section)*)>
+  <!ATTLIST section  sid    CDATA   #REQUIRED>
+  <!ELEMENT ref      EMPTY>
+  <!ATTLIST ref      to     NMTOKENS #REQUIRED>
+]>
+<catalog>
+  <book>
+    <entry isbn="i1"><title>Data on the Web</title><publisher>MK</publisher></entry>
+    <author>Abiteboul</author>
+    <section sid="s1"><title>Intro</title></section>
+    <ref to="i1 i2"/>
+  </book>
+  <book>
+    <entry isbn="i2"><title>Foundations</title><publisher>AW</publisher></entry>
+    <author>Hull</author>
+    <section sid="s2"><title>Intro</title></section>
+    <ref to="i1"/>
+  </book>
+</catalog>
+)";
+
+TEST(Integration, BookScenarioLu) {
+  // 1. Parse document + DTD.
+  Result<XmlDocument> doc = ParseXml(kBookXml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  // 2. Structural validity.
+  StructuralValidator validator(*doc.value().dtd);
+  ASSERT_TRUE(validator.Validate(doc.value().tree).ok())
+      << validator.Validate(doc.value().tree).ToString();
+  // 3. The paper's L_u constraints, well-formed against the DTD.
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    key entry.isbn
+    key section.sid
+    sfk ref.to -> entry.isbn
+  )", Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  ASSERT_TRUE(CheckWellFormed(sigma.value(), *doc.value().dtd).ok());
+  // 4. Satisfaction.
+  ConstraintChecker checker(*doc.value().dtd, sigma.value());
+  EXPECT_TRUE(checker.Check(doc.value().tree).ok())
+      << checker.Check(doc.value().tree).ToString(sigma.value());
+  // 5. Implication: the solver knows isbn is a key even if only the
+  // set-valued foreign key is given.
+  LuSolver solver(sigma.value());
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("entry", "isbn")));
+  EXPECT_TRUE(solver.CheckPrimaryKeyRestriction().ok());
+}
+
+TEST(Integration, ImplicationIsSoundOnRealDocuments) {
+  // Every constraint the solver derives from Sigma must hold in every
+  // document that satisfies Sigma -- checked on the book corpus.
+  Result<XmlDocument> doc = ParseXml(kBookXml);
+  ASSERT_TRUE(doc.ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "key entry.isbn; key section.sid; sfk ref.to -> entry.isbn",
+      Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  ConstraintChecker sigma_checker(*doc.value().dtd, sigma.value());
+  ASSERT_TRUE(sigma_checker.Check(doc.value().tree).ok());
+
+  LuSolver solver(sigma.value());
+  std::vector<Constraint> candidates = {
+      Constraint::UnaryKey("entry", "isbn"),
+      Constraint::UnaryKey("section", "sid"),
+      Constraint::SetForeignKey("ref", "to", "entry", "isbn"),
+      Constraint::UnaryForeignKey("entry", "isbn", "entry", "isbn"),
+  };
+  for (const Constraint& phi : candidates) {
+    if (!solver.Implies(phi)) continue;
+    ConstraintSet single;
+    single.language = Language::kLu;
+    single.constraints = {phi};
+    ConstraintChecker phi_checker(*doc.value().dtd, single);
+    EXPECT_TRUE(phi_checker.Check(doc.value().tree).ok()) << phi.ToString();
+  }
+}
+
+TEST(Integration, ObjectDatabaseRoundTrip) {
+  // ODL schema -> XML export -> reparse from serialized text -> validate
+  // and check constraints -> reason about paths.
+  OdlSchema schema;
+  OdlClass person;
+  person.name = "person";
+  person.attributes = {"name", "address"};
+  person.keys = {"name"};
+  person.relationships = {
+      {"in_dept", "dept", RelationshipCardinality::kMany, "has_staff"}};
+  OdlClass dept;
+  dept.name = "dept";
+  dept.attributes = {"dname"};
+  dept.keys = {"dname"};
+  dept.relationships = {
+      {"has_staff", "person", RelationshipCardinality::kMany, "in_dept"},
+      {"manager", "person", RelationshipCardinality::kOne, std::nullopt}};
+  ASSERT_TRUE(schema.AddClass(person).ok());
+  ASSERT_TRUE(schema.AddClass(dept).ok());
+
+  OdlInstance inst(schema);
+  ASSERT_TRUE(inst.AddObject({"person", "p1",
+                              {{"name", "An"}, {"address", "a"}},
+                              {{"in_dept", {"d1"}}}})
+                  .ok());
+  ASSERT_TRUE(inst.AddObject({"dept", "d1", {{"dname", "CS"}},
+                              {{"has_staff", {"p1"}}, {"manager", {"p1"}}}})
+                  .ok());
+  Result<OdlExport> exported = ExportOdl(inst);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+
+  // Serialize and reparse (with the DTD for IDREFS tokenization).
+  std::string xml = SerializeXml(exported.value().tree);
+  Result<XmlDocument> round = ParseXml(xml, {.dtd = &exported.value().dtd});
+  ASSERT_TRUE(round.ok()) << round.status() << "\n" << xml;
+  StructuralValidator validator(exported.value().dtd);
+  EXPECT_TRUE(validator.Validate(round.value().tree).ok());
+  ConstraintChecker checker(exported.value().dtd, exported.value().sigma);
+  EXPECT_TRUE(checker.Check(round.value().tree).ok());
+
+  // Path reasoning over the exported DTD^C: dereference typing.
+  PathContext context(exported.value().dtd, exported.value().sigma);
+  ASSERT_TRUE(context.status().ok()) << context.status();
+  Path p = Path::Parse("in_dept.dname").value();
+  EXPECT_EQ(context.TypeOf("person", p).value(), "dname");
+  PathSolver path_solver(context);
+  // person.in_dept <-> dept.has_staff as a path inverse.
+  EXPECT_TRUE(path_solver
+                  .ImpliesInverse({"person", Path::Parse("in_dept").value(),
+                                   "dept", Path::Parse("has_staff").value()})
+                  .value());
+  // Evaluate paths on the round-tripped document.
+  PathEvaluator eval(context, round.value().tree);
+  VertexId p1 = round.value().tree.Extent("person")[0];
+  std::set<PathNode> depts =
+      eval.Nodes(p1, Path::Parse("in_dept").value());
+  ASSERT_EQ(depts.size(), 1u);
+  EXPECT_EQ(round.value().tree.label(std::get<VertexId>(*depts.begin())),
+            "dept");
+}
+
+TEST(Integration, RelationalRoundTripWithImplication) {
+  RelationalSchema schema;
+  ASSERT_TRUE(
+      schema.AddRelation("publisher", {"pname", "country", "address"}).ok());
+  ASSERT_TRUE(
+      schema.AddRelation("editor", {"name", "pname", "country"}).ok());
+  ASSERT_TRUE(schema.AddKey("publisher", {"pname", "country"}).ok());
+  ASSERT_TRUE(schema.AddKey("editor", {"name"}).ok());
+  ASSERT_TRUE(schema
+                  .AddForeignKey({"editor",
+                                  {"pname", "country"},
+                                  "publisher",
+                                  {"pname", "country"}})
+                  .ok());
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "x"}).ok());
+  ASSERT_TRUE(inst.Insert("editor", {"e1", "MK", "USA"}).ok());
+  Result<RelationalExport> exported = ExportRelational(inst);
+  ASSERT_TRUE(exported.ok());
+
+  // The exported Sigma satisfies the primary-key restriction, so LpSolver
+  // decides implication (Theorem 3.8).
+  LpSolver solver(exported.value().sigma);
+  ASSERT_TRUE(solver.status().ok()) << solver.status();
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::ForeignKey(
+                      "editor", {"country", "pname"}, "publisher",
+                      {"country", "pname"}))
+                  .value());
+  // The general chase agrees.
+  GeneralResult chased = ChaseImplication(
+      exported.value().sigma,
+      Constraint::ForeignKey("editor", {"country", "pname"}, "publisher",
+                             {"country", "pname"}));
+  EXPECT_EQ(chased.outcome, ImplicationOutcome::kImplied);
+}
+
+TEST(Integration, KeyPathQueryOptimization) {
+  // The Section 4 motivation: knowing book.entry.isbn is a key path lets
+  // an optimizer deduplicate lookups; verify against document semantics.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("lib", "(book*)").ok());
+  ASSERT_TRUE(dtd.AddElement("book", "(entry, author*)").ok());
+  ASSERT_TRUE(dtd.AddElement("entry", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddElement("author", "(#PCDATA)").ok());
+  ASSERT_TRUE(
+      dtd.AddAttribute("entry", "isbn", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.SetKind("entry", "isbn", AttrKind::kId).ok());
+  ASSERT_TRUE(dtd.SetRoot("lib").ok());
+  ASSERT_TRUE(dtd.Validate().ok());
+  Result<ConstraintSet> sigma =
+      ParseConstraintSet("id entry.isbn", Language::kLid);
+  ASSERT_TRUE(sigma.ok());
+  PathContext context(dtd, sigma.value());
+  PathSolver solver(context);
+  Path isbn = Path::Parse("entry.isbn").value();
+  Path author = Path::Parse("author").value();
+  ASSERT_TRUE(
+      solver.ImpliesFunctional({"book", isbn, author}).value());
+
+  // Semantics agrees on a conforming document.
+  Result<XmlDocument> doc = ParseXml(R"(<lib>
+    <book><entry isbn="i1"/><author>A</author></book>
+    <book><entry isbn="i2"/><author>B</author></book>
+  </lib>)", {.dtd = &dtd});
+  ASSERT_TRUE(doc.ok());
+  PathEvaluator eval(context, doc.value().tree);
+  EXPECT_TRUE(eval.SatisfiesFunctional("book", isbn, author));
+}
+
+TEST(Integration, CountermodelsRefuteNonImplications) {
+  // For a non-implied phi, the enumerator produces a table instance that
+  // lifts to a real document separating Sigma from phi.
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "key entry.isbn; sfk ref.to -> entry.isbn", Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  Constraint phi = Constraint::UnaryKey("ref", "name");
+  std::optional<TableInstance> cm =
+      EnumerateCountermodel(sigma.value(), phi);
+  ASSERT_TRUE(cm.has_value());
+  TableSchema schema = TableSchema::Infer(sigma.value(), phi);
+  Result<LiftedDocument> lifted = LiftToDocument(*cm, schema);
+  ASSERT_TRUE(lifted.ok());
+  ConstraintChecker sigma_checker(lifted.value().dtd, sigma.value());
+  EXPECT_TRUE(sigma_checker.Check(lifted.value().tree).ok());
+  ConstraintSet phi_set;
+  phi_set.language = Language::kLu;
+  phi_set.constraints = {phi};
+  ConstraintChecker phi_checker(lifted.value().dtd, phi_set);
+  EXPECT_FALSE(phi_checker.Check(lifted.value().tree).ok());
+}
+
+}  // namespace
+}  // namespace xic

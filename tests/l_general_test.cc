@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "implication/l_general_solver.h"
+
+namespace xic {
+namespace {
+
+ConstraintSet Sigma(const std::string& text) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(text, Language::kL);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  return sigma.value();
+}
+
+TEST(LGeneral, ChaseDecidesSuperkeys) {
+  ConstraintSet sigma = Sigma("key r[a, b]");
+  GeneralResult result = ChaseImplication(
+      sigma, Constraint::Key("r", {"a", "b", "c"}));
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kImplied);
+  // A subset of a key is not a key.
+  GeneralResult sub = ChaseImplication(sigma, Constraint::Key("r", {"a"}));
+  EXPECT_EQ(sub.outcome, ImplicationOutcome::kNotImplied);
+  ASSERT_TRUE(sub.countermodel.has_value());
+  EXPECT_TRUE(SatisfiesAll(*sub.countermodel, sigma));
+  EXPECT_FALSE(Satisfies(*sub.countermodel, Constraint::Key("r", {"a"})));
+}
+
+TEST(LGeneral, ChaseDecidesForeignKeyTransitivity) {
+  ConstraintSet sigma = Sigma(R"(
+    key b[u, v]
+    key c[s, t]
+    fk a[x, y] -> b[u, v]
+    fk b[u, v] -> c[s, t]
+  )");
+  GeneralResult result = ChaseImplication(
+      sigma, Constraint::ForeignKey("a", {"x", "y"}, "c", {"s", "t"}));
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kImplied);
+  GeneralResult crossed = ChaseImplication(
+      sigma, Constraint::ForeignKey("a", {"x", "y"}, "c", {"t", "s"}));
+  EXPECT_EQ(crossed.outcome, ImplicationOutcome::kNotImplied);
+}
+
+TEST(LGeneral, KeysAndForeignKeysInteract) {
+  // With multiple keys per type (outside the primary restriction): a
+  // foreign key into one key plus agreement through another key.
+  ConstraintSet sigma = Sigma(R"(
+    key r[a]
+    key s[c]
+    fk r[b] -> s[c]
+  )");
+  // r[b] <= s[c] plus key r[a]: does r[a] determine b? No.
+  GeneralResult result =
+      ChaseImplication(sigma, Constraint::Key("r", {"b"}));
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kNotImplied);
+}
+
+TEST(LGeneral, CyclicInclusionsExhaustBounds) {
+  // The classic non-terminating chase: a foreign key cycle whose key
+  // forces fresh tuples forever. The solver honestly reports Unknown --
+  // the undecidability of Theorem 3.6 in action.
+  ConstraintSet sigma = Sigma(R"(
+    key r[a]
+    fk r[b] -> r[a]
+  )");
+  // Is r[a] <= r[b] implied? The chase keeps inventing tuples.
+  GeneralOptions tight;
+  tight.max_chase_steps = 50;
+  tight.max_chase_rows = 20;
+  GeneralResult result = ChaseImplication(
+      sigma, Constraint::ForeignKey("r", {"a"}, "r", {"b"}), tight);
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kUnknown);
+  EXPECT_EQ(result.decided_by, "bounds");
+}
+
+TEST(LGeneral, ProverSoundness) {
+  ConstraintSet sigma = Sigma(R"(
+    key b[u, v]
+    key c[s, t]
+    fk a[x, y] -> b[u, v]
+    fk b[u, v] -> c[s, t]
+  )");
+  LGeneralSolver solver(sigma);
+  ASSERT_TRUE(solver.status().ok());
+  // Transitivity.
+  EXPECT_TRUE(solver.ProvablyImplies(
+      Constraint::ForeignKey("a", {"x", "y"}, "c", {"s", "t"})));
+  // Projection of a foreign key.
+  EXPECT_TRUE(solver.ProvablyImplies(
+      Constraint::ForeignKey("a", {"x"}, "b", {"u"})));
+  // Reflexivity.
+  EXPECT_TRUE(solver.ProvablyImplies(
+      Constraint::ForeignKey("a", {"x"}, "a", {"x"})));
+  // Superkey weakening.
+  EXPECT_TRUE(solver.ProvablyImplies(Constraint::Key("b", {"u", "v", "w"})));
+  // Non-theorems stay unproven.
+  EXPECT_FALSE(solver.ProvablyImplies(
+      Constraint::ForeignKey("c", {"s"}, "a", {"x"})));
+  EXPECT_FALSE(solver.ProvablyImplies(Constraint::Key("a", {"x"})));
+}
+
+TEST(LGeneral, ProverAgreesWithChaseWhenBothDecide) {
+  ConstraintSet sigma = Sigma(R"(
+    key b[u]
+    key c[s]
+    fk a[x] -> b[u]
+    fk b[u] -> c[s]
+  )");
+  LGeneralSolver solver(sigma);
+  std::vector<Constraint> queries = {
+      Constraint::ForeignKey("a", {"x"}, "c", {"s"}),
+      Constraint::ForeignKey("a", {"x"}, "b", {"u"}),
+      Constraint::ForeignKey("c", {"s"}, "b", {"u"}),
+      Constraint::Key("b", {"u"}),
+      Constraint::Key("a", {"x"}),
+  };
+  for (const Constraint& q : queries) {
+    GeneralResult chased = ChaseImplication(sigma, q);
+    if (chased.outcome == ImplicationOutcome::kUnknown) continue;
+    bool proved = solver.ProvablyImplies(q);
+    if (proved) {
+      EXPECT_EQ(chased.outcome, ImplicationOutcome::kImplied)
+          << q.ToString();
+    }
+    GeneralResult decided = solver.Decide(q);
+    EXPECT_EQ(decided.outcome, chased.outcome) << q.ToString();
+  }
+}
+
+TEST(LGeneral, DecideUsesAxiomsFirst) {
+  ConstraintSet sigma = Sigma("key r[a]");
+  LGeneralSolver solver(sigma);
+  GeneralResult result =
+      solver.Decide(Constraint::ForeignKey("r", {"a"}, "r", {"a"}));
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kImplied);
+  EXPECT_EQ(result.decided_by, "axioms");
+}
+
+TEST(LGeneral, CountermodelsLiftToRealDocuments) {
+  ConstraintSet sigma = Sigma("key r[a, b]");
+  Constraint phi = Constraint::Key("r", {"a"});
+  GeneralResult result = ChaseImplication(sigma, phi);
+  ASSERT_EQ(result.outcome, ImplicationOutcome::kNotImplied);
+  ASSERT_TRUE(result.countermodel.has_value());
+  TableSchema schema = TableSchema::Infer(sigma, phi);
+  Result<LiftedDocument> doc = LiftToDocument(*result.countermodel, schema);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_GE(doc.value().tree.Extent("r").size(), 2u);
+}
+
+TEST(LGeneral, RejectsNonLInput) {
+  ConstraintSet lu;
+  lu.language = Language::kLu;
+  EXPECT_FALSE(LGeneralSolver(lu).status().ok());
+  ConstraintSet with_sfk;
+  with_sfk.language = Language::kL;
+  with_sfk.constraints = {Constraint::SetForeignKey("a", "x", "b", "y")};
+  EXPECT_FALSE(LGeneralSolver(with_sfk).status().ok());
+}
+
+TEST(LGeneral, OutcomeNames) {
+  EXPECT_STREQ(ImplicationOutcomeToString(ImplicationOutcome::kImplied),
+               "implied");
+  EXPECT_STREQ(ImplicationOutcomeToString(ImplicationOutcome::kNotImplied),
+               "not implied");
+  EXPECT_STREQ(ImplicationOutcomeToString(ImplicationOutcome::kUnknown),
+               "unknown");
+}
+
+}  // namespace
+}  // namespace xic

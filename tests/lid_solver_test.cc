@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "implication/lid_solver.h"
+#include "xml/dtd_parser.h"
+
+namespace xic {
+namespace {
+
+Result<DtdStructure> ObjectDtd() {
+  return ParseDtd(R"(
+    <!ELEMENT db (person*, dept*)>
+    <!ELEMENT person (name, address)>
+    <!ATTLIST person oid ID #REQUIRED in_dept IDREFS #IMPLIED>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT address (#PCDATA)>
+    <!ELEMENT dname (#PCDATA)>
+    <!ELEMENT dept (dname)>
+    <!ATTLIST dept oid ID #REQUIRED manager IDREF #REQUIRED
+              has_staff IDREFS #IMPLIED>
+  )", "db");
+}
+
+ConstraintSet PaperSigma() {
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    key person.name
+    key dept.dname
+    sfk person.in_dept -> dept.oid
+    fk dept.manager -> person.oid
+    sfk dept.has_staff -> person.oid
+    inverse dept.has_staff <-> person.in_dept
+  )", Language::kLid);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  return sigma.value();
+}
+
+TEST(LidSolver, HypothesesAreImplied) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  ConstraintSet sigma = PaperSigma();
+  LidSolver solver(dtd.value(), sigma);
+  ASSERT_TRUE(solver.status().ok()) << solver.status();
+  for (const Constraint& c : sigma.constraints) {
+    EXPECT_TRUE(solver.Implies(c)) << c.ToString();
+  }
+}
+
+TEST(LidSolver, IdFkRule) {
+  // ID-FK: person.oid ->id person |- person.oid <= person.oid.
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  LidSolver solver(dtd.value(), PaperSigma());
+  EXPECT_TRUE(solver.Implies(
+      Constraint::UnaryForeignKey("person", "oid", "person", "oid")));
+}
+
+TEST(LidSolver, IdKeyRule) {
+  // Our soundness addition: the ID constraint implies the per-type key.
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  LidSolver solver(dtd.value(), PaperSigma());
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("person", "oid")));
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("dept", "oid")));
+}
+
+TEST(LidSolver, FkIdAndSfkIdRules) {
+  // FK-ID / SFK-ID: a reference's target must be an ID. Start from a
+  // Sigma that omits the ID constraints and check they are derived.
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    fk dept.manager -> person.oid
+    sfk person.in_dept -> dept.oid
+  )", Language::kLid);
+  ASSERT_TRUE(sigma.ok());
+  LidSolver solver(dtd.value(), sigma.value());
+  EXPECT_TRUE(solver.Implies(Constraint::Id("person", "oid")));
+  EXPECT_TRUE(solver.Implies(Constraint::Id("dept", "oid")));
+  // And transitively the per-type keys.
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("person", "oid")));
+}
+
+TEST(LidSolver, InverseRules) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "inverse dept.has_staff <-> person.in_dept", Language::kLid);
+  ASSERT_TRUE(sigma.ok());
+  LidSolver solver(dtd.value(), sigma.value());
+  // Inv-Symm.
+  EXPECT_TRUE(solver.Implies(
+      Constraint::InverseId("person", "in_dept", "dept", "has_staff")));
+  // Inv-SFK-ID: both typed set-valued foreign keys.
+  EXPECT_TRUE(solver.Implies(
+      Constraint::SetForeignKey("dept", "has_staff", "person", "oid")));
+  EXPECT_TRUE(solver.Implies(
+      Constraint::SetForeignKey("person", "in_dept", "dept", "oid")));
+  // And via SFK-ID the ID constraints.
+  EXPECT_TRUE(solver.Implies(Constraint::Id("person", "oid")));
+  EXPECT_TRUE(solver.Implies(Constraint::Id("dept", "oid")));
+}
+
+TEST(LidSolver, NonImplications) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  LidSolver solver(dtd.value(), PaperSigma());
+  // dname is a key of dept but nothing says address keys person.
+  EXPECT_FALSE(solver.Implies(Constraint::UnaryKey("person", "address")));
+  // No inverse between manager and anything.
+  EXPECT_FALSE(solver.Implies(
+      Constraint::InverseId("dept", "manager", "person", "in_dept")));
+  // No foreign key from person.name.
+  EXPECT_FALSE(solver.Implies(
+      Constraint::UnaryForeignKey("person", "name", "dept", "oid")));
+}
+
+TEST(LidSolver, ExplainProducesDerivations) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  LidSolver solver(dtd.value(), PaperSigma());
+  std::optional<std::string> proof =
+      solver.Explain(Constraint::Id("person", "oid"));
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_NE(proof->find("hypothesis"), std::string::npos);
+  std::optional<std::string> key_proof =
+      solver.Explain(Constraint::UnaryKey("person", "oid"));
+  ASSERT_TRUE(key_proof.has_value());
+  EXPECT_NE(key_proof->find("ID-Key"), std::string::npos);
+  EXPECT_FALSE(
+      solver.Explain(Constraint::UnaryKey("person", "address")).has_value());
+}
+
+TEST(LidSolver, RejectsWrongLanguage) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  LidSolver solver(dtd.value(), sigma);
+  EXPECT_FALSE(solver.status().ok());
+  EXPECT_FALSE(solver.Implies(Constraint::UnaryKey("person", "oid")));
+}
+
+TEST(LidSolver, ClosureIsLinear) {
+  // Closure size grows linearly with |Sigma| (Proposition 3.1's linear
+  // time hinges on this).
+  DtdStructure dtd;
+  std::string root_model;
+  ASSERT_TRUE(dtd.AddElement("db", "EMPTY").ok());
+  ASSERT_TRUE(dtd.SetRoot("db").ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    std::string t = "t" + std::to_string(i);
+    ASSERT_TRUE(dtd.AddElement(t, "EMPTY").ok());
+    ASSERT_TRUE(dtd.AddAttribute(t, "oid", AttrCardinality::kSingle).ok());
+    ASSERT_TRUE(dtd.SetKind(t, "oid", AttrKind::kId).ok());
+    ASSERT_TRUE(dtd.AddAttribute(t, "refs", AttrCardinality::kSet).ok());
+    ASSERT_TRUE(dtd.SetKind(t, "refs", AttrKind::kIdref).ok());
+    sigma.constraints.push_back(Constraint::Id(t, "oid"));
+    if (i > 0) {
+      sigma.constraints.push_back(Constraint::SetForeignKey(
+          t, "refs", "t" + std::to_string(i - 1), "oid"));
+    }
+  }
+  LidSolver solver(dtd, sigma);
+  ASSERT_TRUE(solver.status().ok());
+  // Each ID constraint contributes <= 3 facts, each SFK <= 2.
+  EXPECT_LE(solver.closure_size(), 5u * sigma.constraints.size());
+}
+
+}  // namespace
+}  // namespace xic

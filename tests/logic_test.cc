@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "logic/ef_game.h"
+#include "logic/figure1.h"
+#include "logic/structure.h"
+
+namespace xic {
+namespace {
+
+TEST(FoStructure, Basics) {
+  FoStructure g(3);
+  g.AddEdge("l", 0, 1);
+  g.AddUnary("P", 2);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.HasEdge("l", 0, 1));
+  EXPECT_FALSE(g.HasEdge("l", 1, 0));
+  EXPECT_FALSE(g.HasEdge("m", 0, 1));
+  EXPECT_TRUE(g.HasUnary("P", 2));
+  EXPECT_FALSE(g.HasUnary("P", 0));
+}
+
+TEST(FoStructure, UnaryKeyConstraint) {
+  // phi = forall x,y (exists z (l(x,z) and l(y,z)) -> x = y).
+  FoStructure matching(4);
+  matching.AddEdge("l", 0, 2);
+  matching.AddEdge("l", 1, 3);
+  EXPECT_TRUE(matching.SatisfiesUnaryKey("l"));
+
+  FoStructure shared(3);
+  shared.AddEdge("l", 0, 2);
+  shared.AddEdge("l", 1, 2);
+  EXPECT_FALSE(shared.SatisfiesUnaryKey("l"));
+
+  // No edges at all: vacuously true.
+  EXPECT_TRUE(FoStructure(2).SatisfiesUnaryKey("l"));
+}
+
+TEST(Figure1, GeneratorsHaveStatedKeyBehaviour) {
+  for (size_t n = 2; n <= 6; ++n) {
+    FoStructure g = MakeFigure1Matching(n);
+    FoStructure g2 = MakeFigure1Shared(n);
+    EXPECT_TRUE(g.SatisfiesUnaryKey(kFigure1Relation)) << n;
+    EXPECT_FALSE(g2.SatisfiesUnaryKey(kFigure1Relation)) << n;
+  }
+}
+
+TEST(EfGame, DistinguishableStructures) {
+  // An edge vs. no edge: spoiler wins in one round... the difference is
+  // atomic once two pebbles are placed, so duplicator loses at low rank.
+  FoStructure a(2);
+  a.AddEdge("l", 0, 1);
+  FoStructure b(2);
+  EfGame2 game(a, b);
+  EXPECT_FALSE(game.DuplicatorWins(2));
+  EfGame2::FixpointResult fp = EfGame2(a, b).DecideFo2Equivalence();
+  EXPECT_FALSE(fp.equivalent);
+}
+
+TEST(EfGame, IsolatedPointsOfDifferentCardinality) {
+  // Pure-equality structures of sizes 2 and 3: FO^2 counts only to 2, so
+  // these are FO^2-equivalent.
+  FoStructure a(2);
+  FoStructure b(3);
+  EfGame2::FixpointResult fp = EfGame2(a, b).DecideFo2Equivalence();
+  EXPECT_TRUE(fp.equivalent);
+  // Size 1 vs size 2 differ ("exists two distinct elements").
+  FoStructure one(1);
+  FoStructure two(2);
+  EXPECT_FALSE(EfGame2(one, two).DecideFo2Equivalence().equivalent);
+}
+
+TEST(EfGame, UnaryPredicatesMatter) {
+  FoStructure a(2);
+  a.AddUnary("P", 0);
+  FoStructure b(2);
+  EXPECT_FALSE(EfGame2(a, b).DecideFo2Equivalence().equivalent);
+  FoStructure c(2);
+  c.AddUnary("P", 1);
+  EXPECT_TRUE(EfGame2(a, c).DecideFo2Equivalence().equivalent);
+}
+
+TEST(EfGame, Figure1PairIsFo2Equivalent) {
+  // The paper's Figure 1 claim, certified mechanically: G and G' agree on
+  // all FO^2 sentences yet the key constraint separates them.
+  for (size_t n = 2; n <= 4; ++n) {
+    FoStructure g = MakeFigure1Matching(n);
+    FoStructure g2 = MakeFigure1Shared(n);
+    EfGame2 game(g, g2);
+    EfGame2::FixpointResult fp = game.DecideFo2Equivalence();
+    EXPECT_TRUE(fp.equivalent) << "n=" << n;
+    EXPECT_TRUE(g.SatisfiesUnaryKey(kFigure1Relation));
+    EXPECT_FALSE(g2.SatisfiesUnaryKey(kFigure1Relation));
+  }
+}
+
+TEST(EfGame, Figure1ConsequenceKeysNotFo2Expressible) {
+  // If the unary key constraint were an FO^2 sentence, FO^2-equivalent
+  // structures would agree on it; Figure 1 shows they do not. This test
+  // restates the contradiction the paper draws.
+  FoStructure g = MakeFigure1Matching(3);
+  FoStructure g2 = MakeFigure1Shared(3);
+  bool equivalent = EfGame2(g, g2).DecideFo2Equivalence().equivalent;
+  bool agree_on_key = g.SatisfiesUnaryKey(kFigure1Relation) ==
+                      g2.SatisfiesUnaryKey(kFigure1Relation);
+  EXPECT_TRUE(equivalent && !agree_on_key);
+}
+
+TEST(EfGame, RoundMonotonicity) {
+  // Winning is monotone: surviving m+1 rounds implies surviving m.
+  FoStructure g = MakeFigure1Matching(2);
+  FoStructure g2 = MakeFigure1Shared(2);
+  EfGame2 game(g, g2);
+  bool prev = true;
+  for (size_t rounds = 0; rounds <= 6; ++rounds) {
+    bool wins = game.DuplicatorWins(rounds);
+    EXPECT_TRUE(!prev ? !wins : true);
+    prev = wins;
+  }
+}
+
+TEST(EfGame, SelfEquivalence) {
+  FoStructure g = MakeFigure1Shared(3);
+  EXPECT_TRUE(EfGame2(g, g).DecideFo2Equivalence().equivalent);
+}
+
+TEST(EfGame, ConfigCountsScale) {
+  FoStructure g = MakeFigure1Matching(2);
+  FoStructure g2 = MakeFigure1Shared(2);
+  EfGame2 game(g, g2);
+  // 4 x 5 element pairs plus unset, squared.
+  EXPECT_EQ(game.num_configs(), (4u * 5u + 1u) * (4u * 5u + 1u));
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "implication/lp_solver.h"
+
+namespace xic {
+namespace {
+
+ConstraintSet Sigma(const std::string& text) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(text, Language::kL);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  return sigma.value();
+}
+
+TEST(LpSolver, PaperPublisherExample) {
+  LpSolver solver(Sigma(R"(
+    key publisher[pname, country]
+    fk editor[pname, country] -> publisher[pname, country]
+  )"));
+  ASSERT_TRUE(solver.status().ok()) << solver.status();
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::Key("publisher",
+                                           {"pname", "country"}))
+                  .value());
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::ForeignKey(
+                      "editor", {"pname", "country"}, "publisher",
+                      {"pname", "country"}))
+                  .value());
+  EXPECT_EQ(solver.PrimaryKey("publisher"),
+            (std::set<std::string>{"country", "pname"}));
+}
+
+TEST(LpSolver, PfkPermReordersBothSides) {
+  LpSolver solver(Sigma(R"(
+    key p[a, b]
+    fk e[x, y] -> p[a, b]
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  // Simultaneous permutation is implied...
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::ForeignKey("e", {"y", "x"}, "p",
+                                                  {"b", "a"}))
+                  .value());
+  // ...but crossing the correspondence is not.
+  EXPECT_FALSE(solver
+                   .Implies(Constraint::ForeignKey("e", {"x", "y"}, "p",
+                                                   {"b", "a"}))
+                   .value());
+}
+
+TEST(LpSolver, PfkTransComposesAlongTypePaths) {
+  LpSolver solver(Sigma(R"(
+    key b[u, v]
+    key c[s, t]
+    fk a[x, y] -> b[u, v]
+    fk b[u, v] -> c[s, t]
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::ForeignKey("a", {"x", "y"}, "c",
+                                                  {"s", "t"}))
+                  .value());
+  // Composition respects the attribute correspondence even when the
+  // middle foreign key is written permuted.
+  LpSolver permuted(Sigma(R"(
+    key b[u, v]
+    key c[s, t]
+    fk a[x, y] -> b[u, v]
+    fk b[v, u] -> c[t, s]
+  )"));
+  ASSERT_TRUE(permuted.status().ok());
+  EXPECT_TRUE(permuted
+                  .Implies(Constraint::ForeignKey("a", {"x", "y"}, "c",
+                                                  {"s", "t"}))
+                  .value());
+  EXPECT_FALSE(permuted
+                   .Implies(Constraint::ForeignKey("a", {"x", "y"}, "c",
+                                                   {"t", "s"}))
+                   .value());
+}
+
+TEST(LpSolver, PkFkIdentity) {
+  LpSolver solver(Sigma("key r[a, b]"));
+  ASSERT_TRUE(solver.status().ok());
+  // PK-FK: r[a,b] <= r[a,b].
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::ForeignKey("r", {"a", "b"}, "r",
+                                                  {"a", "b"}))
+                  .value());
+  // FK-refl covers reflexive inclusions on non-key sequences too.
+  EXPECT_TRUE(solver
+                  .Implies(Constraint::ForeignKey("r", {"z", "w"}, "r",
+                                                  {"z", "w"}))
+                  .value());
+  // Identity with a twist is not implied.
+  EXPECT_FALSE(solver
+                   .Implies(Constraint::ForeignKey("r", {"a", "b"}, "r",
+                                                   {"b", "a"}))
+                   .value());
+}
+
+TEST(LpSolver, CyclesCompose) {
+  // Under the primary restriction a foreign-key cycle composes to the
+  // identity; the reverse inclusion is implied exactly when composition
+  // produces it (implication == finite implication, Theorem 3.8).
+  LpSolver solver(Sigma(R"(
+    key a[x]
+    key b[y]
+    fk a[x] -> b[y]
+    fk b[y] -> a[x]
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_TRUE(
+      solver.Implies(Constraint::ForeignKey("a", {"x"}, "b", {"y"})).value());
+  EXPECT_TRUE(
+      solver.Implies(Constraint::ForeignKey("b", {"y"}, "a", {"x"})).value());
+}
+
+TEST(LpSolver, RestrictionViolationsRejected) {
+  // Two distinct keys for one type.
+  LpSolver two_keys(Sigma("key r[a]; key r[b]"));
+  EXPECT_FALSE(two_keys.status().ok());
+  // A foreign key targeting a non-key.
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints = {
+      Constraint::Key("p", {"k"}),
+      Constraint::ForeignKey("e", {"x"}, "p", {"other"})};
+  LpSolver bad_target(sigma);
+  EXPECT_FALSE(bad_target.status().ok());
+  // Wrong language.
+  ConstraintSet lu;
+  lu.language = Language::kLu;
+  EXPECT_FALSE(LpSolver(lu).status().ok());
+}
+
+TEST(LpSolver, RestrictedQueriesRejected) {
+  LpSolver solver(Sigma("key r[a, b]"));
+  ASSERT_TRUE(solver.status().ok());
+  // Asking about a different key for r is outside the restricted problem.
+  Result<bool> other = solver.Implies(Constraint::Key("r", {"a"}));
+  EXPECT_FALSE(other.ok());
+  Result<bool> superkey = solver.Implies(Constraint::Key("r", {"a", "b", "c"}));
+  EXPECT_FALSE(superkey.ok());
+  // A type with no known key: plain false, not an error.
+  EXPECT_FALSE(solver.Implies(Constraint::Key("s", {"z"})).value());
+}
+
+TEST(LpSolver, NonImplications) {
+  LpSolver solver(Sigma(R"(
+    key b[u]
+    key c[s]
+    fk a[x] -> b[u]
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_FALSE(
+      solver.Implies(Constraint::ForeignKey("a", {"x"}, "c", {"s"})).value());
+  EXPECT_FALSE(
+      solver.Implies(Constraint::ForeignKey("b", {"u"}, "a", {"x"})).value());
+}
+
+TEST(LpSolver, ExplainCompositions) {
+  LpSolver solver(Sigma(R"(
+    key b[u]
+    key c[s]
+    fk a[x] -> b[u]
+    fk b[u] -> c[s]
+  )"));
+  std::optional<std::string> proof = solver.Explain(
+      Constraint::ForeignKey("a", {"x"}, "c", {"s"}));
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_NE(proof->find("PFK-trans"), std::string::npos);
+  EXPECT_NE(proof->find("hypothesis"), std::string::npos);
+  EXPECT_FALSE(solver.Explain(Constraint::ForeignKey("c", {"s"}, "a", {"x"}))
+                   .has_value());
+}
+
+TEST(LpSolver, ClosureSizeGrowsWithArity) {
+  // The mapping closure can be exponential in key arity; at small sizes
+  // it stays modest and the solver remains exact.
+  for (size_t arity : {1u, 2u, 3u}) {
+    std::vector<std::string> attrs;
+    for (size_t i = 0; i < arity; ++i) attrs.push_back("k" + std::to_string(i));
+    ConstraintSet sigma;
+    sigma.language = Language::kL;
+    sigma.constraints.push_back(Constraint::Key("r", attrs));
+    // A self-referencing rotated foreign key generates the rotation group.
+    std::vector<std::string> rotated = attrs;
+    std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+    sigma.constraints.push_back(
+        Constraint::ForeignKey("r", attrs, "r", rotated));
+    LpSolver solver(sigma);
+    ASSERT_TRUE(solver.status().ok());
+    // The rotation generates the full cyclic group of order `arity`.
+    EXPECT_GE(solver.closure_size(), arity);
+    std::vector<std::string> twice = attrs;
+    std::rotate(twice.begin(), twice.begin() + 2 % arity, twice.end());
+    EXPECT_TRUE(
+        solver.Implies(Constraint::ForeignKey("r", attrs, "r", twice))
+            .value());
+  }
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "implication/lu_solver.h"
+
+namespace xic {
+namespace {
+
+ConstraintSet Sigma(const std::string& text) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(text, Language::kLu);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  return sigma.value();
+}
+
+Constraint Fk(const std::string& a, const std::string& x,
+              const std::string& b, const std::string& y) {
+  return Constraint::UnaryForeignKey(a, x, b, y);
+}
+
+TEST(LuSolver, HypothesesAndKeyDerivation) {
+  LuSolver solver(Sigma(R"(
+    key entry.isbn
+    key section.sid
+    sfk ref.to -> entry.isbn
+  )"));
+  ASSERT_TRUE(solver.status().ok()) << solver.status();
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("entry", "isbn")));
+  EXPECT_TRUE(
+      solver.Implies(Constraint::SetForeignKey("ref", "to", "entry", "isbn")));
+  // SFK-K derives the target key even without the hypothesis.
+  LuSolver solver2(Sigma("sfk ref.to -> entry.isbn"));
+  EXPECT_TRUE(solver2.Implies(Constraint::UnaryKey("entry", "isbn")));
+  // UFK-K.
+  LuSolver solver3(Sigma("fk a.x -> b.y"));
+  EXPECT_TRUE(solver3.Implies(Constraint::UnaryKey("b", "y")));
+  EXPECT_FALSE(solver3.Implies(Constraint::UnaryKey("a", "x")));
+}
+
+TEST(LuSolver, TransitivityRules) {
+  LuSolver solver(Sigma(R"(
+    key b.y; key c.z
+    fk a.x -> b.y
+    fk b.y -> c.z
+    sfk s.refs -> a.x
+    key a.x
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  // UFK-trans.
+  EXPECT_TRUE(solver.Implies(Fk("a", "x", "c", "z")));
+  // USFK-trans: s.refs <=S a.x, a.x <= b.y, b.y <= c.z.
+  EXPECT_TRUE(solver.Implies(Constraint::SetForeignKey("s", "refs", "b", "y")));
+  EXPECT_TRUE(solver.Implies(Constraint::SetForeignKey("s", "refs", "c", "z")));
+  // But not backwards.
+  EXPECT_FALSE(solver.Implies(Fk("c", "z", "a", "x")));
+  EXPECT_FALSE(
+      solver.Implies(Constraint::SetForeignKey("s", "refs", "s", "refs")));
+}
+
+TEST(LuSolver, UkFkAndReflexivity) {
+  LuSolver solver(Sigma("key a.x"));
+  // UK-FK: a key yields the reflexive foreign key.
+  EXPECT_TRUE(solver.Implies(Fk("a", "x", "a", "x")));
+  // FK-refl holds for any attribute (valid in every document).
+  EXPECT_TRUE(solver.Implies(Fk("zzz", "w", "zzz", "w")));
+}
+
+TEST(LuSolver, InverseRules) {
+  LuSolver solver(Sigma(R"(
+    key a.k; key b.k2
+    inverse a(k).r <-> b(k2).s
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  // Symmetry.
+  EXPECT_TRUE(solver.Implies(
+      Constraint::InverseU("b", "k2", "s", "a", "k", "r")));
+  // Inv-SFK: the typed set-valued foreign keys.
+  EXPECT_TRUE(
+      solver.Implies(Constraint::SetForeignKey("a", "r", "b", "k2")));
+  EXPECT_TRUE(solver.Implies(Constraint::SetForeignKey("b", "s", "a", "k")));
+  // And the keys.
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("a", "k")));
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("b", "k2")));
+  // A different inverse is not implied.
+  EXPECT_FALSE(solver.Implies(
+      Constraint::InverseU("a", "k", "r", "b", "k2", "other")));
+}
+
+// The divergence family: implication and finite implication differ
+// (Corollary 3.3). Two types, two keys each, a tight foreign-key cycle.
+ConstraintSet DivergenceSigma() {
+  return Sigma(R"(
+    key t.a; key t.b
+    key u.c; key u.d
+    fk t.a -> u.c
+    fk u.d -> t.b
+  )");
+}
+
+TEST(LuSolver, FiniteImplicationDiffersFromUnrestricted) {
+  LuSolver solver(DivergenceSigma());
+  ASSERT_TRUE(solver.status().ok());
+  Constraint reversed1 = Fk("u", "c", "t", "a");
+  Constraint reversed2 = Fk("t", "b", "u", "d");
+  // Not implied in the unrestricted sense (infinite models exist).
+  EXPECT_FALSE(solver.Implies(reversed1));
+  EXPECT_FALSE(solver.Implies(reversed2));
+  // Finitely implied by the cycle rule: the cardinality chain
+  // |ext(t)| <= |ext(u)| <= |ext(t)| collapses to equalities.
+  EXPECT_TRUE(solver.FinitelyImplies(reversed1));
+  EXPECT_TRUE(solver.FinitelyImplies(reversed2));
+  // Composition across the reversed edge.
+  EXPECT_TRUE(solver.FinitelyImplies(Fk("u", "c", "u", "c")));
+}
+
+TEST(LuSolver, CycleRuleNeedsKeySources) {
+  // Same shape but t.a is NOT a key: no cardinality transfer, so no
+  // reversal even finitely.
+  LuSolver solver(Sigma(R"(
+    key t.b
+    key u.c; key u.d
+    fk t.a -> u.c
+    fk u.d -> t.b
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_FALSE(solver.FinitelyImplies(Fk("u", "c", "t", "a")));
+  EXPECT_FALSE(solver.FinitelyImplies(Fk("t", "b", "u", "d")));
+}
+
+TEST(LuSolver, DirectedCycleIsAlreadyTransitive) {
+  // A directed pair-level cycle needs no cycle rule: transitivity alone
+  // reverses everything, so implication and finite implication agree.
+  LuSolver solver(Sigma(R"(
+    key a.x; key b.x; key c.x
+    fk a.x -> b.x
+    fk b.x -> c.x
+    fk c.x -> a.x
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_TRUE(solver.Implies(Fk("b", "x", "a", "x")));
+  EXPECT_TRUE(solver.FinitelyImplies(Fk("b", "x", "a", "x")));
+}
+
+TEST(LuSolver, LongerTightCyclesReverse) {
+  // A length-3 type-level cycle through distinct attribute pairs: each
+  // type's `in` attribute is reached, its `out` attribute departs, so no
+  // pair-level directed cycle exists and only the cycle rule reverses.
+  LuSolver solver(Sigma(R"(
+    key a.in; key a.out
+    key b.in; key b.out
+    key c.in; key c.out
+    fk a.out -> b.in
+    fk b.out -> c.in
+    fk c.out -> a.in
+  )"));
+  ASSERT_TRUE(solver.status().ok());
+  for (const auto& [from_t, from_a, to_t, to_a] :
+       std::vector<std::tuple<std::string, std::string, std::string,
+                              std::string>>{{"b", "in", "a", "out"},
+                                            {"c", "in", "b", "out"},
+                                            {"a", "in", "c", "out"}}) {
+    EXPECT_FALSE(solver.Implies(Fk(from_t, from_a, to_t, to_a)))
+        << from_t << "." << from_a;
+    EXPECT_TRUE(solver.FinitelyImplies(Fk(from_t, from_a, to_t, to_a)))
+        << from_t << "." << from_a;
+  }
+  // Mixed chains across reversed edges compose finitely:
+  // a.out <= b.in (hypothesis), b.in <= a.out reversed, so
+  // c.out <= a.in and a.in has no forward edge; but
+  // b.out <= c.in <= b.out reversal chains give b.out <= b.out trivially.
+  EXPECT_TRUE(solver.FinitelyImplies(Fk("a", "out", "b", "in")));
+}
+
+TEST(LuSolver, SetForeignKeysComposeAcrossCycleReversals) {
+  // USFK-trans through a C_k-reversed edge: s.r <=S u.c plus the tight
+  // cycle makes u.c = t.a in finite documents, so s.r <=S t.a follows
+  // finitely but not in the unrestricted sense.
+  ConstraintSet sigma = DivergenceSigma();
+  sigma.constraints.push_back(
+      Constraint::SetForeignKey("s", "r", "u", "c"));
+  LuSolver solver(sigma);
+  ASSERT_TRUE(solver.status().ok());
+  Constraint phi = Constraint::SetForeignKey("s", "r", "t", "a");
+  EXPECT_FALSE(solver.Implies(phi));
+  EXPECT_TRUE(solver.FinitelyImplies(phi));
+  // But not into an unrelated key attribute of t.
+  EXPECT_FALSE(solver.FinitelyImplies(
+      Constraint::SetForeignKey("s", "r", "t", "b")));
+}
+
+TEST(LuSolver, ImplicationSubsetOfFiniteImplication) {
+  // Everything implied is finitely implied (finite models are models).
+  LuSolver solver(DivergenceSigma());
+  std::vector<Constraint> queries = {
+      Fk("t", "a", "u", "c"), Fk("u", "c", "t", "a"),
+      Fk("t", "a", "t", "b"), Constraint::UnaryKey("u", "c"),
+      Constraint::SetForeignKey("t", "a", "u", "c")};
+  for (const Constraint& q : queries) {
+    if (solver.Implies(q)) {
+      EXPECT_TRUE(solver.FinitelyImplies(q)) << q.ToString();
+    }
+  }
+}
+
+TEST(LuSolver, PrimaryKeyRestriction) {
+  // The divergence family violates the restriction (two keys per type).
+  EXPECT_FALSE(LuSolver(DivergenceSigma()).CheckPrimaryKeyRestriction().ok());
+  // A single-key-per-type set satisfies it.
+  LuSolver primary(Sigma(R"(
+    key t.a; key u.c
+    fk t.a -> u.c
+    fk u.c -> t.a
+  )"));
+  EXPECT_TRUE(primary.CheckPrimaryKeyRestriction().ok());
+}
+
+TEST(LuSolver, Theorem34PrimaryImplicationCoincides) {
+  // Under the primary-key restriction a tight cycle uses each type's
+  // unique key attribute, so reversals are already implied by
+  // transitivity: implication == finite implication.
+  LuSolver solver(Sigma(R"(
+    key t.a; key u.c
+    fk t.a -> u.c
+    fk u.c -> t.a
+  )"));
+  ASSERT_TRUE(solver.CheckPrimaryKeyRestriction().ok());
+  std::vector<Constraint> queries = {
+      Fk("t", "a", "u", "c"), Fk("u", "c", "t", "a"),
+      Fk("t", "a", "t", "a"), Fk("u", "c", "u", "c"),
+      Constraint::UnaryKey("t", "a"), Constraint::UnaryKey("u", "c")};
+  for (const Constraint& q : queries) {
+    EXPECT_EQ(solver.Implies(q), solver.FinitelyImplies(q)) << q.ToString();
+  }
+}
+
+TEST(LuSolver, ExplainChains) {
+  LuSolver solver(Sigma(R"(
+    key b.y; key c.z
+    fk a.x -> b.y
+    fk b.y -> c.z
+  )"));
+  std::optional<std::string> proof = solver.Explain(Fk("a", "x", "c", "z"));
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_NE(proof->find("UFK-trans"), std::string::npos);
+  EXPECT_NE(proof->find("a.x <= b.y"), std::string::npos);
+  // Finite-only implications name the cycle rule.
+  LuSolver diverging(DivergenceSigma());
+  std::optional<std::string> finite_proof =
+      diverging.Explain(Fk("u", "c", "t", "a"), /*finite=*/true);
+  ASSERT_TRUE(finite_proof.has_value());
+  EXPECT_NE(finite_proof->find("Ck"), std::string::npos);
+  EXPECT_FALSE(diverging.Explain(Fk("u", "c", "t", "a")).has_value());
+}
+
+TEST(LuSolver, RejectsNonLuInput) {
+  ConstraintSet bad;
+  bad.language = Language::kLu;
+  bad.constraints = {Constraint::Key("r", {"a", "b"})};
+  EXPECT_FALSE(LuSolver(bad).status().ok());
+
+  ConstraintSet id_in_lu;
+  id_in_lu.language = Language::kLu;
+  id_in_lu.constraints = {Constraint::Id("r", "a")};
+  EXPECT_FALSE(LuSolver(id_in_lu).status().ok());
+
+  ConstraintSet lid;
+  lid.language = Language::kLid;
+  EXPECT_FALSE(LuSolver(lid).status().ok());
+}
+
+TEST(LuSolver, AcceptsUnaryLForCorollary35) {
+  // Corollary 3.5: relational unary keys + foreign keys use the same
+  // machinery; the L language tag is accepted.
+  ConstraintSet sigma;
+  sigma.language = Language::kL;
+  sigma.constraints = {Constraint::UnaryKey("r", "k"),
+                       Constraint::UnaryForeignKey("s", "f", "r", "k")};
+  LuSolver solver(sigma);
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("r", "k")));
+  EXPECT_TRUE(solver.Implies(Fk("s", "f", "r", "k")));
+}
+
+TEST(LuSolver, UnknownNodesAnswerFalse) {
+  LuSolver solver(Sigma("key a.x"));
+  EXPECT_FALSE(solver.Implies(Constraint::UnaryKey("nowhere", "n")));
+  EXPECT_FALSE(solver.Implies(Fk("a", "x", "nowhere", "n")));
+  EXPECT_FALSE(
+      solver.Implies(Constraint::SetForeignKey("a", "x", "nowhere", "n")));
+}
+
+}  // namespace
+}  // namespace xic

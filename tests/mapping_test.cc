@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "constraints/checker.h"
+#include "constraints/constraint_parser.h"
+#include "integration/mapping.h"
+#include "model/structural_validator.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+struct World {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+  DataTree tree;
+};
+
+// The person/dept world with attribute fields.
+World MakeWorld() {
+  World w;
+  const char* text = R"(<!DOCTYPE db [
+    <!ELEMENT db (person*, dept*)>
+    <!ELEMENT person (name)>
+    <!ATTLIST person oid ID #REQUIRED in_dept IDREFS #REQUIRED>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT dname (#PCDATA)>
+    <!ELEMENT dept (dname)>
+    <!ATTLIST dept oid ID #REQUIRED has_staff IDREFS #REQUIRED>
+  ]>
+  <db>
+    <person oid="p1" in_dept="d1"><name>Ada</name></person>
+    <person oid="p2" in_dept="d1"><name>Bob</name></person>
+    <dept oid="d1" has_staff="p1 p2"><dname>CS</dname></dept>
+  </db>)";
+  Result<XmlDocument> doc = ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  w.dtd = *doc.value().dtd;
+  w.tree = doc.value().tree;
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    key person.name
+    key dept.dname
+    sfk person.in_dept -> dept.oid
+    sfk dept.has_staff -> person.oid
+    inverse person.in_dept <-> dept.has_staff
+  )", Language::kLid);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  w.sigma = sigma.value();
+  return w;
+}
+
+// The propagation soundness property: if G |= Sigma then
+// Apply(G) |= Propagate(Sigma) against the transformed DTD.
+void CheckPropagationSound(const World& w, const Mapping& mapping) {
+  ConstraintChecker original(w.dtd, w.sigma);
+  ASSERT_TRUE(original.Check(w.tree).ok());
+  Result<DtdStructure> dtd2 = mapping.ApplyToDtd(w.dtd);
+  ASSERT_TRUE(dtd2.ok()) << dtd2.status();
+  Result<DataTree> tree2 = mapping.ApplyToDocument(w.tree, w.dtd);
+  ASSERT_TRUE(tree2.ok()) << tree2.status();
+  Result<ConstraintSet> sigma2 =
+      mapping.PropagateConstraints(w.sigma, w.dtd);
+  ASSERT_TRUE(sigma2.ok()) << sigma2.status();
+  ConstraintChecker transformed(dtd2.value(), sigma2.value());
+  ConstraintReport report = transformed.Check(tree2.value());
+  EXPECT_TRUE(report.ok()) << report.ToString(sigma2.value());
+}
+
+TEST(Mapping, RenameElementPropagates) {
+  World w = MakeWorld();
+  Mapping m;
+  m.Rename("person", "employee");
+  Result<ConstraintSet> sigma2 = m.PropagateConstraints(w.sigma, w.dtd);
+  ASSERT_TRUE(sigma2.ok());
+  EXPECT_TRUE(sigma2.value().Contains(Constraint::Id("employee", "oid")));
+  EXPECT_TRUE(sigma2.value().Contains(
+      Constraint::SetForeignKey("employee", "in_dept", "dept", "oid")));
+  EXPECT_TRUE(sigma2.value().Contains(
+      Constraint::InverseId("employee", "in_dept", "dept", "has_staff")));
+  // Same number of constraints survive a pure rename.
+  EXPECT_EQ(sigma2.value().constraints.size(), w.sigma.constraints.size());
+  CheckPropagationSound(w, m);
+  // Document relabeled.
+  Result<DataTree> tree2 = m.ApplyToDocument(w.tree, w.dtd);
+  EXPECT_EQ(tree2.value().Extent("employee").size(), 2u);
+  EXPECT_EQ(tree2.value().Extent("person").size(), 0u);
+}
+
+TEST(Mapping, RenameFieldPropagates) {
+  World w = MakeWorld();
+  Mapping m;
+  m.RenameFieldOf("person", "in_dept", "works_in");
+  Result<ConstraintSet> sigma2 = m.PropagateConstraints(w.sigma, w.dtd);
+  ASSERT_TRUE(sigma2.ok());
+  EXPECT_TRUE(sigma2.value().Contains(
+      Constraint::SetForeignKey("person", "works_in", "dept", "oid")));
+  EXPECT_TRUE(sigma2.value().Contains(
+      Constraint::InverseId("person", "works_in", "dept", "has_staff")));
+  CheckPropagationSound(w, m);
+}
+
+TEST(Mapping, DropFieldRemovesItsConstraints) {
+  World w = MakeWorld();
+  Mapping m;
+  m.DropFieldOf("dept", "has_staff");
+  Result<ConstraintSet> sigma2 = m.PropagateConstraints(w.sigma, w.dtd);
+  ASSERT_TRUE(sigma2.ok());
+  // The set fk from has_staff and the inverse touching it are gone.
+  for (const Constraint& c : sigma2.value().constraints) {
+    EXPECT_EQ(c.ToString().find("has_staff"), std::string::npos)
+        << c.ToString();
+  }
+  // Others survive.
+  EXPECT_TRUE(sigma2.value().Contains(
+      Constraint::SetForeignKey("person", "in_dept", "dept", "oid")));
+  CheckPropagationSound(w, m);
+}
+
+TEST(Mapping, DropElementDropsDependentsConservatively) {
+  World w = MakeWorld();
+  Mapping m;
+  m.Drop("dept");
+  Result<ConstraintSet> sigma2 = m.PropagateConstraints(w.sigma, w.dtd);
+  ASSERT_TRUE(sigma2.ok());
+  // Everything touching dept (or its dname descendant) is gone.
+  for (const Constraint& c : sigma2.value().constraints) {
+    EXPECT_EQ(c.element.find("dept"), std::string::npos);
+    EXPECT_EQ(c.ref_element.find("dept"), std::string::npos);
+  }
+  // Keys on surviving types remain.
+  EXPECT_TRUE(
+      sigma2.value().Contains(Constraint::UnaryKey("person", "name")));
+  EXPECT_TRUE(sigma2.value().Contains(Constraint::Id("person", "oid")));
+  CheckPropagationSound(w, m);
+  // The document no longer has dept elements.
+  Result<DataTree> tree2 = m.ApplyToDocument(w.tree, w.dtd);
+  EXPECT_EQ(tree2.value().Extent("dept").size(), 0u);
+  EXPECT_EQ(tree2.value().Extent("dname").size(), 0u);
+}
+
+TEST(Mapping, DropElementKillsForeignKeysIntoNestedTypes) {
+  // FK into a type nested under the dropped element must not survive:
+  // book -> (entry); fk ref.to -> entry.isbn; dropping book removes
+  // entries.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("lib", "(book*, ref*)").ok());
+  ASSERT_TRUE(dtd.AddElement("book", "(entry)").ok());
+  ASSERT_TRUE(dtd.AddElement("entry", "EMPTY").ok());
+  ASSERT_TRUE(
+      dtd.AddAttribute("entry", "isbn", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.AddElement("ref", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddAttribute("ref", "to", AttrCardinality::kSet).ok());
+  ASSERT_TRUE(dtd.SetRoot("lib").ok());
+  ConstraintSet sigma =
+      ParseConstraintSet("key entry.isbn; sfk ref.to -> entry.isbn",
+                         Language::kLu)
+          .value();
+  Mapping m;
+  m.Drop("book");
+  Result<ConstraintSet> sigma2 = m.PropagateConstraints(sigma, dtd);
+  ASSERT_TRUE(sigma2.ok());
+  for (const Constraint& c : sigma2.value().constraints) {
+    EXPECT_NE(c.kind, ConstraintKind::kSetForeignKey) << c.ToString();
+  }
+  // The key on entry survives (extent shrinkage preserves keys).
+  EXPECT_TRUE(sigma2.value().Contains(Constraint::UnaryKey("entry", "isbn")));
+}
+
+TEST(Mapping, ComposedStepsApplyInOrder) {
+  World w = MakeWorld();
+  Mapping m;
+  m.Rename("person", "employee")
+      .RenameFieldOf("employee", "in_dept", "works_in")
+      .DropFieldOf("dept", "has_staff");
+  Result<ConstraintSet> sigma2 = m.PropagateConstraints(w.sigma, w.dtd);
+  ASSERT_TRUE(sigma2.ok()) << sigma2.status();
+  EXPECT_TRUE(sigma2.value().Contains(
+      Constraint::SetForeignKey("employee", "works_in", "dept", "oid")));
+  CheckPropagationSound(w, m);
+  // The transformed structure validates the transformed document.
+  Result<DtdStructure> dtd2 = m.ApplyToDtd(w.dtd);
+  Result<DataTree> tree2 = m.ApplyToDocument(w.tree, w.dtd);
+  StructuralValidator validator(dtd2.value());
+  EXPECT_TRUE(validator.Validate(tree2.value()).ok())
+      << validator.Validate(tree2.value()).ToString();
+}
+
+TEST(Mapping, ErrorsOnBadSteps) {
+  World w = MakeWorld();
+  {
+    Mapping m;
+    m.Rename("ghost", "x");
+    EXPECT_FALSE(m.ApplyToDtd(w.dtd).ok());
+  }
+  {
+    Mapping m;
+    m.Rename("person", "dept");  // collision
+    EXPECT_FALSE(m.ApplyToDtd(w.dtd).ok());
+  }
+  {
+    Mapping m;
+    m.Drop("db");  // root
+    EXPECT_FALSE(m.ApplyToDtd(w.dtd).ok());
+    EXPECT_FALSE(m.ApplyToDocument(w.tree, w.dtd).ok());
+  }
+  {
+    Mapping m;
+    m.RenameFieldOf("person", "name", "nom");  // sub-element field
+    EXPECT_EQ(m.ApplyToDtd(w.dtd).status().code(),
+              StatusCode::kNotSupported);
+  }
+}
+
+TEST(Mapping, StepToString) {
+  EXPECT_EQ(MappingStepToString(RenameElement{"a", "b"}),
+            "rename-element a -> b");
+  EXPECT_EQ(MappingStepToString(RenameField{"e", "f", "g"}),
+            "rename-field e.f -> e.g");
+  EXPECT_EQ(MappingStepToString(DropElement{"e"}), "drop-element e");
+  EXPECT_EQ(MappingStepToString(DropField{"e", "f"}), "drop-field e.f");
+}
+
+}  // namespace
+}  // namespace xic

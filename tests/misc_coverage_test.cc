@@ -1,0 +1,167 @@
+// Focused tests for corner paths not exercised by the main suites.
+
+#include <gtest/gtest.h>
+
+#include "xic.h"
+
+namespace xic {
+namespace {
+
+TEST(Coverage, FieldValueRejectsNonUniqueSubElements) {
+  // Two <name> children: the Section 3.4 field is undefined.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("p", "(name, name)").ok());
+  ASSERT_TRUE(dtd.AddElement("name", "(#PCDATA)").ok());
+  ASSERT_TRUE(dtd.SetRoot("p").ok());
+  DataTree t;
+  VertexId p = t.AddVertex("p");
+  for (const char* text : {"a", "b"}) {
+    VertexId n = t.AddVertex("name");
+    ASSERT_TRUE(t.AddChildVertex(p, n).ok());
+    t.AddChildText(n, text);
+  }
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  ConstraintChecker checker(dtd, sigma);
+  Result<AttrValue> value = checker.FieldValue(t, p, "name");
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.status().message().find("not unique"), std::string::npos);
+}
+
+TEST(Coverage, PathEvaluatorPcdataStep) {
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("r", "(t)").ok());
+  ASSERT_TRUE(dtd.AddElement("t", "(#PCDATA)").ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  PathContext context(dtd, sigma);
+  ASSERT_TRUE(context.status().ok());
+  DataTree tree;
+  VertexId r = tree.AddVertex("r");
+  VertexId t = tree.AddVertex("t");
+  ASSERT_TRUE(tree.AddChildVertex(r, t).ok());
+  tree.AddChildText(t, "hello");
+  PathEvaluator eval(context, tree);
+  std::set<PathNode> nodes =
+      eval.Nodes(r, Path::Parse("t.#PCDATA").value());
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(*nodes.begin()), "hello");
+  // And the type function agrees.
+  EXPECT_EQ(context.TypeOf("r", Path::Parse("t.#PCDATA").value()).value(),
+            kStringSymbol);
+}
+
+TEST(Coverage, RegexToStringPrecedence) {
+  // ((a | b), c)* needs parentheses around the union but not the concat.
+  RegexPtr re = Regex::Star(
+      Regex::Concat(Regex::Union(Regex::Symbol("a"), Regex::Symbol("b")),
+                    Regex::Symbol("c")));
+  EXPECT_EQ(re->ToString(), "((a | b), c)*");
+  // Round trip.
+  Result<RegexPtr> back = ParseContentModel("(" + re->ToString() + ")");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(RegexLanguageEquivalent(re, back.value()));
+}
+
+TEST(Coverage, DefinitionSizeGrowsWithSchema) {
+  DtdStructure small;
+  ASSERT_TRUE(small.AddElement("a", "EMPTY").ok());
+  ASSERT_TRUE(small.SetRoot("a").ok());
+  DtdStructure big;
+  ASSERT_TRUE(big.AddElement("a", "(b, c, d)").ok());
+  for (const char* e : {"b", "c", "d"}) {
+    ASSERT_TRUE(big.AddElement(e, "(#PCDATA)").ok());
+    ASSERT_TRUE(big.AddAttribute(e, "x", AttrCardinality::kSingle).ok());
+  }
+  ASSERT_TRUE(big.SetRoot("a").ok());
+  EXPECT_LT(small.DefinitionSize(), big.DefinitionSize());
+}
+
+TEST(Coverage, ProofTableExplainsMissingAndDeep) {
+  ProofTable table;
+  EXPECT_FALSE(table.Explain(Constraint::UnaryKey("a", "x")).has_value());
+  // A premise that was never added renders as [missing].
+  Constraint a = Constraint::UnaryKey("a", "x");
+  Constraint ghost = Constraint::UnaryKey("ghost", "g");
+  ASSERT_TRUE(table.Add(a, "rule", {ghost}));
+  std::optional<std::string> proof = table.Explain(a);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_NE(proof->find("[missing]"), std::string::npos);
+  // Re-adding an existing fact is a no-op.
+  EXPECT_FALSE(table.Add(a, "other-rule"));
+  EXPECT_EQ(table.facts().at(a).rule, "rule");
+}
+
+TEST(Coverage, EnumerateCountermodelWithLidDtd) {
+  // L_id enumeration uses the DTD to resolve ID attributes: the ID
+  // constraint on `a` admits no countermodel claiming non-implication of
+  // the derived per-type key.
+  Result<DtdStructure> dtd = InferDtdForSigma(
+      ParseConstraintSet("id a.oid", Language::kLid).value());
+  ASSERT_TRUE(dtd.ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  sigma.constraints = {Constraint::Id("a", "oid")};
+  EXPECT_FALSE(EnumerateCountermodel(sigma,
+                                     Constraint::UnaryKey("a", "oid"), {},
+                                     &dtd.value())
+                   .has_value());
+  // But the unrelated attribute is refutable.
+  EXPECT_TRUE(EnumerateCountermodel(sigma, Constraint::UnaryKey("a", "x"),
+                                    {}, &dtd.value())
+                  .has_value());
+}
+
+TEST(Coverage, SerializerHandlesEmptyAndAttributeOnlyTrees) {
+  DataTree empty;
+  EXPECT_EQ(SerializeXml(empty), "<?xml version=\"1.0\"?>\n");
+  DataTree one;
+  VertexId v = one.AddVertex("solo");
+  one.SetAttribute(v, "multi", AttrValue{"b", "a"});
+  std::string out = SerializeXml(one, {.pretty = false});
+  // Set values joined in sorted order.
+  EXPECT_NE(out.find("multi=\"a b\""), std::string::npos) << out;
+  EXPECT_NE(out.find("<solo"), std::string::npos);
+}
+
+TEST(Coverage, LuSolverExplainSetForeignKeyChains) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    key b.y; key c.z
+    sfk a.r -> b.y
+    fk b.y -> c.z
+  )", Language::kLu);
+  LuSolver solver(sigma.value());
+  Constraint phi = Constraint::SetForeignKey("a", "r", "c", "z");
+  ASSERT_TRUE(solver.Implies(phi));
+  std::optional<std::string> proof = solver.Explain(phi);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_NE(proof->find("USFK-trans"), std::string::npos);
+  EXPECT_NE(proof->find("a.r <=S b.y"), std::string::npos);
+}
+
+TEST(Coverage, CheckerReportsWellFormednessViaToString) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  sigma.constraints = {Constraint::UnaryKey("entry", "isbn")};
+  ConstraintReport report;
+  EXPECT_EQ(report.ToString(sigma), "all constraints satisfied");
+  report.violations.push_back({0, "boom", {}, {}});
+  EXPECT_NE(report.ToString(sigma).find("entry.isbn -> entry: boom"),
+            std::string::npos);
+}
+
+TEST(Coverage, MappingAppliedToEmptyDocument) {
+  DataTree empty;
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("a", "EMPTY").ok());
+  ASSERT_TRUE(dtd.SetRoot("a").ok());
+  Mapping m;
+  m.Rename("a", "b");
+  Result<DataTree> out = m.ApplyToDocument(empty, dtd);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+}  // namespace
+}  // namespace xic

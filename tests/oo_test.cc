@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "constraints/checker.h"
+#include "constraints/well_formed.h"
+#include "implication/lid_solver.h"
+#include "model/structural_validator.h"
+#include "oo/export_xml.h"
+#include "oo/odl_instance.h"
+#include "oo/odl_schema.h"
+#include "xml/serializer.h"
+
+namespace xic {
+namespace {
+
+// The paper's ODL schema (Section 1): Person / Dept with keys and an
+// inverse relationship.
+OdlSchema PaperSchema() {
+  OdlSchema schema;
+  OdlClass person;
+  person.name = "person";
+  person.attributes = {"name", "address"};
+  person.keys = {"name"};
+  person.relationships = {
+      {"in_dept", "dept", RelationshipCardinality::kMany, "has_staff"}};
+  OdlClass dept;
+  dept.name = "dept";
+  dept.attributes = {"dname"};
+  dept.keys = {"dname"};
+  dept.relationships = {
+      {"has_staff", "person", RelationshipCardinality::kMany, "in_dept"},
+      {"manager", "person", RelationshipCardinality::kOne, std::nullopt}};
+  EXPECT_TRUE(schema.AddClass(person).ok());
+  EXPECT_TRUE(schema.AddClass(dept).ok());
+  EXPECT_TRUE(schema.Validate().ok());
+  return schema;
+}
+
+OdlInstance PaperInstance(const OdlSchema& schema) {
+  OdlInstance inst(schema);
+  OdlObject p1{"person", "p1", {{"name", "An"}, {"address", "a1"}},
+               {{"in_dept", {"d1"}}}};
+  OdlObject p2{"person", "p2", {{"name", "Bo"}, {"address", "a2"}},
+               {{"in_dept", {"d1"}}}};
+  OdlObject d1{"dept", "d1", {{"dname", "CS"}},
+               {{"has_staff", {"p1", "p2"}}, {"manager", {"p1"}}}};
+  EXPECT_TRUE(inst.AddObject(p1).ok());
+  EXPECT_TRUE(inst.AddObject(p2).ok());
+  EXPECT_TRUE(inst.AddObject(d1).ok());
+  return inst;
+}
+
+TEST(OdlSchema, ValidationCatchesErrors) {
+  OdlSchema schema;
+  OdlClass a;
+  a.name = "a";
+  a.attributes = {"x"};
+  a.keys = {"ghost"};
+  ASSERT_TRUE(schema.AddClass(a).ok());
+  EXPECT_FALSE(schema.Validate().ok());
+
+  OdlSchema schema2;
+  OdlClass b;
+  b.name = "b";
+  b.relationships = {{"r", "nowhere", RelationshipCardinality::kOne,
+                      std::nullopt}};
+  ASSERT_TRUE(schema2.AddClass(b).ok());
+  EXPECT_FALSE(schema2.Validate().ok());
+
+  // Non-mutual inverse.
+  OdlSchema schema3;
+  OdlClass c;
+  c.name = "c";
+  c.relationships = {{"r", "d", RelationshipCardinality::kMany, "s"}};
+  OdlClass d;
+  d.name = "d";
+  d.relationships = {{"s", "c", RelationshipCardinality::kMany,
+                      "different"}};
+  ASSERT_TRUE(schema3.AddClass(c).ok());
+  ASSERT_TRUE(schema3.AddClass(d).ok());
+  EXPECT_FALSE(schema3.Validate().ok());
+  // Duplicate class.
+  OdlSchema schema4;
+  OdlClass e;
+  e.name = "e";
+  ASSERT_TRUE(schema4.AddClass(e).ok());
+  EXPECT_FALSE(schema4.AddClass(e).ok());
+}
+
+TEST(OdlInstance, AddObjectChecks) {
+  OdlSchema schema = PaperSchema();
+  OdlInstance inst(schema);
+  EXPECT_FALSE(inst.AddObject({"ghost", "g1", {}, {}}).ok());
+  EXPECT_FALSE(inst.AddObject({"person", "", {}, {}}).ok());
+  ASSERT_TRUE(inst.AddObject({"person", "p1", {}, {}}).ok());
+  EXPECT_FALSE(inst.AddObject({"person", "p1", {}, {}}).ok());  // dup oid
+  EXPECT_FALSE(
+      inst.AddObject({"person", "p2", {{"ghost", "v"}}, {}}).ok());
+  EXPECT_FALSE(
+      inst.AddObject({"person", "p2", {}, {{"ghost", {"x"}}}}).ok());
+  // Single-valued relationship must hold exactly one oid.
+  EXPECT_FALSE(
+      inst.AddObject({"dept", "d1", {}, {{"manager", {"p1", "p2"}}}}).ok());
+}
+
+TEST(OdlInstance, IntegrityChecks) {
+  OdlSchema schema = PaperSchema();
+  OdlInstance good = PaperInstance(schema);
+  EXPECT_TRUE(good.CheckIntegrity().empty());
+
+  // Dangling reference.
+  OdlInstance dangling(schema);
+  ASSERT_TRUE(dangling
+                  .AddObject({"person", "p1", {{"name", "An"}},
+                              {{"in_dept", {"ghost"}}}})
+                  .ok());
+  EXPECT_FALSE(dangling.CheckIntegrity().empty());
+
+  // Inverse violation.
+  OdlInstance asym(schema);
+  ASSERT_TRUE(asym.AddObject({"person", "p1", {{"name", "An"}},
+                              {{"in_dept", {"d1"}}}})
+                  .ok());
+  ASSERT_TRUE(asym.AddObject({"dept", "d1", {{"dname", "CS"}},
+                              {{"has_staff", {}}, {"manager", {"p1"}}}})
+                  .ok());
+  EXPECT_FALSE(asym.CheckIntegrity().empty());
+
+  // Key violation.
+  OdlInstance dup(schema);
+  ASSERT_TRUE(dup.AddObject({"person", "p1", {{"name", "An"}}, {}}).ok());
+  ASSERT_TRUE(dup.AddObject({"person", "p2", {{"name", "An"}}, {}}).ok());
+  EXPECT_FALSE(dup.CheckIntegrity().empty());
+}
+
+TEST(OdlExport, ProducesThePaperDtdC) {
+  OdlSchema schema = PaperSchema();
+  OdlInstance inst = PaperInstance(schema);
+  Result<OdlExport> exported = ExportOdl(inst);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  const OdlExport& e = exported.value();
+
+  // Structure: oid is an ID, relationships are IDREF/IDREFS.
+  EXPECT_EQ(e.dtd.IdAttribute("person"), "oid");
+  EXPECT_EQ(e.dtd.Kind("person", "in_dept"), AttrKind::kIdref);
+  EXPECT_TRUE(e.dtd.IsSetValued("person", "in_dept"));
+  EXPECT_TRUE(e.dtd.IsSingleValued("dept", "manager"));
+  EXPECT_TRUE(e.dtd.IsUniqueSubElement("person", "name"));
+
+  // Constraints: the paper's Sigma_o.
+  EXPECT_EQ(e.sigma.language, Language::kLid);
+  EXPECT_TRUE(e.sigma.Contains(Constraint::Id("person", "oid")));
+  EXPECT_TRUE(e.sigma.Contains(Constraint::Id("dept", "oid")));
+  EXPECT_TRUE(e.sigma.Contains(Constraint::UnaryKey("person", "name")));
+  EXPECT_TRUE(e.sigma.Contains(Constraint::UnaryKey("dept", "dname")));
+  EXPECT_TRUE(e.sigma.Contains(
+      Constraint::SetForeignKey("person", "in_dept", "dept", "oid")));
+  EXPECT_TRUE(e.sigma.Contains(
+      Constraint::UnaryForeignKey("dept", "manager", "person", "oid")));
+  EXPECT_TRUE(e.sigma.Contains(
+      Constraint::SetForeignKey("dept", "has_staff", "person", "oid")));
+  // Exactly one inverse constraint for the mutual pair.
+  int inverses = 0;
+  for (const Constraint& c : e.sigma.constraints) {
+    if (c.kind == ConstraintKind::kInverse) ++inverses;
+  }
+  EXPECT_EQ(inverses, 1);
+  EXPECT_TRUE(CheckWellFormed(e.sigma, e.dtd).ok())
+      << CheckWellFormed(e.sigma, e.dtd);
+}
+
+TEST(OdlExport, DocumentIsValidAndSatisfiesSigma) {
+  OdlSchema schema = PaperSchema();
+  OdlInstance inst = PaperInstance(schema);
+  Result<OdlExport> exported = ExportOdl(inst);
+  ASSERT_TRUE(exported.ok());
+  const OdlExport& e = exported.value();
+  StructuralValidator validator(e.dtd);
+  EXPECT_TRUE(validator.Validate(e.tree).ok())
+      << validator.Validate(e.tree).ToString();
+  ConstraintChecker checker(e.dtd, e.sigma);
+  EXPECT_TRUE(checker.Check(e.tree).ok())
+      << checker.Check(e.tree).ToString(e.sigma);
+  // The serialized form is plausible XML.
+  std::string xml = SerializeXml(e.tree);
+  EXPECT_NE(xml.find("<person"), std::string::npos);
+  EXPECT_NE(xml.find("oid=\"p1\""), std::string::npos);
+}
+
+TEST(OdlExport, InverseViolationSurvivesExport) {
+  OdlSchema schema = PaperSchema();
+  OdlInstance inst(schema);
+  ASSERT_TRUE(inst.AddObject({"person", "p1", {{"name", "An"},
+                                               {"address", "x"}},
+                              {{"in_dept", {"d1"}}}})
+                  .ok());
+  ASSERT_TRUE(inst.AddObject({"person", "p2", {{"name", "Bo"},
+                                               {"address", "y"}},
+                              {{"in_dept", {}}}})
+                  .ok());
+  ASSERT_TRUE(inst.AddObject({"dept", "d1", {{"dname", "CS"}},
+                              {{"has_staff", {"p1", "p2"}},
+                               {"manager", {"p1"}}}})
+                  .ok());
+  ASSERT_FALSE(inst.CheckIntegrity().empty());
+  Result<OdlExport> exported = ExportOdl(inst);
+  ASSERT_TRUE(exported.ok());
+  ConstraintChecker checker(exported.value().dtd, exported.value().sigma);
+  EXPECT_FALSE(checker.Check(exported.value().tree).ok());
+}
+
+TEST(OdlExport, SolverAnswersSemanticQuestions) {
+  // After export, the L_id solver can answer reference-typing questions:
+  // in_dept references depts, manager references persons.
+  OdlSchema schema = PaperSchema();
+  OdlInstance inst = PaperInstance(schema);
+  Result<OdlExport> exported = ExportOdl(inst);
+  ASSERT_TRUE(exported.ok());
+  LidSolver solver(exported.value().dtd, exported.value().sigma);
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_TRUE(solver.Implies(
+      Constraint::SetForeignKey("person", "in_dept", "dept", "oid")));
+  EXPECT_TRUE(solver.Implies(Constraint::Id("dept", "oid")));
+  EXPECT_TRUE(solver.Implies(
+      Constraint::InverseId("person", "in_dept", "dept", "has_staff")));
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("person", "oid")));
+  EXPECT_FALSE(solver.Implies(
+      Constraint::SetForeignKey("person", "in_dept", "person", "oid")));
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "constraints/constraint_parser.h"
+#include "paths/optimizer.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+Path P(const std::string& text) { return Path::Parse(text).value(); }
+
+struct Fixture {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+  XmlDocument doc;
+  Fixture() {
+    const char* text = R"(<!DOCTYPE catalog [
+      <!ELEMENT catalog (book*)>
+      <!ELEMENT book (entry, author*, section*, ref)>
+      <!ELEMENT entry (title, publisher)>
+      <!ATTLIST entry isbn ID #REQUIRED>
+      <!ELEMENT title (#PCDATA)>
+      <!ELEMENT publisher (#PCDATA)>
+      <!ELEMENT author (#PCDATA)>
+      <!ELEMENT text (#PCDATA)>
+      <!ELEMENT section (title, (text|section)*)>
+      <!ATTLIST section sid ID #REQUIRED>
+      <!ELEMENT ref EMPTY>
+      <!ATTLIST ref to IDREFS #REQUIRED>
+    ]>
+    <catalog>
+      <book>
+        <entry isbn="i1"><title>T1</title><publisher>P1</publisher></entry>
+        <author>A</author><author>B</author>
+        <section sid="s1"><title>S1</title>
+          <section sid="s2"><title>S2</title></section>
+        </section>
+        <ref to="i1 i2"/>
+      </book>
+      <book>
+        <entry isbn="i2"><title>T2</title><publisher>P2</publisher></entry>
+        <author>B</author>
+        <section sid="s3"><title>S3</title></section>
+        <ref to="i1"/>
+      </book>
+    </catalog>)";
+    Result<XmlDocument> parsed = ParseXml(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    doc = std::move(parsed).value();
+    dtd = *doc.dtd;
+    Result<ConstraintSet> s = ParseConstraintSet(R"(
+      id entry.isbn
+      id section.sid
+      sfk ref.to -> entry.isbn
+    )", Language::kLid);
+    EXPECT_TRUE(s.ok());
+    sigma = s.value();
+  }
+};
+
+TEST(Optimizer, PromotesDominatedChains) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  ASSERT_TRUE(context.status().ok()) << context.status();
+  PathOptimizer optimizer(context);
+  // catalog.book.entry.title: book occurs only under catalog, entry only
+  // under book -- the scan can start at ext(entry). title occurs under
+  // both entry and section, so promotion stops at entry.
+  Result<PathPlan> plan =
+      optimizer.Optimize({"catalog", P("book.entry.title")});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().scan_element, "entry");
+  EXPECT_EQ(plan.value().path, P("title"));
+  EXPECT_FALSE(plan.value().needs_dedup);
+  EXPECT_EQ(plan.value().result_type, "title");
+}
+
+TEST(Optimizer, RecursiveTypesAreNotPromotedThrough) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  PathOptimizer optimizer(context);
+  // section occurs under book AND section (recursive): not dominated.
+  Result<PathPlan> plan =
+      optimizer.Optimize({"catalog", P("book.section.title")});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().scan_element, "book");
+  EXPECT_EQ(plan.value().path, P("section.title"));
+}
+
+TEST(Optimizer, DerefStepsKeepDedup) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  PathOptimizer optimizer(context);
+  // ref.to dereferences: two books may reference the same entry.
+  Result<PathPlan> plan = optimizer.Optimize({"book", P("ref.to")});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().needs_dedup);
+  EXPECT_EQ(plan.value().result_type, "entry");
+}
+
+TEST(Optimizer, KeyPathsAnnotated) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  PathOptimizer optimizer(context);
+  Result<PathPlan> plan = optimizer.Optimize({"book", P("entry.isbn")});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().unique_per_root);
+}
+
+TEST(Optimizer, PlansAreEquivalentToNaiveExecution) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  PathOptimizer optimizer(context);
+  PathEvaluator evaluator(context, f.doc.tree);
+  ExtentIndex extents(f.doc.tree);
+  std::vector<PathQuery> queries = {
+      {"catalog", P("book.entry.title")},
+      {"catalog", P("book.author")},
+      {"catalog", P("book.ref.to")},
+      {"book", P("section.title")},
+      {"book", P("ref.to.title")},
+      {"catalog", P("book.entry.isbn")},
+  };
+  for (const PathQuery& query : queries) {
+    Result<PathPlan> plan = optimizer.Optimize(query);
+    ASSERT_TRUE(plan.ok()) << query.ToString();
+    ExecutionStats naive_stats, opt_stats;
+    std::vector<PathNode> naive = ExecutePlan(
+        evaluator, extents, NaivePlan(context, query), &naive_stats);
+    std::vector<PathNode> optimized =
+        ExecutePlan(evaluator, extents, plan.value(), &opt_stats);
+    // Same result sets.
+    std::set<PathNode> a(naive.begin(), naive.end());
+    std::set<PathNode> b(optimized.begin(), optimized.end());
+    EXPECT_EQ(a, b) << query.ToString();
+    // No duplicates even when dedup was eliminated.
+    EXPECT_EQ(optimized.size(), b.size()) << query.ToString();
+    // The optimizer never walks more steps than the naive plan.
+    EXPECT_LE(opt_stats.steps_walked, naive_stats.steps_walked)
+        << query.ToString();
+  }
+}
+
+TEST(Optimizer, PromotionSavesWork) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  PathOptimizer optimizer(context);
+  PathEvaluator evaluator(context, f.doc.tree);
+  PathQuery query{"catalog", P("book.entry.title")};
+  Result<PathPlan> plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok());
+  ExtentIndex extents(f.doc.tree);
+  ExecutionStats naive_stats, opt_stats;
+  ExecutePlan(evaluator, extents, NaivePlan(context, query), &naive_stats);
+  ExecutePlan(evaluator, extents, plan.value(), &opt_stats);
+  EXPECT_LT(opt_stats.steps_walked, naive_stats.steps_walked);
+}
+
+TEST(Optimizer, InvalidQueriesError) {
+  Fixture f;
+  PathContext context(f.dtd, f.sigma);
+  PathOptimizer optimizer(context);
+  EXPECT_FALSE(optimizer.Optimize({"catalog", P("ghost")}).ok());
+  EXPECT_FALSE(optimizer.Optimize({"nowhere", P("book")}).ok());
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "paths/path.h"
+#include "paths/path_eval.h"
+#include "paths/path_typing.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+Path P(const std::string& text) {
+  Result<Path> p = Path::Parse(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return p.value();
+}
+
+TEST(Path, ParseAndPrint) {
+  EXPECT_TRUE(P("").empty());
+  EXPECT_TRUE(P("epsilon").empty());
+  EXPECT_EQ(P("").ToString(), "epsilon");
+  EXPECT_EQ(P("book.entry.isbn").steps,
+            (std::vector<std::string>{"book", "entry", "isbn"}));
+  EXPECT_EQ(P("a.b").ToString(), "a.b");
+  EXPECT_FALSE(Path::Parse("a..b").ok());
+  EXPECT_FALSE(Path::Parse("a.1x").ok());
+}
+
+TEST(Path, Operations) {
+  Path p = P("a.b.c");
+  EXPECT_EQ(p.Concat(P("d.e")).ToString(), "a.b.c.d.e");
+  EXPECT_EQ(p.Prefix(2).ToString(), "a.b");
+  EXPECT_EQ(p.Prefix(9).ToString(), "a.b.c");
+  EXPECT_EQ(p.Suffix(1).ToString(), "b.c");
+  EXPECT_EQ(p.Suffix(3).ToString(), "epsilon");
+  EXPECT_TRUE(p.StartsWith(P("a.b")));
+  EXPECT_TRUE(p.StartsWith(P("")));
+  EXPECT_FALSE(p.StartsWith(P("b")));
+  EXPECT_FALSE(P("a").StartsWith(p));
+}
+
+// The book DTD^C with L_id constraints: isbn keys entries and ref.to
+// references entries via their ID attribute.
+struct BookContext {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+};
+
+BookContext MakeBook() {
+  BookContext ctx;
+  EXPECT_TRUE(
+      ctx.dtd.AddElement("book", "(entry, author*, section*, ref)").ok());
+  EXPECT_TRUE(ctx.dtd.AddElement("entry", "(title, publisher)").ok());
+  EXPECT_TRUE(ctx.dtd.AddElement("author", "(#PCDATA)").ok());
+  EXPECT_TRUE(ctx.dtd.AddElement("title", "(#PCDATA)").ok());
+  EXPECT_TRUE(ctx.dtd.AddElement("publisher", "(#PCDATA)").ok());
+  EXPECT_TRUE(ctx.dtd.AddElement("text", "(#PCDATA)").ok());
+  EXPECT_TRUE(
+      ctx.dtd.AddElement("section", "(title, (text|section)*)").ok());
+  EXPECT_TRUE(ctx.dtd.AddElement("ref", "EMPTY").ok());
+  EXPECT_TRUE(
+      ctx.dtd.AddAttribute("entry", "isbn", AttrCardinality::kSingle).ok());
+  EXPECT_TRUE(ctx.dtd.SetKind("entry", "isbn", AttrKind::kId).ok());
+  EXPECT_TRUE(
+      ctx.dtd.AddAttribute("section", "sid", AttrCardinality::kSingle).ok());
+  EXPECT_TRUE(ctx.dtd.SetKind("section", "sid", AttrKind::kId).ok());
+  EXPECT_TRUE(ctx.dtd.AddAttribute("ref", "to", AttrCardinality::kSet).ok());
+  EXPECT_TRUE(ctx.dtd.SetKind("ref", "to", AttrKind::kIdref).ok());
+  EXPECT_TRUE(ctx.dtd.SetRoot("book").ok());
+  EXPECT_TRUE(ctx.dtd.Validate().ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id entry.isbn
+    id section.sid
+    sfk ref.to -> entry.isbn
+  )", Language::kLid);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  ctx.sigma = sigma.value();
+  return ctx;
+}
+
+TEST(PathTyping, TypeOfPaths) {
+  BookContext ctx = MakeBook();
+  PathContext context(ctx.dtd, ctx.sigma);
+  ASSERT_TRUE(context.status().ok()) << context.status();
+  EXPECT_EQ(context.TypeOf("book", P("")).value(), "book");
+  EXPECT_EQ(context.TypeOf("book", P("entry")).value(), "entry");
+  EXPECT_EQ(context.TypeOf("book", P("entry.isbn")).value(), kStringSymbol);
+  EXPECT_EQ(context.TypeOf("book", P("ref")).value(), "ref");
+  // The paper's example: attribute `to` dereferences to entry elements.
+  EXPECT_EQ(context.TypeOf("book", P("ref.to")).value(), "entry");
+  EXPECT_EQ(context.TypeOf("book", P("ref.to.title")).value(), "title");
+  // Recursive sections.
+  EXPECT_EQ(context.TypeOf("book", P("section.section.section")).value(),
+            "section");
+  EXPECT_EQ(context.TypeOf("section", P("text")).value(), "text");
+}
+
+TEST(PathTyping, InvalidPaths) {
+  BookContext ctx = MakeBook();
+  PathContext context(ctx.dtd, ctx.sigma);
+  EXPECT_FALSE(context.TypeOf("book", P("ghost")).ok());
+  EXPECT_FALSE(context.TypeOf("book", P("entry.ghost")).ok());
+  // Extending beyond S.
+  EXPECT_FALSE(context.TypeOf("book", P("entry.isbn.title")).ok());
+  EXPECT_FALSE(context.TypeOf("ghost", P("entry")).ok());
+  EXPECT_TRUE(context.IsValidPath("book", P("entry.title")));
+  EXPECT_FALSE(context.IsValidPath("book", P("title")));
+}
+
+TEST(PathTyping, ReferenceTargets) {
+  BookContext ctx = MakeBook();
+  PathContext context(ctx.dtd, ctx.sigma);
+  EXPECT_EQ(context.ReferenceTarget("ref", "to"), "entry");
+  EXPECT_EQ(context.ReferenceTarget("entry", "isbn"), std::nullopt);
+  EXPECT_EQ(context.ReferenceTarget("nope", "x"), std::nullopt);
+}
+
+TEST(PathTyping, KeyPaths) {
+  BookContext ctx = MakeBook();
+  PathContext context(ctx.dtd, ctx.sigma);
+  // epsilon is a key path; unique sub-elements extend key paths.
+  EXPECT_TRUE(context.IsKeyPath("book", P("")));
+  EXPECT_TRUE(context.IsKeyPath("book", P("entry")));
+  // The ID attribute (with its ID constraint) extends a key path: the
+  // paper's motivating example -- isbn is a key for books too.
+  EXPECT_TRUE(context.IsKeyPath("book", P("entry.isbn")));
+  // author is not unique in book.
+  EXPECT_FALSE(context.IsKeyPath("book", P("author")));
+  // section is not unique either.
+  EXPECT_FALSE(context.IsKeyPath("book", P("section.sid")));
+  // title of entry is unique but carries no key constraint; still a key
+  // path via uniqueness of the sub-element itself.
+  EXPECT_TRUE(context.IsKeyPath("book", P("entry.title")));
+}
+
+TEST(PathTyping, AmbiguousReferenceRejected) {
+  // An IDREF attribute that Sigma sends to two element types makes
+  // type() ill-defined; the context must refuse.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("db", "(a*, b*, r*)").ok());
+  for (const char* e : {"a", "b"}) {
+    ASSERT_TRUE(dtd.AddElement(e, "EMPTY").ok());
+    ASSERT_TRUE(dtd.AddAttribute(e, "oid", AttrCardinality::kSingle).ok());
+    ASSERT_TRUE(dtd.SetKind(e, "oid", AttrKind::kId).ok());
+  }
+  ASSERT_TRUE(dtd.AddElement("r", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddAttribute("r", "to", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.SetKind("r", "to", AttrKind::kIdref).ok());
+  ASSERT_TRUE(dtd.SetRoot("db").ok());
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  sigma.constraints = {Constraint::Id("a", "oid"), Constraint::Id("b", "oid"),
+                       Constraint::UnaryForeignKey("r", "to", "a", "oid"),
+                       Constraint::UnaryForeignKey("r", "to", "b", "oid")};
+  PathContext context(dtd, sigma);
+  EXPECT_FALSE(context.status().ok());
+}
+
+const char* kBookDoc = R"(<book>
+  <entry isbn="i1"><title>T</title><publisher>P</publisher></entry>
+  <author>A1</author>
+  <author>A2</author>
+  <section sid="s1"><title>S1</title>
+    <section sid="s2"><title>S2</title></section>
+  </section>
+  <ref to="i1"/>
+</book>)";
+
+struct EvalFixture {
+  BookContext ctx;
+  XmlDocument doc;
+};
+
+EvalFixture MakeEval() {
+  EvalFixture f;
+  f.ctx = MakeBook();
+  Result<XmlDocument> doc = ParseXml(kBookDoc, {.dtd = &f.ctx.dtd});
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  f.doc = std::move(doc).value();
+  return f;
+}
+
+TEST(PathEval, NodesFollowsChildrenAndReferences) {
+  EvalFixture f = MakeEval();
+  PathContext context(f.ctx.dtd, f.ctx.sigma);
+  ASSERT_TRUE(context.status().ok());
+  PathEvaluator eval(context, f.doc.tree);
+  VertexId book = f.doc.tree.root();
+  EXPECT_EQ(eval.Nodes(book, P("")).size(), 1u);
+  EXPECT_EQ(eval.Nodes(book, P("author")).size(), 2u);
+  EXPECT_EQ(eval.Nodes(book, P("entry")).size(), 1u);
+  // Attribute with type S yields the atomic value.
+  std::set<PathNode> isbn = eval.Nodes(book, P("entry.isbn"));
+  ASSERT_EQ(isbn.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(*isbn.begin()), "i1");
+  // Dereferencing ref.to lands on the entry vertex.
+  std::set<PathNode> deref = eval.Nodes(book, P("ref.to"));
+  ASSERT_EQ(deref.size(), 1u);
+  VertexId entry = f.doc.tree.Extent("entry")[0];
+  EXPECT_EQ(std::get<VertexId>(*deref.begin()), entry);
+  // And continues into its children.
+  EXPECT_EQ(eval.Nodes(book, P("ref.to.title")).size(), 1u);
+  // Recursive descent.
+  EXPECT_EQ(eval.Nodes(book, P("section.section")).size(), 1u);
+  EXPECT_EQ(eval.Extent("section", P("title")).size(), 2u);
+}
+
+TEST(PathEval, SemanticChecks) {
+  EvalFixture f = MakeEval();
+  PathContext context(f.ctx.dtd, f.ctx.sigma);
+  PathEvaluator eval(context, f.doc.tree);
+  // One book: every functional constraint holds trivially; still checks
+  // plumbing.
+  EXPECT_TRUE(eval.SatisfiesFunctional("book", P("entry.isbn"),
+                                       P("author")));
+  EXPECT_TRUE(eval.SatisfiesInclusion("book", P("ref.to"), "entry", P("")));
+  EXPECT_TRUE(eval.SatisfiesInclusion("book", P("ref.to.title"), "entry",
+                                      P("title")));
+  EXPECT_FALSE(eval.SatisfiesInclusion("book", P("author"), "entry", P("")));
+}
+
+TEST(PathEval, FunctionalViolationDetected) {
+  // Two sections share the same title path value but different sid.
+  BookContext ctx = MakeBook();
+  const char* doc_text = R"(<book>
+    <entry isbn="i1"><title>T</title><publisher>P</publisher></entry>
+    <section sid="s1"><title>Same</title></section>
+    <section sid="s2"><title>Same</title></section>
+    <ref to="i1"/>
+  </book>)";
+  Result<XmlDocument> doc = ParseXml(doc_text, {.dtd = &ctx.dtd});
+  ASSERT_TRUE(doc.ok());
+  PathContext context(ctx.dtd, ctx.sigma);
+  PathEvaluator eval(context, doc.value().tree);
+  // section.title does not determine section.sid here.
+  EXPECT_FALSE(
+      eval.SatisfiesFunctional("section", P("title.#PCDATA"), P("sid")));
+  // But sid determines title.
+  EXPECT_TRUE(
+      eval.SatisfiesFunctional("section", P("sid"), P("title.#PCDATA")));
+}
+
+TEST(PathEval, InverseSemantics) {
+  // person/dept with mutual references evaluated as path inverses.
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("db", "(person*, dept*)").ok());
+  ASSERT_TRUE(dtd.AddElement("person", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddElement("dept", "EMPTY").ok());
+  ASSERT_TRUE(
+      dtd.AddAttribute("person", "oid", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.SetKind("person", "oid", AttrKind::kId).ok());
+  ASSERT_TRUE(
+      dtd.AddAttribute("person", "in_dept", AttrCardinality::kSet).ok());
+  ASSERT_TRUE(dtd.SetKind("person", "in_dept", AttrKind::kIdref).ok());
+  ASSERT_TRUE(dtd.AddAttribute("dept", "oid", AttrCardinality::kSingle).ok());
+  ASSERT_TRUE(dtd.SetKind("dept", "oid", AttrKind::kId).ok());
+  ASSERT_TRUE(
+      dtd.AddAttribute("dept", "has_staff", AttrCardinality::kSet).ok());
+  ASSERT_TRUE(dtd.SetKind("dept", "has_staff", AttrKind::kIdref).ok());
+  ASSERT_TRUE(dtd.SetRoot("db").ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    sfk person.in_dept -> dept.oid
+    sfk dept.has_staff -> person.oid
+    inverse person.in_dept <-> dept.has_staff
+  )", Language::kLid);
+  ASSERT_TRUE(sigma.ok());
+  PathContext context(dtd, sigma.value());
+  ASSERT_TRUE(context.status().ok()) << context.status();
+
+  Result<XmlDocument> good = ParseXml(R"(<db>
+    <person oid="p1" in_dept="d1"/>
+    <dept oid="d1" has_staff="p1"/>
+  </db>)", {.dtd = &dtd});
+  ASSERT_TRUE(good.ok());
+  PathEvaluator eval(context, good.value().tree);
+  EXPECT_TRUE(
+      eval.SatisfiesInverse("person", P("in_dept"), "dept", P("has_staff")));
+
+  Result<XmlDocument> bad = ParseXml(R"(<db>
+    <person oid="p1" in_dept="d1"/>
+    <person oid="p2" in_dept="d1"/>
+    <dept oid="d1" has_staff="p1"/>
+  </db>)", {.dtd = &dtd});
+  ASSERT_TRUE(bad.ok());
+  PathEvaluator eval_bad(context, bad.value().tree);
+  EXPECT_FALSE(eval_bad.SatisfiesInverse("person", P("in_dept"), "dept",
+                                         P("has_staff")));
+}
+
+}  // namespace
+}  // namespace xic

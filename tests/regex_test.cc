@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "regex/content_model.h"
+#include "regex/glushkov.h"
+
+namespace xic {
+namespace {
+
+RegexPtr MustParse(const std::string& text) {
+  Result<RegexPtr> r = ParseContentModel(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(ContentModelParser, BookDtdModels) {
+  // The content models of the paper's book DTD (Section 1).
+  EXPECT_EQ(MustParse("(entry, author*, section*, ref)")->ToString(),
+            "entry, author*, section*, ref");
+  EXPECT_EQ(MustParse("(title, publisher)")->ToString(), "title, publisher");
+  EXPECT_EQ(MustParse("(title, (text|section)*)")->ToString(),
+            "title, (text | section)*");
+  EXPECT_EQ(MustParse("EMPTY")->kind(), RegexKind::kEpsilon);
+}
+
+TEST(ContentModelParser, PcdataIsStringSymbol) {
+  RegexPtr re = MustParse("(#PCDATA)");
+  EXPECT_EQ(re->kind(), RegexKind::kSymbol);
+  EXPECT_EQ(re->symbol(), kStringSymbol);
+}
+
+TEST(ContentModelParser, MixedContent) {
+  RegexPtr re = MustParse("(#PCDATA | b | i)*");
+  EXPECT_EQ(re->kind(), RegexKind::kStar);
+  std::set<std::string> symbols = re->Symbols();
+  EXPECT_EQ(symbols.size(), 3u);
+  EXPECT_TRUE(symbols.count(kStringSymbol));
+}
+
+TEST(ContentModelParser, PlusAndOptionalDesugar) {
+  // a+ == a, a*; b? == b | EMPTY.
+  RegexPtr plus = MustParse("(a+)");
+  EXPECT_EQ(plus->kind(), RegexKind::kConcat);
+  RegexPtr opt = MustParse("(b?)");
+  EXPECT_EQ(opt->kind(), RegexKind::kUnion);
+  EXPECT_TRUE(opt->Nullable());
+}
+
+TEST(ContentModelParser, Errors) {
+  EXPECT_FALSE(ParseContentModel("(a,").ok());
+  EXPECT_FALSE(ParseContentModel("a)").ok());
+  EXPECT_FALSE(ParseContentModel("(a | )").ok());
+  EXPECT_FALSE(ParseContentModel("").ok());
+  EXPECT_FALSE(ParseContentModel("EMPTY extra").ok());
+  EXPECT_EQ(ParseContentModel("ANY").status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(RegexAnalysis, Nullable) {
+  EXPECT_TRUE(MustParse("EMPTY")->Nullable());
+  EXPECT_TRUE(MustParse("(a*)")->Nullable());
+  EXPECT_TRUE(MustParse("(a?, b*)")->Nullable());
+  EXPECT_FALSE(MustParse("(a, b*)")->Nullable());
+  EXPECT_FALSE(MustParse("(a | b)")->Nullable());
+}
+
+TEST(RegexAnalysis, OccurrenceBounds) {
+  RegexPtr re = MustParse("(title, (text|section)*)");
+  Regex::Bounds title = re->OccurrenceBounds("title");
+  EXPECT_EQ(title.min, 1);
+  EXPECT_EQ(title.max, 1);
+  Regex::Bounds section = re->OccurrenceBounds("section");
+  EXPECT_EQ(section.min, 0);
+  EXPECT_EQ(section.max, Regex::kUnbounded);
+  Regex::Bounds absent = re->OccurrenceBounds("nothere");
+  EXPECT_EQ(absent.min, 0);
+  EXPECT_EQ(absent.max, 0);
+}
+
+TEST(RegexAnalysis, UniqueSymbolIsTheSection34Condition) {
+  // person: (name, address) -- name is a unique sub-element, so it may
+  // serve as a key (Section 3.4).
+  RegexPtr person = MustParse("(name, address)");
+  EXPECT_TRUE(person->IsUniqueSymbol("name"));
+  EXPECT_TRUE(person->IsUniqueSymbol("address"));
+  // In (a | b) neither a nor b occurs in *every* word.
+  RegexPtr choice = MustParse("(a | b)");
+  EXPECT_FALSE(choice->IsUniqueSymbol("a"));
+  // a occurs twice in (a, a).
+  RegexPtr twice = MustParse("(a, a)");
+  EXPECT_FALSE(twice->IsUniqueSymbol("a"));
+  // In (a, (a | b)) a occurs once or twice.
+  EXPECT_FALSE(MustParse("(a, (a | b))")->IsUniqueSymbol("a"));
+  // In (a, b?) b is optional.
+  EXPECT_FALSE(MustParse("(a, b?)")->IsUniqueSymbol("b"));
+  // In ((a,b) | (b,a)) both are unique.
+  RegexPtr sym = MustParse("((a,b) | (b,a))");
+  EXPECT_TRUE(sym->IsUniqueSymbol("a"));
+  EXPECT_TRUE(sym->IsUniqueSymbol("b"));
+}
+
+std::vector<std::string> Word(std::initializer_list<const char*> labels) {
+  return std::vector<std::string>(labels.begin(), labels.end());
+}
+
+TEST(Glushkov, MatchesBookModel) {
+  GlushkovAutomaton nfa(MustParse("(entry, author*, section*, ref)"));
+  EXPECT_TRUE(nfa.Matches(Word({"entry", "ref"})));
+  EXPECT_TRUE(nfa.Matches(Word({"entry", "author", "ref"})));
+  EXPECT_TRUE(
+      nfa.Matches(Word({"entry", "author", "author", "section", "ref"})));
+  EXPECT_FALSE(nfa.Matches(Word({"entry"})));
+  EXPECT_FALSE(nfa.Matches(Word({"ref", "entry"})));
+  EXPECT_FALSE(nfa.Matches(Word({"entry", "section", "author", "ref"})));
+  EXPECT_FALSE(nfa.Matches({}));
+}
+
+TEST(Glushkov, MatchesEpsilonAndStar) {
+  GlushkovAutomaton empty(Regex::Epsilon());
+  EXPECT_TRUE(empty.Matches({}));
+  EXPECT_FALSE(empty.Matches(Word({"a"})));
+
+  GlushkovAutomaton star(MustParse("(a*)"));
+  EXPECT_TRUE(star.Matches({}));
+  EXPECT_TRUE(star.Matches(Word({"a", "a", "a"})));
+  EXPECT_FALSE(star.Matches(Word({"a", "b"})));
+}
+
+TEST(Glushkov, MatchesRecursiveSectionModel) {
+  GlushkovAutomaton nfa(MustParse("(title, (text|section)*)"));
+  EXPECT_TRUE(nfa.Matches(Word({"title"})));
+  EXPECT_TRUE(nfa.Matches(Word({"title", "text", "section", "text"})));
+  EXPECT_FALSE(nfa.Matches(Word({"text"})));
+}
+
+TEST(Glushkov, OneUnambiguity) {
+  // (a, b) | (a, c) is the classic 1-ambiguous model.
+  EXPECT_FALSE(GlushkovAutomaton(MustParse("((a, b) | (a, c))"))
+                   .IsOneUnambiguous());
+  // The equivalent (a, (b | c)) is deterministic.
+  EXPECT_TRUE(
+      GlushkovAutomaton(MustParse("(a, (b | c))")).IsOneUnambiguous());
+  // Book model is deterministic.
+  EXPECT_TRUE(GlushkovAutomaton(MustParse("(entry, author*, section*, ref)"))
+                  .IsOneUnambiguous());
+  // (a*, a) is ambiguous (follow clash).
+  EXPECT_FALSE(GlushkovAutomaton(MustParse("(a*, a)")).IsOneUnambiguous());
+}
+
+TEST(Glushkov, PositionCount) {
+  EXPECT_EQ(GlushkovAutomaton(MustParse("(a, b, a)")).num_positions(), 3u);
+  EXPECT_EQ(GlushkovAutomaton(Regex::Epsilon()).num_positions(), 0u);
+}
+
+TEST(RegexBuilders, SequenceAndChoice) {
+  EXPECT_EQ(Regex::Sequence({})->kind(), RegexKind::kEpsilon);
+  RegexPtr one = Regex::Sequence({Regex::Symbol("a")});
+  EXPECT_EQ(one->ToString(), "a");
+  RegexPtr choice =
+      Regex::Choice({Regex::Symbol("a"), Regex::Symbol("b")});
+  EXPECT_EQ(choice->ToString(), "a | b");
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "constraints/checker.h"
+#include "constraints/well_formed.h"
+#include "implication/lu_solver.h"
+#include "model/structural_validator.h"
+#include "relational/dependencies.h"
+#include "relational/export_xml.h"
+#include "relational/instance.h"
+#include "relational/reduction.h"
+#include "relational/schema.h"
+
+namespace xic {
+namespace {
+
+// The paper's publishers/editors schema (Section 1).
+RelationalSchema PublisherSchema() {
+  RelationalSchema schema;
+  EXPECT_TRUE(
+      schema.AddRelation("publisher", {"pname", "country", "address"}).ok());
+  EXPECT_TRUE(schema.AddRelation("editor", {"name", "pname", "country"}).ok());
+  EXPECT_TRUE(schema.AddKey("publisher", {"pname", "country"}).ok());
+  EXPECT_TRUE(schema.AddKey("editor", {"name"}).ok());
+  EXPECT_TRUE(schema
+                  .AddForeignKey({"editor",
+                                  {"pname", "country"},
+                                  "publisher",
+                                  {"pname", "country"}})
+                  .ok());
+  EXPECT_TRUE(schema.Validate().ok());
+  return schema;
+}
+
+TEST(RelationalSchema, ValidationCatchesErrors) {
+  RelationalSchema schema;
+  ASSERT_TRUE(schema.AddRelation("r", {"a", "b"}).ok());
+  EXPECT_FALSE(schema.AddRelation("r", {"c"}).ok());       // redeclared
+  EXPECT_FALSE(schema.AddRelation("s", {"a", "a"}).ok());  // dup attr
+  EXPECT_FALSE(schema.AddKey("nope", {"a"}).ok());
+  EXPECT_FALSE(schema.AddKey("r", {"ghost"}).ok());
+  ASSERT_TRUE(schema.AddKey("r", {"a"}).ok());
+  // Foreign key targeting a non-key.
+  ASSERT_TRUE(schema.AddRelation("s", {"x"}).ok());
+  ASSERT_TRUE(schema.AddForeignKey({"s", {"x"}, "r", {"b"}}).ok());
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(RelationalInstance, IntegrityChecks) {
+  RelationalSchema schema = PublisherSchema();
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "addr1"}).ok());
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "UK", "addr2"}).ok());
+  ASSERT_TRUE(inst.Insert("editor", {"ed1", "MK", "USA"}).ok());
+  EXPECT_TRUE(inst.CheckIntegrity().empty());
+  // Arity errors.
+  EXPECT_FALSE(inst.Insert("publisher", {"x"}).ok());
+  EXPECT_FALSE(inst.Insert("ghost", {"x"}).ok());
+  // Key violation.
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "addr3"}).ok());
+  EXPECT_FALSE(inst.CheckIntegrity().empty());
+}
+
+TEST(RelationalInstance, ForeignKeyViolation) {
+  RelationalSchema schema = PublisherSchema();
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("editor", {"ed1", "MK", "Mars"}).ok());
+  std::vector<std::string> violations = inst.CheckIntegrity();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("dangling"), std::string::npos);
+}
+
+TEST(Export, PreservesStructureAndConstraints) {
+  RelationalSchema schema = PublisherSchema();
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "addr1"}).ok());
+  ASSERT_TRUE(inst.Insert("editor", {"ed1", "MK", "USA"}).ok());
+  Result<RelationalExport> exported = ExportRelational(inst);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  const RelationalExport& e = exported.value();
+  // Structure valid.
+  StructuralValidator validator(e.dtd);
+  EXPECT_TRUE(validator.Validate(e.tree).ok())
+      << validator.Validate(e.tree).ToString();
+  // Constraints well-formed over sub-element fields and satisfied.
+  EXPECT_TRUE(CheckWellFormed(e.sigma, e.dtd).ok())
+      << CheckWellFormed(e.sigma, e.dtd);
+  ConstraintChecker checker(e.dtd, e.sigma);
+  EXPECT_TRUE(checker.Check(e.tree).ok())
+      << checker.Check(e.tree).ToString(e.sigma);
+}
+
+TEST(Export, ViolationsSurviveExport) {
+  // A relational key violation shows up as an XML constraint violation
+  // after export: the semantics is preserved, not just the data.
+  RelationalSchema schema = PublisherSchema();
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "a1"}).ok());
+  ASSERT_TRUE(inst.Insert("publisher", {"MK", "USA", "a2"}).ok());
+  ASSERT_FALSE(inst.CheckIntegrity().empty());
+  Result<RelationalExport> exported = ExportRelational(inst);
+  ASSERT_TRUE(exported.ok());
+  ConstraintChecker checker(exported.value().dtd, exported.value().sigma);
+  EXPECT_FALSE(checker.Check(exported.value().tree).ok());
+}
+
+TEST(Reduction, SchemaEncodesVerbatim) {
+  Result<ConstraintSet> sigma = EncodeSchemaAsL(PublisherSchema());
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_EQ(sigma.value().language, Language::kL);
+  EXPECT_TRUE(sigma.value().Contains(
+      Constraint::Key("publisher", {"pname", "country"})));
+  EXPECT_TRUE(sigma.value().Contains(Constraint::Key("editor", {"name"})));
+  EXPECT_TRUE(sigma.value().Contains(
+      Constraint::ForeignKey("editor", {"pname", "country"}, "publisher",
+                             {"pname", "country"})));
+}
+
+TEST(FdIndChase, DecidesFdImplication) {
+  // Armstrong-style: {A -> B, B -> C} |= A -> C.
+  std::vector<Dependency> sigma = {
+      FunctionalDependency{"r", {"A"}, {"B"}},
+      FunctionalDependency{"r", {"B"}, {"C"}},
+  };
+  FdIndResult result =
+      ChaseFdInd(sigma, FunctionalDependency{"r", {"A"}, {"C"}});
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kImplied);
+  // But not C -> A.
+  EXPECT_EQ(ChaseFdInd(sigma, FunctionalDependency{"r", {"C"}, {"A"}}).outcome,
+            ImplicationOutcome::kNotImplied);
+}
+
+TEST(FdIndChase, DecidesIndImplication) {
+  // IND transitivity.
+  std::vector<Dependency> sigma = {
+      InclusionDependency{"r", {"a"}, "s", {"b"}},
+      InclusionDependency{"s", {"b"}, "t", {"c"}},
+  };
+  EXPECT_EQ(ChaseFdInd(sigma, InclusionDependency{"r", {"a"}, "t", {"c"}})
+                .outcome,
+            ImplicationOutcome::kImplied);
+  EXPECT_EQ(ChaseFdInd(sigma, InclusionDependency{"t", {"c"}, "r", {"a"}})
+                .outcome,
+            ImplicationOutcome::kNotImplied);
+}
+
+TEST(FdIndChase, FdIndInteraction) {
+  // Pullback: s[b,d] <= r[a,c] and a -> c in r imply b -> d in s.
+  std::vector<Dependency> sigma = {
+      InclusionDependency{"s", {"b", "d"}, "r", {"a", "c"}},
+      FunctionalDependency{"r", {"a"}, {"c"}},
+  };
+  EXPECT_EQ(ChaseFdInd(sigma, FunctionalDependency{"s", {"b"}, {"d"}}).outcome,
+            ImplicationOutcome::kImplied);
+}
+
+TEST(FdIndChase, CyclicInputsHitBounds) {
+  // FD + IND interaction that never terminates: the classic witness of
+  // undecidability (Theorem 3.6's source problem).
+  std::vector<Dependency> sigma = {
+      InclusionDependency{"r", {"b"}, "r", {"a"}},
+      FunctionalDependency{"r", {"a"}, {"b"}},
+  };
+  FdIndChaseOptions tight;
+  tight.max_steps = 30;
+  tight.max_rows = 15;
+  FdIndResult result = ChaseFdInd(
+      sigma, InclusionDependency{"r", {"a"}, "r", {"b"}}, tight);
+  EXPECT_EQ(result.outcome, ImplicationOutcome::kUnknown);
+}
+
+TEST(Reduction, KeyShapedDependenciesMapToL) {
+  RelationalSchema schema = PublisherSchema();
+  std::vector<Dependency> deps = {
+      // Key-shaped FD: (pname, country) determines everything.
+      FunctionalDependency{"publisher", {"pname", "country"}, {"address"}},
+      // IND targeting the declared key.
+      InclusionDependency{
+          "editor", {"pname", "country"}, "publisher", {"pname", "country"}},
+  };
+  Result<ConstraintSet> sigma = EncodeDependenciesAsL(deps, schema);
+  ASSERT_TRUE(sigma.ok()) << sigma.status();
+  EXPECT_EQ(sigma.value().constraints[0],
+            Constraint::Key("publisher", {"pname", "country"}));
+  EXPECT_EQ(sigma.value().constraints[1],
+            Constraint::ForeignKey("editor", {"pname", "country"},
+                                   "publisher", {"pname", "country"}));
+}
+
+TEST(Reduction, GeneralGadgetsRejected) {
+  RelationalSchema schema = PublisherSchema();
+  // Non-key-shaped FD (pname alone does not determine country).
+  Result<Constraint> fd = EncodeDependencyAsL(
+      FunctionalDependency{"publisher", {"pname"}, {"address"}}, schema);
+  EXPECT_EQ(fd.status().code(), StatusCode::kNotSupported);
+  // IND into a non-key.
+  Result<Constraint> ind = EncodeDependencyAsL(
+      InclusionDependency{"editor", {"name"}, "publisher", {"address"}},
+      schema);
+  EXPECT_EQ(ind.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(Reduction, ChasesAgreeOnEncodedFragment) {
+  // Corollary 3.7's faithful fragment: the FD/IND chase on key-shaped
+  // dependencies and the L chase on their encodings answer alike.
+  RelationalSchema schema;
+  ASSERT_TRUE(schema.AddRelation("a", {"x", "x2"}).ok());
+  ASSERT_TRUE(schema.AddRelation("b", {"y", "y2"}).ok());
+  ASSERT_TRUE(schema.AddRelation("c", {"z", "z2"}).ok());
+  ASSERT_TRUE(schema.AddKey("b", {"y"}).ok());
+  ASSERT_TRUE(schema.AddKey("c", {"z"}).ok());
+  std::vector<Dependency> deps = {
+      FunctionalDependency{"b", {"y"}, {"y2"}},
+      FunctionalDependency{"c", {"z"}, {"z2"}},
+      InclusionDependency{"a", {"x"}, "b", {"y"}},
+      InclusionDependency{"b", {"y"}, "c", {"z"}},
+  };
+  Result<ConstraintSet> sigma_l = EncodeDependenciesAsL(deps, schema);
+  ASSERT_TRUE(sigma_l.ok()) << sigma_l.status();
+
+  struct Query {
+    Dependency dep;
+    Constraint l;
+  };
+  std::vector<Query> queries = {
+      {InclusionDependency{"a", {"x"}, "c", {"z"}},
+       Constraint::ForeignKey("a", {"x"}, "c", {"z"})},
+      {InclusionDependency{"c", {"z"}, "a", {"x"}},
+       Constraint::ForeignKey("c", {"z"}, "a", {"x"})},
+      {FunctionalDependency{"b", {"y"}, {"y2"}},
+       Constraint::Key("b", {"y"})},
+  };
+  for (const Query& q : queries) {
+    FdIndResult rel = ChaseFdInd(deps, q.dep);
+    GeneralResult xml = ChaseImplication(sigma_l.value(), q.l);
+    ASSERT_NE(rel.outcome, ImplicationOutcome::kUnknown);
+    ASSERT_NE(xml.outcome, ImplicationOutcome::kUnknown);
+    EXPECT_EQ(rel.outcome, xml.outcome) << DependencyToString(q.dep);
+  }
+}
+
+TEST(Dependencies, ToStringForms) {
+  EXPECT_EQ((FunctionalDependency{"r", {"a", "b"}, {"c"}}).ToString(),
+            "r: a,b -> c");
+  EXPECT_EQ((InclusionDependency{"r", {"a"}, "s", {"b"}}).ToString(),
+            "r[a] <= s[b]");
+  Dependency d = FunctionalDependency{"r", {"a"}, {"b"}};
+  EXPECT_EQ(DependencyToString(d), "r: a -> b");
+}
+
+}  // namespace
+}  // namespace xic

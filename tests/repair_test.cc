@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/repair.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+Result<XmlDocument> PersonDeptDoc(const std::string& body) {
+  std::string text = R"(<!DOCTYPE db [
+    <!ELEMENT db (person*, dept*)>
+    <!ELEMENT person EMPTY>
+    <!ATTLIST person oid ID #REQUIRED in_dept IDREFS #REQUIRED>
+    <!ELEMENT dept EMPTY>
+    <!ATTLIST dept oid ID #REQUIRED has_staff IDREFS #REQUIRED>
+  ]>
+  <db>)" + body + "</db>";
+  return ParseXml(text);
+}
+
+ConstraintSet Sigma() {
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    sfk person.in_dept -> dept.oid
+    sfk dept.has_staff -> person.oid
+    inverse person.in_dept <-> dept.has_staff
+  )", Language::kLid);
+  EXPECT_TRUE(sigma.ok()) << sigma.status();
+  return sigma.value();
+}
+
+TEST(Repair, DropsDanglingSetReferences) {
+  Result<XmlDocument> doc = PersonDeptDoc(R"(
+    <person oid="p1" in_dept="d1 ghost"/>
+    <dept oid="d1" has_staff="p1"/>
+  )");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ConstraintSet sigma = Sigma();
+  Result<RepairReport> repaired =
+      RepairDocument(&doc.value().tree, *doc.value().dtd, sigma);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_TRUE(repaired.value().fully_repaired())
+      << repaired.value().remaining.ToString(sigma);
+  ASSERT_FALSE(repaired.value().actions.empty());
+  EXPECT_NE(repaired.value().actions[0].find("ghost"), std::string::npos);
+  // The ghost value is gone from the document.
+  VertexId p1 = doc.value().tree.Extent("person")[0];
+  EXPECT_EQ(doc.value().tree.Attribute(p1, "in_dept").value(),
+            AttrValue{"d1"});
+}
+
+TEST(Repair, CompletesInversePairs) {
+  // d1 lists p2 but p2 does not list d1 back.
+  Result<XmlDocument> doc = PersonDeptDoc(R"(
+    <person oid="p1" in_dept="d1"/>
+    <person oid="p2" in_dept=""/>
+    <dept oid="d1" has_staff="p1 p2"/>
+  )");
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma = Sigma();
+  Result<RepairReport> repaired =
+      RepairDocument(&doc.value().tree, *doc.value().dtd, sigma);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired.value().fully_repaired())
+      << repaired.value().remaining.ToString(sigma);
+  VertexId p2 = doc.value().tree.Extent("person")[1];
+  EXPECT_EQ(doc.value().tree.Attribute(p2, "in_dept").value(),
+            AttrValue{"d1"});
+}
+
+TEST(Repair, CascadingRepairsConverge) {
+  // Dropping one dangling ref and adding a back-reference in the same
+  // document; rounds must converge.
+  Result<XmlDocument> doc = PersonDeptDoc(R"(
+    <person oid="p1" in_dept="d1 zombie"/>
+    <person oid="p2" in_dept=""/>
+    <dept oid="d1" has_staff="p1 p2"/>
+  )");
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma = Sigma();
+  Result<RepairReport> repaired =
+      RepairDocument(&doc.value().tree, *doc.value().dtd, sigma);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired.value().fully_repaired())
+      << repaired.value().remaining.ToString(sigma);
+  EXPECT_GE(repaired.value().actions.size(), 2u);
+}
+
+TEST(Repair, KeyViolationsAreNotAutoRepaired) {
+  const char* text = R"(<!DOCTYPE catalog [
+    <!ELEMENT catalog (entry*)>
+    <!ELEMENT entry EMPTY>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+  ]>
+  <catalog><entry isbn="dup"/><entry isbn="dup"/></catalog>)";
+  Result<XmlDocument> doc = ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  Result<ConstraintSet> sigma =
+      ParseConstraintSet("key entry.isbn", Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  Result<RepairReport> repaired =
+      RepairDocument(&doc.value().tree, *doc.value().dtd, sigma.value());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired.value().fully_repaired());
+  EXPECT_TRUE(repaired.value().actions.empty());
+}
+
+TEST(Repair, CreatesMissingTargetsWhenAsked) {
+  const char* text = R"(<!DOCTYPE db [
+    <!ELEMENT db (editor*, publisher*)>
+    <!ELEMENT editor EMPTY>
+    <!ATTLIST editor pub CDATA #REQUIRED>
+    <!ELEMENT publisher EMPTY>
+    <!ATTLIST publisher pname CDATA #REQUIRED>
+  ]>
+  <db><editor pub="MK"/></db>)";
+  Result<XmlDocument> doc = ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "key publisher.pname; fk editor.pub -> publisher.pname",
+      Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  // Without the option: unrepaired.
+  DataTree copy = doc.value().tree;
+  Result<RepairReport> untouched =
+      RepairDocument(&copy, *doc.value().dtd, sigma.value());
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_FALSE(untouched.value().fully_repaired());
+  // With it: a publisher appears.
+  RepairOptions options;
+  options.create_missing_targets = true;
+  Result<RepairReport> repaired = RepairDocument(
+      &doc.value().tree, *doc.value().dtd, sigma.value(), options);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired.value().fully_repaired())
+      << repaired.value().remaining.ToString(sigma.value());
+  ASSERT_EQ(doc.value().tree.Extent("publisher").size(), 1u);
+  VertexId pub = doc.value().tree.Extent("publisher")[0];
+  EXPECT_EQ(doc.value().tree.SingleAttribute(pub, "pname").value(), "MK");
+}
+
+TEST(Repair, ConsistentDocumentsUntouched) {
+  Result<XmlDocument> doc = PersonDeptDoc(R"(
+    <person oid="p1" in_dept="d1"/>
+    <dept oid="d1" has_staff="p1"/>
+  )");
+  ASSERT_TRUE(doc.ok());
+  ConstraintSet sigma = Sigma();
+  Result<RepairReport> repaired =
+      RepairDocument(&doc.value().tree, *doc.value().dtd, sigma);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired.value().fully_repaired());
+  EXPECT_TRUE(repaired.value().actions.empty());
+}
+
+TEST(Repair, NullDocumentRejected) {
+  DtdStructure dtd;
+  ConstraintSet sigma;
+  EXPECT_FALSE(RepairDocument(nullptr, dtd, sigma).ok());
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "constraints/checker.h"
+#include "constraints/constraint_parser.h"
+#include "implication/satisfy.h"
+#include "model/structural_validator.h"
+#include "xml/dtd_parser.h"
+
+namespace xic {
+namespace {
+
+TEST(Satisfy, BookLuSigmaAtSeveralSizes) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "key entry.isbn; key section.sid; sfk ref.to -> entry.isbn",
+      Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  for (size_t rows : {0u, 1u, 5u}) {
+    Result<TableInstance> instance =
+        GenerateSatisfyingInstance(sigma.value(), nullptr, rows);
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    EXPECT_TRUE(SatisfiesAll(instance.value(), sigma.value()))
+        << instance.value().ToString();
+  }
+}
+
+TEST(Satisfy, DivergenceFamilyIsSatisfiableAtEverySize) {
+  // Corollary 3.3's divergence Sigma is itself satisfiable in finite
+  // models of any extent size (the divergence concerns an *extra*
+  // constraint, not Sigma).
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    key t.a; key t.b
+    key u.c; key u.d
+    fk t.a -> u.c
+    fk u.d -> t.b
+  )", Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  Result<TableInstance> instance =
+      GenerateSatisfyingInstance(sigma.value(), nullptr, 4);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(SatisfiesAll(instance.value(), sigma.value()))
+      << instance.value().ToString();
+}
+
+TEST(Satisfy, MultiAttributeL) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    key publisher[pname, country]
+    key editor.name
+    fk editor[pname, country] -> publisher[pname, country]
+  )", Language::kL);
+  ASSERT_TRUE(sigma.ok());
+  Result<TableInstance> instance =
+      GenerateSatisfyingInstance(sigma.value(), nullptr, 3);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(SatisfiesAll(instance.value(), sigma.value()));
+  EXPECT_EQ(instance.value().tables.at("publisher").size(), 3u);
+}
+
+TEST(Satisfy, LidWithInverses) {
+  Result<DtdStructure> dtd = ParseDtd(R"(
+    <!ELEMENT db (person*, dept*)>
+    <!ELEMENT person EMPTY>
+    <!ATTLIST person oid ID #REQUIRED in_dept IDREFS #REQUIRED>
+    <!ELEMENT dept EMPTY>
+    <!ATTLIST dept oid ID #REQUIRED manager IDREF #REQUIRED
+              has_staff IDREFS #REQUIRED>
+  )", "db");
+  ASSERT_TRUE(dtd.ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    sfk person.in_dept -> dept.oid
+    fk dept.manager -> person.oid
+    sfk dept.has_staff -> person.oid
+    inverse person.in_dept <-> dept.has_staff
+  )", Language::kLid);
+  ASSERT_TRUE(sigma.ok());
+  Result<TableInstance> instance =
+      GenerateSatisfyingInstance(sigma.value(), &dtd.value(), 3);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(SatisfiesAll(instance.value(), sigma.value(), &dtd.value()))
+      << instance.value().ToString();
+  // IDs are document-wide distinct by construction.
+  const TableRow& person0 = instance.value().tables.at("person")[0];
+  const TableRow& dept0 = instance.value().tables.at("dept")[0];
+  EXPECT_NE(*person0.at("oid").begin(), *dept0.at("oid").begin());
+  // The manager field copies person IDs.
+  EXPECT_EQ(*dept0.at("manager").begin(), *person0.at("oid").begin());
+}
+
+TEST(Satisfy, LidNeedsDtd) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLid;
+  EXPECT_FALSE(GenerateSatisfyingInstance(sigma, nullptr, 1).ok());
+}
+
+TEST(Satisfy, GeneratedDocumentsValidateEndToEnd) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "key entry.isbn; sfk ref.to -> entry.isbn", Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  Result<LiftedDocument> doc =
+      GenerateSatisfyingDocument(sigma.value(), nullptr, 8);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  StructuralValidator validator(doc.value().dtd);
+  EXPECT_TRUE(validator.Validate(doc.value().tree).ok());
+  ConstraintChecker checker(doc.value().dtd, sigma.value());
+  EXPECT_TRUE(checker.Check(doc.value().tree).ok())
+      << checker.Check(doc.value().tree).ToString(sigma.value());
+  EXPECT_EQ(doc.value().tree.Extent("entry").size(), 8u);
+}
+
+// Randomized: every random well-formed L_u Sigma is satisfied by its
+// generated instance (the constructive satisfiability property).
+class SatisfyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatisfyProperty, RandomLuSigmasAreSatisfied) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 48271u);
+  const std::vector<std::string> types = {"t0", "t1", "t2"};
+  const std::vector<std::string> single = {"a", "b"};
+  for (int trial = 0; trial < 50; ++trial) {
+    ConstraintSet sigma;
+    sigma.language = Language::kLu;
+    int n = 1 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < n; ++i) {
+      std::string t = types[rng() % 3];
+      std::string t2 = types[rng() % 3];
+      std::string l = single[rng() % 2];
+      std::string l2 = single[rng() % 2];
+      switch (rng() % 4) {
+        case 0:
+          sigma.constraints.push_back(Constraint::UnaryKey(t, l));
+          break;
+        case 1:
+          sigma.constraints.push_back(Constraint::UnaryKey(t2, l2));
+          sigma.constraints.push_back(
+              Constraint::UnaryForeignKey(t, l, t2, l2));
+          break;
+        case 2:
+          sigma.constraints.push_back(Constraint::UnaryKey(t2, l2));
+          sigma.constraints.push_back(
+              Constraint::SetForeignKey(t, "r", t2, l2));
+          break;
+        case 3:
+          sigma.constraints.push_back(Constraint::UnaryKey(t, l));
+          sigma.constraints.push_back(Constraint::UnaryKey(t2, l2));
+          sigma.constraints.push_back(
+              Constraint::InverseU(t, l, "r", t2, l2, "r"));
+          break;
+      }
+    }
+    for (size_t rows : {1u, 3u}) {
+      Result<TableInstance> instance =
+          GenerateSatisfyingInstance(sigma, nullptr, rows);
+      ASSERT_TRUE(instance.ok()) << sigma.ToString();
+      EXPECT_TRUE(SatisfiesAll(instance.value(), sigma))
+          << sigma.ToString() << "\n"
+          << instance.value().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfyProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/infer_dtd.h"
+#include "constraints/well_formed.h"
+#include "implication/lid_solver.h"
+#include "oo/odl_writer.h"
+#include "relational/sql_ddl.h"
+
+namespace xic {
+namespace {
+
+TEST(SqlDdl, RendersThePublisherSchema) {
+  RelationalSchema schema;
+  ASSERT_TRUE(
+      schema.AddRelation("publisher", {"pname", "country", "address"}).ok());
+  ASSERT_TRUE(
+      schema.AddRelation("editor", {"name", "pname", "country"}).ok());
+  ASSERT_TRUE(schema.AddKey("publisher", {"pname", "country"}).ok());
+  ASSERT_TRUE(schema.AddKey("editor", {"name"}).ok());
+  ASSERT_TRUE(schema
+                  .AddForeignKey({"editor",
+                                  {"pname", "country"},
+                                  "publisher",
+                                  {"pname", "country"}})
+                  .ok());
+  std::string ddl = WriteSqlDdl(schema);
+  EXPECT_NE(ddl.find("CREATE TABLE publisher"), std::string::npos);
+  EXPECT_NE(ddl.find("pname VARCHAR NOT NULL"), std::string::npos);
+  EXPECT_NE(ddl.find("PRIMARY KEY (country, pname)"), std::string::npos);
+  EXPECT_NE(ddl.find("FOREIGN KEY (pname, country) REFERENCES publisher"),
+            std::string::npos);
+  // No dangling commas before ');'.
+  EXPECT_EQ(ddl.find(",\n);"), std::string::npos) << ddl;
+}
+
+TEST(SqlDdl, InsertsAndEscaping) {
+  RelationalSchema schema;
+  ASSERT_TRUE(schema.AddRelation("r", {"a", "b"}).ok());
+  RelationalInstance inst(schema);
+  ASSERT_TRUE(inst.Insert("r", {"O'Reilly", "x"}).ok());
+  std::string sql = WriteSqlInserts(inst);
+  EXPECT_NE(sql.find("INSERT INTO r (a, b) VALUES ('O''Reilly', 'x');"),
+            std::string::npos)
+      << sql;
+  EXPECT_EQ(SqlEscape("a'b'c"), "a''b''c");
+}
+
+TEST(OdlWriter, RendersThePaperListing) {
+  OdlSchema schema;
+  OdlClass person;
+  person.name = "Person";
+  person.attributes = {"name", "address"};
+  person.keys = {"name"};
+  person.relationships = {
+      {"in_dept", "Dept", RelationshipCardinality::kMany, "has_staff"}};
+  OdlClass dept;
+  dept.name = "Dept";
+  dept.attributes = {"dname"};
+  dept.keys = {"dname"};
+  dept.relationships = {
+      {"has_staff", "Person", RelationshipCardinality::kMany, "in_dept"},
+      {"manager", "Person", RelationshipCardinality::kOne, std::nullopt}};
+  ASSERT_TRUE(schema.AddClass(person).ok());
+  ASSERT_TRUE(schema.AddClass(dept).ok());
+  std::string odl = WriteOdl(schema);
+  EXPECT_NE(odl.find("interface Person (extent Persons, key name)"),
+            std::string::npos)
+      << odl;
+  EXPECT_NE(odl.find("attribute string address;"), std::string::npos);
+  EXPECT_NE(
+      odl.find("relationship set<Dept> in_dept inverse Dept::has_staff;"),
+      std::string::npos);
+  EXPECT_NE(odl.find("relationship Person manager;"), std::string::npos);
+}
+
+TEST(InferDtd, LidStructureFromConstraints) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    id person.oid
+    id dept.oid
+    key person.name
+    sfk person.in_dept -> dept.oid
+    fk dept.manager -> person.oid
+    inverse person.in_dept <-> dept.has_staff
+  )", Language::kLid);
+  ASSERT_TRUE(sigma.ok());
+  Result<DtdStructure> dtd = InferDtdForSigma(sigma.value());
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd.value().IdAttribute("person"), "oid");
+  EXPECT_EQ(dtd.value().IdAttribute("dept"), "oid");
+  EXPECT_TRUE(dtd.value().IsSetValued("person", "in_dept"));
+  EXPECT_TRUE(dtd.value().IsSetValued("dept", "has_staff"));
+  EXPECT_EQ(dtd.value().Kind("person", "in_dept"), AttrKind::kIdref);
+  EXPECT_TRUE(dtd.value().IsSingleValued("person", "name"));
+  EXPECT_TRUE(dtd.value().IsSingleValued("dept", "manager"));
+  EXPECT_EQ(dtd.value().root(), "db");
+  // The inferred structure supports the solver end to end.
+  LidSolver solver(dtd.value(), sigma.value());
+  ASSERT_TRUE(solver.status().ok());
+  EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("person", "oid")));
+  EXPECT_TRUE(solver.Implies(
+      Constraint::SetForeignKey("dept", "has_staff", "person", "oid")));
+}
+
+TEST(InferDtd, LuStructure) {
+  Result<ConstraintSet> sigma = ParseConstraintSet(
+      "key entry.isbn; sfk ref.to -> entry.isbn", Language::kLu);
+  ASSERT_TRUE(sigma.ok());
+  Result<DtdStructure> dtd = InferDtdForSigma(sigma.value());
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_TRUE(dtd.value().IsSingleValued("entry", "isbn"));
+  EXPECT_TRUE(dtd.value().IsSetValued("ref", "to"));
+  EXPECT_EQ(dtd.value().Kind("entry", "isbn"), std::nullopt);
+  EXPECT_TRUE(CheckWellFormed(sigma.value(), dtd.value()).ok())
+      << CheckWellFormed(sigma.value(), dtd.value());
+}
+
+TEST(InferDtd, Contradictions) {
+  // One attribute used both single- and set-valued.
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  sigma.constraints = {
+      Constraint::UnaryKey("t", "x"),
+      Constraint::UnaryKey("u", "k"),
+      Constraint::SetForeignKey("t", "x", "u", "k")};
+  EXPECT_FALSE(InferDtdForSigma(sigma).ok());
+
+  // Two ID attributes on one type.
+  ConstraintSet lid;
+  lid.language = Language::kLid;
+  lid.constraints = {Constraint::Id("t", "a"), Constraint::Id("t", "b")};
+  EXPECT_FALSE(InferDtdForSigma(lid).ok());
+
+  // Root collision.
+  ConstraintSet collide;
+  collide.language = Language::kLu;
+  collide.constraints = {Constraint::UnaryKey("db", "x")};
+  EXPECT_FALSE(InferDtdForSigma(collide, "db").ok());
+  EXPECT_TRUE(InferDtdForSigma(collide, "root2").ok());
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "model/structural_validator.h"
+#include "xml/dtd_parser.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+// The paper's book document (Section 1), with the DTD as internal subset.
+const char* kBookXml = R"(<?xml version="1.0"?>
+<!DOCTYPE book [
+  <!ELEMENT book     (entry, author*, section*, ref)>
+  <!ELEMENT entry    (title, publisher)>
+  <!ATTLIST entry    isbn   CDATA   #REQUIRED>
+  <!ELEMENT title    (#PCDATA)>
+  <!ELEMENT publisher (#PCDATA)>
+  <!ELEMENT author   (#PCDATA)>
+  <!ELEMENT text     (#PCDATA)>
+  <!ELEMENT section  (title, (text|section)*)>
+  <!ATTLIST section  sid    ID      #REQUIRED>
+  <!ELEMENT ref      EMPTY>
+  <!ATTLIST ref      to     IDREFS  #IMPLIED>
+]>
+<book>
+  <entry isbn="1-55860-622-X">
+    <title>Data on the Web</title>
+    <publisher>Morgan Kaufmann</publisher>
+  </entry>
+  <author>Serge Abiteboul</author>
+  <author>Peter Buneman</author>
+  <section sid="s1">
+    <title>Introduction</title>
+    <text>Web data...</text>
+    <section sid="s1.1">
+      <title>Audience</title>
+    </section>
+  </section>
+  <ref to="1-55860-622-X 1-55860-000-0"/>
+</book>
+)";
+
+TEST(XmlParser, ParsesBookDocument) {
+  Result<XmlDocument> doc = ParseXml(kBookXml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const DataTree& t = doc.value().tree;
+  EXPECT_EQ(doc.value().doctype_name, "book");
+  ASSERT_TRUE(doc.value().dtd.has_value());
+  EXPECT_EQ(t.label(t.root()), "book");
+  EXPECT_EQ(t.Extent("author").size(), 2u);
+  EXPECT_EQ(t.Extent("section").size(), 2u);
+  // IDREFS value tokenized into a set of two.
+  VertexId ref = t.Extent("ref")[0];
+  EXPECT_EQ(t.Attribute(ref, "to").value().size(), 2u);
+  EXPECT_TRUE(t.Attribute(ref, "to").value().count("1-55860-622-X"));
+}
+
+TEST(XmlParser, DocumentValidatesAgainstItsInternalSubset) {
+  Result<XmlDocument> doc = ParseXml(kBookXml);
+  ASSERT_TRUE(doc.ok());
+  StructuralValidator validator(*doc.value().dtd,
+                                {.allow_missing_attributes = true});
+  ValidationReport report = validator.Validate(doc.value().tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(XmlParser, TextAndEntities) {
+  Result<XmlDocument> doc = ParseXml(
+      "<a x=\"1 &lt; 2\">Tom &amp; Jerry &#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const DataTree& t = doc.value().tree;
+  ASSERT_EQ(t.children(t.root()).size(), 1u);
+  EXPECT_EQ(std::get<std::string>(t.children(t.root())[0]),
+            "Tom & Jerry AB");
+  EXPECT_EQ(t.SingleAttribute(t.root(), "x").value(), "1 < 2");
+}
+
+TEST(XmlParser, CdataAndComments) {
+  Result<XmlDocument> doc =
+      ParseXml("<a><!-- note --><![CDATA[<raw> & stuff]]></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const DataTree& t = doc.value().tree;
+  ASSERT_EQ(t.children(t.root()).size(), 1u);
+  EXPECT_EQ(std::get<std::string>(t.children(t.root())[0]),
+            "<raw> & stuff");
+}
+
+TEST(XmlParser, SelfClosingAndNesting) {
+  Result<XmlDocument> doc = ParseXml("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  const DataTree& t = doc.value().tree;
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.ChildWord(t.root()), (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(XmlParser, WhitespaceHandling) {
+  Result<XmlDocument> kept =
+      ParseXml("<a> <b/> </a>", {.skip_ignorable_whitespace = false});
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value().tree.children(kept.value().tree.root()).size(), 3u);
+  Result<XmlDocument> skipped = ParseXml("<a> <b/> </a>");
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(
+      skipped.value().tree.children(skipped.value().tree.root()).size(), 1u);
+}
+
+TEST(XmlParser, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());                  // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());              // mismatched tags
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());             // unquoted attribute
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());     // unknown entity
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());             // two roots
+  EXPECT_FALSE(ParseXml("text only").ok());
+  // Errors carry line/column info.
+  Status s = ParseXml("<a>\n  <b>\n</a>").status();
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s;
+}
+
+TEST(XmlParser, ExternalDtdOptionTokenizesSets) {
+  DtdStructure dtd;
+  ASSERT_TRUE(dtd.AddElement("r", "EMPTY").ok());
+  ASSERT_TRUE(dtd.AddAttribute("r", "refs", AttrCardinality::kSet).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  Result<XmlDocument> doc = ParseXml("<r refs=\"a b c\"/>", {.dtd = &dtd});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(
+      doc.value().tree.Attribute(doc.value().tree.root(), "refs").value(),
+      (AttrValue{"a", "b", "c"}));
+}
+
+TEST(DtdParser, ParsesPersonDeptDtd) {
+  // The paper's object-database DTD (Section 1).
+  const char* dtd_text = R"(
+    <!ELEMENT db (person*, dept*)>
+    <!ELEMENT person (name, address)>
+    <!ATTLIST person
+              oid       ID      #required
+              in_dept   IDREFS  #implied>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT address (#PCDATA)>
+    <!ELEMENT dname (#PCDATA)>
+    <!ELEMENT dept (dname)>
+    <!ATTLIST dept
+              oid        ID     #required
+              manager    IDREF  #required
+              has_staff  IDREFS #implied>
+  )";
+  Result<DtdStructure> dtd = ParseDtd(dtd_text, "db");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd.value().IdAttribute("person"), "oid");
+  EXPECT_EQ(dtd.value().Kind("person", "in_dept"), AttrKind::kIdref);
+  EXPECT_TRUE(dtd.value().IsSetValued("person", "in_dept"));
+  EXPECT_TRUE(dtd.value().IsSingleValued("dept", "manager"));
+  EXPECT_EQ(dtd.value().Kind("dept", "manager"), AttrKind::kIdref);
+  EXPECT_TRUE(dtd.value().IsUniqueSubElement("person", "name"));
+}
+
+TEST(DtdParser, AttributeTypeMapping) {
+  const char* dtd_text = R"(
+    <!ELEMENT e EMPTY>
+    <!ATTLIST e
+              a CDATA #IMPLIED
+              b NMTOKEN #IMPLIED
+              c NMTOKENS #IMPLIED
+              d (x|y|z) "x"
+              f ID #REQUIRED>
+  )";
+  Result<DtdStructure> dtd = ParseDtd(dtd_text, "e");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_TRUE(dtd.value().IsSingleValued("e", "a"));
+  EXPECT_TRUE(dtd.value().IsSingleValued("e", "b"));
+  EXPECT_TRUE(dtd.value().IsSetValued("e", "c"));
+  EXPECT_TRUE(dtd.value().IsSingleValued("e", "d"));
+  EXPECT_EQ(dtd.value().IdAttribute("e"), "f");
+}
+
+TEST(DtdParser, SkipsEntityAndNotationDecls) {
+  const char* dtd_text = R"(
+    <!ENTITY copy "(c) 2000">
+    <!ELEMENT e EMPTY>
+    <!-- a comment -->
+  )";
+  Result<DtdStructure> dtd = ParseDtd(dtd_text, "e");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+}
+
+TEST(DtdParser, Errors) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT e EMPTY>", "missing_root").ok());
+  EXPECT_FALSE(ParseDtd("<!BOGUS e>", "e").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT e (unclosed>", "e").ok());
+  EXPECT_EQ(ParseDtd("%param;", "e").status().code(),
+            StatusCode::kNotSupported);
+  // Duplicate ID attribute.
+  EXPECT_FALSE(ParseDtd("<!ELEMENT e EMPTY>"
+                        "<!ATTLIST e a ID #REQUIRED b ID #REQUIRED>",
+                        "e")
+                   .ok());
+}
+
+TEST(Serializer, RoundTrip) {
+  Result<XmlDocument> doc = ParseXml(kBookXml);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = SerializeXml(doc.value().tree);
+  // Reparse with the same DTD so IDREFS tokenize again.
+  Result<XmlDocument> again =
+      ParseXml(serialized, {.dtd = &*doc.value().dtd});
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << serialized;
+  const DataTree& a = doc.value().tree;
+  const DataTree& b = again.value().tree;
+  ASSERT_EQ(a.size(), b.size());
+  for (VertexId v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.label(v), b.label(v));
+    EXPECT_EQ(a.attributes(v), b.attributes(v));
+    EXPECT_EQ(a.ChildWord(v), b.ChildWord(v));
+  }
+}
+
+TEST(Serializer, Escaping) {
+  EXPECT_EQ(EscapeXml("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  DataTree t;
+  VertexId root = t.AddVertex("a");
+  t.SetAttribute(root, "x", std::string("1<2"));
+  t.AddChildText(root, "a&b");
+  std::string out = SerializeXml(t, {.pretty = false});
+  EXPECT_NE(out.find("x=\"1&lt;2\""), std::string::npos) << out;
+  EXPECT_NE(out.find("a&amp;b"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace xic
