@@ -37,7 +37,7 @@ void BM_ChaseChain(benchmark::State& state) {
   GeneralResult last;
   for (auto _ : state) {
     last = ChaseImplication(sigma, phi);
-    benchmark::DoNotOptimize(last.outcome);
+    benchmark::DoNotOptimize(static_cast<int>(last.outcome));
   }
   state.counters["chase_steps"] = static_cast<double>(last.chase_steps);
   state.SetComplexityN(n);
@@ -60,7 +60,7 @@ void BM_ChaseUnknownOnCycle(benchmark::State& state) {
   GeneralResult last;
   for (auto _ : state) {
     last = ChaseImplication(sigma, phi, options);
-    benchmark::DoNotOptimize(last.outcome);
+    benchmark::DoNotOptimize(static_cast<int>(last.outcome));
   }
   state.counters["outcome_unknown"] =
       last.outcome == ImplicationOutcome::kUnknown ? 1 : 0;

@@ -66,7 +66,7 @@ void BM_RelationalExportAndRevalidate(benchmark::State& state) {
     ConstraintChecker checker(exported.value().dtd, exported.value().sigma);
     bool ok = validator.Validate(exported.value().tree).ok() &&
               checker.Check(exported.value().tree).ok();
-    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(static_cast<int>(ok));
   }
   state.SetComplexityN(state.range(0));
 }

@@ -74,7 +74,7 @@ void BM_LidQueries(benchmark::State& state) {
     for (const Constraint& q : queries) {
       implied += solver.Implies(q) ? 1 : 0;
     }
-    benchmark::DoNotOptimize(implied);
+    benchmark::DoNotOptimize(implied + 0);
   }
   state.SetComplexityN(n);
 }

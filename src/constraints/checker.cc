@@ -21,7 +21,23 @@ std::string ConstraintReport::ToString(const ConstraintSet& sigma) const {
 ConstraintChecker::ConstraintChecker(const DtdStructure& dtd,
                                      const ConstraintSet& sigma,
                                      CheckOptions options)
-    : dtd_(dtd), sigma_(sigma), options_(options) {}
+    : dtd_(dtd), sigma_(sigma), options_(options) {
+  // Compile the immutable plan: everything that depends only on the DTD
+  // and Sigma is resolved here so Check() never mutates shared state.
+  plan_.resize(sigma_.constraints.size());
+  for (size_t i = 0; i < sigma_.constraints.size(); ++i) {
+    const Constraint& c = sigma_.constraints[i];
+    if (c.kind == ConstraintKind::kId) needs_global_ids_ = true;
+    if (c.kind == ConstraintKind::kInverse) {
+      plan_[i].inv_key =
+          c.inv_key.empty() ? dtd_.IdAttribute(c.element).value_or("")
+                            : c.inv_key;
+      plan_[i].inv_ref_key =
+          c.inv_ref_key.empty() ? dtd_.IdAttribute(c.ref_element).value_or("")
+                                : c.inv_ref_key;
+    }
+  }
+}
 
 namespace {
 
@@ -108,13 +124,10 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
   };
 
   // Global ID table for kId constraints: value -> vertices carrying it in
-  // their type's ID attribute (document-wide scope).
+  // their type's ID attribute (document-wide scope). Per-document scratch,
+  // like `extents` above -- nothing here outlives this call.
   std::unordered_map<std::string, std::vector<VertexId>> global_ids;
-  bool needs_global_ids = false;
-  for (const Constraint& c : sigma_.constraints) {
-    if (c.kind == ConstraintKind::kId) needs_global_ids = true;
-  }
-  if (needs_global_ids) {
+  if (needs_global_ids_) {
     for (VertexId v = 0; v < tree.size(); ++v) {
       std::optional<std::string> id_attr = dtd_.IdAttribute(tree.label(v));
       if (!id_attr.has_value()) continue;
@@ -132,18 +145,22 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
     switch (c.kind) {
       case ConstraintKind::kKey: {
         if (options_.naive) {
-          for (size_t a = 0; a < ext.size() && !full(); ++a) {
-            std::optional<std::vector<std::string>> ta = tuple(ext[a], c.attrs);
-            if (!ta.has_value()) {
-              add(i, "key field missing", {ext[a]});
+          // Mirrors the indexed path exactly: each duplicate is reported
+          // once, against the *first* vertex carrying the same tuple (not
+          // once per earlier occurrence, which over-reports on triples).
+          for (size_t b = 0; b < ext.size() && !full(); ++b) {
+            std::optional<std::vector<std::string>> tb = tuple(ext[b], c.attrs);
+            if (!tb.has_value()) {
+              add(i, "key field missing", {ext[b]});
               continue;
             }
-            for (size_t b = a + 1; b < ext.size() && !full(); ++b) {
-              std::optional<std::vector<std::string>> tb =
-                  tuple(ext[b], c.attrs);
-              if (tb.has_value() && *ta == *tb) {
-                add(i, "duplicate key [" + Join(*ta, ",") + "]",
-                    {ext[a], ext[b]}, *ta);
+            for (size_t a = 0; a < b; ++a) {
+              std::optional<std::vector<std::string>> ta =
+                  tuple(ext[a], c.attrs);
+              if (ta.has_value() && *ta == *tb) {
+                add(i, "duplicate key [" + Join(*tb, ",") + "]",
+                    {ext[a], ext[b]}, *tb);
+                break;
               }
             }
           }
@@ -167,16 +184,21 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
       }
 
       case ConstraintKind::kId: {
+        // Report each duplicated value once per constraint, not once per
+        // vertex of ext(tau) holding it (the witnesses already list every
+        // holder).
+        std::unordered_set<std::string> reported;
         for (VertexId v : ext) {
           std::optional<std::string> val = single(v, c.attr());
           if (!val.has_value()) {
             add(i, "ID attribute missing", {v});
             continue;
           }
-          const std::vector<VertexId>& holders = global_ids[*val];
-          if (holders.size() > 1) {
+          auto it = global_ids.find(*val);
+          if (it != global_ids.end() && it->second.size() > 1 &&
+              reported.insert(*val).second) {
             add(i, "ID value \"" + *val + "\" is not document-unique",
-                holders, {*val});
+                it->second, {*val});
           }
           if (full()) break;
         }
@@ -264,11 +286,10 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
       }
 
       case ConstraintKind::kInverse: {
-        // Resolve the key attributes: named in L_u, ID attributes in L_id.
-        std::string lk = c.inv_key;
-        std::string lk2 = c.inv_ref_key;
-        if (lk.empty()) lk = dtd_.IdAttribute(c.element).value_or("");
-        if (lk2.empty()) lk2 = dtd_.IdAttribute(c.ref_element).value_or("");
+        // Key attributes (named in L_u, ID attributes in L_id) were
+        // resolved at compile time.
+        const std::string& lk = plan_[i].inv_key;
+        const std::string& lk2 = plan_[i].inv_ref_key;
         if (lk.empty() || lk2.empty()) {
           add(i, "inverse constraint lacks key attributes", {});
           break;

@@ -15,7 +15,17 @@
 //
 // The checker builds hash indexes per (type, attribute) so a full check is
 // O(|G| + |Sigma|) modulo hashing; a naive quadratic mode exists for the
-// B1 ablation benchmark.
+// B1 ablation benchmark. Both modes report the *same* violation set in the
+// same order (the differential suite in tests/checker_diff_test.cc keeps
+// them honest).
+//
+// Thread-safety: the constructor compiles everything derived from the DTD
+// and Sigma (resolved inverse key attributes, whether a document-wide ID
+// table is needed) into an immutable plan; Check() allocates all
+// per-document scratch on the stack. One checker can therefore validate
+// many documents concurrently from different threads, as the batch engine
+// (engine/batch_validator.h) does. The referenced DtdStructure and
+// ConstraintSet must outlive the checker and stay unmodified.
 
 #ifndef XIC_CONSTRAINTS_CHECKER_H_
 #define XIC_CONSTRAINTS_CHECKER_H_
@@ -71,9 +81,19 @@ class ConstraintChecker {
                                const std::string& name) const;
 
  private:
+  // Immutable per-constraint state compiled once in the constructor.
+  struct CompiledConstraint {
+    // Resolved key attributes of an inverse constraint (the named L_u keys
+    // or the DTD's ID attributes in L_id); empty when unresolvable.
+    std::string inv_key;
+    std::string inv_ref_key;
+  };
+
   const DtdStructure& dtd_;
   const ConstraintSet& sigma_;
   CheckOptions options_;
+  std::vector<CompiledConstraint> plan_;  // parallel to sigma_.constraints
+  bool needs_global_ids_ = false;
 };
 
 }  // namespace xic

@@ -1,0 +1,197 @@
+#include "engine/batch_validator.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "engine/thread_pool.h"
+
+namespace xic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::string Fmt(const char* format, double a, double b = 0, double c = 0) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), format, a, b, c);
+  return buffer;
+}
+
+}  // namespace
+
+std::string BatchStats::ToString() const {
+  size_t ok = documents - parse_failures - structurally_invalid -
+              constraint_violating;
+  std::string out;
+  out += "batch: " + std::to_string(documents) + " document(s), " +
+         std::to_string(ok) + " ok, " + std::to_string(parse_failures) +
+         " parse failure(s), " + std::to_string(structurally_invalid) +
+         " structurally invalid, " + std::to_string(constraint_violating) +
+         " with constraint violations\n";
+  out += "       " + std::to_string(total_vertices) + " vertices, " +
+         std::to_string(total_violations) + " violation(s)\n";
+  double docs_per_sec = wall_seconds > 0 ? documents / wall_seconds : 0;
+  out += Fmt("wall:  %.3f s (%.1f docs/s) on ", wall_seconds, docs_per_sec) +
+         std::to_string(threads) + " thread(s)\n";
+  out += Fmt("stage: parse %.3f s, structure %.3f s, constraints %.3f s\n",
+             parse_seconds, structure_seconds, constraints_seconds);
+  return out;
+}
+
+bool BatchReport::all_ok() const {
+  for (const DocumentOutcome& outcome : outcomes) {
+    if (!outcome.ok()) return false;
+  }
+  return true;
+}
+
+std::string BatchReport::ViolationsToString(const ConstraintSet& sigma) const {
+  std::string out;
+  for (const DocumentOutcome& o : outcomes) {
+    if (o.ok()) continue;
+    if (!o.parse.ok()) {
+      out += o.name + ": " + o.parse.ToString() + "\n";
+      continue;
+    }
+    for (const Violation& v : o.structure.violations) {
+      out += o.name + ": structure: vertex " + std::to_string(v.vertex) +
+             ": " + v.message + "\n";
+    }
+    for (const ConstraintViolation& v : o.constraints.violations) {
+      out += o.name + ": " +
+             sigma.constraints[v.constraint_index].ToString() + ": " +
+             v.message + "\n";
+    }
+  }
+  return out;
+}
+
+BatchValidator::BatchValidator(const DtdStructure& dtd,
+                               const ConstraintSet& sigma,
+                               BatchOptions options)
+    : dtd_(dtd),
+      sigma_(sigma),
+      options_(std::move(options)),
+      validator_(dtd, options_.validation),
+      checker_(dtd, sigma, options_.check) {
+  options_.parse.dtd = &dtd_;
+}
+
+DocumentOutcome BatchValidator::CheckOne(const BatchDocument& doc) const {
+  DocumentOutcome outcome;
+  outcome.name = doc.name;
+  Clock::time_point t0 = Clock::now();
+  Result<XmlDocument> parsed = ParseXml(doc.text, options_.parse);
+  Clock::time_point t1 = Clock::now();
+  outcome.parse_seconds = Seconds(t0, t1);
+  if (!parsed.ok()) {
+    outcome.parse = parsed.status();
+    return outcome;
+  }
+  const DataTree& tree = parsed.value().tree;
+  outcome.vertices = tree.size();
+  outcome.structure = validator_.Validate(tree);
+  Clock::time_point t2 = Clock::now();
+  outcome.structure_seconds = Seconds(t1, t2);
+  outcome.constraints = checker_.Check(tree);
+  outcome.constraints_seconds = Seconds(t2, Clock::now());
+  return outcome;
+}
+
+BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const {
+  BatchReport report;
+  report.outcomes.resize(corpus.size());
+  Clock::time_point start = Clock::now();
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads <= 1 || corpus.size() <= 1) {
+    threads = 1;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      report.outcomes[i] = CheckOne(corpus[i]);
+    }
+  } else {
+    ThreadPool pool(threads);
+    // Each worker writes only its own outcome slot; the Wait() inside
+    // ParallelFor publishes them to this thread.
+    pool.ParallelFor(corpus.size(), [&](size_t i) {
+      report.outcomes[i] = CheckOne(corpus[i]);
+    });
+  }
+  report.stats.wall_seconds = Seconds(start, Clock::now());
+  report.stats.threads = threads;
+  report.stats.documents = corpus.size();
+  for (const DocumentOutcome& o : report.outcomes) {
+    if (!o.parse.ok()) {
+      ++report.stats.parse_failures;
+    } else if (!o.structure.ok()) {
+      ++report.stats.structurally_invalid;
+    } else if (!o.constraints.ok()) {
+      ++report.stats.constraint_violating;
+    }
+    report.stats.total_vertices += o.vertices;
+    report.stats.total_violations +=
+        o.structure.violations.size() + o.constraints.violations.size();
+    report.stats.parse_seconds += o.parse_seconds;
+    report.stats.structure_seconds += o.structure_seconds;
+    report.stats.constraints_seconds += o.constraints_seconds;
+  }
+  return report;
+}
+
+BatchReport BatchValidator::RunTrees(
+    const std::vector<const DataTree*>& corpus) const {
+  // Reuse Run()'s fan-out by expressing a tree as a pre-parsed document;
+  // the pipeline stages after parse are identical.
+  BatchReport report;
+  report.outcomes.resize(corpus.size());
+  Clock::time_point start = Clock::now();
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  auto check_tree = [&](size_t i) {
+    DocumentOutcome& outcome = report.outcomes[i];
+    outcome.name = "tree[" + std::to_string(i) + "]";
+    const DataTree& tree = *corpus[i];
+    outcome.vertices = tree.size();
+    Clock::time_point t1 = Clock::now();
+    outcome.structure = validator_.Validate(tree);
+    Clock::time_point t2 = Clock::now();
+    outcome.structure_seconds = Seconds(t1, t2);
+    outcome.constraints = checker_.Check(tree);
+    outcome.constraints_seconds = Seconds(t2, Clock::now());
+  };
+  if (threads <= 1 || corpus.size() <= 1) {
+    threads = 1;
+    for (size_t i = 0; i < corpus.size(); ++i) check_tree(i);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(corpus.size(), check_tree);
+  }
+  report.stats.wall_seconds = Seconds(start, Clock::now());
+  report.stats.threads = threads;
+  report.stats.documents = corpus.size();
+  for (const DocumentOutcome& o : report.outcomes) {
+    if (!o.structure.ok()) {
+      ++report.stats.structurally_invalid;
+    } else if (!o.constraints.ok()) {
+      ++report.stats.constraint_violating;
+    }
+    report.stats.total_vertices += o.vertices;
+    report.stats.total_violations +=
+        o.structure.violations.size() + o.constraints.violations.size();
+    report.stats.structure_seconds += o.structure_seconds;
+    report.stats.constraints_seconds += o.constraints_seconds;
+  }
+  return report;
+}
+
+}  // namespace xic

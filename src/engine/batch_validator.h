@@ -1,0 +1,121 @@
+// Parallel batch validation: the paper's single-document check
+// (Definition 2.4 structure + G |= Sigma) turned into a throughput-
+// oriented pipeline.
+//
+// A BatchValidator compiles the expensive shared state once -- the DTD's
+// Glushkov automata (StructuralValidator) and the constraint checker's
+// plan -- and then fans a corpus of documents out across a work-stealing
+// thread pool (engine/thread_pool.h). Per document the pipeline runs
+// parse -> structural validation -> constraint check, all against the
+// shared read-only compiled state; every mutable intermediate lives on
+// the worker's stack.
+//
+// Determinism: outcomes are stored at the document's input index, and the
+// per-document pipeline is sequential, so the violation report is
+// byte-identical no matter how many threads ran the batch (timings and
+// throughput are reported separately in BatchStats).
+
+#ifndef XIC_ENGINE_BATCH_VALIDATOR_H_
+#define XIC_ENGINE_BATCH_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/checker.h"
+#include "model/structural_validator.h"
+#include "util/status.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+
+/// One unit of batch input: a named raw XML document.
+struct BatchDocument {
+  std::string name;  // file name or synthetic id, echoed in reports
+  std::string text;  // complete XML document
+};
+
+/// Everything the pipeline produced for one document.
+struct DocumentOutcome {
+  std::string name;
+  Status parse = Status::OK();  // a parse failure ends the pipeline early
+  ValidationReport structure;
+  ConstraintReport constraints;
+  size_t vertices = 0;
+  double parse_seconds = 0;
+  double structure_seconds = 0;
+  double constraints_seconds = 0;
+
+  bool ok() const {
+    return parse.ok() && structure.ok() && constraints.ok();
+  }
+};
+
+/// Aggregate counters and timings for one batch run.
+struct BatchStats {
+  size_t documents = 0;
+  size_t parse_failures = 0;
+  size_t structurally_invalid = 0;
+  size_t constraint_violating = 0;
+  size_t total_vertices = 0;
+  size_t total_violations = 0;  // structural + constraint
+  size_t threads = 1;
+  double wall_seconds = 0;
+  /// Per-stage times summed across workers (CPU-ish, exceeds wall time
+  /// when the pool overlaps documents).
+  double parse_seconds = 0;
+  double structure_seconds = 0;
+  double constraints_seconds = 0;
+
+  /// Human-readable stats block (counts, wall time, docs/s, stage times).
+  std::string ToString() const;
+};
+
+struct BatchReport {
+  std::vector<DocumentOutcome> outcomes;  // in input order
+  BatchStats stats;
+
+  bool all_ok() const;
+
+  /// Every failure in input order: parse errors, structural violations,
+  /// constraint violations. Byte-identical across thread counts.
+  std::string ViolationsToString(const ConstraintSet& sigma) const;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 picks hardware_concurrency, 1 runs the batch
+  /// inline on the calling thread (the sequential baseline).
+  size_t num_threads = 0;
+  ValidationOptions validation;
+  CheckOptions check;
+  /// Parse options for the corpus; the `dtd` field is overridden with the
+  /// engine's DTD so set-valued attributes tokenize consistently.
+  XmlParseOptions parse;
+};
+
+class BatchValidator {
+ public:
+  /// Compiles the DTD's content models and the constraint plan once. The
+  /// DTD and Sigma must outlive the validator and stay unmodified.
+  BatchValidator(const DtdStructure& dtd, const ConstraintSet& sigma,
+                 BatchOptions options = {});
+
+  /// Parses and validates the whole corpus.
+  BatchReport Run(const std::vector<BatchDocument>& corpus) const;
+
+  /// Validates already-parsed trees (no parse stage). The trees must stay
+  /// alive and unmodified for the duration of the call.
+  BatchReport RunTrees(const std::vector<const DataTree*>& corpus) const;
+
+ private:
+  DocumentOutcome CheckOne(const BatchDocument& doc) const;
+
+  const DtdStructure& dtd_;
+  const ConstraintSet& sigma_;
+  BatchOptions options_;
+  StructuralValidator validator_;  // shared read-only after construction
+  ConstraintChecker checker_;      // shared read-only after construction
+};
+
+}  // namespace xic
+
+#endif  // XIC_ENGINE_BATCH_VALIDATOR_H_

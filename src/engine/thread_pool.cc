@@ -1,0 +1,119 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+
+namespace xic {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    target = next_queue_++ % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+std::function<void()> ThreadPool::Take(size_t worker) {
+  {
+    WorkerQueue& own = *queues_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(worker + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  while (true) {
+    work_available_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
+    if (queued_ == 0) {
+      if (shutdown_) return;
+      continue;
+    }
+    lock.unlock();
+    std::function<void()> task = Take(worker);
+    lock.lock();
+    if (task == nullptr) continue;  // a sibling claimed it first
+    --queued_;
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--pending_ == 0) all_done_.notify_all();
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  all_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Private completion latch so concurrent ParallelFor calls (and stray
+  // Submit traffic) don't wait on each other.
+  struct Latch {
+    std::atomic<size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining.store(n, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    Submit([latch, &fn, i] {
+      fn(i);
+      if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(latch->mutex);
+        latch->done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->done.wait(lock, [&] {
+    return latch->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace xic

@@ -1,0 +1,78 @@
+// A work-stealing thread pool for the batch-validation engine.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (good
+// locality for tasks that spawn subtasks) and steals FIFO from the other
+// workers when its deque runs dry, so a batch of unevenly sized documents
+// still keeps every core busy. Submission round-robins across the worker
+// deques to seed the initial spread.
+//
+// The pool is deliberately mutex-based (one mutex per deque plus a small
+// amount of global bookkeeping) rather than lock-free: tasks here are
+// whole-document pipelines, so claim contention is negligible and the
+// simple protocol is easy to keep TSan-clean.
+
+#ifndef XIC_ENGINE_THREAD_POOL_H_
+#define XIC_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xic {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency,
+  /// with a minimum of 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Safe to call from any thread, including from
+  /// inside a running task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far (by any thread) finished.
+  void Wait();
+
+  /// Runs fn(0) ... fn(n-1) across the pool and returns when all are
+  /// done. Independent of other in-flight tasks; reentrant.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker);
+  /// Pops from the worker's own deque (LIFO) or steals from a sibling
+  /// (FIFO); null when every deque is empty.
+  std::function<void()> Take(size_t worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t queued_ = 0;      // tasks sitting in a deque, not yet claimed
+  size_t pending_ = 0;     // tasks submitted and not yet finished
+  size_t next_queue_ = 0;  // round-robin submission cursor
+  bool shutdown_ = false;
+};
+
+}  // namespace xic
+
+#endif  // XIC_ENGINE_THREAD_POOL_H_

@@ -45,14 +45,19 @@ Status LidSolver::BuildClosure(const ConstraintSet& sigma) {
           break;
         }
         case ConstraintKind::kForeignKey: {
-          // FK-ID: tau.l <= tau'.id |- tau'.id ->id tau'.
+          // FK-ID: tau.l <= tau'.id |- tau'.id ->id tau'. A reflexive
+          // foreign key tau.l <= tau.l is a tautology (every document
+          // satisfies it, cf. ID-FK's conclusions), so it cannot turn
+          // its attribute into an ID.
+          if (c.element == c.ref_element && c.attr() == c.ref_attr()) break;
           pending.emplace_back(
               Constraint::Id(c.ref_element, c.ref_attr()),
               Justification{"FK-ID", {c}});
           break;
         }
         case ConstraintKind::kSetForeignKey: {
-          // SFK-ID.
+          // SFK-ID, with the same reflexive-tautology exemption.
+          if (c.element == c.ref_element && c.attr() == c.ref_attr()) break;
           pending.emplace_back(
               Constraint::Id(c.ref_element, c.ref_attr()),
               Justification{"SFK-ID", {c}});

@@ -32,6 +32,23 @@ Constraint LuSolver::NodeFk(int from, int to) const {
                                      nodes_[to].first, nodes_[to].second);
 }
 
+namespace {
+
+// Records the edge once: duplicate hypotheses (and overlapping derived
+// SFKs) must leave the solver in the same state as a single copy.
+void AddEdge(std::vector<std::vector<int>>& adj, int from, int to) {
+  std::vector<int>& out = adj[from];
+  if (std::find(out.begin(), out.end(), to) == out.end()) out.push_back(to);
+}
+
+// tau.l <= tau.l holds in every document (FK-refl), so a reflexive
+// hypothesis carries no information and must not derive keyness.
+bool IsReflexive(const Constraint& c) {
+  return c.element == c.ref_element && c.attr() == c.ref_attr();
+}
+
+}  // namespace
+
 Status LuSolver::Build(const ConstraintSet& sigma) {
   if (sigma.language == Language::kLid) {
     return Status::InvalidArgument("LuSolver handles L_u (or unary L), not "
@@ -56,23 +73,29 @@ Status LuSolver::Build(const ConstraintSet& sigma) {
         }
         int from = Intern(c.element, c.attr());
         int to = Intern(c.ref_element, c.ref_attr());
-        unary_adj_[from].push_back(to);
+        AddEdge(unary_adj_, from, to);
         base_.Add(c, "hypothesis");
-        // UFK-K: the target of a foreign key is a key.
-        keys_.insert(to);
-        base_.Add(Constraint::UnaryKey(c.ref_element, c.ref_attr()),
-                  "UFK-K", {c});
+        // UFK-K: the target of a foreign key is a key -- unless the
+        // hypothesis is the FK-refl tautology, which every attribute
+        // satisfies without being a key.
+        if (!IsReflexive(c)) {
+          keys_.insert(to);
+          base_.Add(Constraint::UnaryKey(c.ref_element, c.ref_attr()),
+                    "UFK-K", {c});
+        }
         break;
       }
       case ConstraintKind::kSetForeignKey: {
         int from = Intern(c.element, c.attr());
         int to = Intern(c.ref_element, c.ref_attr());
-        set_adj_[from].push_back(to);
+        AddEdge(set_adj_, from, to);
         base_.Add(c, "hypothesis");
-        // SFK-K.
-        keys_.insert(to);
-        base_.Add(Constraint::UnaryKey(c.ref_element, c.ref_attr()),
-                  "SFK-K", {c});
+        // SFK-K, with the same reflexive-tautology exemption as UFK-K.
+        if (!IsReflexive(c)) {
+          keys_.insert(to);
+          base_.Add(Constraint::UnaryKey(c.ref_element, c.ref_attr()),
+                    "SFK-K", {c});
+        }
         break;
       }
       case ConstraintKind::kInverse: {
@@ -95,7 +118,7 @@ Status LuSolver::Build(const ConstraintSet& sigma) {
         for (const Constraint& sfk : {sfk1, sfk2}) {
           int from = Intern(sfk.element, sfk.attr());
           int to = Intern(sfk.ref_element, sfk.ref_attr());
-          set_adj_[from].push_back(to);
+          AddEdge(set_adj_, from, to);
           base_.Add(sfk, "Inv-SFK", {c});
           keys_.insert(to);
           base_.Add(Constraint::UnaryKey(sfk.ref_element, sfk.ref_attr()),
@@ -207,7 +230,7 @@ void LuSolver::BuildFiniteEdges() {
     int a = type_ids.at(nodes_[from].first);
     int b = type_ids.at(nodes_[to].first);
     if (scc[a] == scc[b]) {
-      unary_adj_finite_[to].push_back(from);
+      AddEdge(unary_adj_finite_, to, from);
     }
   }
 }

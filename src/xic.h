@@ -6,6 +6,7 @@
 //   regex/         content models, Glushkov automata
 //   xml/           XML + DTD parsing, serialization
 //   constraints/   the languages L, L_u, L_id; well-formedness; checking
+//   engine/        parallel batch validation (work-stealing thread pool)
 //   implication/   the solvers of Section 3 (I_id, I_u, I_u^f, I_p, chase)
 //   paths/         Section 4 path typing / evaluation / implication
 //   relational/    legacy relational schemas, FD+IND chase, L encoding
@@ -22,6 +23,8 @@
 #include "constraints/infer_dtd.h"
 #include "constraints/repair.h"
 #include "constraints/well_formed.h"
+#include "engine/batch_validator.h"
+#include "engine/thread_pool.h"
 #include "implication/countermodel.h"
 #include "implication/derivation.h"
 #include "implication/l_general_solver.h"

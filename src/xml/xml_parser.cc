@@ -193,7 +193,8 @@ class XmlParser {
         if (end == std::string_view::npos) {
           return Result<VertexId>(Error("unterminated CDATA"));
         }
-        text_buffer.append(text_.substr(pos_ + 9, end - pos_ - 9));
+        AppendNormalized(text_.substr(pos_ + 9, end - pos_ - 9),
+                         &text_buffer);
         pos_ = end + 3;
         continue;
       }
@@ -216,7 +217,32 @@ class XmlParser {
         text_buffer += expanded;
         continue;
       }
+      if (text_[pos_] == ']' && Peek("]]>")) {
+        // XML 1.0 section 2.4: "]]>" must not appear in content except as
+        // the end of a CDATA section.
+        return Result<VertexId>(Error("']]>' not allowed in content"));
+      }
+      if (text_[pos_] == '\r') {
+        // Section 2.11 line-end normalization: \r\n and bare \r both
+        // become a single \n.
+        text_buffer += '\n';
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+        continue;
+      }
       text_buffer += text_[pos_++];
+    }
+  }
+
+  // Appends CDATA content with line ends normalized (Section 2.11).
+  static void AppendNormalized(std::string_view raw, std::string* out) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '\r') {
+        out->push_back('\n');
+        if (i + 1 < raw.size() && raw[i + 1] == '\n') ++i;
+      } else {
+        out->push_back(raw[i]);
+      }
     }
   }
 
@@ -228,8 +254,23 @@ class XmlParser {
     std::string out;
     while (pos_ < text_.size() && text_[pos_] != quote) {
       if (text_[pos_] == '&') {
+        // Characters that come in via references escape normalization
+        // (Section 3.3.3), so &#10; stays a literal newline.
         XIC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
         out += expanded;
+      } else if (text_[pos_] == '<') {
+        return Result<std::string>(
+            Error("'<' not allowed in attribute value"));
+      } else if (text_[pos_] == '\t' || text_[pos_] == '\n') {
+        // Attribute-value normalization (Section 3.3.3): literal
+        // whitespace becomes a space.
+        out += ' ';
+        ++pos_;
+      } else if (text_[pos_] == '\r') {
+        // \r\n is one line end (Section 2.11), hence one space.
+        out += ' ';
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
       } else {
         out += text_[pos_++];
       }
@@ -260,6 +301,9 @@ class XmlParser {
         base = 16;
         digits = digits.substr(1);
       }
+      if (digits.empty()) {
+        return Result<std::string>(Error("empty character reference"));
+      }
       unsigned long code = 0;
       for (char c : digits) {
         int d;
@@ -274,6 +318,16 @@ class XmlParser {
         if (code > 0x10FFFF) {
           return Result<std::string>(Error("character reference out of range"));
         }
+      }
+      // Only XML Chars are referencable (Section 2.2): #x9 | #xA | #xD |
+      // [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF]. This
+      // excludes NUL, other C0 controls, surrogates and #xFFFE/#xFFFF.
+      bool valid = code == 0x9 || code == 0xA || code == 0xD ||
+                   (code >= 0x20 && code <= 0xD7FF) ||
+                   (code >= 0xE000 && code <= 0xFFFD) || code >= 0x10000;
+      if (!valid) {
+        return Result<std::string>(
+            Error("character reference to invalid XML character"));
       }
       // UTF-8 encode.
       std::string out;

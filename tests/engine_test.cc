@@ -1,0 +1,235 @@
+// The batch-validation engine: work-stealing pool correctness, and the
+// determinism contract -- a batch validated on N threads must produce a
+// byte-identical violation report to the sequential run.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "engine/batch_validator.h"
+#include "engine/thread_pool.h"
+#include "model/doc_generator.h"
+
+namespace {
+
+using namespace xic;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, SingleThreadStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      pool.Submit(
+          [&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+// -- Batch validation corpus ------------------------------------------------
+
+DtdStructure CatalogDtd() {
+  DtdStructure dtd;
+  EXPECT_TRUE(dtd.AddElement("catalog", "(book*)").ok());
+  EXPECT_TRUE(dtd.AddElement("book", "(entry, author*, section*, ref)").ok());
+  EXPECT_TRUE(dtd.AddElement("entry", "(title, publisher)").ok());
+  EXPECT_TRUE(dtd.AddElement("title", "(#PCDATA)").ok());
+  EXPECT_TRUE(dtd.AddElement("publisher", "(#PCDATA)").ok());
+  EXPECT_TRUE(dtd.AddElement("author", "(#PCDATA)").ok());
+  EXPECT_TRUE(dtd.AddElement("text", "(#PCDATA)").ok());
+  EXPECT_TRUE(dtd.AddElement("section", "(title, (text|section)*)").ok());
+  EXPECT_TRUE(dtd.AddElement("ref", "EMPTY").ok());
+  EXPECT_TRUE(
+      dtd.AddAttribute("entry", "isbn", AttrCardinality::kSingle).ok());
+  EXPECT_TRUE(
+      dtd.AddAttribute("section", "sid", AttrCardinality::kSingle).ok());
+  EXPECT_TRUE(dtd.AddAttribute("ref", "to", AttrCardinality::kSet).ok());
+  EXPECT_TRUE(dtd.SetRoot("catalog").ok());
+  return dtd;
+}
+
+ConstraintSet CatalogSigma() {
+  return ParseConstraintSet(
+             "key entry.isbn; key section.sid; sfk ref.to -> entry.isbn",
+             Language::kLu)
+      .value();
+}
+
+BatchOptions Threads(size_t n) {
+  BatchOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+// One synthetic catalog document. The flags inject one defect each:
+// duplicate entry key, dangling ref.to value, structural violation
+// (stray child under <catalog>), or an XML syntax error.
+std::string MakeDoc(int id, bool dup_key, bool dangling, bool structural,
+                    bool parse_error) {
+  std::string xml = "<catalog>";
+  const int kBooks = 4;
+  for (int b = 0; b < kBooks; ++b) {
+    std::string isbn = "i" + std::to_string(id) + "-" +
+                       std::to_string(dup_key && b == kBooks - 1 ? 0 : b);
+    xml += "<book><entry isbn=\"" + isbn +
+           "\"><title>T</title><publisher>P</publisher></entry>";
+    xml += "<author>A</author>";
+    xml += "<section sid=\"s" + std::to_string(id) + "-" + std::to_string(b) +
+           "\"><title>S</title></section>";
+    std::string to = "i" + std::to_string(id) + "-0";
+    if (dangling && b == 0) to = "ghost";
+    xml += "<ref to=\"" + to + "\"/></book>";
+  }
+  if (structural) xml += "<author>stray</author>";
+  xml += "</catalog>";
+  if (parse_error) xml += "<trailing/>";
+  return xml;
+}
+
+std::vector<BatchDocument> MakeCorpus(int docs) {
+  std::vector<BatchDocument> corpus;
+  for (int i = 0; i < docs; ++i) {
+    corpus.push_back({"doc" + std::to_string(i),
+                      MakeDoc(i, /*dup_key=*/i % 7 == 3,
+                              /*dangling=*/i % 5 == 2,
+                              /*structural=*/i % 11 == 6,
+                              /*parse_error=*/i % 13 == 9)});
+  }
+  return corpus;
+}
+
+TEST(BatchValidator, CountsDefectsInInputOrder) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma = CatalogSigma();
+  BatchValidator validator(dtd, sigma, Threads(1));
+  std::vector<BatchDocument> corpus = MakeCorpus(60);
+  BatchReport report = validator.Run(corpus);
+  ASSERT_EQ(report.outcomes.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].name, corpus[i].name);
+    EXPECT_EQ(report.outcomes[i].parse.ok(), i % 13 != 9) << i;
+    if (report.outcomes[i].parse.ok()) {
+      EXPECT_EQ(report.outcomes[i].structure.ok(), i % 11 != 6) << i;
+      EXPECT_EQ(report.outcomes[i].constraints.ok(),
+                i % 7 != 3 && i % 5 != 2)
+          << i;
+    }
+  }
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.stats.documents, 60u);
+  EXPECT_GT(report.stats.parse_failures, 0u);
+  EXPECT_GT(report.stats.structurally_invalid, 0u);
+  EXPECT_GT(report.stats.constraint_violating, 0u);
+  EXPECT_GT(report.stats.total_vertices, 0u);
+}
+
+TEST(BatchValidator, ParallelReportIsByteIdenticalToSequential) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma = CatalogSigma();
+  std::vector<BatchDocument> corpus = MakeCorpus(97);
+
+  BatchValidator sequential(dtd, sigma, Threads(1));
+  BatchReport base = sequential.Run(corpus);
+  std::string base_text = base.ViolationsToString(sigma);
+  EXPECT_FALSE(base_text.empty());
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    BatchValidator parallel(dtd, sigma, Threads(threads));
+    BatchReport report = parallel.Run(corpus);
+    EXPECT_EQ(report.ViolationsToString(sigma), base_text)
+        << threads << " threads";
+    EXPECT_EQ(report.stats.parse_failures, base.stats.parse_failures);
+    EXPECT_EQ(report.stats.structurally_invalid,
+              base.stats.structurally_invalid);
+    EXPECT_EQ(report.stats.constraint_violating,
+              base.stats.constraint_violating);
+    EXPECT_EQ(report.stats.total_violations, base.stats.total_violations);
+    EXPECT_EQ(report.stats.total_vertices, base.stats.total_vertices);
+  }
+}
+
+TEST(BatchValidator, CleanCorpusIsAllOk) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma = CatalogSigma();
+  BatchValidator validator(dtd, sigma, Threads(4));
+  std::vector<BatchDocument> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back(
+        {"ok" + std::to_string(i), MakeDoc(i, false, false, false, false)});
+  }
+  BatchReport report = validator.Run(corpus);
+  EXPECT_TRUE(report.all_ok()) << report.ViolationsToString(sigma);
+  EXPECT_EQ(report.stats.total_violations, 0u);
+  EXPECT_EQ(report.ViolationsToString(sigma), "");
+}
+
+TEST(BatchValidator, RunTreesValidatesGeneratedDocuments) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma;  // structure only
+  sigma.language = Language::kLu;
+  DocGenerator generator(dtd, {.seed = 7, .max_depth = 8});
+  ASSERT_TRUE(generator.status().ok()) << generator.status();
+  std::vector<DataTree> trees;
+  for (int i = 0; i < 24; ++i) {
+    Result<DataTree> tree = generator.Generate();
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    trees.push_back(std::move(tree).value());
+  }
+  std::vector<const DataTree*> pointers;
+  for (const DataTree& t : trees) pointers.push_back(&t);
+  BatchValidator validator(dtd, sigma, Threads(4));
+  BatchReport report = validator.RunTrees(pointers);
+  EXPECT_EQ(report.stats.structurally_invalid, 0u)
+      << report.ViolationsToString(sigma);
+  EXPECT_TRUE(report.all_ok());
+}
+
+}  // namespace

@@ -82,6 +82,46 @@ TEST(LidSolver, FkIdAndSfkIdRules) {
   EXPECT_TRUE(solver.Implies(Constraint::UnaryKey("person", "oid")));
 }
 
+TEST(LidSolver, ReflexiveForeignKeysDoNotImplyIds) {
+  // tau.l <= tau.l holds in every document (it is what ID-FK concludes
+  // from a genuine ID), so hypothesizing it must not conjure an ID via
+  // FK-ID / SFK-ID.
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  Result<ConstraintSet> sigma = ParseConstraintSet(R"(
+    fk person.oid -> person.oid
+    sfk dept.has_staff -> dept.has_staff
+  )", Language::kLid);
+  ASSERT_TRUE(sigma.ok()) << sigma.status();
+  LidSolver solver(dtd.value(), sigma.value());
+  ASSERT_TRUE(solver.status().ok()) << solver.status();
+  // The hypotheses themselves stay implied...
+  EXPECT_TRUE(solver.Implies(
+      Constraint::UnaryForeignKey("person", "oid", "person", "oid")));
+  // ...but the tautology carries no uniqueness information.
+  EXPECT_FALSE(solver.Implies(Constraint::Id("person", "oid")));
+  EXPECT_FALSE(solver.Implies(Constraint::Id("dept", "has_staff")));
+  EXPECT_FALSE(solver.Implies(Constraint::UnaryKey("person", "oid")));
+}
+
+TEST(LidSolver, DuplicateHypothesesAreIdempotent) {
+  Result<DtdStructure> dtd = ObjectDtd();
+  ASSERT_TRUE(dtd.ok());
+  ConstraintSet once = PaperSigma();
+  ConstraintSet twice = once;
+  twice.constraints.insert(twice.constraints.end(), once.constraints.begin(),
+                           once.constraints.end());
+  LidSolver single(dtd.value(), once);
+  LidSolver doubled(dtd.value(), twice);
+  ASSERT_TRUE(single.status().ok());
+  ASSERT_TRUE(doubled.status().ok());
+  EXPECT_EQ(single.closure_size(), doubled.closure_size());
+  for (const Constraint& c : once.constraints) {
+    EXPECT_TRUE(doubled.Implies(c)) << c.ToString();
+    EXPECT_EQ(single.Explain(c), doubled.Explain(c)) << c.ToString();
+  }
+}
+
 TEST(LidSolver, InverseRules) {
   Result<DtdStructure> dtd = ObjectDtd();
   ASSERT_TRUE(dtd.ok());

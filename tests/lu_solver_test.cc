@@ -64,6 +64,54 @@ TEST(LuSolver, UkFkAndReflexivity) {
   EXPECT_TRUE(solver.Implies(Fk("zzz", "w", "zzz", "w")));
 }
 
+TEST(LuSolver, ReflexiveForeignKeysDoNotImplyKeys) {
+  // "fk a.x -> a.x" is the FK-refl tautology: every document satisfies
+  // it, so hypothesizing it must not make a.x a key via UFK-K.
+  LuSolver solver(Sigma("fk a.x -> a.x"));
+  ASSERT_TRUE(solver.status().ok()) << solver.status();
+  EXPECT_TRUE(solver.Implies(Fk("a", "x", "a", "x")));
+  EXPECT_FALSE(solver.Implies(Constraint::UnaryKey("a", "x")));
+  // Same exemption for a reflexive set-valued inclusion and SFK-K.
+  LuSolver set_solver(Sigma("sfk b.r -> b.r"));
+  ASSERT_TRUE(set_solver.status().ok()) << set_solver.status();
+  EXPECT_TRUE(
+      set_solver.Implies(Constraint::SetForeignKey("b", "r", "b", "r")));
+  EXPECT_FALSE(set_solver.Implies(Constraint::UnaryKey("b", "r")));
+}
+
+TEST(LuSolver, DuplicateHypothesesAreIdempotent) {
+  // Feeding every hypothesis twice must leave the solver in the same
+  // state: same answers, same proofs, same finite-implication edges.
+  ConstraintSet once = Sigma(R"(
+    key t.a; key t.b
+    key u.c; key u.d
+    fk t.a -> u.c
+    fk u.d -> t.b
+    sfk s.refs -> t.a
+  )");
+  ConstraintSet twice = once;
+  twice.constraints.insert(twice.constraints.end(), once.constraints.begin(),
+                           once.constraints.end());
+  LuSolver single(once);
+  LuSolver doubled(twice);
+  ASSERT_TRUE(single.status().ok());
+  ASSERT_TRUE(doubled.status().ok());
+  std::vector<Constraint> queries = {
+      Fk("t", "a", "u", "c"), Fk("u", "c", "t", "a"),
+      Fk("u", "d", "t", "b"), Fk("t", "b", "u", "d"),
+      Constraint::UnaryKey("u", "c"), Constraint::UnaryKey("t", "a"),
+      Constraint::SetForeignKey("s", "refs", "u", "c")};
+  for (const Constraint& q : queries) {
+    EXPECT_EQ(single.Implies(q), doubled.Implies(q)) << q.ToString();
+    EXPECT_EQ(single.FinitelyImplies(q), doubled.FinitelyImplies(q))
+        << q.ToString();
+    for (bool finite : {false, true}) {
+      EXPECT_EQ(single.Explain(q, finite), doubled.Explain(q, finite))
+          << q.ToString() << " finite=" << finite;
+    }
+  }
+}
+
 TEST(LuSolver, InverseRules) {
   LuSolver solver(Sigma(R"(
     key a.k; key b.k2

@@ -146,6 +146,39 @@ TEST(Glushkov, OneUnambiguity) {
   EXPECT_FALSE(GlushkovAutomaton(MustParse("(a*, a)")).IsOneUnambiguous());
 }
 
+TEST(Glushkov, OneUnambiguityEdgeCases) {
+  // A nested optional adds no second position: still deterministic.
+  GlushkovAutomaton nested(MustParse("((a?)?)"));
+  EXPECT_TRUE(nested.IsOneUnambiguous());
+  EXPECT_TRUE(nested.Matches({}));
+  EXPECT_TRUE(nested.Matches(Word({"a"})));
+  EXPECT_FALSE(nested.Matches(Word({"a", "a"})));
+  // (a | a): both positions carry the same symbol in First.
+  EXPECT_FALSE(GlushkovAutomaton(MustParse("((a | a))")).IsOneUnambiguous());
+  // (a?, a): skipping the optional makes the first input 'a' ambiguous.
+  EXPECT_FALSE(GlushkovAutomaton(MustParse("(a?, a)")).IsOneUnambiguous());
+  // (a+, a): desugars to (a, a*), a with a three-way follow clash.
+  EXPECT_FALSE(GlushkovAutomaton(MustParse("(a+, a)")).IsOneUnambiguous());
+  // ((a | b)*, a): after reading 'a' the star may loop or exit into 'a'.
+  EXPECT_FALSE(
+      GlushkovAutomaton(MustParse("((a | b)*, a)")).IsOneUnambiguous());
+  // ((a | b)*, c) exits on a distinct symbol: deterministic.
+  EXPECT_TRUE(
+      GlushkovAutomaton(MustParse("((a | b)*, c)")).IsOneUnambiguous());
+  // Same-symbol positions are fine when no state reaches both.
+  EXPECT_TRUE(GlushkovAutomaton(MustParse("(a, b, a)")).IsOneUnambiguous());
+}
+
+TEST(Glushkov, EmptyContentModel) {
+  // EMPTY has zero positions, matches only the empty word, and is
+  // trivially deterministic.
+  GlushkovAutomaton nfa(MustParse("EMPTY"));
+  EXPECT_EQ(nfa.num_positions(), 0u);
+  EXPECT_TRUE(nfa.IsOneUnambiguous());
+  EXPECT_TRUE(nfa.Matches({}));
+  EXPECT_FALSE(nfa.Matches(Word({"a"})));
+}
+
 TEST(Glushkov, PositionCount) {
   EXPECT_EQ(GlushkovAutomaton(MustParse("(a, b, a)")).num_positions(), 3u);
   EXPECT_EQ(GlushkovAutomaton(Regex::Epsilon()).num_positions(), 0u);

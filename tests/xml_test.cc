@@ -130,6 +130,73 @@ TEST(XmlParser, ExternalDtdOptionTokenizesSets) {
       (AttrValue{"a", "b", "c"}));
 }
 
+TEST(XmlParser, CharacterReferenceValidity) {
+  // Decimal and hex forms, boundary-valid code points.
+  Result<XmlDocument> doc = ParseXml("<a>&#9;&#xA;&#x20;&#xD7FF;&#xE000;"
+                                     "&#xFFFD;&#x10000;&#x10FFFF;</a>");
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  // Section 2.2: references must denote XML Chars.
+  EXPECT_FALSE(ParseXml("<a>&#0;</a>").ok());       // NUL
+  EXPECT_FALSE(ParseXml("<a>&#x1;</a>").ok());      // C0 control
+  EXPECT_FALSE(ParseXml("<a>&#8;</a>").ok());       // backspace
+  EXPECT_FALSE(ParseXml("<a>&#xD800;</a>").ok());   // surrogate low bound
+  EXPECT_FALSE(ParseXml("<a>&#xDFFF;</a>").ok());   // surrogate high bound
+  EXPECT_FALSE(ParseXml("<a>&#xFFFE;</a>").ok());   // noncharacter
+  EXPECT_FALSE(ParseXml("<a>&#xFFFF;</a>").ok());   // noncharacter
+  EXPECT_FALSE(ParseXml("<a>&#x110000;</a>").ok()); // beyond Unicode
+  EXPECT_FALSE(ParseXml("<a>&#;</a>").ok());        // no digits
+  EXPECT_FALSE(ParseXml("<a>&#x;</a>").ok());       // no hex digits
+}
+
+TEST(XmlParser, CdataCloseSequenceInContent) {
+  // Section 2.4: "]]>" must not appear in character data...
+  EXPECT_FALSE(ParseXml("<a>x]]>y</a>").ok());
+  // ...but a lone "]]" or an escaped ">" is fine.
+  EXPECT_TRUE(ParseXml("<a>x]]y</a>").ok());
+  EXPECT_TRUE(ParseXml("<a>x]]&gt;y</a>").ok());
+  // And inside a CDATA section the text up to "]]>" is raw.
+  Result<XmlDocument> doc = ParseXml("<a><![CDATA[x]]y]]></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const DataTree& t = doc.value().tree;
+  EXPECT_EQ(std::get<std::string>(t.children(t.root())[0]), "x]]y");
+}
+
+TEST(XmlParser, LineEndNormalization) {
+  // Section 2.11: \r\n and bare \r both become \n, in text and CDATA.
+  Result<XmlDocument> doc =
+      ParseXml("<a>l1\r\nl2\rl3</a>", {.skip_ignorable_whitespace = false});
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const DataTree& t = doc.value().tree;
+  EXPECT_EQ(std::get<std::string>(t.children(t.root())[0]), "l1\nl2\nl3");
+  Result<XmlDocument> cdata = ParseXml("<a><![CDATA[l1\r\nl2\rl3]]></a>");
+  ASSERT_TRUE(cdata.ok()) << cdata.status();
+  const DataTree& ct = cdata.value().tree;
+  EXPECT_EQ(std::get<std::string>(ct.children(ct.root())[0]), "l1\nl2\nl3");
+  // A character reference is not a literal \r and survives.
+  Result<XmlDocument> ref =
+      ParseXml("<a>x&#13;y</a>", {.skip_ignorable_whitespace = false});
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  const DataTree& rt = ref.value().tree;
+  EXPECT_EQ(std::get<std::string>(rt.children(rt.root())[0]), "x\ry");
+}
+
+TEST(XmlParser, AttributeValueNormalization) {
+  // Section 3.3.3: literal tab/newline/CR become spaces (\r\n one space);
+  // characters entering via references keep their literal value.
+  Result<XmlDocument> doc =
+      ParseXml("<a x=\"p\tq\nr\r\ns\rt\" y=\"p&#9;q&#10;r&#13;s\"/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const DataTree& t = doc.value().tree;
+  EXPECT_EQ(t.SingleAttribute(t.root(), "x").value(), "p q r s t");
+  EXPECT_EQ(t.SingleAttribute(t.root(), "y").value(), "p\tq\nr\rs");
+}
+
+TEST(XmlParser, RawLessThanInAttributeValueRejected) {
+  // Well-formedness: '<' cannot appear literally in an attribute value.
+  EXPECT_FALSE(ParseXml("<a x=\"1<2\"/>").ok());
+  EXPECT_TRUE(ParseXml("<a x=\"1&lt;2\"/>").ok());
+}
+
 TEST(DtdParser, ParsesPersonDeptDtd) {
   // The paper's object-database DTD (Section 1).
   const char* dtd_text = R"(
