@@ -1,8 +1,14 @@
 // xicbatch: parallel batch validation of a document corpus.
 //
 // Usage:
-//   xicbatch [--threads N] schema.xml [more.xml ...]
-//   xicbatch [--threads N] --generate COUNT
+//   xicbatch [options] schema.xml [more.xml ...]
+//   xicbatch [options] --generate COUNT
+//
+// Options: --threads N, --max-depth N, --max-bytes N, --timeout-ms N
+// (per-document wall-clock budget), --retries N (extra attempts for
+// transient failures). Builds configured with -DXIC_FAULT_INJECTION=ON
+// additionally accept --fault-rate P and --fault-seed S (deterministic
+// fault injection; see util/fault_injector.h).
 //
 // The first file must be self-describing (DOCTYPE internal subset, plus
 // an optional "<!-- xic:constraints ... -->" block); its DTD^C becomes
@@ -12,7 +18,10 @@
 //
 // Per-document failures print in input order -- byte-identical no matter
 // how many threads ran -- followed by the batch stats block. Exit code:
-// 0 all valid, 1 violations found, 2 usage/schema error.
+// 0 all valid; 1 the batch ran and some documents are invalid; 2 an
+// infrastructure failure (usage/schema error, or any document hitting a
+// resource limit, deadline, injected fault or exception -- "could not
+// check" rather than "invalid").
 
 #include <cerrno>
 #include <cstdlib>
@@ -79,8 +88,21 @@ std::string GenerateDoc(int id) {
 }
 
 int Usage() {
-  std::cout << "usage: xicbatch [--threads N] schema.xml [more.xml ...]\n"
-               "       xicbatch [--threads N] --generate COUNT\n";
+  std::cout
+      << "usage: xicbatch [options] schema.xml [more.xml ...]\n"
+         "       xicbatch [options] --generate COUNT\n"
+         "options:\n"
+         "  --threads N     worker threads (0 = hardware concurrency)\n"
+         "  --max-depth N   element nesting limit (0 = unlimited)\n"
+         "  --max-bytes N   per-document size limit (0 = unlimited)\n"
+         "  --timeout-ms N  per-document wall-clock budget (0 = none)\n"
+         "  --retries N     extra attempts for transient failures\n"
+#ifdef XIC_FAULT_INJECTION
+         "  --fault-rate P  inject faults on fraction P of (site, doc)\n"
+         "  --fault-seed S  seed for deterministic fault decisions\n"
+#endif
+         "exit: 0 all valid, 1 some documents invalid, 2 infrastructure/"
+         "limit failure\n";
   return 2;
 }
 
@@ -98,6 +120,7 @@ bool ParseCount(const char* text, unsigned long* out) {
 int main(int argc, char** argv) {
   size_t threads = 0;  // hardware concurrency
   int generate = 0;
+  BatchOptions options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -108,6 +131,51 @@ int main(int argc, char** argv) {
         return Usage();
       }
       threads = count;
+    } else if (arg == "--max-depth" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) {
+        std::cerr << "--max-depth: not a number: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.limits.max_tree_depth = count;
+    } else if (arg == "--max-bytes" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) {
+        std::cerr << "--max-bytes: not a number: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.limits.max_document_bytes = count;
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) {
+        std::cerr << "--timeout-ms: not a number: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.document_timeout_ms = count;
+    } else if (arg == "--retries" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) {
+        std::cerr << "--retries: not a number: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.max_attempts = count + 1;
+#ifdef XIC_FAULT_INJECTION
+    } else if (arg == "--fault-rate" && i + 1 < argc) {
+      char* end = nullptr;
+      double rate = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || rate < 0 || rate > 1) {
+        std::cerr << "--fault-rate: not a probability: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.faults.rate = rate;
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) {
+        std::cerr << "--fault-seed: not a number: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.faults.seed = count;
+#else
+    } else if (arg == "--fault-rate" || arg == "--fault-seed") {
+      std::cerr << arg << ": fault injection is disabled in this build "
+                          "(configure with -DXIC_FAULT_INJECTION=ON)\n";
+      return 2;
+#endif
     } else if (arg == "--generate" && i + 1 < argc) {
       if (!ParseCount(argv[++i], &count) || count > 10'000'000) {
         std::cerr << "--generate: not a valid count: " << argv[i] << "\n";
@@ -142,7 +210,10 @@ int main(int argc, char** argv) {
     schema_text = buffer.str();
     schema_name = files[0];
   }
-  Result<SelfDescribingDocument> schema = ParseDocumentWithDtdC(schema_text);
+  XmlParseOptions schema_parse;
+  schema_parse.limits = options.limits;
+  Result<SelfDescribingDocument> schema =
+      ParseDocumentWithDtdC(schema_text, schema_parse);
   if (!schema.ok()) {
     std::cerr << schema_name << ": " << schema.status() << "\n";
     return 2;
@@ -180,12 +251,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  BatchOptions options;
   options.num_threads = threads;
   options.validation.allow_missing_attributes = true;
   BatchValidator validator(dtd, sigma, options);
   BatchReport report = validator.Run(corpus);
   std::cout << report.ViolationsToString(sigma);
   std::cout << report.stats.ToString();
+  if (report.any_infrastructure_failure()) return 2;
   return report.all_ok() ? 0 : 1;
 }

@@ -1,17 +1,23 @@
 // xicheck: a command-line validator for self-describing documents.
 //
 // Usage:
-//   xicheck file.xml [more.xml ...]    validate files
+//   xicheck [options] file.xml [more.xml ...]    validate files
 //   xicheck --repair file.xml          validate, repair, print the result
 //   xicheck                            validate the built-in demo document
+//
+// Options: --max-depth N and --max-bytes N bound the input document
+// (0 = unlimited); --timeout-ms N bounds the wall-clock time spent on
+// each document.
 //
 // A "self-describing" document carries its DTD in the DOCTYPE internal
 // subset and (optionally) its constraint set in an embedded
 // "<!-- xic:constraints ... -->" block (see xml/dtdc_io.h). xicheck
 // reports structural validity (Definition 2.4), constraint satisfaction
 // (G |= Sigma) and, with --repair, the edits needed to restore
-// consistency. Exit code: 0 valid, 1 invalid, 2 usage/parse error.
+// consistency. Exit code: 0 valid, 1 invalid, 2 usage/parse/limit error.
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,8 +52,23 @@ const char* kDemo = R"(<?xml version="1.0"?>
 </db>
 )";
 
-int CheckOne(const std::string& name, const std::string& text, bool repair) {
-  Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+struct CheckConfig {
+  bool repair = false;
+  ResourceLimits limits;
+  uint64_t timeout_ms = 0;  // 0 = no deadline
+};
+
+int CheckOne(const std::string& name, const std::string& text,
+             const CheckConfig& config) {
+  bool repair = config.repair;
+  Deadline deadline = config.timeout_ms == 0
+                          ? Deadline::Infinite()
+                          : Deadline::AfterMillis(config.timeout_ms);
+  XmlParseOptions parse_options;
+  parse_options.limits = config.limits;
+  parse_options.deadline = deadline;
+  Result<SelfDescribingDocument> parsed =
+      ParseDocumentWithDtdC(text, parse_options);
   if (!parsed.ok()) {
     std::cerr << name << ": " << parsed.status() << "\n";
     return 2;
@@ -60,8 +81,15 @@ int CheckOne(const std::string& name, const std::string& text, bool repair) {
   const DtdStructure& dtd = *doc.document.dtd;
   int exit_code = 0;
 
-  StructuralValidator validator(dtd, {.allow_missing_attributes = true});
-  ValidationReport structure = validator.Validate(doc.document.tree);
+  ValidationOptions validation;
+  validation.allow_missing_attributes = true;
+  validation.limits = config.limits;
+  StructuralValidator validator(dtd, validation);
+  ValidationReport structure = validator.Validate(doc.document.tree, deadline);
+  if (!structure.status.ok()) {
+    std::cerr << name << ": " << structure.status << "\n";
+    return 2;
+  }
   std::cout << name << ": structure "
             << (structure.ok() ? "valid" : "INVALID") << "\n";
   if (!structure.ok()) {
@@ -79,7 +107,11 @@ int CheckOne(const std::string& name, const std::string& text, bool repair) {
     return 2;
   }
   ConstraintChecker checker(dtd, sigma);
-  ConstraintReport report = checker.Check(doc.document.tree);
+  ConstraintReport report = checker.Check(doc.document.tree, deadline);
+  if (!report.status.ok()) {
+    std::cerr << name << ": " << report.status << "\n";
+    return 2;
+  }
   std::cout << name << ": " << sigma.constraints.size() << " constraints, "
             << report.violations.size() << " violation(s)\n";
   if (!report.ok()) {
@@ -108,18 +140,50 @@ int CheckOne(const std::string& name, const std::string& text, bool repair) {
   return exit_code;
 }
 
+bool ParseNumber(const char* text, unsigned long* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long value = std::strtoul(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool repair = false;
+  CheckConfig config;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    unsigned long count = 0;
     if (arg == "--repair") {
-      repair = true;
+      config.repair = true;
+    } else if (arg == "--max-depth" && i + 1 < argc) {
+      if (!ParseNumber(argv[++i], &count)) {
+        std::cerr << "--max-depth: not a number: " << argv[i] << "\n";
+        return 2;
+      }
+      config.limits.max_tree_depth = count;
+    } else if (arg == "--max-bytes" && i + 1 < argc) {
+      if (!ParseNumber(argv[++i], &count)) {
+        std::cerr << "--max-bytes: not a number: " << argv[i] << "\n";
+        return 2;
+      }
+      config.limits.max_document_bytes = count;
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      if (!ParseNumber(argv[++i], &count)) {
+        std::cerr << "--timeout-ms: not a number: " << argv[i] << "\n";
+        return 2;
+      }
+      config.timeout_ms = count;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: xicheck [--repair] [file.xml ...]\n";
+      std::cout << "usage: xicheck [--repair] [--max-depth N] "
+                   "[--max-bytes N] [--timeout-ms N] [file.xml ...]\n";
       return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << arg << ": unknown option\n";
+      return 2;
     } else {
       files.push_back(std::move(arg));
     }
@@ -127,7 +191,9 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::cout << "(no files given; checking the built-in demo, which has "
                  "one dangling reference)\n";
-    return CheckOne("<demo>", kDemo, /*repair=*/true) == 2 ? 2 : 0;
+    CheckConfig demo = config;
+    demo.repair = true;
+    return CheckOne("<demo>", kDemo, demo) == 2 ? 2 : 0;
   }
   int worst = 0;
   for (const std::string& file : files) {
@@ -139,7 +205,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    worst = std::max(worst, CheckOne(file, buffer.str(), repair));
+    worst = std::max(worst, CheckOne(file, buffer.str(), config));
   }
   return worst;
 }

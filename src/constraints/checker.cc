@@ -88,7 +88,8 @@ Result<AttrValue> ConstraintChecker::FieldValue(const DataTree& tree,
       (count > 1 ? " (sub-element not unique)" : ""));
 }
 
-ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
+ConstraintReport ConstraintChecker::Check(const DataTree& tree,
+                                          const Deadline& deadline) const {
   ConstraintReport report;
   ExtentIndex extents(tree);
   auto add = [&](size_t index, std::string msg, std::vector<VertexId> wit,
@@ -129,6 +130,12 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
   std::unordered_map<std::string, std::vector<VertexId>> global_ids;
   if (needs_global_ids_) {
     for (VertexId v = 0; v < tree.size(); ++v) {
+      if ((v & 0x3FF) == 0) {
+        if (Status s = deadline.Check("constraint check"); !s.ok()) {
+          report.status = std::move(s);
+          return report;
+        }
+      }
       std::optional<std::string> id_attr = dtd_.IdAttribute(tree.label(v));
       if (!id_attr.has_value()) continue;
       if (std::optional<std::string> val = single(v, *id_attr)) {
@@ -138,6 +145,10 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree) const {
   }
 
   for (size_t i = 0; i < sigma_.constraints.size() && !full(); ++i) {
+    if (Status s = deadline.Check("constraint check"); !s.ok()) {
+      report.status = std::move(s);
+      return report;
+    }
     const Constraint& c = sigma_.constraints[i];
     const std::vector<VertexId>& ext = extents.Extent(c.element);
     const std::vector<VertexId>& ref_ext = extents.Extent(c.ref_element);

@@ -36,6 +36,7 @@
 #include "constraints/constraint.h"
 #include "model/data_tree.h"
 #include "model/dtd_structure.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
@@ -55,7 +56,10 @@ struct ConstraintViolation {
 
 struct ConstraintReport {
   std::vector<ConstraintViolation> violations;
-  bool ok() const { return violations.empty(); }
+  /// Not-OK when the check was cut short (deadline); the violation list
+  /// is then a prefix, not a verdict.
+  Status status = Status::OK();
+  bool ok() const { return status.ok() && violations.empty(); }
   std::string ToString(const ConstraintSet& sigma) const;
 };
 
@@ -73,7 +77,13 @@ class ConstraintChecker {
                     CheckOptions options = {});
 
   /// Evaluates G |= Sigma; the report lists every violated constraint.
-  ConstraintReport Check(const DataTree& tree) const;
+  /// The deadline is polled between constraints and inside the extent
+  /// scans; on expiry the report carries kDeadlineExceeded.
+  ConstraintReport Check(const DataTree& tree) const {
+    return Check(tree, Deadline::Infinite());
+  }
+  ConstraintReport Check(const DataTree& tree,
+                         const Deadline& deadline) const;
 
   /// The value of field `name` (attribute or unique sub-element) on vertex
   /// `v`, as a set of atomic values. Missing fields yield an error.

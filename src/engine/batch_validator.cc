@@ -1,7 +1,9 @@
 #include "engine/batch_validator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 
 #include "engine/thread_pool.h"
 
@@ -21,17 +23,40 @@ std::string Fmt(const char* format, double a, double b = 0, double c = 0) {
   return buffer;
 }
 
+// Status codes that mean "the pipeline could not finish", as opposed to a
+// verdict about the document itself.
+bool IsInfrastructureStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+bool DocumentOutcome::infrastructure_failure() const {
+  return !error.ok() || IsInfrastructureStatus(parse) ||
+         IsInfrastructureStatus(structure.status) ||
+         IsInfrastructureStatus(constraints.status);
+}
 
 std::string BatchStats::ToString() const {
   size_t ok = documents - parse_failures - structurally_invalid -
-              constraint_violating;
+              constraint_violating - resource_failures;
   std::string out;
   out += "batch: " + std::to_string(documents) + " document(s), " +
          std::to_string(ok) + " ok, " + std::to_string(parse_failures) +
          " parse failure(s), " + std::to_string(structurally_invalid) +
          " structurally invalid, " + std::to_string(constraint_violating) +
-         " with constraint violations\n";
+         " with constraint violations, " +
+         std::to_string(resource_failures) +
+         " resource/fault failure(s), " + std::to_string(retries) +
+         " retry(ies)\n";
   out += "       " + std::to_string(total_vertices) + " vertices, " +
          std::to_string(total_violations) + " violation(s)\n";
   double docs_per_sec = wall_seconds > 0 ? documents / wall_seconds : 0;
@@ -49,17 +74,35 @@ bool BatchReport::all_ok() const {
   return true;
 }
 
+bool BatchReport::any_infrastructure_failure() const {
+  for (const DocumentOutcome& outcome : outcomes) {
+    if (outcome.infrastructure_failure()) return true;
+  }
+  return false;
+}
+
 std::string BatchReport::ViolationsToString(const ConstraintSet& sigma) const {
   std::string out;
   for (const DocumentOutcome& o : outcomes) {
     if (o.ok()) continue;
+    if (!o.error.ok()) {
+      out += o.name + ": " + o.error.ToString() + "\n";
+      continue;
+    }
     if (!o.parse.ok()) {
       out += o.name + ": " + o.parse.ToString() + "\n";
       continue;
     }
+    if (!o.structure.status.ok()) {
+      out += o.name + ": structure: " + o.structure.status.ToString() + "\n";
+    }
     for (const Violation& v : o.structure.violations) {
       out += o.name + ": structure: vertex " + std::to_string(v.vertex) +
              ": " + v.message + "\n";
+    }
+    if (!o.constraints.status.ok()) {
+      out += o.name + ": constraints: " + o.constraints.status.ToString() +
+             "\n";
     }
     for (const ConstraintViolation& v : o.constraints.violations) {
       out += o.name + ": " +
@@ -70,35 +113,94 @@ std::string BatchReport::ViolationsToString(const ConstraintSet& sigma) const {
   return out;
 }
 
+namespace {
+
+// The single limits knob wins over whatever the per-stage option structs
+// carried (the CLI and tests set BatchOptions::limits only).
+BatchOptions NormalizeOptions(BatchOptions options) {
+  options.parse.limits = options.limits;
+  options.validation.limits = options.limits;
+  return options;
+}
+
+}  // namespace
+
 BatchValidator::BatchValidator(const DtdStructure& dtd,
                                const ConstraintSet& sigma,
                                BatchOptions options)
     : dtd_(dtd),
       sigma_(sigma),
-      options_(std::move(options)),
+      options_(NormalizeOptions(std::move(options))),
       validator_(dtd, options_.validation),
-      checker_(dtd, sigma, options_.check) {
+      checker_(dtd, sigma, options_.check),
+      injector_(options_.faults) {
   options_.parse.dtd = &dtd_;
 }
 
+Deadline BatchValidator::DocumentDeadline() const {
+  return options_.document_timeout_ms == 0
+             ? Deadline::Infinite()
+             : Deadline::AfterMillis(options_.document_timeout_ms);
+}
+
 DocumentOutcome BatchValidator::CheckOne(const BatchDocument& doc) const {
+  size_t max_attempts = std::max<size_t>(1, options_.max_attempts);
+  DocumentOutcome outcome;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome = CheckOneAttempt(doc, attempt);
+    outcome.attempts = attempt + 1;
+    // Only transient failures are worth retrying; limits and deadlines
+    // would trip identically on the next attempt.
+    if (outcome.error.code() != StatusCode::kUnavailable) break;
+  }
+  return outcome;
+}
+
+DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
+                                                size_t attempt) const {
   DocumentOutcome outcome;
   outcome.name = doc.name;
-  Clock::time_point t0 = Clock::now();
-  Result<XmlDocument> parsed = ParseXml(doc.text, options_.parse);
-  Clock::time_point t1 = Clock::now();
-  outcome.parse_seconds = Seconds(t0, t1);
-  if (!parsed.ok()) {
-    outcome.parse = parsed.status();
-    return outcome;
+  // The whole attempt runs under one try: anything a stage (or the fault
+  // injector in throwing mode) throws becomes this document's outcome
+  // instead of tearing down the batch.
+  try {
+    Deadline deadline = DocumentDeadline();
+    int n = static_cast<int>(attempt);
+    Clock::time_point t0 = Clock::now();
+    if (Status s = injector_.MaybeFail("parse", doc.name, n); !s.ok()) {
+      outcome.error = std::move(s);
+      return outcome;
+    }
+    XmlParseOptions parse_options = options_.parse;
+    parse_options.deadline = deadline;
+    Result<XmlDocument> parsed = ParseXml(doc.text, parse_options);
+    Clock::time_point t1 = Clock::now();
+    outcome.parse_seconds = Seconds(t0, t1);
+    if (!parsed.ok()) {
+      outcome.parse = parsed.status();
+      return outcome;
+    }
+    const DataTree& tree = parsed.value().tree;
+    outcome.vertices = tree.size();
+    if (Status s = injector_.MaybeFail("structure", doc.name, n); !s.ok()) {
+      outcome.error = std::move(s);
+      return outcome;
+    }
+    outcome.structure = validator_.Validate(tree, deadline);
+    Clock::time_point t2 = Clock::now();
+    outcome.structure_seconds = Seconds(t1, t2);
+    if (Status s = injector_.MaybeFail("constraints", doc.name, n); !s.ok()) {
+      outcome.error = std::move(s);
+      return outcome;
+    }
+    outcome.constraints = checker_.Check(tree, deadline);
+    outcome.constraints_seconds = Seconds(t2, Clock::now());
+  } catch (const std::exception& e) {
+    outcome.error =
+        Status::Internal(std::string("uncaught exception: ") + e.what());
+  } catch (...) {
+    outcome.error = Status::Internal("uncaught exception");
   }
-  const DataTree& tree = parsed.value().tree;
-  outcome.vertices = tree.size();
-  outcome.structure = validator_.Validate(tree);
-  Clock::time_point t2 = Clock::now();
-  outcome.structure_seconds = Seconds(t1, t2);
-  outcome.constraints = checker_.Check(tree);
-  outcome.constraints_seconds = Seconds(t2, Clock::now());
   return outcome;
 }
 
@@ -128,7 +230,10 @@ BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const 
   report.stats.threads = threads;
   report.stats.documents = corpus.size();
   for (const DocumentOutcome& o : report.outcomes) {
-    if (!o.parse.ok()) {
+    if (o.attempts > 1) report.stats.retries += o.attempts - 1;
+    if (o.infrastructure_failure()) {
+      ++report.stats.resource_failures;
+    } else if (!o.parse.ok()) {
       ++report.stats.parse_failures;
     } else if (!o.structure.ok()) {
       ++report.stats.structurally_invalid;
@@ -160,14 +265,32 @@ BatchReport BatchValidator::RunTrees(
   auto check_tree = [&](size_t i) {
     DocumentOutcome& outcome = report.outcomes[i];
     outcome.name = "tree[" + std::to_string(i) + "]";
-    const DataTree& tree = *corpus[i];
-    outcome.vertices = tree.size();
-    Clock::time_point t1 = Clock::now();
-    outcome.structure = validator_.Validate(tree);
-    Clock::time_point t2 = Clock::now();
-    outcome.structure_seconds = Seconds(t1, t2);
-    outcome.constraints = checker_.Check(tree);
-    outcome.constraints_seconds = Seconds(t2, Clock::now());
+    try {
+      Deadline deadline = DocumentDeadline();
+      const DataTree& tree = *corpus[i];
+      outcome.vertices = tree.size();
+      if (Status s = injector_.MaybeFail("structure", outcome.name);
+          !s.ok()) {
+        outcome.error = std::move(s);
+        return;
+      }
+      Clock::time_point t1 = Clock::now();
+      outcome.structure = validator_.Validate(tree, deadline);
+      Clock::time_point t2 = Clock::now();
+      outcome.structure_seconds = Seconds(t1, t2);
+      if (Status s = injector_.MaybeFail("constraints", outcome.name);
+          !s.ok()) {
+        outcome.error = std::move(s);
+        return;
+      }
+      outcome.constraints = checker_.Check(tree, deadline);
+      outcome.constraints_seconds = Seconds(t2, Clock::now());
+    } catch (const std::exception& e) {
+      outcome.error =
+          Status::Internal(std::string("uncaught exception: ") + e.what());
+    } catch (...) {
+      outcome.error = Status::Internal("uncaught exception");
+    }
   };
   if (threads <= 1 || corpus.size() <= 1) {
     threads = 1;
@@ -180,7 +303,9 @@ BatchReport BatchValidator::RunTrees(
   report.stats.threads = threads;
   report.stats.documents = corpus.size();
   for (const DocumentOutcome& o : report.outcomes) {
-    if (!o.structure.ok()) {
+    if (o.infrastructure_failure()) {
+      ++report.stats.resource_failures;
+    } else if (!o.structure.ok()) {
       ++report.stats.structurally_invalid;
     } else if (!o.constraints.ok()) {
       ++report.stats.constraint_violating;

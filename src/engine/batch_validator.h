@@ -14,6 +14,15 @@
 // per-document pipeline is sequential, so the violation report is
 // byte-identical no matter how many threads ran the batch (timings and
 // throughput are reported separately in BatchStats).
+//
+// Fault isolation: a document that trips a resource limit, blows its
+// per-document deadline, hits an injected fault, or throws is recorded as
+// that document's outcome -- the batch always completes and reports every
+// other document normally. Transient failures (kUnavailable, e.g. from
+// the FaultInjector seam) are retried up to BatchOptions::max_attempts
+// times; everything else fails fast. Injected fault decisions depend only
+// on (seed, site, document name, attempt), so a faulted run's report is
+// still byte-identical across thread counts.
 
 #ifndef XIC_ENGINE_BATCH_VALIDATOR_H_
 #define XIC_ENGINE_BATCH_VALIDATOR_H_
@@ -23,6 +32,8 @@
 
 #include "constraints/checker.h"
 #include "model/structural_validator.h"
+#include "util/fault_injector.h"
+#include "util/limits.h"
 #include "util/status.h"
 #include "xml/xml_parser.h"
 
@@ -40,14 +51,25 @@ struct DocumentOutcome {
   Status parse = Status::OK();  // a parse failure ends the pipeline early
   ValidationReport structure;
   ConstraintReport constraints;
+  /// Pipeline-level failure: an injected fault that exhausted its
+  /// retries (kUnavailable), or an exception caught escaping a stage
+  /// (kInternal). Distinct from the document merely being invalid.
+  Status error = Status::OK();
+  /// Attempts taken; > 1 when transient failures were retried.
+  size_t attempts = 1;
   size_t vertices = 0;
   double parse_seconds = 0;
   double structure_seconds = 0;
   double constraints_seconds = 0;
 
   bool ok() const {
-    return parse.ok() && structure.ok() && constraints.ok();
+    return error.ok() && parse.ok() && structure.ok() && constraints.ok();
   }
+
+  /// True when the pipeline could not run to a verdict: a fault/exception,
+  /// a resource limit, or a deadline -- as opposed to the document being
+  /// well-understood and invalid.
+  bool infrastructure_failure() const;
 };
 
 /// Aggregate counters and timings for one batch run.
@@ -56,6 +78,11 @@ struct BatchStats {
   size_t parse_failures = 0;
   size_t structurally_invalid = 0;
   size_t constraint_violating = 0;
+  /// Documents whose pipeline was cut short (limit, deadline, fault,
+  /// exception) rather than reaching a verdict.
+  size_t resource_failures = 0;
+  /// Extra attempts beyond the first, summed over the batch.
+  size_t retries = 0;
   size_t total_vertices = 0;
   size_t total_violations = 0;  // structural + constraint
   size_t threads = 1;
@@ -76,8 +103,15 @@ struct BatchReport {
 
   bool all_ok() const;
 
-  /// Every failure in input order: parse errors, structural violations,
-  /// constraint violations. Byte-identical across thread counts.
+  /// True when any document hit a limit, deadline, fault or exception --
+  /// the batch's verdict on those documents is "could not check", not
+  /// "invalid" (xicbatch maps this to exit code 2).
+  bool any_infrastructure_failure() const;
+
+  /// Every failure in input order: pipeline errors, parse errors,
+  /// structural violations, constraint violations. Byte-identical across
+  /// thread counts (absent per-document deadlines, whose expiry is
+  /// inherently timing-dependent).
   std::string ViolationsToString(const ConstraintSet& sigma) const;
 };
 
@@ -90,6 +124,18 @@ struct BatchOptions {
   /// Parse options for the corpus; the `dtd` field is overridden with the
   /// engine's DTD so set-valued attributes tokenize consistently.
   XmlParseOptions parse;
+  /// Hard input/search limits, copied over `parse.limits` and
+  /// `validation.limits` (single knob for the whole pipeline).
+  ResourceLimits limits;
+  /// Wall-clock budget per document attempt, 0 = none. Covers parse,
+  /// structural validation and the constraint check.
+  uint64_t document_timeout_ms = 0;
+  /// Attempts per document; transient (kUnavailable) failures are
+  /// retried until this many attempts were made.
+  size_t max_attempts = 1;
+  /// Deterministic fault injection (off by default; see
+  /// util/fault_injector.h).
+  FaultConfig faults;
 };
 
 class BatchValidator {
@@ -108,12 +154,16 @@ class BatchValidator {
 
  private:
   DocumentOutcome CheckOne(const BatchDocument& doc) const;
+  DocumentOutcome CheckOneAttempt(const BatchDocument& doc,
+                                  size_t attempt) const;
+  Deadline DocumentDeadline() const;
 
   const DtdStructure& dtd_;
   const ConstraintSet& sigma_;
   BatchOptions options_;
   StructuralValidator validator_;  // shared read-only after construction
   ConstraintChecker checker_;      // shared read-only after construction
+  FaultInjector injector_;
 };
 
 }  // namespace xic

@@ -79,10 +79,25 @@ void ThreadPool::WorkerLoop(size_t worker) {
     if (task == nullptr) continue;  // a sibling claimed it first
     --queued_;
     lock.unlock();
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Letting the exception reach the thread's top level would
+      // std::terminate the whole process; capture it instead.
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error != nullptr) task_errors_.push_back(std::move(error));
     if (--pending_ == 0) all_done_.notify_all();
   }
+}
+
+std::vector<std::exception_ptr> ThreadPool::TakeTaskErrors() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<std::exception_ptr> out;
+  out.swap(task_errors_);
+  return out;
 }
 
 void ThreadPool::Wait() {
@@ -98,12 +113,26 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::atomic<size_t> remaining;
     std::mutex mutex;
     std::condition_variable done;
+    std::exception_ptr first_error;  // guarded by mutex
   };
   auto latch = std::make_shared<Latch>();
   latch->remaining.store(n, std::memory_order_relaxed);
   for (size_t i = 0; i < n; ++i) {
     Submit([latch, &fn, i] {
-      fn(i);
+      // The catch must run before the latch decrement: an exception that
+      // skipped the decrement would leave the caller waiting forever.
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      if (error != nullptr) {
+        std::lock_guard<std::mutex> lock(latch->mutex);
+        if (latch->first_error == nullptr) {
+          latch->first_error = std::move(error);
+        }
+      }
       if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(latch->mutex);
         latch->done.notify_all();
@@ -114,6 +143,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   latch->done.wait(lock, [&] {
     return latch->remaining.load(std::memory_order_acquire) == 0;
   });
+  if (latch->first_error != nullptr) {
+    std::rethrow_exception(latch->first_error);
+  }
 }
 
 }  // namespace xic

@@ -10,6 +10,13 @@
 // amount of global bookkeeping) rather than lock-free: tasks here are
 // whole-document pipelines, so claim contention is negligible and the
 // simple protocol is easy to keep TSan-clean.
+//
+// Exception safety: an exception escaping a task never reaches the worker
+// thread's top level (which would std::terminate the process). Submit()ed
+// tasks have their exception captured and handed back via
+// TakeTaskErrors(); ParallelFor captures the first exception thrown by
+// `fn`, keeps the remaining iterations running, and rethrows it in the
+// calling thread once all iterations finished.
 
 #ifndef XIC_ENGINE_THREAD_POOL_H_
 #define XIC_ENGINE_THREAD_POOL_H_
@@ -17,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -47,8 +55,15 @@ class ThreadPool {
   void Wait();
 
   /// Runs fn(0) ... fn(n-1) across the pool and returns when all are
-  /// done. Independent of other in-flight tasks; reentrant.
+  /// done. Independent of other in-flight tasks; reentrant. If any
+  /// iteration throws, the remaining iterations still run and the first
+  /// exception (by completion order) is rethrown here.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Exceptions that escaped Submit()ed tasks since the last call, in
+  /// completion order. ParallelFor exceptions are not included (they are
+  /// rethrown by ParallelFor itself).
+  std::vector<std::exception_ptr> TakeTaskErrors();
 
  private:
   struct WorkerQueue {
@@ -71,6 +86,7 @@ class ThreadPool {
   size_t pending_ = 0;     // tasks submitted and not yet finished
   size_t next_queue_ = 0;  // round-robin submission cursor
   bool shutdown_ = false;
+  std::vector<std::exception_ptr> task_errors_;  // guarded by state_mutex_
 };
 
 }  // namespace xic

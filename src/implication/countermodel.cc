@@ -266,6 +266,12 @@ size_t RowSpace(const std::map<std::string, bool>& attrs, size_t num_values) {
 std::optional<TableInstance> EnumerateCountermodel(
     const ConstraintSet& sigma, const Constraint& phi,
     const EnumerationBounds& bounds, const DtdStructure* dtd) {
+  return EnumerateCountermodelBounded(sigma, phi, bounds, dtd).countermodel;
+}
+
+EnumerationOutcome EnumerateCountermodelBounded(
+    const ConstraintSet& sigma, const Constraint& phi,
+    const EnumerationBounds& bounds, const DtdStructure* dtd) {
   TableSchema schema = TableSchema::Infer(sigma, phi);
   std::vector<std::string> values;
   for (size_t i = 0; i < bounds.num_values; ++i) {
@@ -275,8 +281,9 @@ std::optional<TableInstance> EnumerateCountermodel(
   for (const auto& [type, attrs] : schema.attrs) types.push_back(type);
 
   TableInstance instance;
-  size_t inspected = 0;
-  std::optional<TableInstance> found;
+  EnumerationOutcome outcome;
+  size_t& inspected = outcome.inspected;
+  std::optional<TableInstance>& found = outcome.countermodel;
 
   // Recursively choose, per type, a multiset of row codes (non-decreasing
   // sequences cover all multisets; row order is semantically irrelevant).
@@ -284,7 +291,14 @@ std::optional<TableInstance> EnumerateCountermodel(
     if (type_index == types.size()) {
       ++inspected;
       if (bounds.max_instances != 0 && inspected > bounds.max_instances) {
+        outcome.status = CheckLimit(inspected, bounds.max_instances,
+                                    "max_instances",
+                                    "countermodel instances inspected");
         return true;  // abort
+      }
+      if ((inspected & 0xFFF) == 0) {
+        outcome.status = bounds.deadline.Check("countermodel enumeration");
+        if (!outcome.status.ok()) return true;  // abort
       }
       if (SatisfiesAll(instance, sigma, dtd) &&
           !Satisfies(instance, phi, dtd)) {
@@ -319,8 +333,9 @@ std::optional<TableInstance> EnumerateCountermodel(
     };
     return choose_rows(0);
   };
-  recurse(0);
-  return found;
+  outcome.status = bounds.deadline.Check("countermodel enumeration");
+  if (outcome.status.ok()) recurse(0);
+  return outcome;
 }
 
 Result<LiftedDocument> LiftToDocument(const TableInstance& instance,

@@ -28,6 +28,7 @@
 #include "constraints/constraint.h"
 #include "model/data_tree.h"
 #include "model/dtd_structure.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
@@ -71,12 +72,27 @@ struct EnumerationBounds {
   size_t num_values = 2;
   /// Abort after inspecting this many instances (0 = no cap).
   size_t max_instances = 2'000'000;
+  /// Time budget; polled every few thousand instances.
+  Deadline deadline;
 };
 
 /// Exhaustively searches for an instance satisfying `sigma` but not
 /// `phi`. Returns the first countermodel found, or nullopt if none exists
-/// within the bounds (or the instance cap was hit).
+/// within the bounds (or the instance cap / deadline was hit).
 std::optional<TableInstance> EnumerateCountermodel(
+    const ConstraintSet& sigma, const Constraint& phi,
+    const EnumerationBounds& bounds = {}, const DtdStructure* dtd = nullptr);
+
+/// The structured variant: distinguishes "no countermodel within bounds"
+/// (countermodel empty, status OK) from "search cut short" (status
+/// kResourceExhausted naming max_instances, or kDeadlineExceeded).
+struct EnumerationOutcome {
+  std::optional<TableInstance> countermodel;
+  Status status = Status::OK();
+  /// Instances actually inspected.
+  size_t inspected = 0;
+};
+EnumerationOutcome EnumerateCountermodelBounded(
     const ConstraintSet& sigma, const Constraint& phi,
     const EnumerationBounds& bounds = {}, const DtdStructure* dtd = nullptr);
 

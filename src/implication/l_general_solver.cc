@@ -52,11 +52,32 @@ class Chase {
     GeneralResult result;
     bool changed = true;
     while (changed) {
+      if (Status s = options_.deadline.Check("chase"); !s.ok()) {
+        result.outcome = ImplicationOutcome::kUnknown;
+        result.chase_steps = steps_;
+        result.decided_by = "deadline";
+        result.status = std::move(s);
+        return result;
+      }
       if (steps_ > options_.max_chase_steps ||
           TotalRows() > options_.max_chase_rows) {
         result.outcome = ImplicationOutcome::kUnknown;
         result.chase_steps = steps_;
         result.decided_by = "bounds";
+        // Not CheckLimit: these are plain budgets where 0 is a valid
+        // (tiny) bound, not "unlimited".
+        result.status =
+            steps_ > options_.max_chase_steps
+                ? Status::LimitExceeded(
+                      "max_chase_steps",
+                      "chase rule applications (" + std::to_string(steps_) +
+                          " exceeds limit " +
+                          std::to_string(options_.max_chase_steps) + ")")
+                : Status::LimitExceeded(
+                      "max_chase_rows",
+                      "chase tableau rows (" + std::to_string(TotalRows()) +
+                          " exceeds limit " +
+                          std::to_string(options_.max_chase_rows) + ")");
         return result;
       }
       changed = false;

@@ -28,6 +28,7 @@
 
 #include "constraints/constraint.h"
 #include "implication/countermodel.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
@@ -46,8 +47,12 @@ struct GeneralResult {
   std::optional<TableInstance> countermodel;
   /// Chase statistics.
   size_t chase_steps = 0;
-  /// Which component settled the answer ("axioms", "chase", "bounds").
+  /// Which component settled the answer ("axioms", "chase", "bounds",
+  /// "deadline").
   std::string decided_by = "bounds";
+  /// Not-OK when the search was cut short: kResourceExhausted naming
+  /// max_chase_steps / max_chase_rows, or kDeadlineExceeded.
+  Status status = Status::OK();
 };
 
 struct GeneralOptions {
@@ -57,6 +62,8 @@ struct GeneralOptions {
   size_t max_chase_rows = 5'000;
   /// Maximum derived foreign-key mappings in the axiomatic prover.
   size_t max_derived = 50'000;
+  /// Time budget; polled between chase passes.
+  Deadline deadline;
 };
 
 class LGeneralSolver {

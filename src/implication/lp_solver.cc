@@ -5,7 +5,9 @@
 
 namespace xic {
 
-LpSolver::LpSolver(const ConstraintSet& sigma) { status_ = Build(sigma); }
+LpSolver::LpSolver(const ConstraintSet& sigma, const LpOptions& options) {
+  status_ = Build(sigma, options);
+}
 
 std::optional<LpSolver::Mapping> LpSolver::ToMapping(const Constraint& fk) {
   Mapping m;
@@ -33,7 +35,7 @@ Constraint LpSolver::FromMapping(const Mapping& m) const {
                                 std::move(ys));
 }
 
-Status LpSolver::Build(const ConstraintSet& sigma) {
+Status LpSolver::Build(const ConstraintSet& sigma, const LpOptions& options) {
   if (sigma.language != Language::kL) {
     return Status::InvalidArgument("LpSolver requires L constraints");
   }
@@ -111,6 +113,9 @@ Status LpSolver::Build(const ConstraintSet& sigma) {
   // m2: tau2 -> tau3 whenever m2's source attribute set equals m1's
   // target set (always the primary key of tau2 by the restriction).
   while (!worklist.empty()) {
+    XIC_RETURN_IF_ERROR(options.deadline.Check("I_p closure"));
+    XIC_RETURN_IF_ERROR(CheckLimit(mappings_.size(), options.max_closure,
+                                   "max_closure", "I_p closure mappings"));
     Mapping m = worklist.front();
     worklist.pop_front();
     std::vector<Mapping> snapshot(mappings_.begin(), mappings_.end());

@@ -30,15 +30,25 @@
 #include <vector>
 
 #include "constraints/constraint.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
+
+struct LpOptions {
+  /// Maximum mappings in the I_p closure (0 = unlimited). The closure can
+  /// be exponential in the key arity; exceeding the cap surfaces as
+  /// kResourceExhausted in status().
+  size_t max_closure = 0;
+  /// Time budget for the closure fixpoint; polled per worklist item.
+  Deadline deadline;
+};
 
 class LpSolver {
  public:
   /// Builds the I_p closure. `sigma` must be an L set satisfying the
   /// primary-key restriction; violations surface in status().
-  explicit LpSolver(const ConstraintSet& sigma);
+  explicit LpSolver(const ConstraintSet& sigma, const LpOptions& options = {});
 
   const Status& status() const { return status_; }
 
@@ -69,7 +79,7 @@ class LpSolver {
     auto operator<=>(const Mapping&) const = default;
   };
 
-  Status Build(const ConstraintSet& sigma);
+  Status Build(const ConstraintSet& sigma, const LpOptions& options);
   static std::optional<Mapping> ToMapping(const Constraint& fk);
   Constraint FromMapping(const Mapping& m) const;
 

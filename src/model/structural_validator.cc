@@ -8,6 +8,7 @@ namespace xic {
 std::string ValidationReport::ToString() const {
   if (ok()) return "valid";
   std::string out;
+  if (!status.ok()) out += status.ToString() + "\n";
   for (const Violation& v : violations) {
     out += "vertex " + std::to_string(v.vertex) + ": " + v.message + "\n";
   }
@@ -20,13 +21,25 @@ StructuralValidator::StructuralValidator(const DtdStructure& dtd,
   for (const std::string& element : dtd_.Elements()) {
     Result<RegexPtr> content = dtd_.ContentModel(element);
     if (content.ok()) {
-      automata_.emplace(element, GlushkovAutomaton(content.value()));
+      GlushkovAutomaton automaton(content.value());
+      if (status_.ok()) {
+        status_ = CheckLimit(automaton.num_positions(),
+                             options_.limits.max_automaton_states,
+                             "max_automaton_states",
+                             "content model of " + element);
+      }
+      automata_.emplace(element, std::move(automaton));
     }
   }
 }
 
-ValidationReport StructuralValidator::Validate(const DataTree& tree) const {
+ValidationReport StructuralValidator::Validate(
+    const DataTree& tree, const Deadline& deadline) const {
   ValidationReport report;
+  if (!status_.ok()) {
+    report.status = status_;
+    return report;
+  }
   auto add = [&](VertexId v, std::string msg) {
     if (options_.max_violations == 0 ||
         report.violations.size() < options_.max_violations) {
@@ -48,6 +61,12 @@ ValidationReport StructuralValidator::Validate(const DataTree& tree) const {
   }
 
   for (VertexId v = 0; v < tree.size() && !full(); ++v) {
+    if ((v & 0x3F) == 0) {
+      if (Status s = deadline.Check("structural validation"); !s.ok()) {
+        report.status = std::move(s);
+        return report;
+      }
+    }
     const std::string& tau = tree.label(v);
     if (!dtd_.HasElement(tau)) {
       add(v, "undeclared element type " + tau);

@@ -21,6 +21,7 @@
 #include "model/data_tree.h"
 #include "model/dtd_structure.h"
 #include "regex/glushkov.h"
+#include "util/limits.h"
 
 namespace xic {
 
@@ -30,6 +31,9 @@ struct ValidationOptions {
   bool allow_missing_attributes = false;
   /// Stop after this many violations (0 = collect all).
   size_t max_violations = 0;
+  /// max_automaton_states bounds the Glushkov positions of each compiled
+  /// content model; a DTD exceeding it surfaces in status().
+  ResourceLimits limits;
 };
 
 struct Violation {
@@ -39,7 +43,10 @@ struct Violation {
 
 struct ValidationReport {
   std::vector<Violation> violations;
-  bool ok() const { return violations.empty(); }
+  /// Not-OK when the walk was cut short (deadline); the violation list is
+  /// then a prefix, not a verdict.
+  Status status = Status::OK();
+  bool ok() const { return status.ok() && violations.empty(); }
   std::string ToString() const;
 };
 
@@ -50,8 +57,18 @@ class StructuralValidator {
   explicit StructuralValidator(const DtdStructure& dtd,
                                ValidationOptions options = {});
 
-  /// Validates the tree; the report lists every violation found.
-  ValidationReport Validate(const DataTree& tree) const;
+  /// Not-OK when compilation hit a resource limit (a content model
+  /// larger than max_automaton_states). Validate() then reports this
+  /// status on every document.
+  const Status& status() const { return status_; }
+
+  /// Validates the tree; the report lists every violation found. The
+  /// deadline is polled once per vertex.
+  ValidationReport Validate(const DataTree& tree) const {
+    return Validate(tree, Deadline::Infinite());
+  }
+  ValidationReport Validate(const DataTree& tree,
+                            const Deadline& deadline) const;
 
   /// True iff every content model in the DTD is 1-unambiguous
   /// (deterministic per the XML spec) -- an extension check beyond the
@@ -61,6 +78,7 @@ class StructuralValidator {
  private:
   const DtdStructure& dtd_;
   ValidationOptions options_;
+  Status status_;
   std::map<std::string, GlushkovAutomaton> automata_;
 };
 

@@ -21,6 +21,7 @@ std::string PathInverseConstraint::ToString() const {
 
 Result<bool> PathSolver::ImpliesFunctional(
     const PathFunctionalConstraint& phi) const {
+  XIC_RETURN_IF_ERROR(deadline_.Check("path implication"));
   XIC_RETURN_IF_ERROR(context_.status());
   XIC_ASSIGN_OR_RETURN(std::string lhs_type,
                        context_.TypeOf(phi.element, phi.lhs));
@@ -37,6 +38,7 @@ Result<bool> PathSolver::ImpliesFunctional(
 
 Result<bool> PathSolver::ImpliesInclusion(
     const PathInclusionConstraint& phi) const {
+  XIC_RETURN_IF_ERROR(deadline_.Check("path implication"));
   XIC_RETURN_IF_ERROR(context_.status());
   XIC_RETURN_IF_ERROR(context_.TypeOf(phi.lhs_element, phi.lhs).status());
   XIC_RETURN_IF_ERROR(context_.TypeOf(phi.rhs_element, phi.rhs).status());
@@ -52,6 +54,7 @@ Result<bool> PathSolver::ImpliesInclusion(
 
 Result<bool> PathSolver::ImpliesInverse(
     const PathInverseConstraint& phi) const {
+  XIC_RETURN_IF_ERROR(deadline_.Check("path implication"));
   XIC_RETURN_IF_ERROR(context_.status());
   XIC_RETURN_IF_ERROR(context_.TypeOf(phi.lhs_element, phi.lhs).status());
   XIC_RETURN_IF_ERROR(context_.TypeOf(phi.rhs_element, phi.rhs).status());

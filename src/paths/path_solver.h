@@ -22,6 +22,7 @@
 #include <string>
 
 #include "paths/path_typing.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
@@ -54,7 +55,10 @@ struct PathInverseConstraint {
 
 class PathSolver {
  public:
-  explicit PathSolver(const PathContext& context) : context_(context) {}
+  /// `deadline` bounds each query; an expired deadline makes every
+  /// Implies* return kDeadlineExceeded.
+  explicit PathSolver(const PathContext& context, Deadline deadline = {})
+      : context_(context), deadline_(deadline) {}
 
   /// Sigma |= phi (== Sigma |=_f phi for all three forms). Errors when a
   /// path is not in paths() of its element type.
@@ -64,6 +68,7 @@ class PathSolver {
 
  private:
   const PathContext& context_;
+  Deadline deadline_;
 };
 
 }  // namespace xic

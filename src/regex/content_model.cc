@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "util/limits.h"
 #include "util/strings.h"
 
 namespace xic {
@@ -202,7 +203,8 @@ namespace {
 //   atom    := NAME | '#PCDATA' | '(' choice ')'
 class ModelParser {
  public:
-  explicit ModelParser(std::string_view text) : text_(text) {}
+  ModelParser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   Result<RegexPtr> Parse() {
     SkipSpace();
@@ -273,11 +275,15 @@ class ModelParser {
   Result<RegexPtr> ParseAtom() {
     SkipSpace();
     if (Peek() == '(') {
+      XIC_RETURN_IF_ERROR(CheckLimit(++depth_, max_depth_,
+                                     "max_content_model_depth",
+                                     "content-model nesting depth"));
       ++pos_;
       XIC_ASSIGN_OR_RETURN(RegexPtr inner, ParseChoice());
       SkipSpace();
       if (Peek() != ')') return Error("expected ')'");
       ++pos_;
+      --depth_;
       return inner;
     }
     if (Consume("#PCDATA")) return Regex::String();
@@ -314,13 +320,16 @@ class ModelParser {
   }
 
   std::string_view text_;
+  size_t max_depth_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace
 
-Result<RegexPtr> ParseContentModel(const std::string& text) {
-  return ModelParser(text).Parse();
+Result<RegexPtr> ParseContentModel(const std::string& text,
+                                   size_t max_depth) {
+  return ModelParser(text, max_depth).Parse();
 }
 
 }  // namespace xic

@@ -108,7 +108,11 @@ class Regex {
 ///   EMPTY | ANY-free subset | "(" ... ")" with ',' '|' '*' '+' '?'
 ///   #PCDATA for the atomic type S.
 /// "ANY" is not supported (NotSupported) -- the paper's model has no ANY.
-Result<RegexPtr> ParseContentModel(const std::string& text);
+/// `max_depth` bounds parenthesis nesting (the parser recurses per
+/// level); 0 disables the bound. Exceeding it returns kResourceExhausted
+/// naming max_content_model_depth.
+Result<RegexPtr> ParseContentModel(const std::string& text,
+                                   size_t max_depth = 0);
 
 }  // namespace xic
 

@@ -53,7 +53,10 @@ std::set<int> MoveSet(const GlushkovAutomaton& nfa,
 
 }  // namespace
 
-bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b) {
+Result<bool> RegexLanguageIncludedBounded(const RegexPtr& a,
+                                          const RegexPtr& b,
+                                          const InclusionBounds& bounds) {
+  XIC_RETURN_IF_ERROR(bounds.deadline.Check("language inclusion"));
   GlushkovAutomaton nfa_a(a);
   GlushkovAutomaton nfa_b(b);
   // Product search over (a-state, determinized b-set): a counterexample
@@ -65,7 +68,15 @@ bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b) {
   ProductState start{kStart, {kStart}};
   visited.insert(start);
   queue.push_back(start);
+  size_t expanded = 0;
   while (!queue.empty()) {
+    XIC_RETURN_IF_ERROR(CheckLimit(visited.size(),
+                                   bounds.max_product_states,
+                                   "max_automaton_states",
+                                   "inclusion product states"));
+    if ((++expanded & 0xFF) == 0) {
+      XIC_RETURN_IF_ERROR(bounds.deadline.Check("language inclusion"));
+    }
     auto [pa, set_b] = queue.front();
     queue.pop_front();
     if (Accepting(nfa_a, pa) && !AnyAccepting(nfa_b, set_b)) {
@@ -88,6 +99,19 @@ bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b) {
     }
   }
   return true;
+}
+
+Result<bool> RegexLanguageEquivalentBounded(const RegexPtr& a,
+                                            const RegexPtr& b,
+                                            const InclusionBounds& bounds) {
+  XIC_ASSIGN_OR_RETURN(bool forward,
+                       RegexLanguageIncludedBounded(a, b, bounds));
+  if (!forward) return false;
+  return RegexLanguageIncludedBounded(b, a, bounds);
+}
+
+bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b) {
+  return RegexLanguageIncludedBounded(a, b, {}).value();
 }
 
 bool RegexLanguageEquivalent(const RegexPtr& a, const RegexPtr& b) {

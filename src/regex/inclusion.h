@@ -13,14 +13,42 @@
 #define XIC_REGEX_INCLUSION_H_
 
 #include "regex/content_model.h"
+#include "util/limits.h"
 
 namespace xic {
+
+/// Bounds for one inclusion query. The product search visits at most
+/// `max_product_states` pairs (0 = unlimited; kResourceExhausted naming
+/// max_automaton_states past that) and polls the deadline every few
+/// hundred states (kDeadlineExceeded on expiry).
+struct InclusionBounds {
+  size_t max_product_states = 0;
+  Deadline deadline;
+
+  static InclusionBounds FromLimits(const ResourceLimits& limits,
+                                    Deadline deadline = {}) {
+    InclusionBounds b;
+    b.max_product_states = limits.max_automaton_states;
+    b.deadline = deadline;
+    return b;
+  }
+};
 
 /// True iff L(a) ⊆ L(b).
 bool RegexLanguageIncluded(const RegexPtr& a, const RegexPtr& b);
 
 /// True iff L(a) = L(b).
 bool RegexLanguageEquivalent(const RegexPtr& a, const RegexPtr& b);
+
+/// Bounded variants: the exact answer, or a structured error when the
+/// state bound / deadline was hit (the inclusion problem is PSPACE-hard,
+/// so a service must cap it).
+Result<bool> RegexLanguageIncludedBounded(const RegexPtr& a,
+                                          const RegexPtr& b,
+                                          const InclusionBounds& bounds);
+Result<bool> RegexLanguageEquivalentBounded(const RegexPtr& a,
+                                            const RegexPtr& b,
+                                            const InclusionBounds& bounds);
 
 /// Compatibility verdict for replacing content model `from` by `to` in a
 /// DTD revision.

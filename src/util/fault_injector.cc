@@ -1,0 +1,57 @@
+#include "util/fault_injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xic {
+
+namespace {
+
+// FNV-1a over the seed and the site/key strings, finished with a
+// splitmix64 avalanche so nearby keys ("gen1", "gen2") decorrelate.
+uint64_t Mix(uint64_t seed, std::string_view site, std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325u ^ seed;
+  auto feed = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3u;
+    }
+    h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+    h *= 0x100000001b3u;
+  };
+  feed(site);
+  feed(key);
+  h += 0x9e3779b97f4a7c15u;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9u;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebu;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::Faulted(std::string_view site,
+                            std::string_view key) const {
+  if (!config_.enabled()) return false;
+  if (!config_.sites.empty() &&
+      std::find(config_.sites.begin(), config_.sites.end(), site) ==
+          config_.sites.end()) {
+    return false;
+  }
+  // Map the hash to [0, 1) with 53 bits of precision.
+  double u = static_cast<double>(Mix(config_.seed, site, key) >> 11) *
+             (1.0 / 9007199254740992.0);
+  return u < config_.rate;
+}
+
+Status FaultInjector::MaybeFail(std::string_view site, std::string_view key,
+                                int attempt) const {
+  if (attempt >= config_.transient_attempts) return Status::OK();
+  if (!Faulted(site, key)) return Status::OK();
+  std::string what = "injected fault at " + std::string(site) + " for " +
+                     std::string(key) + " (attempt " +
+                     std::to_string(attempt + 1) + ")";
+  if (config_.throw_exceptions) throw std::runtime_error(what);
+  return Status::Unavailable(std::move(what));
+}
+
+}  // namespace xic

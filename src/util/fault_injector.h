@@ -1,0 +1,76 @@
+// Deterministic fault injection for robustness testing.
+//
+// The batch engine (and any other pipeline) can be seeded with a
+// FaultInjector that fails configured pipeline sites ("parse",
+// "structure", "constraints", ...) for a deterministic subset of work
+// items. Decisions depend only on (seed, site, key, attempt) -- never on
+// wall clock, thread identity or call order -- so a faulted batch run
+// produces an identical outcome report at any thread count, and a test
+// can replay the exact same faults.
+//
+// Faults are *transient*: the first `transient_attempts` attempts at a
+// faulted (site, key) fail, later attempts succeed. A retry policy with
+// fewer attempts than that therefore sees the item as poisoned; one with
+// more recovers it -- both paths are exercised by
+// tests/fault_injection_test.cc. With `throw_exceptions` set, a faulted
+// site throws std::runtime_error instead of returning a Status,
+// exercising the engine's exception-isolation path.
+//
+// The default-constructed injector has rate 0 and injects nothing; the
+// check then costs one load and one compare.
+
+#ifndef XIC_UTIL_FAULT_INJECTOR_H_
+#define XIC_UTIL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic {
+
+struct FaultConfig {
+  /// Keys decisions; two injectors with the same seed fail the same
+  /// (site, key) pairs.
+  uint64_t seed = 0;
+  /// Probability in [0, 1] that a given (site, key) pair is faulted.
+  double rate = 0;
+  /// Number of leading attempts that fail for a faulted pair; attempts
+  /// beyond this succeed (the fault is transient).
+  int transient_attempts = 1;
+  /// Throw std::runtime_error instead of returning kUnavailable.
+  bool throw_exceptions = false;
+  /// Restrict injection to these sites (empty = every site).
+  std::vector<std::string> sites;
+
+  bool enabled() const { return rate > 0; }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// True iff (site, key) is faulted under this seed/rate, independent of
+  /// the attempt counter.
+  bool Faulted(std::string_view site, std::string_view key) const;
+
+  /// OK, or kUnavailable ("injected fault at <site> for <key>") when the
+  /// pair is faulted and `attempt` (0-based) is still within
+  /// transient_attempts. Throws std::runtime_error instead when
+  /// throw_exceptions is set.
+  Status MaybeFail(std::string_view site, std::string_view key,
+                   int attempt = 0) const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_UTIL_FAULT_INJECTOR_H_

@@ -16,6 +16,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -18,12 +18,14 @@ namespace xic {
 
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,   // malformed input to an API (bad constraint, bad path)
-  kParseError,        // syntax error in XML / DTD / constraint text
-  kValidationError,   // document does not conform to a DTD^C
-  kNotSupported,      // feature intentionally outside the implemented subset
-  kResourceExhausted, // a configured search bound was exceeded
-  kInternal,          // invariant violation inside the library
+  kInvalidArgument,    // malformed input to an API (bad constraint, bad path)
+  kParseError,         // syntax error in XML / DTD / constraint text
+  kValidationError,    // document does not conform to a DTD^C
+  kNotSupported,       // feature intentionally outside the implemented subset
+  kResourceExhausted,  // a configured resource limit or search bound was hit
+  kDeadlineExceeded,   // a deadline expired (or the call was cancelled)
+  kUnavailable,        // transient failure; retrying may succeed
+  kInternal,           // invariant violation inside the library
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -52,6 +54,21 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// A resource-limit violation naming the exceeded limit (e.g.
+  /// "max_tree_depth"); the name is recoverable via limit().
+  static Status LimitExceeded(std::string limit, std::string msg) {
+    Status s(StatusCode::kResourceExhausted, limit + ": " + std::move(msg));
+    s.limit_ = std::move(limit);
+    return s;
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    Status s(StatusCode::kDeadlineExceeded, std::move(msg));
+    s.limit_ = "deadline";
+    return s;
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -59,6 +76,10 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  /// For kResourceExhausted / kDeadlineExceeded: the name of the limit
+  /// that was exceeded ("max_tree_depth", "deadline", ...). Empty for
+  /// other codes and for untagged kResourceExhausted statuses.
+  const std::string& limit() const { return limit_; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -66,6 +87,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  std::string limit_;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

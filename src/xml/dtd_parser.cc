@@ -10,11 +10,16 @@ namespace {
 
 class DtdParser {
  public:
-  DtdParser(std::string_view text, std::string root)
-      : text_(text), root_(std::move(root)) {}
+  DtdParser(std::string_view text, std::string root,
+            const DtdParseOptions& options)
+      : text_(text), root_(std::move(root)), options_(options) {}
 
   Result<DtdStructure> Parse() {
+    XIC_RETURN_IF_ERROR(CheckLimit(text_.size(),
+                                   options_.limits.max_document_bytes,
+                                   "max_document_bytes", "DTD size"));
     while (true) {
+      XIC_RETURN_IF_ERROR(options_.deadline.Check("DTD parse"));
       SkipSpaceAndComments();
       if (pos_ >= text_.size()) break;
       if (text_[pos_] == '%') {
@@ -50,7 +55,9 @@ class DtdParser {
     std::string model(StripWhitespace(text_.substr(pos_, end - pos_)));
     pos_ = end + 1;
     // XML writes "(#PCDATA)" for string content; the paper's S.
-    XIC_ASSIGN_OR_RETURN(RegexPtr re, ParseContentModel(model));
+    XIC_ASSIGN_OR_RETURN(
+        RegexPtr re,
+        ParseContentModel(model, options_.limits.max_content_model_depth));
     return dtd_.AddElement(name, std::move(re));
   }
 
@@ -225,6 +232,7 @@ class DtdParser {
 
   std::string_view text_;
   std::string root_;
+  const DtdParseOptions& options_;
   size_t pos_ = 0;
   DtdStructure dtd_;
 };
@@ -232,8 +240,9 @@ class DtdParser {
 }  // namespace
 
 Result<DtdStructure> ParseDtd(const std::string& text,
-                              const std::string& root) {
-  return DtdParser(text, root).Parse();
+                              const std::string& root,
+                              const DtdParseOptions& options) {
+  return DtdParser(text, root, options).Parse();
 }
 
 }  // namespace xic

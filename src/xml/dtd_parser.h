@@ -17,14 +17,24 @@
 #include <string>
 
 #include "model/dtd_structure.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
 
+struct DtdParseOptions {
+  /// Hard input bounds (subset bytes, content-model nesting). Violations
+  /// return kResourceExhausted naming the limit.
+  ResourceLimits limits;
+  /// Time budget; checked once per declaration.
+  Deadline deadline;
+};
+
 /// Parses a DTD (a sequence of declarations, e.g. the internal subset of a
 /// DOCTYPE). `root` becomes the structure's root element type r.
 Result<DtdStructure> ParseDtd(const std::string& text,
-                              const std::string& root);
+                              const std::string& root,
+                              const DtdParseOptions& options = {});
 
 }  // namespace xic
 

@@ -123,9 +123,9 @@ std::string WriteDocumentWithDtdC(const DataTree& tree,
 }
 
 Result<SelfDescribingDocument> ParseDocumentWithDtdC(
-    const std::string& text) {
+    const std::string& text, const XmlParseOptions& options) {
   SelfDescribingDocument out;
-  XIC_ASSIGN_OR_RETURN(out.document, ParseXml(text));
+  XIC_ASSIGN_OR_RETURN(out.document, ParseXml(text, options));
   if (!out.document.internal_subset.empty()) {
     XIC_ASSIGN_OR_RETURN(DtdC dtdc,
                          ParseDtdC(out.document.internal_subset,

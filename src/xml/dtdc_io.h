@@ -61,7 +61,8 @@ struct SelfDescribingDocument {
   XmlDocument document;
   std::optional<ConstraintSet> sigma;
 };
-Result<SelfDescribingDocument> ParseDocumentWithDtdC(const std::string& text);
+Result<SelfDescribingDocument> ParseDocumentWithDtdC(
+    const std::string& text, const XmlParseOptions& options = {});
 
 }  // namespace xic
 

@@ -23,8 +23,11 @@ class XmlParser {
       : text_(text), options_(options) {}
 
   Result<XmlDocument> Parse() {
+    XIC_RETURN_IF_ERROR(CheckLimit(text_.size(),
+                                   options_.limits.max_document_bytes,
+                                   "max_document_bytes", "document size"));
     XIC_RETURN_IF_ERROR(ParseProlog());
-    XIC_ASSIGN_OR_RETURN(VertexId root, ParseElement(kInvalidVertex));
+    XIC_ASSIGN_OR_RETURN(VertexId root, ParseElement(kInvalidVertex, 1));
     (void)root;
     SkipMisc();
     if (pos_ != text_.size()) {
@@ -103,8 +106,12 @@ class XmlParser {
       }
       std::string subset(text_.substr(pos_, end - pos_));
       pos_ = end + 1;
-      XIC_ASSIGN_OR_RETURN(DtdStructure dtd,
-                           ParseDtd(subset, doc_.doctype_name));
+      DtdParseOptions dtd_options;
+      dtd_options.limits = options_.limits;
+      dtd_options.deadline = options_.deadline;
+      XIC_ASSIGN_OR_RETURN(
+          DtdStructure dtd,
+          ParseDtd(subset, doc_.doctype_name, dtd_options));
       doc_.dtd = std::move(dtd);
       doc_.internal_subset = std::move(subset);
     }
@@ -116,8 +123,13 @@ class XmlParser {
     return Status::OK();
   }
 
-  // Parses one element; attaches it to `parent` (or makes it the root).
-  Result<VertexId> ParseElement(VertexId parent) {
+  // Parses one element at nesting depth `depth` (root = 1); attaches it
+  // to `parent` (or makes it the root).
+  Result<VertexId> ParseElement(VertexId parent, size_t depth) {
+    XIC_RETURN_IF_ERROR(CheckLimit(depth, options_.limits.max_tree_depth,
+                                   "max_tree_depth",
+                                   "element nesting depth"));
+    XIC_RETURN_IF_ERROR(options_.deadline.Check("XML parse"));
     if (pos_ >= text_.size() || text_[pos_] != '<') {
       return Result<VertexId>(Error("expected '<'"));
     }
@@ -128,6 +140,7 @@ class XmlParser {
       XIC_RETURN_IF_ERROR(doc_.tree.AddChildVertex(parent, v));
     }
     // Attributes.
+    size_t num_attrs = 0;
     while (true) {
       SkipSpace();
       if (pos_ >= text_.size()) {
@@ -141,6 +154,9 @@ class XmlParser {
         pos_ += 2;
         return v;
       }
+      XIC_RETURN_IF_ERROR(CheckLimit(
+          ++num_attrs, options_.limits.max_attributes_per_element,
+          "max_attributes_per_element", "attributes on element " + name));
       XIC_ASSIGN_OR_RETURN(std::string attr, ParseName());
       SkipSpace();
       if (pos_ >= text_.size() || text_[pos_] != '=') {
@@ -208,7 +224,7 @@ class XmlParser {
       }
       if (text_[pos_] == '<') {
         flush_text();
-        XIC_ASSIGN_OR_RETURN(VertexId child, ParseElement(v));
+        XIC_ASSIGN_OR_RETURN(VertexId child, ParseElement(v, depth + 1));
         (void)child;
         continue;
       }
@@ -283,6 +299,20 @@ class XmlParser {
   }
 
   Result<std::string> ParseReference() {
+    Result<std::string> expanded = ParseReferenceInner();
+    if (expanded.ok()) {
+      // Charge every expanded byte against the shared budget; a document
+      // that is mostly references (an expansion bomb) hits this long
+      // before it exhausts memory.
+      expanded_bytes_ += expanded.value().size();
+      XIC_RETURN_IF_ERROR(
+          CheckLimit(expanded_bytes_, options_.limits.max_expansion_bytes,
+                     "max_expansion_bytes", "reference expansion output"));
+    }
+    return expanded;
+  }
+
+  Result<std::string> ParseReferenceInner() {
     size_t end = text_.find(';', pos_);
     if (end == std::string_view::npos || end - pos_ > 12) {
       return Result<std::string>(Error("malformed entity reference"));
@@ -439,6 +469,7 @@ class XmlParser {
   std::string_view text_;
   const XmlParseOptions& options_;
   size_t pos_ = 0;
+  size_t expanded_bytes_ = 0;  // reference-expansion output so far
   XmlDocument doc_;
 };
 

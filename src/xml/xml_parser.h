@@ -20,6 +20,7 @@
 
 #include "model/data_tree.h"
 #include "model/dtd_structure.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace xic {
@@ -30,6 +31,14 @@ struct XmlParseOptions {
   /// Tokenize set-valued attribute values using this DTD (may be null;
   /// ignored when the document carries its own internal subset).
   const DtdStructure* dtd = nullptr;
+  /// Hard input bounds (document bytes, nesting depth, attributes per
+  /// element, reference-expansion output). Violations return
+  /// kResourceExhausted naming the limit; ResourceLimits::Unlimited()
+  /// disables them.
+  ResourceLimits limits;
+  /// Time budget; checked once per element. Expiry returns
+  /// kDeadlineExceeded.
+  Deadline deadline;
 };
 
 /// A parsed document: the data tree plus the DTD recovered from the
