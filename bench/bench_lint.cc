@@ -1,0 +1,153 @@
+// Static analysis at scale: the full xiclint rule pipeline over
+// generated (DTD, Sigma) corpora. Measures the whole-report path
+// (what a CI lint job pays per schema) and the two super-linear
+// suspects in isolation: the redundancy rule (|Sigma| solver builds)
+// and the extent-bound fixpoint behind the consistency rule.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "constraints/constraint.h"
+#include "xml/dtd_parser.h"
+
+namespace {
+
+using namespace xic;
+
+// A wide catalog schema: the root fans out to n record types, each with
+// a keyed attribute, a reference to its predecessor, and a couple of
+// child types to give the grammar rules real work.
+std::string CatalogDtd(int n) {
+  std::string dtd = "<!ELEMENT catalog (";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) dtd += ", ";
+    dtd += "rec" + std::to_string(i) + "*";
+  }
+  dtd += ")>\n";
+  for (int i = 0; i < n; ++i) {
+    std::string t = "rec" + std::to_string(i);
+    dtd += "<!ELEMENT " + t + " (name, note*)>\n";
+    dtd += "<!ATTLIST " + t + " id CDATA #REQUIRED ref CDATA #IMPLIED>\n";
+  }
+  dtd += "<!ELEMENT name (#PCDATA)>\n<!ELEMENT note (#PCDATA)>\n";
+  return dtd;
+}
+
+ConstraintSet CatalogSigma(int n) {
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  for (int i = 0; i < n; ++i) {
+    std::string t = "rec" + std::to_string(i);
+    sigma.constraints.push_back(Constraint::UnaryKey(t, "id"));
+    if (i > 0) {
+      sigma.constraints.push_back(Constraint::UnaryForeignKey(
+          t, "ref", "rec" + std::to_string(i - 1), "id"));
+    }
+  }
+  return sigma;
+}
+
+DtdStructure MustDtd(const std::string& text, const std::string& root) {
+  Result<DtdStructure> dtd = ParseDtd(text, root);
+  if (!dtd.ok()) std::abort();
+  return dtd.value();
+}
+
+void BM_LintFullReport(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DtdStructure dtd = MustDtd(CatalogDtd(n), "catalog");
+  ConstraintSet sigma = CatalogSigma(n);
+  Analyzer analyzer;
+  for (auto _ : state) {
+    AnalysisReport report = analyzer.Analyze(dtd, sigma);
+    benchmark::DoNotOptimize(report.diagnostics.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(sigma.constraints.size()));
+}
+BENCHMARK(BM_LintFullReport)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_LintRedundancyRule(benchmark::State& state) {
+  // One LuSolver build per constraint: the quadratic tail of the
+  // pipeline, benchmarked alone so regressions are attributable.
+  int n = static_cast<int>(state.range(0));
+  DtdStructure dtd = MustDtd(CatalogDtd(n), "catalog");
+  ConstraintSet sigma = CatalogSigma(n);
+  Analyzer analyzer;
+  AnalysisOptions options;
+  options.rules = {"redundancy"};
+  for (auto _ : state) {
+    AnalysisReport report = analyzer.Analyze(dtd, sigma, options);
+    benchmark::DoNotOptimize(report.diagnostics.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(sigma.constraints.size()));
+}
+BENCHMARK(BM_LintRedundancyRule)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_LintConsistencyRule(benchmark::State& state) {
+  // Extent-bound fixpoints plus the tight-edge relaxation.
+  int n = static_cast<int>(state.range(0));
+  DtdStructure dtd = MustDtd(CatalogDtd(n), "catalog");
+  ConstraintSet sigma = CatalogSigma(n);
+  Analyzer analyzer;
+  AnalysisOptions options;
+  options.rules = {"consistency"};
+  for (auto _ : state) {
+    AnalysisReport report = analyzer.Analyze(dtd, sigma, options);
+    benchmark::DoNotOptimize(report.diagnostics.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LintConsistencyRule)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_LintGrammarRulesOnly(benchmark::State& state) {
+  // Reachability + productivity + Glushkov determinism over the DTD,
+  // independent of |Sigma|.
+  int n = static_cast<int>(state.range(0));
+  DtdStructure dtd = MustDtd(CatalogDtd(n), "catalog");
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  Analyzer analyzer;
+  AnalysisOptions options;
+  options.rules = {"reachability", "productivity", "determinism"};
+  for (auto _ : state) {
+    AnalysisReport report = analyzer.Analyze(dtd, sigma, options);
+    benchmark::DoNotOptimize(report.rules_run.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LintGrammarRulesOnly)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity();
+
+void BM_LintJsonRendering(benchmark::State& state) {
+  // Rendering cost for a report dense with findings (every record type
+  // missing, so one XIC001 per constraint).
+  int n = static_cast<int>(state.range(0));
+  DtdStructure dtd = MustDtd(
+      "<!ELEMENT catalog (#PCDATA)>", "catalog");
+  ConstraintSet sigma = CatalogSigma(n);
+  AnalysisReport report = Analyzer().Analyze(dtd, sigma);
+  for (auto _ : state) {
+    std::string json = report.ToJson();
+    benchmark::DoNotOptimize(json.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(report.diagnostics.size()));
+}
+BENCHMARK(BM_LintJsonRendering)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+}  // namespace

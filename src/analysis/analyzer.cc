@@ -1,0 +1,51 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace xic {
+
+AnalysisReport Analyzer::Analyze(const DtdStructure& dtd,
+                                 const ConstraintSet& sigma,
+                                 const AnalysisOptions& options) const {
+  AnalysisReport report;
+  report.language = LanguageToString(sigma.language);
+
+  AnalysisInput input{dtd, sigma, options.locations, options.limits,
+                      options.deadline};
+
+  for (const auto& rule : registry_.rules()) {
+    if (!options.rules.empty() &&
+        std::find(options.rules.begin(), options.rules.end(), rule->name()) ==
+            options.rules.end()) {
+      continue;
+    }
+    if (Status expired = options.deadline.Check("static analysis");
+        !expired.ok()) {
+      report.status = expired;
+      break;
+    }
+    report.rules_run.push_back(rule->name());
+    if (Status s = rule->Run(input, &report.diagnostics); !s.ok()) {
+      report.status = s;
+      break;
+    }
+  }
+
+  std::stable_sort(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        // Constraint-anchored findings first, in source order; grammar
+        // findings after, grouped per element type.
+        auto key = [](const Diagnostic& d) {
+          return std::make_tuple(d.location.constraint_index < 0 ? 1 : 0,
+                                 d.location.constraint_index,
+                                 std::cref(d.location.element),
+                                 std::cref(d.code), std::cref(d.message));
+        };
+        return key(a) < key(b);
+      });
+  return report;
+}
+
+}  // namespace xic

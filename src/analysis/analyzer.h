@@ -1,0 +1,60 @@
+// The static-analysis front door: run every registered lint rule over a
+// (DTD, constraint set) pair -- no document required -- and collect the
+// findings into one deterministic AnalysisReport.
+//
+// This is the library behind examples/xiclint.cpp. The paper's point is
+// that DTDs with constraints admit static reasoning (implication,
+// consistency, finite satisfiability are decidable or soundly
+// approximable before any document exists); the Analyzer turns the
+// solvers of implication/ into actionable diagnostics the way a compiler
+// turns a type system into error messages.
+
+#ifndef XIC_ANALYSIS_ANALYZER_H_
+#define XIC_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/rule.h"
+#include "constraints/constraint.h"
+#include "model/dtd_structure.h"
+#include "util/limits.h"
+#include "util/status.h"
+
+namespace xic {
+
+struct AnalysisOptions {
+  /// Bounds for the grammar analyses and solver searches. Violations
+  /// surface as report.status = kResourceExhausted naming the limit.
+  ResourceLimits limits;
+  /// Wall-clock budget for the whole run; checked between rules and
+  /// inside the solver-backed rules.
+  Deadline deadline;
+  /// Run only these rules (registry names); empty means all.
+  std::vector<std::string> rules;
+  /// Per-constraint source locations (parallel to sigma.constraints),
+  /// e.g. from ParseConstraintsLocated. May be empty.
+  std::vector<DiagLocation> locations;
+};
+
+class Analyzer {
+ public:
+  /// Analyzes with the built-in rule registry.
+  Analyzer() : registry_(RuleRegistry::Builtin()) {}
+  /// Analyzes with a caller-assembled registry (tests, extensions).
+  explicit Analyzer(const RuleRegistry& registry) : registry_(registry) {}
+
+  /// Runs the (selected) rules in registry order. Diagnostics are sorted
+  /// deterministically; an expired deadline or exceeded limit stops the
+  /// run and is recorded in report.status (exit code 3 territory).
+  AnalysisReport Analyze(const DtdStructure& dtd, const ConstraintSet& sigma,
+                         const AnalysisOptions& options = {}) const;
+
+ private:
+  const RuleRegistry& registry_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,37 @@
+#include "analysis/rule.h"
+
+namespace xic {
+
+DiagLocation AnalysisInput::LocationOf(int index) const {
+  DiagLocation loc;
+  loc.constraint_index = index;
+  if (index >= 0 && static_cast<size_t>(index) < locations.size()) {
+    loc.line = locations[index].line;
+    loc.column = locations[index].column;
+  }
+  return loc;
+}
+
+void RuleRegistry::Register(std::unique_ptr<const LintRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+const LintRule* RuleRegistry::Find(const std::string& name) const {
+  for (const auto& rule : rules_) {
+    if (rule->name() == name) return rule.get();
+  }
+  return nullptr;
+}
+
+const RuleRegistry& RuleRegistry::Builtin() {
+  static const RuleRegistry* const registry = [] {
+    auto* r = new RuleRegistry();
+    RegisterReferenceRules(r);
+    RegisterGrammarRules(r);
+    RegisterConsistencyRules(r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace xic

@@ -1,0 +1,89 @@
+// The lint-rule interface and registry.
+//
+// Each diagnostic family is a separately registered LintRule so the set
+// is extensible: a rule sees the (DTD, constraint set) pair plus resource
+// governance, and appends Diagnostics. Rules must be deterministic and
+// side-effect free; a rule that cannot run meaningfully on the given
+// input (e.g. a solver rule over a set with reference errors) emits
+// nothing rather than cascading noise.
+//
+// Rules return a Status for *infrastructure* outcomes only (deadline
+// expiry, resource exhaustion); findings are never errors in the Status
+// sense.
+
+#ifndef XIC_ANALYSIS_RULE_H_
+#define XIC_ANALYSIS_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "constraints/constraint.h"
+#include "model/dtd_structure.h"
+#include "util/limits.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// Everything a rule may look at. Locations (when the constraint set was
+/// parsed from text) are parallel to sigma.constraints; the vector may be
+/// shorter or empty when unknown.
+struct AnalysisInput {
+  const DtdStructure& dtd;
+  const ConstraintSet& sigma;
+  const std::vector<DiagLocation>& locations;
+  ResourceLimits limits;
+  Deadline deadline;
+
+  /// The recorded location of constraint `index` (line/column filled in
+  /// when known), with constraint_index always set.
+  DiagLocation LocationOf(int index) const;
+};
+
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+
+  /// Stable registry name, e.g. "references", "determinism".
+  virtual std::string name() const = 0;
+  /// One-line human description (xiclint --list-rules).
+  virtual std::string description() const = 0;
+  /// Appends findings for `input` to `out`. Returns non-OK only for
+  /// infrastructure failures (deadline, limits).
+  virtual Status Run(const AnalysisInput& input,
+                     std::vector<Diagnostic>* out) const = 0;
+};
+
+/// An ordered collection of rules. The built-in registry holds every rule
+/// of this module in a fixed order (execution order is part of the
+/// deterministic-output contract).
+class RuleRegistry {
+ public:
+  RuleRegistry() = default;
+  RuleRegistry(const RuleRegistry&) = delete;
+  RuleRegistry& operator=(const RuleRegistry&) = delete;
+
+  void Register(std::unique_ptr<const LintRule> rule);
+
+  const std::vector<std::unique_ptr<const LintRule>>& rules() const {
+    return rules_;
+  }
+  const LintRule* Find(const std::string& name) const;
+
+  /// The registry with all built-in rules, constructed once.
+  static const RuleRegistry& Builtin();
+
+ private:
+  std::vector<std::unique_ptr<const LintRule>> rules_;
+};
+
+// Registration hooks, one per rule family (rules_*.cc). Called by
+// RuleRegistry::Builtin in this order.
+void RegisterReferenceRules(RuleRegistry* registry);
+void RegisterGrammarRules(RuleRegistry* registry);
+void RegisterConsistencyRules(RuleRegistry* registry);
+
+}  // namespace xic
+
+#endif  // XIC_ANALYSIS_RULE_H_

@@ -1,0 +1,239 @@
+// Reference and kind diagnostics (XIC0xx): constraints naming element
+// types or fields absent from the DTD, ATTLIST kinds (ID / IDREF vs
+// CDATA) contradicting the constraint's role, residual shape errors, and
+// duplicate constraint definitions.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rule.h"
+#include "constraints/well_formed.h"
+
+namespace xic {
+
+namespace {
+
+constexpr char kCodeUnknownElement[] = "XIC001";
+constexpr char kCodeUnknownField[] = "XIC002";
+constexpr char kCodeKindMismatch[] = "XIC003";
+constexpr char kCodeShape[] = "XIC004";
+constexpr char kCodeDuplicate[] = "XIC005";
+
+class ReferenceRule final : public LintRule {
+ public:
+  std::string name() const override { return "references"; }
+  std::string description() const override {
+    return "constraints must name declared element types and fields whose "
+           "ATTLIST kind matches their role";
+  }
+
+  Status Run(const AnalysisInput& input,
+             std::vector<Diagnostic>* out) const override {
+    std::map<Constraint, int> first_seen;
+    for (size_t i = 0; i < input.sigma.constraints.size(); ++i) {
+      const Constraint& c = input.sigma.constraints[i];
+      size_t before = out->size();
+      CheckOne(input, static_cast<int>(i), c, out);
+      // Shape fallback: anything the targeted checks above did not
+      // explain (set-valued attributes in key positions, arity
+      // mismatches, language violations, ...) surfaces via the
+      // well-formedness checker with its message.
+      if (out->size() == before) {
+        if (Status shape =
+                CheckConstraintShape(c, input.sigma.language, input.dtd);
+            !shape.ok()) {
+          Emit(input, static_cast<int>(i), kCodeShape, DiagSeverity::kError,
+               shape.message(), out);
+        }
+      }
+      auto [it, inserted] = first_seen.emplace(c, static_cast<int>(i));
+      if (!inserted) {
+        Emit(input, static_cast<int>(i), kCodeDuplicate,
+             DiagSeverity::kWarning,
+             "duplicate constraint \"" + c.ToString() +
+                 "\" (first defined as constraint #" +
+                 std::to_string(it->second) + ")",
+             out);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  void Emit(const AnalysisInput& input, int index, const char* code,
+            DiagSeverity severity, std::string message,
+            std::vector<Diagnostic>* out) const {
+    Diagnostic d;
+    d.code = code;
+    d.rule = name();
+    d.severity = severity;
+    d.message = std::move(message);
+    d.location = input.LocationOf(index);
+    out->push_back(std::move(d));
+  }
+
+  // Emits XIC001/002/003 findings for one constraint. Later checks are
+  // skipped once an earlier layer (element, then field, then kind) has
+  // failed, so a single root cause yields a single diagnostic.
+  void CheckOne(const AnalysisInput& input, int index, const Constraint& c,
+                std::vector<Diagnostic>* out) const {
+    const DtdStructure& dtd = input.dtd;
+    bool has_ref = c.kind == ConstraintKind::kForeignKey ||
+                   c.kind == ConstraintKind::kSetForeignKey ||
+                   c.kind == ConstraintKind::kInverse;
+
+    bool elements_ok = true;
+    for (const std::string& tau :
+         has_ref ? std::vector<std::string>{c.element, c.ref_element}
+                 : std::vector<std::string>{c.element}) {
+      if (!dtd.HasElement(tau)) {
+        Emit(input, index, kCodeUnknownElement, DiagSeverity::kError,
+             "constraint \"" + c.ToString() +
+                 "\" names undeclared element type \"" + tau + "\"",
+             out);
+        elements_ok = false;
+      }
+    }
+    if (!elements_ok) return;
+
+    bool fields_ok = true;
+    auto check_fields = [&](const std::string& tau,
+                            const std::vector<std::string>& fields) {
+      for (const std::string& field : fields) {
+        if (field.empty()) continue;
+        if (ResolveField(dtd, tau, field) == FieldKind::kUnknown) {
+          Emit(input, index, kCodeUnknownField, DiagSeverity::kError,
+               "constraint \"" + c.ToString() + "\": \"" + tau +
+                   "\" has no attribute or unique sub-element \"" + field +
+                   "\"",
+               out);
+          fields_ok = false;
+        }
+      }
+    };
+    check_fields(c.element, c.attrs);
+    if (has_ref) check_fields(c.ref_element, c.ref_attrs);
+    if (c.kind == ConstraintKind::kInverse) {
+      check_fields(c.element, {c.inv_key});
+      check_fields(c.ref_element, {c.inv_ref_key});
+    }
+    if (!fields_ok) return;
+
+    if (input.sigma.language == Language::kLid) {
+      CheckLidKinds(input, index, c, out);
+    } else {
+      CheckAdvisoryKinds(input, index, c, out);
+    }
+  }
+
+  // L_id semantics bind constraint roles to ATTLIST kinds: ID constraints
+  // name the declared ID attribute, reference sources are IDREF, and
+  // reference targets are the target type's ID attribute (errors).
+  void CheckLidKinds(const AnalysisInput& input, int index,
+                     const Constraint& c, std::vector<Diagnostic>* out) const {
+    const DtdStructure& dtd = input.dtd;
+    auto mismatch = [&](std::string message) {
+      Emit(input, index, kCodeKindMismatch, DiagSeverity::kError,
+           "constraint \"" + c.ToString() + "\": " + std::move(message), out);
+    };
+    switch (c.kind) {
+      case ConstraintKind::kId: {
+        std::optional<std::string> id = dtd.IdAttribute(c.element);
+        if (!id.has_value()) {
+          mismatch("element type \"" + c.element +
+                   "\" declares no ID attribute");
+        } else if (*id != c.attr()) {
+          mismatch("\"" + c.attr() + "\" is not the ID attribute of \"" +
+                   c.element + "\" (which is \"" + *id + "\")");
+        }
+        break;
+      }
+      case ConstraintKind::kForeignKey:
+      case ConstraintKind::kSetForeignKey: {
+        if (!c.IsUnary()) break;  // shape fallback reports this
+        if (dtd.HasAttribute(c.element, c.attr()) &&
+            dtd.Kind(c.element, c.attr()) != AttrKind::kIdref) {
+          mismatch("source attribute \"" + c.element + "." + c.attr() +
+                   "\" must be declared IDREF" +
+                   (c.kind == ConstraintKind::kSetForeignKey ? "S" : "") +
+                   " in L_id");
+        }
+        std::optional<std::string> id = dtd.IdAttribute(c.ref_element);
+        if (!id.has_value()) {
+          mismatch("target type \"" + c.ref_element +
+                   "\" declares no ID attribute");
+        } else if (!c.ref_attrs.empty() && c.ref_attr() != *id) {
+          mismatch("target \"" + c.ref_element + "." + c.ref_attr() +
+                   "\" is not the ID attribute of \"" + c.ref_element +
+                   "\" (which is \"" + *id + "\")");
+        }
+        break;
+      }
+      case ConstraintKind::kInverse: {
+        for (const auto& [tau, attr] :
+             {std::pair{c.element, c.attr()},
+              std::pair{c.ref_element, c.ref_attr()}}) {
+          if (dtd.HasAttribute(tau, attr) &&
+              dtd.Kind(tau, attr) != AttrKind::kIdref) {
+            mismatch("inverse attribute \"" + tau + "." + attr +
+                     "\" must be declared IDREFS in L_id");
+          }
+          if (!dtd.IdAttribute(tau).has_value()) {
+            mismatch("element type \"" + tau +
+                     "\" declares no ID attribute for the inverse to "
+                     "dereference");
+          }
+        }
+        break;
+      }
+      case ConstraintKind::kKey:
+        break;
+    }
+  }
+
+  // In L / L_u, kinds are advisory: the languages ignore ID/IDREF, but a
+  // key over a declared reference attribute, or a foreign-key source over
+  // a declared ID attribute, contradicts the L_id reading of the same
+  // schema and is almost always a schema bug (warnings).
+  void CheckAdvisoryKinds(const AnalysisInput& input, int index,
+                          const Constraint& c,
+                          std::vector<Diagnostic>* out) const {
+    const DtdStructure& dtd = input.dtd;
+    if (c.kind == ConstraintKind::kKey) {
+      for (const std::string& attr : c.attrs) {
+        if (dtd.Kind(c.element, attr) == AttrKind::kIdref) {
+          Emit(input, index, kCodeKindMismatch, DiagSeverity::kWarning,
+               "constraint \"" + c.ToString() + "\": key component \"" +
+                   c.element + "." + attr +
+                   "\" is declared IDREF; reference attributes are rarely "
+                   "keys (contradicts the L_id reading)",
+               out);
+        }
+      }
+    }
+    if (c.kind == ConstraintKind::kForeignKey ||
+        c.kind == ConstraintKind::kSetForeignKey) {
+      for (const std::string& attr : c.attrs) {
+        if (dtd.Kind(c.element, attr) == AttrKind::kId) {
+          Emit(input, index, kCodeKindMismatch, DiagSeverity::kWarning,
+               "constraint \"" + c.ToString() +
+                   "\": foreign-key source \"" + c.element + "." + attr +
+                   "\" is declared ID; document-wide unique values cannot "
+                   "also reference another type's key (contradicts the "
+                   "L_id reading)",
+               out);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void RegisterReferenceRules(RuleRegistry* registry) {
+  registry->Register(std::make_unique<ReferenceRule>());
+}
+
+}  // namespace xic

@@ -20,8 +20,8 @@ class ConstraintTextParser {
  public:
   explicit ConstraintTextParser(std::string_view text) : text_(text) {}
 
-  Result<std::vector<Constraint>> Parse() {
-    std::vector<Constraint> out;
+  Result<std::vector<LocatedConstraint>> Parse() {
+    std::vector<LocatedConstraint> out;
     while (true) {
       SkipSpaceAndComments();
       if (pos_ >= text_.size()) return out;
@@ -29,12 +29,27 @@ class ConstraintTextParser {
         ++pos_;
         continue;
       }
+      auto [line, column] = LineColumnAt(pos_);
       XIC_ASSIGN_OR_RETURN(Constraint c, ParseStatement());
-      out.push_back(std::move(c));
+      out.push_back({std::move(c), line, column});
     }
   }
 
  private:
+  // 1-based line and column of `offset` in the source text.
+  std::pair<size_t, size_t> LineColumnAt(size_t offset) const {
+    size_t line = 1, column = 1;
+    for (size_t i = 0; i < offset && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return {line, column};
+  }
+
   Result<Constraint> ParseStatement() {
     XIC_ASSIGN_OR_RETURN(std::string keyword, ParseName());
     if (keyword == "key") {
@@ -167,8 +182,11 @@ class ConstraintTextParser {
   }
 
   Status Error(const std::string& what) const {
-    return Status::ParseError("constraints: " + what + " at offset " +
-                              std::to_string(pos_));
+    auto [line, column] = LineColumnAt(pos_);
+    return Status::ParseError("constraints: " + what + " at line " +
+                              std::to_string(line) + ", column " +
+                              std::to_string(column) + " (offset " +
+                              std::to_string(pos_) + ")");
   }
 
   std::string_view text_;
@@ -178,6 +196,18 @@ class ConstraintTextParser {
 }  // namespace
 
 Result<std::vector<Constraint>> ParseConstraints(const std::string& text) {
+  XIC_ASSIGN_OR_RETURN(std::vector<LocatedConstraint> located,
+                       ConstraintTextParser(text).Parse());
+  std::vector<Constraint> out;
+  out.reserve(located.size());
+  for (LocatedConstraint& lc : located) {
+    out.push_back(std::move(lc.constraint));
+  }
+  return out;
+}
+
+Result<std::vector<LocatedConstraint>> ParseConstraintsLocated(
+    const std::string& text) {
   return ConstraintTextParser(text).Parse();
 }
 

@@ -26,6 +26,20 @@ namespace xic {
 /// Parses a sequence of constraint statements.
 Result<std::vector<Constraint>> ParseConstraints(const std::string& text);
 
+/// A parsed constraint together with where its statement started in the
+/// source text (1-based line and column), for diagnostics that point back
+/// at the offending definition.
+struct LocatedConstraint {
+  Constraint constraint;
+  size_t line = 0;
+  size_t column = 0;
+};
+
+/// Parses statements, recording each statement's source position. Parse
+/// errors carry the line and column of the failure in their message.
+Result<std::vector<LocatedConstraint>> ParseConstraintsLocated(
+    const std::string& text);
+
 /// Parses statements and wraps them in a ConstraintSet of `lang`.
 Result<ConstraintSet> ParseConstraintSet(const std::string& text,
                                          Language lang);

@@ -92,24 +92,44 @@ bool GlushkovAutomaton::Matches(const std::vector<std::string>& word) const {
 
 namespace {
 
-// True if two distinct positions in `set` carry the same symbol.
-bool HasSymbolClash(const std::set<int>& set,
-                    const std::vector<std::string>& symbols) {
-  std::set<std::string> seen;
+// The lowest-numbered pair of distinct positions in `set` carrying the
+// same symbol, if any.
+std::optional<std::pair<int, int>> FindSymbolClash(
+    const std::set<int>& set, const std::vector<std::string>& symbols) {
+  std::map<std::string, int> seen;
   for (int p : set) {
-    if (!seen.insert(symbols[p]).second) return true;
+    auto [it, inserted] = seen.emplace(symbols[p], p);
+    if (!inserted) return std::make_pair(it->second, p);
   }
-  return false;
+  return std::nullopt;
 }
 
 }  // namespace
 
 bool GlushkovAutomaton::IsOneUnambiguous() const {
-  if (HasSymbolClash(first_, symbols_)) return false;
-  for (const std::set<int>& follow : follow_) {
-    if (HasSymbolClash(follow, symbols_)) return false;
+  return !OneUnambiguityWitness().has_value();
+}
+
+std::optional<AmbiguityWitness> GlushkovAutomaton::OneUnambiguityWitness()
+    const {
+  auto witness = [this](const std::pair<int, int>& clash, int via) {
+    AmbiguityWitness w;
+    w.symbol = symbols_[clash.first];
+    w.pos1 = clash.first;
+    w.pos2 = clash.second;
+    w.via = via;
+    return w;
+  };
+  if (auto clash = FindSymbolClash(first_, symbols_); clash.has_value()) {
+    return witness(*clash, -1);
   }
-  return true;
+  for (size_t p = 0; p < follow_.size(); ++p) {
+    if (auto clash = FindSymbolClash(follow_[p], symbols_);
+        clash.has_value()) {
+      return witness(*clash, static_cast<int>(p));
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace xic

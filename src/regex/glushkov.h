@@ -10,6 +10,7 @@
 #define XIC_REGEX_GLUSHKOV_H_
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -17,6 +18,19 @@
 #include "regex/content_model.h"
 
 namespace xic {
+
+/// Why a content model fails the 1-unambiguity requirement: two distinct
+/// positions (occurrences, numbered left to right from 0) that carry the
+/// same symbol compete -- after the same prefix, the matcher cannot
+/// decide which occurrence consumed the next label. `via == -1` means
+/// both positions can begin a match (clash in First); otherwise both can
+/// follow position `via` (clash in Follow(via)).
+struct AmbiguityWitness {
+  std::string symbol;
+  int pos1 = 0;
+  int pos2 = 0;
+  int via = -1;
+};
 
 class GlushkovAutomaton {
  public:
@@ -30,6 +44,10 @@ class GlushkovAutomaton {
   /// XML spec): no two distinct positions with the same symbol are both in
   /// First, or both in Follow(p) for some position p.
   bool IsOneUnambiguous() const;
+
+  /// The first clash violating 1-unambiguity (First before Follow sets,
+  /// lowest positions first), or nullopt for deterministic models.
+  std::optional<AmbiguityWitness> OneUnambiguityWitness() const;
 
   /// Number of positions (symbol occurrences) in the expression.
   size_t num_positions() const { return symbols_.size(); }

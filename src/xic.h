@@ -8,6 +8,7 @@
 //   constraints/   the languages L, L_u, L_id; well-formedness; checking
 //   engine/        parallel batch validation (work-stealing thread pool)
 //   implication/   the solvers of Section 3 (I_id, I_u, I_u^f, I_p, chase)
+//   analysis/      static lint rules over (DTD, Sigma) pairs (xiclint)
 //   paths/         Section 4 path typing / evaluation / implication
 //   relational/    legacy relational schemas, FD+IND chase, L encoding
 //   oo/            legacy ODL schemas and L_id-preserving export
@@ -16,6 +17,9 @@
 #ifndef XIC_XIC_H_
 #define XIC_XIC_H_
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "analysis/rule.h"
 #include "constraints/checker.h"
 #include "constraints/constraint.h"
 #include "constraints/constraint_parser.h"

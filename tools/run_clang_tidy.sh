@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy) over every source file in src/
+# using the compile database of the given build directory.
+#
+#   tools/run_clang_tidy.sh [BUILD_DIR]    default BUILD_DIR: build
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the `lint`
+# CMake target and the CI lint job are safe on minimal toolchains; exits
+# non-zero when clang-tidy runs and reports findings.
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "${TIDY}" ]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping lint" >&2
+  exit 0
+fi
+
+if [ ! -f "${ROOT}/${BUILD_DIR}/compile_commands.json" ] &&
+   [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json under ${BUILD_DIR};" >&2
+  echo "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+  exit 1
+fi
+
+DB_DIR="${BUILD_DIR}"
+[ -f "${DB_DIR}/compile_commands.json" ] || DB_DIR="${ROOT}/${BUILD_DIR}"
+
+cd "${ROOT}"
+FILES="$(find src -name '*.cc' | sort)"
+
+STATUS=0
+for f in ${FILES}; do
+  "${TIDY}" -p "${DB_DIR}" --quiet "${f}" || STATUS=1
+done
+
+if [ "${STATUS}" -ne 0 ]; then
+  echo "run_clang_tidy: findings reported (see above)" >&2
+fi
+exit "${STATUS}"
