@@ -1,0 +1,109 @@
+// Shared observability CLI plumbing for the xic* binaries.
+//
+// Every tool accepts the same three flags:
+//   --trace-out FILE    record a span trace and write Chrome trace_event
+//                       JSON (load in Perfetto / chrome://tracing)
+//   --metrics-out FILE  write the metrics registry as flat JSON
+//   --stats             print the metrics table to stderr on exit
+//
+// Usage pattern in a main():
+//   ObsCliOptions obs;
+//   ... if (ObsParseFlag(argc, argv, &i, &obs)) continue; ...
+//   ObsCliSession session(obs);      // starts tracing if requested
+//   ... do the work ...
+//   if (!session.Finish()) return 2; // writes files, prints --stats
+//
+// With XIC_OBS=OFF the flags still parse; traces come out empty and the
+// table says so, rather than the flags becoming hard errors.
+
+#ifndef XIC_EXAMPLES_OBS_CLI_H_
+#define XIC_EXAMPLES_OBS_CLI_H_
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace xic {
+
+struct ObsCliOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool stats = false;
+};
+
+/// Consumes one argv slot (plus its value) if it is an observability
+/// flag; leaves *index on the flag's last consumed slot. Returns true
+/// when the flag was recognized, false to let the caller handle it.
+/// Sets *error on a recognized flag with a missing value.
+inline bool ObsParseFlag(int argc, char** argv, int* index,
+                         ObsCliOptions* options, bool* error) {
+  std::string arg = argv[*index];
+  if (arg == "--stats") {
+    options->stats = true;
+    return true;
+  }
+  if (arg == "--trace-out" || arg == "--metrics-out") {
+    if (*index + 1 >= argc) {
+      std::cerr << arg << ": missing file argument\n";
+      *error = true;
+      return true;
+    }
+    std::string value = argv[++*index];
+    (arg == "--trace-out" ? options->trace_out : options->metrics_out) =
+        std::move(value);
+    return true;
+  }
+  return false;
+}
+
+/// RAII wrapper: starts a trace session when --trace-out was given and
+/// writes every requested artifact in Finish().
+class ObsCliSession {
+ public:
+  explicit ObsCliSession(ObsCliOptions options)
+      : options_(std::move(options)) {
+    obs::Tracer::SetCurrentThreadName("main");
+    if (!options_.trace_out.empty()) obs::Tracer::Global().Start();
+  }
+
+  /// Stops tracing and writes --trace-out / --metrics-out / --stats.
+  /// Returns false when an output file could not be written.
+  bool Finish() {
+    bool ok = true;
+    if (!options_.trace_out.empty()) {
+      obs::Tracer::Global().Stop();
+      obs::TraceSnapshot snapshot = obs::Tracer::Global().Collect();
+      ok &= WriteFile(options_.trace_out, obs::ToChromeTraceJson(snapshot));
+    }
+    if (!options_.metrics_out.empty()) {
+      ok &= WriteFile(options_.metrics_out, obs::MetricsToJson());
+    }
+    if (options_.stats) std::cerr << obs::MetricsToTable();
+    return ok;
+  }
+
+ private:
+  static bool WriteFile(const std::string& path,
+                        const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << path << ": cannot write\n";
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::cerr << path << ": write failed\n";
+      return false;
+    }
+    return true;
+  }
+
+  ObsCliOptions options_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_EXAMPLES_OBS_CLI_H_

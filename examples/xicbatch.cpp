@@ -30,6 +30,7 @@
 #include <sstream>
 
 #include "engine/batch_validator.h"
+#include "obs_cli.h"
 #include "xic.h"
 
 namespace {
@@ -97,6 +98,10 @@ int Usage() {
          "  --max-bytes N   per-document size limit (0 = unlimited)\n"
          "  --timeout-ms N  per-document wall-clock budget (0 = none)\n"
          "  --retries N     extra attempts for transient failures\n"
+         "  --json FILE     write the batch report as JSON\n"
+         "  --trace-out FILE    write a Chrome/Perfetto trace of the run\n"
+         "  --metrics-out FILE  write the metrics registry as JSON\n"
+         "  --stats             print the metrics table to stderr\n"
 #ifdef XIC_FAULT_INJECTION
          "  --fault-rate P  inject faults on fraction P of (site, doc)\n"
          "  --fault-seed S  seed for deterministic fault decisions\n"
@@ -121,11 +126,18 @@ int main(int argc, char** argv) {
   size_t threads = 0;  // hardware concurrency
   int generate = 0;
   BatchOptions options;
+  ObsCliOptions obs_options;
+  std::string json_out;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     unsigned long count = 0;
-    if (arg == "--threads" && i + 1 < argc) {
+    bool obs_error = false;
+    if (ObsParseFlag(argc, argv, &i, &obs_options, &obs_error)) {
+      if (obs_error) return Usage();
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
       if (!ParseCount(argv[++i], &count)) {
         std::cerr << "--threads: not a number: " << argv[i] << "\n";
         return Usage();
@@ -253,10 +265,20 @@ int main(int argc, char** argv) {
 
   options.num_threads = threads;
   options.validation.allow_missing_attributes = true;
+  ObsCliSession obs_session(obs_options);
   BatchValidator validator(dtd, sigma, options);
   BatchReport report = validator.Run(corpus);
   std::cout << report.ViolationsToString(sigma);
   std::cout << report.stats.ToString();
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << json_out << ": cannot write\n";
+      return 2;
+    }
+    out << report.ToJson(sigma);
+  }
+  if (!obs_session.Finish()) return 2;
   if (report.any_infrastructure_failure()) return 2;
   return report.all_ok() ? 0 : 1;
 }

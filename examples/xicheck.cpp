@@ -22,6 +22,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs_cli.h"
 #include "xic.h"
 
 namespace {
@@ -153,11 +154,15 @@ bool ParseNumber(const char* text, unsigned long* out) {
 
 int main(int argc, char** argv) {
   CheckConfig config;
+  ObsCliOptions obs_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     unsigned long count = 0;
-    if (arg == "--repair") {
+    bool obs_error = false;
+    if (ObsParseFlag(argc, argv, &i, &obs_options, &obs_error)) {
+      if (obs_error) return 2;
+    } else if (arg == "--repair") {
       config.repair = true;
     } else if (arg == "--max-depth" && i + 1 < argc) {
       if (!ParseNumber(argv[++i], &count)) {
@@ -179,7 +184,8 @@ int main(int argc, char** argv) {
       config.timeout_ms = count;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: xicheck [--repair] [--max-depth N] "
-                   "[--max-bytes N] [--timeout-ms N] [file.xml ...]\n";
+                   "[--max-bytes N] [--timeout-ms N] [--trace-out FILE] "
+                   "[--metrics-out FILE] [--stats] [file.xml ...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << arg << ": unknown option\n";
@@ -188,12 +194,15 @@ int main(int argc, char** argv) {
       files.push_back(std::move(arg));
     }
   }
+  ObsCliSession obs_session(obs_options);
   if (files.empty()) {
     std::cout << "(no files given; checking the built-in demo, which has "
                  "one dangling reference)\n";
     CheckConfig demo = config;
     demo.repair = true;
-    return CheckOne("<demo>", kDemo, demo) == 2 ? 2 : 0;
+    int code = CheckOne("<demo>", kDemo, demo) == 2 ? 2 : 0;
+    if (!obs_session.Finish()) return 2;
+    return code;
   }
   int worst = 0;
   for (const std::string& file : files) {
@@ -207,5 +216,6 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     worst = std::max(worst, CheckOne(file, buffer.str(), config));
   }
+  if (!obs_session.Finish()) worst = std::max(worst, 2);
   return worst;
 }

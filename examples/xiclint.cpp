@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs_cli.h"
 #include "xic.h"
 
 namespace {
@@ -168,6 +169,7 @@ void ListRules() {
 
 int main(int argc, char** argv) {
   LintConfig config;
+  ObsCliOptions obs_options;
   std::string dtd_path, constraints_path, root;
   Language language = Language::kLu;
   std::vector<std::string> files;
@@ -181,7 +183,10 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--json") {
+    bool obs_error = false;
+    if (ObsParseFlag(argc, argv, &i, &obs_options, &obs_error)) {
+      if (obs_error) return 3;
+    } else if (arg == "--json") {
       config.json = true;
     } else if (arg == "--list-rules") {
       ListRules();
@@ -229,6 +234,8 @@ int main(int argc, char** argv) {
       std::cout << "usage: xiclint [--json] [--rule NAME] [--list-rules]\n"
                    "               [--timeout-ms N] [--max-bytes N] "
                    "[--max-states N]\n"
+                   "               [--trace-out FILE] [--metrics-out FILE] "
+                   "[--stats]\n"
                    "               --dtd schema.dtd --root r "
                    "[--constraints sigma.txt] [--language L|L_u|L_id]\n"
                    "       xiclint [options] doc.xml [more.xml ...]\n"
@@ -243,6 +250,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  ObsCliSession obs_session(obs_options);
+  auto finish = [&](int code) {
+    if (!obs_session.Finish()) return std::max(code, 3);
+    return code;
+  };
   if (!dtd_path.empty()) {
     if (root.empty()) {
       std::cerr << "--dtd requires --root\n";
@@ -258,15 +270,15 @@ int main(int argc, char** argv) {
       std::cerr << constraints_path << ": cannot open\n";
       return 3;
     }
-    return LintPair(dtd_path, dtd_text, root, constraint_text, language,
-                    config);
+    return finish(LintPair(dtd_path, dtd_text, root, constraint_text,
+                           language, config));
   }
 
   if (files.empty()) {
     std::cerr << "(no input given; linting the built-in book DTD^C, which "
                  "is clean)\n";
-    return LintPair("<demo>", kDemoDtd, "book", kDemoConstraints,
-                    Language::kLu, config);
+    return finish(LintPair("<demo>", kDemoDtd, "book", kDemoConstraints,
+                           Language::kLu, config));
   }
   int worst = 0;
   for (const std::string& file : files) {
@@ -278,5 +290,5 @@ int main(int argc, char** argv) {
     }
     worst = std::max(worst, LintSelfDescribing(file, text, config));
   }
-  return worst;
+  return finish(worst);
 }

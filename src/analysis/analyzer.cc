@@ -1,13 +1,18 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
+
+#include "obs/obs.h"
 
 namespace xic {
 
 AnalysisReport Analyzer::Analyze(const DtdStructure& dtd,
                                  const ConstraintSet& sigma,
                                  const AnalysisOptions& options) const {
+  obs::ScopedSpan analyze_span("lint.analyze", "analysis");
+  XIC_COUNTER_ADD("lint.analyses", 1);
   AnalysisReport report;
   report.language = LanguageToString(sigma.language);
 
@@ -26,7 +31,32 @@ AnalysisReport Analyzer::Analyze(const DtdStructure& dtd,
       break;
     }
     report.rules_run.push_back(rule->name());
-    if (Status s = rule->Run(input, &report.diagnostics); !s.ok()) {
+    Status s;
+    {
+      obs::ScopedSpan rule_span("lint.rule", "analysis");
+      rule_span.AddString("rule", rule->name());
+      size_t before = report.diagnostics.size();
+      auto start = std::chrono::steady_clock::now();
+      s = rule->Run(input, &report.diagnostics);
+      auto elapsed = std::chrono::steady_clock::now() - start;
+#if XIC_OBS_ENABLED
+      // Per-rule timing metrics use dynamic names, so they bypass the
+      // static-cache macros and hit the registry directly.
+      std::string rule_name(rule->name());
+      auto& reg = obs::Registry::Global();
+      reg.GetCounter("lint.rule." + rule_name + ".runs").Add(1);
+      reg.GetCounter("lint.rule." + rule_name + ".ns")
+          .Add(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+#else
+      (void)elapsed;
+#endif
+      rule_span.AddInt(
+          "diagnostics",
+          static_cast<int64_t>(report.diagnostics.size() - before));
+    }
+    if (!s.ok()) {
       report.status = s;
       break;
     }
@@ -45,6 +75,11 @@ AnalysisReport Analyzer::Analyze(const DtdStructure& dtd,
         };
         return key(a) < key(b);
       });
+  XIC_COUNTER_ADD("lint.diagnostics", report.diagnostics.size());
+  analyze_span.AddInt("rules_run",
+                      static_cast<int64_t>(report.rules_run.size()));
+  analyze_span.AddInt("diagnostics",
+                      static_cast<int64_t>(report.diagnostics.size()));
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "constraints/well_formed.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace xic {
@@ -90,6 +91,19 @@ Result<AttrValue> ConstraintChecker::FieldValue(const DataTree& tree,
 
 ConstraintReport ConstraintChecker::Check(const DataTree& tree,
                                           const Deadline& deadline) const {
+  obs::ScopedSpan span("constraints.check", "constraints");
+  ConstraintReport report = CheckImpl(tree, deadline);
+  span.AddInt("constraints", static_cast<int64_t>(sigma_.constraints.size()));
+  span.AddInt("steps", static_cast<int64_t>(report.steps));
+  span.AddInt("violations", static_cast<int64_t>(report.violations.size()));
+  XIC_COUNTER_ADD("constraints.checks", 1);
+  XIC_COUNTER_ADD("constraints.steps", report.steps);
+  XIC_COUNTER_ADD("constraints.violations", report.violations.size());
+  return report;
+}
+
+ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
+                                              const Deadline& deadline) const {
   ConstraintReport report;
   ExtentIndex extents(tree);
   auto add = [&](size_t index, std::string msg, std::vector<VertexId> wit,
@@ -109,6 +123,7 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree,
   // the caller as violations of the constraint that needed them).
   auto single = [&](VertexId v,
                     const std::string& name) -> std::optional<std::string> {
+    ++report.steps;
     Result<AttrValue> value = FieldValue(tree, v, name);
     if (!value.ok() || value.value().size() != 1) return std::nullopt;
     return *value.value().begin();

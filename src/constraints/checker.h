@@ -56,6 +56,11 @@ struct ConstraintViolation {
 
 struct ConstraintReport {
   std::vector<ConstraintViolation> violations;
+  /// Work performed: vertex-field evaluations (index probes plus extent
+  /// scans). Fed to the observability layer as the constraint stage's
+  /// step count; not part of ToString(), so rendered reports stay
+  /// byte-stable.
+  size_t steps = 0;
   /// Not-OK when the check was cut short (deadline); the violation list
   /// is then a prefix, not a verdict.
   Status status = Status::OK();
@@ -91,6 +96,9 @@ class ConstraintChecker {
                                const std::string& name) const;
 
  private:
+  ConstraintReport CheckImpl(const DataTree& tree,
+                             const Deadline& deadline) const;
+
   // Immutable per-constraint state compiled once in the constructor.
   struct CompiledConstraint {
     // Resolved key attributes of an inverse constraint (the named L_u keys

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "engine/thread_pool.h"
+#include "obs/obs.h"
 
 namespace xic {
 
@@ -115,6 +116,134 @@ std::string BatchReport::ViolationsToString(const ConstraintSet& sigma) const {
 
 namespace {
 
+// Minimal JSON string escaping for report fields (names, messages).
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+bool HasCode(const DocumentOutcome& o, StatusCode code) {
+  return o.error.code() == code || o.parse.code() == code ||
+         o.structure.status.code() == code ||
+         o.constraints.status.code() == code;
+}
+
+const char* Verdict(const DocumentOutcome& o) {
+  if (o.infrastructure_failure()) return "infrastructure_failure";
+  if (!o.parse.ok()) return "parse_error";
+  if (!o.structure.ok()) return "invalid_structure";
+  if (!o.constraints.ok()) return "constraint_violations";
+  return "ok";
+}
+
+}  // namespace
+
+std::string BatchReport::ToJson(const ConstraintSet& sigma) const {
+  // Deterministic by construction: input order, no timings, no thread or
+  // worker identities (`stats.threads` is also omitted so one corpus
+  // renders identically at every --threads setting).
+  std::string out = "{\n  \"schema\": \"xic-batch-report-v1\",\n";
+  out += "  \"documents\": [";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const DocumentOutcome& o = outcomes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + JsonQuote(o.name);
+    out += ", \"verdict\": \"" + std::string(Verdict(o)) + "\"";
+    out += ", \"attempts\": " + std::to_string(o.attempts);
+    out += ", \"retries\": " + std::to_string(o.attempts - 1);
+    out += ", \"vertices\": " + std::to_string(o.vertices);
+    out += std::string(", \"timed_out\": ") +
+           (HasCode(o, StatusCode::kDeadlineExceeded) ? "true" : "false");
+    out += std::string(", \"faulted\": ") +
+           (HasCode(o, StatusCode::kUnavailable) ? "true" : "false");
+    if (!o.error.ok()) {
+      out += std::string(", \"error\": {\"code\": \"") +
+             StatusCodeToString(o.error.code()) +
+             "\", \"message\": " + JsonQuote(o.error.message()) + "}";
+    }
+    if (!o.parse.ok()) {
+      out += ", \"parse_error\": " + JsonQuote(o.parse.ToString());
+    }
+    if (!o.structure.status.ok()) {
+      out += ", \"structure_error\": " +
+             JsonQuote(o.structure.status.ToString());
+    }
+    if (!o.constraints.status.ok()) {
+      out += ", \"constraints_error\": " +
+             JsonQuote(o.constraints.status.ToString());
+    }
+    if (!o.structure.violations.empty()) {
+      out += ", \"structure_violations\": [";
+      for (size_t v = 0; v < o.structure.violations.size(); ++v) {
+        const Violation& viol = o.structure.violations[v];
+        if (v > 0) out += ", ";
+        out += "{\"vertex\": " + std::to_string(viol.vertex) +
+               ", \"message\": " + JsonQuote(viol.message) + "}";
+      }
+      out += "]";
+    }
+    if (!o.constraints.violations.empty()) {
+      out += ", \"constraint_violations\": [";
+      for (size_t v = 0; v < o.constraints.violations.size(); ++v) {
+        const ConstraintViolation& viol = o.constraints.violations[v];
+        if (v > 0) out += ", ";
+        out += "{\"constraint\": " +
+               JsonQuote(
+                   sigma.constraints[viol.constraint_index].ToString()) +
+               ", \"message\": " + JsonQuote(viol.message) + "}";
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += outcomes.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stats\": {";
+  out += "\"documents\": " + std::to_string(stats.documents);
+  out += ", \"parse_failures\": " + std::to_string(stats.parse_failures);
+  out += ", \"structurally_invalid\": " +
+         std::to_string(stats.structurally_invalid);
+  out += ", \"constraint_violating\": " +
+         std::to_string(stats.constraint_violating);
+  out += ", \"resource_failures\": " +
+         std::to_string(stats.resource_failures);
+  out += ", \"retries\": " + std::to_string(stats.retries);
+  out += ", \"total_vertices\": " + std::to_string(stats.total_vertices);
+  out += ", \"total_violations\": " +
+         std::to_string(stats.total_violations);
+  out += "}\n}\n";
+  return out;
+}
+
+namespace {
+
 // The single limits knob wins over whatever the per-stage option structs
 // carried (the CLI and tests set BatchOptions::limits only).
 BatchOptions NormalizeOptions(BatchOptions options) {
@@ -160,6 +289,9 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
                                                 size_t attempt) const {
   DocumentOutcome outcome;
   outcome.name = doc.name;
+  obs::ScopedSpan span("batch.attempt", "engine");
+  span.SetSeq(static_cast<int64_t>(attempt));
+  span.AddInt("attempt", static_cast<int64_t>(attempt));
   // The whole attempt runs under one try: anything a stage (or the fault
   // injector in throwing mode) throws becomes this document's outcome
   // instead of tearing down the batch.
@@ -168,6 +300,8 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
     int n = static_cast<int>(attempt);
     Clock::time_point t0 = Clock::now();
     if (Status s = injector_.MaybeFail("parse", doc.name, n); !s.ok()) {
+      XIC_COUNTER_ADD("engine.batch.faults", 1);
+      span.AddString("fault", "parse");
       outcome.error = std::move(s);
       return outcome;
     }
@@ -183,6 +317,8 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
     const DataTree& tree = parsed.value().tree;
     outcome.vertices = tree.size();
     if (Status s = injector_.MaybeFail("structure", doc.name, n); !s.ok()) {
+      XIC_COUNTER_ADD("engine.batch.faults", 1);
+      span.AddString("fault", "structure");
       outcome.error = std::move(s);
       return outcome;
     }
@@ -190,6 +326,8 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
     Clock::time_point t2 = Clock::now();
     outcome.structure_seconds = Seconds(t1, t2);
     if (Status s = injector_.MaybeFail("constraints", doc.name, n); !s.ok()) {
+      XIC_COUNTER_ADD("engine.batch.faults", 1);
+      span.AddString("fault", "constraints");
       outcome.error = std::move(s);
       return outcome;
     }
@@ -205,6 +343,7 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
 }
 
 BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const {
+  obs::ScopedSpan batch_span("batch.run", "engine");
   BatchReport report;
   report.outcomes.resize(corpus.size());
   Clock::time_point start = Clock::now();
@@ -213,18 +352,48 @@ BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const 
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  // One document's full pipeline (all attempts), wrapped in a span tagged
+  // with its deterministic input index. queue_wait measures fan-out start
+  // to pipeline start -- on the pool path that approximates time sitting
+  // in the worker deques.
+  auto run_one = [&](size_t i) {
+    obs::ScopedSpan doc_span("batch.document", "engine");
+    doc_span.SetSeq(static_cast<int64_t>(i));
+    double queue_wait = Seconds(start, Clock::now());
+    Clock::time_point doc_start = Clock::now();
+    DocumentOutcome& o = report.outcomes[i];
+    o = CheckOne(corpus[i]);
+    o.queue_wait_seconds = queue_wait;
+    o.worker = ThreadPool::current_worker();
+    double doc_seconds = Seconds(doc_start, Clock::now());
+    XIC_COUNTER_ADD("engine.batch.documents", 1);
+    XIC_COUNTER_ADD("engine.batch.retries", o.attempts - 1);
+    XIC_HISTOGRAM_OBSERVE("engine.batch.doc_ms", doc_seconds * 1e3,
+                          {0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+    if (doc_span.active()) {
+      doc_span.AddString("doc", o.name);
+      doc_span.AddInt("worker", o.worker);
+      doc_span.AddInt("attempts", static_cast<int64_t>(o.attempts));
+      doc_span.AddInt("vertices", static_cast<int64_t>(o.vertices));
+      doc_span.AddInt("structure_steps",
+                      static_cast<int64_t>(o.structure.steps));
+      doc_span.AddInt("constraint_steps",
+                      static_cast<int64_t>(o.constraints.steps));
+      doc_span.AddDouble("queue_wait_ms", queue_wait * 1e3);
+      doc_span.AddDouble("run_ms", doc_seconds * 1e3);
+      if (!o.error.ok()) {
+        doc_span.AddString("error", StatusCodeToString(o.error.code()));
+      }
+    }
+  };
   if (threads <= 1 || corpus.size() <= 1) {
     threads = 1;
-    for (size_t i = 0; i < corpus.size(); ++i) {
-      report.outcomes[i] = CheckOne(corpus[i]);
-    }
+    for (size_t i = 0; i < corpus.size(); ++i) run_one(i);
   } else {
     ThreadPool pool(threads);
     // Each worker writes only its own outcome slot; the Wait() inside
     // ParallelFor publishes them to this thread.
-    pool.ParallelFor(corpus.size(), [&](size_t i) {
-      report.outcomes[i] = CheckOne(corpus[i]);
-    });
+    pool.ParallelFor(corpus.size(), run_one);
   }
   report.stats.wall_seconds = Seconds(start, Clock::now());
   report.stats.threads = threads;
@@ -247,6 +416,17 @@ BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const 
     report.stats.structure_seconds += o.structure_seconds;
     report.stats.constraints_seconds += o.constraints_seconds;
   }
+  XIC_COUNTER_ADD("engine.batch.runs", 1);
+  XIC_COUNTER_ADD("engine.batch.resource_failures",
+                  report.stats.resource_failures);
+  if (batch_span.active()) {
+    batch_span.AddInt("documents",
+                      static_cast<int64_t>(report.stats.documents));
+    batch_span.AddInt("threads", static_cast<int64_t>(threads));
+    batch_span.AddInt("retries", static_cast<int64_t>(report.stats.retries));
+    batch_span.AddInt("violations",
+                      static_cast<int64_t>(report.stats.total_violations));
+  }
   return report;
 }
 
@@ -254,6 +434,8 @@ BatchReport BatchValidator::RunTrees(
     const std::vector<const DataTree*>& corpus) const {
   // Reuse Run()'s fan-out by expressing a tree as a pre-parsed document;
   // the pipeline stages after parse are identical.
+  obs::ScopedSpan batch_span("batch.run_trees", "engine");
+  XIC_COUNTER_ADD("engine.batch.runs", 1);
   BatchReport report;
   report.outcomes.resize(corpus.size());
   Clock::time_point start = Clock::now();
@@ -263,8 +445,17 @@ BatchReport BatchValidator::RunTrees(
     if (threads == 0) threads = 1;
   }
   auto check_tree = [&](size_t i) {
+    obs::ScopedSpan doc_span("batch.document", "engine");
+    doc_span.SetSeq(static_cast<int64_t>(i));
     DocumentOutcome& outcome = report.outcomes[i];
     outcome.name = "tree[" + std::to_string(i) + "]";
+    outcome.queue_wait_seconds = Seconds(start, Clock::now());
+    outcome.worker = ThreadPool::current_worker();
+    XIC_COUNTER_ADD("engine.batch.documents", 1);
+    if (doc_span.active()) {
+      doc_span.AddString("doc", outcome.name);
+      doc_span.AddInt("worker", outcome.worker);
+    }
     try {
       Deadline deadline = DocumentDeadline();
       const DataTree& tree = *corpus[i];

@@ -61,6 +61,13 @@ struct DocumentOutcome {
   double parse_seconds = 0;
   double structure_seconds = 0;
   double constraints_seconds = 0;
+  /// Delay between batch fan-out and this document's pipeline starting
+  /// (approximates time spent waiting in the pool's queues). Timing-only
+  /// diagnostics: excluded from ToJson/ViolationsToString.
+  double queue_wait_seconds = 0;
+  /// Pool worker that ran the (final) attempt, -1 on the inline path.
+  /// Scheduling-dependent; excluded from deterministic reports.
+  int worker = -1;
 
   bool ok() const {
     return error.ok() && parse.ok() && structure.ok() && constraints.ok();
@@ -113,6 +120,14 @@ struct BatchReport {
   /// thread counts (absent per-document deadlines, whose expiry is
   /// inherently timing-dependent).
   std::string ViolationsToString(const ConstraintSet& sigma) const;
+
+  /// Machine-readable batch report: one entry per document, in input
+  /// order, with verdict, attempts/retries, fault/timeout classification
+  /// and violation details, plus the aggregate counters. Deliberately
+  /// excludes every timing and the worker assignment so the bytes are
+  /// identical across thread counts (the batch engine's determinism
+  /// guarantee, pinned by engine_test).
+  std::string ToJson(const ConstraintSet& sigma) const;
 };
 
 struct BatchOptions {

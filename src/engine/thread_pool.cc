@@ -2,7 +2,16 @@
 
 #include <atomic>
 
+#include "obs/obs.h"
+
 namespace xic {
+
+namespace {
+// Worker index of the calling thread; -1 outside any pool's workers.
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+int ThreadPool::current_worker() { return tl_worker_index; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -35,7 +44,12 @@ void ThreadPool::Submit(std::function<void()> task) {
     target = next_queue_++ % queues_.size();
     ++queued_;
     ++pending_;
+    if (queued_ > queue_high_water_) {
+      queue_high_water_ = queued_;
+      XIC_COUNTER_MAX("engine.pool.queue_high_water", queued_);
+    }
   }
+  XIC_COUNTER_ADD("engine.pool.tasks", 1);
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
@@ -66,6 +80,14 @@ std::function<void()> ThreadPool::Take(size_t worker) {
 }
 
 void ThreadPool::WorkerLoop(size_t worker) {
+  tl_worker_index = static_cast<int>(worker);
+  obs::Tracer::SetCurrentThreadName("pool-" + std::to_string(worker));
+  // The worker's long-lived span becomes the parent of every document
+  // span the worker executes; it is only recorded when a trace session
+  // is already active when the pool spins up.
+  obs::ScopedSpan worker_span("engine.worker", "engine");
+  worker_span.SetSeq(static_cast<int64_t>(worker));
+  worker_span.AddInt("worker", static_cast<int64_t>(worker));
   std::unique_lock<std::mutex> lock(state_mutex_);
   while (true) {
     work_available_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
@@ -91,6 +113,11 @@ void ThreadPool::WorkerLoop(size_t worker) {
     if (error != nullptr) task_errors_.push_back(std::move(error));
     if (--pending_ == 0) all_done_.notify_all();
   }
+}
+
+size_t ThreadPool::queue_high_water() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return queue_high_water_;
 }
 
 std::vector<std::exception_ptr> ThreadPool::TakeTaskErrors() {

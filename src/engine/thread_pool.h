@@ -65,6 +65,16 @@ class ThreadPool {
   /// rethrown by ParallelFor itself).
   std::vector<std::exception_ptr> TakeTaskErrors();
 
+  /// Largest number of tasks that were ever queued (submitted but not
+  /// yet claimed by a worker) at once. Also published to the metrics
+  /// registry as `engine.pool.queue_high_water`.
+  size_t queue_high_water();
+
+  /// Index of the pool worker running the calling thread, or -1 when
+  /// called from outside any pool's workers (e.g. the submitting
+  /// thread). Used to tag per-document spans with their worker.
+  static int current_worker();
+
  private:
   struct WorkerQueue {
     std::mutex mutex;
@@ -83,6 +93,7 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t queued_ = 0;      // tasks sitting in a deque, not yet claimed
+  size_t queue_high_water_ = 0;  // max value queued_ ever reached
   size_t pending_ = 0;     // tasks submitted and not yet finished
   size_t next_queue_ = 0;  // round-robin submission cursor
   bool shutdown_ = false;

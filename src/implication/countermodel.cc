@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/obs.h"
+
 namespace xic {
 
 std::string TableInstance::ToString() const {
@@ -272,6 +274,8 @@ std::optional<TableInstance> EnumerateCountermodel(
 EnumerationOutcome EnumerateCountermodelBounded(
     const ConstraintSet& sigma, const Constraint& phi,
     const EnumerationBounds& bounds, const DtdStructure* dtd) {
+  obs::ScopedSpan span("countermodel.search", "implication");
+  XIC_COUNTER_ADD("countermodel.searches", 1);
   TableSchema schema = TableSchema::Infer(sigma, phi);
   std::vector<std::string> values;
   for (size_t i = 0; i < bounds.num_values; ++i) {
@@ -335,6 +339,9 @@ EnumerationOutcome EnumerateCountermodelBounded(
   };
   outcome.status = bounds.deadline.Check("countermodel enumeration");
   if (outcome.status.ok()) recurse(0);
+  XIC_COUNTER_ADD("countermodel.instances", outcome.inspected);
+  span.AddInt("instances", static_cast<int64_t>(outcome.inspected));
+  span.AddInt("found", outcome.countermodel.has_value() ? 1 : 0);
   return outcome;
 }
 

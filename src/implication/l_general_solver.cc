@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace xic {
 
 const char* ImplicationOutcomeToString(ImplicationOutcome outcome) {
@@ -432,7 +434,16 @@ GeneralResult ChaseImplication(const ConstraintSet& sigma,
                                  phi.kind != ConstraintKind::kForeignKey)) {
     return bad;
   }
-  return Chase(sigma, phi, options).Run();
+  obs::ScopedSpan span("chase.run", "implication");
+  GeneralResult result = Chase(sigma, phi, options).Run();
+  XIC_COUNTER_ADD("chase.runs", 1);
+  XIC_COUNTER_ADD("chase.steps", result.chase_steps);
+  XIC_HISTOGRAM_OBSERVE("chase.steps_per_run", result.chase_steps,
+                        {1.0, 8.0, 64.0, 512.0, 4096.0});
+  span.AddInt("steps", static_cast<int64_t>(result.chase_steps));
+  span.AddString("decided_by", result.decided_by);
+  span.AddString("outcome", ImplicationOutcomeToString(result.outcome));
+  return result;
 }
 
 }  // namespace xic

@@ -1,5 +1,7 @@
 #include "implication/lid_solver.h"
 
+#include "obs/obs.h"
+
 namespace xic {
 
 LidSolver::LidSolver(const DtdStructure& dtd, const ConstraintSet& sigma)
@@ -11,8 +13,16 @@ Status LidSolver::BuildClosure(const ConstraintSet& sigma) {
   if (sigma.language != Language::kLid) {
     return Status::InvalidArgument("LidSolver requires L_id constraints");
   }
+  // One "step" is one axiom application (a conclusion offered to the
+  // closure). Theorem 3.2's linearity claim is observable here:
+  // lid.solver.steps grows linearly in |Sigma| (see DESIGN.md's
+  // theorem -> metric table and bench_lid).
+  obs::ScopedSpan span("lid.solver.build", "implication");
+  size_t steps = 0;
+  XIC_COUNTER_ADD("lid.solver.builds", 1);
   // Pass 1: hypotheses, plus symmetry of inverses.
   for (const Constraint& c : sigma.constraints) {
+    ++steps;
     closure_.Add(c, "hypothesis");
     if (c.kind == ConstraintKind::kInverse) {
       closure_.Add(
@@ -87,12 +97,19 @@ Status LidSolver::BuildClosure(const ConstraintSet& sigma) {
           break;  // keys have no L_id derivation rules
       }
     }
+    steps += pending.size();
     for (auto& [c, just] : pending) {
       if (closure_.Add(c, just.rule, std::move(just.premises))) {
         changed = true;
       }
     }
   }
+  XIC_COUNTER_ADD("lid.solver.steps", steps);
+  XIC_HISTOGRAM_OBSERVE("lid.solver.steps_per_build", steps,
+                        {4.0, 16.0, 64.0, 256.0, 1024.0});
+  XIC_COUNTER_ADD("lid.solver.closure_size", closure_.size());
+  span.AddInt("steps", static_cast<int64_t>(steps));
+  span.AddInt("closure_size", static_cast<int64_t>(closure_.size()));
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/obs.h"
+
 namespace xic {
 
 LpSolver::LpSolver(const ConstraintSet& sigma, const LpOptions& options) {
@@ -39,6 +41,9 @@ Status LpSolver::Build(const ConstraintSet& sigma, const LpOptions& options) {
   if (sigma.language != Language::kL) {
     return Status::InvalidArgument("LpSolver requires L constraints");
   }
+  obs::ScopedSpan span("lp.solver.build", "implication");
+  XIC_COUNTER_ADD("lp.solver.builds", 1);
+  size_t compositions = 0;
   // Collect primary keys: those declared, plus the targets of foreign keys
   // (PFK-K). The restriction forbids two distinct key sets per type.
   auto add_primary = [&](const std::string& tau,
@@ -136,10 +141,17 @@ Status LpSolver::Build(const ConstraintSet& sigma, const LpOptions& options) {
           }
           composed.attr_map.emplace(x, it->second);
         }
-        if (ok) add_mapping(std::move(composed), first, second);
+        if (ok) {
+          ++compositions;
+          add_mapping(std::move(composed), first, second);
+        }
       }
     }
   }
+  XIC_COUNTER_ADD("lp.solver.steps", compositions);
+  XIC_COUNTER_ADD("lp.solver.closure_size", mappings_.size());
+  span.AddInt("steps", static_cast<int64_t>(compositions));
+  span.AddInt("closure_size", static_cast<int64_t>(mappings_.size()));
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <deque>
 #include <functional>
 
+#include "obs/obs.h"
+
 namespace xic {
 
 LuSolver::LuSolver(const ConstraintSet& sigma) { status_ = Build(sigma); }
@@ -54,6 +56,9 @@ Status LuSolver::Build(const ConstraintSet& sigma) {
     return Status::InvalidArgument("LuSolver handles L_u (or unary L), not "
                                    "L_id; use LidSolver");
   }
+  obs::ScopedSpan span("lu.solver.build", "implication");
+  XIC_COUNTER_ADD("lu.solver.builds", 1);
+  XIC_COUNTER_ADD("lu.solver.steps", sigma.constraints.size());
   for (const Constraint& c : sigma.constraints) {
     switch (c.kind) {
       case ConstraintKind::kKey: {
@@ -142,6 +147,9 @@ Status LuSolver::Build(const ConstraintSet& sigma) {
     }
   }
   BuildFiniteEdges();
+  XIC_COUNTER_ADD("lu.solver.nodes", nodes_.size());
+  span.AddInt("nodes", static_cast<int64_t>(nodes_.size()));
+  span.AddInt("constraints", static_cast<int64_t>(sigma.constraints.size()));
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #include "model/structural_validator.h"
 
+#include "obs/obs.h"
 #include "regex/glushkov.h"
 #include "util/strings.h"
 
@@ -35,6 +36,19 @@ StructuralValidator::StructuralValidator(const DtdStructure& dtd,
 
 ValidationReport StructuralValidator::Validate(
     const DataTree& tree, const Deadline& deadline) const {
+  obs::ScopedSpan span("validate.structure", "model");
+  ValidationReport report = ValidateImpl(tree, deadline);
+  span.AddInt("vertices", static_cast<int64_t>(tree.size()));
+  span.AddInt("steps", static_cast<int64_t>(report.steps));
+  span.AddInt("violations", static_cast<int64_t>(report.violations.size()));
+  XIC_COUNTER_ADD("validate.documents", 1);
+  XIC_COUNTER_ADD("validate.steps", report.steps);
+  XIC_COUNTER_ADD("validate.violations", report.violations.size());
+  return report;
+}
+
+ValidationReport StructuralValidator::ValidateImpl(
+    const DataTree& tree, const Deadline& deadline) const {
   ValidationReport report;
   if (!status_.ok()) {
     report.status = status_;
@@ -67,6 +81,7 @@ ValidationReport StructuralValidator::Validate(
         return report;
       }
     }
+    ++report.steps;
     const std::string& tau = tree.label(v);
     if (!dtd_.HasElement(tau)) {
       add(v, "undeclared element type " + tau);

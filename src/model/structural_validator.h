@@ -43,6 +43,10 @@ struct Violation {
 
 struct ValidationReport {
   std::vector<Violation> violations;
+  /// Vertices the walk examined (== tree size unless cut short). Fed to
+  /// the observability layer as the structure stage's step count; not
+  /// part of ToString(), so rendered reports stay byte-stable.
+  size_t steps = 0;
   /// Not-OK when the walk was cut short (deadline); the violation list is
   /// then a prefix, not a verdict.
   Status status = Status::OK();
@@ -76,6 +80,9 @@ class StructuralValidator {
   bool AllContentModelsDeterministic() const;
 
  private:
+  ValidationReport ValidateImpl(const DataTree& tree,
+                                const Deadline& deadline) const;
+
   const DtdStructure& dtd_;
   ValidationOptions options_;
   Status status_;

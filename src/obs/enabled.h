@@ -1,0 +1,21 @@
+// Compile-time kill switch for the observability layer.
+//
+// The build defines XIC_OBS_DISABLED (cmake -DXIC_OBS=OFF) to compile
+// every probe -- spans, counters, histograms -- down to a no-op: the stub
+// classes in metrics.h / trace.h have empty inline bodies, so the
+// optimizer deletes the call sites and the argument expressions are
+// never evaluated (the macros below wrap them in sizeof). The default
+// build (XIC_OBS=ON) keeps the probes live; their steady-state cost is
+// one relaxed atomic add per counter hit and nothing at all for spans
+// while no trace session is active.
+
+#ifndef XIC_OBS_ENABLED_H_
+#define XIC_OBS_ENABLED_H_
+
+#if defined(XIC_OBS_DISABLED)
+#define XIC_OBS_ENABLED 0
+#else
+#define XIC_OBS_ENABLED 1
+#endif
+
+#endif  // XIC_OBS_ENABLED_H_

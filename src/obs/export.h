@@ -1,0 +1,72 @@
+// Exporters for trace snapshots and the metrics registry.
+//
+//   * ToChromeTraceJson: the Chrome trace_event format ("X" complete
+//     events, microsecond timestamps) that chrome://tracing and
+//     Perfetto's legacy importer load directly. Span attributes become
+//     the event's "args"; thread names become thread_name metadata
+//     events, so pool workers show up as labeled rows with their
+//     document spans nested beneath them.
+//   * DeterministicTreeString: a rendering that keeps only the
+//     scheduling-independent parts of a snapshot -- span names,
+//     categories, seq tags, attribute keys, and nesting -- with
+//     siblings sorted by (seq, name, cat). Two runs of the same
+//     workload produce the same string regardless of thread count or
+//     interleaving; the obs tests pin batch-engine traces with it.
+//   * MetricsToJson / MetricsToTable: re-exported from the registry for
+//     symmetric naming at CLI call sites.
+//
+// Everything here is a pure function of its input; file I/O stays in
+// the callers (the CLI binaries).
+
+#ifndef XIC_OBS_EXPORT_H_
+#define XIC_OBS_EXPORT_H_
+
+#include "obs/enabled.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xic::obs {
+
+/// Options for DeterministicTreeString.
+struct TreeStringOptions {
+  /// Render only trees rooted at spans with this name (after lifting:
+  /// a matching span's subtree is rendered even when the span itself
+  /// is nested, e.g. document spans under worker spans). Empty keeps
+  /// every root.
+  std::string root_name;
+  /// Include attribute *values* as well as keys. Off by default: values
+  /// such as worker ids and queue-wait times are scheduling-dependent.
+  bool attr_values = false;
+};
+
+#if XIC_OBS_ENABLED
+
+/// Serializes a snapshot as Chrome trace_event JSON. Deterministic for a
+/// fixed snapshot (events ordered by tid, then record order).
+std::string ToChromeTraceJson(const TraceSnapshot& snapshot);
+
+/// Scheduling-independent rendering; see the header comment.
+std::string DeterministicTreeString(const TraceSnapshot& snapshot,
+                                    const TreeStringOptions& options = {});
+
+#else
+
+inline std::string ToChromeTraceJson(const TraceSnapshot&) {
+  return "{\"traceEvents\":[]}\n";
+}
+inline std::string DeterministicTreeString(const TraceSnapshot&,
+                                           const TreeStringOptions& = {}) {
+  return "";
+}
+
+#endif  // XIC_OBS_ENABLED
+
+inline std::string MetricsToJson() { return Registry::Global().ToJson(); }
+inline std::string MetricsToTable() { return Registry::Global().ToTable(); }
+
+}  // namespace xic::obs
+
+#endif  // XIC_OBS_EXPORT_H_

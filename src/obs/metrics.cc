@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#if XIC_OBS_ENABLED
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace xic::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  // Shortest exact-enough form: integers print without a fraction so
+  // the JSON is stable across libc printf implementations.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  // Callers pass literal bound lists; sorting here makes a mis-ordered
+  // list a non-event instead of a silent misclassification.
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // +inf by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    double current = std::bit_cast<double>(observed);
+    uint64_t next = std::bit_cast<uint64_t>(current + value);
+    if (sum_bits_.compare_exchange_weak(observed, next,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlive all users
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" +
+           std::to_string(histogram->count()) +
+           ",\"sum\":" + FormatDouble(histogram->sum()) + ",\"buckets\":[";
+    for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+      if (i > 0) out += ",";
+      std::string le = i < histogram->bounds().size()
+                           ? FormatDouble(histogram->bounds()[i])
+                           : "\"+inf\"";
+      out += "{\"le\":" + le +
+             ",\"count\":" + std::to_string(histogram->bucket(i)) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t width = 0;
+  for (const auto& [name, counter] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += "count=" + std::to_string(histogram->count()) +
+           " sum=" + FormatDouble(histogram->sum());
+    for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+      std::string le = i < histogram->bounds().size()
+                           ? FormatDouble(histogram->bounds()[i])
+                           : "+inf";
+      out += " le" + le + "=" + std::to_string(histogram->bucket(i));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace xic::obs
+
+#endif  // XIC_OBS_ENABLED

@@ -1,0 +1,12 @@
+// Umbrella header for the observability layer (spans, metrics,
+// exporters). Instrumented code typically includes just this.
+
+#ifndef XIC_OBS_OBS_H_
+#define XIC_OBS_OBS_H_
+
+#include "obs/enabled.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#endif  // XIC_OBS_OBS_H_

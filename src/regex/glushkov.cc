@@ -1,5 +1,7 @@
 #include "regex/glushkov.h"
 
+#include "obs/obs.h"
+
 namespace xic {
 
 GlushkovAutomaton::GlushkovAutomaton(const RegexPtr& re) {
@@ -7,6 +9,11 @@ GlushkovAutomaton::GlushkovAutomaton(const RegexPtr& re) {
   nullable_ = root.nullable;
   first_ = std::move(root.first);
   last_ = std::move(root.last);
+  XIC_COUNTER_ADD("regex.glushkov.builds", 1);
+  XIC_COUNTER_ADD("regex.glushkov.states", symbols_.size());
+  XIC_COUNTER_MAX("regex.glushkov.max_states", symbols_.size());
+  XIC_HISTOGRAM_OBSERVE("regex.glushkov.states_per_build", symbols_.size(),
+                        {4.0, 16.0, 64.0, 256.0, 1024.0});
 }
 
 GlushkovAutomaton::BuildResult GlushkovAutomaton::Build(const Regex& re) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "regex/glushkov.h"
 
 namespace xic {
@@ -57,6 +58,8 @@ Result<bool> RegexLanguageIncludedBounded(const RegexPtr& a,
                                           const RegexPtr& b,
                                           const InclusionBounds& bounds) {
   XIC_RETURN_IF_ERROR(bounds.deadline.Check("language inclusion"));
+  obs::ScopedSpan span("regex.inclusion", "regex");
+  XIC_COUNTER_ADD("regex.inclusion.checks", 1);
   GlushkovAutomaton nfa_a(a);
   GlushkovAutomaton nfa_b(b);
   // Product search over (a-state, determinized b-set): a counterexample
@@ -80,6 +83,8 @@ Result<bool> RegexLanguageIncludedBounded(const RegexPtr& a,
     auto [pa, set_b] = queue.front();
     queue.pop_front();
     if (Accepting(nfa_a, pa) && !AnyAccepting(nfa_b, set_b)) {
+      XIC_COUNTER_ADD("regex.inclusion.product_states", visited.size());
+      span.AddInt("product_states", static_cast<int64_t>(visited.size()));
       return false;
     }
     // Outgoing symbols from pa.
@@ -98,6 +103,8 @@ Result<bool> RegexLanguageIncludedBounded(const RegexPtr& a,
       }
     }
   }
+  XIC_COUNTER_ADD("regex.inclusion.product_states", visited.size());
+  span.AddInt("product_states", static_cast<int64_t>(visited.size()));
   return true;
 }
 

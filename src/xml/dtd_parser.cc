@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace xic {
@@ -242,7 +243,17 @@ class DtdParser {
 Result<DtdStructure> ParseDtd(const std::string& text,
                               const std::string& root,
                               const DtdParseOptions& options) {
-  return DtdParser(text, root, options).Parse();
+  obs::ScopedSpan span("dtd.parse", "xml");
+  span.AddInt("bytes", static_cast<int64_t>(text.size()));
+  XIC_COUNTER_ADD("xml.dtd.parses", 1);
+  Result<DtdStructure> result = DtdParser(text, root, options).Parse();
+  if (result.ok()) {
+    span.AddInt("element_types",
+                static_cast<int64_t>(result.value().Elements().size()));
+  } else {
+    XIC_COUNTER_ADD("xml.dtd.errors", 1);
+  }
+  return result;
 }
 
 }  // namespace xic

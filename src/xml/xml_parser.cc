@@ -3,6 +3,7 @@
 #include <cctype>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/strings.h"
 #include "xml/dtd_parser.h"
 
@@ -477,7 +478,21 @@ class XmlParser {
 
 Result<XmlDocument> ParseXml(const std::string& text,
                              const XmlParseOptions& options) {
-  return XmlParser(text, options).Parse();
+  obs::ScopedSpan span("xml.parse", "xml");
+  span.AddInt("bytes", static_cast<int64_t>(text.size()));
+  XIC_COUNTER_ADD("xml.parse.calls", 1);
+  XIC_COUNTER_ADD("xml.parse.bytes", text.size());
+  XIC_HISTOGRAM_OBSERVE("xml.parse.bytes_per_doc", text.size(),
+                        {1024.0, 16384.0, 262144.0, 4194304.0});
+  Result<XmlDocument> result = XmlParser(text, options).Parse();
+  if (result.ok()) {
+    span.AddInt("vertices",
+                static_cast<int64_t>(result.value().tree.size()));
+  } else {
+    XIC_COUNTER_ADD("xml.parse.errors", 1);
+    span.AddString("error", result.status().ToString());
+  }
+  return result;
 }
 
 }  // namespace xic

@@ -3,6 +3,7 @@
 // byte-identical violation report to the sequential run.
 
 #include <atomic>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,34 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
     // No Wait(): the destructor must finish the queue before joining.
   }
   EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, TracksQueueHighWaterMark) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_high_water(), 0u);
+  // Block the only worker so further submissions pile up in the deque.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.Submit([gate] { gate.wait(); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] {});
+  }
+  release.set_value();
+  pool.Wait();
+  EXPECT_GE(pool.queue_high_water(), 10u);
+  EXPECT_LE(pool.queue_high_water(), 11u);
+}
+
+TEST(ThreadPool, CurrentWorkerIsSetInsideTasksOnly) {
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  pool.ParallelFor(64, [&](size_t) {
+    int worker = ThreadPool::current_worker();
+    if (worker < 0 || worker >= 3) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
 }
 
 // -- Batch validation corpus ------------------------------------------------
@@ -194,6 +223,56 @@ TEST(BatchValidator, ParallelReportIsByteIdenticalToSequential) {
     EXPECT_EQ(report.stats.total_violations, base.stats.total_violations);
     EXPECT_EQ(report.stats.total_vertices, base.stats.total_vertices);
   }
+}
+
+TEST(BatchValidator, JsonReportIsByteIdenticalAcrossThreadCounts) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma = CatalogSigma();
+  std::vector<BatchDocument> corpus = MakeCorpus(60);
+
+  auto with_faults = [](size_t threads) {
+    BatchOptions options = Threads(threads);
+    // Deterministic faults: some documents exhaust their retries
+    // (faulted + infrastructure failure), others recover on attempt 2
+    // (retries recorded); decisions depend only on (seed, site, name,
+    // attempt), never on scheduling.
+    options.faults.rate = 0.25;
+    options.faults.seed = 7;
+    options.faults.transient_attempts = 2;
+    options.max_attempts = 2;
+    return options;
+  };
+
+  BatchValidator sequential(dtd, sigma, with_faults(1));
+  std::string base = sequential.Run(corpus).ToJson(sigma);
+  EXPECT_NE(base.find("\"schema\": \"xic-batch-report-v1\""),
+            std::string::npos);
+  // The fault mix must actually exercise both annotation paths.
+  EXPECT_NE(base.find("\"faulted\": true"), std::string::npos);
+  EXPECT_NE(base.find("\"retries\": 1"), std::string::npos);
+  EXPECT_NE(base.find("\"verdict\": \"infrastructure_failure\""),
+            std::string::npos);
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    BatchValidator parallel(dtd, sigma, with_faults(threads));
+    EXPECT_EQ(parallel.Run(corpus).ToJson(sigma), base)
+        << threads << " threads";
+  }
+}
+
+TEST(BatchValidator, JsonReportEscapesAndClassifies) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma = CatalogSigma();
+  std::vector<BatchDocument> corpus;
+  corpus.push_back({"quote\"name", MakeDoc(0, false, true, false, false)});
+  BatchValidator validator(dtd, sigma, Threads(1));
+  std::string json = validator.Run(corpus).ToJson(sigma);
+  EXPECT_NE(json.find("\"quote\\\"name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"verdict\": \"constraint_violations\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"constraint_violations\": ["), std::string::npos)
+      << json;
 }
 
 TEST(BatchValidator, CleanCorpusIsAllOk) {

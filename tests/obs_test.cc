@@ -1,0 +1,342 @@
+// Tests for the observability layer (src/obs/): metrics semantics, span
+// nesting, deterministic tree rendering across thread counts, and the
+// Chrome trace_event exporter.
+//
+// The deterministic-tree tests are the contract the batch engine's
+// instrumentation relies on: the same workload run on 1, 4 and 16
+// threads must render to byte-identical tree strings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_validator.h"
+#include "engine/thread_pool.h"
+#include "obs/obs.h"
+#include "xml/dtdc_io.h"
+
+namespace xic {
+namespace {
+
+using obs::Registry;
+using obs::ScopedSpan;
+using obs::ScopedTraceSession;
+using obs::TraceSnapshot;
+using obs::Tracer;
+
+#if XIC_OBS_ENABLED
+
+TEST(MetricsTest, CounterAddAndMax) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add(3);
+  counter.Add();
+  EXPECT_EQ(counter.value(), 4u);
+  counter.RecordMax(2);  // smaller: no effect
+  EXPECT_EQ(counter.value(), 4u);
+  counter.RecordMax(10);
+  EXPECT_EQ(counter.value(), 10u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  obs::Histogram histogram({1.0, 10.0, 100.0});
+  // le semantics: a value equal to a bound lands in that bound's bucket.
+  histogram.Observe(0.5);    // le 1
+  histogram.Observe(1.0);    // le 1 (boundary)
+  histogram.Observe(1.0001); // le 10
+  histogram.Observe(10.0);   // le 10 (boundary)
+  histogram.Observe(99.9);   // le 100
+  histogram.Observe(100.0);  // le 100 (boundary)
+  histogram.Observe(100.1);  // +inf
+  ASSERT_EQ(histogram.num_buckets(), 4u);
+  EXPECT_EQ(histogram.bucket(0), 2u);
+  EXPECT_EQ(histogram.bucket(1), 2u);
+  EXPECT_EQ(histogram.bucket(2), 2u);
+  EXPECT_EQ(histogram.bucket(3), 1u);
+  EXPECT_EQ(histogram.count(), 7u);
+  EXPECT_NEAR(histogram.sum(), 0.5 + 1 + 1.0001 + 10 + 99.9 + 100 + 100.1,
+              1e-9);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+}
+
+TEST(MetricsTest, HistogramSortsUnorderedBounds) {
+  obs::Histogram histogram({100.0, 1.0, 10.0});
+  ASSERT_EQ(histogram.bounds().size(), 3u);
+  EXPECT_EQ(histogram.bounds()[0], 1.0);
+  EXPECT_EQ(histogram.bounds()[2], 100.0);
+}
+
+TEST(MetricsTest, RegistryRoundTrip) {
+  Registry& registry = Registry::Global();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.counter").Add(7);
+  registry.GetHistogram("obs_test.hist", {1.0, 2.0}).Observe(1.5);
+  // Same name returns the same object.
+  EXPECT_EQ(registry.GetCounter("obs_test.counter").value(), 7u);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"obs_test.counter\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs_test.hist\""), std::string::npos) << json;
+  std::string table = registry.ToTable();
+  EXPECT_NE(table.find("obs_test.counter"), std::string::npos) << table;
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("obs_test.counter").value(), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCounterUpdatesSumExactly) {
+  obs::Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), 80000u);
+}
+
+TEST(TraceTest, NoSessionMeansInactiveSpans) {
+  ASSERT_FALSE(Tracer::Global().enabled());
+  ScopedSpan span("orphan", "test");
+  EXPECT_FALSE(span.active());
+}
+
+TEST(TraceTest, SpanNestingWithinThread) {
+  ScopedTraceSession session;
+  {
+    ScopedSpan outer("outer", "test");
+    ASSERT_TRUE(outer.active());
+    outer.AddInt("n", 1);
+    {
+      ScopedSpan inner("inner", "test");
+      inner.AddString("k", "v");
+    }
+    ScopedSpan sibling("sibling", "test");
+  }
+  Tracer::Global().Stop();
+  TraceSnapshot snapshot = Tracer::Global().Collect();
+  ASSERT_EQ(snapshot.spans.size(), 3u);
+  int outer_index = -1, inner_index = -1, sibling_index = -1;
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    if (snapshot.spans[i].name == "outer") outer_index = static_cast<int>(i);
+    if (snapshot.spans[i].name == "inner") inner_index = static_cast<int>(i);
+    if (snapshot.spans[i].name == "sibling") {
+      sibling_index = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(outer_index, 0);
+  ASSERT_GE(inner_index, 0);
+  ASSERT_GE(sibling_index, 0);
+  EXPECT_EQ(snapshot.spans[outer_index].parent, -1);
+  EXPECT_EQ(snapshot.spans[inner_index].parent, outer_index);
+  EXPECT_EQ(snapshot.spans[sibling_index].parent, outer_index);
+  EXPECT_LE(snapshot.spans[outer_index].start_ns,
+            snapshot.spans[inner_index].start_ns);
+  EXPECT_GE(snapshot.spans[outer_index].end_ns,
+            snapshot.spans[inner_index].end_ns);
+  ASSERT_EQ(snapshot.spans[outer_index].attrs.size(), 1u);
+  EXPECT_EQ(snapshot.spans[outer_index].attrs[0].key, "n");
+}
+
+// The same fan-out traced at different thread counts must produce the
+// same deterministic tree string.
+std::string TraceParallelFanout(size_t threads) {
+  Tracer::Global().Start();
+  {
+    ThreadPool pool(threads);
+    pool.ParallelFor(12, [](size_t i) {
+      ScopedSpan span("work.item", "test");
+      span.SetSeq(static_cast<int64_t>(i));
+      span.AddInt("i", static_cast<int64_t>(i));
+      ScopedSpan child("work.sub", "test");
+      child.SetSeq(static_cast<int64_t>(i));
+    });
+  }  // pool joined: every worker span is closed
+  Tracer::Global().Stop();
+  obs::TreeStringOptions options;
+  options.root_name = "work.item";
+  return obs::DeterministicTreeString(Tracer::Global().Collect(), options);
+}
+
+TEST(TraceTest, DeterministicTreeAcrossThreadCounts) {
+  std::string one = TraceParallelFanout(1);
+  std::string four = TraceParallelFanout(4);
+  std::string sixteen = TraceParallelFanout(16);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, sixteen);
+  // All 12 items present, in seq order.
+  EXPECT_NE(one.find("work.item [test] seq=0"), std::string::npos) << one;
+  EXPECT_NE(one.find("work.item [test] seq=11"), std::string::npos) << one;
+  EXPECT_NE(one.find("work.sub"), std::string::npos) << one;
+}
+
+TEST(TraceTest, BatchValidatorTraceDeterministicAcrossThreadCounts) {
+  const char* kSchema =
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE db [\n"
+      "<!ELEMENT db (person*)>\n"
+      "<!ELEMENT person EMPTY>\n"
+      "<!ATTLIST person oid ID #REQUIRED>\n"
+      "<!-- xic:constraints language=L_id\n"
+      "  id person.oid\n"
+      "-->\n"
+      "]>\n"
+      "<db/>\n";
+  XmlParseOptions parse_options;
+  Result<SelfDescribingDocument> schema =
+      ParseDocumentWithDtdC(kSchema, parse_options);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const DtdStructure& dtd = *schema.value().document.dtd;
+  ConstraintSet sigma = *schema.value().sigma;
+
+  std::vector<BatchDocument> corpus;
+  for (int i = 0; i < 9; ++i) {
+    corpus.push_back({"doc" + std::to_string(i),
+                      "<db><person oid=\"p" + std::to_string(i) +
+                          "\"/></db>"});
+  }
+
+  auto trace = [&](size_t threads) {
+    BatchOptions options;
+    options.num_threads = threads;
+    BatchValidator validator(dtd, sigma, options);
+    Tracer::Global().Start();
+    BatchReport report = validator.Run(corpus);
+    Tracer::Global().Stop();
+    EXPECT_TRUE(report.all_ok());
+    obs::TreeStringOptions tree_options;
+    tree_options.root_name = "batch.document";
+    return obs::DeterministicTreeString(Tracer::Global().Collect(),
+                                        tree_options);
+  };
+  std::string one = trace(1);
+  std::string four = trace(4);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+}
+
+// Byte-exact golden for the Chrome exporter, on a hand-built snapshot so
+// the timestamps are fixed.
+TEST(ExportTest, ChromeTraceGolden) {
+  TraceSnapshot snapshot;
+  snapshot.thread_names = {"main", "pool-0"};
+  obs::SpanRecord root;
+  root.name = "batch.run";
+  root.cat = "engine";
+  root.start_ns = 1000;
+  root.end_ns = 51000;
+  root.tid = 0;
+  root.parent = -1;
+  snapshot.spans.push_back(root);
+  obs::SpanRecord doc;
+  doc.name = "batch.document";
+  doc.cat = "engine";
+  doc.start_ns = 2500;
+  doc.end_ns = 42500;
+  doc.tid = 1;
+  doc.parent = 0;
+  doc.seq = 3;
+  obs::SpanAttr attr;
+  attr.key = "vertices";
+  attr.kind = obs::SpanAttr::Kind::kInt;
+  attr.int_value = 11;
+  doc.attrs.push_back(attr);
+  obs::SpanAttr label;
+  label.key = "doc";
+  label.kind = obs::SpanAttr::Kind::kString;
+  label.string_value = "a \"b\"";
+  doc.attrs.push_back(label);
+  snapshot.spans.push_back(doc);
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"xic\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"main\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"pool-0\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.000,\"dur\":50.000,"
+      "\"name\":\"batch.run\",\"cat\":\"engine\"},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":2.500,\"dur\":40.000,"
+      "\"name\":\"batch.document\",\"cat\":\"engine\","
+      "\"args\":{\"seq\":3,\"vertices\":11,\"doc\":\"a \\\"b\\\"\"}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(obs::ToChromeTraceJson(snapshot), expected);
+}
+
+TEST(ExportTest, DeterministicTreeSortsSiblingsBySeq) {
+  TraceSnapshot snapshot;
+  snapshot.thread_names = {"main"};
+  auto make = [](const char* name, int64_t seq, int32_t parent) {
+    obs::SpanRecord span;
+    span.name = name;
+    span.cat = "test";
+    span.seq = seq;
+    span.parent = parent;
+    return span;
+  };
+  // Intentionally out of seq order.
+  snapshot.spans.push_back(make("item", 2, -1));
+  snapshot.spans.push_back(make("item", 0, -1));
+  snapshot.spans.push_back(make("item", 1, -1));
+  std::string tree = obs::DeterministicTreeString(snapshot);
+  size_t p0 = tree.find("seq=0");
+  size_t p1 = tree.find("seq=1");
+  size_t p2 = tree.find("seq=2");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+}
+
+TEST(EngineObsTest, QueueHighWaterMarkIsTracked) {
+  Registry::Global().ResetAll();
+  ThreadPool pool(2);
+  // Submit from outside the pool so tasks pile up in the deques.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 32);
+  size_t high_water = pool.queue_high_water();
+  EXPECT_GE(high_water, 1u);
+  EXPECT_LE(high_water, 32u);
+  EXPECT_EQ(Registry::Global()
+                .GetCounter("engine.pool.queue_high_water")
+                .value(),
+            high_water);
+}
+
+#else  // !XIC_OBS_ENABLED
+
+TEST(ObsDisabledTest, ProbesCompileToNoOps) {
+  // The macros must not evaluate their arguments when compiled out.
+  int evaluations = 0;
+  auto touch = [&evaluations] { return ++evaluations; };
+  XIC_COUNTER_ADD("off.counter", touch());
+  XIC_COUNTER_MAX("off.max", touch());
+  XIC_HISTOGRAM_OBSERVE("off.hist", touch(), {1.0});
+  EXPECT_EQ(evaluations, 0);
+
+  ScopedTraceSession session;
+  ScopedSpan span("off", "test");
+  EXPECT_FALSE(span.active());
+  EXPECT_FALSE(Tracer::Global().enabled());
+  EXPECT_TRUE(Tracer::Global().Collect().spans.empty());
+  EXPECT_EQ(obs::ToChromeTraceJson({}), "{\"traceEvents\":[]}\n");
+  EXPECT_EQ(Registry::Global().GetCounter("off.counter").value(), 0u);
+}
+
+#endif  // XIC_OBS_ENABLED
+
+}  // namespace
+}  // namespace xic

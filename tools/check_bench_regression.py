@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Coarse bench-regression gate for CI.
+
+Compares a fresh xic-bench-suite-v1 file against the committed baseline
+(BENCH_RESULTS.json) and fails when any shared case got slower than
+--threshold x baseline (default 8x: CI machines vary wildly, so this
+only catches order-of-magnitude regressions, e.g. an accidentally
+quadratic closure or a probe left hot in a tight loop).
+
+Usage: check_bench_regression.py baseline.json fresh.json [--threshold X]
+Exit: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    cases = {}
+    for bench in data.get("benches", []):
+        name = bench.get("bench", "?")
+        for result in bench.get("results", []):
+            ns = result.get("ns_per_op", 0)
+            if ns > 0:
+                cases[f"{name}/{result.get('case', '?')}"] = ns
+    return cases
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=8.0)
+    # Ignore sub-microsecond cases: timer noise dominates them.
+    parser.add_argument("--min-ns", type=float, default=1000.0)
+    args = parser.parse_args()
+
+    baseline = load_cases(args.baseline)
+    fresh = load_cases(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("no shared bench cases between baseline and fresh run",
+              file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    for case in shared:
+        old, new = baseline[case], fresh[case]
+        if old < args.min_ns:
+            continue
+        if new > old * args.threshold:
+            regressions.append((case, old, new))
+
+    print(f"compared {len(shared)} shared cases "
+          f"(threshold {args.threshold}x, min {args.min_ns} ns)")
+    for case, old, new in regressions:
+        print(f"REGRESSION {case}: {old:.0f} ns -> {new:.0f} ns "
+              f"({new / old:.1f}x)")
+    if regressions:
+        sys.exit(1)
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

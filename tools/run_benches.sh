@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary with --json and aggregates the per-binary
+# files into one BENCH_RESULTS.json:
+#
+#   {"schema": "xic-bench-suite-v1", "benches": [<xic-bench-v1>, ...]}
+#
+# Usage: tools/run_benches.sh [build-dir] [out-file] [extra bench args...]
+#   build-dir  default: build
+#   out-file   default: BENCH_RESULTS.json
+#   extra args are passed to every binary, e.g. --benchmark_min_time=0.01s
+#   or --benchmark_filter=BM_LidClosure.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_file="${2:-BENCH_RESULTS.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+if [ ! -d "${build_dir}/bench" ]; then
+  echo "error: ${build_dir}/bench not found (build the project first)" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+parts=()
+for bench in "${build_dir}"/bench/bench_*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name}" >&2
+  "${bench}" --json "${tmp_dir}/${name}.json" "$@" >&2
+  parts+=("${tmp_dir}/${name}.json")
+done
+
+if [ "${#parts[@]}" -eq 0 ]; then
+  echo "error: no bench_* binaries in ${build_dir}/bench" >&2
+  exit 1
+fi
+
+{
+  printf '{"schema": "xic-bench-suite-v1", "benches": [\n'
+  first=1
+  for part in "${parts[@]}"; do
+    [ "${first}" -eq 1 ] || printf ',\n'
+    first=0
+    cat "${part}"
+  done
+  printf ']}\n'
+} > "${out_file}"
+
+echo "wrote ${out_file} (${#parts[@]} benches)" >&2
