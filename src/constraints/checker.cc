@@ -73,6 +73,15 @@ Result<AttrValue> ConstraintChecker::FieldValue(const DataTree& tree,
                                                 VertexId v,
                                                 const std::string& name) const {
   if (tree.HasAttribute(v, name)) return tree.Attribute(v, name);
+  // A name in Att(tau) always denotes the attribute: an unset declared
+  // attribute is a missing field, never a sub-element fallback (keeps the
+  // batch checker in agreement with IncrementalChecker, which only ever
+  // reads attributes).
+  if (dtd_.HasAttribute(tree.label(v), name)) {
+    return Status::InvalidArgument("field " + name + " undefined on vertex " +
+                                   std::to_string(v) +
+                                   " (declared attribute unset)");
+  }
   // Section 3.4: a unique sub-element acts as a field whose value is its
   // character data.
   VertexId match = kInvalidVertex;

@@ -1,5 +1,7 @@
 #include "constraints/incremental.h"
 
+#include <algorithm>
+
 #include "constraints/well_formed.h"
 
 namespace xic {
@@ -25,6 +27,18 @@ IncrementalChecker::IncrementalChecker(const DtdStructure& dtd,
   violations_.assign(sigma_.constraints.size(), 0);
   key_indexes_.resize(sigma_.constraints.size());
   fk_indexes_.resize(sigma_.constraints.size());
+  // A constraint may read one field through both of its roles (e.g. the
+  // reflexive "fk t.x -> t.x", or "fk t[x,y] -> t[y,x]"); registering it
+  // twice would double every Retract/Contribute on that field and
+  // underflow the violation counts.
+  auto watch = [this](const std::string& element, const std::string& attr,
+                      size_t index) {
+    std::vector<size_t>& watchers = field_watchers_[{element, attr}];
+    if (std::find(watchers.begin(), watchers.end(), index) ==
+        watchers.end()) {
+      watchers.push_back(index);
+    }
+  };
   for (size_t i = 0; i < sigma_.constraints.size(); ++i) {
     const Constraint& c = sigma_.constraints[i];
     switch (c.kind) {
@@ -37,7 +51,7 @@ IncrementalChecker::IncrementalChecker(const DtdStructure& dtd,
                 c.element + "." + a + " is not an attribute");
             return;
           }
-          field_watchers_[{c.element, a}].push_back(i);
+          watch(c.element, a, i);
         }
         if (c.kind == ConstraintKind::kForeignKey) {
           for (const std::string& a : c.ref_attrs) {
@@ -47,18 +61,18 @@ IncrementalChecker::IncrementalChecker(const DtdStructure& dtd,
                   c.ref_element + "." + a + " is not an attribute");
               return;
             }
-            field_watchers_[{c.ref_element, a}].push_back(i);
+            watch(c.ref_element, a, i);
           }
         }
         break;
       case ConstraintKind::kSetForeignKey:
-        field_watchers_[{c.element, c.attr()}].push_back(i);
-        field_watchers_[{c.ref_element, c.ref_attr()}].push_back(i);
+        watch(c.element, c.attr(), i);
+        watch(c.ref_element, c.ref_attr(), i);
         break;
       case ConstraintKind::kId: {
         has_id_constraints_ = true;
         id_constraint_[c.element] = i;
-        field_watchers_[{c.element, c.attr()}].push_back(i);
+        watch(c.element, c.attr(), i);
         break;
       }
       case ConstraintKind::kInverse:
@@ -360,6 +374,12 @@ Result<VertexId> IncrementalChecker::AddElement(VertexId parent,
     return Status::InvalidArgument(
         tree_.empty() ? "first element must be the root (no parent)"
                       : "only the first element may omit a parent");
+  }
+  // Validate the parent *before* creating the vertex: a rejected update
+  // must leave both the tree and the indexes untouched (an orphan vertex
+  // would silently drift away from what the indexes cover).
+  if (parent != kInvalidVertex && parent >= tree_.size()) {
+    return Status::InvalidArgument("parent vertex id out of range");
   }
   VertexId v = tree_.AddVertex(label);
   if (parent != kInvalidVertex) {

@@ -1,0 +1,101 @@
+#include "fuzzing/corpus.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace xic::fuzz {
+
+std::string WriteCorpusEntry(const CorpusEntry& entry) {
+  std::string out = "# xicfuzz corpus v1\n";
+  out += "oracle: " + entry.oracle + "\n";
+  out += "seed: " + std::to_string(entry.seed) + "\n";
+  if (!entry.note.empty()) out += "note: " + entry.note + "\n";
+  if (!entry.phi.empty()) {
+    out += "--- phi ---\n" + entry.phi + "\n";
+  }
+  if (!entry.updates.empty()) {
+    out += "--- updates ---\n";
+    for (const std::string& op : entry.updates) out += op + "\n";
+  }
+  out += "--- document ---\n";
+  out += entry.document;
+  if (!entry.document.empty() && entry.document.back() != '\n') out += '\n';
+  return out;
+}
+
+Result<CorpusEntry> ParseCorpusEntry(const std::string& text) {
+  CorpusEntry entry;
+  std::vector<std::string> lines = Split(text, '\n');
+  enum class Section { kHeader, kPhi, kUpdates, kDocument };
+  Section section = Section::kHeader;
+  std::vector<std::string> document_lines;
+  bool saw_document = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (section != Section::kDocument) {
+      if (line == "--- phi ---") {
+        section = Section::kPhi;
+        continue;
+      }
+      if (line == "--- updates ---") {
+        section = Section::kUpdates;
+        continue;
+      }
+      if (line == "--- document ---") {
+        section = Section::kDocument;
+        saw_document = true;
+        continue;
+      }
+    }
+    switch (section) {
+      case Section::kHeader: {
+        std::string_view view = StripWhitespace(line);
+        if (view.empty() || view.front() == '#') break;
+        if (StartsWith(view, "oracle:")) {
+          entry.oracle = std::string(StripWhitespace(view.substr(7)));
+        } else if (StartsWith(view, "seed:")) {
+          entry.seed = std::strtoull(
+              std::string(StripWhitespace(view.substr(5))).c_str(), nullptr,
+              10);
+        } else if (StartsWith(view, "note:")) {
+          entry.note = std::string(StripWhitespace(view.substr(5)));
+        } else {
+          return Status::InvalidArgument("corpus header: unknown line \"" +
+                                         line + "\"");
+        }
+        break;
+      }
+      case Section::kPhi:
+        if (!StripWhitespace(line).empty()) {
+          if (!entry.phi.empty()) entry.phi += "\n";
+          entry.phi += std::string(StripWhitespace(line));
+        }
+        break;
+      case Section::kUpdates:
+        if (!StripWhitespace(line).empty()) {
+          entry.updates.push_back(std::string(StripWhitespace(line)));
+        }
+        break;
+      case Section::kDocument:
+        document_lines.push_back(line);
+        break;
+    }
+  }
+  if (entry.oracle.empty()) {
+    return Status::InvalidArgument("corpus entry lacks an oracle: line");
+  }
+  if (!saw_document) {
+    return Status::InvalidArgument("corpus entry lacks a document section");
+  }
+  // Split() yields one empty trailing piece when the text ends in '\n';
+  // drop it so the document round-trips with a single final newline.
+  if (!document_lines.empty() && document_lines.back().empty()) {
+    document_lines.pop_back();
+  }
+  entry.document = Join(document_lines, "\n");
+  if (!entry.document.empty()) entry.document += '\n';
+  return entry;
+}
+
+}  // namespace xic::fuzz

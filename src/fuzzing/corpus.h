@@ -1,0 +1,54 @@
+// The on-disk regression-corpus format for differential-fuzzer findings.
+//
+// One entry is one replayable mismatch candidate: which oracle to run,
+// the self-describing document (DTD + constraint block + data) it runs
+// on, and -- depending on the oracle -- an update sequence or an
+// implication query. Entries are plain text so a minimized finding can
+// be read, diffed and committed under tests/corpus/:
+//
+//   # xicfuzz corpus v1
+//   oracle: incremental
+//   seed: 7
+//   note: reflexive foreign key double-retract
+//   --- phi ---
+//   key t0.a
+//   --- updates ---
+//   add db -
+//   set 0 a v0
+//   --- document ---
+//   <?xml version="1.0"?>
+//   <!DOCTYPE db [ ... ]>
+//   <db/>
+//
+// The phi / updates sections are optional; the document section is last
+// and runs to end-of-file. Replay re-runs the entry's oracle on the
+// concrete inputs (never the seed), so a committed entry keeps guarding
+// the fix even when generators evolve.
+
+#ifndef XIC_FUZZING_CORPUS_H_
+#define XIC_FUZZING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xic::fuzz {
+
+struct CorpusEntry {
+  std::string oracle;  // "checker", "incremental", "implication",
+                       // "roundtrip", "lint"
+  uint64_t seed = 0;   // provenance only; replay never uses it
+  std::string note;
+  std::string phi;                   // constraint statement, may be empty
+  std::vector<std::string> updates;  // FormatUpdate lines, may be empty
+  std::string document;              // self-describing XML (DTD^C inside)
+};
+
+std::string WriteCorpusEntry(const CorpusEntry& entry);
+Result<CorpusEntry> ParseCorpusEntry(const std::string& text);
+
+}  // namespace xic::fuzz
+
+#endif  // XIC_FUZZING_CORPUS_H_

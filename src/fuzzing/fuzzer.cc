@@ -1,0 +1,85 @@
+#include "fuzzing/fuzzer.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xic::fuzz {
+namespace {
+
+void CountOracle(OracleId oracle, bool mismatch) {
+  switch (oracle) {
+    case OracleId::kChecker:
+      XIC_COUNTER_ADD("fuzz.checker.trials", 1);
+      if (mismatch) XIC_COUNTER_ADD("fuzz.checker.mismatches", 1);
+      break;
+    case OracleId::kIncremental:
+      XIC_COUNTER_ADD("fuzz.incremental.trials", 1);
+      if (mismatch) XIC_COUNTER_ADD("fuzz.incremental.mismatches", 1);
+      break;
+    case OracleId::kImplication:
+      XIC_COUNTER_ADD("fuzz.implication.trials", 1);
+      if (mismatch) XIC_COUNTER_ADD("fuzz.implication.mismatches", 1);
+      break;
+    case OracleId::kRoundTrip:
+      XIC_COUNTER_ADD("fuzz.roundtrip.trials", 1);
+      if (mismatch) XIC_COUNTER_ADD("fuzz.roundtrip.mismatches", 1);
+      break;
+    case OracleId::kLint:
+      XIC_COUNTER_ADD("fuzz.lint.trials", 1);
+      if (mismatch) XIC_COUNTER_ADD("fuzz.lint.mismatches", 1);
+      break;
+  }
+}
+
+}  // namespace
+
+FuzzResult RunFuzz(OracleId oracle, uint64_t first_seed, size_t trials,
+                   const FuzzOptions& options) {
+  obs::ScopedSpan span("fuzz.run", "fuzz");
+  span.AddString("oracle", OracleName(oracle));
+  span.AddInt("first_seed", static_cast<int64_t>(first_seed));
+  span.AddInt("trials", static_cast<int64_t>(trials));
+
+  FuzzResult result;
+  for (size_t i = 0; i < trials; ++i) {
+    uint64_t seed = first_seed + i;
+    OracleOutcome outcome;
+    {
+      obs::ScopedSpan trial("fuzz.trial", "fuzz");
+      trial.AddString("oracle", OracleName(oracle));
+      trial.AddInt("seed", static_cast<int64_t>(seed));
+      trial.SetSeq(static_cast<int64_t>(i));
+      outcome = RunTrial(oracle, seed, options.gen);
+    }
+    ++result.trials;
+    XIC_COUNTER_ADD("fuzz.trials", 1);
+    CountOracle(oracle, outcome.mismatch);
+    if (outcome.skipped) {
+      ++result.skipped;
+      XIC_COUNTER_ADD("fuzz.skipped", 1);
+      continue;
+    }
+    if (!outcome.mismatch) continue;
+    XIC_COUNTER_ADD("fuzz.mismatches", 1);
+    FuzzMismatch mismatch;
+    mismatch.seed = seed;
+    mismatch.detail = outcome.detail;
+    mismatch.entry = std::move(outcome.entry);
+    if (options.minimize) {
+      obs::ScopedSpan reduce("fuzz.reduce", "fuzz");
+      reduce.AddString("oracle", OracleName(oracle));
+      reduce.AddInt("seed", static_cast<int64_t>(seed));
+      mismatch.entry = ReduceEntry(mismatch.entry, options.reduce);
+    }
+    result.mismatches.push_back(std::move(mismatch));
+    if (options.max_mismatches != 0 &&
+        result.mismatches.size() >= options.max_mismatches) {
+      break;
+    }
+  }
+  span.AddInt("mismatches", static_cast<int64_t>(result.mismatches.size()));
+  span.AddInt("skipped", static_cast<int64_t>(result.skipped));
+  return result;
+}
+
+}  // namespace xic::fuzz

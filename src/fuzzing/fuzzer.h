@@ -1,0 +1,50 @@
+// The differential-fuzzing driver: seed-driven trial loops over one
+// oracle family, with optional ddmin minimization of every mismatch.
+//
+// Determinism contract: trial i uses seed first_seed + i and a private
+// SplitMix64 stream, so a (oracle, seed) pair reproduces bit-identically
+// across runs, platforms and thread counts. Mismatch entries are
+// self-contained corpus entries; replaying them does not consult the
+// seed.
+
+#ifndef XIC_FUZZING_FUZZER_H_
+#define XIC_FUZZING_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzzing/oracles.h"
+#include "fuzzing/reducer.h"
+
+namespace xic::fuzz {
+
+struct FuzzOptions {
+  GenOptions gen;
+  /// Shrink each mismatch entry with ReduceEntry before reporting.
+  bool minimize = false;
+  ReduceOptions reduce;
+  /// Stop the run early once this many mismatches have been collected
+  /// (0 = never stop early).
+  size_t max_mismatches = 0;
+};
+
+struct FuzzMismatch {
+  uint64_t seed = 0;
+  std::string detail;
+  CorpusEntry entry;  // minimized when FuzzOptions::minimize is set
+};
+
+struct FuzzResult {
+  size_t trials = 0;   // trials actually executed
+  size_t skipped = 0;  // trials the oracle could not judge
+  std::vector<FuzzMismatch> mismatches;
+};
+
+/// Runs `trials` seed-driven trials of `oracle` starting at `first_seed`.
+FuzzResult RunFuzz(OracleId oracle, uint64_t first_seed, size_t trials,
+                   const FuzzOptions& options = {});
+
+}  // namespace xic::fuzz
+
+#endif  // XIC_FUZZING_FUZZER_H_

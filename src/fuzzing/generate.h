@@ -1,0 +1,102 @@
+// Structured input generators for the differential fuzzer.
+//
+// Everything an oracle consumes is generated from one Rng stream:
+//
+//   * DTD structures from a fixed family: a root "db" whose content is
+//     (t0*, ..., tn*), record types with single/set-valued attributes,
+//     optional ID attributes, optional (#PCDATA) content, and optional
+//     unique sub-element fields "k" (Section 3.4) -- including the
+//     shadowing trap where a type declares *both* an attribute and a
+//     child element named "k";
+//   * well-formed constraint sets in L / L_u / L_id (support constraints
+//     -- foreign-key target keys, ID constraints -- are added first, as
+//     the languages' well-formedness conditions require), plus optional
+//     "near-valid" sets that skip the pruning to exercise error paths;
+//   * documents: DocGenerator output mutated toward constraint
+//     violations (duplicated key tuples, dangling references, unset
+//     fields) while staying parseable;
+//   * update sequences for the incremental checker, mixing accepted
+//     mutations with ones that must be rejected (undeclared types,
+//     out-of-range parents, wrong cardinality).
+
+#ifndef XIC_FUZZING_GENERATE_H_
+#define XIC_FUZZING_GENERATE_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "fuzzing/rng.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "util/status.h"
+
+namespace xic::fuzz {
+
+struct GenOptions {
+  /// Record types besides the root (at least 1).
+  size_t max_types = 3;
+  /// Distinct atomic values ("v0".."v<n-1>") shared by all fields; a
+  /// small pool forces collisions (key duplicates, satisfied references).
+  size_t value_pool = 4;
+  /// Constraints per generated set (before support constraints).
+  size_t max_constraints = 4;
+  /// Operations per generated update sequence.
+  size_t max_updates = 14;
+  /// Mutations applied to a generated document.
+  size_t max_mutations = 6;
+  /// Allow unique sub-element fields (and the attribute/child shadowing
+  /// trap) in DTDs.
+  bool sub_element_fields = true;
+};
+
+/// A DTD from the fuzzer's family. Always passes Validate().
+DtdStructure GenerateDtd(Rng& rng, const GenOptions& opt);
+
+/// A constraint set over `dtd` in `lang`. When `well_formed` is true the
+/// result passes CheckWellFormed(sigma, dtd); otherwise shape-valid
+/// constraints may lack their support constraints (for lint fuzzing).
+ConstraintSet GenerateSigma(Rng& rng, const DtdStructure& dtd, Language lang,
+                            const GenOptions& opt, bool well_formed = true);
+
+/// A query constraint for implication oracles: shape-valid for `lang`
+/// over `dtd`, biased toward sigma's vocabulary so a useful fraction of
+/// queries is actually implied.
+Constraint GeneratePhi(Rng& rng, const DtdStructure& dtd,
+                       const ConstraintSet& sigma, Language lang);
+
+/// A structurally valid document for `dtd`, then `opt.max_mutations`
+/// constraint-relevant mutations (attribute rewrites from the value
+/// pool). Fails only when the DTD needs more depth than the generator
+/// budget allows.
+Result<DataTree> GenerateDocument(Rng& rng, const DtdStructure& dtd,
+                                  const GenOptions& opt);
+
+/// One update against an IncrementalChecker, in replayable form.
+struct UpdateOp {
+  enum class Kind { kAddElement, kSetAttribute };
+  Kind kind = Kind::kAddElement;
+  // kAddElement: label + parent vertex (kInvalidVertex = add the root).
+  std::string label;
+  VertexId parent = kInvalidVertex;
+  // kSetAttribute
+  VertexId vertex = 0;
+  std::string attr;
+  std::vector<std::string> values;  // ordered for replayable rendering
+
+  friend bool operator==(const UpdateOp&, const UpdateOp&) = default;
+};
+
+/// "add <label> <parent|->" or "set <vertex> <attr> [value...]".
+std::string FormatUpdate(const UpdateOp& op);
+Result<UpdateOp> ParseUpdate(const std::string& line);
+
+/// A sequence starting with "add <root>", mixing accepted and
+/// must-be-rejected operations, with enough value reuse to produce
+/// delete-then-reinsert index churn.
+std::vector<UpdateOp> GenerateUpdates(Rng& rng, const DtdStructure& dtd,
+                                      const GenOptions& opt);
+
+}  // namespace xic::fuzz
+
+#endif  // XIC_FUZZING_GENERATE_H_

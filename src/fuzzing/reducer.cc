@@ -1,0 +1,295 @@
+#include "fuzzing/reducer.h"
+
+#include <algorithm>
+#include <optional>
+#include <variant>
+
+#include "fuzzing/oracles.h"
+#include "model/data_tree.h"
+#include "model/dtd_structure.h"
+#include "xml/dtdc_io.h"
+
+namespace xic::fuzz {
+namespace {
+
+// One structural edit applied while copying a tree. Every edit strictly
+// shrinks the document, so the pass fixpoint terminates.
+struct TreeEdit {
+  enum class Kind {
+    kSkipSubtree,  // drop the subtree rooted at `vertex`
+    kDropText,     // drop text child `index` of `vertex`
+    kDropAttr,     // drop attribute `attr` of `vertex`
+    kSetAttr,      // replace the value of `attr` of `vertex`
+    kSetText,      // replace text child `index` of `vertex`
+  };
+  Kind kind;
+  VertexId vertex = kInvalidVertex;
+  size_t index = 0;
+  std::string attr;
+  AttrValue attr_value;
+  std::string text_value;
+};
+
+VertexId CopyVertex(const DataTree& src, VertexId v, const TreeEdit& edit,
+                    DataTree* dst) {
+  VertexId nv = dst->AddVertex(src.label(v));
+  for (const auto& [name, value] : src.attributes(v)) {
+    if (v == edit.vertex && name == edit.attr) {
+      if (edit.kind == TreeEdit::Kind::kDropAttr) continue;
+      if (edit.kind == TreeEdit::Kind::kSetAttr) {
+        dst->SetAttribute(nv, name, edit.attr_value);
+        continue;
+      }
+    }
+    dst->SetAttribute(nv, name, value);
+  }
+  size_t index = 0;
+  for (const Child& child : src.children(v)) {
+    if (const std::string* text = std::get_if<std::string>(&child)) {
+      if (v == edit.vertex && index == edit.index &&
+          edit.kind == TreeEdit::Kind::kDropText) {
+        // dropped
+      } else if (v == edit.vertex && index == edit.index &&
+                 edit.kind == TreeEdit::Kind::kSetText) {
+        dst->AddChildText(nv, edit.text_value);
+      } else {
+        dst->AddChildText(nv, *text);
+      }
+    } else {
+      VertexId cv = std::get<VertexId>(child);
+      if (!(edit.kind == TreeEdit::Kind::kSkipSubtree && cv == edit.vertex)) {
+        VertexId ncv = CopyVertex(src, cv, edit, dst);
+        Status attached = dst->AddChildVertex(nv, ncv);
+        (void)attached;  // copying a well-formed tree cannot fail
+      }
+    }
+    ++index;
+  }
+  return nv;
+}
+
+DataTree CopyWithEdit(const DataTree& src, const TreeEdit& edit) {
+  DataTree dst;
+  if (!src.empty()) CopyVertex(src, src.root(), edit, &dst);
+  return dst;
+}
+
+struct ParsedDoc {
+  DataTree tree;
+  DtdStructure dtd;
+  ConstraintSet sigma;
+};
+
+class Reducer {
+ public:
+  Reducer(CorpusEntry entry, const ReducePredicate& predicate,
+          const ReduceOptions& options)
+      : entry_(std::move(entry)), predicate_(predicate), options_(options) {}
+
+  CorpusEntry Run() {
+    bool changed = true;
+    while (changed && evaluations_ < options_.max_evaluations) {
+      changed = false;
+      changed |= ReduceUpdates();
+      changed |= ReduceConstraints();
+      changed |= ReduceTree();
+      changed |= ReduceValues();
+    }
+    return entry_;
+  }
+
+ private:
+  bool Try(const CorpusEntry& candidate) {
+    if (evaluations_ >= options_.max_evaluations) return false;
+    ++evaluations_;
+    if (!predicate_(candidate)) return false;
+    entry_ = candidate;
+    return true;
+  }
+
+  std::optional<ParsedDoc> ParseDoc() const {
+    Result<SelfDescribingDocument> parsed =
+        ParseDocumentWithDtdC(entry_.document);
+    if (!parsed.ok() || !parsed.value().document.dtd.has_value()) {
+      return std::nullopt;
+    }
+    ParsedDoc doc;
+    doc.tree = std::move(parsed.value().document.tree);
+    doc.dtd = std::move(*parsed.value().document.dtd);
+    if (parsed.value().sigma.has_value()) doc.sigma = *parsed.value().sigma;
+    return doc;
+  }
+
+  // ddmin chunk removal over a list; `rebuild` maps a reduced list to a
+  // candidate entry.
+  template <typename T, typename Rebuild>
+  bool ReduceList(std::vector<T> items, const Rebuild& rebuild) {
+    bool changed = false;
+    for (size_t chunk = std::max<size_t>(1, items.size() / 2); chunk >= 1;
+         chunk /= 2) {
+      size_t start = 0;
+      while (start < items.size()) {
+        size_t end = std::min(items.size(), start + chunk);
+        std::vector<T> candidate_items(items.begin(),
+                                       items.begin() + start);
+        candidate_items.insert(candidate_items.end(), items.begin() + end,
+                               items.end());
+        if (Try(rebuild(candidate_items))) {
+          items = std::move(candidate_items);
+          changed = true;  // retry the same start against the shorter list
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  bool ReduceUpdates() {
+    if (entry_.updates.empty()) return false;
+    const CorpusEntry& base = entry_;
+    return ReduceList(entry_.updates,
+                      [&base](const std::vector<std::string>& items) {
+                        CorpusEntry candidate = base;
+                        candidate.updates = items;
+                        return candidate;
+                      });
+  }
+
+  bool ReduceConstraints() {
+    std::optional<ParsedDoc> doc = ParseDoc();
+    if (!doc.has_value() || doc->sigma.constraints.empty()) return false;
+    const CorpusEntry& base = entry_;
+    const ParsedDoc& parsed = *doc;
+    return ReduceList(
+        parsed.sigma.constraints,
+        [&base, &parsed](const std::vector<Constraint>& items) {
+          CorpusEntry candidate = base;
+          ConstraintSet sigma = parsed.sigma;
+          sigma.constraints = items;
+          candidate.document =
+              WriteDocumentWithDtdC(parsed.tree, parsed.dtd, sigma);
+          return candidate;
+        });
+  }
+
+  bool AdoptTreeEdit(const ParsedDoc& doc, const TreeEdit& edit) {
+    CorpusEntry candidate = entry_;
+    candidate.document =
+        WriteDocumentWithDtdC(CopyWithEdit(doc.tree, edit), doc.dtd,
+                              doc.sigma);
+    return Try(candidate);
+  }
+
+  bool ReduceTree() {
+    bool changed = false;
+    bool progress = true;
+    while (progress && evaluations_ < options_.max_evaluations) {
+      progress = false;
+      std::optional<ParsedDoc> doc = ParseDoc();
+      if (!doc.has_value()) return changed;
+      for (VertexId v = 0; v < doc->tree.size() && !progress; ++v) {
+        if (v == doc->tree.root()) continue;
+        TreeEdit edit;
+        edit.kind = TreeEdit::Kind::kSkipSubtree;
+        edit.vertex = v;
+        progress = AdoptTreeEdit(*doc, edit);
+      }
+      if (progress) {
+        changed = true;
+        continue;
+      }
+      for (VertexId v = 0; v < doc->tree.size() && !progress; ++v) {
+        const std::vector<Child>& children = doc->tree.children(v);
+        for (size_t i = 0; i < children.size() && !progress; ++i) {
+          if (!std::holds_alternative<std::string>(children[i])) continue;
+          TreeEdit edit;
+          edit.kind = TreeEdit::Kind::kDropText;
+          edit.vertex = v;
+          edit.index = i;
+          progress = AdoptTreeEdit(*doc, edit);
+        }
+      }
+      changed |= progress;
+    }
+    return changed;
+  }
+
+  bool ReduceValues() {
+    bool changed = false;
+    bool progress = true;
+    while (progress && evaluations_ < options_.max_evaluations) {
+      progress = false;
+      std::optional<ParsedDoc> doc = ParseDoc();
+      if (!doc.has_value()) return changed;
+      for (VertexId v = 0; v < doc->tree.size() && !progress; ++v) {
+        for (const auto& [name, value] : doc->tree.attributes(v)) {
+          TreeEdit drop;
+          drop.kind = TreeEdit::Kind::kDropAttr;
+          drop.vertex = v;
+          drop.attr = name;
+          if (AdoptTreeEdit(*doc, drop)) {
+            progress = true;
+            break;
+          }
+          for (const std::string& atom : value) {
+            if (atom == "v") continue;
+            TreeEdit shorten;
+            shorten.kind = TreeEdit::Kind::kSetAttr;
+            shorten.vertex = v;
+            shorten.attr = name;
+            shorten.attr_value = value;
+            shorten.attr_value.erase(atom);
+            shorten.attr_value.insert("v");
+            if (AdoptTreeEdit(*doc, shorten)) {
+              progress = true;
+              break;
+            }
+          }
+          if (progress) break;
+        }
+        if (progress) break;
+        const std::vector<Child>& children = doc->tree.children(v);
+        for (size_t i = 0; i < children.size() && !progress; ++i) {
+          const std::string* text = std::get_if<std::string>(&children[i]);
+          if (text == nullptr || *text == "v") continue;
+          TreeEdit edit;
+          edit.kind = TreeEdit::Kind::kSetText;
+          edit.vertex = v;
+          edit.index = i;
+          edit.text_value = "v";
+          progress = AdoptTreeEdit(*doc, edit);
+        }
+      }
+      changed |= progress;
+    }
+    return changed;
+  }
+
+  CorpusEntry entry_;
+  const ReducePredicate& predicate_;
+  ReduceOptions options_;
+  size_t evaluations_ = 0;
+};
+
+}  // namespace
+
+CorpusEntry ReduceEntry(const CorpusEntry& entry,
+                        const ReducePredicate& predicate,
+                        const ReduceOptions& options) {
+  return Reducer(entry, predicate, options).Run();
+}
+
+CorpusEntry ReduceEntry(const CorpusEntry& entry,
+                        const ReduceOptions& options) {
+  return ReduceEntry(
+      entry,
+      [](const CorpusEntry& candidate) {
+        Result<OracleOutcome> outcome = ReplayEntry(candidate);
+        return outcome.ok() && outcome.value().mismatch;
+      },
+      options);
+}
+
+}  // namespace xic::fuzz

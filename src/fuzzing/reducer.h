@@ -1,0 +1,48 @@
+// Delta-debugging reducer for corpus entries.
+//
+// Given an entry that reproduces a mismatch, ReduceEntry shrinks it while
+// the predicate keeps holding (classic ddmin over lists, plus
+// domain-specific passes), iterating passes to a fixpoint:
+//
+//   1. drop update operations,
+//   2. drop constraints from the embedded constraint block,
+//   3. drop document subtrees and text children,
+//   4. drop attributes and shorten attribute / text values.
+//
+// The default predicate replays the entry through its oracle and keeps a
+// candidate iff the mismatch still reproduces; tests substitute synthetic
+// predicates. Reduction is deterministic and bounded by
+// ReduceOptions::max_evaluations predicate calls.
+
+#ifndef XIC_FUZZING_REDUCER_H_
+#define XIC_FUZZING_REDUCER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzzing/corpus.h"
+
+namespace xic::fuzz {
+
+/// Returns true iff the candidate still exhibits the failure being
+/// minimized. Must be deterministic.
+using ReducePredicate = std::function<bool(const CorpusEntry&)>;
+
+struct ReduceOptions {
+  /// Cap on predicate evaluations across all passes.
+  size_t max_evaluations = 400;
+};
+
+/// Shrinks `entry` under `predicate`. The input entry must itself satisfy
+/// the predicate; the result always does.
+CorpusEntry ReduceEntry(const CorpusEntry& entry,
+                        const ReducePredicate& predicate,
+                        const ReduceOptions& options = {});
+
+/// Shrinks with the default predicate: ReplayEntry reproduces a mismatch.
+CorpusEntry ReduceEntry(const CorpusEntry& entry,
+                        const ReduceOptions& options = {});
+
+}  // namespace xic::fuzz
+
+#endif  // XIC_FUZZING_REDUCER_H_

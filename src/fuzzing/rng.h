@@ -1,0 +1,53 @@
+// Deterministic pseudo-random numbers for the differential fuzzer.
+//
+// The standard <random> distributions are implementation-defined, so a
+// seed would reproduce different cases on different standard libraries.
+// xicfuzz instead draws from its own SplitMix64 stream: the same seed
+// yields the same DTD / document / constraint set / update sequence on
+// every platform, which is what makes corpus entries and CI seed ranges
+// meaningful.
+
+#ifndef XIC_FUZZING_RNG_H_
+#define XIC_FUZZING_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xic::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// The next 64 raw bits (SplitMix64).
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be positive.
+  size_t Below(size_t n) { return static_cast<size_t>(Next() % n); }
+
+  /// Uniform in [lo, hi] inclusive.
+  size_t Range(size_t lo, size_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// True with probability `percent` / 100.
+  bool Chance(uint32_t percent) { return Below(100) < percent; }
+
+  /// A uniformly chosen element; `v` must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xic::fuzz
+
+#endif  // XIC_FUZZING_RNG_H_

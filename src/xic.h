@@ -29,6 +29,12 @@
 #include "constraints/well_formed.h"
 #include "engine/batch_validator.h"
 #include "engine/thread_pool.h"
+#include "fuzzing/corpus.h"
+#include "fuzzing/fuzzer.h"
+#include "fuzzing/generate.h"
+#include "fuzzing/oracles.h"
+#include "fuzzing/reducer.h"
+#include "fuzzing/rng.h"
 #include "implication/countermodel.h"
 #include "implication/derivation.h"
 #include "implication/l_general_solver.h"

@@ -2,7 +2,15 @@
 
 namespace xic {
 
-std::string EscapeXml(const std::string& text) {
+namespace {
+
+// Shared escape core. Attribute values additionally escape the
+// whitespace characters that attribute-value normalization (XML 1.0
+// section 3.3.3) would otherwise rewrite to spaces on re-parse: a
+// literal tab / newline / CR round-trips only as a character reference.
+// In character data only CR needs escaping (line-end normalization
+// turns a literal CR into LF).
+std::string EscapeImpl(const std::string& text, bool attribute) {
   std::string out;
   out.reserve(text.size());
   for (char c : text) {
@@ -22,11 +30,30 @@ std::string EscapeXml(const std::string& text) {
       case '\'':
         out += "&apos;";
         break;
+      case '\r':
+        out += "&#13;";
+        break;
+      case '\n':
+        out += attribute ? "&#10;" : "\n";
+        break;
+      case '\t':
+        out += attribute ? "&#9;" : "\t";
+        break;
       default:
         out += c;
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string EscapeXml(const std::string& text) {
+  return EscapeImpl(text, /*attribute=*/false);
+}
+
+std::string EscapeXmlAttribute(const std::string& text) {
+  return EscapeImpl(text, /*attribute=*/true);
 }
 
 namespace {
@@ -38,10 +65,20 @@ bool HasVertexChild(const DataTree& tree, VertexId v) {
   return false;
 }
 
-void Render(const DataTree& tree, VertexId v, const SerializeOptions& options,
-            int depth, std::string* out) {
+bool HasTextChild(const DataTree& tree, VertexId v) {
+  for (const Child& c : tree.children(v)) {
+    if (std::holds_alternative<std::string>(c)) return true;
+  }
+  return false;
+}
+
+// `pretty` is the *effective* prettiness at this node: once an element
+// carries character data, its whole subtree renders inline so no
+// indentation or synthetic newlines leak into mixed content.
+void Render(const DataTree& tree, VertexId v, bool pretty, int depth,
+            std::string* out) {
   std::string indent =
-      options.pretty ? std::string(static_cast<size_t>(depth) * 2, ' ') : "";
+      pretty ? std::string(static_cast<size_t>(depth) * 2, ' ') : "";
   *out += indent + "<" + tree.label(v);
   for (const auto& [name, value] : tree.attributes(v)) {
     *out += " " + name + "=\"";
@@ -49,31 +86,31 @@ void Render(const DataTree& tree, VertexId v, const SerializeOptions& options,
     for (const std::string& item : value) {
       if (!first) *out += ' ';
       first = false;
-      *out += EscapeXml(item);
+      *out += EscapeXmlAttribute(item);
     }
     *out += "\"";
   }
   const std::vector<Child>& children = tree.children(v);
   if (children.empty()) {
     *out += "/>";
-    if (options.pretty) *out += '\n';
+    if (pretty) *out += '\n';
     return;
   }
   *out += ">";
-  bool block = options.pretty && HasVertexChild(tree, v);
+  bool has_text = HasTextChild(tree, v);
+  bool child_pretty = pretty && !has_text;
+  bool block = child_pretty && HasVertexChild(tree, v);
   if (block) *out += '\n';
   for (const Child& c : children) {
     if (const VertexId* id = std::get_if<VertexId>(&c)) {
-      Render(tree, *id, options, depth + 1, out);
+      Render(tree, *id, child_pretty, depth + 1, out);
     } else {
-      if (block) *out += indent + "  ";
       *out += EscapeXml(std::get<std::string>(c));
-      if (block) *out += '\n';
     }
   }
   if (block) *out += indent;
   *out += "</" + tree.label(v) + ">";
-  if (options.pretty) *out += '\n';
+  if (pretty) *out += '\n';
 }
 
 }  // namespace
@@ -82,7 +119,7 @@ std::string SerializeXml(const DataTree& tree,
                          const SerializeOptions& options) {
   std::string out = "<?xml version=\"1.0\"?>\n";
   if (!tree.empty()) {
-    Render(tree, tree.root(), options, 0, &out);
+    Render(tree, tree.root(), options.pretty, 0, &out);
   }
   return out;
 }

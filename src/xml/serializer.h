@@ -21,8 +21,15 @@ struct SerializeOptions {
 std::string SerializeXml(const DataTree& tree,
                          const SerializeOptions& options = {});
 
-/// Escapes '<', '>', '&', '"', '\'' for use in content / attribute values.
+/// Escapes '<', '>', '&', '"', '\'' (plus '\r' as "&#13;", which line-end
+/// normalization would otherwise rewrite) for use in character data.
 std::string EscapeXml(const std::string& text);
+
+/// Escapes attribute values: everything EscapeXml does, plus '\n' and
+/// '\t' as character references so XML attribute-value normalization
+/// cannot turn them into spaces across a parse -> serialize -> parse
+/// cycle.
+std::string EscapeXmlAttribute(const std::string& text);
 
 }  // namespace xic
 

@@ -188,6 +188,66 @@ TEST(LiftToDocument, AgreesWithTableSatisfaction) {
   }
 }
 
+TEST(EnumerateCountermodel, ZeroRowBoundLeavesOnlyTheEmptyInstance) {
+  // max_rows_per_type = 0: every extent is empty, so keys hold vacuously
+  // and no constraint can be falsified -- a sound "no countermodel
+  // within bounds", not an error.
+  ConstraintSet sigma = LuSigma("key a.k");
+  EnumerationBounds bounds;
+  bounds.max_rows_per_type = 0;
+  EnumerationOutcome outcome = EnumerateCountermodelBounded(
+      sigma, Constraint::UnaryKey("a", "x"), bounds);
+  EXPECT_FALSE(outcome.countermodel.has_value());
+  EXPECT_TRUE(outcome.status.ok()) << outcome.status;
+  EXPECT_GE(outcome.inspected, 1u) << "the empty instance itself";
+}
+
+TEST(EnumerateCountermodel, DomainSizeOneStillFalsifiesKeys) {
+  // num_values = 1: two rows must collide, which is exactly a key
+  // countermodel; but a single-row bound on top makes keys unfalsifiable.
+  ConstraintSet sigma;
+  sigma.language = Language::kLu;
+  EnumerationBounds bounds;
+  bounds.num_values = 1;
+  EnumerationOutcome outcome = EnumerateCountermodelBounded(
+      sigma, Constraint::UnaryKey("a", "x"), bounds);
+  ASSERT_TRUE(outcome.countermodel.has_value());
+  EXPECT_FALSE(Satisfies(*outcome.countermodel,
+                         Constraint::UnaryKey("a", "x")));
+
+  bounds.max_rows_per_type = 1;
+  EnumerationOutcome capped = EnumerateCountermodelBounded(
+      sigma, Constraint::UnaryKey("a", "x"), bounds);
+  EXPECT_FALSE(capped.countermodel.has_value());
+  EXPECT_TRUE(capped.status.ok()) << capped.status;
+}
+
+TEST(EnumerateCountermodel, SetValuedAttributesEnumerate) {
+  // phi references a set-valued field: the schema must infer r as
+  // set-valued and the countermodel must dangle one of its members.
+  ConstraintSet sigma = LuSigma("key b.k");
+  Constraint phi = Constraint::SetForeignKey("a", "r", "b", "k");
+  TableSchema schema = TableSchema::Infer(sigma, phi);
+  EXPECT_TRUE(schema.attrs.at("a").at("r"));
+  EnumerationOutcome outcome = EnumerateCountermodelBounded(sigma, phi);
+  ASSERT_TRUE(outcome.countermodel.has_value());
+  EXPECT_TRUE(SatisfiesAll(*outcome.countermodel, sigma));
+  EXPECT_FALSE(Satisfies(*outcome.countermodel, phi));
+}
+
+TEST(EnumerateCountermodel, InstanceCapReportsResourceExhausted) {
+  ConstraintSet sigma = LuSigma("key a.k");
+  EnumerationBounds bounds;
+  bounds.max_instances = 1;
+  EnumerationOutcome outcome = EnumerateCountermodelBounded(
+      sigma, Constraint::UnaryKey("a", "k"), bounds);
+  EXPECT_FALSE(outcome.countermodel.has_value());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted)
+      << outcome.status;
+  EXPECT_GE(outcome.inspected, 1u);
+  EXPECT_LE(outcome.inspected, 2u) << "cap of 1 must stop almost at once";
+}
+
 TEST(TableInstance, ToStringIsReadable) {
   TableInstance inst;
   inst.tables["r"] = {Row({{"a", {"1"}}, {"refs", {"x", "y"}}})};

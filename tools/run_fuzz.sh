@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Deterministic differential-fuzzing smoke run: replays the committed
+# corpus and then runs every oracle family over a fixed seed range.
+#
+#   tools/run_fuzz.sh [build-dir] [trials] [first-seed]
+#     build-dir   default: build        (use build-asan for sanitizer runs)
+#     trials      default: 500          trials per oracle family
+#     first-seed  default: 1            seeds are first-seed..first-seed+trials-1
+#
+# Exit codes mirror xicfuzz: 0 all oracles clean and corpus replays
+# clean, 1 a mismatch was found (reproducer printed), 2 usage/setup
+# error. Identical inputs always produce identical outcomes, so this is
+# safe as a CI gate.
+set -euo pipefail
+
+build_dir="${1:-build}"
+trials="${2:-500}"
+first_seed="${3:-1}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+fuzzer="${root}/${build_dir}/examples/xicfuzz"
+if [ ! -x "${fuzzer}" ]; then
+  fuzzer="${build_dir}/examples/xicfuzz"
+fi
+if [ ! -x "${fuzzer}" ]; then
+  echo "error: xicfuzz not found under ${build_dir} (build the project first)" >&2
+  exit 2
+fi
+
+status=0
+
+echo "== corpus replay (tests/corpus/*.corpus)" >&2
+corpus=("${root}"/tests/corpus/*.corpus)
+if [ ! -e "${corpus[0]}" ]; then
+  echo "error: no committed corpus entries under tests/corpus" >&2
+  exit 2
+fi
+"${fuzzer}" "${corpus[@]}" || status=$?
+
+for oracle in checker incremental implication roundtrip lint; do
+  echo "== oracle ${oracle}: seeds ${first_seed}..$((first_seed + trials - 1))" >&2
+  rc=0
+  "${fuzzer}" --oracle "${oracle}" --seeds "${first_seed}" --trials "${trials}" || rc=$?
+  if [ "${rc}" -gt "${status}" ]; then
+    status="${rc}"
+  fi
+done
+
+if [ "${status}" -eq 0 ]; then
+  echo "run_fuzz: all oracles clean" >&2
+else
+  echo "run_fuzz: FAILED (exit ${status})" >&2
+fi
+exit "${status}"
