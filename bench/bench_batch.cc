@@ -92,12 +92,19 @@ void BM_BatchValidate(benchmark::State& state) {
                           static_cast<int64_t>(corpus.size()));
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
+// MinTime keeps the per-arg run from collapsing to a single iteration:
+// one batch over the 256-document corpus takes ~100 ms, and benchmark's
+// default budget was satisfied by the very first timing sample, so the
+// published docs/s was a one-shot measurement (noisy, and blind to
+// steady-state effects like arena reuse). Two seconds buys a double-digit
+// iteration count at every thread setting.
 BENCHMARK(BM_BatchValidate)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime()
+    ->MinTime(2.0)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

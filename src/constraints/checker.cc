@@ -1,5 +1,7 @@
 #include "constraints/checker.h"
 
+#include <deque>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -55,17 +57,42 @@ std::string TextContent(const DataTree& tree, VertexId v) {
   return out;
 }
 
-// Encodes a tuple of values into one hashable string (values are
-// length-prefixed so distinct tuples never collide).
-std::string EncodeTuple(const std::vector<std::string>& values) {
+// Encodes a tuple of values into `out` (reused across vertices; values
+// are length-prefixed so distinct tuples never collide).
+void EncodeTuple(const std::vector<std::string_view>& values,
+                 std::string* out) {
+  out->clear();
+  for (std::string_view v : values) {
+    *out += std::to_string(v.size());
+    *out += ':';
+    out->append(v);
+  }
+}
+
+std::string JoinViews(const std::vector<std::string_view>& values,
+                      std::string_view sep) {
   std::string out;
-  for (const std::string& v : values) {
-    out += std::to_string(v.size());
-    out += ':';
-    out += v;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(values[i]);
   }
   return out;
 }
+
+std::vector<std::string> ToStrings(const std::vector<std::string_view>& v) {
+  return std::vector<std::string>(v.begin(), v.end());
+}
+
+// Hash scratch containers carved out of the per-document arena: bucket
+// arrays and nodes bump-allocate, teardown is a no-op, and Arena::Reset()
+// reclaims everything between documents.
+template <typename K, typename V>
+using ArenaHashMap =
+    std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                       ArenaAllocator<std::pair<const K, V>>>;
+template <typename T>
+using ArenaHashSet =
+    std::unordered_set<T, std::hash<T>, std::equal_to<T>, ArenaAllocator<T>>;
 
 }  // namespace
 
@@ -99,9 +126,12 @@ Result<AttrValue> ConstraintChecker::FieldValue(const DataTree& tree,
 }
 
 ConstraintReport ConstraintChecker::Check(const DataTree& tree,
-                                          const Deadline& deadline) const {
+                                          const Deadline& deadline,
+                                          Arena* arena) const {
   obs::ScopedSpan span("constraints.check", "constraints");
-  ConstraintReport report = CheckImpl(tree, deadline);
+  Arena local_arena;
+  ConstraintReport report =
+      CheckImpl(tree, deadline, arena != nullptr ? arena : &local_arena);
   span.AddInt("constraints", static_cast<int64_t>(sigma_.constraints.size()));
   span.AddInt("steps", static_cast<int64_t>(report.steps));
   span.AddInt("violations", static_cast<int64_t>(report.violations.size()));
@@ -112,7 +142,8 @@ ConstraintReport ConstraintChecker::Check(const DataTree& tree,
 }
 
 ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
-                                              const Deadline& deadline) const {
+                                              const Deadline& deadline,
+                                              Arena* arena) const {
   ConstraintReport report;
   ExtentIndex extents(tree);
   auto add = [&](size_t index, std::string msg, std::vector<VertexId> wit,
@@ -128,31 +159,79 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
            report.violations.size() >= options_.max_violations;
   };
 
+  // Field access works on views. The fast path returns a view straight
+  // into the tree's attribute storage (FindAttr by interned symbol: no
+  // hashing, no copies); the cold paths -- sub-element fields, unset
+  // declared attributes -- materialize through FieldValue() and anchor the
+  // result in these deques so the views stay valid for the whole check.
+  std::deque<std::string> owned_strings;
+  std::deque<AttrValue> owned_values;
+
   // Single value of a field, or nullopt (missing fields are reported by
   // the caller as violations of the constraint that needed them).
-  auto single = [&](VertexId v,
-                    const std::string& name) -> std::optional<std::string> {
+  auto single = [&](VertexId v, Symbol sym,
+                    const std::string& name) -> std::optional<std::string_view> {
     ++report.steps;
+    if (sym != kInvalidSymbol) {
+      if (const AttrValue* value = tree.FindAttr(v, sym)) {
+        if (value->size() != 1) return std::nullopt;
+        return std::string_view(*value->begin());
+      }
+    }
     Result<AttrValue> value = FieldValue(tree, v, name);
     if (!value.ok() || value.value().size() != 1) return std::nullopt;
-    return *value.value().begin();
+    owned_strings.push_back(*value.value().begin());
+    return std::string_view(owned_strings.back());
   };
-  auto tuple = [&](VertexId v, const std::vector<std::string>& names)
-      -> std::optional<std::vector<std::string>> {
-    std::vector<std::string> out;
-    for (const std::string& name : names) {
-      std::optional<std::string> val = single(v, name);
-      if (!val.has_value()) return std::nullopt;
-      out.push_back(std::move(*val));
+  // The full value set of a field, or null when missing.
+  auto field_ptr = [&](VertexId v, Symbol sym,
+                       const std::string& name) -> const AttrValue* {
+    if (sym != kInvalidSymbol) {
+      if (const AttrValue* value = tree.FindAttr(v, sym)) return value;
     }
-    return out;
+    Result<AttrValue> value = FieldValue(tree, v, name);
+    if (!value.ok()) return nullptr;
+    owned_values.push_back(std::move(value).value());
+    return &owned_values.back();
+  };
+  // Evaluates the named fields of `v` into `out` (reused across
+  // vertices); false if any field is missing or non-singleton.
+  auto tuple_into = [&](VertexId v, const std::vector<std::string>& names,
+                        const std::vector<Symbol>& syms,
+                        std::vector<std::string_view>& out) -> bool {
+    out.clear();
+    for (size_t k = 0; k < names.size(); ++k) {
+      std::optional<std::string_view> val = single(v, syms[k], names[k]);
+      if (!val.has_value()) return false;
+      out.push_back(*val);
+    }
+    return true;
+  };
+  // Interned ids of the named fields, resolved once per constraint.
+  auto resolve = [&](const std::vector<std::string>& names,
+                     std::vector<Symbol>& out) {
+    out.clear();
+    for (const std::string& name : names) out.push_back(tree.FindName(name));
   };
 
   // Global ID table for kId constraints: value -> vertices carrying it in
   // their type's ID attribute (document-wide scope). Per-document scratch,
   // like `extents` above -- nothing here outlives this call.
-  std::unordered_map<std::string, std::vector<VertexId>> global_ids;
+  std::unordered_map<std::string_view, std::vector<VertexId>> global_ids;
   if (needs_global_ids_) {
+    // Per-label-symbol ID attribute (name + interned id), resolved once.
+    const size_t nsyms = tree.symbols().size();
+    std::vector<const std::string*> id_name_of(nsyms, nullptr);
+    std::vector<Symbol> id_sym_of(nsyms, kInvalidSymbol);
+    std::deque<std::string> id_names;
+    for (Symbol s = 0; s < nsyms; ++s) {
+      std::optional<std::string> id_attr =
+          dtd_.IdAttribute(tree.symbols().name(s));
+      if (!id_attr.has_value()) continue;
+      id_names.push_back(std::move(*id_attr));
+      id_name_of[s] = &id_names.back();
+      id_sym_of[s] = tree.FindName(id_names.back());
+    }
     for (VertexId v = 0; v < tree.size(); ++v) {
       if ((v & 0x3FF) == 0) {
         if (Status s = deadline.Check("constraint check"); !s.ok()) {
@@ -160,13 +239,19 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
           return report;
         }
       }
-      std::optional<std::string> id_attr = dtd_.IdAttribute(tree.label(v));
-      if (!id_attr.has_value()) continue;
-      if (std::optional<std::string> val = single(v, *id_attr)) {
+      const Symbol tau = tree.label_symbol(v);
+      if (id_name_of[tau] == nullptr) continue;
+      if (std::optional<std::string_view> val =
+              single(v, id_sym_of[tau], *id_name_of[tau])) {
         global_ids[*val].push_back(v);
       }
     }
   }
+
+  // Reused per-constraint/per-vertex scratch.
+  std::vector<Symbol> attr_syms, ref_attr_syms;
+  std::vector<std::string_view> tbuf, ubuf;
+  std::string encode_buf;
 
   for (size_t i = 0; i < sigma_.constraints.size() && !full(); ++i) {
     if (Status s = deadline.Check("constraint check"); !s.ok()) {
@@ -176,6 +261,8 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
     const Constraint& c = sigma_.constraints[i];
     const std::vector<VertexId>& ext = extents.Extent(c.element);
     const std::vector<VertexId>& ref_ext = extents.Extent(c.ref_element);
+    resolve(c.attrs, attr_syms);
+    resolve(c.ref_attrs, ref_attr_syms);
 
     switch (c.kind) {
       case ConstraintKind::kKey: {
@@ -184,34 +271,38 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
           // once, against the *first* vertex carrying the same tuple (not
           // once per earlier occurrence, which over-reports on triples).
           for (size_t b = 0; b < ext.size() && !full(); ++b) {
-            std::optional<std::vector<std::string>> tb = tuple(ext[b], c.attrs);
-            if (!tb.has_value()) {
+            if (!tuple_into(ext[b], c.attrs, attr_syms, tbuf)) {
               add(i, "key field missing", {ext[b]});
               continue;
             }
             for (size_t a = 0; a < b; ++a) {
-              std::optional<std::vector<std::string>> ta =
-                  tuple(ext[a], c.attrs);
-              if (ta.has_value() && *ta == *tb) {
-                add(i, "duplicate key [" + Join(*tb, ",") + "]",
-                    {ext[a], ext[b]}, *tb);
+              if (tuple_into(ext[a], c.attrs, attr_syms, ubuf) &&
+                  ubuf == tbuf) {
+                add(i, "duplicate key [" + JoinViews(tbuf, ",") + "]",
+                    {ext[a], ext[b]}, ToStrings(tbuf));
                 break;
               }
             }
           }
           break;
         }
-        std::unordered_map<std::string, VertexId> seen;
+        ArenaHashMap<std::string_view, VertexId> seen(
+            8, ArenaAllocator<std::pair<const std::string_view, VertexId>>(
+                   arena));
         for (VertexId v : ext) {
-          std::optional<std::vector<std::string>> t = tuple(v, c.attrs);
-          if (!t.has_value()) {
+          if (!tuple_into(v, c.attrs, attr_syms, tbuf)) {
             add(i, "key field missing", {v});
             continue;
           }
-          auto [it, inserted] = seen.try_emplace(EncodeTuple(*t), v);
-          if (!inserted) {
-            add(i, "duplicate key [" + Join(*t, ",") + "]", {it->second, v},
-                *t);
+          EncodeTuple(tbuf, &encode_buf);
+          auto it = seen.find(std::string_view(encode_buf));
+          if (it == seen.end()) {
+            // The key must outlive encode_buf's next reuse: copy it into
+            // the arena (reclaimed wholesale between documents).
+            seen.emplace(arena->CopyString(encode_buf), v);
+          } else {
+            add(i, "duplicate key [" + JoinViews(tbuf, ",") + "]",
+                {it->second, v}, ToStrings(tbuf));
           }
           if (full()) break;
         }
@@ -222,9 +313,10 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
         // Report each duplicated value once per constraint, not once per
         // vertex of ext(tau) holding it (the witnesses already list every
         // holder).
-        std::unordered_set<std::string> reported;
+        std::unordered_set<std::string_view> reported;
         for (VertexId v : ext) {
-          std::optional<std::string> val = single(v, c.attr());
+          std::optional<std::string_view> val =
+              single(v, attr_syms[0], c.attr());
           if (!val.has_value()) {
             add(i, "ID attribute missing", {v});
             continue;
@@ -232,8 +324,9 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
           auto it = global_ids.find(*val);
           if (it != global_ids.end() && it->second.size() > 1 &&
               reported.insert(*val).second) {
-            add(i, "ID value \"" + *val + "\" is not document-unique",
-                it->second, {*val});
+            add(i, "ID value \"" + std::string(*val) +
+                       "\" is not document-unique",
+                it->second, {std::string(*val)});
           }
           if (full()) break;
         }
@@ -243,40 +336,46 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
       case ConstraintKind::kForeignKey: {
         if (options_.naive) {
           for (VertexId v : ext) {
-            std::optional<std::vector<std::string>> t = tuple(v, c.attrs);
-            if (!t.has_value()) {
+            if (!tuple_into(v, c.attrs, attr_syms, tbuf)) {
               add(i, "foreign-key field missing", {v});
               continue;
             }
             bool found = false;
             for (VertexId w : ref_ext) {
-              std::optional<std::vector<std::string>> u =
-                  tuple(w, c.ref_attrs);
-              if (u.has_value() && *u == *t) {
+              if (tuple_into(w, c.ref_attrs, ref_attr_syms, ubuf) &&
+                  ubuf == tbuf) {
                 found = true;
                 break;
               }
             }
             if (!found) {
-              add(i, "dangling reference [" + Join(*t, ",") + "]", {v}, *t);
+              add(i, "dangling reference [" + JoinViews(tbuf, ",") + "]",
+                  {v}, ToStrings(tbuf));
             }
             if (full()) break;
           }
           break;
         }
-        std::unordered_set<std::string> targets;
+        ArenaHashSet<std::string_view> targets(
+            8, ArenaAllocator<std::string_view>(arena));
         for (VertexId w : ref_ext) {
-          std::optional<std::vector<std::string>> u = tuple(w, c.ref_attrs);
-          if (u.has_value()) targets.insert(EncodeTuple(*u));
+          if (tuple_into(w, c.ref_attrs, ref_attr_syms, ubuf)) {
+            EncodeTuple(ubuf, &encode_buf);
+            if (targets.find(std::string_view(encode_buf)) ==
+                targets.end()) {
+              targets.insert(arena->CopyString(encode_buf));
+            }
+          }
         }
         for (VertexId v : ext) {
-          std::optional<std::vector<std::string>> t = tuple(v, c.attrs);
-          if (!t.has_value()) {
+          if (!tuple_into(v, c.attrs, attr_syms, tbuf)) {
             add(i, "foreign-key field missing", {v});
             continue;
           }
-          if (targets.count(EncodeTuple(*t)) == 0) {
-            add(i, "dangling reference [" + Join(*t, ",") + "]", {v}, *t);
+          EncodeTuple(tbuf, &encode_buf);
+          if (targets.count(std::string_view(encode_buf)) == 0) {
+            add(i, "dangling reference [" + JoinViews(tbuf, ",") + "]", {v},
+                ToStrings(tbuf));
           }
           if (full()) break;
         }
@@ -284,31 +383,36 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
       }
 
       case ConstraintKind::kSetForeignKey: {
-        std::unordered_set<std::string> targets;
+        // Target key values are views into the tree (or the owned
+        // anchors), both stable for the whole check: no copies needed.
+        ArenaHashSet<std::string_view> targets(
+            8, ArenaAllocator<std::string_view>(arena));
         for (VertexId w : ref_ext) {
-          if (std::optional<std::string> u = single(w, c.ref_attr())) {
+          if (std::optional<std::string_view> u =
+                  single(w, ref_attr_syms[0], c.ref_attr())) {
             targets.insert(*u);
           }
         }
         for (VertexId v : ext) {
-          Result<AttrValue> vals = FieldValue(tree, v, c.attr());
-          if (!vals.ok()) {
+          const AttrValue* vals = field_ptr(v, attr_syms[0], c.attr());
+          if (vals == nullptr) {
             add(i, "set-valued field missing", {v});
             continue;
           }
-          for (const std::string& val : vals.value()) {
+          for (const std::string& val : *vals) {
             bool found;
             if (options_.naive) {
               found = false;
               for (VertexId w : ref_ext) {
-                std::optional<std::string> u = single(w, c.ref_attr());
+                std::optional<std::string_view> u =
+                    single(w, ref_attr_syms[0], c.ref_attr());
                 if (u.has_value() && *u == val) {
                   found = true;
                   break;
                 }
               }
             } else {
-              found = targets.count(val) > 0;
+              found = targets.count(std::string_view(val)) > 0;
             }
             if (!found) {
               add(i, "dangling reference \"" + val + "\"", {v}, {val});
@@ -329,27 +433,31 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
           add(i, "inverse constraint lacks key attributes", {});
           break;
         }
+        const Symbol lk_sym = tree.FindName(lk);
+        const Symbol lk2_sym = tree.FindName(lk2);
         // key value -> vertices (multimap: key violations must not mask
         // inverse violations).
-        std::unordered_map<std::string, std::vector<VertexId>> by_key;
-        std::unordered_map<std::string, std::vector<VertexId>> ref_by_key;
+        std::unordered_map<std::string_view, std::vector<VertexId>> by_key;
+        std::unordered_map<std::string_view, std::vector<VertexId>>
+            ref_by_key;
         for (VertexId v : ext) {
-          if (std::optional<std::string> val = single(v, lk)) {
+          if (std::optional<std::string_view> val = single(v, lk_sym, lk)) {
             by_key[*val].push_back(v);
           }
         }
         for (VertexId w : ref_ext) {
-          if (std::optional<std::string> val = single(w, lk2)) {
+          if (std::optional<std::string_view> val =
+                  single(w, lk2_sym, lk2)) {
             ref_by_key[*val].push_back(w);
           }
         }
         // Typed semantics (DESIGN.md): the referenced values must be keys
         // of the partner type (the containments Inv-SFK-ID derives).
         for (VertexId x : ext) {
-          Result<AttrValue> xl = FieldValue(tree, x, c.attr());
-          if (!xl.ok()) continue;
-          for (const std::string& val : xl.value()) {
-            if (ref_by_key.count(val) == 0) {
+          const AttrValue* xl = field_ptr(x, attr_syms[0], c.attr());
+          if (xl == nullptr) continue;
+          for (const std::string& val : *xl) {
+            if (ref_by_key.count(std::string_view(val)) == 0) {
               add(i, "inverse reference \"" + val + "\" is not a " +
                          c.ref_element + " key",
                   {x}, {val});
@@ -359,10 +467,10 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
           if (full()) break;
         }
         for (VertexId y : ref_ext) {
-          Result<AttrValue> yl = FieldValue(tree, y, c.ref_attr());
-          if (!yl.ok()) continue;
-          for (const std::string& val : yl.value()) {
-            if (by_key.count(val) == 0) {
+          const AttrValue* yl = field_ptr(y, ref_attr_syms[0], c.ref_attr());
+          if (yl == nullptr) continue;
+          for (const std::string& val : *yl) {
+            if (by_key.count(std::string_view(val)) == 0) {
               add(i, "inverse reference \"" + val + "\" is not a " +
                          c.element + " key",
                   {y}, {val});
@@ -373,18 +481,19 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
         }
         // Direction 1: x.lk in y.l'  ==>  y.lk' in x.l.
         for (VertexId y : ref_ext) {
-          Result<AttrValue> yl2 = FieldValue(tree, y, c.ref_attr());
-          std::optional<std::string> ykey = single(y, lk2);
-          if (!yl2.ok() || !ykey.has_value()) continue;
-          for (const std::string& val : yl2.value()) {
-            auto it = by_key.find(val);
+          const AttrValue* yl2 = field_ptr(y, ref_attr_syms[0], c.ref_attr());
+          std::optional<std::string_view> ykey = single(y, lk2_sym, lk2);
+          if (yl2 == nullptr || !ykey.has_value()) continue;
+          for (const std::string& val : *yl2) {
+            auto it = by_key.find(std::string_view(val));
             if (it == by_key.end()) continue;
             for (VertexId x : it->second) {
-              Result<AttrValue> xl = FieldValue(tree, x, c.attr());
-              if (!xl.ok() || xl.value().count(*ykey) == 0) {
-                add(i, "inverse missing: " + c.ref_element + " \"" + *ykey +
-                           "\" references \"" + val + "\" but not back",
-                    {x, y}, {*ykey});
+              const AttrValue* xl = field_ptr(x, attr_syms[0], c.attr());
+              if (xl == nullptr || xl->count(std::string(*ykey)) == 0) {
+                add(i, "inverse missing: " + c.ref_element + " \"" +
+                           std::string(*ykey) + "\" references \"" + val +
+                           "\" but not back",
+                    {x, y}, {std::string(*ykey)});
               }
               if (full()) break;
             }
@@ -394,18 +503,20 @@ ConstraintReport ConstraintChecker::CheckImpl(const DataTree& tree,
         }
         // Direction 2 (symmetric).
         for (VertexId x : ext) {
-          Result<AttrValue> xl = FieldValue(tree, x, c.attr());
-          std::optional<std::string> xkey = single(x, lk);
-          if (!xl.ok() || !xkey.has_value()) continue;
-          for (const std::string& val : xl.value()) {
-            auto it = ref_by_key.find(val);
+          const AttrValue* xl = field_ptr(x, attr_syms[0], c.attr());
+          std::optional<std::string_view> xkey = single(x, lk_sym, lk);
+          if (xl == nullptr || !xkey.has_value()) continue;
+          for (const std::string& val : *xl) {
+            auto it = ref_by_key.find(std::string_view(val));
             if (it == ref_by_key.end()) continue;
             for (VertexId y : it->second) {
-              Result<AttrValue> yl2 = FieldValue(tree, y, c.ref_attr());
-              if (!yl2.ok() || yl2.value().count(*xkey) == 0) {
-                add(i, "inverse missing: " + c.element + " \"" + *xkey +
-                           "\" references \"" + val + "\" but not back",
-                    {y, x}, {*xkey});
+              const AttrValue* yl2 =
+                  field_ptr(y, ref_attr_syms[0], c.ref_attr());
+              if (yl2 == nullptr || yl2->count(std::string(*xkey)) == 0) {
+                add(i, "inverse missing: " + c.element + " \"" +
+                           std::string(*xkey) + "\" references \"" + val +
+                           "\" but not back",
+                    {y, x}, {std::string(*xkey)});
               }
               if (full()) break;
             }

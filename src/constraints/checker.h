@@ -36,6 +36,7 @@
 #include "constraints/constraint.h"
 #include "model/data_tree.h"
 #include "model/dtd_structure.h"
+#include "util/arena.h"
 #include "util/limits.h"
 #include "util/status.h"
 
@@ -84,11 +85,17 @@ class ConstraintChecker {
   /// Evaluates G |= Sigma; the report lists every violated constraint.
   /// The deadline is polled between constraints and inside the extent
   /// scans; on expiry the report carries kDeadlineExceeded.
+  ///
+  /// `arena` (optional) supplies the per-document scratch memory -- key
+  /// indexes, tuple encodings -- so a caller that checks many documents
+  /// (the batch engine) can hand in a per-worker arena and Reset() it
+  /// between documents, keeping steady-state checking off the shared
+  /// allocator. Null falls back to a call-local arena.
   ConstraintReport Check(const DataTree& tree) const {
     return Check(tree, Deadline::Infinite());
   }
-  ConstraintReport Check(const DataTree& tree,
-                         const Deadline& deadline) const;
+  ConstraintReport Check(const DataTree& tree, const Deadline& deadline,
+                         Arena* arena = nullptr) const;
 
   /// The value of field `name` (attribute or unique sub-element) on vertex
   /// `v`, as a set of atomic values. Missing fields yield an error.
@@ -96,8 +103,8 @@ class ConstraintChecker {
                                const std::string& name) const;
 
  private:
-  ConstraintReport CheckImpl(const DataTree& tree,
-                             const Deadline& deadline) const;
+  ConstraintReport CheckImpl(const DataTree& tree, const Deadline& deadline,
+                             Arena* arena) const;
 
   // Immutable per-constraint state compiled once in the constructor.
   struct CompiledConstraint {

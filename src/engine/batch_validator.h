@@ -82,6 +82,12 @@ struct DocumentOutcome {
 /// Aggregate counters and timings for one batch run.
 struct BatchStats {
   size_t documents = 0;
+  /// Documents whose pipeline reached a fully-OK verdict. Counted
+  /// directly from the outcomes, NOT derived by subtracting the failure
+  /// counters from `documents`: a document can fail several ways at once
+  /// (e.g. structurally invalid *and* constraint-violating after a
+  /// deadline), so the subtraction underflows size_t.
+  size_t ok_documents = 0;
   size_t parse_failures = 0;
   size_t structurally_invalid = 0;
   size_t constraint_violating = 0;

@@ -134,44 +134,58 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Private completion latch so concurrent ParallelFor calls (and stray
-  // Submit traffic) don't wait on each other.
-  struct Latch {
-    std::atomic<size_t> remaining;
+  // One driver task per worker, all claiming indexes from a shared atomic
+  // cursor. Submitting n individual tasks made every iteration pay the
+  // global state_mutex_ + condition-variable round-trips (three per task),
+  // which serialized whole-document pipelines behind one lock and showed
+  // up as the flat batch-scaling curve; with drivers the pool traffic is
+  // O(num_threads) per call regardless of n, and per-iteration claim cost
+  // is one uncontended fetch_add.
+  struct Shared {
+    std::atomic<size_t> next{0};     // iteration claim cursor
+    std::atomic<size_t> remaining;   // driver tasks still running
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
     std::mutex mutex;
     std::condition_variable done;
     std::exception_ptr first_error;  // guarded by mutex
   };
-  auto latch = std::make_shared<Latch>();
-  latch->remaining.store(n, std::memory_order_relaxed);
-  for (size_t i = 0; i < n; ++i) {
-    Submit([latch, &fn, i] {
-      // The catch must run before the latch decrement: an exception that
-      // skipped the decrement would leave the caller waiting forever.
-      std::exception_ptr error;
-      try {
-        fn(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      if (error != nullptr) {
-        std::lock_guard<std::mutex> lock(latch->mutex);
-        if (latch->first_error == nullptr) {
-          latch->first_error = std::move(error);
+  auto shared = std::make_shared<Shared>();
+  shared->n = n;
+  shared->fn = &fn;  // valid: this frame outlives every driver
+  const size_t drivers = std::min(num_threads(), n);
+  shared->remaining.store(drivers, std::memory_order_relaxed);
+  for (size_t d = 0; d < drivers; ++d) {
+    Submit([shared] {
+      for (;;) {
+        const size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shared->n) break;
+        // Each iteration is caught individually: one throwing iteration
+        // must not stop the remaining ones, and the first exception (by
+        // completion order) is what the caller sees.
+        try {
+          (*shared->fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->mutex);
+          if (shared->first_error == nullptr) {
+            shared->first_error = std::current_exception();
+          }
         }
       }
-      if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(latch->mutex);
-        latch->done.notify_all();
+      // The decrement runs strictly after this driver's last iteration:
+      // a skipped decrement would leave the caller waiting forever.
+      if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->done.notify_all();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(latch->mutex);
-  latch->done.wait(lock, [&] {
-    return latch->remaining.load(std::memory_order_acquire) == 0;
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->done.wait(lock, [&] {
+    return shared->remaining.load(std::memory_order_acquire) == 0;
   });
-  if (latch->first_error != nullptr) {
-    std::rethrow_exception(latch->first_error);
+  if (shared->first_error != nullptr) {
+    std::rethrow_exception(shared->first_error);
   }
 }
 

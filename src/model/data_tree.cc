@@ -1,10 +1,12 @@
 #include "model/data_tree.h"
 
+#include <algorithm>
+
 namespace xic {
 
-VertexId DataTree::AddVertex(std::string element_name) {
+VertexId DataTree::AddVertex(std::string_view element_name) {
   VertexId id = static_cast<VertexId>(labels_.size());
-  labels_.push_back(std::move(element_name));
+  labels_.push_back(symbols_.Intern(element_name));
   children_.emplace_back();
   parents_.push_back(kInvalidVertex);
   attributes_.emplace_back();
@@ -31,55 +33,75 @@ void DataTree::AddChildText(VertexId parent, std::string text) {
   children_[parent].emplace_back(std::move(text));
 }
 
-void DataTree::SetAttribute(VertexId v, const std::string& name,
+void DataTree::SetAttributeImpl(VertexId v, std::string_view name,
+                                AttrValue value) {
+  Symbol s = symbols_.Intern(name);
+  std::vector<AttrEntry>& entries = attributes_[v];
+  for (AttrEntry& e : entries) {
+    if (e.name == s) {
+      e.value = std::move(value);
+      return;
+    }
+  }
+  // Insert keeping lexicographic name order (attribute counts per vertex
+  // are tiny, so a linear scan beats any cleverness).
+  auto pos = entries.begin();
+  while (pos != entries.end() && symbols_.name(pos->name) < name) ++pos;
+  entries.insert(pos, AttrEntry{s, std::move(value)});
+}
+
+void DataTree::SetAttribute(VertexId v, std::string_view name,
                             AttrValue value) {
-  attributes_[v][name] = std::move(value);
+  SetAttributeImpl(v, name, std::move(value));
 }
 
-void DataTree::SetAttribute(VertexId v, const std::string& name,
+void DataTree::SetAttribute(VertexId v, std::string_view name,
                             std::string value) {
-  attributes_[v][name] = AttrValue{std::move(value)};
+  SetAttributeImpl(v, name, AttrValue{std::move(value)});
 }
 
-bool DataTree::HasAttribute(VertexId v, const std::string& name) const {
-  return attributes_[v].count(name) > 0;
+bool DataTree::HasAttribute(VertexId v, std::string_view name) const {
+  return FindAttr(v, name) != nullptr;
 }
 
 Result<AttrValue> DataTree::Attribute(VertexId v,
-                                      const std::string& name) const {
-  auto it = attributes_[v].find(name);
-  if (it == attributes_[v].end()) {
-    return Status::InvalidArgument("attribute " + name +
+                                      std::string_view name) const {
+  const AttrValue* value = FindAttr(v, name);
+  if (value == nullptr) {
+    return Status::InvalidArgument("attribute " + std::string(name) +
                                    " undefined on vertex");
   }
-  return it->second;
+  return *value;
 }
 
 Result<std::string> DataTree::SingleAttribute(VertexId v,
-                                              const std::string& name) const {
-  auto it = attributes_[v].find(name);
-  if (it == attributes_[v].end()) {
-    return Status::InvalidArgument("attribute " + name +
+                                              std::string_view name) const {
+  const AttrValue* value = FindAttr(v, name);
+  if (value == nullptr) {
+    return Status::InvalidArgument("attribute " + std::string(name) +
                                    " undefined on vertex");
   }
-  if (it->second.size() != 1) {
-    return Status::InvalidArgument("attribute " + name +
+  if (value->size() != 1) {
+    return Status::InvalidArgument("attribute " + std::string(name) +
                                    " is not single-valued on vertex");
   }
-  return *it->second.begin();
+  return *value->begin();
 }
 
-std::vector<VertexId> DataTree::Extent(
-    const std::string& element_name) const {
+std::vector<VertexId> DataTree::Extent(std::string_view element_name) const {
   std::vector<VertexId> out;
+  Symbol s = symbols_.Find(element_name);
+  if (s == kInvalidSymbol) return out;
   for (VertexId v = 0; v < size(); ++v) {
-    if (labels_[v] == element_name) out.push_back(v);
+    if (labels_[v] == s) out.push_back(v);
   }
   return out;
 }
 
 std::set<std::string> DataTree::Labels() const {
-  return std::set<std::string>(labels_.begin(), labels_.end());
+  std::set<std::string> out;
+  for (Symbol s : labels_) out.insert(symbols_.name(s));
+  return out;
 }
 
 std::vector<VertexId> DataTree::ChildVertices(VertexId v) const {
@@ -94,7 +116,7 @@ std::vector<std::string> DataTree::ChildWord(VertexId v) const {
   std::vector<std::string> out;
   for (const Child& c : children_[v]) {
     if (const VertexId* id = std::get_if<VertexId>(&c)) {
-      out.push_back(labels_[*id]);
+      out.push_back(label(*id));
     } else {
       out.push_back("#PCDATA");
     }
@@ -102,16 +124,17 @@ std::vector<std::string> DataTree::ChildWord(VertexId v) const {
   return out;
 }
 
-ExtentIndex::ExtentIndex(const DataTree& tree) {
+ExtentIndex::ExtentIndex(const DataTree& tree)
+    : tree_(tree), extents_(tree.symbols().size()) {
   for (VertexId v = 0; v < tree.size(); ++v) {
-    extents_[tree.label(v)].push_back(v);
+    extents_[tree.label_symbol(v)].push_back(v);
   }
 }
 
 const std::vector<VertexId>& ExtentIndex::Extent(
-    const std::string& element_name) const {
-  auto it = extents_.find(element_name);
-  return it == extents_.end() ? empty_ : it->second;
+    std::string_view element_name) const {
+  Symbol s = tree_.FindName(element_name);
+  return s == kInvalidSymbol ? empty_ : Extent(s);
 }
 
 }  // namespace xic

@@ -92,7 +92,7 @@ Status DtdStructure::Validate() const {
 }
 
 const DtdStructure::ElementInfo* DtdStructure::Find(
-    const std::string& element) const {
+    std::string_view element) const {
   auto it = elements_.find(element);
   return it == elements_.end() ? nullptr : &it->second;
 }
@@ -131,28 +131,30 @@ bool DtdStructure::HasAttribute(const std::string& element,
   return info != nullptr && info->attrs.count(attr) > 0;
 }
 
-Result<AttrCardinality> DtdStructure::Cardinality(
-    const std::string& element, const std::string& attr) const {
+Result<AttrCardinality> DtdStructure::Cardinality(std::string_view element,
+                                                  std::string_view attr) const {
   const ElementInfo* info = Find(element);
   if (info == nullptr) {
-    return Status::InvalidArgument("undeclared element: " + element);
+    return Status::InvalidArgument("undeclared element: " +
+                                   std::string(element));
   }
   auto it = info->attrs.find(attr);
   if (it == info->attrs.end()) {
-    return Status::InvalidArgument("undeclared attribute: " + element + "." +
-                                   attr);
+    return Status::InvalidArgument("undeclared attribute: " +
+                                   std::string(element) + "." +
+                                   std::string(attr));
   }
   return it->second.card;
 }
 
-bool DtdStructure::IsSingleValued(const std::string& element,
-                                  const std::string& attr) const {
+bool DtdStructure::IsSingleValued(std::string_view element,
+                                  std::string_view attr) const {
   Result<AttrCardinality> card = Cardinality(element, attr);
   return card.ok() && card.value() == AttrCardinality::kSingle;
 }
 
-bool DtdStructure::IsSetValued(const std::string& element,
-                               const std::string& attr) const {
+bool DtdStructure::IsSetValued(std::string_view element,
+                               std::string_view attr) const {
   Result<AttrCardinality> card = Cardinality(element, attr);
   return card.ok() && card.value() == AttrCardinality::kSet;
 }

@@ -18,6 +18,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "regex/content_model.h"
@@ -81,13 +82,13 @@ class DtdStructure {
   bool HasAttribute(const std::string& element,
                     const std::string& attr) const;
 
-  /// R(element, attr); fails if undefined.
-  Result<AttrCardinality> Cardinality(const std::string& element,
-                                      const std::string& attr) const;
+  /// R(element, attr); fails if undefined. Takes views so the parser's
+  /// zero-copy tokens can query without materializing strings.
+  Result<AttrCardinality> Cardinality(std::string_view element,
+                                      std::string_view attr) const;
 
-  bool IsSingleValued(const std::string& element,
-                      const std::string& attr) const;
-  bool IsSetValued(const std::string& element, const std::string& attr) const;
+  bool IsSingleValued(std::string_view element, std::string_view attr) const;
+  bool IsSetValued(std::string_view element, std::string_view attr) const;
 
   /// kind(element, attr) if defined.
   std::optional<AttrKind> Kind(const std::string& element,
@@ -116,13 +117,14 @@ class DtdStructure {
   };
   struct ElementInfo {
     RegexPtr content;
-    std::map<std::string, AttrInfo> attrs;
+    // std::less<> enables heterogeneous (string_view) lookup.
+    std::map<std::string, AttrInfo, std::less<>> attrs;
     std::optional<std::string> id_attr;
   };
 
-  const ElementInfo* Find(const std::string& element) const;
+  const ElementInfo* Find(std::string_view element) const;
 
-  std::map<std::string, ElementInfo> elements_;
+  std::map<std::string, ElementInfo, std::less<>> elements_;
   std::string root_;
 };
 

@@ -32,6 +32,18 @@ StructuralValidator::StructuralValidator(const DtdStructure& dtd,
       automata_.emplace(element, std::move(automaton));
     }
   }
+  for (const std::string& element : dtd_.Elements()) {
+    ElementPlan plan;
+    plan.index = static_cast<int>(plans_.size());
+    auto it = automata_.find(element);
+    if (it != automata_.end()) plan.automaton = &it->second;
+    plan.attr_names = dtd_.Attributes(element);
+    plan.attr_single.reserve(plan.attr_names.size());
+    for (const std::string& attr : plan.attr_names) {
+      plan.attr_single.push_back(dtd_.IsSingleValued(element, attr));
+    }
+    plans_.emplace(element, std::move(plan));
+  }
 }
 
 ValidationReport StructuralValidator::Validate(
@@ -74,6 +86,43 @@ ValidationReport StructuralValidator::ValidateImpl(
                          ", expected " + dtd_.root());
   }
 
+  // Translate the document's interned names to element plans once: after
+  // this loop no per-vertex work touches a string except to render a
+  // violation message.
+  const SymbolTable& syms = tree.symbols();
+  const size_t nsyms = syms.size();
+  std::vector<const ElementPlan*> plan_of(nsyms, nullptr);
+  for (Symbol s = 0; s < nsyms; ++s) {
+    auto it = plans_.find(syms.name(s));
+    if (it != plans_.end()) plan_of[s] = &it->second;
+  }
+  // Per-plan translation caches, built lazily for the element types this
+  // document actually uses:
+  //   alpha_of[plan]: tree Symbol -> alphabet id of the plan's automaton
+  //                   (slot nsyms holds kStringSymbol for text children),
+  //   attr_sym_of[plan]: declared-attribute slot -> tree Symbol.
+  std::vector<std::vector<int>> alpha_of(plans_.size());
+  std::vector<std::vector<Symbol>> attr_sym_of(plans_.size());
+  std::vector<char> plan_ready(plans_.size(), 0);
+  auto prepare_plan = [&](const ElementPlan& plan) {
+    if (plan_ready[plan.index]) return;
+    plan_ready[plan.index] = 1;
+    if (plan.automaton != nullptr) {
+      std::vector<int>& alpha = alpha_of[plan.index];
+      alpha.resize(nsyms + 1);
+      for (Symbol s = 0; s < nsyms; ++s) {
+        alpha[s] = plan.automaton->FindAlphabetId(syms.name(s));
+      }
+      alpha[nsyms] = plan.automaton->FindAlphabetId(kStringSymbol);
+    }
+    std::vector<Symbol>& attr_syms = attr_sym_of[plan.index];
+    attr_syms.reserve(plan.attr_names.size());
+    for (const std::string& attr : plan.attr_names) {
+      attr_syms.push_back(tree.FindName(attr));
+    }
+  };
+  std::vector<int> word;  // child-word scratch, reused across vertices
+
   for (VertexId v = 0; v < tree.size() && !full(); ++v) {
     if ((v & 0x3F) == 0) {
       if (Status s = deadline.Check("structural validation"); !s.ok()) {
@@ -82,33 +131,60 @@ ValidationReport StructuralValidator::ValidateImpl(
       }
     }
     ++report.steps;
-    const std::string& tau = tree.label(v);
-    if (!dtd_.HasElement(tau)) {
-      add(v, "undeclared element type " + tau);
+    const Symbol tau_sym = tree.label_symbol(v);
+    const ElementPlan* plan = plan_of[tau_sym];
+    if (plan == nullptr) {
+      add(v, "undeclared element type " + tree.label(v));
       continue;
     }
+    prepare_plan(*plan);
     // Children against L(P(tau)).
-    auto automaton = automata_.find(tau);
-    if (automaton != automata_.end() &&
-        !automaton->second.Matches(tree.ChildWord(v))) {
-      std::string word = Join(tree.ChildWord(v), " ");
-      add(v, "children [" + word + "] do not match content model of " + tau);
+    if (plan->automaton != nullptr) {
+      const std::vector<int>& alpha = alpha_of[plan->index];
+      word.clear();
+      for (const Child& c : tree.children(v)) {
+        if (const VertexId* id = std::get_if<VertexId>(&c)) {
+          word.push_back(alpha[tree.label_symbol(*id)]);
+        } else {
+          word.push_back(alpha[nsyms]);
+        }
+      }
+      if (!plan->automaton->MatchesIds(word.data(), word.size())) {
+        std::string rendered = Join(tree.ChildWord(v), " ");
+        add(v, "children [" + rendered + "] do not match content model of " +
+                   tree.label(v));
+      }
     }
     // Attributes: declared <-> present, single-valued are singletons.
-    for (const auto& [name, value] : tree.attributes(v)) {
-      if (!dtd_.HasAttribute(tau, name)) {
-        add(v, "undeclared attribute " + tau + "." + name);
+    const std::vector<Symbol>& attr_syms = attr_sym_of[plan->index];
+    size_t declared_present = 0;
+    for (const DataTree::AttrEntry& e : tree.attributes(v).entries()) {
+      size_t slot = attr_syms.size();
+      for (size_t j = 0; j < attr_syms.size(); ++j) {
+        if (attr_syms[j] == e.name) {
+          slot = j;
+          break;
+        }
+      }
+      if (slot == attr_syms.size()) {
+        add(v, "undeclared attribute " + tree.label(v) + "." +
+                   syms.name(e.name));
         continue;
       }
-      if (dtd_.IsSingleValued(tau, name) && value.size() != 1) {
-        add(v, "single-valued attribute " + tau + "." + name + " holds " +
-                   std::to_string(value.size()) + " values");
+      ++declared_present;
+      if (plan->attr_single[slot] && e.value.size() != 1) {
+        add(v, "single-valued attribute " + tree.label(v) + "." +
+                   syms.name(e.name) + " holds " +
+                   std::to_string(e.value.size()) + " values");
       }
     }
-    if (!options_.allow_missing_attributes) {
-      for (const std::string& name : dtd_.Attributes(tau)) {
-        if (!tree.HasAttribute(v, name)) {
-          add(v, "missing declared attribute " + tau + "." + name);
+    if (!options_.allow_missing_attributes &&
+        declared_present != attr_syms.size()) {
+      for (size_t j = 0; j < attr_syms.size(); ++j) {
+        if (attr_syms[j] == kInvalidSymbol ||
+            tree.FindAttr(v, attr_syms[j]) == nullptr) {
+          add(v, "missing declared attribute " + tree.label(v) + "." +
+                     plan->attr_names[j]);
         }
       }
     }

@@ -80,6 +80,18 @@ class StructuralValidator {
   bool AllContentModelsDeterministic() const;
 
  private:
+  /// Per-element-type compiled form: the content-model automaton plus the
+  /// declared attributes (sorted by name, as DtdStructure stores them).
+  /// Built once in the constructor; Validate translates each document's
+  /// interned symbols against these plans once per document, so the
+  /// per-vertex work is pure integer comparisons.
+  struct ElementPlan {
+    int index = 0;  // dense id, indexes per-document caches
+    const GlushkovAutomaton* automaton = nullptr;
+    std::vector<std::string> attr_names;  // sorted
+    std::vector<bool> attr_single;        // parallel: single-valued?
+  };
+
   ValidationReport ValidateImpl(const DataTree& tree,
                                 const Deadline& deadline) const;
 
@@ -87,6 +99,7 @@ class StructuralValidator {
   ValidationOptions options_;
   Status status_;
   std::map<std::string, GlushkovAutomaton> automata_;
+  std::map<std::string, ElementPlan, std::less<>> plans_;
 };
 
 }  // namespace xic

@@ -1,5 +1,7 @@
 #include "regex/glushkov.h"
 
+#include <bit>
+
 #include "obs/obs.h"
 
 namespace xic {
@@ -9,6 +11,7 @@ GlushkovAutomaton::GlushkovAutomaton(const RegexPtr& re) {
   nullable_ = root.nullable;
   first_ = std::move(root.first);
   last_ = std::move(root.last);
+  BuildAlphabet();
   XIC_COUNTER_ADD("regex.glushkov.builds", 1);
   XIC_COUNTER_ADD("regex.glushkov.states", symbols_.size());
   XIC_COUNTER_MAX("regex.glushkov.max_states", symbols_.size());
@@ -73,20 +76,66 @@ GlushkovAutomaton::BuildResult GlushkovAutomaton::Build(const Regex& re) {
   return BuildResult{};
 }
 
+void GlushkovAutomaton::BuildAlphabet() {
+  pos_alpha_.resize(symbols_.size());
+  for (size_t p = 0; p < symbols_.size(); ++p) {
+    auto [it, inserted] =
+        alphabet_index_.emplace(symbols_[p], static_cast<int>(alphabet_.size()));
+    if (inserted) alphabet_.push_back(symbols_[p]);
+    pos_alpha_[p] = it->second;
+  }
+  use_masks_ = symbols_.size() <= 64;
+  if (!use_masks_) return;
+  alpha_masks_.assign(alphabet_.size(), 0);
+  for (size_t p = 0; p < symbols_.size(); ++p) {
+    alpha_masks_[pos_alpha_[p]] |= uint64_t{1} << p;
+  }
+  for (int p : first_) first_mask_ |= uint64_t{1} << p;
+  for (int p : last_) last_mask_ |= uint64_t{1} << p;
+  follow_masks_.assign(symbols_.size(), 0);
+  for (size_t p = 0; p < symbols_.size(); ++p) {
+    for (int q : follow_[p]) follow_masks_[p] |= uint64_t{1} << q;
+  }
+}
+
 bool GlushkovAutomaton::Matches(const std::vector<std::string>& word) const {
   if (word.empty()) return nullable_;
-  // NFA simulation over position sets; `current` holds the positions whose
-  // symbol matched the most recent input label.
+  std::vector<int> ids;
+  ids.reserve(word.size());
+  for (const std::string& label : word) ids.push_back(FindAlphabetId(label));
+  return MatchesIds(ids.data(), ids.size());
+}
+
+bool GlushkovAutomaton::MatchesIds(const int* word, size_t len) const {
+  if (len == 0) return nullable_;
+  if (use_masks_) {
+    // Bitmask NFA simulation: `current` is the set of positions whose
+    // symbol matched the most recent input label.
+    uint64_t current =
+        word[0] < 0 ? 0 : first_mask_ & alpha_masks_[word[0]];
+    for (size_t i = 1; i < len; ++i) {
+      if (current == 0) return false;
+      if (word[i] < 0) return false;  // foreign symbol: no transition
+      uint64_t reachable = 0;
+      for (uint64_t bits = current; bits != 0; bits &= bits - 1) {
+        reachable |= follow_masks_[std::countr_zero(bits)];
+      }
+      current = reachable & alpha_masks_[word[i]];
+    }
+    return (current & last_mask_) != 0;
+  }
+  // Set-based fallback for huge expressions (> 64 positions); still
+  // integer compares via pos_alpha_, never strings.
   std::set<int> current;
   for (int p : first_) {
-    if (symbols_[p] == word[0]) current.insert(p);
+    if (pos_alpha_[p] == word[0]) current.insert(p);
   }
-  for (size_t i = 1; i < word.size(); ++i) {
+  for (size_t i = 1; i < len; ++i) {
     if (current.empty()) return false;
     std::set<int> next;
     for (int p : current) {
       for (int q : follow_[p]) {
-        if (symbols_[q] == word[i]) next.insert(q);
+        if (pos_alpha_[q] == word[i]) next.insert(q);
       }
     }
     current = std::move(next);

@@ -9,10 +9,12 @@
 #ifndef XIC_REGEX_GLUSHKOV_H_
 #define XIC_REGEX_GLUSHKOV_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "regex/content_model.h"
@@ -39,6 +41,31 @@ class GlushkovAutomaton {
 
   /// True iff the label sequence is in L(re).
   bool Matches(const std::vector<std::string>& word) const;
+
+  // -- Alphabet-id interface (the hot path) ---------------------------------
+  //
+  // The expression's distinct symbols get dense ids 0..alphabet_size()-1.
+  // Callers that match many words against one automaton (the structural
+  // validator matches every vertex of every document) translate their own
+  // interned labels to alphabet ids once, then match over ids: no string
+  // hashing or comparison per step. For expressions with at most 64
+  // positions (every real-world content model), MatchesIds runs the NFA
+  // simulation on uint64 position bitmasks -- a step is two AND/OR passes
+  // over set bits instead of std::set insertions.
+
+  /// Id of `symbol` in this automaton's alphabet, or -1 if the symbol
+  /// does not occur in the expression (then no word containing it
+  /// matches).
+  int FindAlphabetId(std::string_view symbol) const {
+    auto it = alphabet_index_.find(symbol);
+    return it == alphabet_index_.end() ? -1 : it->second;
+  }
+
+  /// Distinct symbols, indexed by alphabet id.
+  const std::vector<std::string>& alphabet() const { return alphabet_; }
+
+  /// True iff the word (as alphabet ids; -1 for foreign symbols) matches.
+  bool MatchesIds(const int* word, size_t len) const;
 
   /// True iff the content model is 1-unambiguous (deterministic per the
   /// XML spec): no two distinct positions with the same symbol are both in
@@ -67,12 +94,25 @@ class GlushkovAutomaton {
   };
 
   BuildResult Build(const Regex& re);
+  void BuildAlphabet();
 
   std::vector<std::string> symbols_;   // position -> symbol
   std::vector<std::set<int>> follow_;  // position -> follow set
   std::set<int> first_;
   std::set<int> last_;
   bool nullable_ = false;
+
+  // Alphabet-id tables (BuildAlphabet).
+  std::map<std::string, int, std::less<>> alphabet_index_;
+  std::vector<std::string> alphabet_;  // alphabet id -> symbol
+  std::vector<int> pos_alpha_;         // position -> alphabet id
+
+  // Bitmask tables, populated iff num_positions() <= 64 (use_masks_).
+  bool use_masks_ = false;
+  uint64_t first_mask_ = 0;
+  uint64_t last_mask_ = 0;
+  std::vector<uint64_t> follow_masks_;  // position -> follow bitmask
+  std::vector<uint64_t> alpha_masks_;   // alphabet id -> positions bitmask
 };
 
 }  // namespace xic

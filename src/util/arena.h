@@ -1,0 +1,155 @@
+// A per-document bump allocator for pipeline scratch.
+//
+// The batch engine's profile showed the parse -> validate -> check
+// pipeline spending its time in the shared allocator: every document
+// built and tore down thousands of node-based containers (per-vertex
+// maps, per-step NFA sets, per-vertex tuple strings), and under a worker
+// pool all of those allocations serialize on the process allocator's
+// locks. An Arena gives each document one private bump pointer: Allocate
+// is a pointer increment, deallocation is a no-op, and Reset() rewinds
+// the arena for the next document while keeping the underlying blocks,
+// so steady-state batch validation performs no shared-allocator calls at
+// all for scratch data.
+//
+// Usage pattern (the batch engine's): one Arena per worker, Reset()
+// between documents. Objects allocated from the arena must be trivially
+// destructible or have their destructors run by the owner before Reset;
+// the STL containers built with ArenaAllocator below are destroyed
+// normally by scope exit, which is a no-op deallocation.
+//
+// Thread-safety: none -- an Arena belongs to one worker at a time, which
+// is the whole point (no shared state, no locks, no false sharing).
+
+#ifndef XIC_UTIL_ARENA_H_
+#define XIC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <vector>
+
+namespace xic {
+
+class Arena {
+ public:
+  /// First block size; later blocks double up to kMaxBlockBytes.
+  static constexpr size_t kMinBlockBytes = 4096;
+  static constexpr size_t kMaxBlockBytes = 1 << 20;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of storage aligned to `align` (a power of two). Never
+  /// returns null; allocations larger than kMaxBlockBytes get a
+  /// dedicated block.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    // Align the *address*, not the block offset: new char[] only
+    // guarantees alignof(max_align_t), so over-aligned requests must
+    // round the pointer itself (pinned by arena_test).
+    if (current_ == nullptr) AddBlock(bytes + align);
+    uintptr_t base = reinterpret_cast<uintptr_t>(current_->data.get());
+    uintptr_t p = (base + pos_ + align - 1) & ~static_cast<uintptr_t>(align - 1);
+    if (p + bytes > base + current_->size) {
+      AddBlock(bytes + align);
+      base = reinterpret_cast<uintptr_t>(current_->data.get());
+      p = (base + align - 1) & ~static_cast<uintptr_t>(align - 1);
+    }
+    pos_ = (p + bytes) - base;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Copies `s` into the arena; the view stays valid until Reset().
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return {};
+    char* out = static_cast<char*>(Allocate(s.size(), 1));
+    std::memcpy(out, s.data(), s.size());
+    return std::string_view(out, s.size());
+  }
+
+  /// Rewinds to empty while *retaining* the allocated blocks, so the
+  /// next document reuses the same memory without touching the shared
+  /// allocator. Everything previously allocated becomes invalid.
+  void Reset() {
+    // Keep only the largest block: steady state converges to one block
+    // sized for the biggest document seen so far.
+    if (blocks_.size() > 1) {
+      size_t largest = 0;
+      for (size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[largest].size) largest = i;
+      }
+      if (largest != 0) std::swap(blocks_[0], blocks_[largest]);
+      blocks_.resize(1);
+    }
+    current_ = blocks_.empty() ? nullptr : &blocks_[0];
+    pos_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Total bytes handed out since construction/Reset (test/obs hook).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Blocks currently owned (test hook: Reset() must not grow this).
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void AddBlock(size_t at_least) {
+    size_t size = blocks_.empty() ? kMinBlockBytes
+                                  : std::min(blocks_.back().size * 2,
+                                             kMaxBlockBytes);
+    if (size < at_least) size = at_least;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    current_ = &blocks_.back();
+    pos_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  Block* current_ = nullptr;  // always &blocks_.back() when non-null
+  size_t pos_ = 0;            // bump offset into *current_
+  size_t bytes_allocated_ = 0;
+};
+
+/// Minimal STL allocator over an Arena: deallocate is a no-op, memory is
+/// reclaimed wholesale by Arena::Reset(). Containers built with it must
+/// not outlive the next Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}  // reclaimed by Arena::Reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace xic
+
+#endif  // XIC_UTIL_ARENA_H_

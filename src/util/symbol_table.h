@@ -1,0 +1,117 @@
+// Interned name table: element and attribute names mapped to dense
+// 32-bit symbol ids.
+//
+// The parse -> validate -> check pipeline used to key everything --
+// ext(tau) extents, per-vertex attribute maps, checker indexes, content
+// model alphabets -- on std::string. Every lookup hashed or compared a
+// heap string, and every vertex carried its own copies. A SymbolTable
+// replaces those keys with dense uint32 ids: names are stored once, ids
+// are assigned in first-intern order, and all hot-path comparisons become
+// integer compares while extents and per-symbol caches become flat
+// arrays indexed by id.
+//
+// Determinism: ids depend only on the sequence of Intern() calls, so a
+// table built single-threadedly from a document's parse order is
+// identical no matter which pool worker parsed it (pinned by
+// arena_test.cc across 16 concurrent threads).
+//
+// Thread-safety: Intern() mutates and must be externally synchronized
+// (in practice each DataTree owns its table and is built by one thread);
+// Find()/name()/size() are const and safe to call concurrently with each
+// other once building is done. name() references are stable across
+// subsequent Intern() calls (names live in a deque).
+
+#ifndef XIC_UTIL_SYMBOL_TABLE_H_
+#define XIC_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xic {
+
+/// A dense interned-name id. Valid ids are < SymbolTable::size().
+using Symbol = uint32_t;
+
+/// Returned by Find() for names never interned.
+inline constexpr Symbol kInvalidSymbol = static_cast<Symbol>(-1);
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // index_ keys are views into names_, so copying must rebuild the index
+  // over the *copied* strings (the defaulted copy would keep views into
+  // the source). Moves steal the deque wholesale -- element addresses are
+  // unchanged, so the views stay valid -- and are noexcept so vectors of
+  // tables (e.g. corpora of DataTrees) relocate by move, never by copy.
+  SymbolTable(const SymbolTable& other) : names_(other.names_) {
+    RebuildIndex();
+  }
+  SymbolTable& operator=(const SymbolTable& other) {
+    if (this != &other) {
+      names_ = other.names_;
+      RebuildIndex();
+    }
+    return *this;
+  }
+  SymbolTable(SymbolTable&& other) noexcept
+      : names_(std::move(other.names_)), index_(std::move(other.index_)) {
+    other.names_.clear();
+    other.index_.clear();
+  }
+  SymbolTable& operator=(SymbolTable&& other) noexcept {
+    if (this != &other) {
+      names_ = std::move(other.names_);
+      index_ = std::move(other.index_);
+      other.names_.clear();
+      other.index_.clear();
+    }
+    return *this;
+  }
+
+  /// The id of `name`, interning it on first use. Ids are assigned
+  /// densely in first-intern order (0, 1, 2, ...).
+  Symbol Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    Symbol id = static_cast<Symbol>(names_.size());
+    names_.emplace_back(name);
+    // The key view points at the deque-owned string, which never moves.
+    index_.emplace(std::string_view(names_.back()), id);
+    return id;
+  }
+
+  /// The id of `name` if already interned, else kInvalidSymbol. Never
+  /// mutates, so concurrent Find() calls are safe.
+  Symbol Find(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidSymbol : it->second;
+  }
+
+  /// The name interned as `s`. The reference is stable for the table's
+  /// lifetime (names are never moved or removed).
+  const std::string& name(Symbol s) const { return names_[s]; }
+
+  /// Number of distinct names interned; also one past the largest id.
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  void RebuildIndex() {
+    index_.clear();
+    index_.reserve(names_.size());
+    for (Symbol id = 0; id < names_.size(); ++id) {
+      index_.emplace(std::string_view(names_[id]), id);
+    }
+  }
+
+  std::deque<std::string> names_;  // id -> name; deque: stable references
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace xic
+
+#endif  // XIC_UTIL_SYMBOL_TABLE_H_

@@ -1,6 +1,7 @@
 #include "xml/xml_parser.h"
 
 #include <cctype>
+#include <string_view>
 #include <vector>
 
 #include "obs/obs.h"
@@ -58,7 +59,8 @@ class XmlParser {
   Status ParseDoctype() {
     pos_ += 9;  // "<!DOCTYPE"
     SkipSpace();
-    XIC_ASSIGN_OR_RETURN(doc_.doctype_name, ParseName());
+    XIC_ASSIGN_OR_RETURN(std::string_view doctype_name, ParseName());
+    doc_.doctype_name.assign(doctype_name);
     SkipSpace();
     // External id (SYSTEM/PUBLIC) -- recorded as unsupported external
     // subset; we only read the internal subset.
@@ -135,7 +137,9 @@ class XmlParser {
       return Result<VertexId>(Error("expected '<'"));
     }
     ++pos_;
-    XIC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    // Names are views into the input buffer (zero-copy): the only copy
+    // happens inside the tree's symbol table, once per distinct name.
+    XIC_ASSIGN_OR_RETURN(std::string_view name, ParseName());
     VertexId v = doc_.tree.AddVertex(name);
     if (parent != kInvalidVertex) {
       XIC_RETURN_IF_ERROR(doc_.tree.AddChildVertex(parent, v));
@@ -157,15 +161,16 @@ class XmlParser {
       }
       XIC_RETURN_IF_ERROR(CheckLimit(
           ++num_attrs, options_.limits.max_attributes_per_element,
-          "max_attributes_per_element", "attributes on element " + name));
-      XIC_ASSIGN_OR_RETURN(std::string attr, ParseName());
+          "max_attributes_per_element",
+          "attributes on element " + std::string(name)));
+      XIC_ASSIGN_OR_RETURN(std::string_view attr, ParseName());
       SkipSpace();
       if (pos_ >= text_.size() || text_[pos_] != '=') {
         return Result<VertexId>(Error("expected '=' after attribute name"));
       }
       ++pos_;
       SkipSpace();
-      XIC_ASSIGN_OR_RETURN(std::string raw, ParseQuoted());
+      XIC_ASSIGN_OR_RETURN(std::string_view raw, ParseQuoted());
       doc_.tree.SetAttribute(v, attr, MakeAttrValue(name, attr, raw));
     }
     // Content.
@@ -174,21 +179,23 @@ class XmlParser {
       if (text_buffer.empty()) return;
       if (!(options_.skip_ignorable_whitespace &&
             IsAllWhitespace(text_buffer))) {
-        doc_.tree.AddChildText(v, text_buffer);
+        doc_.tree.AddChildText(v, std::move(text_buffer));
       }
       text_buffer.clear();
     };
     while (true) {
       if (pos_ >= text_.size()) {
-        return Result<VertexId>(Error("unterminated element " + name));
+        return Result<VertexId>(
+            Error("unterminated element " + std::string(name)));
       }
       if (Peek("</")) {
         flush_text();
         pos_ += 2;
-        XIC_ASSIGN_OR_RETURN(std::string close, ParseName());
+        XIC_ASSIGN_OR_RETURN(std::string_view close, ParseName());
         if (close != name) {
           return Result<VertexId>(
-              Error("mismatched end tag </" + close + "> for <" + name + ">"));
+              Error("mismatched end tag </" + std::string(close) +
+                    "> for <" + std::string(name) + ">"));
         }
         SkipSpace();
         if (pos_ >= text_.size() || text_[pos_] != '>') {
@@ -247,7 +254,19 @@ class XmlParser {
         if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
         continue;
       }
-      text_buffer += text_[pos_++];
+      // Copy the whole plain-text run at once instead of byte-at-a-time.
+      size_t run_end = pos_;
+      while (run_end < text_.size() && text_[run_end] != '<' &&
+             text_[run_end] != '&' && text_[run_end] != ']' &&
+             text_[run_end] != '\r') {
+        ++run_end;
+      }
+      if (run_end == pos_) {
+        text_buffer += text_[pos_++];  // lone ']' not starting "]]>"
+      } else {
+        text_buffer.append(text_.data() + pos_, run_end - pos_);
+        pos_ = run_end;
+      }
     }
   }
 
@@ -263,12 +282,35 @@ class XmlParser {
     }
   }
 
-  Result<std::string> ParseQuoted() {
+  // Returns the normalized attribute value as a view: directly into the
+  // input buffer when the raw value needs no entity expansion or
+  // whitespace normalization (the common case -- zero-copy), else into
+  // value_buffer_ (reused across attributes; consume before the next
+  // ParseQuoted call).
+  Result<std::string_view> ParseQuoted() {
     if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
-      return Result<std::string>(Error("expected quoted value"));
+      return Result<std::string_view>(Error("expected quoted value"));
     }
     char quote = text_[pos_++];
-    std::string out;
+    size_t start = pos_;
+    // Fast scan: a value without '&', '<' and literal whitespace controls
+    // is already in normalized form.
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == quote || c == '&' || c == '<' || c == '\t' || c == '\n' ||
+          c == '\r') {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == quote) {
+      std::string_view out = text_.substr(start, pos_ - start);
+      ++pos_;
+      return out;
+    }
+    // Slow path: normalization or expansion needed.
+    value_buffer_.assign(text_.substr(start, pos_ - start));
+    std::string& out = value_buffer_;
     while (pos_ < text_.size() && text_[pos_] != quote) {
       if (text_[pos_] == '&') {
         // Characters that come in via references escape normalization
@@ -276,7 +318,7 @@ class XmlParser {
         XIC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
         out += expanded;
       } else if (text_[pos_] == '<') {
-        return Result<std::string>(
+        return Result<std::string_view>(
             Error("'<' not allowed in attribute value"));
       } else if (text_[pos_] == '\t' || text_[pos_] == '\n') {
         // Attribute-value normalization (Section 3.3.3): literal
@@ -293,10 +335,10 @@ class XmlParser {
       }
     }
     if (pos_ >= text_.size()) {
-      return Result<std::string>(Error("unterminated attribute value"));
+      return Result<std::string_view>(Error("unterminated attribute value"));
     }
     ++pos_;
-    return out;
+    return std::string_view(out);
   }
 
   Result<std::string> ParseReference() {
@@ -385,35 +427,40 @@ class XmlParser {
 
   // Tokenizes a raw attribute string into the paper's set-of-values form,
   // consulting the effective DTD for set-valuedness.
-  AttrValue MakeAttrValue(const std::string& element, const std::string& attr,
-                          const std::string& raw) {
+  AttrValue MakeAttrValue(std::string_view element, std::string_view attr,
+                          std::string_view raw) {
     const DtdStructure* dtd =
         doc_.dtd.has_value() ? &*doc_.dtd : options_.dtd;
     if (dtd != nullptr && dtd->IsSetValued(element, attr)) {
       AttrValue out;
-      std::string current;
-      for (char c : raw) {
-        if (std::isspace(static_cast<unsigned char>(c))) {
-          if (!current.empty()) out.insert(std::move(current));
-          current.clear();
-        } else {
-          current += c;
+      size_t i = 0;
+      while (i < raw.size()) {
+        while (i < raw.size() &&
+               std::isspace(static_cast<unsigned char>(raw[i]))) {
+          ++i;
         }
+        size_t start = i;
+        while (i < raw.size() &&
+               !std::isspace(static_cast<unsigned char>(raw[i]))) {
+          ++i;
+        }
+        if (i > start) out.emplace(raw.substr(start, i - start));
       }
-      if (!current.empty()) out.insert(std::move(current));
       return out;
     }
-    return AttrValue{raw};
+    AttrValue out;
+    out.emplace(raw);
+    return out;
   }
 
-  Result<std::string> ParseName() {
+  Result<std::string_view> ParseName() {
     size_t start = pos_;
     if (pos_ < text_.size() && IsNameStartChar(text_[pos_])) {
       ++pos_;
       while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
-      return std::string(text_.substr(start, pos_ - start));
+      return text_.substr(start, pos_ - start);
     }
-    return Result<std::string>(Error("expected name"));
+    return Result<std::string_view>(Error("expected name"));
   }
 
   bool Peek(std::string_view token) const {
@@ -470,7 +517,8 @@ class XmlParser {
   std::string_view text_;
   const XmlParseOptions& options_;
   size_t pos_ = 0;
-  size_t expanded_bytes_ = 0;  // reference-expansion output so far
+  size_t expanded_bytes_ = 0;   // reference-expansion output so far
+  std::string value_buffer_;    // slow-path attribute value assembly
   XmlDocument doc_;
 };
 

@@ -1,0 +1,212 @@
+// The memory-layout primitives behind the batch pipeline: the Arena bump
+// allocator (per-worker scratch, Reset() between documents) and the
+// SymbolTable (interned element/attribute names -> dense uint32 ids).
+//
+// The properties pinned here are the ones the engine's determinism and
+// steady-state-allocation guarantees rest on:
+//   * arena Reset() reuses blocks instead of growing (no per-document
+//     shared-allocator traffic once warm),
+//   * symbol ids depend only on the Intern() call sequence, never on
+//     which thread runs it,
+//   * copying a table rebuilds its string_view index over the copied
+//     strings (regression: the defaulted copy kept views into the
+//     source's storage, so lookups on the copy dangled).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/arena.h"
+#include "util/symbol_table.h"
+
+namespace {
+
+using namespace xic;
+
+// -- Arena -------------------------------------------------------------------
+
+TEST(Arena, AllocateRespectsAlignment) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.Allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena;
+  std::vector<char*> chunks;
+  for (int i = 0; i < 200; ++i) {
+    char* p = static_cast<char*>(arena.Allocate(17, 1));
+    std::memset(p, i & 0xFF, 17);
+    chunks.push_back(p);
+  }
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 17; ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(chunks[i][j]), i & 0xFF)
+          << "chunk " << i << " byte " << j;
+    }
+  }
+}
+
+TEST(Arena, CopyStringRoundTripsAndStaysStable) {
+  Arena arena;
+  std::string original = "a value long enough to defeat any SSO buffer";
+  std::string_view copy = arena.CopyString(original);
+  EXPECT_EQ(copy, original);
+  EXPECT_NE(copy.data(), original.data());
+  // Later allocations must not clobber earlier copies.
+  for (int i = 0; i < 1000; ++i) arena.CopyString("filler-filler-filler");
+  EXPECT_EQ(copy, original);
+  EXPECT_TRUE(arena.CopyString("").empty());
+}
+
+TEST(Arena, ResetReusesBlocksInsteadOfGrowing) {
+  Arena arena;
+  // Warm up: ~100 KB across doubling blocks.
+  auto churn = [&] {
+    for (int i = 0; i < 100; ++i) arena.Allocate(1024, 8);
+  };
+  churn();
+  EXPECT_GT(arena.num_blocks(), 1u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Steady state: Reset() keeps the largest block, which fits the whole
+  // per-document working set, so repeating the same workload never asks
+  // the shared allocator for another block.
+  arena.Reset();
+  size_t steady = arena.num_blocks();
+  for (int round = 0; round < 10; ++round) {
+    churn();
+    arena.Reset();
+    EXPECT_LE(arena.num_blocks(), steady) << "round " << round;
+  }
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena;
+  size_t big = Arena::kMaxBlockBytes + 4096;
+  char* p = static_cast<char*>(arena.Allocate(big, 8));
+  ASSERT_NE(p, nullptr);
+  p[0] = 'x';
+  p[big - 1] = 'y';  // the whole range must be addressable
+  EXPECT_EQ(p[0], 'x');
+  EXPECT_EQ(p[big - 1], 'y');
+}
+
+TEST(Arena, ArenaVectorAndHashMapWork) {
+  Arena arena;
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+
+  std::unordered_map<int, int, std::hash<int>, std::equal_to<int>,
+                     ArenaAllocator<std::pair<const int, int>>>
+      m(8, ArenaAllocator<std::pair<const int, int>>(&arena));
+  for (int i = 0; i < 1000; ++i) m[i] = i * i;
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(m.at(i), i * i);
+}
+
+// -- SymbolTable ---------------------------------------------------------
+
+TEST(SymbolTable, InternAssignsDenseIdsInFirstInternOrder) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("catalog"), 0u);
+  EXPECT_EQ(table.Intern("book"), 1u);
+  EXPECT_EQ(table.Intern("catalog"), 0u);  // repeat: same id
+  EXPECT_EQ(table.Intern("isbn"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.name(0), "catalog");
+  EXPECT_EQ(table.name(1), "book");
+  EXPECT_EQ(table.name(2), "isbn");
+}
+
+TEST(SymbolTable, FindNeverInterns) {
+  SymbolTable table;
+  table.Intern("present");
+  EXPECT_EQ(table.Find("present"), 0u);
+  EXPECT_EQ(table.Find("absent"), kInvalidSymbol);
+  EXPECT_EQ(table.size(), 1u);  // Find("absent") must not have interned
+}
+
+TEST(SymbolTable, NameReferencesStayStableAcrossGrowth) {
+  SymbolTable table;
+  table.Intern("anchor-name-long-enough-to-defeat-sso");
+  const std::string* anchor = &table.name(0);
+  for (int i = 0; i < 5000; ++i) {
+    table.Intern("grow-" + std::to_string(i));
+  }
+  EXPECT_EQ(&table.name(0), anchor);  // deque storage: no relocation
+  EXPECT_EQ(table.Find("anchor-name-long-enough-to-defeat-sso"), 0u);
+}
+
+// Regression: the implicitly-defaulted copy left the copy's index keyed
+// by string_views into the *source* table's storage, so lookups on the
+// copy read freed memory once the source was gone.
+TEST(SymbolTable, CopyOutlivesSourceWithWorkingLookups) {
+  SymbolTable copy;
+  {
+    SymbolTable original;
+    for (int i = 0; i < 64; ++i) {
+      original.Intern("element-name-longer-than-sso-" + std::to_string(i));
+    }
+    copy = original;
+  }  // original (and its strings) destroyed here
+  EXPECT_EQ(copy.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    std::string name = "element-name-longer-than-sso-" + std::to_string(i);
+    EXPECT_EQ(copy.Find(name), static_cast<Symbol>(i)) << name;
+    EXPECT_EQ(copy.name(static_cast<Symbol>(i)), name);
+  }
+  // The copy must also keep working after further interning.
+  EXPECT_EQ(copy.Intern("fresh"), 64u);
+  EXPECT_EQ(copy.Find("element-name-longer-than-sso-7"), 7u);
+}
+
+TEST(SymbolTable, MoveTransfersLookupsAndEmptiesSource) {
+  SymbolTable source;
+  source.Intern("alpha-long-enough-to-defeat-sso");
+  source.Intern("beta-long-enough-to-defeat-sso");
+  SymbolTable moved(std::move(source));
+  EXPECT_EQ(moved.Find("alpha-long-enough-to-defeat-sso"), 0u);
+  EXPECT_EQ(moved.Find("beta-long-enough-to-defeat-sso"), 1u);
+  EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move): pinned
+  EXPECT_EQ(source.Find("alpha-long-enough-to-defeat-sso"), kInvalidSymbol);
+}
+
+// The engine's determinism contract depends on this: a table built from a
+// document's parse order gets the same ids no matter which pool worker
+// built it. 16 threads each intern the same sequence (with duplicates)
+// into their own table; every table must be identical.
+TEST(SymbolTable, InterningIsDeterministicAcrossThreads) {
+  std::vector<std::string> sequence;
+  for (int i = 0; i < 500; ++i) {
+    sequence.push_back("name-" + std::to_string(i % 37));  // duplicates
+  }
+  const int kThreads = 16;
+  std::vector<SymbolTable> tables(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (const std::string& name : sequence) tables[t].Intern(name);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(tables[0].size(), 37u);
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(tables[t].size(), tables[0].size()) << "thread " << t;
+    for (Symbol s = 0; s < tables[0].size(); ++s) {
+      ASSERT_EQ(tables[t].name(s), tables[0].name(s))
+          << "thread " << t << " symbol " << s;
+    }
+  }
+}
+
+}  // namespace

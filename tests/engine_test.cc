@@ -210,7 +210,7 @@ TEST(BatchValidator, ParallelReportIsByteIdenticalToSequential) {
   std::string base_text = base.ViolationsToString(sigma);
   EXPECT_FALSE(base_text.empty());
 
-  for (size_t threads : {2u, 4u, 8u}) {
+  for (size_t threads : {2u, 4u, 8u, 16u}) {
     BatchValidator parallel(dtd, sigma, Threads(threads));
     BatchReport report = parallel.Run(corpus);
     EXPECT_EQ(report.ViolationsToString(sigma), base_text)
@@ -253,10 +253,62 @@ TEST(BatchValidator, JsonReportIsByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(base.find("\"verdict\": \"infrastructure_failure\""),
             std::string::npos);
 
-  for (size_t threads : {2u, 4u, 8u}) {
+  for (size_t threads : {2u, 4u, 8u, 16u}) {
     BatchValidator parallel(dtd, sigma, with_faults(threads));
     EXPECT_EQ(parallel.Run(corpus).ToJson(sigma), base)
         << threads << " threads";
+  }
+}
+
+// Regression for the "ok" count underflow: ToString derived ok as
+// `documents` minus the four failure buckets, which wraps size_t the
+// moment the buckets overlap (one document counted in two buckets, as
+// happens when stats are merged or tallied non-exclusively). The count
+// must come from the dedicated ok_documents field instead.
+TEST(BatchStats, ToStringDoesNotUnderflowOnOverlappingFailureBuckets) {
+  BatchStats stats;
+  stats.documents = 3;
+  stats.ok_documents = 1;
+  // Two documents, each both structurally invalid *and* constraint-
+  // violating: bucket sum (4) exceeds documents - ok (2).
+  stats.structurally_invalid = 2;
+  stats.constraint_violating = 2;
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("3 document(s), 1 ok"), std::string::npos) << text;
+  // The wrapped value starts "18446744..." on 64-bit; make sure no
+  // astronomically large count leaked into the rendering.
+  EXPECT_EQ(text.find("18446744"), std::string::npos) << text;
+}
+
+// End-to-end: documents that fail several ways at once (structural
+// violation + duplicate key + dangling ref in the same document) must
+// leave stats.ok_documents equal to the number of genuinely clean
+// documents at every thread count.
+TEST(BatchValidator, OkDocumentsCountedDirectlyWithOverlappingFailures) {
+  DtdStructure dtd = CatalogDtd();
+  ConstraintSet sigma = CatalogSigma();
+  std::vector<BatchDocument> corpus;
+  const int kClean = 5, kOverlapping = 4;
+  for (int i = 0; i < kClean; ++i) {
+    corpus.push_back(
+        {"ok" + std::to_string(i), MakeDoc(i, false, false, false, false)});
+  }
+  for (int i = 0; i < kOverlapping; ++i) {
+    corpus.push_back({"multi" + std::to_string(i),
+                      MakeDoc(100 + i, /*dup_key=*/true, /*dangling=*/true,
+                              /*structural=*/true, /*parse_error=*/false)});
+  }
+  for (size_t threads : {1u, 4u}) {
+    BatchValidator validator(dtd, sigma, Threads(threads));
+    BatchReport report = validator.Run(corpus);
+    EXPECT_EQ(report.stats.ok_documents, static_cast<size_t>(kClean))
+        << threads << " threads";
+    EXPECT_EQ(report.stats.documents,
+              static_cast<size_t>(kClean + kOverlapping));
+    std::string text = report.stats.ToString();
+    EXPECT_NE(text.find(std::to_string(kClean) + " ok"), std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("18446744"), std::string::npos) << text;
   }
 }
 

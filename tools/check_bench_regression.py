@@ -1,36 +1,102 @@
 #!/usr/bin/env python3
-"""Coarse bench-regression gate for CI.
+"""Bench-regression gate for CI.
 
 Compares a fresh xic-bench-suite-v1 file against the committed baseline
 (BENCH_RESULTS.json) and fails when any shared case got slower than
---threshold x baseline (default 8x: CI machines vary wildly, so this
-only catches order-of-magnitude regressions, e.g. an accidentally
-quadratic closure or a probe left hot in a tight loop).
+threshold x baseline. The default threshold (8x) only catches
+order-of-magnitude regressions (CI machines vary wildly); benches whose
+noise floor is known to be low carry tighter per-bench thresholds in
+PER_BENCH_THRESHOLDS -- bench_batch and bench_xml run long enough per
+iteration (the batch bench pins MinTime) that a 3x slowdown is a real
+regression, not scheduler jitter.
 
-Usage: check_bench_regression.py baseline.json fresh.json [--threshold X]
-Exit: 0 ok, 1 regression, 2 usage/parse error.
+--scaling-min-ratio R additionally asserts that the fresh
+BM_BatchValidate/8 items_per_second is at least R x the /1 case -- the
+guard against the flat batch-scaling curve coming back. The check is
+hardware-gated: it only runs when the machine actually has >= 8 CPUs
+(os.cpu_count()), since thread scaling is physically meaningless on
+fewer cores; skipping prints a notice but exits 0.
+
+Usage: check_bench_regression.py baseline.json fresh.json
+         [--threshold X] [--bench-threshold NAME=X ...]
+         [--scaling-min-ratio R]
+Exit: 0 ok, 1 regression/scaling failure, 2 usage/parse error.
 """
 
 import argparse
 import json
+import os
 import sys
 
+# Tighter-than-default gates for benches with a low noise floor.
+PER_BENCH_THRESHOLDS = {
+    "bench_batch": 3.0,
+    "bench_xml": 3.0,
+}
 
-def load_cases(path):
+SCALING_BENCH = "bench_batch"
+# Prefix, not exact name: benchmark appends modifiers such as
+# "min_time:2.000/real_time" after the thread-count argument.
+SCALING_CASE_PREFIX = "BM_BatchValidate/{threads}/"
+SCALING_LO = 1
+SCALING_HI = 8
+
+
+def load_suite(path):
     try:
         with open(path) as f:
-            data = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"{path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_cases(data):
+    """{(bench, case): ns_per_op} for every timed case in the suite."""
     cases = {}
     for bench in data.get("benches", []):
         name = bench.get("bench", "?")
         for result in bench.get("results", []):
             ns = result.get("ns_per_op", 0)
             if ns > 0:
-                cases[f"{name}/{result.get('case', '?')}"] = ns
+                cases[(name, result.get("case", "?"))] = ns
     return cases
+
+
+def items_per_second(data, bench_name, case_prefix):
+    for bench in data.get("benches", []):
+        if bench.get("bench") != bench_name:
+            continue
+        for result in bench.get("results", []):
+            if result.get("case", "").startswith(case_prefix):
+                return result.get("metrics", {}).get("items_per_second")
+    return None
+
+
+def check_scaling(fresh_data, min_ratio):
+    """0 on pass/skip, 1 on a scaling failure."""
+    cores = os.cpu_count() or 1
+    if cores < SCALING_HI:
+        print(f"scaling check skipped: {cores} CPU(s) < {SCALING_HI} "
+              f"(thread scaling is not measurable on this machine)")
+        return 0
+    lo = items_per_second(fresh_data, SCALING_BENCH,
+                          SCALING_CASE_PREFIX.format(threads=SCALING_LO))
+    hi = items_per_second(fresh_data, SCALING_BENCH,
+                          SCALING_CASE_PREFIX.format(threads=SCALING_HI))
+    if not lo or not hi:
+        print(f"scaling check: {SCALING_BENCH} cases missing from fresh run",
+              file=sys.stderr)
+        return 1
+    ratio = hi / lo
+    print(f"scaling: {SCALING_HI}-thread {hi:.0f} docs/s vs "
+          f"{SCALING_LO}-thread {lo:.0f} docs/s = {ratio:.2f}x "
+          f"(required {min_ratio}x)")
+    if ratio < min_ratio:
+        print(f"SCALING FAILURE: {ratio:.2f}x < {min_ratio}x -- the batch "
+              f"curve went flat again", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main():
@@ -38,12 +104,29 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=8.0)
+    parser.add_argument("--bench-threshold", action="append", default=[],
+                        metavar="NAME=X",
+                        help="per-bench threshold override, repeatable")
     # Ignore sub-microsecond cases: timer noise dominates them.
     parser.add_argument("--min-ns", type=float, default=1000.0)
+    parser.add_argument("--scaling-min-ratio", type=float, default=0.0,
+                        help="require BM_BatchValidate/8 >= R x /1 docs/s "
+                             "(skipped on machines with < 8 CPUs)")
     args = parser.parse_args()
 
-    baseline = load_cases(args.baseline)
-    fresh = load_cases(args.fresh)
+    per_bench = dict(PER_BENCH_THRESHOLDS)
+    for override in args.bench_threshold:
+        name, _, value = override.partition("=")
+        try:
+            per_bench[name] = float(value)
+        except ValueError:
+            print(f"bad --bench-threshold: {override}", file=sys.stderr)
+            sys.exit(2)
+
+    baseline_data = load_suite(args.baseline)
+    fresh_data = load_suite(args.fresh)
+    baseline = load_cases(baseline_data)
+    fresh = load_cases(fresh_data)
     shared = sorted(set(baseline) & set(fresh))
     if not shared:
         print("no shared bench cases between baseline and fresh run",
@@ -51,19 +134,25 @@ def main():
         sys.exit(2)
 
     regressions = []
-    for case in shared:
-        old, new = baseline[case], fresh[case]
+    for bench, case in shared:
+        old, new = baseline[(bench, case)], fresh[(bench, case)]
         if old < args.min_ns:
             continue
-        if new > old * args.threshold:
-            regressions.append((case, old, new))
+        threshold = per_bench.get(bench, args.threshold)
+        if new > old * threshold:
+            regressions.append((f"{bench}/{case}", old, new, threshold))
 
     print(f"compared {len(shared)} shared cases "
-          f"(threshold {args.threshold}x, min {args.min_ns} ns)")
-    for case, old, new in regressions:
+          f"(default threshold {args.threshold}x, "
+          f"per-bench {per_bench}, min {args.min_ns} ns)")
+    for case, old, new, threshold in regressions:
         print(f"REGRESSION {case}: {old:.0f} ns -> {new:.0f} ns "
-              f"({new / old:.1f}x)")
-    if regressions:
+              f"({new / old:.1f}x, allowed {threshold}x)")
+
+    failed = bool(regressions)
+    if args.scaling_min_ratio > 0:
+        failed |= bool(check_scaling(fresh_data, args.scaling_min_ratio))
+    if failed:
         sys.exit(1)
     print("ok")
 
