@@ -1,0 +1,241 @@
+// xicd serving-path latency and throughput: the cost of a cold schema
+// compile vs a hot-plan cache hit, dispatcher request latency by verb,
+// and end-to-end requests/s over real sockets at 1/4/8 concurrent
+// clients. The cold/hot gap is the daemon's reason to exist -- a CLI
+// pays the cold bar on every invocation.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/dispatcher.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace xic;
+using namespace xic::serve;
+
+std::string MakeSchema(int elements) {
+  std::string subset =
+      "<!ELEMENT catalog (entry*)>\n"
+      "<!ELEMENT entry EMPTY>\n"
+      "<!ATTLIST entry isbn CDATA #REQUIRED>\n";
+  // Padding declarations scale the compile cost (and the plan bytes).
+  for (int i = 0; i < elements; ++i) {
+    subset += "<!ELEMENT pad" + std::to_string(i) + " EMPTY>\n";
+  }
+  subset +=
+      "<!-- xic:constraints\n"
+      "key entry.isbn\n"
+      "-->\n";
+  return "<?xml version=\"1.0\"?>\n<!DOCTYPE catalog [\n" + subset +
+         "]>\n<catalog/>\n";
+}
+
+std::string MakeDoc(int entries, int salt) {
+  std::string xml = "<catalog>";
+  for (int i = 0; i < entries; ++i) {
+    xml += "<entry isbn=\"i" + std::to_string(salt) + "-" +
+           std::to_string(i) + "\"/>";
+  }
+  xml += "</catalog>";
+  return xml;
+}
+
+Request MakeRequest(const std::string& verb, const std::string& body,
+                    std::map<std::string, std::string> headers = {}) {
+  Request request;
+  request.verb = verb;
+  request.body = body;
+  request.body_length = body.size();
+  request.headers = std::move(headers);
+  return request;
+}
+
+// --------------------------------------------------------------------------
+// Cold compile vs cache hit
+
+void BM_ServeColdCompile(benchmark::State& state) {
+  const std::string schema = MakeSchema(static_cast<int>(state.range(0)));
+  int salt = 0;
+  for (auto _ : state) {
+    Dispatcher dispatcher;  // fresh cache every iteration
+    // Distinct fault key per iteration; the schema text (and hash) stay
+    // constant so this measures compile, not hashing variance.
+    Result<PlanPtr> plan = dispatcher.CompileIntoCache(
+        schema, "cold-" + std::to_string(salt++));
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeColdCompile)->Arg(0)->Arg(64)->Arg(256);
+
+void BM_ServeCacheHit(benchmark::State& state) {
+  const std::string schema = MakeSchema(static_cast<int>(state.range(0)));
+  Dispatcher dispatcher;
+  Result<PlanPtr> warm = dispatcher.CompileIntoCache(schema, "warm");
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    bool hit = false;
+    Result<PlanPtr> plan = dispatcher.CompileIntoCache(schema, "hot", &hit);
+    benchmark::DoNotOptimize(plan);
+    if (!hit) state.SkipWithError("expected a cache hit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCacheHit)->Arg(0)->Arg(64)->Arg(256);
+
+// --------------------------------------------------------------------------
+// Dispatcher request latency (no sockets)
+
+void BM_ServeDispatchValidate(benchmark::State& state) {
+  Dispatcher dispatcher;
+  Response put = dispatcher.Handle(MakeRequest("schema.put", MakeSchema(0)));
+  const std::string schema = put.headers.at("schema");
+  const std::string doc = MakeDoc(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    Response response = dispatcher.Handle(
+        MakeRequest("validate", doc, {{"schema", schema}, {"id", "b"}}));
+    benchmark::DoNotOptimize(response);
+    if (!response.status.ok()) {
+      state.SkipWithError(response.status.ToString().c_str());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeDispatchValidate)->Arg(10)->Arg(100)->Arg(1000);
+
+// --------------------------------------------------------------------------
+// End-to-end sockets: requests/s at N concurrent clients
+
+class BenchClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Rpc(const std::string& wire, std::string* body) {
+    size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t n = ::write(fd_, wire.data() + off, wire.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    std::string line;
+    char c;
+    for (;;) {
+      ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) return false;
+      if (c == '\n') break;
+      line.push_back(c);
+    }
+    Result<ResponseHead> head = ParseResponseLine(line);
+    if (!head.ok()) return false;
+    body->resize(head.value().body_length);
+    off = 0;
+    while (off < body->size()) {
+      ssize_t n = ::read(fd_, body->data() + off, body->size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void BM_ServeSocketRoundtrip(benchmark::State& state) {
+  const int kClients = static_cast<int>(state.range(0));
+  ServerOptions options;
+  options.num_threads = static_cast<size_t>(kClients);
+  options.read_timeout_ms = 10000;
+  Server server(options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  // Warm the plan through one client so the measured loop is all hits.
+  const std::string schema_doc = MakeSchema(0);
+  std::string schema;
+  {
+    BenchClient warm;
+    if (!warm.Connect(server.port())) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    std::string body;
+    if (!warm.Rpc(FormatRequest(MakeRequest("schema.put", schema_doc)),
+                  &body)) {
+      state.SkipWithError("schema.put failed");
+      return;
+    }
+    Dispatcher& dispatcher = server.dispatcher();
+    schema = dispatcher.cache().stats().misses > 0 && !body.empty()
+                 ? body.substr(7, 16)  // "schema <hash>\n"
+                 : "";
+  }
+  if (schema.size() != 16) {
+    state.SkipWithError("no schema hash");
+    return;
+  }
+  const std::string wire = FormatRequest(MakeRequest(
+      "validate", MakeDoc(50, 7), {{"schema", schema}, {"id", "bench"}}));
+
+  for (auto _ : state) {
+    std::atomic<uint64_t> completed{0};
+    std::atomic<bool> failed{false};
+    const int kPerClient = 50;
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&] {
+        BenchClient client;
+        if (!client.Connect(server.port())) {
+          failed.store(true);
+          return;
+        }
+        std::string body;
+        for (int r = 0; r < kPerClient; ++r) {
+          if (!client.Rpc(wire, &body)) {
+            failed.store(true);
+            return;
+          }
+          completed.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    if (failed.load()) state.SkipWithError("client rpc failed");
+    benchmark::DoNotOptimize(completed.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * 50);
+  server.Shutdown(/*drain=*/false);
+}
+BENCHMARK(BM_ServeSocketRoundtrip)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

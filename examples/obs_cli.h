@@ -68,12 +68,16 @@ class ObsCliSession {
     if (!options_.trace_out.empty()) obs::Tracer::Global().Start();
   }
 
-  /// Stops tracing and writes --trace-out / --metrics-out / --stats.
+  /// Writes the current --trace-out / --metrics-out artifacts WITHOUT
+  /// ending the session: tracing keeps recording and counters keep
+  /// counting. This is the export path for long-lived processes (xicd
+  /// flushes on SIGUSR1) -- Finish() remains the shutdown path. Spans
+  /// still open at flush time are exported with their not-yet-final end
+  /// timestamp; a later flush or Finish() rewrites the file complete.
   /// Returns false when an output file could not be written.
-  bool Finish() {
+  bool Flush() {
     bool ok = true;
     if (!options_.trace_out.empty()) {
-      obs::Tracer::Global().Stop();
       obs::TraceSnapshot snapshot = obs::Tracer::Global().Collect();
       ok &= WriteFile(options_.trace_out, obs::ToChromeTraceJson(snapshot));
     }
@@ -82,6 +86,13 @@ class ObsCliSession {
     }
     if (options_.stats) std::cerr << obs::MetricsToTable();
     return ok;
+  }
+
+  /// Stops tracing and writes --trace-out / --metrics-out / --stats.
+  /// Returns false when an output file could not be written.
+  bool Finish() {
+    if (!options_.trace_out.empty()) obs::Tracer::Global().Stop();
+    return Flush();
   }
 
  private:

@@ -280,17 +280,36 @@ BatchValidator::BatchValidator(const DtdStructure& dtd,
   options_.parse.dtd = &dtd_;
 }
 
-Deadline BatchValidator::DocumentDeadline() const {
-  return options_.document_timeout_ms == 0
-             ? Deadline::Infinite()
-             : Deadline::AfterMillis(options_.document_timeout_ms);
+Deadline BatchValidator::DocumentDeadline(
+    const RunOverrides& overrides) const {
+  uint64_t timeout_ms =
+      overrides.document_timeout_ms.value_or(options_.document_timeout_ms);
+  Deadline deadline = timeout_ms == 0 ? Deadline::Infinite()
+                                      : Deadline::AfterMillis(timeout_ms);
+  if (overrides.cancellation != nullptr) {
+    deadline = deadline.WithToken(overrides.cancellation);
+  }
+  return deadline;
 }
 
-DocumentOutcome BatchValidator::CheckOne(const BatchDocument& doc) const {
-  size_t max_attempts = std::max<size_t>(1, options_.max_attempts);
+DocumentOutcome BatchValidator::CheckOne(
+    const BatchDocument& doc, const RunOverrides& overrides) const {
+  size_t max_attempts =
+      std::max<size_t>(1, overrides.max_attempts.value_or(
+                              options_.max_attempts));
   DocumentOutcome outcome;
   for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    outcome = CheckOneAttempt(doc, attempt);
+    if (attempt > 0) {
+      // Exponential backoff with deterministic jitter before each retry
+      // (disabled by default). Skipped once the caller cancelled: a
+      // draining service wants the final deterministic outcome, not a
+      // sleep.
+      if (overrides.cancellation == nullptr ||
+          !overrides.cancellation->cancelled()) {
+        BackoffSleep(options_.backoff, doc.name, attempt);
+      }
+    }
+    outcome = CheckOneAttempt(doc, attempt, overrides);
     outcome.attempts = attempt + 1;
     // Only transient failures are worth retrying; limits and deadlines
     // would trip identically on the next attempt.
@@ -299,8 +318,9 @@ DocumentOutcome BatchValidator::CheckOne(const BatchDocument& doc) const {
   return outcome;
 }
 
-DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
-                                                size_t attempt) const {
+DocumentOutcome BatchValidator::CheckOneAttempt(
+    const BatchDocument& doc, size_t attempt,
+    const RunOverrides& overrides) const {
   DocumentOutcome outcome;
   outcome.name = doc.name;
   obs::ScopedSpan span("batch.attempt", "engine");
@@ -310,7 +330,7 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
   // injector in throwing mode) throws becomes this document's outcome
   // instead of tearing down the batch.
   try {
-    Deadline deadline = DocumentDeadline();
+    Deadline deadline = DocumentDeadline(overrides);
     int n = static_cast<int>(attempt);
     Clock::time_point t0 = Clock::now();
     if (Status s = injector_.MaybeFail("parse", doc.name, n); !s.ok()) {
@@ -320,6 +340,9 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
       return outcome;
     }
     XmlParseOptions parse_options = options_.parse;
+    if (overrides.limits.has_value()) {
+      parse_options.limits = *overrides.limits;
+    }
     parse_options.deadline = deadline;
     Result<XmlDocument> parsed = ParseXml(doc.text, parse_options);
     Clock::time_point t1 = Clock::now();
@@ -358,7 +381,13 @@ DocumentOutcome BatchValidator::CheckOneAttempt(const BatchDocument& doc,
   return outcome;
 }
 
-BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const {
+BatchReport BatchValidator::Run(
+    const std::vector<BatchDocument>& corpus) const {
+  return Run(corpus, RunOverrides{});
+}
+
+BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus,
+                                const RunOverrides& overrides) const {
   obs::ScopedSpan batch_span("batch.run", "engine");
   BatchReport report;
   report.outcomes.resize(corpus.size());
@@ -378,7 +407,7 @@ BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus) const 
     double queue_wait = Seconds(start, Clock::now());
     Clock::time_point doc_start = Clock::now();
     DocumentOutcome& o = report.outcomes[i];
-    o = CheckOne(corpus[i]);
+    o = CheckOne(corpus[i], overrides);
     o.queue_wait_seconds = queue_wait;
     o.worker = ThreadPool::current_worker();
     double doc_seconds = Seconds(doc_start, Clock::now());
@@ -474,7 +503,7 @@ BatchReport BatchValidator::RunTrees(
       doc_span.AddInt("worker", outcome.worker);
     }
     try {
-      Deadline deadline = DocumentDeadline();
+      Deadline deadline = DocumentDeadline(RunOverrides{});
       const DataTree& tree = *corpus[i];
       outcome.vertices = tree.size();
       if (Status s = injector_.MaybeFail("structure", outcome.name);

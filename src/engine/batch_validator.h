@@ -27,11 +27,13 @@
 #ifndef XIC_ENGINE_BATCH_VALIDATOR_H_
 #define XIC_ENGINE_BATCH_VALIDATOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "constraints/checker.h"
 #include "model/structural_validator.h"
+#include "util/backoff.h"
 #include "util/fault_injector.h"
 #include "util/limits.h"
 #include "util/status.h"
@@ -157,6 +159,33 @@ struct BatchOptions {
   /// Deterministic fault injection (off by default; see
   /// util/fault_injector.h).
   FaultConfig faults;
+  /// Wait schedule between transient-failure retries. The default
+  /// (initial_delay_ms == 0) retries immediately, preserving the
+  /// pre-backoff behavior; services set an exponential schedule so
+  /// retries do not stampede. Jitter is deterministic per (key, attempt),
+  /// keeping faulted reports byte-identical across thread counts.
+  BackoffConfig backoff;
+};
+
+/// Per-call overrides for a compiled validator. A long-lived service
+/// (xicd) compiles one BatchValidator per schema and then threads each
+/// request's deadline / retry budget / input limits through Run without
+/// recompiling; absent fields fall back to the construction-time
+/// BatchOptions.
+struct RunOverrides {
+  /// Per-document wall-clock budget for this call, milliseconds (0 =
+  /// none). Overrides BatchOptions::document_timeout_ms.
+  std::optional<uint64_t> document_timeout_ms;
+  /// Attempts per document for this call (>= 1). Overrides
+  /// BatchOptions::max_attempts.
+  std::optional<size_t> max_attempts;
+  /// Input bounds for the parse stage of this call (document bytes,
+  /// nesting depth, expansion budget). Compiled-plan search bounds
+  /// (automaton states etc.) stay at their construction-time values.
+  std::optional<ResourceLimits> limits;
+  /// Cooperative cancellation: when cancelled, per-document deadlines
+  /// report expiry at the next check. Must outlive the Run call.
+  const CancellationToken* cancellation = nullptr;
 };
 
 class BatchValidator {
@@ -169,15 +198,21 @@ class BatchValidator {
   /// Parses and validates the whole corpus.
   BatchReport Run(const std::vector<BatchDocument>& corpus) const;
 
+  /// Run with per-call overrides (request deadline, retry budget, input
+  /// limits, cancellation) layered over the compiled options.
+  BatchReport Run(const std::vector<BatchDocument>& corpus,
+                  const RunOverrides& overrides) const;
+
   /// Validates already-parsed trees (no parse stage). The trees must stay
   /// alive and unmodified for the duration of the call.
   BatchReport RunTrees(const std::vector<const DataTree*>& corpus) const;
 
  private:
-  DocumentOutcome CheckOne(const BatchDocument& doc) const;
-  DocumentOutcome CheckOneAttempt(const BatchDocument& doc,
-                                  size_t attempt) const;
-  Deadline DocumentDeadline() const;
+  DocumentOutcome CheckOne(const BatchDocument& doc,
+                           const RunOverrides& overrides) const;
+  DocumentOutcome CheckOneAttempt(const BatchDocument& doc, size_t attempt,
+                                  const RunOverrides& overrides) const;
+  Deadline DocumentDeadline(const RunOverrides& overrides) const;
 
   const DtdStructure& dtd_;
   const ConstraintSet& sigma_;

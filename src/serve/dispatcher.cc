@@ -1,0 +1,566 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "constraints/constraint_parser.h"
+#include "constraints/well_formed.h"
+#include "implication/lid_solver.h"
+#include "implication/lp_solver.h"
+#include "implication/lu_solver.h"
+#include "obs/obs.h"
+#include "util/strings.h"
+#include "xml/dtdc_io.h"
+
+namespace xic::serve {
+
+namespace {
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// The DOCTYPE shell of a document, located without a full parse: name
+/// plus the raw internal subset between '[' and ']'. The subset text is
+/// the cache key material -- two documents sharing a DOCTYPE byte-for-
+/// byte share a compiled plan.
+struct DoctypeShell {
+  std::string name;
+  std::string subset;
+};
+
+Result<DoctypeShell> ExtractDoctype(const std::string& text) {
+  size_t at = text.find("<!DOCTYPE");
+  if (at == std::string::npos) {
+    return Status::InvalidArgument(
+        "document has no DOCTYPE (send schema.put first and pass "
+        "schema=<hash>, or inline the DTD)");
+  }
+  size_t pos = at + 9;  // past "<!DOCTYPE"
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+          text[pos] == '\r')) {
+    ++pos;
+  }
+  size_t name_start = pos;
+  while (pos < text.size() && IsNameChar(text[pos])) ++pos;
+  if (pos == name_start) {
+    return Status::ParseError("DOCTYPE without a root name");
+  }
+  DoctypeShell shell;
+  shell.name = text.substr(name_start, pos - name_start);
+  size_t open = text.find('[', pos);
+  size_t close_tag = text.find('>', pos);
+  if (open == std::string::npos ||
+      (close_tag != std::string::npos && close_tag < open)) {
+    return Status::InvalidArgument("DOCTYPE has no internal subset");
+  }
+  size_t close = text.rfind("]>");
+  if (close == std::string::npos || close < open) {
+    return Status::ParseError("unterminated DOCTYPE internal subset");
+  }
+  shell.subset = text.substr(open + 1, close - open - 1);
+  return shell;
+}
+
+/// Status of the first infrastructure failure in a single-document
+/// outcome, or OK when the pipeline reached a verdict.
+Status InfraStatus(const DocumentOutcome& outcome) {
+  auto infra = [](const Status& s) {
+    switch (s.code()) {
+      case StatusCode::kResourceExhausted:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kUnavailable:
+      case StatusCode::kInternal:
+        return true;
+      default:
+        return false;
+    }
+  };
+  if (!outcome.error.ok()) return outcome.error;
+  if (infra(outcome.parse)) return outcome.parse;
+  if (infra(outcome.structure.status)) return outcome.structure.status;
+  if (infra(outcome.constraints.status)) return outcome.constraints.status;
+  return Status::OK();
+}
+
+const char* VerdictOf(const DocumentOutcome& o) {
+  if (!o.parse.ok()) return "parse_error";
+  if (!o.structure.ok()) return "invalid_structure";
+  if (!o.constraints.ok()) return "constraint_violations";
+  return "ok";
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      sessions_(options_.sessions),
+      injector_(options_.faults) {}
+
+Response Dispatcher::ShedResponse(const std::string& reason) const {
+  Response response =
+      ErrorResponse(Status::Unavailable("overloaded: " + reason));
+  response.headers["retry-after-ms"] =
+      std::to_string(options_.retry_after_ms);
+  return response;
+}
+
+RunOverrides Dispatcher::OverridesFor(const Request& request) const {
+  RunOverrides overrides;
+  uint64_t deadline_ms = options_.default_deadline_ms;
+  uint64_t value = 0;
+  if (ParseU64(request.header("deadline-ms"), &value)) {
+    deadline_ms = value;
+  }
+  if (options_.max_deadline_ms > 0) {
+    deadline_ms = deadline_ms == 0
+                      ? options_.max_deadline_ms
+                      : std::min(deadline_ms, options_.max_deadline_ms);
+  }
+  overrides.document_timeout_ms = deadline_ms;
+  size_t attempts = options_.default_attempts;
+  if (ParseU64(request.header("retries"), &value)) {
+    attempts = static_cast<size_t>(value) + 1;
+  }
+  overrides.max_attempts =
+      std::clamp<size_t>(attempts, 1, options_.max_attempts);
+  ResourceLimits limits = options_.limits;
+  if (ParseU64(request.header("max-bytes"), &value) && value > 0 &&
+      (limits.max_document_bytes == 0 ||
+       value < limits.max_document_bytes)) {
+    limits.max_document_bytes = value;
+  }
+  if (ParseU64(request.header("max-depth"), &value) && value > 0 &&
+      (limits.max_tree_depth == 0 || value < limits.max_tree_depth)) {
+    limits.max_tree_depth = value;
+  }
+  overrides.limits = limits;
+  return overrides;
+}
+
+Result<PlanPtr> Dispatcher::CompileIntoCache(const std::string& schema_text,
+                                             const std::string& fault_key,
+                                             bool* cache_hit) {
+  Result<DoctypeShell> shell = ExtractDoctype(schema_text);
+  if (!shell.ok()) return shell.status();
+  const std::string key = ContentHash(shell.value().subset);
+  return cache_.GetOrCompile(
+      key,
+      [&](const std::string& cache_key) -> Result<PlanPtr> {
+        obs::ScopedSpan span("serve.compile", "serve");
+        span.AddString("schema", cache_key);
+        if (Status s = injector_.MaybeFail("serve.compile", fault_key);
+            !s.ok()) {
+          XIC_COUNTER_ADD("serve.faults", 1);
+          return s;
+        }
+        Result<DtdC> parsed =
+            ParseDtdC(shell.value().subset, shell.value().name);
+        if (!parsed.ok()) return parsed.status();
+        auto plan = std::make_shared<CompiledPlan>();
+        plan->key = cache_key;
+        plan->dtd = std::move(parsed.value().dtd);
+        if (parsed.value().sigma.has_value()) {
+          plan->sigma = std::move(*parsed.value().sigma);
+          if (Status wf = CheckWellFormed(plan->sigma, plan->dtd);
+              !wf.ok()) {
+            return wf;
+          }
+        }
+        BatchOptions batch_options;
+        batch_options.num_threads = 1;  // requests run inline per worker
+        batch_options.limits = options_.limits;
+        batch_options.validation.allow_missing_attributes = true;
+        batch_options.faults = options_.faults;
+        batch_options.backoff = options_.backoff;
+        plan->validator = std::make_unique<BatchValidator>(
+            plan->dtd, plan->sigma, batch_options);
+        // Footprint estimate: automata and plan indexes scale with the
+        // declaration text; the constant covers fixed per-plan overhead.
+        plan->bytes = 4096 + shell.value().subset.size() * 16;
+        return PlanPtr(std::move(plan));
+      },
+      cache_hit);
+}
+
+Result<PlanPtr> Dispatcher::ResolvePlan(const Request& request,
+                                        const std::string& id,
+                                        bool* cache_hit) {
+  const std::string schema = request.header("schema");
+  if (!schema.empty()) {
+    PlanPtr plan = cache_.Lookup(schema);
+    if (plan == nullptr) {
+      if (cache_hit != nullptr) *cache_hit = false;
+      return Status::InvalidArgument("unknown schema " + schema +
+                                     " (send schema.put first)");
+    }
+    if (cache_hit != nullptr) *cache_hit = true;
+    return plan;
+  }
+  return CompileIntoCache(request.body, id, cache_hit);
+}
+
+Response Dispatcher::Handle(const Request& request) {
+  obs::ScopedSpan span("serve.request", "serve");
+  span.AddString("verb", request.verb);
+  XIC_COUNTER_ADD("serve.requests", 1);
+  std::string id = request.id();
+  if (id.empty()) {
+    id = request.verb + "#" +
+         std::to_string(
+             next_request_id_.fetch_add(1, std::memory_order_relaxed));
+  }
+  Response response;
+  {
+    // Admission: deterministic checks before any parsing. The
+    // timing-dependent checks (queue depth, in-flight bytes) live in the
+    // socket layer and reuse ShedResponse for identical wire bytes.
+    obs::ScopedSpan admit_span("serve.admit", "serve");
+    if (injector_.Faulted("serve.admit", id)) {
+      XIC_COUNTER_ADD("serve.faults", 1);
+      XIC_COUNTER_ADD("serve.shed", 1);
+      response = ShedResponse("admission fault injected");
+      response.headers["id"] = HeaderSafe(id);
+      return response;
+    }
+    if (options_.max_request_bytes > 0 &&
+        request.body.size() > options_.max_request_bytes) {
+      XIC_COUNTER_ADD("serve.rejected_bytes", 1);
+      response = ErrorResponse(Status::LimitExceeded(
+          "max_request_bytes",
+          "request body of " + std::to_string(request.body.size()) +
+              " bytes exceeds " +
+              std::to_string(options_.max_request_bytes)));
+      response.headers["id"] = HeaderSafe(id);
+      return response;
+    }
+  }
+  size_t attempts = OverridesFor(request).max_attempts.value_or(1);
+  for (size_t attempt = 0;; ++attempt) {
+    if (attempt > 0) BackoffSleep(options_.backoff, id, attempt);
+    response = HandleOnce(request, id, attempt);
+    response.headers["attempts"] = std::to_string(attempt + 1);
+    if (response.status.code() != StatusCode::kUnavailable ||
+        attempt + 1 >= attempts) {
+      break;
+    }
+    XIC_COUNTER_ADD("serve.retries", 1);
+  }
+  if (response.status.code() == StatusCode::kUnavailable) {
+    response.headers["retry-after-ms"] =
+        std::to_string(options_.retry_after_ms);
+  }
+  if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    XIC_COUNTER_ADD("serve.timeouts", 1);
+  }
+  if (!response.status.ok()) {
+    XIC_COUNTER_ADD("serve.errors", 1);
+  }
+  response.headers["id"] = HeaderSafe(id);
+  return response;
+}
+
+Response Dispatcher::HandleOnce(const Request& request,
+                                const std::string& id, size_t attempt) {
+  try {
+    if (Status s = injector_.MaybeFail("serve.dispatch", id,
+                                       static_cast<int>(attempt));
+        !s.ok()) {
+      XIC_COUNTER_ADD("serve.faults", 1);
+      return ErrorResponse(s);
+    }
+    const std::string& verb = request.verb;
+    if (verb == "ping") {
+      Response response;
+      response.body = "pong\n";
+      return response;
+    }
+    if (verb == "validate") return DoValidate(request, id);
+    if (verb == "lint") return DoLint(request, id);
+    if (verb == "imply") return DoImply(request, id);
+    if (verb == "schema.put") return DoSchemaPut(request, id);
+    if (verb == "session.open" || verb == "session.apply" ||
+        verb == "session.close") {
+      return DoSession(request, id);
+    }
+    if (verb == "stats") return DoStats(request);
+    return ErrorResponse(
+        Status::InvalidArgument("unknown verb: " + verb));
+  } catch (const std::exception& e) {
+    // A request must never tear down the daemon: anything escaping the
+    // verb handlers becomes this request's response.
+    XIC_COUNTER_ADD("serve.request_exceptions", 1);
+    return ErrorResponse(
+        Status::Internal(std::string("uncaught exception: ") + e.what()));
+  } catch (...) {
+    XIC_COUNTER_ADD("serve.request_exceptions", 1);
+    return ErrorResponse(Status::Internal("uncaught exception"));
+  }
+}
+
+Response Dispatcher::DoSchemaPut(const Request& request,
+                                 const std::string& id) {
+  bool cache_hit = false;
+  Result<PlanPtr> plan = CompileIntoCache(request.body, id, &cache_hit);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+  Response response;
+  response.headers["schema"] = plan.value()->key;
+  response.headers["cache"] = cache_hit ? "hit" : "miss";
+  response.body = "schema " + plan.value()->key + "\n";
+  return response;
+}
+
+Response Dispatcher::DoValidate(const Request& request,
+                                const std::string& id) {
+  bool cache_hit = false;
+  Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+  if (cache_hit) {
+    obs::ScopedSpan hit_span("serve.cache_hit", "serve");
+    hit_span.AddString("schema", plan.value()->key);
+  }
+  RunOverrides overrides = OverridesFor(request);
+  BatchDocument document;
+  document.name = request.header("name", "request:" + HeaderSafe(id));
+  document.text = request.body;
+  BatchReport report;
+  {
+    obs::ScopedSpan run_span("serve.run", "serve");
+    report = plan.value()->validator->Run({document}, overrides);
+  }
+  const DocumentOutcome& outcome = report.outcomes[0];
+  Response response;
+  response.status = InfraStatus(outcome);
+  response.headers["schema"] = plan.value()->key;
+  response.headers["cache"] = cache_hit ? "hit" : "miss";
+  if (response.status.ok()) {
+    response.headers["verdict"] = VerdictOf(outcome);
+  } else {
+    response.headers["error"] = HeaderSafe(response.status.message());
+  }
+  response.body = report.ToJson(plan.value()->sigma);
+  return response;
+}
+
+Response Dispatcher::DoLint(const Request& request, const std::string& id) {
+  bool cache_hit = false;
+  Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+  RunOverrides overrides = OverridesFor(request);
+  AnalysisOptions analysis;
+  analysis.limits = overrides.limits.value_or(options_.limits);
+  uint64_t deadline_ms = overrides.document_timeout_ms.value_or(0);
+  if (deadline_ms > 0) {
+    analysis.deadline = Deadline::AfterMillis(deadline_ms);
+  }
+  AnalysisReport report;
+  {
+    obs::ScopedSpan run_span("serve.run", "serve");
+    report =
+        Analyzer().Analyze(plan.value()->dtd, plan.value()->sigma, analysis);
+  }
+  Response response;
+  response.status = report.status;
+  response.headers["schema"] = plan.value()->key;
+  response.headers["cache"] = cache_hit ? "hit" : "miss";
+  response.headers["diagnostics"] =
+      std::to_string(report.diagnostics.size());
+  response.body = report.ToJson();
+  return response;
+}
+
+Response Dispatcher::DoImply(const Request& request,
+                             const std::string& /*id*/) {
+  const std::string lang = request.header("lang", "lid");
+  const std::string schema = request.header("schema");
+  const std::string memo_key = lang + '\n' + schema + '\n' + request.body;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = memo_index_.find(memo_key);
+    if (it != memo_index_.end()) {
+      memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+      XIC_COUNTER_ADD("serve.imply.memo_hits", 1);
+      Response response;
+      response.headers["memo"] = "hit";
+      response.body = it->second->second;
+      return response;
+    }
+  }
+  // Split the body into the sigma section and the query section at the
+  // first line consisting of "?".
+  std::vector<std::string> lines = Split(request.body, '\n');
+  std::string sigma_text;
+  std::string query_text;
+  bool in_query = false;
+  for (const std::string& line : lines) {
+    if (!in_query && StripWhitespace(line) == "?") {
+      in_query = true;
+      continue;
+    }
+    (in_query ? query_text : sigma_text) += line + "\n";
+  }
+  if (!in_query) {
+    return ErrorResponse(Status::InvalidArgument(
+        "imply body must contain a '?' separator line between Sigma and "
+        "the queries"));
+  }
+  Language language = Language::kLid;
+  if (lang == "lu" || lang == "lu-finite") {
+    language = Language::kLu;
+  } else if (lang == "lp") {
+    language = Language::kL;
+  } else if (lang != "lid") {
+    return ErrorResponse(
+        Status::InvalidArgument("unknown lang: " + lang));
+  }
+  Result<ConstraintSet> sigma = ParseConstraintSet(sigma_text, language);
+  if (!sigma.ok()) return ErrorResponse(sigma.status());
+  Result<std::vector<Constraint>> queries = ParseConstraints(query_text);
+  if (!queries.ok()) return ErrorResponse(queries.status());
+  if (queries.value().empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("imply needs at least one query"));
+  }
+
+  // The solver dance, one per language family.
+  obs::ScopedSpan run_span("serve.run", "serve");
+  std::string body;
+  if (lang == "lid") {
+    PlanPtr plan;
+    if (!schema.empty()) {
+      plan = cache_.Lookup(schema);
+      if (plan == nullptr) {
+        return ErrorResponse(Status::InvalidArgument(
+            "unknown schema " + schema + " (send schema.put first)"));
+      }
+    } else {
+      return ErrorResponse(Status::InvalidArgument(
+          "lang=lid needs schema=<hash> (the DTD resolves .id fields)"));
+    }
+    LidSolver solver(plan->dtd, sigma.value());
+    if (!solver.status().ok()) return ErrorResponse(solver.status());
+    for (const Constraint& query : queries.value()) {
+      body += std::string("implied ") +
+              (solver.Implies(query) ? "true" : "false") + " " +
+              query.ToString() + "\n";
+    }
+  } else if (lang == "lu" || lang == "lu-finite") {
+    LuSolver solver(sigma.value());
+    if (!solver.status().ok()) return ErrorResponse(solver.status());
+    const bool finite = lang == "lu-finite";
+    for (const Constraint& query : queries.value()) {
+      bool implied = finite ? solver.FinitelyImplies(query)
+                            : solver.Implies(query);
+      body += std::string("implied ") + (implied ? "true" : "false") +
+              " " + query.ToString() + "\n";
+    }
+  } else {  // lp
+    LpSolver solver(sigma.value());
+    if (!solver.status().ok()) return ErrorResponse(solver.status());
+    for (const Constraint& query : queries.value()) {
+      Result<bool> implied = solver.Implies(query);
+      if (!implied.ok()) return ErrorResponse(implied.status());
+      body += std::string("implied ") +
+              (implied.value() ? "true" : "false") + " " +
+              query.ToString() + "\n";
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (memo_index_.find(memo_key) == memo_index_.end()) {
+      memo_lru_.emplace_front(memo_key, body);
+      memo_index_[memo_key] = memo_lru_.begin();
+      while (memo_index_.size() > options_.imply_memo_entries &&
+             memo_lru_.size() > 1) {
+        memo_index_.erase(memo_lru_.back().first);
+        memo_lru_.pop_back();
+      }
+    }
+  }
+  Response response;
+  response.headers["memo"] = "miss";
+  response.body = std::move(body);
+  return response;
+}
+
+Response Dispatcher::DoSession(const Request& request,
+                               const std::string& id) {
+  const std::string name = request.header("session");
+  if (request.verb == "session.open") {
+    if (sessions_.size() >= options_.sessions.max_sessions) {
+      XIC_COUNTER_ADD("serve.shed", 1);
+      return ShedResponse("session registry full");
+    }
+    bool cache_hit = false;
+    Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
+    if (!plan.ok()) return ErrorResponse(plan.status());
+    Result<std::string> opened = sessions_.Open(name, plan.value());
+    if (!opened.ok()) return ErrorResponse(opened.status());
+    Response response;
+    response.headers["session"] = opened.value();
+    response.headers["schema"] = plan.value()->key;
+    response.body = "session " + opened.value() + "\n";
+    return response;
+  }
+  if (name.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing session=<name> header"));
+  }
+  if (request.verb == "session.close") {
+    if (Status s = sessions_.Close(name); !s.ok()) {
+      return ErrorResponse(s);
+    }
+    Response response;
+    response.body = "closed " + name + "\n";
+    return response;
+  }
+  // session.apply
+  Result<std::string> body =
+      sessions_.Apply(name, request.body, injector_, id);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Response response;
+  response.headers["session"] = name;
+  response.body = body.value();
+  return response;
+}
+
+Response Dispatcher::DoStats(const Request&) {
+  PlanCache::Stats cache_stats = cache_.stats();
+  SessionRegistry::Stats session_stats = sessions_.stats();
+  std::string body = "{\n  \"schema\": \"xic-serve-stats-v1\",\n";
+  body += "  \"cache\": {\"entries\": " + std::to_string(cache_.entries()) +
+          ", \"bytes\": " + std::to_string(cache_.bytes()) +
+          ", \"hits\": " + std::to_string(cache_stats.hits) +
+          ", \"misses\": " + std::to_string(cache_stats.misses) +
+          ", \"evictions\": " + std::to_string(cache_stats.evictions) +
+          ", \"negative_hits\": " +
+          std::to_string(cache_stats.negative_hits) +
+          ", \"compile_failures\": " +
+          std::to_string(cache_stats.compile_failures) +
+          ", \"single_flight_waits\": " +
+          std::to_string(cache_stats.single_flight_waits) + "},\n";
+  body += "  \"sessions\": {\"open\": " + std::to_string(sessions_.size()) +
+          ", \"opened\": " + std::to_string(session_stats.opened) +
+          ", \"closed\": " + std::to_string(session_stats.closed) +
+          ", \"reaped\": " + std::to_string(session_stats.reaped) +
+          ", \"refused\": " + std::to_string(session_stats.refused) +
+          "}\n}\n";
+  Response response;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace xic::serve

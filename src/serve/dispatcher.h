@@ -1,0 +1,144 @@
+// Request dispatch for xicd: maps one parsed Request to one Response.
+//
+// The dispatcher is the deterministic core of the daemon -- it owns the
+// hot-plan cache, the session registry, the implication memo and the
+// fault-injection seam, but touches no sockets. Given the same cache /
+// session state and the same request (identified by its `id` header,
+// which keys fault decisions), it produces byte-identical responses at
+// any thread count; serve_test pins that, and the socket server is a
+// thin framing/admission shell around it.
+//
+// Verbs:
+//   ping          liveness probe; body "pong\n"
+//   schema.put    body = schema document (DOCTYPE with DTD^C); compiles
+//                 (single-flight) into the plan cache; response header
+//                 schema=<16-hex content hash>
+//   validate      body = XML document. With header schema=<hash> the
+//                 cached plan is used and the body may omit a DOCTYPE;
+//                 otherwise the body must be self-describing and its
+//                 internal subset is hashed into the cache. Response
+//                 body = xic-batch-report-v1 JSON for the one document.
+//   lint          schema resolution as validate (header or
+//                 self-describing body); response body = xiclint JSON.
+//   imply         body = "<sigma statements> \n ? \n <query statements>";
+//                 headers lang=lid|lu|lu-finite|lp (lid needs schema=).
+//                 Response body: one "implied true|false <stmt>" line
+//                 per query. Memoized.
+//   session.open / session.apply / session.close
+//                 incremental sessions (serve/session_registry.h);
+//                 headers session=<name>, schema=<hash>.
+//   stats         cache/session/shed counters as JSON.
+//
+// Common request headers: id=<key> (fault key + echo), deadline-ms=N,
+// retries=N, max-bytes=N, max-depth=N. Transient (kUnavailable)
+// dispatch failures are retried with the shared exponential-backoff
+// schedule (util/backoff.h), mirroring the batch engine's per-document
+// retry loop.
+
+#ifndef XIC_SERVE_DISPATCHER_H_
+#define XIC_SERVE_DISPATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+#include "serve/session_registry.h"
+#include "util/backoff.h"
+#include "util/fault_injector.h"
+#include "util/limits.h"
+
+namespace xic::serve {
+
+struct DispatcherOptions {
+  /// Per-request input bounds (parse stage); requests may lower but not
+  /// raise them via max-bytes / max-depth headers.
+  ResourceLimits limits;
+  /// Default and ceiling for the per-request deadline-ms header
+  /// (0 = none).
+  uint64_t default_deadline_ms = 10000;
+  uint64_t max_deadline_ms = 60000;
+  /// Default and ceiling for attempts per request (retries header + 1).
+  size_t default_attempts = 1;
+  size_t max_attempts = 5;
+  /// Requests with larger bodies are refused with `limit` before any
+  /// parsing.
+  size_t max_request_bytes = 16u << 20;
+  /// Retry-After hint (milliseconds) attached to every load-shed /
+  /// transient-failure response.
+  uint64_t retry_after_ms = 100;
+  /// Backoff schedule for transient dispatch retries; shared with the
+  /// engine's per-document retry loop (BatchOptions::backoff).
+  BackoffConfig backoff;
+  /// Bounded memo of imply responses (entries, not bytes).
+  size_t imply_memo_entries = 1024;
+  /// Deterministic fault injection for the serve sites ("serve.admit",
+  /// "serve.compile", "serve.dispatch", "serve.session"), keyed by
+  /// request id.
+  FaultConfig faults;
+  PlanCache::Config cache;
+  SessionRegistry::Config sessions;
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options = {});
+
+  /// Handles one request: admission -> (retried) dispatch. Thread-safe.
+  Response Handle(const Request& request);
+
+  PlanCache& cache() { return cache_; }
+  SessionRegistry& sessions() { return sessions_; }
+  const DispatcherOptions& options() const { return options_; }
+
+  /// Load-shed response used by both the dispatcher (admission faults,
+  /// full session registry) and the socket layer (queue overflow, byte
+  /// budget): kUnavailable + retry-after-ms hint.
+  Response ShedResponse(const std::string& reason) const;
+
+  /// Compiles `schema_text` into the plan cache (single-flight) and
+  /// returns the plan. Exposed for benches and tests that want to warm
+  /// the cache without a request.
+  Result<PlanPtr> CompileIntoCache(const std::string& schema_text,
+                                   const std::string& fault_key,
+                                   bool* cache_hit = nullptr);
+
+ private:
+  Response HandleOnce(const Request& request, const std::string& id,
+                      size_t attempt);
+  Response DoValidate(const Request& request, const std::string& id);
+  Response DoLint(const Request& request, const std::string& id);
+  Response DoImply(const Request& request, const std::string& id);
+  Response DoSchemaPut(const Request& request, const std::string& id);
+  Response DoSession(const Request& request, const std::string& id);
+  Response DoStats(const Request& request);
+
+  /// Resolves the plan for a request: schema=<hash> header lookup, or
+  /// compile-from-body internal subset. Sets *cache_hit accordingly.
+  Result<PlanPtr> ResolvePlan(const Request& request, const std::string& id,
+                              bool* cache_hit);
+
+  /// Effective per-request knobs (header layered over options ceiling).
+  RunOverrides OverridesFor(const Request& request) const;
+
+  DispatcherOptions options_;
+  PlanCache cache_;
+  SessionRegistry sessions_;
+  FaultInjector injector_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  // Bounded imply memo: LRU list of (key, response body) with an index.
+  std::mutex memo_mutex_;
+  std::list<std::pair<std::string, std::string>> memo_lru_;  // front = MRU
+  std::map<std::string,
+           std::list<std::pair<std::string, std::string>>::iterator>
+      memo_index_;
+};
+
+}  // namespace xic::serve
+
+#endif  // XIC_SERVE_DISPATCHER_H_

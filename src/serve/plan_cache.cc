@@ -1,0 +1,149 @@
+#include "serve/plan_cache.h"
+
+#include <cstdio>
+
+#include "obs/obs.h"
+
+namespace xic::serve {
+
+std::string ContentHash(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325u;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3u;
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buffer;
+}
+
+Result<PlanPtr> PlanCache::GetOrCompile(const std::string& key,
+                                        const Compiler& compile,
+                                        bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // miss: this thread compiles
+    Entry& entry = it->second;
+    switch (entry.state) {
+      case Entry::State::kReady:
+        // Touch the LRU position and share the plan.
+        lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+        ++stats_.hits;
+        XIC_COUNTER_ADD("serve.cache.hits", 1);
+        return entry.plan;
+      case Entry::State::kNegative:
+        if (Clock::now() < entry.negative_expiry) {
+          ++stats_.negative_hits;
+          XIC_COUNTER_ADD("serve.cache.negative_hits", 1);
+          return entry.failure;
+        }
+        // TTL expired: retire the negative entry and recompile.
+        entries_.erase(it);
+        goto compile_now;
+      case Entry::State::kCompiling: {
+        // Another thread owns the flight; wait for it to land, then
+        // re-evaluate (the landed entry may be ready or negative).
+        ++stats_.single_flight_waits;
+        XIC_COUNTER_ADD("serve.cache.single_flight_waits", 1);
+        flight_done_.wait(lock);
+        continue;
+      }
+    }
+  }
+compile_now:
+  if (cache_hit != nullptr) *cache_hit = false;
+  ++stats_.misses;
+  XIC_COUNTER_ADD("serve.cache.misses", 1);
+  Entry& flight = entries_[key];
+  flight.state = Entry::State::kCompiling;
+  lock.unlock();
+
+  Result<PlanPtr> compiled = compile(key);
+
+  lock.lock();
+  // The entry cannot have been evicted (only ready entries are in the
+  // LRU) but Clear() may have dropped it; reinsert unconditionally.
+  Entry& entry = entries_[key];
+  if (compiled.ok()) {
+    entry.state = Entry::State::kReady;
+    entry.plan = compiled.value();
+    entry.bytes = compiled.value()->bytes;
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+    entry.in_lru = true;
+    bytes_ += entry.bytes;
+    XIC_COUNTER_MAX("serve.cache.bytes_high_water", bytes_);
+    EvictLocked();
+  } else {
+    entry.state = Entry::State::kNegative;
+    entry.failure = compiled.status();
+    entry.negative_expiry =
+        Clock::now() + std::chrono::milliseconds(config_.negative_ttl_ms);
+    ++stats_.compile_failures;
+    XIC_COUNTER_ADD("serve.cache.compile_failures", 1);
+  }
+  flight_done_.notify_all();
+  return compiled;
+}
+
+PlanPtr PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.state != Entry::State::kReady) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++stats_.hits;
+  XIC_COUNTER_ADD("serve.cache.hits", 1);
+  return it->second.plan;
+}
+
+void PlanCache::EvictLocked() {
+  // Keep at least the most-recent entry even when it alone exceeds the
+  // budget, so an oversized plan is usable until the next insert.
+  while (bytes_ > config_.max_bytes && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      bytes_ -= it->second.bytes;
+      entries_.erase(it);
+      ++stats_.evictions;
+      XIC_COUNTER_ADD("serve.cache.evictions", 1);
+    }
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Keep in-flight compiles: erasing their entry would strand waiters.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.state == Entry::State::kCompiling) {
+      ++it;
+    } else {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+    }
+  }
+  bytes_ = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+size_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace xic::serve

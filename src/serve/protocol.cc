@@ -1,0 +1,204 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace xic::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "xic/1";
+
+bool IsHeaderChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return u > 0x20 && u < 0x7f && c != '=';
+}
+
+bool ParseSize(std::string_view text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (SIZE_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// Splits "k=v" pairs off a header line after the fixed fields.
+Status ParseHeaderPairs(const std::vector<std::string>& fields,
+                        size_t first,
+                        std::map<std::string, std::string>* headers) {
+  for (size_t i = first; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::ParseError("malformed header field: " + field);
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    for (char c : key) {
+      if (!IsHeaderChar(c)) {
+        return Status::ParseError("bad header key: " + key);
+      }
+    }
+    for (char c : value) {
+      if (!IsHeaderChar(c) && c != '=') {
+        return Status::ParseError("bad header value for " + key);
+      }
+    }
+    (*headers)[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
+}
+
+void AppendHeaders(const std::map<std::string, std::string>& headers,
+                   std::string* out) {
+  for (const auto& [key, value] : headers) {
+    out->push_back(' ');
+    out->append(key);
+    out->push_back('=');
+    out->append(value);
+  }
+}
+
+}  // namespace
+
+std::string Request::id() const { return header("id"); }
+
+std::string Request::header(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = headers.find(key);
+  return it == headers.end() ? fallback : it->second;
+}
+
+std::string_view WireCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kValidationError:
+      return "validation-error";
+    case StatusCode::kNotSupported:
+      return "not-supported";
+    case StatusCode::kResourceExhausted:
+      return "limit";
+    case StatusCode::kDeadlineExceeded:
+      return "timeout";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+StatusCode ParseWireCode(std::string_view token) {
+  if (token == "ok") return StatusCode::kOk;
+  if (token == "invalid-argument") return StatusCode::kInvalidArgument;
+  if (token == "parse-error") return StatusCode::kParseError;
+  if (token == "validation-error") return StatusCode::kValidationError;
+  if (token == "not-supported") return StatusCode::kNotSupported;
+  if (token == "limit") return StatusCode::kResourceExhausted;
+  if (token == "timeout") return StatusCode::kDeadlineExceeded;
+  if (token == "unavailable") return StatusCode::kUnavailable;
+  return StatusCode::kInternal;
+}
+
+Result<Request> ParseRequestLine(std::string_view line) {
+  if (line.size() > kMaxHeaderLineBytes) {
+    return Status::LimitExceeded("max_header_bytes",
+                                 "request header line too long");
+  }
+  std::vector<std::string> fields = Split(line, ' ');
+  if (fields.size() < 3 || fields[0] != kMagic) {
+    return Status::ParseError(
+        "bad request line (want \"xic/1 <verb> <body-length> [k=v ...]\")");
+  }
+  Request request;
+  request.verb = fields[1];
+  if (request.verb.empty()) {
+    return Status::ParseError("empty verb");
+  }
+  if (!ParseSize(fields[2], &request.body_length)) {
+    return Status::ParseError("bad body length: " + fields[2]);
+  }
+  if (Status s = ParseHeaderPairs(fields, 3, &request.headers); !s.ok()) {
+    return s;
+  }
+  return request;
+}
+
+std::string FormatResponse(const Response& response) {
+  std::string out(kMagic);
+  out.push_back(' ');
+  out.append(WireCode(response.status.code()));
+  out.push_back(' ');
+  out.append(std::to_string(response.body.size()));
+  AppendHeaders(response.headers, &out);
+  out.push_back('\n');
+  out.append(response.body);
+  return out;
+}
+
+std::string FormatRequest(const Request& request) {
+  std::string out(kMagic);
+  out.push_back(' ');
+  out.append(request.verb);
+  out.push_back(' ');
+  out.append(std::to_string(request.body.size()));
+  AppendHeaders(request.headers, &out);
+  out.push_back('\n');
+  out.append(request.body);
+  return out;
+}
+
+std::string HeaderSafe(std::string_view text) {
+  constexpr size_t kMaxLen = 200;
+  std::string out;
+  out.reserve(std::min(text.size(), kMaxLen));
+  for (char c : text) {
+    if (out.size() >= kMaxLen) break;
+    if (c == ' ' || c == '=') {
+      out.push_back('_');
+    } else if (IsHeaderChar(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('.');
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+Response ErrorResponse(const Status& status) {
+  Response response;
+  response.status = status;
+  response.headers["error"] = HeaderSafe(status.message());
+  return response;
+}
+
+Result<ResponseHead> ParseResponseLine(std::string_view line) {
+  std::vector<std::string> fields = Split(line, ' ');
+  if (fields.size() < 3 || fields[0] != kMagic) {
+    return Status::ParseError("bad response line");
+  }
+  ResponseHead head;
+  head.code = ParseWireCode(fields[1]);
+  if (!ParseSize(fields[2], &head.body_length)) {
+    return Status::ParseError("bad body length: " + fields[2]);
+  }
+  if (Status s = ParseHeaderPairs(fields, 3, &head.headers); !s.ok()) {
+    return s;
+  }
+  return head;
+}
+
+}  // namespace xic::serve

@@ -1,0 +1,97 @@
+// Wire protocol for xicd: one request/response pair per exchange over a
+// byte stream, framed by a single header line plus a length-prefixed
+// body.
+//
+//   request  = "xic/1" SP verb SP body-length *(SP key "=" value) LF body
+//   response = "xic/1" SP code SP body-length *(SP key "=" value) LF body
+//
+// body-length is the body's size in bytes, decimal; the body follows the
+// LF verbatim (it may contain any bytes, including LF -- the length
+// delimits it). Header keys and values are restricted to printable ASCII
+// without spaces, '=' or control characters, so the header line splits
+// unambiguously on single spaces. Response codes are the wire renderings
+// of StatusCode ("ok", "invalid-argument", "parse-error",
+// "validation-error", "not-supported", "limit", "timeout", "unavailable",
+// "internal").
+//
+// The framing is deliberately trivial to speak from a shell:
+//
+//   printf 'xic/1 ping 0\n' | nc localhost 7677
+//
+// Everything here is a pure parse/format layer: no sockets, no state, so
+// the same functions serve the server, the C++ tests' in-process client,
+// and stay byte-for-byte pinned by serve_test.
+
+#ifndef XIC_SERVE_PROTOCOL_H_
+#define XIC_SERVE_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xic::serve {
+
+/// Upper bound on one header line (guards the line reader against a
+/// client that never sends LF).
+inline constexpr size_t kMaxHeaderLineBytes = 8192;
+
+/// A parsed request frame. `id`, when the client sent one, keys fault
+/// injection and is echoed back; otherwise the server synthesizes one.
+struct Request {
+  std::string verb;
+  size_t body_length = 0;
+  std::map<std::string, std::string> headers;  // sorted, deterministic
+  std::string body;
+
+  /// The `id` header, or empty.
+  std::string id() const;
+  /// Returns the header's value or `fallback`.
+  std::string header(const std::string& key,
+                     const std::string& fallback = "") const;
+};
+
+/// A response frame ready for formatting.
+struct Response {
+  Status status;  // code() maps to the wire code; message lands in body
+                  // or the `error` header depending on the builder
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// StatusCode -> wire token ("ok", "timeout", ...).
+std::string_view WireCode(StatusCode code);
+
+/// Wire token -> StatusCode; kInternal for unknown tokens.
+StatusCode ParseWireCode(std::string_view token);
+
+/// Parses a request header line (without the trailing LF). The body is
+/// NOT consumed here -- the caller reads `body_length` bytes next.
+Result<Request> ParseRequestLine(std::string_view line);
+
+/// Serializes a complete response frame (header line + body).
+std::string FormatResponse(const Response& response);
+
+/// Serializes a complete request frame (tests, benches, C++ clients).
+std::string FormatRequest(const Request& request);
+
+/// Builds an error response: empty body, the status message carried in
+/// the `error` header (sanitized for header transport).
+Response ErrorResponse(const Status& status);
+
+/// A header-safe rendering of `text`: spaces and '=' become '_', control
+/// characters become '.', truncated to a sane length.
+std::string HeaderSafe(std::string_view text);
+
+/// Parses a response header line (client side: tests, bench).
+struct ResponseHead {
+  StatusCode code = StatusCode::kOk;
+  size_t body_length = 0;
+  std::map<std::string, std::string> headers;
+};
+Result<ResponseHead> ParseResponseLine(std::string_view line);
+
+}  // namespace xic::serve
+
+#endif  // XIC_SERVE_PROTOCOL_H_

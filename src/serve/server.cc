@@ -1,0 +1,349 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/obs.h"
+
+namespace xic::serve {
+
+namespace {
+
+void SetSocketTimeout(int fd, int kind, uint64_t ms) {
+  if (ms == 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, kind, &tv, sizeof(tv));
+}
+
+/// write(2) until done; false on error/timeout.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      dispatcher_(std::make_unique<Dispatcher>(options_.dispatcher)) {}
+
+Server::~Server() { Shutdown(/*drain=*/false); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::Unavailable(std::string("bind ") +
+                                        options_.host + ": " +
+                                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    Status status =
+        Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  size_t workers = options_.num_threads;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 4;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+    stopped_ = false;
+    queue_closed_ = false;
+  }
+  accepting_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (accepting_.load(std::memory_order_acquire)) {
+    if (shutdown_requested_.load(std::memory_order_acquire)) break;
+    // Short poll timeout: the loop notices stop/drain flags (set by
+    // signal handlers via RequestShutdown) within ~100ms.
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.read_timeout_ms);
+    SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout_ms);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.accepted;
+      if (queue_closed_ || queue_.size() >= options_.max_queue_depth) {
+        ++stats_.shed_queue_full;
+        shed = true;
+      } else {
+        queue_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // Overload is explicit: answer kUnavailable + Retry-After, then
+      // close. One response per shed connection, never a silent RST.
+      XIC_COUNTER_ADD("serve.shed", 1);
+      std::string wire = FormatResponse(
+          dispatcher_->ShedResponse("accept queue full"));
+      WriteAll(fd, wire.data(), wire.size());
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+  accepting_.store(false, std::memory_order_release);
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || queue_closed_;
+      });
+      if (queue_.empty()) return;  // closed and drained
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    uint64_t served = ServeConnection(fd);
+    ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.served_requests += served;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+uint64_t Server::ServeConnection(int fd) {
+  uint64_t served = 0;
+  for (;;) {
+    // Drain semantics: a worker finishes the request it is reading/
+    // running, but does not start another one once shutdown began
+    // without drain. With drain, keep-alive connections are still cut
+    // between requests -- only *queued* work is owed an answer.
+    if (shutdown_requested_.load(std::memory_order_acquire) && served > 0) {
+      break;
+    }
+    Request request;
+    int got = ReadRequest(fd, &request);
+    if (got <= 0) break;
+    inflight_bytes_.fetch_add(request.body.size(),
+                              std::memory_order_relaxed);
+    Response response;
+    size_t inflight =
+        inflight_bytes_.load(std::memory_order_relaxed);
+    if (options_.max_inflight_bytes > 0 &&
+        inflight > options_.max_inflight_bytes) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.shed_inflight_bytes;
+      }
+      XIC_COUNTER_ADD("serve.shed", 1);
+      response = dispatcher_->ShedResponse("in-flight byte budget");
+    } else {
+      response = dispatcher_->Handle(request);
+    }
+    inflight_bytes_.fetch_sub(request.body.size(),
+                              std::memory_order_relaxed);
+    if (!WriteResponse(fd, response)) break;
+    ++served;
+  }
+  return served;
+}
+
+int Server::ReadRequest(int fd, Request* request) {
+  // Read the header line byte-by-byte (the line is short; body reads
+  // below are bulk). A timeout before the first byte is an idle
+  // keep-alive connection -- close quietly.
+  std::string line;
+  for (;;) {
+    char c;
+    ssize_t n = ::read(fd, &c, 1);
+    if (n == 0) return 0;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (line.empty()) return 0;  // idle, not mid-frame
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.read_timeouts;
+        Response response = ErrorResponse(
+            Status::DeadlineExceeded("read timeout mid-request"));
+        WriteResponse(fd, response);
+        return -1;
+      }
+      return 0;
+    }
+    if (c == '\n') break;
+    line.push_back(c);
+    if (line.size() > kMaxHeaderLineBytes) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.protocol_errors;
+      }
+      WriteResponse(fd, ErrorResponse(Status::LimitExceeded(
+                            "max_header_bytes", "request line too long")));
+      return -1;
+    }
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  Result<Request> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.protocol_errors;
+    }
+    WriteResponse(fd, ErrorResponse(parsed.status()));
+    return -1;
+  }
+  *request = std::move(parsed.value());
+  // Refuse oversized bodies before reading them -- don't buffer 1 GiB
+  // just to answer `limit`. The peer's connection is closed (we will not
+  // resynchronize mid-body).
+  size_t max_bytes = dispatcher_->options().max_request_bytes;
+  if (max_bytes > 0 && request->body_length > max_bytes) {
+    WriteResponse(
+        fd, ErrorResponse(Status::LimitExceeded(
+                "max_request_bytes",
+                "declared body of " + std::to_string(request->body_length) +
+                    " bytes exceeds " + std::to_string(max_bytes))));
+    return -1;
+  }
+  request->body.resize(request->body_length);
+  size_t off = 0;
+  while (off < request->body_length) {
+    ssize_t n =
+        ::read(fd, request->body.data() + off, request->body_length - off);
+    if (n == 0) return 0;  // peer closed mid-body
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.read_timeouts;
+        Response response = ErrorResponse(
+            Status::DeadlineExceeded("read timeout mid-body"));
+        WriteResponse(fd, response);
+        return -1;
+      }
+      return 0;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+bool Server::WriteResponse(int fd, const Response& response) {
+  std::string wire = FormatResponse(response);
+  return WriteAll(fd, wire.data(), wire.size());
+}
+
+void Server::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  shutdown_requested_.store(true, std::memory_order_release);
+  accepting_.store(false, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (!drain) {
+    // Close queued-but-unserved connections; their peers see EOF.
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!queue_.empty()) {
+      ::close(queue_.front());
+      queue_.pop_front();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  done_cv_.notify_all();
+}
+
+void Server::Wait() {
+  for (;;) {
+    if (shutdown_requested_.load(std::memory_order_acquire)) {
+      Shutdown(drain_requested_.load(std::memory_order_relaxed));
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    done_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace xic::serve

@@ -1,0 +1,145 @@
+// xicd's socket shell: blocking TCP, a bounded accept queue, worker
+// threads, and graceful drain.
+//
+// The server is a thin framing/admission layer over Dispatcher -- it
+// reads `xic/1` frames off connections, enforces the *timing-dependent*
+// half of admission control (queue depth, in-flight byte budget,
+// per-connection read/write timeouts) and leaves every deterministic
+// decision to the dispatcher so responses stay byte-stable. Overload is
+// explicit, never silent: a connection that cannot be queued is answered
+// with the dispatcher's load-shed response (kUnavailable +
+// retry-after-ms) and closed, and the shed is counted.
+//
+// Threading model: one acceptor thread poll()s the listening socket
+// (with a short timeout so stop/drain flags are noticed promptly) and
+// pushes accepted fds into a bounded queue; N worker threads pop fds and
+// serve requests until the peer closes or errors. Blocking I/O with
+// SO_RCVTIMEO / SO_SNDTIMEO keeps a stuck peer from pinning a worker
+// forever.
+//
+// Shutdown: Shutdown(/*drain=*/true) stops accepting, serves every
+// already-queued connection's in-flight request to completion, then
+// joins -- no accepted request is dropped (serve_test pins this).
+// Shutdown(false) closes the queue immediately (queued fds are closed
+// unanswered; in-flight requests still finish -- workers only observe
+// the stop flag between requests).
+
+#ifndef XIC_SERVE_SERVER_H_
+#define XIC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/dispatcher.h"
+#include "util/status.h"
+
+namespace xic::serve {
+
+struct ServerOptions {
+  /// Bind address; port 0 picks an ephemeral port (read it back from
+  /// port() after Start -- tests and benches rely on this).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Worker threads serving connections (0 = hardware_concurrency).
+  size_t num_threads = 0;
+  /// Accepted connections waiting for a worker beyond this are shed.
+  size_t max_queue_depth = 64;
+  /// Sum of request body bytes currently being processed beyond which
+  /// new requests are shed (0 = unlimited).
+  size_t max_inflight_bytes = 64u << 20;
+  /// Per-connection socket timeouts. A read timeout on a keep-alive
+  /// connection between requests closes it quietly; mid-frame it answers
+  /// `timeout` and closes.
+  uint64_t read_timeout_ms = 5000;
+  uint64_t write_timeout_ms = 5000;
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+  DispatcherOptions dispatcher;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. kUnavailable on
+  /// bind/listen failure (address in use, permission).
+  Status Start();
+
+  /// Stops accepting and joins all threads. With drain=true every
+  /// already-accepted connection is served to completion first; with
+  /// drain=false queued connections are closed unanswered. Idempotent.
+  void Shutdown(bool drain);
+
+  /// Blocks until Shutdown is called (from a signal handler's flag via
+  /// RequestShutdown, or another thread).
+  void Wait();
+
+  /// Async-signal-safe shutdown request: sets a flag the acceptor polls.
+  /// `drain` as in Shutdown. Safe to call from a signal handler.
+  void RequestShutdown(bool drain) {
+    drain_requested_.store(drain, std::memory_order_relaxed);
+    shutdown_requested_.store(true, std::memory_order_release);
+  }
+
+  uint16_t port() const { return port_; }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t served_requests = 0;
+    uint64_t shed_queue_full = 0;
+    uint64_t shed_inflight_bytes = 0;
+    uint64_t read_timeouts = 0;
+    uint64_t protocol_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection until close/error/timeout. Returns the number
+  /// of requests answered.
+  uint64_t ServeConnection(int fd);
+  /// Reads one frame. Returns 1 on success, 0 on clean EOF / idle
+  /// timeout before any byte, -1 after answering an error (connection
+  /// should close).
+  int ReadRequest(int fd, Request* request);
+  bool WriteResponse(int fd, const Response& response);
+
+  ServerOptions options_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> drain_requested_{true};
+  std::atomic<bool> accepting_{false};
+  std::atomic<size_t> inflight_bytes_{0};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;   // workers wait for fds
+  std::condition_variable done_cv_;    // Wait() / Shutdown coordination
+  std::deque<int> queue_;              // accepted fds awaiting a worker
+  bool queue_closed_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+  Stats stats_;
+};
+
+}  // namespace xic::serve
+
+#endif  // XIC_SERVE_SERVER_H_

@@ -1,0 +1,61 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace xic {
+
+namespace {
+
+// FNV-1a over (seed, key, attempt) finished with a splitmix64 avalanche,
+// mirroring util/fault_injector.cc so nearby keys decorrelate.
+uint64_t Mix(uint64_t seed, std::string_view key, size_t attempt) {
+  uint64_t h = 0xcbf29ce484222325u ^ seed;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3u;
+  }
+  h ^= 0xff;  // separator so ("ab", 1) != ("a", ...) collisions stay rare
+  h *= 0x100000001b3u;
+  h ^= attempt;
+  h *= 0x100000001b3u;
+  h += 0x9e3779b97f4a7c15u;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9u;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebu;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::chrono::milliseconds BackoffDelay(const BackoffConfig& config,
+                                       std::string_view key,
+                                       size_t attempt) {
+  if (!config.enabled() || attempt == 0) {
+    return std::chrono::milliseconds::zero();
+  }
+  double delay = static_cast<double>(config.initial_delay_ms);
+  double multiplier = config.multiplier < 1.0 ? 1.0 : config.multiplier;
+  delay *= std::pow(multiplier, static_cast<double>(attempt - 1));
+  double cap = static_cast<double>(config.max_delay_ms);
+  if (cap > 0 && delay > cap) delay = cap;
+  double jitter = std::clamp(config.jitter, 0.0, 1.0);
+  if (jitter > 0) {
+    // 53-bit uniform in [0, 1), mapped to [1 - jitter, 1 + jitter].
+    double u = static_cast<double>(Mix(config.seed, key, attempt) >> 11) *
+               (1.0 / 9007199254740992.0);
+    delay *= 1.0 - jitter + 2.0 * jitter * u;
+  }
+  return std::chrono::milliseconds(
+      static_cast<int64_t>(std::llround(delay)));
+}
+
+std::chrono::milliseconds BackoffSleep(const BackoffConfig& config,
+                                       std::string_view key,
+                                       size_t attempt) {
+  std::chrono::milliseconds delay = BackoffDelay(config, key, attempt);
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return delay;
+}
+
+}  // namespace xic

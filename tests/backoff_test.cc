@@ -1,0 +1,125 @@
+// The backoff schedule contract: exponential growth, capped, jittered
+// deterministically by (seed, key, attempt). Both the batch engine's
+// per-document retry loop and xicd's request retry path rely on every
+// property pinned here.
+
+#include "util/backoff.h"
+
+#include <chrono>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace xic {
+namespace {
+
+uint64_t DelayMs(const BackoffConfig& config, std::string_view key,
+                 size_t attempt) {
+  return static_cast<uint64_t>(BackoffDelay(config, key, attempt).count());
+}
+
+TEST(BackoffTest, DisabledConfigNeverWaits) {
+  BackoffConfig config;  // initial_delay_ms == 0
+  EXPECT_FALSE(config.enabled());
+  for (size_t attempt = 1; attempt <= 10; ++attempt) {
+    EXPECT_EQ(DelayMs(config, "doc", attempt), 0u);
+  }
+  // BackoffSleep with a disabled config returns immediately.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(BackoffSleep(config, "doc", 3).count(), 0);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(50));
+}
+
+TEST(BackoffTest, ExponentialGrowthWithoutJitter) {
+  BackoffConfig config;
+  config.initial_delay_ms = 10;
+  config.multiplier = 2.0;
+  config.max_delay_ms = 10000;
+  config.jitter = 0;
+  EXPECT_EQ(DelayMs(config, "k", 1), 10u);
+  EXPECT_EQ(DelayMs(config, "k", 2), 20u);
+  EXPECT_EQ(DelayMs(config, "k", 3), 40u);
+  EXPECT_EQ(DelayMs(config, "k", 4), 80u);
+}
+
+TEST(BackoffTest, CapBoundsTheSchedule) {
+  BackoffConfig config;
+  config.initial_delay_ms = 100;
+  config.multiplier = 10.0;
+  config.max_delay_ms = 500;
+  config.jitter = 0;
+  EXPECT_EQ(DelayMs(config, "k", 1), 100u);
+  EXPECT_EQ(DelayMs(config, "k", 2), 500u);  // 1000 capped
+  EXPECT_EQ(DelayMs(config, "k", 3), 500u);  // stays at the cap
+  // A huge attempt number must not overflow into a tiny delay.
+  EXPECT_EQ(DelayMs(config, "k", 60), 500u);
+}
+
+TEST(BackoffTest, JitterStaysInWindow) {
+  BackoffConfig config;
+  config.initial_delay_ms = 100;
+  config.multiplier = 1.0;  // keep the base at 100 for every attempt
+  config.jitter = 0.5;
+  for (size_t attempt = 1; attempt <= 50; ++attempt) {
+    uint64_t delay = DelayMs(config, "item", attempt);
+    EXPECT_GE(delay, 50u) << "attempt " << attempt;
+    EXPECT_LE(delay, 150u) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, DeterministicPerKeyAttemptSeed) {
+  BackoffConfig config;
+  config.initial_delay_ms = 100;
+  config.jitter = 0.5;
+  config.seed = 7;
+  // Same inputs, same delay -- across calls and config copies.
+  BackoffConfig copy = config;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(DelayMs(config, "doc-3", attempt),
+              DelayMs(copy, "doc-3", attempt));
+  }
+}
+
+TEST(BackoffTest, DistinctKeysDecorrelate) {
+  BackoffConfig config;
+  config.initial_delay_ms = 1000;
+  config.multiplier = 1.0;
+  config.jitter = 0.9;
+  // If jitter were keyed on attempt only, every document would wait the
+  // same milliseconds and retries would stampede in waves. Distinct keys
+  // must spread across the window.
+  std::set<uint64_t> delays;
+  for (int doc = 0; doc < 32; ++doc) {
+    delays.insert(DelayMs(config, "doc-" + std::to_string(doc), 1));
+  }
+  EXPECT_GT(delays.size(), 16u) << "keys are not decorrelating";
+}
+
+TEST(BackoffTest, SeedShiftsTheSchedule) {
+  BackoffConfig a;
+  a.initial_delay_ms = 1000;
+  a.jitter = 0.9;
+  a.seed = 1;
+  BackoffConfig b = a;
+  b.seed = 2;
+  // Not a strict requirement per-pair, but across many keys the two
+  // seeds must disagree somewhere.
+  bool differs = false;
+  for (int doc = 0; doc < 16 && !differs; ++doc) {
+    std::string key = "doc-" + std::to_string(doc);
+    differs = DelayMs(a, key, 1) != DelayMs(b, key, 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BackoffTest, SleepReturnsTheScheduleDelay) {
+  BackoffConfig config;
+  config.initial_delay_ms = 1;
+  config.max_delay_ms = 2;
+  config.jitter = 0;
+  EXPECT_EQ(BackoffSleep(config, "k", 1), BackoffDelay(config, "k", 1));
+}
+
+}  // namespace
+}  // namespace xic

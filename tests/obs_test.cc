@@ -15,6 +15,7 @@
 #include "engine/batch_validator.h"
 #include "engine/thread_pool.h"
 #include "obs/obs.h"
+#include "obs_cli.h"
 #include "xml/dtdc_io.h"
 
 namespace xic {
@@ -314,6 +315,46 @@ TEST(EngineObsTest, QueueHighWaterMarkIsTracked) {
                 .GetCounter("engine.pool.queue_high_water")
                 .value(),
             high_water);
+}
+
+// ObsCliSession::Flush is the live-export path: xicd snapshots a running
+// daemon's trace and metrics on SIGUSR1 without ending the session.
+TEST(ObsCliTest, FlushExportsWithoutStoppingTheSession) {
+  ObsCliOptions options;
+  options.trace_out = testing::TempDir() + "/obs_cli_flush_trace.json";
+  options.metrics_out = testing::TempDir() + "/obs_cli_flush_metrics.json";
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+
+  ObsCliSession session(options);
+  XIC_COUNTER_ADD("obs_cli.flush_probe", 1);
+  { ScopedSpan span("obs_cli.before_flush", "test"); }
+  ASSERT_TRUE(session.Flush());
+  std::string trace_first = read_file(options.trace_out);
+  std::string metrics_first = read_file(options.metrics_out);
+  EXPECT_NE(trace_first.find("obs_cli.before_flush"), std::string::npos);
+  EXPECT_NE(metrics_first.find("obs_cli.flush_probe"), std::string::npos);
+
+  // The session survived the flush: tracing still records, counters
+  // still count, and a second export sees the post-flush activity.
+  EXPECT_TRUE(Tracer::Global().enabled());
+  XIC_COUNTER_ADD("obs_cli.flush_probe", 1);
+  { ScopedSpan span("obs_cli.after_flush", "test"); }
+  ASSERT_TRUE(session.Finish());
+  std::string trace_final = read_file(options.trace_out);
+  EXPECT_NE(trace_final.find("obs_cli.before_flush"), std::string::npos);
+  EXPECT_NE(trace_final.find("obs_cli.after_flush"), std::string::npos);
+  EXPECT_FALSE(Tracer::Global().enabled()) << "Finish did not stop tracing";
+}
+
+TEST(ObsCliTest, FlushFailsCleanlyOnUnwritablePath) {
+  ObsCliOptions options;
+  options.metrics_out = "/nonexistent-dir/metrics.json";
+  ObsCliSession session(options);
+  EXPECT_FALSE(session.Flush());
+  EXPECT_FALSE(session.Finish());
 }
 
 #else  // !XIC_OBS_ENABLED
