@@ -309,7 +309,8 @@ DocumentOutcome BatchValidator::CheckOne(
         BackoffSleep(options_.backoff, doc.name, attempt);
       }
     }
-    outcome = CheckOneAttempt(doc, attempt, overrides);
+    outcome = CheckOneAttempt(doc, overrides.attempt_base + attempt,
+                              overrides);
     outcome.attempts = attempt + 1;
     // Only transient failures are worth retrying; limits and deadlines
     // would trip identically on the next attempt.

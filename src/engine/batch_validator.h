@@ -179,6 +179,13 @@ struct RunOverrides {
   /// Attempts per document for this call (>= 1). Overrides
   /// BatchOptions::max_attempts.
   std::optional<size_t> max_attempts;
+  /// Starting attempt index for fault-injection numbering. A caller that
+  /// owns the retry loop itself (xicd's dispatcher) runs each call with
+  /// max_attempts = 1 and threads its outer attempt index here, so
+  /// injected transient faults clear at the configured
+  /// transient_attempts without a second retry layer multiplying
+  /// attempts underneath it.
+  size_t attempt_base = 0;
   /// Input bounds for the parse stage of this call (document bytes,
   /// nesting depth, expansion budget). Compiled-plan search bounds
   /// (automaton states etc.) stay at their construction-time values.

@@ -65,9 +65,63 @@ Result<DoctypeShell> ExtractDoctype(const std::string& text) {
       (close_tag != std::string::npos && close_tag < open)) {
     return Status::InvalidArgument("DOCTYPE has no internal subset");
   }
-  size_t close = text.rfind("]>");
-  if (close == std::string::npos || close < open) {
+  // Scan forward for the ']' that closes the internal subset. Only a
+  // top-level ']' closes it: one inside a comment, a PI, or a quoted
+  // literal of a markup declaration is subset content. Scanning forward
+  // (instead of rfind over the whole body) keeps "]>" sequences in the
+  // document content -- every CDATA section ends "]]>" -- out of the
+  // subset, which is the cache key material.
+  size_t close = std::string::npos;
+  size_t i = open + 1;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ']') {
+      close = i;
+      break;
+    }
+    if (c != '<') {
+      ++i;
+      continue;
+    }
+    if (text.compare(i, 4, "<!--") == 0) {
+      size_t end = text.find("-->", i + 4);
+      if (end == std::string::npos) break;  // unterminated comment
+      i = end + 3;
+    } else if (text.compare(i, 2, "<?") == 0) {
+      size_t end = text.find("?>", i + 2);
+      if (end == std::string::npos) break;  // unterminated PI
+      i = end + 2;
+    } else {
+      // Markup declaration: skip to its '>' honoring quoted literals
+      // (an ATTLIST default or entity value may contain ']' or '>').
+      size_t j = i + 1;
+      while (j < text.size() && text[j] != '>') {
+        if (text[j] == '"' || text[j] == '\'') {
+          size_t q = text.find(text[j], j + 1);
+          if (q == std::string::npos) {
+            j = text.size();
+            break;
+          }
+          j = q + 1;
+        } else {
+          ++j;
+        }
+      }
+      if (j >= text.size()) break;  // unterminated declaration
+      i = j + 1;
+    }
+  }
+  if (close == std::string::npos) {
     return Status::ParseError("unterminated DOCTYPE internal subset");
+  }
+  size_t after = close + 1;
+  while (after < text.size() &&
+         (text[after] == ' ' || text[after] == '\t' ||
+          text[after] == '\n' || text[after] == '\r')) {
+    ++after;
+  }
+  if (after >= text.size() || text[after] != '>') {
+    return Status::ParseError("expected '>' after DOCTYPE internal subset");
   }
   shell.subset = text.substr(open + 1, close - open - 1);
   return shell;
@@ -287,7 +341,7 @@ Response Dispatcher::HandleOnce(const Request& request,
       response.body = "pong\n";
       return response;
     }
-    if (verb == "validate") return DoValidate(request, id);
+    if (verb == "validate") return DoValidate(request, id, attempt);
     if (verb == "lint") return DoLint(request, id);
     if (verb == "imply") return DoImply(request, id);
     if (verb == "schema.put") return DoSchemaPut(request, id);
@@ -323,7 +377,7 @@ Response Dispatcher::DoSchemaPut(const Request& request,
 }
 
 Response Dispatcher::DoValidate(const Request& request,
-                                const std::string& id) {
+                                const std::string& id, size_t attempt) {
   bool cache_hit = false;
   Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
   if (!plan.ok()) return ErrorResponse(plan.status());
@@ -332,6 +386,14 @@ Response Dispatcher::DoValidate(const Request& request,
     hit_span.AddString("schema", plan.value()->key);
   }
   RunOverrides overrides = OverridesFor(request);
+  // Handle() owns the retry loop (bounded attempts + backoff on
+  // kUnavailable). The validator must run a single attempt underneath
+  // it, otherwise a `retries` header multiplies across the two layers
+  // (N outer x N inner engine attempts plus nested backoff sleeps).
+  // Threading the outer attempt index into the engine's fault numbering
+  // keeps injected transient faults clearing exactly as before.
+  overrides.max_attempts = 1;
+  overrides.attempt_base = attempt;
   BatchDocument document;
   document.name = request.header("name", "request:" + HeaderSafe(id));
   document.text = request.body;

@@ -110,7 +110,8 @@ class Dispatcher {
  private:
   Response HandleOnce(const Request& request, const std::string& id,
                       size_t attempt);
-  Response DoValidate(const Request& request, const std::string& id);
+  Response DoValidate(const Request& request, const std::string& id,
+                      size_t attempt);
   Response DoLint(const Request& request, const std::string& id);
   Response DoImply(const Request& request, const std::string& id);
   Response DoSchemaPut(const Request& request, const std::string& id);

@@ -1,5 +1,6 @@
 #include "serve/plan_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/obs.h"
@@ -41,7 +42,7 @@ Result<PlanPtr> PlanCache::GetOrCompile(const std::string& key,
           return entry.failure;
         }
         // TTL expired: retire the negative entry and recompile.
-        entries_.erase(it);
+        EraseLocked(it);
         goto compile_now;
       case Entry::State::kCompiling: {
         // Another thread owns the flight; wait for it to land, then
@@ -61,7 +62,20 @@ compile_now:
   flight.state = Entry::State::kCompiling;
   lock.unlock();
 
-  Result<PlanPtr> compiled = compile(key);
+  Result<PlanPtr> compiled = Status::Internal("compiler aborted");
+  try {
+    compiled = compile(key);
+  } catch (...) {
+    // The flight must land even when the compiler throws (fault
+    // injection under --fault-throw, bad_alloc): leave a negative entry
+    // and wake every waiter, otherwise the key stays kCompiling forever
+    // and all later requests for it block in flight_done_.wait().
+    lock.lock();
+    LandNegativeLocked(key, entries_[key],
+                       Status::Internal("compiler threw an exception"));
+    flight_done_.notify_all();
+    throw;  // the first client is answered by the dispatcher's catch
+  }
 
   lock.lock();
   // The entry cannot have been evicted (only ready entries are in the
@@ -78,12 +92,7 @@ compile_now:
     XIC_COUNTER_MAX("serve.cache.bytes_high_water", bytes_);
     EvictLocked();
   } else {
-    entry.state = Entry::State::kNegative;
-    entry.failure = compiled.status();
-    entry.negative_expiry =
-        Clock::now() + std::chrono::milliseconds(config_.negative_ttl_ms);
-    ++stats_.compile_failures;
-    XIC_COUNTER_ADD("serve.cache.compile_failures", 1);
+    LandNegativeLocked(key, entry, compiled.status());
   }
   flight_done_.notify_all();
   return compiled;
@@ -99,6 +108,49 @@ PlanPtr PlanCache::Lookup(const std::string& key) {
   ++stats_.hits;
   XIC_COUNTER_ADD("serve.cache.hits", 1);
   return it->second.plan;
+}
+
+void PlanCache::LandNegativeLocked(const std::string& key, Entry& entry,
+                                   Status failure) {
+  entry.state = Entry::State::kNegative;
+  entry.plan = nullptr;
+  entry.failure = std::move(failure);
+  entry.negative_expiry =
+      Clock::now() + std::chrono::milliseconds(config_.negative_ttl_ms);
+  if (!entry.in_negative) {
+    negative_fifo_.push_back(key);
+    entry.neg_pos = std::prev(negative_fifo_.end());
+    entry.in_negative = true;
+  }
+  ++stats_.compile_failures;
+  XIC_COUNTER_ADD("serve.cache.compile_failures", 1);
+  // Sweep: failures share one TTL, so expired ones sit at the front; a
+  // stream of distinct poison schemas is additionally capped by count so
+  // it cannot grow entries_ for the life of the daemon.
+  const Clock::time_point now = Clock::now();
+  const size_t cap = std::max<size_t>(1, config_.max_negative_entries);
+  while (!negative_fifo_.empty()) {
+    auto it = entries_.find(negative_fifo_.front());
+    if (it != entries_.end() && now < it->second.negative_expiry &&
+        negative_fifo_.size() <= cap) {
+      break;
+    }
+    if (it != entries_.end()) {
+      EraseLocked(it);
+    } else {
+      negative_fifo_.pop_front();  // stale index entry
+    }
+  }
+}
+
+void PlanCache::EraseLocked(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  if (it->second.in_lru) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+  }
+  if (it->second.in_negative) negative_fifo_.erase(it->second.neg_pos);
+  entries_.erase(it);
 }
 
 void PlanCache::EvictLocked() {
@@ -125,6 +177,7 @@ void PlanCache::Clear() {
       ++it;
     } else {
       if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      if (it->second.in_negative) negative_fifo_.erase(it->second.neg_pos);
       it = entries_.erase(it);
     }
   }

@@ -74,6 +74,11 @@ class PlanCache {
     /// How long a compile failure is served from the negative cache
     /// before a fresh compile is attempted.
     uint64_t negative_ttl_ms = 2000;
+    /// Cap on cached failures. Negative entries carry no plan bytes, so
+    /// they are bounded by count instead of the byte budget; past the
+    /// cap the oldest failure is dropped. Keeps a stream of distinct
+    /// poison schemas from growing the table for the daemon's lifetime.
+    size_t max_negative_entries = 1024;
   };
 
   struct Stats {
@@ -96,7 +101,10 @@ class PlanCache {
   /// Returns the plan for `key`, compiling it via `compile` on a miss.
   /// Exactly one concurrent caller per key runs the compiler; the rest
   /// wait and share its result. A failed compile is returned to every
-  /// waiter and cached negatively for Config::negative_ttl_ms. Sets
+  /// waiter and cached negatively for Config::negative_ttl_ms. A
+  /// compiler that *throws* still lands the flight: a negative entry is
+  /// recorded, waiters are woken, and the exception propagates to the
+  /// compiling caller only -- the key never wedges in-flight. Sets
   /// *cache_hit (when non-null) to true iff the plan (or cached failure)
   /// was served without running the compiler in this call.
   Result<PlanPtr> GetOrCompile(const std::string& key,
@@ -128,16 +136,29 @@ class PlanCache {
     /// Position in lru_ (kReady only).
     std::list<std::string>::iterator lru_pos;
     bool in_lru = false;
+    /// Position in negative_fifo_ (kNegative only).
+    std::list<std::string>::iterator neg_pos;
+    bool in_negative = false;
   };
 
   /// Evicts LRU ready entries until bytes_ <= max_bytes. Lock held.
   void EvictLocked();
+  /// Marks `entry` negative with `failure`, enrolls it in the bounded
+  /// negative FIFO, and sweeps expired/over-cap failures. Lock held.
+  void LandNegativeLocked(const std::string& key, Entry& entry,
+                          Status failure);
+  /// Erases `it` from entries_ and whichever index list holds it.
+  /// Lock held.
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
 
   Config config_{};
   mutable std::mutex mutex_;
   std::condition_variable flight_done_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
+  /// Negative keys in landing order. All failures share one TTL, so the
+  /// front is always the first to expire; sweeps pop from the front.
+  std::list<std::string> negative_fifo_;
   size_t bytes_ = 0;
   Stats stats_;
 };

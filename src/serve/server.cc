@@ -120,6 +120,24 @@ void Server::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == EPERM) {
+        // Transient resource exhaustion (fd limits under load, kernel
+        // memory, spurious wakeups). Killing the acceptor here would be
+        // a silent permanent outage -- workers keep running but no
+        // connection is ever accepted again. Back off briefly so
+        // in-flight work can release fds, then keep accepting.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.accept_retries;
+        }
+        XIC_COUNTER_ADD("serve.accept_retries", 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      // Unrecoverable error on the listening socket itself (EBADF,
+      // EINVAL after close): the loop cannot make progress.
       break;
     }
     SetSocketTimeout(fd, SO_RCVTIMEO, options_.read_timeout_ms);

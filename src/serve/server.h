@@ -102,6 +102,10 @@ class Server {
     uint64_t shed_inflight_bytes = 0;
     uint64_t read_timeouts = 0;
     uint64_t protocol_errors = 0;
+    /// accept(2) failures treated as transient (EMFILE/ENFILE/ENOBUFS/
+    /// ENOMEM/...): the acceptor backs off and keeps going instead of
+    /// exiting, so fd exhaustion under load is not a permanent outage.
+    uint64_t accept_retries = 0;
   };
   Stats stats() const;
 

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -280,6 +281,97 @@ TEST(PlanCacheTest, ChurnUnderConcurrencyIsClean) {
   EXPECT_LE(cache.bytes(), 300u);
 }
 
+// A compiler that throws (FaultInjector --fault-throw, bad_alloc) must
+// still land the flight: the thrower sees the exception, concurrent
+// waiters get a negative entry, and the key never wedges in kCompiling
+// with flight_done_ unnotified.
+TEST(PlanCacheTest, ThrowingCompilerDoesNotWedgeSingleFlight) {
+  PlanCache::Config config;
+  config.negative_ttl_ms = 60000;  // no expiry within the test
+  PlanCache cache(config);
+  std::atomic<int> compiles{0};
+  auto throwing = [&](const std::string&) -> Result<PlanPtr> {
+    compiles.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    throw std::runtime_error("injected compiler crash");
+  };
+  std::atomic<int> threw{0};
+  std::atomic<int> negative{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      try {
+        Result<PlanPtr> plan = cache.GetOrCompile("crash", throwing);
+        if (!plan.ok()) negative.fetch_add(1);
+      } catch (const std::runtime_error&) {
+        threw.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Exactly one thread compiled (and got the exception); the waiters
+  // were woken and served the negative entry instead of deadlocking.
+  EXPECT_EQ(compiles.load(), 1);
+  EXPECT_EQ(threw.load(), 1);
+  EXPECT_EQ(negative.load(), 3);
+  // The key is not wedged: a later request is a negative hit, not an
+  // infinite flight_done_ wait.
+  bool hit = false;
+  Result<PlanPtr> cached = cache.GetOrCompile("crash", throwing);
+  EXPECT_FALSE(cached.ok());
+  EXPECT_EQ(cached.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(compiles.load(), 1);
+  // And Clear() can retire it (it is negative, not kCompiling), after
+  // which a healthy compiler succeeds.
+  cache.Clear();
+  auto healthy = [](const std::string& key) -> Result<PlanPtr> {
+    return MakeDummyPlan(key, 10);
+  };
+  Result<PlanPtr> recovered = cache.GetOrCompile("crash", healthy, &hit);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(hit);
+}
+
+// Negative entries are bounded by count: a stream of distinct poison
+// schemas (or bogus keys from malformed requests) cannot grow the table
+// for the life of the daemon, and expired failures are swept when the
+// next failure lands even if their key is never looked up again.
+TEST(PlanCacheTest, NegativeEntriesAreBoundedAndSwept) {
+  PlanCache::Config config;
+  config.negative_ttl_ms = 60000;
+  config.max_negative_entries = 4;
+  PlanCache cache(config);
+  auto poison = [](const std::string&) -> Result<PlanPtr> {
+    return Status::ParseError("poison");
+  };
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(
+        cache.GetOrCompile("bad" + std::to_string(i), poison).ok());
+  }
+  EXPECT_LE(cache.entries(), 4u);
+  // The newest failure is still served from the cache...
+  bool hit = false;
+  EXPECT_FALSE(cache.GetOrCompile("bad63", poison, &hit).ok());
+  EXPECT_TRUE(hit);
+  // ...while the oldest was dropped (recompiling it is a miss).
+  EXPECT_FALSE(cache.GetOrCompile("bad0", poison, &hit).ok());
+  EXPECT_FALSE(hit);
+
+  // Expired negatives are swept on the next landing, not retained until
+  // their own key happens to be requested again.
+  PlanCache::Config ttl_config;
+  ttl_config.negative_ttl_ms = 10;
+  PlanCache ttl_cache(ttl_config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(
+        ttl_cache.GetOrCompile("p" + std::to_string(i), poison).ok());
+  }
+  EXPECT_EQ(ttl_cache.entries(), 8u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(ttl_cache.GetOrCompile("fresh", poison).ok());
+  EXPECT_EQ(ttl_cache.entries(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Dispatcher
 
@@ -348,7 +440,9 @@ TEST(DispatcherTest, PoisonSchemaIsNegativeCached) {
   DispatcherOptions options = FastOptions();
   options.cache.negative_ttl_ms = 60000;  // no expiry within the test
   Dispatcher dispatcher(options);
-  const std::string poison = "<!DOCTYPE bib [ <!ELEMENT bib (unclosed ]>";
+  // Well-delimited DOCTYPE shell, but the declaration inside fails DTD
+  // compilation -- the failure must be negative-cached.
+  const std::string poison = "<!DOCTYPE bib [ <!ELEMENT bib (unclosed> ]>";
   Response first = dispatcher.Handle(MakeRequest("validate", poison));
   EXPECT_FALSE(first.status.ok());
   for (int i = 0; i < 5; ++i) {
@@ -357,6 +451,69 @@ TEST(DispatcherTest, PoisonSchemaIsNegativeCached) {
   EXPECT_EQ(dispatcher.cache().stats().compile_failures, 1u)
       << "poison schema was recompiled inside the TTL window";
   EXPECT_EQ(dispatcher.cache().stats().negative_hits, 5u);
+}
+
+// The cache key hashes the DOCTYPE internal subset only. Document
+// content after the subset -- in particular "]>" sequences, which every
+// CDATA section ends with and which are legal character data -- must
+// never leak into the key or break extraction.
+TEST(DispatcherTest, DoctypeSubsetEndsBeforeDocumentContent) {
+  constexpr char kCdataDoc[] = R"(<?xml version="1.0"?>
+<!DOCTYPE bib [
+<!ELEMENT bib (entry*)>
+<!ELEMENT entry (#PCDATA)>
+<!ATTLIST entry isbn CDATA #REQUIRED>
+<!-- xic:constraints
+key entry.isbn
+-->
+]>
+<bib><entry isbn="1"><![CDATA[tricky ]> bytes]]></entry></bib>
+)";
+  constexpr char kPlainDoc[] = R"(<?xml version="1.0"?>
+<!DOCTYPE bib [
+<!ELEMENT bib (entry*)>
+<!ELEMENT entry (#PCDATA)>
+<!ATTLIST entry isbn CDATA #REQUIRED>
+<!-- xic:constraints
+key entry.isbn
+-->
+]>
+<bib><entry isbn="2">plain</entry></bib>
+)";
+  Dispatcher dispatcher(FastOptions());
+  Response cdata = dispatcher.Handle(MakeRequest("validate", kCdataDoc));
+  ASSERT_TRUE(cdata.status.ok()) << cdata.status.ToString();
+  EXPECT_EQ(cdata.headers.at("verdict"), "ok");
+  // Same DOCTYPE, different content: same subset hash, so the second
+  // document is a cache hit on the first one's plan.
+  Response plain = dispatcher.Handle(MakeRequest("validate", kPlainDoc));
+  ASSERT_TRUE(plain.status.ok()) << plain.status.ToString();
+  EXPECT_EQ(plain.headers.at("schema"), cdata.headers.at("schema"));
+  EXPECT_EQ(plain.headers.at("cache"), "hit");
+  EXPECT_EQ(dispatcher.cache().stats().misses, 1u);
+}
+
+// A quoted literal inside a markup declaration may contain "]>" without
+// terminating the subset, and a subset that never closes is an explicit
+// parse error (not content swallowed up to some later "]>").
+TEST(DispatcherTest, DoctypeExtractionHonorsQuotesAndTermination) {
+  constexpr char kQuotedDoc[] = R"(<!DOCTYPE bib [
+<!ELEMENT bib (entry*)>
+<!ELEMENT entry EMPTY>
+<!ATTLIST entry isbn CDATA #REQUIRED>
+<!ATTLIST entry note CDATA "tricky ]> default">
+]>
+<bib><entry isbn="1"/></bib>
+)";
+  Dispatcher dispatcher(FastOptions());
+  Response quoted = dispatcher.Handle(MakeRequest("validate", kQuotedDoc));
+  ASSERT_TRUE(quoted.status.ok()) << quoted.status.ToString();
+  EXPECT_EQ(quoted.headers.at("verdict"), "ok");
+  // Unterminated subset: explicit error before any compile.
+  Response unterminated = dispatcher.Handle(MakeRequest(
+      "validate", "<!DOCTYPE bib [ <!ELEMENT bib EMPTY> <bib/>"));
+  EXPECT_EQ(unterminated.status.code(), StatusCode::kParseError);
+  EXPECT_EQ(dispatcher.cache().stats().compile_failures, 0u);
 }
 
 TEST(DispatcherTest, ImplyIsMemoized) {
@@ -407,6 +564,38 @@ TEST(DispatcherTest, TransientDispatchFaultIsRetriedWithBackoff) {
       MakeRequest("ping", "", {{"id", "r1"}, {"retries", "1"}}));
   EXPECT_TRUE(recovered.status.ok());
   EXPECT_EQ(recovered.headers.at("attempts"), "2");
+}
+
+// The retries header is honored at exactly one layer: Handle()'s outer
+// loop. The validator runs a single engine attempt per dispatch (so
+// retries=N cannot multiply into N*N engine attempts), while the outer
+// attempt index is threaded into the engine's fault numbering so
+// transient engine-site faults still clear on the retry.
+TEST(DispatcherTest, ValidateRetriesAtOneLayerOnly) {
+  DispatcherOptions options = FastOptions();
+  options.faults.rate = 1.0;  // every request faults...
+  options.faults.transient_attempts = 1;  // ...on its first attempt only
+  options.faults.sites = {"constraints"};  // an engine-level site
+  Dispatcher dispatcher(options);
+  Result<PlanPtr> plan = dispatcher.CompileIntoCache(kSchema, "warm");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string schema = plan.value()->key;
+  // Without retries: one dispatch, one engine attempt, transient fault
+  // surfaces as unavailable.
+  Response flaky = dispatcher.Handle(MakeRequest(
+      "validate", kValidDoc, {{"id", "r1"}, {"schema", schema}}));
+  EXPECT_EQ(flaky.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(flaky.headers.at("attempts"), "1");
+  // With retries=1 the *outer* loop redispatches; the engine sees
+  // attempt index 1 and the transient fault clears. Under the old
+  // two-layer scheme the inner loop would have swallowed the retry and
+  // reported attempts=1 here.
+  Response recovered = dispatcher.Handle(MakeRequest(
+      "validate", kValidDoc,
+      {{"id", "r1"}, {"schema", schema}, {"retries", "1"}}));
+  EXPECT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+  EXPECT_EQ(recovered.headers.at("attempts"), "2");
+  EXPECT_EQ(recovered.headers.at("verdict"), "ok");
 }
 
 TEST(DispatcherTest, OversizedBodyIsRefusedBeforeParsing) {
