@@ -69,8 +69,9 @@ struct Diagnostic {
   std::string ToString() const;
 };
 
-/// The outcome of one Analyzer run.
-struct AnalysisReport {
+/// The outcome of one Analyzer run. [[nodiscard]]: a dropped report is
+/// a lint run whose findings were silently thrown away.
+struct [[nodiscard]] AnalysisReport {
   /// Infrastructure outcome: OK when every rule ran to completion;
   /// kDeadlineExceeded / kResourceExhausted when analysis was cut short
   /// (the diagnostics gathered so far are kept but incomplete).

@@ -30,17 +30,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::MutexLock lock(&state_mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   size_t target;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::MutexLock lock(&state_mutex_);
     target = next_queue_++ % queues_.size();
     ++queued_;
     ++pending_;
@@ -51,16 +51,16 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   XIC_COUNTER_ADD("engine.pool.tasks", 1);
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    util::MutexLock lock(&queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::Take(size_t worker) {
   {
     WorkerQueue& own = *queues_[worker];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    util::MutexLock lock(&own.mutex);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -69,7 +69,7 @@ std::function<void()> ThreadPool::Take(size_t worker) {
   }
   for (size_t offset = 1; offset < queues_.size(); ++offset) {
     WorkerQueue& victim = *queues_[(worker + offset) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    util::MutexLock lock(&victim.mutex);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -88,19 +88,19 @@ void ThreadPool::WorkerLoop(size_t worker) {
   obs::ScopedSpan worker_span("engine.worker", "engine");
   worker_span.SetSeq(static_cast<int64_t>(worker));
   worker_span.AddInt("worker", static_cast<int64_t>(worker));
-  std::unique_lock<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   while (true) {
-    work_available_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
+    while (!shutdown_ && queued_ == 0) work_available_.Wait(&state_mutex_);
     if (queued_ == 0) {
       if (shutdown_) return;
       continue;
     }
-    lock.unlock();
+    lock.Unlock();
     std::function<void()> task = Take(worker);
-    lock.lock();
+    lock.Lock();
     if (task == nullptr) continue;  // a sibling claimed it first
     --queued_;
-    lock.unlock();
+    lock.Unlock();
     std::exception_ptr error;
     try {
       task();
@@ -109,27 +109,27 @@ void ThreadPool::WorkerLoop(size_t worker) {
       // std::terminate the whole process; capture it instead.
       error = std::current_exception();
     }
-    lock.lock();
+    lock.Lock();
     if (error != nullptr) task_errors_.push_back(std::move(error));
-    if (--pending_ == 0) all_done_.notify_all();
+    if (--pending_ == 0) all_done_.NotifyAll();
   }
 }
 
 size_t ThreadPool::queue_high_water() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   return queue_high_water_;
 }
 
 std::vector<std::exception_ptr> ThreadPool::TakeTaskErrors() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   std::vector<std::exception_ptr> out;
   out.swap(task_errors_);
   return out;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  all_done_.wait(lock, [&] { return pending_ == 0; });
+  util::MutexLock lock(&state_mutex_);
+  while (pending_ != 0) all_done_.Wait(&state_mutex_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -146,9 +146,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::atomic<size_t> remaining;   // driver tasks still running
     size_t n = 0;
     const std::function<void(size_t)>* fn = nullptr;
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr first_error;  // guarded by mutex
+    util::Mutex mutex;
+    util::CondVar done;
+    std::exception_ptr first_error XIC_GUARDED_BY(mutex);
   };
   auto shared = std::make_shared<Shared>();
   shared->n = n;
@@ -166,7 +166,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         try {
           (*shared->fn)(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(shared->mutex);
+          util::MutexLock lock(&shared->mutex);
           if (shared->first_error == nullptr) {
             shared->first_error = std::current_exception();
           }
@@ -175,15 +175,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       // The decrement runs strictly after this driver's last iteration:
       // a skipped decrement would leave the caller waiting forever.
       if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(shared->mutex);
-        shared->done.notify_all();
+        util::MutexLock lock(&shared->mutex);
+        shared->done.NotifyAll();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(shared->mutex);
-  shared->done.wait(lock, [&] {
-    return shared->remaining.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(&shared->mutex);
+  while (shared->remaining.load(std::memory_order_acquire) != 0) {
+    shared->done.Wait(&shared->mutex);
+  }
   if (shared->first_error != nullptr) {
     std::rethrow_exception(shared->first_error);
   }

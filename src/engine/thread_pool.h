@@ -21,15 +21,15 @@
 #ifndef XIC_ENGINE_THREAD_POOL_H_
 #define XIC_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace xic {
 
@@ -49,26 +49,27 @@ class ThreadPool {
 
   /// Enqueues one task. Safe to call from any thread, including from
   /// inside a running task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) XIC_EXCLUDES(state_mutex_);
 
   /// Blocks until every task submitted so far (by any thread) finished.
-  void Wait();
+  void Wait() XIC_EXCLUDES(state_mutex_);
 
   /// Runs fn(0) ... fn(n-1) across the pool and returns when all are
   /// done. Independent of other in-flight tasks; reentrant. If any
   /// iteration throws, the remaining iterations still run and the first
   /// exception (by completion order) is rethrown here.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      XIC_EXCLUDES(state_mutex_);
 
   /// Exceptions that escaped Submit()ed tasks since the last call, in
   /// completion order. ParallelFor exceptions are not included (they are
   /// rethrown by ParallelFor itself).
-  std::vector<std::exception_ptr> TakeTaskErrors();
+  std::vector<std::exception_ptr> TakeTaskErrors() XIC_EXCLUDES(state_mutex_);
 
   /// Largest number of tasks that were ever queued (submitted but not
   /// yet claimed by a worker) at once. Also published to the metrics
   /// registry as `engine.pool.queue_high_water`.
-  size_t queue_high_water();
+  size_t queue_high_water() XIC_EXCLUDES(state_mutex_);
 
   /// Index of the pool worker running the calling thread, or -1 when
   /// called from outside any pool's workers (e.g. the submitting
@@ -77,27 +78,34 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mutex;
+    std::deque<std::function<void()>> tasks XIC_GUARDED_BY(mutex);
   };
 
-  void WorkerLoop(size_t worker);
+  void WorkerLoop(size_t worker) XIC_EXCLUDES(state_mutex_);
   /// Pops from the worker's own deque (LIFO) or steals from a sibling
-  /// (FIFO); null when every deque is empty.
-  std::function<void()> Take(size_t worker);
+  /// (FIFO); null when every deque is empty. Takes the per-queue leaf
+  /// locks one at a time; never called with state_mutex_ held.
+  std::function<void()> Take(size_t worker) XIC_EXCLUDES(state_mutex_);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex state_mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t queued_ = 0;      // tasks sitting in a deque, not yet claimed
-  size_t queue_high_water_ = 0;  // max value queued_ ever reached
-  size_t pending_ = 0;     // tasks submitted and not yet finished
-  size_t next_queue_ = 0;  // round-robin submission cursor
-  bool shutdown_ = false;
-  std::vector<std::exception_ptr> task_errors_;  // guarded by state_mutex_
+  // state_mutex_ and the per-queue mutexes are all leaf locks: Submit
+  // and WorkerLoop drop state_mutex_ before touching any WorkerQueue.
+  util::Mutex state_mutex_;
+  util::CondVar work_available_;
+  util::CondVar all_done_;
+  // Tasks sitting in a deque, not yet claimed by a worker.
+  size_t queued_ XIC_GUARDED_BY(state_mutex_) = 0;
+  // Max value queued_ ever reached.
+  size_t queue_high_water_ XIC_GUARDED_BY(state_mutex_) = 0;
+  // Tasks submitted and not yet finished.
+  size_t pending_ XIC_GUARDED_BY(state_mutex_) = 0;
+  // Round-robin submission cursor.
+  size_t next_queue_ XIC_GUARDED_BY(state_mutex_) = 0;
+  bool shutdown_ XIC_GUARDED_BY(state_mutex_) = false;
+  std::vector<std::exception_ptr> task_errors_ XIC_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace xic

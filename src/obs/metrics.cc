@@ -71,7 +71,7 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -82,7 +82,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 
 Histogram& Registry::GetHistogram(std::string_view name,
                                   const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -93,7 +93,7 @@ Histogram& Registry::GetHistogram(std::string_view name,
 }
 
 std::string Registry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -124,7 +124,7 @@ std::string Registry::ToJson() const {
 }
 
 std::string Registry::ToTable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   size_t width = 0;
   for (const auto& [name, counter] : counters_) {
     width = std::max(width, name.size());
@@ -155,7 +155,7 @@ std::string Registry::ToTable() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }

@@ -31,10 +31,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace xic::obs {
 
@@ -42,7 +43,13 @@ namespace xic::obs {
 
 /// A monotonic counter (Add) that doubles as a high-water gauge
 /// (RecordMax). One registry entry is one or the other by convention.
-class Counter {
+///
+/// Cache-line aligned: hot counters ("engine.pool.tasks", the serve
+/// shed/hit counters) are bumped from every worker thread, and the
+/// registry's heap allocations would otherwise pack several atomics into
+/// one 64-byte line, turning independent counters into a false-sharing
+/// ping-pong (ROADMAP item 1).
+class alignas(64) Counter {
  public:
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
 
@@ -65,7 +72,10 @@ class Counter {
 /// the first bucket whose bound it does not exceed (le semantics), with
 /// an implicit +inf bucket at the end. Bounds are set at first
 /// registration and immutable afterwards.
-class Histogram {
+///
+/// Aligned like Counter: count_/sum_bits_ are bumped on every Observe,
+/// and must not share a line with a neighboring metric's atomics.
+class alignas(64) Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
@@ -97,28 +107,33 @@ class Registry {
 
   /// Returns the counter registered under `name`, creating it on first
   /// use. The reference stays valid for the process lifetime.
-  Counter& GetCounter(std::string_view name);
+  Counter& GetCounter(std::string_view name) XIC_EXCLUDES(mutex_);
 
   /// Returns the histogram under `name`, creating it with `bounds` on
   /// first use (later calls ignore `bounds`).
   Histogram& GetHistogram(std::string_view name,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds)
+      XIC_EXCLUDES(mutex_);
 
   /// Flat deterministic JSON: {"counters":{...},"histograms":{...}},
   /// names sorted, zero-valued counters included.
-  std::string ToJson() const;
+  std::string ToJson() const XIC_EXCLUDES(mutex_);
 
   /// Human-readable aligned table, names sorted.
-  std::string ToTable() const;
+  std::string ToTable() const XIC_EXCLUDES(mutex_);
 
   /// Zeroes every registered metric (tests and CLI runs that want
   /// per-invocation numbers).
-  void ResetAll();
+  void ResetAll() XIC_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // A leaf lock guarding only the name -> metric tables; updates through
+  // returned handles are lock-free.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      XIC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      XIC_GUARDED_BY(mutex_);
 };
 
 #else  // !XIC_OBS_ENABLED

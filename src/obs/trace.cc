@@ -37,7 +37,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   buffers_.clear();
   g_base_ns.store(NowNs(), std::memory_order_relaxed);
   // A new epoch invalidates every thread's cached buffer pointer; the
@@ -56,7 +56,7 @@ std::shared_ptr<Tracer::ThreadBuffer> Tracer::CurrentBuffer() {
   auto buffer = std::make_shared<ThreadBuffer>();
   buffer->name = tl_thread_name;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     // The epoch may have advanced between the load above and taking the
     // lock (a concurrent Start()); re-read so the buffer lands in the
     // session it will record into.
@@ -72,7 +72,7 @@ void Tracer::SetCurrentThreadName(std::string name) {
   tl_thread_name = std::move(name);
   if (tl_buffer != nullptr) {
     auto buffer = std::static_pointer_cast<ThreadBuffer>(tl_buffer);
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    util::MutexLock lock(&buffer->mutex);
     buffer->name = tl_thread_name;
   }
 }
@@ -80,7 +80,7 @@ void Tracer::SetCurrentThreadName(std::string name) {
 TraceSnapshot Tracer::Collect() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     buffers = buffers_;
   }
   TraceSnapshot snapshot;
@@ -89,7 +89,7 @@ TraceSnapshot Tracer::Collect() const {
   size_t total = 0;
   std::vector<std::vector<SpanRecord>> copies(buffers.size());
   for (size_t b = 0; b < buffers.size(); ++b) {
-    std::lock_guard<std::mutex> lock(buffers[b]->mutex);
+    util::MutexLock lock(&buffers[b]->mutex);
     copies[b] = buffers[b]->spans;
     std::string name = buffers[b]->name;
     if (name.empty()) name = "thread-" + std::to_string(b);
@@ -115,7 +115,7 @@ ScopedSpan::ScopedSpan(std::string_view name, std::string_view cat) {
   if (!tracer.enabled()) return;
   buffer_ = tracer.CurrentBuffer();
   if (buffer_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  util::MutexLock lock(&buffer_->mutex);
   index_ = static_cast<int32_t>(buffer_->spans.size());
   SpanRecord record;
   record.name.assign(name);
@@ -128,7 +128,7 @@ ScopedSpan::ScopedSpan(std::string_view name, std::string_view cat) {
 
 ScopedSpan::~ScopedSpan() {
   if (buffer_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  util::MutexLock lock(&buffer_->mutex);
   buffer_->spans[static_cast<size_t>(index_)].end_ns = SinceBaseNs();
   // Spans are strictly scoped, so the top of the open stack is this
   // span; a restart in between cleared nothing (the buffer is retained
@@ -140,7 +140,7 @@ ScopedSpan::~ScopedSpan() {
 
 void ScopedSpan::SetSeq(int64_t seq) {
   if (buffer_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  util::MutexLock lock(&buffer_->mutex);
   buffer_->spans[static_cast<size_t>(index_)].seq = seq;
 }
 
@@ -150,7 +150,7 @@ void ScopedSpan::AddInt(std::string_view key, int64_t value) {
   attr.key.assign(key);
   attr.kind = SpanAttr::Kind::kInt;
   attr.int_value = value;
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  util::MutexLock lock(&buffer_->mutex);
   buffer_->spans[static_cast<size_t>(index_)].attrs.push_back(
       std::move(attr));
 }
@@ -161,7 +161,7 @@ void ScopedSpan::AddDouble(std::string_view key, double value) {
   attr.key.assign(key);
   attr.kind = SpanAttr::Kind::kDouble;
   attr.double_value = value;
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  util::MutexLock lock(&buffer_->mutex);
   buffer_->spans[static_cast<size_t>(index_)].attrs.push_back(
       std::move(attr));
 }
@@ -172,7 +172,7 @@ void ScopedSpan::AddString(std::string_view key, std::string_view value) {
   attr.key.assign(key);
   attr.kind = SpanAttr::Kind::kString;
   attr.string_value.assign(value);
-  std::lock_guard<std::mutex> lock(buffer_->mutex);
+  util::MutexLock lock(&buffer_->mutex);
   buffer_->spans[static_cast<size_t>(index_)].attrs.push_back(
       std::move(attr));
 }

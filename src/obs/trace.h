@@ -33,13 +33,13 @@
 #include "obs/enabled.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace xic::obs {
 
@@ -79,7 +79,7 @@ class Tracer {
   static Tracer& Global();
 
   /// Begins a session: clears prior buffers and enables recording.
-  void Start();
+  void Start() XIC_EXCLUDES(mutex_);
   /// Ends the session; spans still open keep recording their end times
   /// into their (retained) buffers until destroyed.
   void Stop();
@@ -88,7 +88,7 @@ class Tracer {
   /// Merges every thread buffer into one snapshot. Call after the
   /// instrumented work has finished (e.g. after the batch Run returned
   /// and its pool was destroyed).
-  TraceSnapshot Collect() const;
+  TraceSnapshot Collect() const XIC_EXCLUDES(mutex_);
 
   /// Names the calling thread in subsequent snapshots ("main",
   /// "pool-3"). Cheap; safe to call whether or not a session is active.
@@ -97,21 +97,24 @@ class Tracer {
  private:
   friend class ScopedSpan;
   struct ThreadBuffer {
-    std::mutex mutex;
-    std::string name;
-    std::vector<SpanRecord> spans;
-    std::vector<int32_t> open;  // stack of open span indices
+    /// A leaf lock, uncontended in steady state: only the owning thread
+    /// and the merging Collect() take it, and never while the Tracer's
+    /// registry mutex_ is held.
+    util::Mutex mutex;
+    std::string name XIC_GUARDED_BY(mutex);
+    std::vector<SpanRecord> spans XIC_GUARDED_BY(mutex);
+    /// Stack of open span indices.
+    std::vector<int32_t> open XIC_GUARDED_BY(mutex);
   };
 
   /// The calling thread's buffer for the current session (registering
   /// it on first use), or nullptr when disabled.
-  std::shared_ptr<ThreadBuffer> CurrentBuffer();
+  std::shared_ptr<ThreadBuffer> CurrentBuffer() XIC_EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> epoch_{0};
-  std::chrono::steady_clock::time_point base_{};
-  mutable std::mutex mutex_;  // guards buffers_ and base_
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable util::Mutex mutex_;  // guards the buffer registry
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ XIC_GUARDED_BY(mutex_);
 };
 
 /// RAII span: records [construction, destruction) on the calling

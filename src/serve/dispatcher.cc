@@ -449,7 +449,7 @@ Response Dispatcher::DoImply(const Request& request,
   const std::string schema = request.header("schema");
   const std::string memo_key = lang + '\n' + schema + '\n' + request.body;
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::MutexLock lock(&memo_mutex_);
     auto it = memo_index_.find(memo_key);
     if (it != memo_index_.end()) {
       memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
@@ -541,7 +541,7 @@ Response Dispatcher::DoImply(const Request& request,
   }
 
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::MutexLock lock(&memo_mutex_);
     if (memo_index_.find(memo_key) == memo_index_.end()) {
       memo_lru_.emplace_front(memo_key, body);
       memo_index_[memo_key] = memo_lru_.begin();

@@ -42,7 +42,6 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "serve/plan_cache.h"
@@ -51,6 +50,7 @@
 #include "util/backoff.h"
 #include "util/fault_injector.h"
 #include "util/limits.h"
+#include "util/sync.h"
 
 namespace xic::serve {
 
@@ -113,7 +113,8 @@ class Dispatcher {
   Response DoValidate(const Request& request, const std::string& id,
                       size_t attempt);
   Response DoLint(const Request& request, const std::string& id);
-  Response DoImply(const Request& request, const std::string& id);
+  Response DoImply(const Request& request, const std::string& id)
+      XIC_EXCLUDES(memo_mutex_);
   Response DoSchemaPut(const Request& request, const std::string& id);
   Response DoSession(const Request& request, const std::string& id);
   Response DoStats(const Request& request);
@@ -133,11 +134,13 @@ class Dispatcher {
   std::atomic<uint64_t> next_request_id_{1};
 
   // Bounded imply memo: LRU list of (key, response body) with an index.
-  std::mutex memo_mutex_;
-  std::list<std::pair<std::string, std::string>> memo_lru_;  // front = MRU
+  util::Mutex memo_mutex_;
+  /// Front = MRU.
+  std::list<std::pair<std::string, std::string>> memo_lru_
+      XIC_GUARDED_BY(memo_mutex_);
   std::map<std::string,
            std::list<std::pair<std::string, std::string>>::iterator>
-      memo_index_;
+      memo_index_ XIC_GUARDED_BY(memo_mutex_);
 };
 
 }  // namespace xic::serve

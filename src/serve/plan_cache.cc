@@ -19,11 +19,8 @@ std::string ContentHash(std::string_view text) {
   return buffer;
 }
 
-Result<PlanPtr> PlanCache::GetOrCompile(const std::string& key,
-                                        const Compiler& compile,
-                                        bool* cache_hit) {
-  if (cache_hit != nullptr) *cache_hit = true;
-  std::unique_lock<std::mutex> lock(mutex_);
+std::optional<Result<PlanPtr>> PlanCache::LookupOrStartFlightLocked(
+    const std::string& key, bool* cache_hit) {
   for (;;) {
     auto it = entries_.find(key);
     if (it == entries_.end()) break;  // miss: this thread compiles
@@ -34,33 +31,50 @@ Result<PlanPtr> PlanCache::GetOrCompile(const std::string& key,
         lru_.splice(lru_.begin(), lru_, entry.lru_pos);
         ++stats_.hits;
         XIC_COUNTER_ADD("serve.cache.hits", 1);
-        return entry.plan;
+        return Result<PlanPtr>(entry.plan);
       case Entry::State::kNegative:
         if (Clock::now() < entry.negative_expiry) {
           ++stats_.negative_hits;
           XIC_COUNTER_ADD("serve.cache.negative_hits", 1);
-          return entry.failure;
+          return Result<PlanPtr>(entry.failure);
         }
         // TTL expired: retire the negative entry and recompile.
         EraseLocked(it);
-        goto compile_now;
-      case Entry::State::kCompiling: {
+        break;
+      case Entry::State::kCompiling:
         // Another thread owns the flight; wait for it to land, then
         // re-evaluate (the landed entry may be ready or negative).
         ++stats_.single_flight_waits;
         XIC_COUNTER_ADD("serve.cache.single_flight_waits", 1);
-        flight_done_.wait(lock);
+        flight_done_.Wait(&mutex_);
         continue;
-      }
     }
+    break;  // expired negative erased above: fall through to compiling
   }
-compile_now:
   if (cache_hit != nullptr) *cache_hit = false;
   ++stats_.misses;
   XIC_COUNTER_ADD("serve.cache.misses", 1);
-  Entry& flight = entries_[key];
-  flight.state = Entry::State::kCompiling;
-  lock.unlock();
+  entries_[key].state = Entry::State::kCompiling;  // install the flight
+  return std::nullopt;
+}
+
+void PlanCache::AbandonFlight(const std::string& key) {
+  util::MutexLock lock(&mutex_);
+  LandNegativeLocked(key, entries_[key],
+                     Status::Internal("compiler threw an exception"));
+  flight_done_.NotifyAll();
+}
+
+Result<PlanPtr> PlanCache::GetOrCompile(const std::string& key,
+                                        const Compiler& compile,
+                                        bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = true;
+  {
+    util::MutexLock lock(&mutex_);
+    std::optional<Result<PlanPtr>> served =
+        LookupOrStartFlightLocked(key, cache_hit);
+    if (served.has_value()) return *std::move(served);
+  }
 
   Result<PlanPtr> compiled = Status::Internal("compiler aborted");
   try {
@@ -69,15 +83,12 @@ compile_now:
     // The flight must land even when the compiler throws (fault
     // injection under --fault-throw, bad_alloc): leave a negative entry
     // and wake every waiter, otherwise the key stays kCompiling forever
-    // and all later requests for it block in flight_done_.wait().
-    lock.lock();
-    LandNegativeLocked(key, entries_[key],
-                       Status::Internal("compiler threw an exception"));
-    flight_done_.notify_all();
+    // and all later requests for it block in flight_done_.Wait().
+    AbandonFlight(key);
     throw;  // the first client is answered by the dispatcher's catch
   }
 
-  lock.lock();
+  util::MutexLock lock(&mutex_);
   // The entry cannot have been evicted (only ready entries are in the
   // LRU) but Clear() may have dropped it; reinsert unconditionally.
   Entry& entry = entries_[key];
@@ -94,12 +105,12 @@ compile_now:
   } else {
     LandNegativeLocked(key, entry, compiled.status());
   }
-  flight_done_.notify_all();
+  flight_done_.NotifyAll();
   return compiled;
 }
 
 PlanPtr PlanCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.state != Entry::State::kReady) {
     return nullptr;
@@ -170,7 +181,7 @@ void PlanCache::EvictLocked() {
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   // Keep in-flight compiles: erasing their entry would strand waiters.
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.state == Entry::State::kCompiling) {
@@ -185,17 +196,17 @@ void PlanCache::Clear() {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return stats_;
 }
 
 size_t PlanCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return bytes_;
 }
 
 size_t PlanCache::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return entries_.size();
 }
 

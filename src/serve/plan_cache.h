@@ -27,12 +27,11 @@
 #define XIC_SERVE_PLAN_CACHE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -41,6 +40,7 @@
 #include "engine/batch_validator.h"
 #include "model/dtd_structure.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace xic::serve {
 
@@ -109,19 +109,20 @@ class PlanCache {
   /// was served without running the compiler in this call.
   Result<PlanPtr> GetOrCompile(const std::string& key,
                                const Compiler& compile,
-                               bool* cache_hit = nullptr);
+                               bool* cache_hit = nullptr)
+      XIC_EXCLUDES(mutex_);
 
   /// Looks up `key` without compiling; null on miss (negative entries
   /// and in-flight compiles report as a miss).
-  PlanPtr Lookup(const std::string& key);
+  PlanPtr Lookup(const std::string& key) XIC_EXCLUDES(mutex_);
 
   /// Drops every ready and negative entry (benches; in-flight compiles
   /// complete and then land in the cleared cache).
-  void Clear();
+  void Clear() XIC_EXCLUDES(mutex_);
 
-  Stats stats() const;
-  size_t bytes() const;
-  size_t entries() const;
+  Stats stats() const XIC_EXCLUDES(mutex_);
+  size_t bytes() const XIC_EXCLUDES(mutex_);
+  size_t entries() const XIC_EXCLUDES(mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -141,26 +142,35 @@ class PlanCache {
     bool in_negative = false;
   };
 
-  /// Evicts LRU ready entries until bytes_ <= max_bytes. Lock held.
-  void EvictLocked();
+  /// Serves `key` from the cache, or installs a kCompiling flight entry
+  /// and returns nullopt (the caller then runs the compiler unlocked).
+  /// Blocks on another thread's in-flight compile for the same key.
+  std::optional<Result<PlanPtr>> LookupOrStartFlightLocked(
+      const std::string& key, bool* cache_hit) XIC_REQUIRES(mutex_);
+  /// Lands a flight that aborted with an exception: records a negative
+  /// entry for `key` and wakes every single-flight waiter.
+  void AbandonFlight(const std::string& key) XIC_EXCLUDES(mutex_);
+  /// Evicts LRU ready entries until bytes_ <= max_bytes.
+  void EvictLocked() XIC_REQUIRES(mutex_);
   /// Marks `entry` negative with `failure`, enrolls it in the bounded
-  /// negative FIFO, and sweeps expired/over-cap failures. Lock held.
+  /// negative FIFO, and sweeps expired/over-cap failures.
   void LandNegativeLocked(const std::string& key, Entry& entry,
-                          Status failure);
+                          Status failure) XIC_REQUIRES(mutex_);
   /// Erases `it` from entries_ and whichever index list holds it.
-  /// Lock held.
-  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it)
+      XIC_REQUIRES(mutex_);
 
   Config config_{};
-  mutable std::mutex mutex_;
-  std::condition_variable flight_done_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
+  mutable util::Mutex mutex_;
+  util::CondVar flight_done_;
+  std::unordered_map<std::string, Entry> entries_ XIC_GUARDED_BY(mutex_);
+  /// Ready keys, front = most recent.
+  std::list<std::string> lru_ XIC_GUARDED_BY(mutex_);
   /// Negative keys in landing order. All failures share one TTL, so the
   /// front is always the first to expire; sweeps pop from the front.
-  std::list<std::string> negative_fifo_;
-  size_t bytes_ = 0;
-  Stats stats_;
+  std::list<std::string> negative_fifo_ XIC_GUARDED_BY(mutex_);
+  size_t bytes_ XIC_GUARDED_BY(mutex_) = 0;
+  Stats stats_ XIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace xic::serve

@@ -52,8 +52,9 @@ struct Request {
                      const std::string& fallback = "") const;
 };
 
-/// A response frame ready for formatting.
-struct Response {
+/// A response frame ready for formatting. [[nodiscard]]: a dropped
+/// Response is a request the peer never hears back about.
+struct [[nodiscard]] Response {
   Status status;  // code() maps to the wire code; message lands in body
                   // or the `error` header depending on the builder
   std::map<std::string, std::string> headers;

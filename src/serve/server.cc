@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "obs/obs.h"
+#include "util/strings.h"
 
 namespace xic::serve {
 
@@ -51,7 +52,7 @@ Status Server::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::Unavailable(std::string("socket: ") +
-                               std::strerror(errno));
+                               ErrnoMessage(errno));
   }
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -67,14 +68,14 @@ Status Server::Start() {
       0) {
     Status status = Status::Unavailable(std::string("bind ") +
                                         options_.host + ": " +
-                                        std::strerror(errno));
+                                        ErrnoMessage(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return status;
   }
   if (::listen(listen_fd_, options_.listen_backlog) < 0) {
     Status status =
-        Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+        Status::Unavailable(std::string("listen: ") + ErrnoMessage(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return status;
@@ -89,7 +90,7 @@ Status Server::Start() {
     if (workers == 0) workers = 4;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     started_ = true;
     stopped_ = false;
     queue_closed_ = false;
@@ -129,7 +130,7 @@ void Server::AcceptLoop() {
         // connection is ever accepted again. Back off briefly so
         // in-flight work can release fds, then keep accepting.
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          util::MutexLock lock(&mutex_);
           ++stats_.accept_retries;
         }
         XIC_COUNTER_ADD("serve.accept_retries", 1);
@@ -146,7 +147,7 @@ void Server::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       ++stats_.accepted;
       if (queue_closed_ || queue_.size() >= options_.max_queue_depth) {
         ++stats_.shed_queue_full;
@@ -164,7 +165,7 @@ void Server::AcceptLoop() {
       WriteAll(fd, wire.data(), wire.size());
       ::close(fd);
     } else {
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     }
   }
   accepting_.store(false, std::memory_order_release);
@@ -174,10 +175,8 @@ void Server::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] {
-        return !queue_.empty() || queue_closed_;
-      });
+      util::MutexLock lock(&mutex_);
+      while (queue_.empty() && !queue_closed_) queue_cv_.Wait(&mutex_);
       if (queue_.empty()) return;  // closed and drained
       fd = queue_.front();
       queue_.pop_front();
@@ -185,10 +184,10 @@ void Server::WorkerLoop() {
     uint64_t served = ServeConnection(fd);
     ::close(fd);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       stats_.served_requests += served;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -213,7 +212,7 @@ uint64_t Server::ServeConnection(int fd) {
     if (options_.max_inflight_bytes > 0 &&
         inflight > options_.max_inflight_bytes) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(&mutex_);
         ++stats_.shed_inflight_bytes;
       }
       XIC_COUNTER_ADD("serve.shed", 1);
@@ -242,7 +241,7 @@ int Server::ReadRequest(int fd, Request* request) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         if (line.empty()) return 0;  // idle, not mid-frame
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(&mutex_);
         ++stats_.read_timeouts;
         Response response = ErrorResponse(
             Status::DeadlineExceeded("read timeout mid-request"));
@@ -255,7 +254,7 @@ int Server::ReadRequest(int fd, Request* request) {
     line.push_back(c);
     if (line.size() > kMaxHeaderLineBytes) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(&mutex_);
         ++stats_.protocol_errors;
       }
       WriteResponse(fd, ErrorResponse(Status::LimitExceeded(
@@ -267,7 +266,7 @@ int Server::ReadRequest(int fd, Request* request) {
   Result<Request> parsed = ParseRequestLine(line);
   if (!parsed.ok()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       ++stats_.protocol_errors;
     }
     WriteResponse(fd, ErrorResponse(parsed.status()));
@@ -295,7 +294,7 @@ int Server::ReadRequest(int fd, Request* request) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(&mutex_);
         ++stats_.read_timeouts;
         Response response = ErrorResponse(
             Status::DeadlineExceeded("read timeout mid-body"));
@@ -316,7 +315,7 @@ bool Server::WriteResponse(int fd, const Response& response) {
 
 void Server::Shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     if (!started_ || stopped_) return;
     stopped_ = true;
   }
@@ -325,17 +324,17 @@ void Server::Shutdown(bool drain) {
   if (acceptor_.joinable()) acceptor_.join();
   if (!drain) {
     // Close queued-but-unserved connections; their peers see EOF.
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     while (!queue_.empty()) {
       ::close(queue_.front());
       queue_.pop_front();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     queue_closed_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -344,7 +343,7 @@ void Server::Shutdown(bool drain) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 void Server::Wait() {
@@ -353,14 +352,17 @@ void Server::Wait() {
       Shutdown(drain_requested_.load(std::memory_order_relaxed));
       return;
     }
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     if (stopped_) return;
-    done_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    // Timed wait so a RequestShutdown() from a signal handler (which
+    // cannot notify) is noticed within ~50ms; the return value is
+    // irrelevant -- the loop re-checks both flags either way.
+    done_cv_.WaitFor(&mutex_, std::chrono::milliseconds(50));
   }
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return stats_;
 }
 

@@ -28,17 +28,16 @@
 #define XIC_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/dispatcher.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace xic::serve {
 
@@ -74,16 +73,16 @@ class Server {
 
   /// Binds, listens and spawns the acceptor + workers. kUnavailable on
   /// bind/listen failure (address in use, permission).
-  Status Start();
+  Status Start() XIC_EXCLUDES(mutex_);
 
   /// Stops accepting and joins all threads. With drain=true every
   /// already-accepted connection is served to completion first; with
   /// drain=false queued connections are closed unanswered. Idempotent.
-  void Shutdown(bool drain);
+  void Shutdown(bool drain) XIC_EXCLUDES(mutex_);
 
   /// Blocks until Shutdown is called (from a signal handler's flag via
   /// RequestShutdown, or another thread).
-  void Wait();
+  void Wait() XIC_EXCLUDES(mutex_);
 
   /// Async-signal-safe shutdown request: sets a flag the acceptor polls.
   /// `drain` as in Shutdown. Safe to call from a signal handler.
@@ -107,18 +106,18 @@ class Server {
     /// exiting, so fd exhaustion under load is not a permanent outage.
     uint64_t accept_retries = 0;
   };
-  Stats stats() const;
+  Stats stats() const XIC_EXCLUDES(mutex_);
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() XIC_EXCLUDES(mutex_);
+  void WorkerLoop() XIC_EXCLUDES(mutex_);
   /// Serves one connection until close/error/timeout. Returns the number
   /// of requests answered.
-  uint64_t ServeConnection(int fd);
+  uint64_t ServeConnection(int fd) XIC_EXCLUDES(mutex_);
   /// Reads one frame. Returns 1 on success, 0 on clean EOF / idle
   /// timeout before any byte, -1 after answering an error (connection
   /// should close).
-  int ReadRequest(int fd, Request* request);
+  int ReadRequest(int fd, Request* request) XIC_EXCLUDES(mutex_);
   bool WriteResponse(int fd, const Response& response);
 
   ServerOptions options_;
@@ -134,14 +133,18 @@ class Server {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;   // workers wait for fds
-  std::condition_variable done_cv_;    // Wait() / Shutdown coordination
-  std::deque<int> queue_;              // accepted fds awaiting a worker
-  bool queue_closed_ = false;
-  bool started_ = false;
-  bool stopped_ = false;
-  Stats stats_;
+  // mutex_ is a leaf lock: no other annotated mutex is ever taken while
+  // it is held (the dispatcher's locks are acquired only after it is
+  // dropped).
+  mutable util::Mutex mutex_;
+  util::CondVar queue_cv_;  // workers wait for fds
+  util::CondVar done_cv_;   // Wait() / Shutdown coordination
+  /// Accepted fds awaiting a worker.
+  std::deque<int> queue_ XIC_GUARDED_BY(mutex_);
+  bool queue_closed_ XIC_GUARDED_BY(mutex_) = false;
+  bool started_ XIC_GUARDED_BY(mutex_) = false;
+  bool stopped_ XIC_GUARDED_BY(mutex_) = false;
+  Stats stats_ XIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace xic::serve

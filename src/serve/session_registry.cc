@@ -38,7 +38,7 @@ Result<std::string> SessionRegistry::Open(const std::string& name,
   if (!session->checker->status().ok()) {
     return session->checker->status();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (sessions_.size() >= config_.max_sessions) {
     ++stats_.refused;
     XIC_COUNTER_ADD("serve.sessions.refused", 1);
@@ -63,23 +63,46 @@ Result<std::string> SessionRegistry::Apply(const std::string& name,
                                            const std::string& fault_key) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     auto it = sessions_.find(name);
     if (it == sessions_.end()) {
       return Status::InvalidArgument("no such session: " + name);
     }
     session = it->second;
   }
-  // Per-session lock: scripts for one session serialize; distinct
-  // sessions run concurrently.
-  std::lock_guard<std::mutex> session_lock(session->mutex);
+  bool poisoned = false;
+  Result<std::string> result = Status::Internal("session apply aborted");
+  {
+    // Per-session lock: scripts for one session serialize; distinct
+    // sessions run concurrently. Dropped before the reap below retakes
+    // the registry lock, keeping both mutexes leaf locks.
+    util::MutexLock session_lock(&session->mutex);
+    result = ApplySessionLocked(*session, script, injector, fault_key,
+                                &poisoned);
+  }
+  if (poisoned) {
+    // Poisoned handle: reap this session only.
+    {
+      util::MutexLock lock(&mutex_);
+      sessions_.erase(name);
+      ++stats_.reaped;
+    }
+    XIC_COUNTER_ADD("serve.sessions.reaped", 1);
+  }
+  return result;
+}
+
+Result<std::string> SessionRegistry::ApplySessionLocked(
+    Session& session, const std::string& script,
+    const FaultInjector& injector, const std::string& fault_key,
+    bool* poisoned) {
   std::string body;
   try {
     if (Status s = injector.MaybeFail("serve.session", fault_key); !s.ok()) {
       XIC_COUNTER_ADD("serve.faults", 1);
       return s;
     }
-    IncrementalChecker& checker = *session->checker;
+    IncrementalChecker& checker = *session.checker;
     std::vector<std::string> lines = Split(script, '\n');
     size_t line_no = 0;
     for (const std::string& raw : lines) {
@@ -132,19 +155,13 @@ Result<std::string> SessionRegistry::Apply(const std::string& name,
     XIC_COUNTER_ADD("serve.sessions.updates", line_no);
     return body;
   } catch (const std::exception& e) {
-    // Poisoned handle: reap this session only.
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      sessions_.erase(name);
-      ++stats_.reaped;
-    }
-    XIC_COUNTER_ADD("serve.sessions.reaped", 1);
+    *poisoned = true;
     return Status::Internal(std::string("session reaped: ") + e.what());
   }
 }
 
 Status SessionRegistry::Close(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (sessions_.erase(name) == 0) {
     return Status::InvalidArgument("no such session: " + name);
   }
@@ -154,12 +171,12 @@ Status SessionRegistry::Close(const std::string& name) {
 }
 
 size_t SessionRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return sessions_.size();
 }
 
 SessionRegistry::Stats SessionRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return stats_;
 }
 

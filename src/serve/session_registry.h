@@ -17,13 +17,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "constraints/incremental.h"
 #include "serve/plan_cache.h"
 #include "util/fault_injector.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace xic::serve {
 
@@ -49,7 +49,8 @@ class SessionRegistry {
   /// against `plan`. Fails with kInvalidArgument when the name is taken
   /// or the checker rejects Sigma, kUnavailable when the registry is
   /// full. Returns the session's name.
-  Result<std::string> Open(const std::string& name, PlanPtr plan);
+  Result<std::string> Open(const std::string& name, PlanPtr plan)
+      XIC_EXCLUDES(mutex_);
 
   /// Applies an update script to the named session and returns the
   /// response body. Script grammar, one statement per line
@@ -69,26 +70,43 @@ class SessionRegistry {
   Result<std::string> Apply(const std::string& name,
                             const std::string& script,
                             const FaultInjector& injector,
-                            const std::string& fault_key);
+                            const std::string& fault_key)
+      XIC_EXCLUDES(mutex_);
 
   /// Closes and frees the named session.
-  Status Close(const std::string& name);
+  Status Close(const std::string& name) XIC_EXCLUDES(mutex_);
 
-  size_t size() const;
-  Stats stats() const;
+  size_t size() const XIC_EXCLUDES(mutex_);
+  Stats stats() const XIC_EXCLUDES(mutex_);
 
  private:
   struct Session {
-    std::mutex mutex;
-    std::unique_ptr<IncrementalChecker> checker;
-    PlanPtr plan;  // keeps dtd/sigma alive for the checker
+    /// Serializes scripts for this session. A leaf lock: never held
+    /// while the registry's mutex_ is taken (Apply looks the session up,
+    /// drops mutex_, then runs the script under this one; the reap path
+    /// retakes mutex_ only after the script scope ends).
+    util::Mutex mutex;
+    std::unique_ptr<IncrementalChecker> checker XIC_GUARDED_BY(mutex);
+    PlanPtr plan;  // keeps dtd/sigma alive for the checker; immutable
   };
 
+  /// Runs the update script against `session`'s checker. On an escaping
+  /// checker exception sets *poisoned and returns the reap status; the
+  /// caller erases the session from the registry after dropping the
+  /// session lock.
+  Result<std::string> ApplySessionLocked(Session& session,
+                                         const std::string& script,
+                                         const FaultInjector& injector,
+                                         const std::string& fault_key,
+                                         bool* poisoned)
+      XIC_REQUIRES(session.mutex);
+
   Config config_{};
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Session>> sessions_;
-  uint64_t next_id_ = 1;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      XIC_GUARDED_BY(mutex_);
+  uint64_t next_id_ XIC_GUARDED_BY(mutex_) = 1;
+  Stats stats_ XIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace xic::serve

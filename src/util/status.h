@@ -32,7 +32,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error outcome carrying a code and a message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status is the error-handling
+/// equivalent of an empty catch block; callers that genuinely do not
+/// care must say so with a (void) cast and a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -96,8 +99,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Either a value of type T or an error Status. Check ok() before calling
 /// value(); calling value() on an error aborts in debug builds.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return value;`.
   Result(T value) : value_(std::move(value)) {}

@@ -1,8 +1,27 @@
 #include "util/strings.h"
 
+#include <string.h>
+
 #include <cctype>
 
 namespace xic {
+
+namespace {
+
+// strerror_r has two incompatible signatures: GNU returns the message
+// pointer (possibly ignoring the buffer), XSI fills the buffer and
+// returns an int. Overload resolution picks the right adapter for
+// whichever one <string.h> declared; [[maybe_unused]] because exactly
+// one of the two is ever instantiated per platform.
+[[maybe_unused]] const char* StrerrorAdapt(const char* result,
+                                           const char* /*buffer*/) {
+  return result;  // GNU: result is the message
+}
+[[maybe_unused]] const char* StrerrorAdapt(int result, const char* buffer) {
+  return result == 0 ? buffer : "unknown error";  // XSI
+}
+
+}  // namespace
 
 std::vector<std::string> Split(std::string_view text, char sep) {
   std::vector<std::string> out;
@@ -61,6 +80,11 @@ bool IsXmlName(std::string_view name) {
     if (!IsNameChar(c)) return false;
   }
   return true;
+}
+
+std::string ErrnoMessage(int err) {
+  char buffer[256] = "unknown error";
+  return StrerrorAdapt(strerror_r(err, buffer, sizeof(buffer)), buffer);
 }
 
 }  // namespace xic

@@ -33,6 +33,11 @@ bool IsNameChar(char c);
 /// True if `name` is a well-formed (ASCII-subset) XML name.
 bool IsXmlName(std::string_view name);
 
+/// Thread-safe strerror(3): renders `err` (an errno value) without the
+/// shared static buffer that makes std::strerror unusable from
+/// concurrent server threads (clang-tidy concurrency-mt-unsafe).
+std::string ErrnoMessage(int err);
+
 }  // namespace xic
 
 #endif  // XIC_UTIL_STRINGS_H_

@@ -1,0 +1,213 @@
+// Capability-annotated synchronization primitives.
+//
+// Clang's thread-safety analysis (-Wthread-safety) is a compile-time
+// type system for lock discipline: mutexes are *capabilities*, data
+// members declare which capability guards them (XIC_GUARDED_BY), and
+// functions declare which capabilities they need (XIC_REQUIRES), acquire
+// (XIC_ACQUIRE), or must not hold (XIC_EXCLUDES). The analysis then
+// proves on *every* path -- not just the schedules a test or TSan
+// happens to execute -- that no guarded member is touched without its
+// lock and that declared lock orders (XIC_ACQUIRED_BEFORE, checked under
+// -Wthread-safety-beta) are never inverted.
+//
+// The std primitives carry no annotations, so this header wraps them:
+//
+//   util::Mutex      std::mutex as a capability ("mutex")
+//   util::MutexLock  scoped acquisition, with Unlock()/Lock() relock
+//                    support for condition-variable hand-off patterns
+//   util::CondVar    std::condition_variable bound to util::Mutex;
+//                    Wait() requires (and is understood to keep) the
+//                    capability across the internal release/reacquire
+//
+// On non-Clang compilers every macro expands to nothing and the wrappers
+// are zero-cost forwarding shims, so GCC builds are unaffected; the CI
+// `static-analysis` job builds with Clang and -Werror, which is what
+// makes the annotations load-bearing. tests/compile_fail/ pins that the
+// annotations actually reject the bug classes they claim to
+// (unlocked guarded access, unheld XIC_REQUIRES, lock-order inversion).
+//
+// Lock hierarchy: the codebase's annotated mutexes are *leaf locks* by
+// construction -- no annotated mutex is acquired while another is held.
+// DESIGN.md's "Static analysis" section is the canonical statement of
+// that invariant (and of the one historical violation it replaced);
+// XIC_ACQUIRED_BEFORE exists for the day a genuine two-level order is
+// needed and is regression-tested by tests/compile_fail/.
+//
+// Idiom cheat sheet (all enforced at compile time under Clang):
+//
+//   class Cache {
+//    public:
+//     void Insert(K k, V v) XIC_EXCLUDES(mutex_) {
+//       util::MutexLock lock(&mutex_);
+//       InsertLocked(std::move(k), std::move(v));
+//     }
+//    private:
+//     void InsertLocked(K k, V v) XIC_REQUIRES(mutex_);
+//     util::Mutex mutex_;
+//     std::map<K, V> entries_ XIC_GUARDED_BY(mutex_);
+//   };
+
+#ifndef XIC_UTIL_SYNC_H_
+#define XIC_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros. Clang-only; every other compiler sees empty tokens.
+// The spellings follow the Clang thread-safety attribute reference (and
+// the abseil thread_annotations.h conventions they standardized).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define XIC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define XIC_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define XIC_CAPABILITY(x) XIC_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define XIC_SCOPED_CAPABILITY XIC_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define XIC_GUARDED_BY(x) XIC_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define XIC_PT_GUARDED_BY(x) XIC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-order edges: this mutex must be acquired before/after the listed
+/// ones. Violations diagnose under -Wthread-safety-beta.
+#define XIC_ACQUIRED_BEFORE(...) \
+  XIC_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define XIC_ACQUIRED_AFTER(...) \
+  XIC_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the listed mutexes
+/// (they are held, not acquired, across the call).
+#define XIC_REQUIRES(...) \
+  XIC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed mutexes (held on return).
+#define XIC_ACQUIRE(...) \
+  XIC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed mutexes (held at entry).
+#define XIC_RELEASE(...) \
+  XIC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The function acquires the mutex iff it returns the given value.
+#define XIC_TRY_ACQUIRE(...) \
+  XIC_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called *without* the listed mutexes held
+/// (deadlock prevention for self-locking public entry points).
+#define XIC_EXCLUDES(...) XIC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define XIC_ASSERT_CAPABILITY(x) XIC_THREAD_ANNOTATION__(assert_capability(x))
+
+/// The function returns a reference to the given mutex.
+#define XIC_RETURN_CAPABILITY(x) XIC_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only for
+/// code the analysis cannot type (init/teardown singletons); every use
+/// must carry a comment saying why.
+#define XIC_NO_THREAD_SAFETY_ANALYSIS \
+  XIC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace xic::util {
+
+/// std::mutex as a named capability. Prefer MutexLock for scoped
+/// acquisition; Lock()/Unlock() exist for the analysis and for the rare
+/// structured hand-off the RAII form cannot express.
+class XIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XIC_ACQUIRE() { mu_.lock(); }
+  void Unlock() XIC_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() XIC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock on a util::Mutex. Supports the unique_lock-style
+/// Unlock()/Lock() cycle (drop the lock around a blocking call, take it
+/// back after) while staying a scoped capability the analysis can type:
+/// the destructor releases the mutex iff this scope currently holds it.
+class XIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) XIC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() XIC_RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before scope end (e.g. around a blocking call).
+  void Unlock() XIC_RELEASE() {
+    mu_->Unlock();
+    owned_ = false;
+  }
+
+  /// Reacquires after Unlock().
+  void Lock() XIC_ACQUIRE() {
+    mu_->Lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool owned_ = true;
+};
+
+/// Condition variable bound to util::Mutex. Wait() atomically releases
+/// the mutex, blocks, and reacquires before returning -- so from the
+/// analysis's point of view the capability is held across the call
+/// (XIC_REQUIRES), which is exactly the caller-visible contract. Callers
+/// re-check their predicate in a while loop, as with any condvar:
+///
+///   util::MutexLock lock(&mutex_);
+///   while (!ready_) cv_.Wait(&mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). The caller must hold
+  /// `mu`; it is held again when Wait returns.
+  void Wait(Mutex* mu) XIC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Like Wait, with a timeout. Returns false iff the timeout expired
+  /// (true on notify *or* spurious wakeup -- re-check the predicate).
+  bool WaitFor(Mutex* mu, std::chrono::milliseconds timeout)
+      XIC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xic::util
+
+#endif  // XIC_UTIL_SYNC_H_

@@ -1,0 +1,47 @@
+# Negative-compile driver, run in CMake script mode by ctest:
+#
+#   cmake -DCOMPILER=... -DFLAGS=... -DSOURCE=case.cc -DEXPECT=FAIL|OK
+#         -DPATTERN=<diagnostic regex> -DOUTOBJ=case.o -P check_compile_fail.cmake
+#
+# EXPECT=FAIL asserts the source does NOT compile *and* that the
+# diagnostic matches PATTERN -- a case that fails for an unrelated reason
+# (typo, missing include) is a test bug, not a pass. EXPECT=OK is the
+# positive control proving the harness's flags compile the idiomatic
+# code cleanly (otherwise every FAIL case would "pass" under a broken
+# include path).
+
+foreach(var COMPILER FLAGS SOURCE EXPECT OUTOBJ)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_compile_fail.cmake: ${var} not set")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -c ${SOURCE} -o ${OUTOBJ}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+set(diagnostics "${stdout_text}${stderr_text}")
+
+if(EXPECT STREQUAL "OK")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "control case failed to compile (harness flags are broken):\n"
+      "${diagnostics}")
+  endif()
+elseif(EXPECT STREQUAL "FAIL")
+  if(exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "${SOURCE} compiled successfully but must be rejected")
+  endif()
+  if(NOT diagnostics MATCHES "${PATTERN}")
+    message(FATAL_ERROR
+      "${SOURCE} failed to compile, but not for the expected reason.\n"
+      "expected diagnostic matching: ${PATTERN}\n"
+      "got:\n${diagnostics}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be FAIL or OK, got: ${EXPECT}")
+endif()

@@ -1,0 +1,42 @@
+// Positive control for the compile_fail harness: the idiomatic
+// Foo()/FooLocked() pattern, a condvar wait loop, and a checked Status
+// all compile cleanly under the exact flags the FAIL cases use.
+
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void Insert(int v) XIC_EXCLUDES(mutex_) {
+    xic::util::MutexLock lock(&mutex_);
+    InsertLocked(v);
+    ready_cv_.NotifyAll();
+  }
+
+  int WaitForValue() XIC_EXCLUDES(mutex_) {
+    xic::util::MutexLock lock(&mutex_);
+    while (value_ == 0) ready_cv_.Wait(&mutex_);
+    return value_;
+  }
+
+ private:
+  void InsertLocked(int v) XIC_REQUIRES(mutex_) { value_ = v; }
+
+  xic::util::Mutex mutex_;
+  xic::util::CondVar ready_cv_;
+  int value_ XIC_GUARDED_BY(mutex_) = 0;
+};
+
+xic::Status Fallible() { return xic::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Insert(1);
+  xic::Status status = Fallible();
+  if (!status.ok()) return 1;
+  return table.WaitForValue() == 1 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// expect-fail (Clang -Wthread-safety): writing a GUARDED_BY member
+// without holding its mutex must be rejected.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: mutex_ not held
+  }
+
+ private:
+  xic::util::Mutex mutex_;
+  int value_ XIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// expect-fail (Clang -Wthread-safety-beta): acquiring mutexes against a
+// declared ACQUIRED_BEFORE edge must be rejected. The production code
+// keeps every annotated mutex a leaf lock, so this case is the
+// regression test that the hierarchy machinery still diagnoses an
+// inversion the day a two-level order is introduced.
+
+#include "util/sync.h"
+
+namespace {
+
+class Ordered {
+ public:
+  void Backwards() XIC_EXCLUDES(first_, second_) {
+    xic::util::MutexLock second(&second_);
+    xic::util::MutexLock first(&first_);  // BUG: inverts first_ < second_
+  }
+
+ private:
+  xic::util::Mutex first_ XIC_ACQUIRED_BEFORE(second_);
+  xic::util::Mutex second_;
+};
+
+}  // namespace
+
+int main() {
+  Ordered ordered;
+  ordered.Backwards();
+  return 0;
+}

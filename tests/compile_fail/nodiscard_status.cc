@@ -1,0 +1,15 @@
+// expect-fail: a silently-discarded Status must be rejected
+// ([[nodiscard]] + -Werror). Works under GCC and Clang.
+
+#include "util/status.h"
+
+namespace {
+
+xic::Status Fallible() { return xic::Status::Internal("boom"); }
+
+}  // namespace
+
+int main() {
+  Fallible();  // BUG: error outcome silently dropped
+  return 0;
+}

@@ -1,0 +1,28 @@
+// expect-fail (Clang -Wthread-safety): calling a REQUIRES function
+// without holding the capability must be rejected -- this is the
+// Foo()/FooLocked() discipline the migration installed everywhere.
+
+#include "util/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void Insert(int v) {
+    InsertLocked(v);  // BUG: mutex_ not held
+  }
+
+ private:
+  void InsertLocked(int v) XIC_REQUIRES(mutex_) { value_ = v; }
+
+  xic::util::Mutex mutex_;
+  int value_ XIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Insert(1);
+  return 0;
+}

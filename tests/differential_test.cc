@@ -92,8 +92,9 @@ TEST_P(OracleSmoke, TrialsFindNoMismatch) {
 
 INSTANTIATE_TEST_SUITE_P(AllOracles, OracleSmoke,
                          ::testing::ValuesIn(fuzz::kAllOracles),
-                         [](const auto& info) {
-                           return std::string(fuzz::OracleName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               fuzz::OracleName(param_info.param));
                          });
 
 TEST(Determinism, SameSeedSameOutcome) {

@@ -404,7 +404,9 @@ TEST(DispatcherTest, CacheHitReportIsByteIdenticalToColdCompile) {
   // must produce the same report bytes. Header-wise only `cache`
   // differs.
   Dispatcher warm(FastOptions());
-  warm.Handle(MakeRequest("schema.put", kSchema, {{"id", "warm"}}));
+  Response warmed =
+      warm.Handle(MakeRequest("schema.put", kSchema, {{"id", "warm"}}));
+  ASSERT_TRUE(warmed.status.ok()) << warmed.status.ToString();
   Response hit_response = warm.Handle(
       MakeRequest("validate", kViolatingDoc, {{"id", "r1"}}));
   EXPECT_EQ(hit_response.headers.at("cache"), "hit");
@@ -446,7 +448,8 @@ TEST(DispatcherTest, PoisonSchemaIsNegativeCached) {
   Response first = dispatcher.Handle(MakeRequest("validate", poison));
   EXPECT_FALSE(first.status.ok());
   for (int i = 0; i < 5; ++i) {
-    dispatcher.Handle(MakeRequest("validate", poison));
+    Response repeat = dispatcher.Handle(MakeRequest("validate", poison));
+    EXPECT_FALSE(repeat.status.ok());
   }
   EXPECT_EQ(dispatcher.cache().stats().compile_failures, 1u)
       << "poison schema was recompiled inside the TTL window";
