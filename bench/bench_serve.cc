@@ -119,6 +119,32 @@ void BM_ServeDispatchValidate(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeDispatchValidate)->Arg(10)->Arg(100)->Arg(1000);
 
+// Observability overhead on the hot path: the same cache-hit validate
+// with the flight recorder disabled (capacity 0) vs at its default
+// size. The delta is the per-request cost of recording -- one striped
+// try-lock plus a handful of string assignments -- and is the number
+// the "within 5% of the non-observed baseline" acceptance gate watches.
+void BM_ServeDispatchObsOverhead(benchmark::State& state) {
+  DispatcherOptions options;
+  options.flight_recorder.capacity =
+      static_cast<size_t>(state.range(0)) == 0 ? 0 : 1024;
+  Dispatcher dispatcher(options);
+  Response put = dispatcher.Handle(MakeRequest("schema.put", MakeSchema(0)));
+  const std::string schema = put.headers.at("schema");
+  const std::string doc = MakeDoc(100, 2);
+  for (auto _ : state) {
+    Response response = dispatcher.Handle(
+        MakeRequest("validate", doc, {{"schema", schema}, {"id", "o"}}));
+    benchmark::DoNotOptimize(response);
+    if (!response.status.ok()) {
+      state.SkipWithError(response.status.ToString().c_str());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeDispatchObsOverhead)->Arg(0)->Arg(1)
+    ->ArgName("recorder");
+
 // --------------------------------------------------------------------------
 // End-to-end sockets: requests/s at N concurrent clients
 

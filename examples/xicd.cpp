@@ -10,6 +10,10 @@
 //   SIGTERM / SIGINT   stop accepting, drain in-flight requests, exit 0
 //   SIGUSR1            flush --trace-out / --metrics-out without
 //                      stopping (snapshot of a live daemon)
+//   SIGQUIT            dump the flight recorder (the last N requests
+//                      with verb / trace-id / status / duration) to
+//                      stderr without stopping -- same text the debugz
+//                      verb returns
 //
 // Builds with -DXIC_FAULT_INJECTION=ON additionally accept --fault-rate
 // / --fault-seed / --fault-throw to rehearse transient failures
@@ -38,9 +42,11 @@ namespace {
 // loop and the main thread's Wait() notice them within ~100ms.
 volatile std::sig_atomic_t g_shutdown = 0;
 volatile std::sig_atomic_t g_flush = 0;
+volatile std::sig_atomic_t g_debugz = 0;
 
 void OnShutdownSignal(int) { g_shutdown = 1; }
 void OnFlushSignal(int) { g_flush = 1; }
+void OnDebugzSignal(int) { g_debugz = 1; }
 
 int Usage() {
   std::printf(
@@ -67,7 +73,15 @@ int Usage() {
 #endif
       "  --trace-out FILE   span trace (flushed on SIGUSR1 and exit)\n"
       "  --metrics-out FILE metrics JSON (flushed on SIGUSR1 and exit)\n"
-      "  --stats            print the metrics table to stderr on exit\n");
+      "  --stats            print the metrics table to stderr on exit\n"
+      "  --prom-out FILE    Prometheus text metrics, rewritten every\n"
+      "                     --prom-interval-ms and on SIGUSR1/exit\n"
+      "  --prom-interval-ms N  --prom-out rewrite period (default 1000)\n"
+      "  --flightrec-capacity N  flight-recorder records kept for debugz/\n"
+      "                     SIGQUIT (0 disables; default 512)\n"
+      "  --slow-us N        requests at/above N microseconds get a phase\n"
+      "                     breakdown in the flight record (default\n"
+      "                     100000)\n");
   return 2;
 }
 
@@ -83,6 +97,8 @@ bool ParseCount(const char* text, unsigned long* out) {
 int main(int argc, char** argv) {
   ServerOptions options;
   ObsCliOptions obs_options;
+  std::string prom_out;
+  unsigned long prom_interval_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     unsigned long count = 0;
@@ -121,6 +137,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--backoff-ms" && i + 1 < argc) {
       if (!ParseCount(argv[++i], &count)) return Usage();
       options.dispatcher.backoff.initial_delay_ms = count;
+    } else if (arg == "--prom-out" && i + 1 < argc) {
+      prom_out = argv[++i];
+    } else if (arg == "--prom-interval-ms" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count) || count == 0) return Usage();
+      prom_interval_ms = count;
+    } else if (arg == "--flightrec-capacity" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) return Usage();
+      options.dispatcher.flight_recorder.capacity = count;
+    } else if (arg == "--slow-us" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) return Usage();
+      options.dispatcher.flight_recorder.slow_threshold_us = count;
 #ifdef XIC_FAULT_INJECTION
     } else if (arg == "--fault-rate" && i + 1 < argc) {
       char* end = nullptr;
@@ -169,7 +196,24 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnShutdownSignal);
   std::signal(SIGINT, OnShutdownSignal);
   std::signal(SIGUSR1, OnFlushSignal);
+  std::signal(SIGQUIT, OnDebugzSignal);
   std::signal(SIGPIPE, SIG_IGN);  // a dead peer is the peer's problem
+
+  // Rewrites --prom-out atomically (write-then-rename), so a scraper
+  // tailing the file never reads a torn exposition.
+  auto export_prom = [&]() {
+    if (prom_out.empty()) return;
+    const std::string tmp = prom_out + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "xicd: cannot write %s\n", tmp.c_str());
+      return;
+    }
+    const std::string text = server.dispatcher().StatsProm();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::rename(tmp.c_str(), prom_out.c_str());
+  };
 
   // The scripted client greps for this exact line to learn the port.
   std::printf("xicd listening on %s:%u\n", options.host.c_str(),
@@ -177,11 +221,26 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   // Main thread: relay signal flags to the server until shutdown.
+  uint64_t naps_since_export = 0;
+  const uint64_t naps_per_export = (prom_interval_ms + 49) / 50;
   while (!g_shutdown) {
     if (g_flush) {
       g_flush = 0;
       obs_session.Flush();
+      export_prom();
       std::fprintf(stderr, "xicd: observability flushed\n");
+    }
+    if (g_debugz) {
+      g_debugz = 0;
+      // Same text as the debugz verb; stderr keeps it out of the
+      // port-announcement stream tools parse on stdout.
+      std::string dump = server.dispatcher().flight_recorder().DebugString();
+      std::fwrite(dump.data(), 1, dump.size(), stderr);
+      std::fflush(stderr);
+    }
+    if (!prom_out.empty() && ++naps_since_export >= naps_per_export) {
+      naps_since_export = 0;
+      export_prom();
     }
     timespec nap{0, 50'000'000};  // 50ms
     nanosleep(&nap, nullptr);
@@ -195,6 +254,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.accepted),
                static_cast<unsigned long long>(stats.shed_queue_full +
                                                stats.shed_inflight_bytes));
+  export_prom();
   if (!obs_session.Finish()) return 2;
   return 0;
 }

@@ -403,6 +403,12 @@ BatchReport BatchValidator::Run(const std::vector<BatchDocument>& corpus,
   // to pipeline start -- on the pool path that approximates time sitting
   // in the worker deques.
   auto run_one = [&](size_t i) {
+    // Re-install the request's trace id on this worker before opening the
+    // document span; on the inline path this re-installs the caller's own
+    // ambient id (a no-op).
+    obs::ScopedTraceId scoped_trace(overrides.trace_id.empty()
+                                        ? obs::ScopedTraceId::Current()
+                                        : overrides.trace_id);
     obs::ScopedSpan doc_span("batch.document", "engine");
     doc_span.SetSeq(static_cast<int64_t>(i));
     double queue_wait = Seconds(start, Clock::now());

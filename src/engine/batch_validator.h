@@ -193,6 +193,13 @@ struct RunOverrides {
   /// Cooperative cancellation: when cancelled, per-document deadlines
   /// report expiry at the next check. Must outlive the Run call.
   const CancellationToken* cancellation = nullptr;
+  /// Request trace id to install on the worker thread for the duration of
+  /// each document (obs::ScopedTraceId), so fanned-out engine spans stay
+  /// joinable to the originating request even when the pool executes them
+  /// on a different thread than the caller's. Empty = keep the worker's
+  /// ambient id (i.e. the caller's id on the inline single-document path,
+  /// none on the pool path).
+  std::string trace_id;
 };
 
 class BatchValidator {

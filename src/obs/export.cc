@@ -6,42 +6,15 @@
 #include <cstdio>
 #include <tuple>
 
+#include "util/json_writer.h"
+
 namespace xic::obs {
 
 namespace {
 
+// Shared escaping with every other JSON emitter in the tree.
 std::string JsonEscape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned char>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return util::JsonWriter::Escape(in);
 }
 
 // Microseconds with nanosecond precision, printed without locale
@@ -72,49 +45,74 @@ std::string AttrValueJson(const SpanAttr& attr) {
 }  // namespace
 
 std::string ToChromeTraceJson(const TraceSnapshot& snapshot) {
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  auto emit = [&](const std::string& event) {
-    if (!first) out += ",";
-    first = false;
-    out += "\n" + event;
+  using Layout = util::JsonWriter::Layout;
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  // One event per line (the trace_event convention the golden pins).
+  w.BeginArray(Layout::kLines);
+  auto metadata = [&w](uint32_t tid, const char* name,
+                       const std::string& value) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Number(1);
+    w.Key("tid");
+    w.Number(static_cast<uint64_t>(tid));
+    w.Key("name");
+    w.String(name);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(value);
+    w.EndObject();
+    w.EndObject();
   };
-  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
-       "\"args\":{\"name\":\"xic\"}}");
+  metadata(0, "process_name", "xic");
   for (size_t t = 0; t < snapshot.thread_names.size(); ++t) {
-    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
-         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
-         JsonEscape(snapshot.thread_names[t]) + "\"}}");
+    metadata(static_cast<uint32_t>(t), "thread_name",
+             snapshot.thread_names[t]);
   }
   for (const SpanRecord& span : snapshot.spans) {
     uint64_t dur = span.end_ns >= span.start_ns
                        ? span.end_ns - span.start_ns
                        : 0;
-    std::string event = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
-                        std::to_string(span.tid) +
-                        ",\"ts\":" + Micros(span.start_ns) +
-                        ",\"dur\":" + Micros(dur) + ",\"name\":\"" +
-                        JsonEscape(span.name) + "\",\"cat\":\"" +
-                        JsonEscape(span.cat) + "\"";
+    w.BeginObject();
+    w.Key("ph");
+    w.String("X");
+    w.Key("pid");
+    w.Number(1);
+    w.Key("tid");
+    w.Number(static_cast<uint64_t>(span.tid));
+    w.Key("ts");
+    w.Raw(Micros(span.start_ns));
+    w.Key("dur");
+    w.Raw(Micros(dur));
+    w.Key("name");
+    w.String(span.name);
+    w.Key("cat");
+    w.String(span.cat);
     if (span.seq >= 0 || !span.attrs.empty()) {
-      event += ",\"args\":{";
-      bool first_arg = true;
+      w.Key("args");
+      w.BeginObject();
       if (span.seq >= 0) {
-        event += "\"seq\":" + std::to_string(span.seq);
-        first_arg = false;
+        w.Key("seq");
+        w.Number(span.seq);
       }
       for (const SpanAttr& attr : span.attrs) {
-        if (!first_arg) event += ",";
-        first_arg = false;
-        event += "\"" + JsonEscape(attr.key) + "\":" + AttrValueJson(attr);
+        w.Key(attr.key);
+        w.Raw(AttrValueJson(attr));
       }
-      event += "}";
+      w.EndObject();
     }
-    event += "}";
-    emit(event);
+    w.EndObject();
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
-  return out;
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.TakeString() + "\n";
 }
 
 namespace {

@@ -1,0 +1,80 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace xic::obs {
+
+FlightRecorder::FlightRecorder(const Config& config) : config_(config) {
+  if (config_.capacity == 0) return;
+  size_t stripes = std::clamp<size_t>(config_.stripes, 1, config_.capacity);
+  per_stripe_ = config_.capacity / stripes;
+  if (per_stripe_ == 0) per_stripe_ = 1;
+  capacity_ = per_stripe_ * stripes;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    {
+      util::MutexLock lock(&stripe->mutex);
+      stripe->ring.reserve(per_stripe_);
+    }
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+void FlightRecorder::Add(Record record) {
+  if (stripes_.empty()) return;
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.seq = seq;
+  Stripe& stripe = *stripes_[seq % stripes_.size()];
+  if (!stripe.mutex.TryLock()) {
+    // Contended stripe (another request, or a Snapshot in progress):
+    // drop the record rather than block the request thread.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (stripe.ring.size() < per_stripe_) {
+    stripe.ring.push_back(std::move(record));
+  } else {
+    // Overwrite the oldest slot in place; the slot's strings keep their
+    // capacity, so a warm ring stops allocating.
+    stripe.ring[stripe.next] = std::move(record);
+    stripe.next = (stripe.next + 1) % per_stripe_;
+  }
+  stripe.mutex.Unlock();
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::Snapshot() const {
+  std::vector<Record> records;
+  records.reserve(capacity_);
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    util::MutexLock lock(&stripe->mutex);
+    records.insert(records.end(), stripe->ring.begin(), stripe->ring.end());
+  }
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.seq < b.seq; });
+  return records;
+}
+
+std::string FlightRecorder::DebugString() const {
+  std::vector<Record> records = Snapshot();
+  std::string out = "flightrec capacity=" + std::to_string(capacity_) +
+                    " recorded=" + std::to_string(recorded()) +
+                    " dropped=" + std::to_string(dropped()) +
+                    " slow_threshold_us=" +
+                    std::to_string(config_.slow_threshold_us) + "\n";
+  for (const Record& r : records) {
+    out += "#" + std::to_string(r.seq) + " verb=" + r.verb +
+           " trace=" + r.trace_id + " status=" + r.status +
+           " dur_us=" + std::to_string(r.duration_us) +
+           " shed=" + (r.shed ? "1" : "0") +
+           " fault=" + (r.fault ? "1" : "0");
+    if (!r.detail.empty()) {
+      out += " ";
+      out += r.detail;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xic::obs

@@ -1,0 +1,127 @@
+// Always-on flight recorder: a fixed-size, lock-striped ring buffer of
+// recent request records, answering "what was the daemon doing just
+// now?" without a trace session or a scrape pipeline.
+//
+// Design constraints, in order:
+//   * O(1) per request and never blocks the hot path. A record lands in
+//     the stripe selected by its global sequence number; the stripe's
+//     mutex is only ever TryLock'd on the write path, and a contended
+//     stripe drops the record and counts it (dropped()) instead of
+//     waiting -- losing a diagnostic record is cheaper than queueing
+//     request threads behind a debugz dump.
+//   * Fixed memory bound: `capacity` records total, split evenly across
+//     `stripes` rings, allocated up front. Record strings are reused in
+//     place once a ring slot wraps, so steady-state allocation settles
+//     to the occasional string growth.
+//   * Always on. This is NOT gated by XIC_OBS: the `debugz` verb and the
+//     SIGQUIT dump are protocol/operational behavior of xicd, not
+//     probes, so the recorder stays live under -DXIC_OBS=OFF (set
+//     capacity 0 to disable it outright).
+//
+// Slow-request promotion: the recorder itself stores whatever `detail`
+// the caller attaches; the dispatcher attaches a rendered span tree
+// (queue-wait / compile / check phases) for requests at or above
+// slow_threshold_us, so outliers arrive in the dump with their
+// breakdown while the common case stays one fixed-size record.
+//
+// Pure std + util/sync.h, no Status/Result: lives in the obs layer below
+// util, usable from any layer.
+
+#ifndef XIC_OBS_FLIGHT_RECORDER_H_
+#define XIC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace xic::obs {
+
+class FlightRecorder {
+ public:
+  /// One request's record. Fields mirror the debugz dump line.
+  struct Record {
+    /// Global admission order, 1-based (assigned by Add).
+    uint64_t seq = 0;
+    uint64_t duration_us = 0;
+    std::string verb;
+    std::string trace_id;
+    /// Wire status token ("ok", "unavailable", "timeout", ...).
+    std::string status;
+    bool shed = false;
+    bool fault = false;
+    /// Free-form; the dispatcher promotes a span-tree breakdown here for
+    /// slow requests, the socket layer records its shed reason.
+    std::string detail;
+  };
+
+  struct Config {
+    /// Total records retained across all stripes; 0 disables recording
+    /// entirely (Add becomes a no-op, debugz dumps an empty recorder).
+    size_t capacity = 512;
+    /// Ring stripes; more stripes = less TryLock contention. Clamped to
+    /// [1, capacity].
+    size_t stripes = 8;
+    /// Requests at/above this duration get their span tree promoted into
+    /// Record::detail by the caller (the recorder only stores it).
+    uint64_t slow_threshold_us = 100000;
+  };
+
+  explicit FlightRecorder(const Config& config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return !stripes_.empty(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t slow_threshold_us() const { return config_.slow_threshold_us; }
+
+  /// Records one request: assigns the next global sequence number and
+  /// writes the record into its stripe's ring, or drops it (counted) if
+  /// the stripe is contended. O(1); never blocks.
+  void Add(Record record);
+
+  /// Total Add() calls, including dropped ones.
+  uint64_t recorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  /// Records lost to stripe contention (surfaced as
+  /// serve.flightrec_dropped in stats / stats.prom).
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies out every retained record, merged across stripes and sorted
+  /// by sequence number (oldest first). Takes the stripe locks
+  /// (blocking); concurrent Add()s on a locked stripe drop-and-count,
+  /// which is the documented cost of dumping a live recorder.
+  std::vector<Record> Snapshot() const;
+
+  /// The dump format shared by the `debugz` verb and xicd's SIGQUIT
+  /// handler: one summary line, then one line per record, oldest first:
+  ///   flightrec capacity=N recorded=N dropped=N slow_threshold_us=N
+  ///   #seq verb=V trace=T status=S dur_us=N shed=0|1 fault=0|1[ detail]
+  std::string DebugString() const;
+
+ private:
+  struct Stripe {
+    mutable util::Mutex mutex;
+    /// Ring storage; grows to ring_capacity then wraps via `next`.
+    std::vector<Record> ring XIC_GUARDED_BY(mutex);
+    size_t next XIC_GUARDED_BY(mutex) = 0;
+  };
+
+  Config config_;
+  size_t capacity_ = 0;       // effective total (per_stripe_ * stripes)
+  size_t per_stripe_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace xic::obs
+
+#endif  // XIC_OBS_FLIGHT_RECORDER_H_

@@ -7,6 +7,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/json_writer.h"
+
 namespace xic::obs {
 
 namespace {
@@ -94,33 +96,64 @@ Histogram& Registry::GetHistogram(std::string_view name,
 
 std::string Registry::ToJson() const {
   util::MutexLock lock(&mutex_);
-  std::string out = "{\"counters\":{";
-  bool first = true;
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
   for (const auto& [name, counter] : counters_) {
-    if (!first) out += ",";
-    first = false;
-    out += "\"" + name + "\":" + std::to_string(counter->value());
+    w.Key(name);
+    w.Number(counter->value());
   }
-  out += "},\"histograms\":{";
-  first = true;
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
   for (const auto& [name, histogram] : histograms_) {
-    if (!first) out += ",";
-    first = false;
-    out += "\"" + name + "\":{\"count\":" +
-           std::to_string(histogram->count()) +
-           ",\"sum\":" + FormatDouble(histogram->sum()) + ",\"buckets\":[";
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Number(histogram->count());
+    w.Key("sum");
+    w.Raw(FormatDouble(histogram->sum()));
+    w.Key("buckets");
+    w.BeginArray();
     for (size_t i = 0; i < histogram->num_buckets(); ++i) {
-      if (i > 0) out += ",";
-      std::string le = i < histogram->bounds().size()
-                           ? FormatDouble(histogram->bounds()[i])
-                           : "\"+inf\"";
-      out += "{\"le\":" + le +
-             ",\"count\":" + std::to_string(histogram->bucket(i)) + "}";
+      w.BeginObject();
+      w.Key("le");
+      if (i < histogram->bounds().size()) {
+        w.Raw(FormatDouble(histogram->bounds()[i]));
+      } else {
+        w.String("+inf");
+      }
+      w.Key("count");
+      w.Number(histogram->bucket(i));
+      w.EndObject();
     }
-    out += "]}";
+    w.EndArray();
+    w.EndObject();
   }
-  out += "}}";
-  return out;
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  util::MutexLock lock(&mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.buckets.reserve(histogram->num_buckets());
+    for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+      h.buckets.push_back(histogram->bucket(i));
+    }
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
 }
 
 std::string Registry::ToTable() const {

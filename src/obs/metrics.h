@@ -39,6 +39,30 @@
 
 namespace xic::obs {
 
+/// Point-in-time copy of one histogram: ascending upper bounds plus
+/// per-bucket (non-cumulative) counts, buckets.size() == bounds.size()+1
+/// with the final bucket counting observations above every bound (+inf).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Point-in-time copy of the registry, plain data with no atomics --
+/// exporters (Prometheus text, dashboards) render from this instead of
+/// holding registry references. Callers may layer additional metrics on
+/// top before rendering (xicd's dispatcher adds cache/session gauges the
+/// registry does not own); `gauges` exists for exactly that, the
+/// registry itself never fills it. Defined unconditionally: snapshots
+/// and their renderers stay available under XIC_OBS=OFF (the registry
+/// one is just empty there).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 #if XIC_OBS_ENABLED
 
 /// A monotonic counter (Add) that doubles as a high-water gauge
@@ -119,6 +143,11 @@ class Registry {
   /// names sorted, zero-valued counters included.
   std::string ToJson() const XIC_EXCLUDES(mutex_);
 
+  /// Plain-data copy of every registered metric (names sorted by the
+  /// map). The snapshot is consistent-enough, not atomic: counters keep
+  /// counting while it is taken, same as ToJson.
+  MetricsSnapshot Snapshot() const XIC_EXCLUDES(mutex_);
+
   /// Human-readable aligned table, names sorted.
   std::string ToTable() const XIC_EXCLUDES(mutex_);
 
@@ -176,6 +205,7 @@ class Registry {
     return histogram;
   }
   std::string ToJson() const { return "{\"counters\":{},\"histograms\":{}}"; }
+  MetricsSnapshot Snapshot() const { return {}; }
   std::string ToTable() const { return "(observability compiled out)\n"; }
   void ResetAll() {}
 };

@@ -6,7 +6,9 @@
 
 #include "obs/enabled.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
 
 #endif  // XIC_OBS_OBS_H_

@@ -1,0 +1,123 @@
+#include "obs/prom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+
+namespace xic::obs {
+
+namespace {
+
+// Matches the registry's JSON rendering: integers bare, otherwise %.6g.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+// HELP text and label values share the format's escaping rules
+// (backslash and newline; label values additionally escape '"', harmless
+// in HELP text).
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& help, const char* type) {
+  *out += "# HELP " + name + " " + EscapeText(help) + "\n";
+  *out += "# TYPE " + name + " ";
+  *out += type;
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (char c : name) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           std::string_view prefix) {
+  // One rendered block per family, keyed (and therefore emitted) in
+  // ascending rendered-name order. Distinct registry names can collide
+  // after sanitization ("a.b" and "a_b"); last writer wins, which keeps
+  // the output parseable rather than emitting a duplicate family.
+  std::map<std::string, std::string> families;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = PrometheusName(name, prefix);
+    std::string block;
+    AppendHeader(&block, metric, name, "counter");
+    block += metric + " " + std::to_string(value) + "\n";
+    families[metric] = std::move(block);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = PrometheusName(name, prefix);
+    std::string block;
+    AppendHeader(&block, metric, name, "gauge");
+    block += metric + " " + FormatValue(value) + "\n";
+    families[metric] = std::move(block);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string metric = PrometheusName(name, prefix);
+    std::string block;
+    AppendHeader(&block, metric, name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      const std::string le = i < histogram.bounds.size()
+                                 ? FormatValue(histogram.bounds[i])
+                                 : "+Inf";
+      block += metric + "_bucket{le=\"" + EscapeText(le) + "\"} " +
+               std::to_string(cumulative) + "\n";
+    }
+    // A histogram always renders a +Inf bucket, even for a hand-built
+    // snapshot whose bucket vector lacks the overflow slot.
+    if (histogram.buckets.size() <= histogram.bounds.size()) {
+      cumulative = std::max(cumulative, histogram.count);
+      block += metric + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+    }
+    // _count is the +Inf cumulative by construction, not the snapshot's
+    // count field: a snapshot taken while observations land can read the
+    // buckets and the count at slightly different instants, and the text
+    // format requires the two samples to agree within one scrape.
+    block += metric + "_sum " + FormatValue(histogram.sum) + "\n";
+    block += metric + "_count " + std::to_string(cumulative) + "\n";
+    families[metric] = std::move(block);
+  }
+  std::string out;
+  for (const auto& [metric, block] : families) out += block;
+  return out;
+}
+
+}  // namespace xic::obs

@@ -1,0 +1,53 @@
+// Prometheus text-format exposition (version 0.0.4) for a
+// MetricsSnapshot.
+//
+// The renderer is a pure function of the snapshot so it serves three
+// callers identically: the dispatcher's `stats.prom` verb, xicd's
+// --prom-out periodic file export, and the golden tests. Output rules,
+// pinned by tests and checked end-to-end by tools/xicd_client.py's
+// strict parser:
+//
+//   * Metric families are emitted in ascending order of their rendered
+//     name; each is exactly one `# HELP`, one `# TYPE`, then its
+//     samples. HELP text is the original dot-separated registry name
+//     (escaped per the format: backslash and newline).
+//   * Names are sanitized to [a-zA-Z0-9_:] (dots and any other byte
+//     become '_') and prefixed "xic_": "serve.request.ms" ->
+//     xic_serve_request_ms.
+//   * Counters render as TYPE counter (registry counters and high-water
+//     marks are both monotonic non-decreasing, which is the contract
+//     that matters for scrapes), gauges as TYPE gauge, histograms as
+//     TYPE histogram with *cumulative* `le` buckets -- the registry
+//     stores per-bucket counts, the renderer accumulates -- a mandatory
+//     le="+Inf" bucket equal to _count, then _sum and _count samples.
+//   * Values print integers bare and other doubles with %.6g, matching
+//     the registry's JSON rendering.
+//
+// Compiled unconditionally: under XIC_OBS=OFF the registry snapshot is
+// empty but the daemon-level metrics a caller layers into the snapshot
+// (cache, sessions, flight recorder) still render, so `stats.prom`
+// remains a working protocol verb in probe-free builds.
+
+#ifndef XIC_OBS_PROM_H_
+#define XIC_OBS_PROM_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace xic::obs {
+
+/// A Prometheus-valid metric name: `prefix` + `name` with every byte
+/// outside [a-zA-Z0-9_:] replaced by '_'.
+std::string PrometheusName(std::string_view name,
+                           std::string_view prefix = "xic_");
+
+/// Renders the snapshot as Prometheus text format; see the header
+/// comment for the exact output contract.
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           std::string_view prefix = "xic_");
+
+}  // namespace xic::obs
+
+#endif  // XIC_OBS_PROM_H_

@@ -29,6 +29,10 @@ thread_local std::string tl_thread_name;
 thread_local std::shared_ptr<void> tl_buffer;  // actually ThreadBuffer
 thread_local uint64_t tl_epoch = 0;
 
+// The ambient request-scoped trace id (ScopedTraceId); spans opened
+// while it is non-empty are tagged with it.
+thread_local std::string tl_trace_id;
+
 }  // namespace
 
 Tracer& Tracer::Global() {
@@ -122,9 +126,27 @@ ScopedSpan::ScopedSpan(std::string_view name, std::string_view cat) {
   record.cat.assign(cat);
   record.start_ns = SinceBaseNs();
   record.parent = buffer_->open.empty() ? -1 : buffer_->open.back();
+  if (!tl_trace_id.empty()) {
+    // Tag with the thread's ambient request trace id (ScopedTraceId),
+    // making the span joinable to its request across the pipeline.
+    SpanAttr attr;
+    attr.key = "trace_id";
+    attr.kind = SpanAttr::Kind::kString;
+    attr.string_value = tl_trace_id;
+    record.attrs.push_back(std::move(attr));
+  }
   buffer_->spans.push_back(std::move(record));
   buffer_->open.push_back(index_);
 }
+
+ScopedTraceId::ScopedTraceId(std::string_view id)
+    : previous_(std::move(tl_trace_id)) {
+  tl_trace_id.assign(id);
+}
+
+ScopedTraceId::~ScopedTraceId() { tl_trace_id = std::move(previous_); }
+
+const std::string& ScopedTraceId::Current() { return tl_trace_id; }
 
 ScopedSpan::~ScopedSpan() {
   if (buffer_ == nullptr) return;

@@ -150,6 +150,30 @@ class ScopedTraceSession {
   ScopedTraceSession& operator=(const ScopedTraceSession&) = delete;
 };
 
+/// Request-scoped trace id: installs `id` as the calling thread's
+/// ambient trace id for this scope (saving and restoring any outer one,
+/// so nested scopes behave). Every ScopedSpan opened on the thread while
+/// an id is installed is tagged with a "trace_id" string attribute,
+/// which is what makes one request's spans joinable across the serve
+/// pipeline -- the dispatcher installs the id once at the top of
+/// Handle() and the compile / run / session spans underneath pick it up
+/// without any parameter threading. Work fanned out to other threads
+/// re-installs explicitly (RunOverrides::trace_id on the batch engine
+/// path).
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::string_view id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+  /// The calling thread's installed trace id, or empty.
+  static const std::string& Current();
+
+ private:
+  std::string previous_;
+};
+
 #else  // !XIC_OBS_ENABLED
 
 class Tracer {
@@ -182,6 +206,20 @@ class ScopedTraceSession {
   ScopedTraceSession() = default;
   ScopedTraceSession(const ScopedTraceSession&) = delete;
   ScopedTraceSession& operator=(const ScopedTraceSession&) = delete;
+};
+
+// Span tagging is a probe and compiles away; the trace-id protocol
+// behavior itself (generation and response echo) lives in the serve
+// layer and survives OFF builds.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::string_view) {}
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+  static const std::string& Current() {
+    static const std::string empty;
+    return empty;
+  }
 };
 
 #endif  // XIC_OBS_ENABLED

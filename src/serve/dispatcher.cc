@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <vector>
@@ -13,12 +14,44 @@
 #include "implication/lp_solver.h"
 #include "implication/lu_solver.h"
 #include "obs/obs.h"
+#include "util/json_writer.h"
 #include "util/strings.h"
 #include "xml/dtdc_io.h"
 
 namespace xic::serve {
 
 namespace {
+
+/// Shared bucket schedule for the request latency histograms,
+/// milliseconds. Spans sub-100us pings to multi-second compiles.
+#define XIC_SERVE_LATENCY_BUCKETS                                     \
+  {                                                                   \
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,    \
+        250.0, 500.0, 1000.0, 2500.0                                  \
+  }
+
+/// Accumulates wall time from construction to destruction into `*out`
+/// microseconds (+=, so retried phases sum). Null target = no-op timer.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(uint64_t* out)
+      : out_(out),
+        start_(out == nullptr ? Clock::time_point() : Clock::now()) {}
+  ~PhaseTimer() {
+    if (out_ == nullptr) return;
+    *out_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  uint64_t* out_;
+  Clock::time_point start_;
+};
 
 bool ParseU64(const std::string& text, uint64_t* out) {
   if (text.empty()) return false;
@@ -161,7 +194,8 @@ Dispatcher::Dispatcher(DispatcherOptions options)
     : options_(std::move(options)),
       cache_(options_.cache),
       sessions_(options_.sessions),
-      injector_(options_.faults) {}
+      injector_(options_.faults),
+      recorder_(options_.flight_recorder) {}
 
 Response Dispatcher::ShedResponse(const std::string& reason) const {
   Response response =
@@ -206,7 +240,8 @@ RunOverrides Dispatcher::OverridesFor(const Request& request) const {
 
 Result<PlanPtr> Dispatcher::CompileIntoCache(const std::string& schema_text,
                                              const std::string& fault_key,
-                                             bool* cache_hit) {
+                                             bool* cache_hit,
+                                             RequestTiming* timing) {
   Result<DoctypeShell> shell = ExtractDoctype(schema_text);
   if (!shell.ok()) return shell.status();
   const std::string key = ContentHash(shell.value().subset);
@@ -215,9 +250,12 @@ Result<PlanPtr> Dispatcher::CompileIntoCache(const std::string& schema_text,
       [&](const std::string& cache_key) -> Result<PlanPtr> {
         obs::ScopedSpan span("serve.compile", "serve");
         span.AddString("schema", cache_key);
+        PhaseTimer compile_timer(timing == nullptr ? nullptr
+                                                   : &timing->compile_us);
         if (Status s = injector_.MaybeFail("serve.compile", fault_key);
             !s.ok()) {
           XIC_COUNTER_ADD("serve.faults", 1);
+          if (timing != nullptr) timing->fault = true;
           return s;
         }
         Result<DtdC> parsed =
@@ -251,7 +289,8 @@ Result<PlanPtr> Dispatcher::CompileIntoCache(const std::string& schema_text,
 
 Result<PlanPtr> Dispatcher::ResolvePlan(const Request& request,
                                         const std::string& id,
-                                        bool* cache_hit) {
+                                        bool* cache_hit,
+                                        RequestTiming* timing) {
   const std::string schema = request.header("schema");
   if (!schema.empty()) {
     PlanPtr plan = cache_.Lookup(schema);
@@ -263,76 +302,101 @@ Result<PlanPtr> Dispatcher::ResolvePlan(const Request& request,
     if (cache_hit != nullptr) *cache_hit = true;
     return plan;
   }
-  return CompileIntoCache(request.body, id, cache_hit);
+  return CompileIntoCache(request.body, id, cache_hit, timing);
 }
 
 Response Dispatcher::Handle(const Request& request) {
-  obs::ScopedSpan span("serve.request", "serve");
-  span.AddString("verb", request.verb);
-  XIC_COUNTER_ADD("serve.requests", 1);
+  const auto start = std::chrono::steady_clock::now();
   std::string id = request.id();
   if (id.empty()) {
     id = request.verb + "#" +
          std::to_string(
              next_request_id_.fetch_add(1, std::memory_order_relaxed));
   }
-  Response response;
-  {
-    // Admission: deterministic checks before any parsing. The
-    // timing-dependent checks (queue depth, in-flight bytes) live in the
-    // socket layer and reuse ShedResponse for identical wire bytes.
-    obs::ScopedSpan admit_span("serve.admit", "serve");
-    if (injector_.Faulted("serve.admit", id)) {
-      XIC_COUNTER_ADD("serve.faults", 1);
-      XIC_COUNTER_ADD("serve.shed", 1);
-      response = ShedResponse("admission fault injected");
-      response.headers["id"] = HeaderSafe(id);
-      return response;
+  // The trace id is the client's token (sanitized for header transport)
+  // or, absent one, a hash of the request id -- either way a pure
+  // function of the request, so the echoed header never breaks
+  // byte-stability across thread counts. Installed as the thread's
+  // ambient id BEFORE the first span opens, so every span this request
+  // creates (including engine spans, re-installed on pool workers via
+  // RunOverrides::trace_id) carries it.
+  std::string trace_id = request.header("trace-id");
+  trace_id = trace_id.empty() ? ContentHash(id) : HeaderSafe(trace_id);
+  obs::ScopedTraceId scoped_trace(trace_id);
+  obs::ScopedSpan span("serve.request", "serve");
+  span.AddString("verb", request.verb);
+  XIC_COUNTER_ADD("serve.requests", 1);
+  RequestTiming timing;
+  timing.queue_us = request.queue_us;
+  // All exits funnel through the common tail below (headers, latency
+  // histograms, flight record), so admission refusals are observed the
+  // same way served requests are.
+  Response response = [&]() -> Response {
+    {
+      // Admission: deterministic checks before any parsing. The
+      // timing-dependent checks (queue depth, in-flight bytes) live in
+      // the socket layer and reuse ShedResponse for identical wire bytes.
+      obs::ScopedSpan admit_span("serve.admit", "serve");
+      if (injector_.Faulted("serve.admit", id)) {
+        XIC_COUNTER_ADD("serve.faults", 1);
+        XIC_COUNTER_ADD("serve.shed", 1);
+        timing.fault = true;
+        return ShedResponse("admission fault injected");
+      }
+      if (options_.max_request_bytes > 0 &&
+          request.body.size() > options_.max_request_bytes) {
+        XIC_COUNTER_ADD("serve.rejected_bytes", 1);
+        return ErrorResponse(Status::LimitExceeded(
+            "max_request_bytes",
+            "request body of " + std::to_string(request.body.size()) +
+                " bytes exceeds " +
+                std::to_string(options_.max_request_bytes)));
+      }
     }
-    if (options_.max_request_bytes > 0 &&
-        request.body.size() > options_.max_request_bytes) {
-      XIC_COUNTER_ADD("serve.rejected_bytes", 1);
-      response = ErrorResponse(Status::LimitExceeded(
-          "max_request_bytes",
-          "request body of " + std::to_string(request.body.size()) +
-              " bytes exceeds " +
-              std::to_string(options_.max_request_bytes)));
-      response.headers["id"] = HeaderSafe(id);
-      return response;
+    size_t attempts = OverridesFor(request).max_attempts.value_or(1);
+    Response attempt_response;
+    for (size_t attempt = 0;; ++attempt) {
+      if (attempt > 0) BackoffSleep(options_.backoff, id, attempt);
+      attempt_response = HandleOnce(request, id, attempt, &timing);
+      attempt_response.headers["attempts"] = std::to_string(attempt + 1);
+      if (attempt_response.status.code() != StatusCode::kUnavailable ||
+          attempt + 1 >= attempts) {
+        break;
+      }
+      XIC_COUNTER_ADD("serve.retries", 1);
     }
-  }
-  size_t attempts = OverridesFor(request).max_attempts.value_or(1);
-  for (size_t attempt = 0;; ++attempt) {
-    if (attempt > 0) BackoffSleep(options_.backoff, id, attempt);
-    response = HandleOnce(request, id, attempt);
-    response.headers["attempts"] = std::to_string(attempt + 1);
-    if (response.status.code() != StatusCode::kUnavailable ||
-        attempt + 1 >= attempts) {
-      break;
+    if (attempt_response.status.code() == StatusCode::kUnavailable) {
+      attempt_response.headers["retry-after-ms"] =
+          std::to_string(options_.retry_after_ms);
     }
-    XIC_COUNTER_ADD("serve.retries", 1);
-  }
-  if (response.status.code() == StatusCode::kUnavailable) {
-    response.headers["retry-after-ms"] =
-        std::to_string(options_.retry_after_ms);
-  }
-  if (response.status.code() == StatusCode::kDeadlineExceeded) {
-    XIC_COUNTER_ADD("serve.timeouts", 1);
-  }
-  if (!response.status.ok()) {
-    XIC_COUNTER_ADD("serve.errors", 1);
-  }
+    if (attempt_response.status.code() == StatusCode::kDeadlineExceeded) {
+      XIC_COUNTER_ADD("serve.timeouts", 1);
+    }
+    if (!attempt_response.status.ok()) {
+      XIC_COUNTER_ADD("serve.errors", 1);
+    }
+    return attempt_response;
+  }();
   response.headers["id"] = HeaderSafe(id);
+  response.headers["trace-id"] = trace_id;
+  const uint64_t total_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  ObserveLatency(request.verb, total_us, timing);
+  RecordFlight(request, response, trace_id, total_us, timing);
   return response;
 }
 
 Response Dispatcher::HandleOnce(const Request& request,
-                                const std::string& id, size_t attempt) {
+                                const std::string& id, size_t attempt,
+                                RequestTiming* timing) {
   try {
     if (Status s = injector_.MaybeFail("serve.dispatch", id,
                                        static_cast<int>(attempt));
         !s.ok()) {
       XIC_COUNTER_ADD("serve.faults", 1);
+      if (timing != nullptr) timing->fault = true;
       return ErrorResponse(s);
     }
     const std::string& verb = request.verb;
@@ -341,15 +405,17 @@ Response Dispatcher::HandleOnce(const Request& request,
       response.body = "pong\n";
       return response;
     }
-    if (verb == "validate") return DoValidate(request, id, attempt);
-    if (verb == "lint") return DoLint(request, id);
-    if (verb == "imply") return DoImply(request, id);
-    if (verb == "schema.put") return DoSchemaPut(request, id);
+    if (verb == "validate") return DoValidate(request, id, attempt, timing);
+    if (verb == "lint") return DoLint(request, id, timing);
+    if (verb == "imply") return DoImply(request, id, timing);
+    if (verb == "schema.put") return DoSchemaPut(request, id, timing);
     if (verb == "session.open" || verb == "session.apply" ||
         verb == "session.close") {
-      return DoSession(request, id);
+      return DoSession(request, id, timing);
     }
     if (verb == "stats") return DoStats(request);
+    if (verb == "stats.prom") return DoStatsProm(request);
+    if (verb == "debugz") return DoDebugz(request);
     return ErrorResponse(
         Status::InvalidArgument("unknown verb: " + verb));
   } catch (const std::exception& e) {
@@ -365,9 +431,11 @@ Response Dispatcher::HandleOnce(const Request& request,
 }
 
 Response Dispatcher::DoSchemaPut(const Request& request,
-                                 const std::string& id) {
+                                 const std::string& id,
+                                 RequestTiming* timing) {
   bool cache_hit = false;
-  Result<PlanPtr> plan = CompileIntoCache(request.body, id, &cache_hit);
+  Result<PlanPtr> plan =
+      CompileIntoCache(request.body, id, &cache_hit, timing);
   if (!plan.ok()) return ErrorResponse(plan.status());
   Response response;
   response.headers["schema"] = plan.value()->key;
@@ -377,15 +445,17 @@ Response Dispatcher::DoSchemaPut(const Request& request,
 }
 
 Response Dispatcher::DoValidate(const Request& request,
-                                const std::string& id, size_t attempt) {
+                                const std::string& id, size_t attempt,
+                                RequestTiming* timing) {
   bool cache_hit = false;
-  Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
+  Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit, timing);
   if (!plan.ok()) return ErrorResponse(plan.status());
   if (cache_hit) {
     obs::ScopedSpan hit_span("serve.cache_hit", "serve");
     hit_span.AddString("schema", plan.value()->key);
   }
   RunOverrides overrides = OverridesFor(request);
+  overrides.trace_id = obs::ScopedTraceId::Current();
   // Handle() owns the retry loop (bounded attempts + backoff on
   // kUnavailable). The validator must run a single attempt underneath
   // it, otherwise a `retries` header multiplies across the two layers
@@ -400,6 +470,7 @@ Response Dispatcher::DoValidate(const Request& request,
   BatchReport report;
   {
     obs::ScopedSpan run_span("serve.run", "serve");
+    PhaseTimer run_timer(timing == nullptr ? nullptr : &timing->run_us);
     report = plan.value()->validator->Run({document}, overrides);
   }
   const DocumentOutcome& outcome = report.outcomes[0];
@@ -416,9 +487,10 @@ Response Dispatcher::DoValidate(const Request& request,
   return response;
 }
 
-Response Dispatcher::DoLint(const Request& request, const std::string& id) {
+Response Dispatcher::DoLint(const Request& request, const std::string& id,
+                            RequestTiming* timing) {
   bool cache_hit = false;
-  Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
+  Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit, timing);
   if (!plan.ok()) return ErrorResponse(plan.status());
   RunOverrides overrides = OverridesFor(request);
   AnalysisOptions analysis;
@@ -430,6 +502,7 @@ Response Dispatcher::DoLint(const Request& request, const std::string& id) {
   AnalysisReport report;
   {
     obs::ScopedSpan run_span("serve.run", "serve");
+    PhaseTimer run_timer(timing == nullptr ? nullptr : &timing->run_us);
     report =
         Analyzer().Analyze(plan.value()->dtd, plan.value()->sigma, analysis);
   }
@@ -444,7 +517,8 @@ Response Dispatcher::DoLint(const Request& request, const std::string& id) {
 }
 
 Response Dispatcher::DoImply(const Request& request,
-                             const std::string& /*id*/) {
+                             const std::string& /*id*/,
+                             RequestTiming* timing) {
   const std::string lang = request.header("lang", "lid");
   const std::string schema = request.header("schema");
   const std::string memo_key = lang + '\n' + schema + '\n' + request.body;
@@ -498,6 +572,7 @@ Response Dispatcher::DoImply(const Request& request,
 
   // The solver dance, one per language family.
   obs::ScopedSpan run_span("serve.run", "serve");
+  PhaseTimer run_timer(timing == nullptr ? nullptr : &timing->run_us);
   std::string body;
   if (lang == "lid") {
     PlanPtr plan;
@@ -559,7 +634,8 @@ Response Dispatcher::DoImply(const Request& request,
 }
 
 Response Dispatcher::DoSession(const Request& request,
-                               const std::string& id) {
+                               const std::string& id,
+                               RequestTiming* timing) {
   const std::string name = request.header("session");
   if (request.verb == "session.open") {
     if (sessions_.size() >= options_.sessions.max_sessions) {
@@ -567,7 +643,7 @@ Response Dispatcher::DoSession(const Request& request,
       return ShedResponse("session registry full");
     }
     bool cache_hit = false;
-    Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit);
+    Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit, timing);
     if (!plan.ok()) return ErrorResponse(plan.status());
     Result<std::string> opened = sessions_.Open(name, plan.value());
     if (!opened.ok()) return ErrorResponse(opened.status());
@@ -590,8 +666,10 @@ Response Dispatcher::DoSession(const Request& request,
     return response;
   }
   // session.apply
-  Result<std::string> body =
-      sessions_.Apply(name, request.body, injector_, id);
+  Result<std::string> body = [&] {
+    PhaseTimer run_timer(timing == nullptr ? nullptr : &timing->run_us);
+    return sessions_.Apply(name, request.body, injector_, id);
+  }();
   if (!body.ok()) return ErrorResponse(body.status());
   Response response;
   response.headers["session"] = name;
@@ -600,29 +678,194 @@ Response Dispatcher::DoSession(const Request& request,
 }
 
 Response Dispatcher::DoStats(const Request&) {
+  using Layout = util::JsonWriter::Layout;
   PlanCache::Stats cache_stats = cache_.stats();
   SessionRegistry::Stats session_stats = sessions_.stats();
-  std::string body = "{\n  \"schema\": \"xic-serve-stats-v1\",\n";
-  body += "  \"cache\": {\"entries\": " + std::to_string(cache_.entries()) +
-          ", \"bytes\": " + std::to_string(cache_.bytes()) +
-          ", \"hits\": " + std::to_string(cache_stats.hits) +
-          ", \"misses\": " + std::to_string(cache_stats.misses) +
-          ", \"evictions\": " + std::to_string(cache_stats.evictions) +
-          ", \"negative_hits\": " +
-          std::to_string(cache_stats.negative_hits) +
-          ", \"compile_failures\": " +
-          std::to_string(cache_stats.compile_failures) +
-          ", \"single_flight_waits\": " +
-          std::to_string(cache_stats.single_flight_waits) + "},\n";
-  body += "  \"sessions\": {\"open\": " + std::to_string(sessions_.size()) +
-          ", \"opened\": " + std::to_string(session_stats.opened) +
-          ", \"closed\": " + std::to_string(session_stats.closed) +
-          ", \"reaped\": " + std::to_string(session_stats.reaped) +
-          ", \"refused\": " + std::to_string(session_stats.refused) +
-          "}\n}\n";
+  util::JsonWriter w;
+  w.BeginObject(Layout::kIndented);
+  w.Key("schema");
+  w.String("xic-serve-stats-v1");
+  w.Key("cache");
+  w.BeginObject(Layout::kInline);
+  w.Key("entries");
+  w.Number(static_cast<uint64_t>(cache_.entries()));
+  w.Key("bytes");
+  w.Number(static_cast<uint64_t>(cache_.bytes()));
+  w.Key("hits");
+  w.Number(cache_stats.hits);
+  w.Key("misses");
+  w.Number(cache_stats.misses);
+  w.Key("evictions");
+  w.Number(cache_stats.evictions);
+  w.Key("negative_hits");
+  w.Number(cache_stats.negative_hits);
+  w.Key("compile_failures");
+  w.Number(cache_stats.compile_failures);
+  w.Key("single_flight_waits");
+  w.Number(cache_stats.single_flight_waits);
+  w.EndObject();
+  w.Key("sessions");
+  w.BeginObject(Layout::kInline);
+  w.Key("open");
+  w.Number(static_cast<uint64_t>(sessions_.size()));
+  w.Key("opened");
+  w.Number(session_stats.opened);
+  w.Key("closed");
+  w.Number(session_stats.closed);
+  w.Key("reaped");
+  w.Number(session_stats.reaped);
+  w.Key("refused");
+  w.Number(session_stats.refused);
+  w.EndObject();
+  w.Key("flightrec");
+  w.BeginObject(Layout::kInline);
+  w.Key("capacity");
+  w.Number(static_cast<uint64_t>(recorder_.capacity()));
+  w.Key("recorded");
+  w.Number(recorder_.recorded());
+  w.Key("dropped");
+  w.Number(recorder_.dropped());
+  w.EndObject();
+  w.EndObject();
   Response response;
-  response.body = std::move(body);
+  response.body = w.TakeString() + "\n";
   return response;
+}
+
+Response Dispatcher::DoStatsProm(const Request&) {
+  Response response;
+  response.body = StatsProm();
+  return response;
+}
+
+Response Dispatcher::DoDebugz(const Request&) {
+  Response response;
+  response.body = recorder_.DebugString();
+  return response;
+}
+
+std::string Dispatcher::StatsProm() {
+  obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  // Layer the dispatcher's own state over the registry: these live in
+  // their subsystems' structs (not registry counters), and under
+  // -DXIC_OBS=OFF they are the only metrics there are.
+  PlanCache::Stats cache_stats = cache_.stats();
+  SessionRegistry::Stats session_stats = sessions_.stats();
+  snapshot.counters["serve.cache.hits"] = cache_stats.hits;
+  snapshot.counters["serve.cache.misses"] = cache_stats.misses;
+  snapshot.counters["serve.cache.evictions"] = cache_stats.evictions;
+  snapshot.counters["serve.cache.negative_hits"] =
+      cache_stats.negative_hits;
+  snapshot.counters["serve.cache.compile_failures"] =
+      cache_stats.compile_failures;
+  snapshot.counters["serve.cache.single_flight_waits"] =
+      cache_stats.single_flight_waits;
+  snapshot.counters["serve.sessions.opened"] = session_stats.opened;
+  snapshot.counters["serve.sessions.closed"] = session_stats.closed;
+  snapshot.counters["serve.sessions.reaped"] = session_stats.reaped;
+  snapshot.counters["serve.sessions.refused"] = session_stats.refused;
+  snapshot.counters["serve.flightrec_recorded"] = recorder_.recorded();
+  snapshot.counters["serve.flightrec_dropped"] = recorder_.dropped();
+  snapshot.gauges["serve.cache.entries"] =
+      static_cast<double>(cache_.entries());
+  snapshot.gauges["serve.cache.bytes"] =
+      static_cast<double>(cache_.bytes());
+  snapshot.gauges["serve.sessions.open"] =
+      static_cast<double>(sessions_.size());
+  return obs::PrometheusText(snapshot);
+}
+
+void Dispatcher::ObserveLatency(const std::string& verb, uint64_t total_us,
+                                const RequestTiming& timing) {
+#if XIC_OBS_ENABLED
+  const double total_ms = static_cast<double>(total_us) / 1000.0;
+  XIC_HISTOGRAM_OBSERVE("serve.request.ms", total_ms,
+                        XIC_SERVE_LATENCY_BUCKETS);
+  // queue-wait is observed once per connection by the socket layer
+  // ("serve.queue_wait.ms" in server.cc); here it only feeds the flight
+  // recorder's breakdown, so it is not re-observed per request.
+  if (timing.compile_us > 0) {
+    XIC_HISTOGRAM_OBSERVE("serve.compile.ms",
+                          static_cast<double>(timing.compile_us) / 1000.0,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  }
+  if (timing.run_us > 0) {
+    XIC_HISTOGRAM_OBSERVE("serve.check.ms",
+                          static_cast<double>(timing.run_us) / 1000.0,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  }
+  // Per-verb families. XIC_HISTOGRAM_OBSERVE caches its registry lookup
+  // per call site, so each verb needs its own literal-name site; unknown
+  // verbs share one family rather than minting unbounded metric names.
+  if (verb == "validate") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.validate.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "ping") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.ping.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "lint") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.lint.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "imply") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.imply.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "schema.put") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.schema_put.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "session.open") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.session_open.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "session.apply") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.session_apply.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "session.close") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.session_close.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "stats" || verb == "stats.prom" || verb == "debugz") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.stats.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.other.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  }
+#else
+  (void)verb;
+  (void)total_us;
+  (void)timing;
+#endif
+}
+
+void Dispatcher::RecordFlight(const Request& request,
+                              const Response& response,
+                              const std::string& trace_id,
+                              uint64_t total_us,
+                              const RequestTiming& timing) {
+  if (!recorder_.enabled()) return;
+  obs::FlightRecorder::Record record;
+  record.verb = request.verb;
+  record.trace_id = trace_id;
+  record.status = std::string(WireCode(response.status.code()));
+  record.duration_us = total_us;
+  record.fault = timing.fault;
+  // Load sheds are ShedResponse()-shaped: kUnavailable with the
+  // "overloaded: " message prefix (plain transient failures are not
+  // sheds). The socket layer's sheds never reach here; it records them
+  // itself via flight_recorder().
+  record.shed =
+      response.status.code() == StatusCode::kUnavailable &&
+      response.status.message().rfind("overloaded: ", 0) == 0;
+  if (total_us >= recorder_.slow_threshold_us()) {
+    // Slow request: promote the phase breakdown so the dump answers
+    // "where did the time go" without a trace session.
+    record.detail = "queue_us=" + std::to_string(timing.queue_us) +
+                    " compile_us=" + std::to_string(timing.compile_us) +
+                    " run_us=" + std::to_string(timing.run_us);
+    auto attempts = response.headers.find("attempts");
+    if (attempts != response.headers.end()) {
+      record.detail += " attempts=" + attempts->second;
+    }
+  }
+  recorder_.Add(std::move(record));
 }
 
 }  // namespace xic::serve

@@ -39,11 +39,21 @@ inline constexpr size_t kMaxHeaderLineBytes = 8192;
 
 /// A parsed request frame. `id`, when the client sent one, keys fault
 /// injection and is echoed back; otherwise the server synthesizes one.
+/// A client-supplied `trace-id` header is likewise echoed on the
+/// response and tags every span the request opens; absent, the
+/// dispatcher derives one deterministically from the request id.
 struct Request {
   std::string verb;
   size_t body_length = 0;
   std::map<std::string, std::string> headers;  // sorted, deterministic
   std::string body;
+
+  /// NOT part of the wire frame: time this request's connection spent in
+  /// the server's accept queue, filled in by the socket layer before
+  /// dispatch so the queue-wait share of latency is observable. Always 0
+  /// for in-process dispatch (tests, benches), so it never affects
+  /// response bytes.
+  uint64_t queue_us = 0;
 
   /// The `id` header, or empty.
   std::string id() const;

@@ -153,7 +153,7 @@ void Server::AcceptLoop() {
         ++stats_.shed_queue_full;
         shed = true;
       } else {
-        queue_.push_back(fd);
+        queue_.push_back({fd, std::chrono::steady_clock::now()});
       }
     }
     if (shed) {
@@ -164,6 +164,14 @@ void Server::AcceptLoop() {
           dispatcher_->ShedResponse("accept queue full"));
       WriteAll(fd, wire.data(), wire.size());
       ::close(fd);
+      // The dispatcher never saw this connection; record the shed here
+      // so debugz shows it. No request was read, hence no verb/trace.
+      obs::FlightRecorder::Record record;
+      record.verb = "(accept)";
+      record.status = "unavailable";
+      record.shed = true;
+      record.detail = "accept queue full";
+      dispatcher_->flight_recorder().Add(std::move(record));
     } else {
       queue_cv_.NotifyOne();
     }
@@ -173,16 +181,24 @@ void Server::AcceptLoop() {
 
 void Server::WorkerLoop() {
   for (;;) {
-    int fd = -1;
+    QueuedConn conn;
     {
       util::MutexLock lock(&mutex_);
       while (queue_.empty() && !queue_closed_) queue_cv_.Wait(&mutex_);
       if (queue_.empty()) return;  // closed and drained
-      fd = queue_.front();
+      conn = queue_.front();
       queue_.pop_front();
     }
-    uint64_t served = ServeConnection(fd);
-    ::close(fd);
+    const uint64_t queue_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - conn.enqueued)
+            .count());
+    XIC_HISTOGRAM_OBSERVE("serve.queue_wait.ms",
+                          static_cast<double>(queue_us) / 1000.0,
+                          {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                           50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0});
+    uint64_t served = ServeConnection(conn.fd, queue_us);
+    ::close(conn.fd);
     {
       util::MutexLock lock(&mutex_);
       stats_.served_requests += served;
@@ -191,7 +207,7 @@ void Server::WorkerLoop() {
   }
 }
 
-uint64_t Server::ServeConnection(int fd) {
+uint64_t Server::ServeConnection(int fd, uint64_t queue_us) {
   uint64_t served = 0;
   for (;;) {
     // Drain semantics: a worker finishes the request it is reading/
@@ -204,6 +220,9 @@ uint64_t Server::ServeConnection(int fd) {
     Request request;
     int got = ReadRequest(fd, &request);
     if (got <= 0) break;
+    // The accept-queue wait belongs to the first request only; later
+    // requests on a keep-alive connection never waited in the queue.
+    request.queue_us = served == 0 ? queue_us : 0;
     inflight_bytes_.fetch_add(request.body.size(),
                               std::memory_order_relaxed);
     Response response;
@@ -217,6 +236,15 @@ uint64_t Server::ServeConnection(int fd) {
       }
       XIC_COUNTER_ADD("serve.shed", 1);
       response = dispatcher_->ShedResponse("in-flight byte budget");
+      // Shed before dispatch: the dispatcher's flight-record tail never
+      // ran, so record it here with what the frame told us.
+      obs::FlightRecorder::Record record;
+      record.verb = request.verb;
+      record.trace_id = request.header("trace-id");
+      record.status = "unavailable";
+      record.shed = true;
+      record.detail = "in-flight byte budget";
+      dispatcher_->flight_recorder().Add(std::move(record));
     } else {
       response = dispatcher_->Handle(request);
     }
@@ -326,7 +354,7 @@ void Server::Shutdown(bool drain) {
     // Close queued-but-unserved connections; their peers see EOF.
     util::MutexLock lock(&mutex_);
     while (!queue_.empty()) {
-      ::close(queue_.front());
+      ::close(queue_.front().fd);
       queue_.pop_front();
     }
   }

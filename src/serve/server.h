@@ -28,6 +28,7 @@
 #define XIC_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -112,8 +113,9 @@ class Server {
   void AcceptLoop() XIC_EXCLUDES(mutex_);
   void WorkerLoop() XIC_EXCLUDES(mutex_);
   /// Serves one connection until close/error/timeout. Returns the number
-  /// of requests answered.
-  uint64_t ServeConnection(int fd) XIC_EXCLUDES(mutex_);
+  /// of requests answered. `queue_us` is the connection's accept-queue
+  /// wait, attributed to its first request.
+  uint64_t ServeConnection(int fd, uint64_t queue_us) XIC_EXCLUDES(mutex_);
   /// Reads one frame. Returns 1 on success, 0 on clean EOF / idle
   /// timeout before any byte, -1 after answering an error (connection
   /// should close).
@@ -139,8 +141,13 @@ class Server {
   mutable util::Mutex mutex_;
   util::CondVar queue_cv_;  // workers wait for fds
   util::CondVar done_cv_;   // Wait() / Shutdown coordination
-  /// Accepted fds awaiting a worker.
-  std::deque<int> queue_ XIC_GUARDED_BY(mutex_);
+  /// Accepted fds awaiting a worker, stamped at enqueue so the worker
+  /// can attribute queue-wait time to the connection's first request.
+  struct QueuedConn {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  std::deque<QueuedConn> queue_ XIC_GUARDED_BY(mutex_);
   bool queue_closed_ XIC_GUARDED_BY(mutex_) = false;
   bool started_ XIC_GUARDED_BY(mutex_) = false;
   bool stopped_ XIC_GUARDED_BY(mutex_) = false;

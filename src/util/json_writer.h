@@ -1,0 +1,182 @@
+// A minimal streaming JSON writer shared by every hand-rendered JSON
+// emitter in the tree (the serve stats verb, the metrics registry, the
+// Chrome trace exporter).
+//
+// The writer exists to centralize *escaping* -- the string-soup emitters
+// it replaced each carried their own half-escape, which is where the
+// next injection bug lives -- while reproducing their exact historical
+// output byte-for-byte (golden-tested). To that end each container
+// chooses one of four layouts instead of a global pretty-printer:
+//
+//   kCompact   {"k":1,"l":2}           -- no whitespace at all
+//   kInline    {"k": 1, "l": 2}        -- spaces after ':' and ','
+//   kIndented  {\n  "k": 1,\n  "l": 2\n}  -- one element per line,
+//              two-space indent per depth
+//   kLines     [\n{...},\n{...}\n]     -- one element per line, no
+//              indent (the Chrome trace_event convention)
+//
+// Header-only and pure std by design: the obs layer sits *below* util in
+// the link graph (xic_util links xic_obs), so obs code may include this
+// header but must not need a xic_util link dependency.
+//
+// The writer trusts its caller to emit a well-formed sequence (keys only
+// inside objects, matched Begin/End); it is an output formatter, not a
+// validator.
+
+#ifndef XIC_UTIL_JSON_WRITER_H_
+#define XIC_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xic::util {
+
+class JsonWriter {
+ public:
+  enum class Layout { kCompact, kInline, kIndented, kLines };
+
+  void BeginObject(Layout layout = Layout::kCompact) {
+    BeginContainer('{', '}', layout);
+  }
+  void EndObject() { EndContainer(); }
+  void BeginArray(Layout layout = Layout::kCompact) {
+    BeginContainer('[', ']', layout);
+  }
+  void EndArray() { EndContainer(); }
+
+  void Key(std::string_view key) {
+    BeforeElement();
+    out_ += '"';
+    AppendEscaped(&out_, key);
+    out_ += "\":";
+    if (!stack_.empty() && (stack_.back().layout == Layout::kInline ||
+                            stack_.back().layout == Layout::kIndented)) {
+      out_ += ' ';
+    }
+    pending_key_ = true;
+  }
+
+  void String(std::string_view value) {
+    Prefix();
+    out_ += '"';
+    AppendEscaped(&out_, value);
+    out_ += '"';
+  }
+  void Number(uint64_t value) { Raw(std::to_string(value)); }
+  void Number(int64_t value) { Raw(std::to_string(value)); }
+  void Number(int value) { Number(static_cast<int64_t>(value)); }
+  void Number(unsigned value) { Number(static_cast<uint64_t>(value)); }
+  void Bool(bool value) { Raw(value ? "true" : "false"); }
+  void Null() { Raw("null"); }
+  /// Emits `json` verbatim as one value. For pre-formatted numbers
+  /// (doubles with a pinned printf rendering) and nested documents.
+  void Raw(std::string_view json) {
+    Prefix();
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// JSON string-escapes `text` (quotes, backslash, \n \r \t, and other
+  /// control characters as \u00XX) without surrounding quotes.
+  static std::string Escape(std::string_view text) {
+    std::string out;
+    AppendEscaped(&out, text);
+    return out;
+  }
+
+ private:
+  struct Frame {
+    char close;
+    Layout layout;
+    bool has_elements = false;
+  };
+
+  static void AppendEscaped(std::string* out, std::string_view in) {
+    out->reserve(out->size() + in.size());
+    for (char c : in) {
+      switch (c) {
+        case '"':
+          *out += "\\\"";
+          break;
+        case '\\':
+          *out += "\\\\";
+          break;
+        case '\n':
+          *out += "\\n";
+          break;
+        case '\r':
+          *out += "\\r";
+          break;
+        case '\t':
+          *out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                          static_cast<unsigned char>(c));
+            *out += buffer;
+          } else {
+            *out += c;
+          }
+      }
+    }
+  }
+
+  /// Separator + newline/indent before the next element of the current
+  /// container (no-op at top level).
+  void BeforeElement() {
+    if (stack_.empty()) return;
+    Frame& frame = stack_.back();
+    if (frame.has_elements) {
+      out_ += frame.layout == Layout::kInline ? ", " : ",";
+    }
+    frame.has_elements = true;
+    if (frame.layout == Layout::kIndented) {
+      out_ += '\n';
+      out_.append(stack_.size() * 2, ' ');
+    } else if (frame.layout == Layout::kLines) {
+      out_ += '\n';
+    }
+  }
+
+  /// Element prefix for a value: nothing if it follows its Key.
+  void Prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    BeforeElement();
+  }
+
+  void BeginContainer(char open, char close, Layout layout) {
+    Prefix();
+    out_ += open;
+    stack_.push_back(Frame{close, layout});
+  }
+
+  void EndContainer() {
+    Frame frame = stack_.back();
+    stack_.pop_back();
+    if (frame.layout == Layout::kIndented && frame.has_elements) {
+      out_ += '\n';
+      out_.append(stack_.size() * 2, ' ');
+    } else if (frame.layout == Layout::kLines) {
+      out_ += '\n';
+    }
+    out_ += frame.close;
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace xic::util
+
+#endif  // XIC_UTIL_JSON_WRITER_H_

@@ -298,6 +298,65 @@ TEST(ExportTest, DeterministicTreeSortsSiblingsBySeq) {
   EXPECT_LT(p1, p2);
 }
 
+// The serve layer's trace-id propagation contract: spans opened while a
+// request id is installed are tagged with it, nested installs restore
+// the outer id, and untagged spans stay untagged.
+TEST(TraceTest, ScopedTraceIdTagsSpansAndRestores) {
+  ScopedTraceSession session;
+  EXPECT_EQ(obs::ScopedTraceId::Current(), "");
+  {
+    obs::ScopedTraceId outer("req-1");
+    EXPECT_EQ(obs::ScopedTraceId::Current(), "req-1");
+    { ScopedSpan span("tagged", "test"); }
+    {
+      obs::ScopedTraceId inner("req-2");
+      EXPECT_EQ(obs::ScopedTraceId::Current(), "req-2");
+    }
+    EXPECT_EQ(obs::ScopedTraceId::Current(), "req-1");
+  }
+  EXPECT_EQ(obs::ScopedTraceId::Current(), "");
+  { ScopedSpan span("untagged", "test"); }
+  Tracer::Global().Stop();
+  TraceSnapshot snapshot = Tracer::Global().Collect();
+  ASSERT_EQ(snapshot.spans.size(), 2u);
+  for (const obs::SpanRecord& span : snapshot.spans) {
+    if (span.name == "tagged") {
+      ASSERT_EQ(span.attrs.size(), 1u);
+      EXPECT_EQ(span.attrs[0].key, "trace_id");
+      EXPECT_EQ(span.attrs[0].string_value, "req-1");
+    } else {
+      EXPECT_EQ(span.name, "untagged");
+      EXPECT_TRUE(span.attrs.empty());
+    }
+  }
+}
+
+// Boundary observations land in their own le bucket and render as
+// cumulative counts end-to-end through a real registry histogram.
+TEST(PromTest, RegistryHistogramBoundariesRenderCumulative) {
+  Registry::Global().ResetAll();
+  obs::Histogram& histogram =
+      Registry::Global().GetHistogram("prom_test.lat", {1.0, 10.0});
+  histogram.Observe(1.0);   // le="1" (boundary)
+  histogram.Observe(10.0);  // le="10" (boundary)
+  histogram.Observe(11.0);  // +Inf
+  std::string text = obs::PrometheusText(Registry::Global().Snapshot());
+  EXPECT_NE(text.find("# TYPE xic_prom_test_lat histogram\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_prom_test_lat_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_prom_test_lat_bucket{le=\"10\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_prom_test_lat_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_prom_test_lat_count 3\n"), std::string::npos)
+      << text;
+}
+
 TEST(EngineObsTest, QueueHighWaterMarkIsTracked) {
   Registry::Global().ResetAll();
   ThreadPool pool(2);
@@ -377,7 +436,175 @@ TEST(ObsDisabledTest, ProbesCompileToNoOps) {
   EXPECT_EQ(Registry::Global().GetCounter("off.counter").value(), 0u);
 }
 
+TEST(ObsDisabledTest, ScopedTraceIdIsInert) {
+  obs::ScopedTraceId id("ignored");
+  EXPECT_EQ(obs::ScopedTraceId::Current(), "");
+}
+
 #endif  // XIC_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition and the flight recorder compile (and must pass)
+// in both obs builds: stats.prom and debugz are protocol behavior, not
+// probes.
+
+TEST(PromTest, NameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("serve.request.ms"),
+            "xic_serve_request_ms");
+  EXPECT_EQ(obs::PrometheusName("a-b c/d"), "xic_a_b_c_d");
+  EXPECT_EQ(obs::PrometheusName("ok_name:sub"), "xic_ok_name:sub");
+  EXPECT_EQ(obs::PrometheusName("x", ""), "x");
+}
+
+// Byte-exact golden on a hand-built snapshot: sorted families, one
+// HELP/TYPE pair each, cumulative buckets with a +Inf equal to _count.
+TEST(PromTest, ExpositionGolden) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["serve.requests"] = 3;
+  snapshot.gauges["serve.cache.bytes"] = 4096;
+  snapshot.gauges["serve.load"] = 0.25;
+  obs::HistogramSnapshot histogram;
+  histogram.bounds = {1.0, 10.0};
+  histogram.buckets = {2, 1, 1};  // per-bucket counts incl. overflow
+  histogram.count = 4;
+  histogram.sum = 13.5;
+  snapshot.histograms["serve.request.ms"] = histogram;
+  const std::string expected =
+      "# HELP xic_serve_cache_bytes serve.cache.bytes\n"
+      "# TYPE xic_serve_cache_bytes gauge\n"
+      "xic_serve_cache_bytes 4096\n"
+      "# HELP xic_serve_load serve.load\n"
+      "# TYPE xic_serve_load gauge\n"
+      "xic_serve_load 0.25\n"
+      "# HELP xic_serve_request_ms serve.request.ms\n"
+      "# TYPE xic_serve_request_ms histogram\n"
+      "xic_serve_request_ms_bucket{le=\"1\"} 2\n"
+      "xic_serve_request_ms_bucket{le=\"10\"} 3\n"
+      "xic_serve_request_ms_bucket{le=\"+Inf\"} 4\n"
+      "xic_serve_request_ms_sum 13.5\n"
+      "xic_serve_request_ms_count 4\n"
+      "# HELP xic_serve_requests serve.requests\n"
+      "# TYPE xic_serve_requests counter\n"
+      "xic_serve_requests 3\n";
+  EXPECT_EQ(obs::PrometheusText(snapshot), expected);
+}
+
+// A snapshot whose bucket vector lacks the overflow slot still renders
+// a mandatory +Inf bucket, reconciled with the count field.
+TEST(PromTest, SynthesizesMissingInfBucket) {
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramSnapshot histogram;
+  histogram.bounds = {5.0};
+  histogram.buckets = {2};  // no overflow slot
+  histogram.count = 3;      // one observation above every bound
+  histogram.sum = 20.0;
+  snapshot.histograms["h"] = histogram;
+  std::string text = obs::PrometheusText(snapshot);
+  EXPECT_NE(text.find("xic_h_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_h_count 3\n"), std::string::npos) << text;
+}
+
+TEST(FlightRecorderTest, RingWrapsAndSnapshotSortsBySeq) {
+  obs::FlightRecorder::Config config;
+  config.capacity = 4;
+  config.stripes = 1;
+  obs::FlightRecorder recorder(config);
+  ASSERT_TRUE(recorder.enabled());
+  EXPECT_EQ(recorder.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    obs::FlightRecorder::Record record;
+    record.verb = "v" + std::to_string(i);
+    recorder.Add(std::move(record));
+  }
+  EXPECT_EQ(recorder.recorded(), 6u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  std::vector<obs::FlightRecorder::Record> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // The two oldest records were overwritten in place; the survivors come
+  // back merged in sequence order.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 3);
+    EXPECT_EQ(records[i].verb, "v" + std::to_string(i + 2));
+  }
+}
+
+TEST(FlightRecorderTest, CapacityZeroDisablesRecording) {
+  obs::FlightRecorder::Config config;
+  config.capacity = 0;
+  obs::FlightRecorder recorder(config);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Add({});  // no-op, not a crash
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.DebugString(),
+            "flightrec capacity=0 recorded=0 dropped=0 "
+            "slow_threshold_us=100000\n");
+}
+
+TEST(FlightRecorderTest, DebugStringGolden) {
+  obs::FlightRecorder::Config config;
+  config.capacity = 2;
+  config.stripes = 1;
+  config.slow_threshold_us = 5000;
+  obs::FlightRecorder recorder(config);
+  obs::FlightRecorder::Record fast;
+  fast.verb = "validate";
+  fast.trace_id = "abc123";
+  fast.status = "ok";
+  fast.duration_us = 42;
+  recorder.Add(std::move(fast));
+  obs::FlightRecorder::Record slow;
+  slow.verb = "validate";
+  slow.trace_id = "def456";
+  slow.status = "unavailable";
+  slow.duration_us = 9001;
+  slow.shed = true;
+  slow.fault = true;
+  slow.detail = "queue_us=1 compile_us=2 run_us=3";
+  recorder.Add(std::move(slow));
+  EXPECT_EQ(recorder.DebugString(),
+            "flightrec capacity=2 recorded=2 dropped=0 "
+            "slow_threshold_us=5000\n"
+            "#1 verb=validate trace=abc123 status=ok dur_us=42 "
+            "shed=0 fault=0\n"
+            "#2 verb=validate trace=def456 status=unavailable "
+            "dur_us=9001 shed=1 fault=1 "
+            "queue_us=1 compile_us=2 run_us=3\n");
+}
+
+TEST(FlightRecorderTest, StripesAreClampedToCapacity) {
+  obs::FlightRecorder::Config config;
+  config.capacity = 2;
+  config.stripes = 8;  // clamped to 2 one-record stripes
+  obs::FlightRecorder recorder(config);
+  EXPECT_EQ(recorder.capacity(), 2u);
+  for (int i = 0; i < 5; ++i) recorder.Add({});
+  EXPECT_EQ(recorder.Snapshot().size(), 2u);
+}
+
+TEST(FlightRecorderTest, ConcurrentAddsNeverExceedTheBound) {
+  obs::FlightRecorder::Config config;
+  config.capacity = 32;
+  config.stripes = 4;
+  obs::FlightRecorder recorder(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 500; ++i) {
+        obs::FlightRecorder::Record record;
+        record.verb = "ping";
+        recorder.Add(std::move(record));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every Add was either retained or dropped-and-counted; the ring never
+  // grows past its bound.
+  EXPECT_EQ(recorder.recorded(), 2000u);
+  EXPECT_LE(recorder.Snapshot().size(), 32u);
+  EXPECT_LE(recorder.dropped(), 2000u);
+}
 
 }  // namespace
 }  // namespace xic

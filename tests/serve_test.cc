@@ -661,6 +661,195 @@ TEST(DispatcherTest, FaultedResponsesAreByteStableAcrossThreadCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Request-scoped observability: trace ids, stats, stats.prom, debugz.
+// These behaviors are protocol surface, not probes: every test in this
+// section must pass identically under -DXIC_OBS=OFF (only the
+// explicitly #if-guarded histogram checks are obs-build-specific).
+
+TEST(DispatcherTest, TraceIdEchoedVerbatimAndDerivedDeterministically) {
+  Dispatcher dispatcher(FastOptions());
+  // Client-supplied: echoed back as sent.
+  Response echoed = dispatcher.Handle(
+      MakeRequest("ping", "", {{"id", "r1"}, {"trace-id", "tok-42"}}));
+  EXPECT_EQ(echoed.headers.at("trace-id"), "tok-42");
+  // Server-derived: sixteen hex chars, a pure function of the request
+  // id -- the same id maps to the same trace id, distinct ids differ.
+  Response a1 = dispatcher.Handle(MakeRequest("ping", "", {{"id", "a"}}));
+  Response a2 = dispatcher.Handle(MakeRequest("ping", "", {{"id", "a"}}));
+  Response b = dispatcher.Handle(MakeRequest("ping", "", {{"id", "b"}}));
+  const std::string& derived = a1.headers.at("trace-id");
+  EXPECT_EQ(derived.size(), 16u);
+  EXPECT_EQ(derived.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(a2.headers.at("trace-id"), derived);
+  EXPECT_NE(b.headers.at("trace-id"), derived);
+  // A token with header-unsafe bytes is sanitized, never echoed raw.
+  Response unsafe = dispatcher.Handle(
+      MakeRequest("ping", "", {{"trace-id", "two words"}}));
+  EXPECT_EQ(unsafe.headers.at("trace-id").find(' '), std::string::npos);
+  // Error responses carry the id too: that is what makes a failed
+  // request joinable with its spans.
+  Response error = dispatcher.Handle(
+      MakeRequest("frobnicate", "", {{"trace-id", "tok-err"}}));
+  EXPECT_FALSE(error.status.ok());
+  EXPECT_EQ(error.headers.at("trace-id"), "tok-err");
+}
+
+TEST(DispatcherTest, TraceIdsAreByteStableAcrossThreadCounts) {
+  constexpr int kRequests = 24;
+  auto run = [](size_t threads) {
+    Dispatcher dispatcher(FastOptions());
+    std::vector<std::string> ids(kRequests);
+    ThreadPool pool(threads);
+    pool.ParallelFor(kRequests, [&](size_t i) {
+      Response response = dispatcher.Handle(
+          MakeRequest("ping", "", {{"id", "req-" + std::to_string(i)}}));
+      ids[i] = response.headers.at("trace-id");
+    });
+    return ids;
+  };
+  std::vector<std::string> one = run(1);
+  EXPECT_EQ(run(4), one);
+  EXPECT_EQ(run(16), one);
+}
+
+// Byte-exact golden for the stats verb on a fresh dispatcher: the verb
+// is machine-scraped, so its layout is pinned, flightrec section
+// included. (The stats request itself is only recorded after the body
+// is rendered, so a fresh dispatcher reads all-zero.)
+TEST(DispatcherTest, StatsGoldenIncludesFlightRecorder) {
+  Dispatcher dispatcher(FastOptions());
+  Response stats = dispatcher.Handle(MakeRequest("stats", ""));
+  ASSERT_TRUE(stats.status.ok()) << stats.status.ToString();
+  EXPECT_EQ(stats.body,
+            "{\n"
+            "  \"schema\": \"xic-serve-stats-v1\",\n"
+            "  \"cache\": {\"entries\": 0, \"bytes\": 0, \"hits\": 0, "
+            "\"misses\": 0, \"evictions\": 0, \"negative_hits\": 0, "
+            "\"compile_failures\": 0, \"single_flight_waits\": 0},\n"
+            "  \"sessions\": {\"open\": 0, \"opened\": 0, \"closed\": 0, "
+            "\"reaped\": 0, \"refused\": 0},\n"
+            "  \"flightrec\": {\"capacity\": 512, \"recorded\": 0, "
+            "\"dropped\": 0}\n"
+            "}\n");
+}
+
+TEST(DispatcherTest, StatsPromExposesLayeredServeMetrics) {
+  Dispatcher dispatcher(FastOptions());
+  Response put = dispatcher.Handle(MakeRequest("schema.put", kSchema));
+  ASSERT_TRUE(put.status.ok()) << put.status.ToString();
+  const std::string schema = put.headers.at("schema");
+  Response validated = dispatcher.Handle(
+      MakeRequest("validate", "<bib><entry isbn=\"1\"/></bib>",
+                  {{"schema", schema}}));
+  ASSERT_TRUE(validated.status.ok()) << validated.status.ToString();
+  Response prom = dispatcher.Handle(MakeRequest("stats.prom", ""));
+  ASSERT_TRUE(prom.status.ok()) << prom.status.ToString();
+  const std::string& text = prom.body;
+  // Layered dispatcher counters render with HELP/TYPE in every build.
+  EXPECT_NE(text.find("# HELP xic_serve_cache_hits serve.cache.hits\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE xic_serve_cache_hits counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_serve_cache_hits 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_serve_cache_misses 1\n"), std::string::npos)
+      << text;
+  // schema.put and validate were both recorded before this scrape.
+  EXPECT_NE(text.find("xic_serve_flightrec_recorded 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_serve_flightrec_dropped 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE xic_serve_cache_entries gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_serve_cache_entries 1\n"), std::string::npos)
+      << text;
+#if XIC_OBS_ENABLED
+  // Probe builds add the latency histograms (per-request and per-verb).
+  EXPECT_NE(text.find("# TYPE xic_serve_request_ms histogram\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_serve_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xic_serve_verb_validate_ms_count"),
+            std::string::npos)
+      << text;
+#endif
+}
+
+TEST(DispatcherTest, DebugzRecordsShedsAndFaults) {
+  DispatcherOptions options = FastOptions();
+  options.faults.rate = 0.5;  // faults key on the id, so some requests
+  options.faults.seed = 42;   // shed and others pass -- deterministically
+  options.faults.sites = {"serve.admit"};
+  Dispatcher dispatcher(options);
+  int shed = 0;
+  for (int i = 0; i < 16; ++i) {
+    Response response = dispatcher.Handle(MakeRequest(
+        "validate", kValidDoc, {{"id", "s" + std::to_string(i)}}));
+    if (response.status.code() == StatusCode::kUnavailable) ++shed;
+  }
+  ASSERT_GT(shed, 0) << "fault rate produced no shed validates";
+  // The debugz request is admission-checked like any other; probe ids
+  // until one clears (each has p=0.5, so 32 misses is ~impossible).
+  Response debugz = ErrorResponse(Status::Unavailable("not yet sent"));
+  for (int i = 0; i < 32 && !debugz.status.ok(); ++i) {
+    debugz = dispatcher.Handle(
+        MakeRequest("debugz", "", {{"id", "dz" + std::to_string(i)}}));
+  }
+  ASSERT_TRUE(debugz.status.ok()) << debugz.status.ToString();
+  const std::string& dump = debugz.body;
+  EXPECT_EQ(dump.rfind("flightrec capacity=512 recorded=", 0), 0u)
+      << dump;
+  // Every admission-faulted validate landed as a shed + fault record
+  // with its derived trace id.
+  EXPECT_NE(dump.find("verb=validate trace="), std::string::npos) << dump;
+  EXPECT_NE(dump.find(" status=unavailable "), std::string::npos) << dump;
+  EXPECT_NE(dump.find(" shed=1 fault=1"), std::string::npos) << dump;
+}
+
+TEST(DispatcherTest, SlowRequestsPromoteThePhaseBreakdown) {
+  DispatcherOptions options = FastOptions();
+  options.flight_recorder.slow_threshold_us = 0;  // everything is "slow"
+  Dispatcher dispatcher(options);
+  Response response = dispatcher.Handle(
+      MakeRequest("validate", kValidDoc, {{"id", "slow"}}));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  Response debugz = dispatcher.Handle(MakeRequest("debugz", ""));
+  // A cold validate compiles then checks; both phases land in the
+  // promoted detail alongside the (in-process, so zero) queue wait.
+  EXPECT_NE(debugz.body.find(" queue_us=0 compile_us="),
+            std::string::npos)
+      << debugz.body;
+  EXPECT_NE(debugz.body.find(" run_us="), std::string::npos)
+      << debugz.body;
+}
+
+TEST(DispatcherTest, FlightRecorderDisabledKeepsVerbsAlive) {
+  DispatcherOptions options = FastOptions();
+  options.flight_recorder.capacity = 0;
+  Dispatcher dispatcher(options);
+  dispatcher.Handle(MakeRequest("ping", ""));
+  Response debugz = dispatcher.Handle(MakeRequest("debugz", ""));
+  ASSERT_TRUE(debugz.status.ok());
+  EXPECT_EQ(debugz.body,
+            "flightrec capacity=0 recorded=0 dropped=0 "
+            "slow_threshold_us=100000\n");
+  Response stats = dispatcher.Handle(MakeRequest("stats", ""));
+  EXPECT_NE(stats.body.find(
+                "\"flightrec\": {\"capacity\": 0, \"recorded\": 0, "
+                "\"dropped\": 0}"),
+            std::string::npos)
+      << stats.body;
+}
+
+// ---------------------------------------------------------------------------
 // Sessions
 
 PlanPtr CompileTestPlan() {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "util/json_writer.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -94,6 +95,96 @@ TEST(StringsTest, StripWhitespace) {
   EXPECT_EQ(StripWhitespace("  a b  "), "a b");
   EXPECT_EQ(StripWhitespace("\t\n"), "");
   EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+using util::JsonWriter;
+using Layout = util::JsonWriter::Layout;
+
+TEST(JsonWriterTest, CompactLayoutHasNoWhitespace) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("k");
+  w.Number(1);
+  w.Key("l");
+  w.BeginArray();
+  w.Bool(true);
+  w.Null();
+  w.String("x");
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":1,\"l\":[true,null,\"x\"]}");
+}
+
+TEST(JsonWriterTest, InlineLayoutSpacesAfterColonAndComma) {
+  JsonWriter w;
+  w.BeginObject(Layout::kInline);
+  w.Key("k");
+  w.Number(1);
+  w.Key("l");
+  w.Number(2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"k\": 1, \"l\": 2}");
+}
+
+// The stats-verb shape: an indented outer object whose sub-objects stay
+// on one line each.
+TEST(JsonWriterTest, IndentedOuterWithInlineInner) {
+  JsonWriter w;
+  w.BeginObject(Layout::kIndented);
+  w.Key("schema");
+  w.String("v1");
+  w.Key("cache");
+  w.BeginObject(Layout::kInline);
+  w.Key("entries");
+  w.Number(0);
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"schema\": \"v1\",\n"
+            "  \"cache\": {\"entries\": 0}\n"
+            "}");
+}
+
+// The Chrome trace_event shape: one element per array line, no indent.
+TEST(JsonWriterTest, LinesLayoutOneElementPerLine) {
+  JsonWriter w;
+  w.BeginArray(Layout::kLines);
+  w.Raw("{\"a\":1}");
+  w.Raw("{\"b\":2}");
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[\n{\"a\":1},\n{\"b\":2}\n]");
+}
+
+TEST(JsonWriterTest, EmptyContainersStayClosedUp) {
+  JsonWriter compact;
+  compact.BeginObject(Layout::kIndented);
+  compact.EndObject();
+  EXPECT_EQ(compact.str(), "{}");
+  JsonWriter array;
+  array.BeginArray(Layout::kLines);
+  array.EndArray();
+  EXPECT_EQ(array.str(), "[\n]");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndKeys) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te\r"),
+            "a\\\"b\\\\c\\nd\\te\\r");
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01", 1)), "\\u0001");
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("quote\"key");
+  w.String("line\nbreak");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"quote\\\"key\":\"line\\nbreak\"}");
+}
+
+TEST(JsonWriterTest, TakeStringMovesTheBuffer) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(7);
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[7]");
 }
 
 TEST(StringsTest, XmlNames) {

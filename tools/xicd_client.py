@@ -7,6 +7,13 @@ end-to-end:
   * ping / schema.put / validate (cold compile, then cache hit)
   * imply (memoized second round-trip)
   * session.open / session.apply / session.close
+  * trace-id echo: client tokens come back verbatim, server-derived ids
+    are deterministic per request id
+  * stats.prom validated with a strict text-format parser (HELP/TYPE
+    lines, sorted families, cumulative histogram buckets, +Inf == _count)
+    and counter monotonicity across two scrapes
+  * debugz flight-recorder dump (and, with --faults, shed/fault flags in
+    the dump)
   * explicit error frames for malformed input
   * with --faults: a fault-injected run asserting transparent retry and
     explicit unavailable + retry-after-ms shedding
@@ -53,6 +60,113 @@ def check(condition, label):
         CHECKS["failed"] += 1
         print(f"FAIL: {label}", file=sys.stderr)
     return condition
+
+
+PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r'(?:\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*)\})?'  # labels
+    r" (\S+)$")                              # value
+
+
+def parse_prometheus(text):
+    """Strict parser for the exposition subset xic emits.
+
+    Enforces: every sample is preceded by its family's # HELP then # TYPE
+    line, family names are sorted, names match the Prometheus charset,
+    histogram buckets are cumulative with a final le="+Inf" bucket whose
+    value equals _count. Returns {family: {"type": t, "samples":
+    [(name, labels, value)]}}; raises ValueError on any violation.
+    """
+    families = {}
+    order = []
+    current = None
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                return name[: -len(suffix)]
+        return name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank line in exposition")
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, _help = rest.partition(" ")
+            if not PROM_NAME.match(name):
+                raise ValueError(f"line {lineno}: bad HELP name {name!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate HELP for {name}")
+            families[name] = {"type": None, "samples": []}
+            order.append(name)
+            current = name
+        elif line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if name != current:
+                raise ValueError(
+                    f"line {lineno}: TYPE {name} does not follow its HELP")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: bad type {kind!r}")
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            raise ValueError(f"line {lineno}: unexpected comment {line!r}")
+        else:
+            match = PROM_SAMPLE.match(line)
+            if not match:
+                raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+            name, labels_text, value_text = match.groups()
+            family = family_of(name)
+            if family != current:
+                raise ValueError(
+                    f"line {lineno}: sample {name} outside its family block")
+            if families[family]["type"] is None:
+                raise ValueError(f"line {lineno}: sample before TYPE")
+            labels = {}
+            if labels_text:
+                for part in re.findall(
+                        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                        labels_text):
+                    labels[part[0]] = (part[1].replace(r"\n", "\n")
+                                       .replace(r"\"", '"')
+                                       .replace(r"\\", "\\"))
+            value = float(value_text)  # accepts +Inf/NaN renderings too
+            families[family]["samples"].append((name, labels, value))
+    if order != sorted(order):
+        raise ValueError("family names are not sorted")
+    for name, family in families.items():
+        if not family["samples"]:
+            raise ValueError(f"family {name} has HELP/TYPE but no samples")
+        if family["type"] != "histogram":
+            continue
+        buckets = [s for s in family["samples"] if s[0] == name + "_bucket"]
+        counts = [s for s in family["samples"] if s[0] == name + "_count"]
+        if not buckets or len(counts) != 1:
+            raise ValueError(f"histogram {name} missing buckets or _count")
+        last = -1.0
+        prev_le = None
+        for _, labels, value in buckets:
+            if "le" not in labels:
+                raise ValueError(f"histogram {name} bucket without le")
+            le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+            if prev_le is not None and le <= prev_le:
+                raise ValueError(f"histogram {name} le values not increasing")
+            if value < last:
+                raise ValueError(f"histogram {name} buckets not cumulative")
+            prev_le, last = le, value
+        if prev_le != float("inf"):
+            raise ValueError(f"histogram {name} lacks the +Inf bucket")
+        if buckets[-1][2] != counts[0][2]:
+            raise ValueError(f"histogram {name}: +Inf bucket != _count")
+    return families
+
+
+def counter_values(families):
+    return {name: family["samples"][0][2]
+            for name, family in families.items()
+            if family["type"] == "counter"}
 
 
 class Client:
@@ -184,6 +298,59 @@ def run_functional_flow(port):
 
     code, _, body = client.rpc("stats", "")
     check(code == "ok" and "xic-serve-stats-v1" in body, "stats endpoint")
+    check('"flightrec"' in body, "stats reports the flight recorder")
+
+    # Trace ids: explicit tokens echo verbatim; derived ones are a pure
+    # function of the request id (same id -> same trace id).
+    code, headers, _ = client.rpc("ping", id="trace-ck", trace_id="tok-42")
+    check(code == "ok" and headers.get("trace-id") == "tok-42",
+          "client trace-id echoes verbatim")
+    first = client.rpc("ping", id="trace-ck")[1].get("trace-id", "")
+    second = client.rpc("ping", id="trace-ck")[1].get("trace-id", "")
+    check(re.fullmatch(r"[0-9a-f]{16}", first) is not None,
+          "derived trace-id is 16-hex")
+    check(first == second, "derived trace-id is deterministic per id")
+    other = client.rpc("ping", id="trace-other")[1].get("trace-id", "")
+    check(other != first, "different ids derive different trace-ids")
+
+    # stats.prom: strictly parseable, and counters are monotonic across
+    # two scrapes with traffic in between.
+    code, _, scrape1 = client.rpc("stats.prom", "")
+    check(code == "ok", "stats.prom answers")
+    try:
+        families1 = parse_prometheus(scrape1)
+        check(True, "stats.prom parses strictly")
+    except ValueError as error:
+        families1 = None
+        check(False, f"stats.prom parses strictly ({error})")
+    for _ in range(3):
+        client.rpc("validate", GOOD_DOC)
+    code, _, scrape2 = client.rpc("stats.prom", "")
+    try:
+        families2 = parse_prometheus(scrape2)
+    except ValueError as error:
+        families2 = None
+        check(False, f"second stats.prom scrape parses ({error})")
+    if families1 is not None and families2 is not None:
+        before = counter_values(families1)
+        after = counter_values(families2)
+        check(set(before) <= set(after),
+              "no counter family disappears between scrapes")
+        check(all(after[name] >= value for name, value in before.items()
+                  if name in after),
+              "counters are monotonic across scrapes")
+        recorded = "xic_serve_flightrec_recorded"
+        check(after.get(recorded, 0) > before.get(recorded, 0),
+              "flight recorder records the traffic between scrapes")
+        check("xic_serve_cache_hits" in after,
+              "cache stats are layered into stats.prom")
+
+    # debugz: the flight recorder replays recent requests, newest last.
+    code, _, dump = client.rpc("debugz", "")
+    check(code == "ok" and dump.startswith("flightrec capacity="),
+          "debugz dumps the flight recorder")
+    check("verb=validate" in dump and "trace=" in dump,
+          "debugz records carry verb and trace id")
     client.close()
 
     # Malformed frame: the server answers an error frame, then closes.
@@ -223,6 +390,23 @@ def run_faulted_flow(port):
         code, headers, _ = client.rpc("ping", id=flaky_id, retries="3")
         check(code == "ok" and int(headers.get("attempts", "1")) > 1,
               "retries header rides out the transient fault")
+
+    # The flight recorder saw the degraded traffic: at least one shed
+    # (admission fault -> unavailable) and one fault flag in the dump.
+    # The debugz request itself is subject to admission faults, so probe
+    # with distinct ids until one clears deterministically.
+    code, dump = "unavailable", ""
+    for i in range(32):
+        code, _, dump = client.rpc("debugz", "", id=f"dz-{i}")
+        if code == "ok":
+            break
+    check(code == "ok" and dump.startswith("flightrec capacity="),
+          "debugz answers under fault injection")
+    check(" shed=1 " in dump or dump.rstrip().endswith("shed=1"),
+          "debugz shows shed requests after load shedding")
+    check("fault=1" in dump, "debugz flags fault-injected requests")
+    check("status=unavailable" in dump,
+          "debugz records the unavailable status of shed requests")
     client.close()
 
 

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""xictop: a terminal top-alike for a running xicd daemon.
+
+Polls the daemon's stats.prom verb over the xic/1 wire protocol and
+renders live qps / latency / cache-hit-rate / shed-rate deltas. No
+curses, no dependencies: plain ANSI repaint, so it works in CI logs
+(--count 1 prints one snapshot and exits) and over ssh alike.
+
+Usage:
+  tools/xictop.py --port 7677 [--interval 1.0] [--count 0]
+
+Keys shown per refresh:
+  qps        requests per second since the previous scrape
+  p50/p90    request latency estimated from the serve.request.ms
+             histogram deltas (linear interpolation within a bucket)
+  hit%       plan-cache hit rate over the interval
+  shed/s     load-shed responses per second
+  err/s      non-ok responses per second
+  rec/drop   flight-recorder records and drops over the interval
+
+Exit code 0 on a clean run, 1 when the daemon cannot be reached.
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+
+def scrape(host, port, timeout):
+    """One stats.prom round-trip; returns the exposition text."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        sock.sendall(b"xic/1 stats.prom 0\n")
+        reader = sock.makefile("rb")
+        line = reader.readline().decode()
+        parts = line.strip().split(" ")
+        if len(parts) < 3 or parts[0] != "xic/1" or parts[1] != "ok":
+            raise RuntimeError(f"bad stats.prom response: {line.strip()!r}")
+        body = reader.read(int(parts[2]))
+        return body.decode()
+    finally:
+        sock.close()
+
+
+def parse(text):
+    """Exposition text -> {metric-name: value} and histogram buckets.
+
+    Returns (flat, histograms) where histograms maps family name to a
+    list of (le-bound, cumulative-count) plus ("sum"/"count", value)
+    entries kept in flat under '<family>_sum' / '<family>_count'.
+    """
+    flat = {}
+    histograms = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_text = line.rpartition(" ")
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue
+        if "{" in name_part:
+            name, _, labels = name_part.partition("{")
+            if name.endswith("_bucket") and 'le="' in labels:
+                family = name[: -len("_bucket")]
+                le_text = labels.split('le="', 1)[1].split('"', 1)[0]
+                le = float("inf") if le_text == "+Inf" else float(le_text)
+                histograms.setdefault(family, []).append((le, value))
+            continue
+        flat[name_part] = value
+    return flat, histograms
+
+
+def quantile(buckets_before, buckets_after, q):
+    """Latency quantile from histogram deltas, linearly interpolated."""
+    if not buckets_after:
+        return None
+    before = dict(buckets_before or [])
+    deltas = []
+    for le, cumulative in buckets_after:
+        deltas.append((le, cumulative - before.get(le, 0.0)))
+    total = deltas[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    prev_le, prev_cum = 0.0, 0.0
+    for le, cumulative in deltas:
+        if cumulative >= target:
+            if le == float("inf"):
+                return prev_le  # open-ended bucket: report its lower edge
+            span = cumulative - prev_cum
+            if span <= 0:
+                return le
+            return prev_le + (le - prev_le) * (target - prev_cum) / span
+        prev_le, prev_cum = le, cumulative
+    return prev_le
+
+
+def fmt_ms(value):
+    if value is None:
+        return "   -  "
+    if value < 10:
+        return f"{value:5.2f}m"
+    return f"{value:5.0f}m"
+
+
+def delta(after, before, name):
+    return after.get(name, 0.0) - before.get(name, 0.0)
+
+
+def render(after, before, hist_after, hist_before, interval):
+    qps = delta(after, before, "xic_serve_requests") / interval
+    shed = delta(after, before, "xic_serve_shed") / interval
+    errors = delta(after, before, "xic_serve_errors") / interval
+    hits = delta(after, before, "xic_serve_cache_hits")
+    misses = delta(after, before, "xic_serve_cache_misses")
+    lookups = hits + misses
+    hit_rate = 100.0 * hits / lookups if lookups > 0 else None
+    family = "xic_serve_request_ms"
+    p50 = quantile(hist_before.get(family), hist_after.get(family), 0.50)
+    p90 = quantile(hist_before.get(family), hist_after.get(family), 0.90)
+    recorded = delta(after, before, "xic_serve_flightrec_recorded")
+    dropped = delta(after, before, "xic_serve_flightrec_dropped")
+    hit_text = f"{hit_rate:5.1f}%" if hit_rate is not None else "   -  "
+    return (f"qps {qps:8.1f}  p50 {fmt_ms(p50)}  p90 {fmt_ms(p90)}  "
+            f"hit {hit_text}  shed/s {shed:6.1f}  err/s {errors:6.1f}  "
+            f"rec {recorded:6.0f}/drop {dropped:.0f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between scrapes (default 1)")
+    parser.add_argument("--count", type=int, default=0,
+                        help="refreshes before exiting (0 = forever)")
+    parser.add_argument("--timeout", type=float, default=5.0)
+    args = parser.parse_args()
+
+    try:
+        flat, hist = parse(scrape(args.host, args.port, args.timeout))
+    except (OSError, RuntimeError) as error:
+        print(f"xictop: {error}", file=sys.stderr)
+        return 1
+    print(f"xictop: {args.host}:{args.port} every {args.interval}s "
+          "(ctrl-c to quit)")
+    refreshes = 0
+    try:
+        while args.count == 0 or refreshes < args.count:
+            time.sleep(args.interval)
+            try:
+                now_flat, now_hist = parse(
+                    scrape(args.host, args.port, args.timeout))
+            except (OSError, RuntimeError) as error:
+                print(f"xictop: {error}", file=sys.stderr)
+                return 1
+            line = render(now_flat, flat, now_hist, hist, args.interval)
+            if sys.stdout.isatty() and refreshes > 0:
+                sys.stdout.write("\x1b[1A\x1b[2K")  # repaint in place
+            print(line)
+            sys.stdout.flush()
+            flat, hist = now_flat, now_hist
+            refreshes += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
