@@ -98,6 +98,9 @@ int Usage() {
          "  --max-bytes N   per-document size limit (0 = unlimited)\n"
          "  --timeout-ms N  per-document wall-clock budget (0 = none)\n"
          "  --retries N     extra attempts for transient failures\n"
+         "  --stream        bounded-memory streaming pipeline per document\n"
+         "  --spill-mb N    extent-log budget before spilling (MiB, with "
+         "--stream)\n"
          "  --json FILE     write the batch report as JSON\n"
          "  --trace-out FILE    write a Chrome/Perfetto trace of the run\n"
          "  --metrics-out FILE  write the metrics registry as JSON\n"
@@ -167,6 +170,14 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.max_attempts = count + 1;
+    } else if (arg == "--stream") {
+      options.stream = true;
+    } else if (arg == "--spill-mb" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], &count)) {
+        std::cerr << "--spill-mb: not a number: " << argv[i] << "\n";
+        return Usage();
+      }
+      options.stream_spill_budget_bytes = static_cast<size_t>(count) << 20;
 #ifdef XIC_FAULT_INJECTION
     } else if (arg == "--fault-rate" && i + 1 < argc) {
       char* end = nullptr;

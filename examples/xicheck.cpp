@@ -55,9 +55,67 @@ const char* kDemo = R"(<?xml version="1.0"?>
 
 struct CheckConfig {
   bool repair = false;
+  bool stream = false;       // bounded-memory streaming pipeline
+  size_t spill_mb = 64;      // extent-log budget before spilling (MiB)
   ResourceLimits limits;
   uint64_t timeout_ms = 0;  // 0 = no deadline
 };
+
+// Streaming twin of CheckOne: same output bytes, same exit codes, but
+// the document never materializes -- peak memory is bounded by the
+// spill budget, not the document size. (--repair needs the tree and is
+// rejected up front in main.)
+int StreamCheckOne(const std::string& name, ByteSource& source,
+                   const CheckConfig& config) {
+  StreamOptions options;
+  options.validation.allow_missing_attributes = true;
+  options.limits = config.limits;
+  options.deadline = config.timeout_ms == 0
+                         ? Deadline::Infinite()
+                         : Deadline::AfterMillis(config.timeout_ms);
+  options.spill_budget_bytes = config.spill_mb << 20;
+  SelfDescribingStreamResult r = StreamValidateSelfDescribing(source, options);
+  if (!r.outcome.parse.ok()) {
+    std::cerr << name << ": " << r.outcome.parse << "\n";
+    return 2;
+  }
+  if (!r.has_dtd) {
+    std::cerr << name << ": no DTD in the DOCTYPE; nothing to check\n";
+    return 2;
+  }
+  if (!r.outcome.structure.status.ok()) {
+    std::cerr << name << ": " << r.outcome.structure.status << "\n";
+    return 2;
+  }
+  int exit_code = 0;
+  std::cout << name << ": structure "
+            << (r.outcome.structure.ok() ? "valid" : "INVALID") << "\n";
+  if (!r.outcome.structure.ok()) {
+    std::cout << r.outcome.structure.ToString();
+    exit_code = 1;
+  }
+  if (!r.sigma.has_value()) {
+    std::cout << name << ": no embedded constraints\n";
+    return exit_code;
+  }
+  const ConstraintSet& sigma = *r.sigma;
+  if (!r.well_formed.ok()) {
+    std::cerr << name << ": constraint block ill-formed: " << r.well_formed
+              << "\n";
+    return 2;
+  }
+  if (!r.outcome.constraints.status.ok()) {
+    std::cerr << name << ": " << r.outcome.constraints.status << "\n";
+    return 2;
+  }
+  std::cout << name << ": " << sigma.constraints.size() << " constraints, "
+            << r.outcome.constraints.violations.size() << " violation(s)\n";
+  if (!r.outcome.constraints.ok()) {
+    std::cout << r.outcome.constraints.ToString(sigma);
+    exit_code = 1;
+  }
+  return exit_code;
+}
 
 int CheckOne(const std::string& name, const std::string& text,
              const CheckConfig& config) {
@@ -164,6 +222,14 @@ int main(int argc, char** argv) {
       if (obs_error) return 2;
     } else if (arg == "--repair") {
       config.repair = true;
+    } else if (arg == "--stream") {
+      config.stream = true;
+    } else if (arg == "--spill-mb" && i + 1 < argc) {
+      if (!ParseNumber(argv[++i], &count)) {
+        std::cerr << "--spill-mb: not a number: " << argv[i] << "\n";
+        return 2;
+      }
+      config.spill_mb = count;
     } else if (arg == "--max-depth" && i + 1 < argc) {
       if (!ParseNumber(argv[++i], &count)) {
         std::cerr << "--max-depth: not a number: " << argv[i] << "\n";
@@ -183,9 +249,10 @@ int main(int argc, char** argv) {
       }
       config.timeout_ms = count;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: xicheck [--repair] [--max-depth N] "
-                   "[--max-bytes N] [--timeout-ms N] [--trace-out FILE] "
-                   "[--metrics-out FILE] [--stats] [file.xml ...]\n";
+      std::cout << "usage: xicheck [--repair] [--stream] [--spill-mb N] "
+                   "[--max-depth N] [--max-bytes N] [--timeout-ms N] "
+                   "[--trace-out FILE] [--metrics-out FILE] [--stats] "
+                   "[file.xml ...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << arg << ": unknown option\n";
@@ -194,18 +261,39 @@ int main(int argc, char** argv) {
       files.push_back(std::move(arg));
     }
   }
+  if (config.stream && config.repair) {
+    std::cerr << "--repair needs the materialized tree; it cannot be "
+                 "combined with --stream\n";
+    return 2;
+  }
   ObsCliSession obs_session(obs_options);
   if (files.empty()) {
     std::cout << "(no files given; checking the built-in demo, which has "
                  "one dangling reference)\n";
     CheckConfig demo = config;
-    demo.repair = true;
-    int code = CheckOne("<demo>", kDemo, demo) == 2 ? 2 : 0;
+    int code;
+    if (config.stream) {
+      StringSource source(kDemo);
+      code = StreamCheckOne("<demo>", source, demo) == 2 ? 2 : 0;
+    } else {
+      demo.repair = true;
+      code = CheckOne("<demo>", kDemo, demo) == 2 ? 2 : 0;
+    }
     if (!obs_session.Finish()) return 2;
     return code;
   }
   int worst = 0;
   for (const std::string& file : files) {
+    if (config.stream) {
+      Result<FileSource> source = FileSource::Open(file);
+      if (!source.ok()) {
+        std::cerr << file << ": cannot open\n";
+        worst = std::max(worst, 2);
+        continue;
+      }
+      worst = std::max(worst, StreamCheckOne(file, source.value(), config));
+      continue;
+    }
     std::ifstream in(file);
     if (!in) {
       std::cerr << file << ": cannot open\n";

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "constraints/checker.h"
+#include "engine/stream_validator.h"
 #include "model/structural_validator.h"
 #include "util/backoff.h"
 #include "util/fault_injector.h"
@@ -156,6 +157,14 @@ struct BatchOptions {
   /// Attempts per document; transient (kUnavailable) failures are
   /// retried until this many attempts were made.
   size_t max_attempts = 1;
+  /// Run each document through the streaming pipeline (StreamValidator)
+  /// instead of parse -> tree -> validate -> check. Verdicts are
+  /// byte-identical; peak memory per worker is bounded by the spill
+  /// budget instead of the largest document's tree.
+  bool stream = false;
+  /// Extent-log bytes per document before spilling to disk (0 = never
+  /// spill). Only meaningful with `stream`.
+  size_t stream_spill_budget_bytes = 64u << 20;
   /// Deterministic fault injection (off by default; see
   /// util/fault_injector.h).
   FaultConfig faults;
@@ -233,6 +242,10 @@ class BatchValidator {
   BatchOptions options_;
   StructuralValidator validator_;  // shared read-only after construction
   ConstraintChecker checker_;      // shared read-only after construction
+  /// Compiled streaming plan, present when options_.stream; like the two
+  /// above it is read-only after construction (Run keeps per-document
+  /// state on the worker's stack).
+  std::optional<StreamValidator> streamer_;
   FaultInjector injector_;
 };
 

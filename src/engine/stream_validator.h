@@ -1,0 +1,201 @@
+// Bounded-memory streaming validation: the full xicheck pipeline --
+// structural validity (Definition 2.4) plus G |= Sigma -- evaluated over
+// a StreamTokenizer event stream, without ever materializing the
+// DataTree.
+//
+// How the two checks stream:
+//
+//   * Structure: each open element carries an incremental run of its
+//     type's Glushkov automaton (GlushkovAutomaton::RunState); child
+//     labels and qualifying text runs step it as they arrive, and
+//     acceptance is decided at the end tag. Attribute checks run at the
+//     start tag. Peak state is O(open-element depth), plus one interned
+//     child-label word per open element (needed only to render the DOM
+//     checker's exact violation message).
+//
+//   * Constraints: only the field tuples that constraints actually
+//     mention are extracted -- attributes at the start tag, unique
+//     sub-element text captured while the subtree streams by -- and
+//     appended to per-constraint TupleLogs (engine/extent_log.h) keyed
+//     by the vertex's pre-order id. A post-pass turns sorted scans of
+//     those logs into the violation list: duplicate keys by group
+//     iteration, foreign keys by merge-join against the target-key log,
+//     document-wide IDs via a global ID log. Logs spill to disk past the
+//     shared budget, so memory stays bounded by the spill budget, not
+//     the extent sizes. (Exception: inverse constraints need random
+//     access to both extents and are evaluated in memory; documents
+//     whose *inverse-constrained* extents exceed memory are out of
+//     scope, as DESIGN.md records.)
+//
+// Verdict parity: vertex ids equal the DOM parser's pre-order AddVertex
+// ids, violations are re-ordered to the DOM checkers' emission order,
+// and messages reuse the same rendering, so ValidationReport::ToString()
+// and ConstraintReport::ToString() are byte-identical to the
+// materialized pipeline on every document (pinned by the stream oracle
+// in src/fuzzing/ and tests/stream_test.cc).
+
+#ifndef XIC_ENGINE_STREAM_VALIDATOR_H_
+#define XIC_ENGINE_STREAM_VALIDATOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/checker.h"
+#include "model/structural_validator.h"
+#include "util/limits.h"
+#include "util/status.h"
+#include "xml/stream_tokenizer.h"
+
+namespace xic {
+
+struct StreamOptions {
+  /// Drop text runs consisting only of whitespace, like the DOM parser's
+  /// XmlParseOptions::skip_ignorable_whitespace.
+  bool skip_ignorable_whitespace = true;
+  /// Structural-check options (allow_missing_attributes, max_violations;
+  /// limits.max_automaton_states bounds content-model compilation).
+  ValidationOptions validation;
+  /// Constraint-check options (max_violations; `naive` is meaningless
+  /// here and ignored -- the streaming evaluation is merge-join based).
+  CheckOptions check;
+  /// Input bounds for the tokenizer (document bytes, depth, attributes,
+  /// expansion), with the DOM parser's exact kResourceExhausted texts.
+  ResourceLimits limits;
+  /// Wall-clock budget; polled per start tag and per constraint.
+  Deadline deadline;
+  /// Tokenizer read granularity / text chunk ceiling.
+  size_t chunk_bytes = 64 * 1024;
+  /// Combined in-memory bytes for all extent logs before the largest
+  /// spills to disk; 0 = never spill. The knob behind "peak RSS
+  /// independent of document size".
+  size_t spill_budget_bytes = 64u << 20;  // 64 MiB
+};
+
+/// Resource/diagnostic counters for one streaming run.
+struct StreamStats {
+  size_t vertices = 0;
+  uint64_t input_bytes = 0;
+  /// Extent-log records appended across all constraints.
+  size_t extent_records = 0;
+  uint64_t spilled_bytes = 0;
+  size_t spill_runs = 0;
+};
+
+/// The streaming pipeline's verdict; mirrors DocumentOutcome's
+/// parse/structure/constraints split so callers render identically.
+struct StreamOutcome {
+  Status parse = Status::OK();  // tokenizer / DTD errors end the run
+  ValidationReport structure;
+  ConstraintReport constraints;
+  StreamStats stats;
+
+  bool ok() const {
+    return parse.ok() && structure.ok() && constraints.ok();
+  }
+};
+
+struct SelfDescribingStreamResult;
+
+/// Streaming twin of BatchValidator for one precompiled schema: compile
+/// the DTD's automata and the constraint plan once, then validate any
+/// number of byte streams against them. Thread-safe after construction
+/// (Run() keeps all mutable state on the caller's stack).
+class StreamValidator {
+ public:
+  /// The DTD and Sigma must outlive the validator and stay unmodified.
+  /// Sigma must be well-formed for the DTD (CheckWellFormed) -- the same
+  /// contract the ConstraintChecker has.
+  StreamValidator(const DtdStructure& dtd, const ConstraintSet& sigma,
+                  StreamOptions options = {});
+
+  /// Not-OK when content-model compilation hit a resource limit; Run()
+  /// then reports it as every document's structure status.
+  const Status& status() const { return validator_.status(); }
+
+  StreamOutcome Run(ByteSource& source) const {
+    return Run(source, options_.deadline, options_.limits);
+  }
+  /// Run with a per-call deadline and input limits (xicd threads each
+  /// request's budget through here without recompiling).
+  StreamOutcome Run(ByteSource& source, const Deadline& deadline,
+                    const ResourceLimits& limits) const;
+
+ private:
+  friend class StreamRun;
+  friend SelfDescribingStreamResult StreamValidateSelfDescribing(
+      ByteSource& source, const StreamOptions& options);
+
+  /// Drives a tokenizer that already consumed any DOCTYPE. `pending` is
+  /// the first content event when the caller pulled one, `tok_dtd` the
+  /// DTD governing attribute tokenization (the document's own internal
+  /// subset when present, like the DOM parser).
+  StreamOutcome RunCore(StreamTokenizer& tok, const StreamEvent* pending,
+                        const DtdStructure& tok_dtd,
+                        const Deadline& deadline) const;
+
+  /// Per-constraint-position extraction roles of one element type.
+  struct Role {
+    enum Kind {
+      kKeyTuple,   // ext(tau) of a key: encoded tuple -> ext log
+      kFkTuple,    // ext(tau) of a foreign key: tuple -> ext log
+      kFkTarget,   // ext(tau') of a foreign key: tuple -> target log
+      kSfkSource,  // ext(tau) of a set-valued FK: each value -> ext log
+      kSfkTarget,  // ext(tau') of a set-valued FK: value -> target log
+      kIdExt,      // ext(tau) of an ID constraint: value -> ext log
+      kInvExt,     // ext(tau) of an inverse: (key, set) -> in-memory
+      kInvRef,     // ext(tau') of an inverse: (key, set) -> in-memory
+    };
+    Kind kind;
+    size_t constraint;
+    std::vector<size_t> fields;  // indexes into TypePlan::fields
+  };
+
+  /// Everything the stream must extract from vertices of one type.
+  struct TypePlan {
+    std::vector<std::string> fields;  // distinct field names
+    /// Parallel: declared as an attribute in the DTD? (A declared-but-
+    /// absent attribute is a missing field, never a sub-element -- the
+    /// checker's FieldValue contract.)
+    std::vector<bool> field_declared;
+    std::vector<Role> roles;
+  };
+
+  const DtdStructure& dtd_;
+  const ConstraintSet& sigma_;
+  StreamOptions options_;
+  StructuralValidator validator_;
+  std::map<std::string, TypePlan, std::less<>> type_plans_;
+  /// Resolved inverse key attributes, parallel to sigma (the checker's
+  /// compiled plan).
+  struct InverseKeys {
+    std::string key, ref_key;
+  };
+  std::vector<InverseKeys> inverse_keys_;
+  bool needs_global_ids_ = false;
+};
+
+/// One-shot streaming check of a *self-describing* document (DTD^C in
+/// the DOCTYPE internal subset): the streaming twin of
+/// ParseDocumentWithDtdC + StructuralValidator + ConstraintChecker, as
+/// xicheck --stream runs it.
+struct SelfDescribingStreamResult {
+  StreamOutcome outcome;
+  std::string doctype_name;
+  /// The document carried an internal subset (otherwise there is nothing
+  /// to validate against and only `outcome.parse` is meaningful).
+  bool has_dtd = false;
+  std::optional<DtdStructure> dtd;
+  /// Constraint set recovered from the subset's xic:constraints block.
+  std::optional<ConstraintSet> sigma;
+  /// CheckWellFormed(sigma, dtd) when sigma was recovered; constraints
+  /// are only evaluated when this is OK (mirroring xicheck's guard).
+  Status well_formed = Status::OK();
+};
+SelfDescribingStreamResult StreamValidateSelfDescribing(
+    ByteSource& source, const StreamOptions& options = {});
+
+}  // namespace xic
+
+#endif  // XIC_ENGINE_STREAM_VALIDATOR_H_

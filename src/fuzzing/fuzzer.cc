@@ -28,6 +28,10 @@ void CountOracle(OracleId oracle, bool mismatch) {
       XIC_COUNTER_ADD("fuzz.lint.trials", 1);
       if (mismatch) XIC_COUNTER_ADD("fuzz.lint.mismatches", 1);
       break;
+    case OracleId::kStream:
+      XIC_COUNTER_ADD("fuzz.stream.trials", 1);
+      if (mismatch) XIC_COUNTER_ADD("fuzz.stream.mismatches", 1);
+      break;
   }
 }
 

@@ -8,6 +8,7 @@
 #include "constraints/constraint_parser.h"
 #include "constraints/incremental.h"
 #include "constraints/well_formed.h"
+#include "engine/stream_validator.h"
 #include "implication/countermodel.h"
 #include "implication/l_general_solver.h"
 #include "implication/lid_solver.h"
@@ -30,6 +31,8 @@ const char* OracleName(OracleId id) {
       return "roundtrip";
     case OracleId::kLint:
       return "lint";
+    case OracleId::kStream:
+      return "stream";
   }
   return "unknown";
 }
@@ -587,6 +590,166 @@ OracleOutcome LintTrial(uint64_t seed, const GenOptions& opt) {
   return outcome;
 }
 
+// -- Oracle 6: streaming vs. materialized validation ----------------------
+
+// Comparable rendering of a structural report, witnesses included
+// (ToString() carries the vertex ids too, but keep the comparison
+// independent of its formatting).
+std::string RenderValidation(const ValidationReport& report) {
+  std::string out;
+  for (const Violation& v : report.violations) {
+    out += std::to_string(v.vertex) + "|" + v.message + "\n";
+  }
+  return out;
+}
+
+// Runs the full xicheck pipeline both ways -- materialized
+// (ParseDocumentWithDtdC + StructuralValidator + ConstraintChecker) and
+// streaming (StreamValidateSelfDescribing) -- and demands byte-identical
+// verdicts at every stage. `text` need not be well-formed XML: a parse
+// failure is itself compared (same status text, same position).
+std::optional<std::string> CompareStream(const std::string& text,
+                                         size_t spill_budget,
+                                         bool allow_missing) {
+  StreamOptions sopt;
+  sopt.validation.allow_missing_attributes = allow_missing;
+  sopt.spill_budget_bytes = spill_budget;
+  // Tiny chunks so one text run regularly spans several kText events.
+  sopt.chunk_bytes = 64;
+  StringSource source(text);
+  SelfDescribingStreamResult s = StreamValidateSelfDescribing(source, sopt);
+
+  Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+  std::string dom_parse = parsed.ok() ? "OK" : parsed.status().ToString();
+  std::string stream_parse =
+      s.outcome.parse.ok() ? "OK" : s.outcome.parse.ToString();
+  if (dom_parse != stream_parse) {
+    return "parse status diverged:\n  DOM:    " + dom_parse +
+           "\n  stream: " + stream_parse;
+  }
+  if (!parsed.ok()) return std::nullopt;
+  const SelfDescribingDocument& doc = parsed.value();
+  if (doc.document.dtd.has_value() != s.has_dtd) {
+    return std::string("DTD presence diverged: DOM ") +
+           (doc.document.dtd.has_value() ? "has" : "lacks") +
+           " a DTD, stream " + (s.has_dtd ? "has" : "lacks") + " one";
+  }
+  if (!doc.document.dtd.has_value()) return std::nullopt;
+  const DtdStructure& dtd = *doc.document.dtd;
+
+  ValidationOptions vopt;
+  vopt.allow_missing_attributes = allow_missing;
+  StructuralValidator validator(dtd, vopt);
+  ValidationReport dom_structure = validator.Validate(doc.document.tree);
+  if (dom_structure.status.ToString() !=
+      s.outcome.structure.status.ToString()) {
+    return "structure status diverged:\n  DOM:    " +
+           dom_structure.status.ToString() +
+           "\n  stream: " + s.outcome.structure.status.ToString();
+  }
+  if (RenderValidation(dom_structure) !=
+          RenderValidation(s.outcome.structure) ||
+      dom_structure.ToString() != s.outcome.structure.ToString()) {
+    return "structure report diverged:\n--- DOM ---\n" +
+           dom_structure.ToString() + "--- stream ---\n" +
+           s.outcome.structure.ToString();
+  }
+
+  if (doc.sigma.has_value() != s.sigma.has_value()) {
+    return std::string("constraint-block presence diverged: DOM ") +
+           (doc.sigma.has_value() ? "has" : "lacks") + " sigma, stream " +
+           (s.sigma.has_value() ? "has" : "lacks") + " sigma";
+  }
+  if (!doc.sigma.has_value()) return std::nullopt;
+  const ConstraintSet& sigma = *doc.sigma;
+  Status wf = CheckWellFormed(sigma, dtd);
+  if (wf.ToString() != s.well_formed.ToString()) {
+    return "well-formedness status diverged:\n  DOM:    " + wf.ToString() +
+           "\n  stream: " + s.well_formed.ToString();
+  }
+  if (!wf.ok()) return std::nullopt;
+
+  ConstraintChecker checker(dtd, sigma);
+  ConstraintReport dom_report = checker.Check(doc.document.tree);
+  if (dom_report.status.ToString() !=
+      s.outcome.constraints.status.ToString()) {
+    return "constraint status diverged:\n  DOM:    " +
+           dom_report.status.ToString() +
+           "\n  stream: " + s.outcome.constraints.status.ToString();
+  }
+  if (RenderReport(dom_report) != RenderReport(s.outcome.constraints) ||
+      dom_report.ToString(sigma) != s.outcome.constraints.ToString(sigma)) {
+    return "constraint report diverged (spill budget " +
+           std::to_string(spill_budget) + "):\n--- DOM ---\n" +
+           dom_report.ToString(sigma) + "--- stream ---\n" +
+           s.outcome.constraints.ToString(sigma);
+  }
+  return std::nullopt;
+}
+
+// Every committed stream entry is replayed across this budget/option
+// grid (the trial that found it used one random point of it).
+std::optional<std::string> CompareStreamGrid(const std::string& text) {
+  for (size_t budget : {size_t{0}, size_t{1}}) {
+    for (bool allow_missing : {true, false}) {
+      std::optional<std::string> detail =
+          CompareStream(text, budget, allow_missing);
+      if (detail.has_value()) return detail;
+    }
+  }
+  return std::nullopt;
+}
+
+OracleOutcome StreamTrial(uint64_t seed, const GenOptions& opt) {
+  OracleOutcome outcome;
+  Rng rng(seed);
+  DtdStructure dtd = GenerateDtd(rng, opt);
+  Language lang = PickLanguage(rng);
+  bool well_formed = rng.Chance(80);
+  ConstraintSet sigma = GenerateSigma(rng, dtd, lang, opt, well_formed);
+  Result<DataTree> doc = GenerateDocument(rng, dtd, opt);
+  if (!doc.ok()) {
+    outcome.skipped = true;
+    return outcome;
+  }
+  std::string text = WriteDocumentWithDtdC(doc.value(), dtd, sigma);
+  // A third of the trials corrupt the bytes: both parsers must then fail
+  // with the identical status (message, line, column) -- this is what
+  // keeps the tokenizer's error surface pinned to the DOM parser's.
+  if (rng.Chance(33)) {
+    size_t edits = rng.Range(1, 3);
+    for (size_t i = 0; i < edits && !text.empty(); ++i) {
+      size_t pos = rng.Below(text.size());
+      char byte = static_cast<char>(rng.Range(32, 126));
+      switch (rng.Below(3)) {
+        case 0:
+          text[pos] = byte;
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, byte);
+      }
+    }
+  }
+  static constexpr size_t kBudgets[] = {0, 1, 256, 1u << 20};
+  size_t budget = kBudgets[rng.Below(4)];
+  bool allow_missing = rng.Chance(50);
+  std::optional<std::string> detail =
+      CompareStream(text, budget, allow_missing);
+  if (detail.has_value()) {
+    outcome.mismatch = true;
+    outcome.detail = *detail;
+    outcome.entry = MakeEntry(OracleId::kStream, seed, *detail, dtd, sigma,
+                              doc.value());
+    // The (possibly corrupted) bytes ARE the reproduction; MakeEntry's
+    // re-serialization would lose the corruption.
+    outcome.entry.document = text;
+  }
+  return outcome;
+}
+
 }  // namespace
 
 OracleOutcome RunTrial(OracleId oracle, uint64_t seed,
@@ -602,6 +765,8 @@ OracleOutcome RunTrial(OracleId oracle, uint64_t seed,
       return RoundTripTrial(seed, opt);
     case OracleId::kLint:
       return LintTrial(seed, opt);
+    case OracleId::kStream:
+      return StreamTrial(seed, opt);
   }
   OracleOutcome outcome;
   outcome.skipped = true;
@@ -612,6 +777,19 @@ Result<OracleOutcome> ReplayEntry(const CorpusEntry& entry) {
   std::optional<OracleId> oracle = ParseOracleName(entry.oracle);
   if (!oracle.has_value()) {
     return Status::InvalidArgument("unknown oracle \"" + entry.oracle + "\"");
+  }
+  if (*oracle == OracleId::kStream) {
+    // Stream entries replay on the raw bytes -- they may deliberately
+    // not parse (the oracle compares the two parsers' failures too), so
+    // they skip the materialized-parse gate below.
+    OracleOutcome outcome;
+    std::optional<std::string> detail = CompareStreamGrid(entry.document);
+    if (detail.has_value()) {
+      outcome.mismatch = true;
+      outcome.detail = *detail;
+      outcome.entry = entry;
+    }
+    return outcome;
   }
   Result<SelfDescribingDocument> parsed =
       ParseDocumentWithDtdC(entry.document);
@@ -664,6 +842,8 @@ Result<OracleOutcome> ReplayEntry(const CorpusEntry& entry) {
     case OracleId::kLint:
       detail = CompareLint(dtd, sigma);
       break;
+    case OracleId::kStream:
+      break;  // handled above, before the parse gate
   }
   if (detail.has_value()) {
     outcome.mismatch = true;

@@ -22,6 +22,13 @@
 //   kLint         xiclint determinism (two runs byte-identical) and
 //                 verdict invariance under a WriteDtdC / ParseDtdC
 //                 round-trip.
+//   kStream       the streaming pipeline (StreamValidateSelfDescribing,
+//                 spill budgets from never-spill to spill-everything)
+//                 vs. the materialized DOM pipeline: parse status,
+//                 structure report and constraint report must agree
+//                 byte-for-byte, witnesses included. A third of trials
+//                 corrupt the serialized bytes so the two parsers' error
+//                 texts and positions are compared too.
 //
 // Every oracle has two entry points sharing one comparison core: a
 // seed-driven trial (generate inputs, compare) and a corpus replay
@@ -47,11 +54,12 @@ enum class OracleId {
   kImplication,
   kRoundTrip,
   kLint,
+  kStream,
 };
 
 inline constexpr OracleId kAllOracles[] = {
     OracleId::kChecker, OracleId::kIncremental, OracleId::kImplication,
-    OracleId::kRoundTrip, OracleId::kLint};
+    OracleId::kRoundTrip, OracleId::kLint, OracleId::kStream};
 
 const char* OracleName(OracleId id);
 std::optional<OracleId> ParseOracleName(const std::string& name);

@@ -192,6 +192,14 @@ ValidationReport StructuralValidator::ValidateImpl(
   return report;
 }
 
+std::optional<StructuralValidator::PlanView> StructuralValidator::PlanFor(
+    std::string_view element) const {
+  auto it = plans_.find(element);
+  if (it == plans_.end()) return std::nullopt;
+  return PlanView{it->second.automaton, &it->second.attr_names,
+                  &it->second.attr_single};
+}
+
 bool StructuralValidator::AllContentModelsDeterministic() const {
   for (const auto& [element, automaton] : automata_) {
     if (!automaton.IsOneUnambiguous()) return false;

@@ -15,6 +15,7 @@
 #ifndef XIC_MODEL_STRUCTURAL_VALIDATOR_H_
 #define XIC_MODEL_STRUCTURAL_VALIDATOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,18 @@ class StructuralValidator {
   /// (deterministic per the XML spec) -- an extension check beyond the
   /// paper's model.
   bool AllContentModelsDeterministic() const;
+
+  /// Read-only view of one element type's compiled plan, for callers that
+  /// drive the automata themselves (the streaming validator steps them
+  /// label-by-label instead of matching materialized child words).
+  /// Nullopt for undeclared element types. Views stay valid as long as
+  /// the validator does.
+  struct PlanView {
+    const GlushkovAutomaton* automaton = nullptr;
+    const std::vector<std::string>* attr_names = nullptr;  // sorted
+    const std::vector<bool>* attr_single = nullptr;        // parallel
+  };
+  std::optional<PlanView> PlanFor(std::string_view element) const;
 
  private:
   /// Per-element-type compiled form: the content-model automaton plus the

@@ -279,9 +279,17 @@ Result<PlanPtr> Dispatcher::CompileIntoCache(const std::string& schema_text,
         batch_options.backoff = options_.backoff;
         plan->validator = std::make_unique<BatchValidator>(
             plan->dtd, plan->sigma, batch_options);
+        BatchOptions stream_options = batch_options;
+        stream_options.stream = true;
+        stream_options.stream_spill_budget_bytes =
+            options_.stream_spill_budget_bytes;
+        plan->stream_validator = std::make_unique<BatchValidator>(
+            plan->dtd, plan->sigma, stream_options);
         // Footprint estimate: automata and plan indexes scale with the
         // declaration text; the constant covers fixed per-plan overhead.
-        plan->bytes = 4096 + shell.value().subset.size() * 16;
+        // x2: the plan carries both the materialized and the streaming
+        // validator.
+        plan->bytes = 2 * (4096 + shell.value().subset.size() * 16);
         return PlanPtr(std::move(plan));
       },
       cache_hit);
@@ -405,7 +413,12 @@ Response Dispatcher::HandleOnce(const Request& request,
       response.body = "pong\n";
       return response;
     }
-    if (verb == "validate") return DoValidate(request, id, attempt, timing);
+    if (verb == "validate") {
+      return DoValidate(request, id, attempt, timing, /*stream=*/false);
+    }
+    if (verb == "validate.stream") {
+      return DoValidate(request, id, attempt, timing, /*stream=*/true);
+    }
     if (verb == "lint") return DoLint(request, id, timing);
     if (verb == "imply") return DoImply(request, id, timing);
     if (verb == "schema.put") return DoSchemaPut(request, id, timing);
@@ -446,7 +459,7 @@ Response Dispatcher::DoSchemaPut(const Request& request,
 
 Response Dispatcher::DoValidate(const Request& request,
                                 const std::string& id, size_t attempt,
-                                RequestTiming* timing) {
+                                RequestTiming* timing, bool stream) {
   bool cache_hit = false;
   Result<PlanPtr> plan = ResolvePlan(request, id, &cache_hit, timing);
   if (!plan.ok()) return ErrorResponse(plan.status());
@@ -467,17 +480,21 @@ Response Dispatcher::DoValidate(const Request& request,
   BatchDocument document;
   document.name = request.header("name", "request:" + HeaderSafe(id));
   document.text = request.body;
+  const BatchValidator& validator = stream
+                                        ? *plan.value()->stream_validator
+                                        : *plan.value()->validator;
   BatchReport report;
   {
     obs::ScopedSpan run_span("serve.run", "serve");
     PhaseTimer run_timer(timing == nullptr ? nullptr : &timing->run_us);
-    report = plan.value()->validator->Run({document}, overrides);
+    report = validator.Run({document}, overrides);
   }
   const DocumentOutcome& outcome = report.outcomes[0];
   Response response;
   response.status = InfraStatus(outcome);
   response.headers["schema"] = plan.value()->key;
   response.headers["cache"] = cache_hit ? "hit" : "miss";
+  if (stream) response.headers["mode"] = "stream";
   if (response.status.ok()) {
     response.headers["verdict"] = VerdictOf(outcome);
   } else {
@@ -799,6 +816,9 @@ void Dispatcher::ObserveLatency(const std::string& verb, uint64_t total_us,
   // verbs share one family rather than minting unbounded metric names.
   if (verb == "validate") {
     XIC_HISTOGRAM_OBSERVE("serve.verb.validate.ms", total_ms,
+                          XIC_SERVE_LATENCY_BUCKETS);
+  } else if (verb == "validate.stream") {
+    XIC_HISTOGRAM_OBSERVE("serve.verb.validate_stream.ms", total_ms,
                           XIC_SERVE_LATENCY_BUCKETS);
   } else if (verb == "ping") {
     XIC_HISTOGRAM_OBSERVE("serve.verb.ping.ms", total_ms,

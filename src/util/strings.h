@@ -22,6 +22,14 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view text);
 
+/// True for XML `S` whitespace (production [3]): #x20 #x9 #xD #xA.
+/// Deliberately narrower than std::isspace, which also accepts \f/\v --
+/// characters that are not even valid XML Chars -- and whose answer can
+/// shift with the C locale.
+constexpr bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
 /// True for XML NameStartChar restricted to the ASCII subset we support
 /// (letters, '_', ':').
 bool IsNameStartChar(char c);

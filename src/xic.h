@@ -28,6 +28,7 @@
 #include "constraints/repair.h"
 #include "constraints/well_formed.h"
 #include "engine/batch_validator.h"
+#include "engine/stream_validator.h"
 #include "engine/thread_pool.h"
 #include "fuzzing/corpus.h"
 #include "fuzzing/fuzzer.h"

@@ -1,0 +1,248 @@
+// Pull tokenizer for streaming XML: the DOM parser's grammar re-cast as
+// an event source over a chunked reader, so a document can be validated
+// without ever materializing its DataTree.
+//
+// The tokenizer keeps an explicit open-element stack (no recursion -- the
+// depth limit can be raised arbitrarily) and a sliding byte buffer that
+// holds only the construct currently being tokenized: start tags, end
+// tags and the DOCTYPE are buffered whole (they are small), while text
+// runs, CDATA sections, comments and PIs stream through in bounded
+// chunks. Peak memory is O(open-element depth + largest single tag +
+// chunk size), independent of document size.
+//
+// Conformance matches xml/xml_parser.cc byte-for-byte: the same XML 1.0
+// subset (prolog, DOCTYPE with internal subset, elements, attributes,
+// character data, comments, CDATA, character/predefined entity
+// references; PIs skipped), the same Section 2.11 line-end and Section
+// 3.3.3 attribute-value normalization, the same "]]>"-in-content and
+// character-reference checks, the same expansion budget, and the same
+// error messages with the same line/column positions -- the streaming
+// oracle in src/fuzzing/ and tests/stream_test.cc pin this equivalence.
+//
+// Event order for one document:
+//   [Doctype]? StartElement (Text | StartElement | EndElement)* EndElement
+//   EndDocument
+// Self-closing tags produce a StartElement immediately followed by a
+// synthesized EndElement. Text between two structural events may arrive
+// as SEVERAL Text events (one run split into chunks); consumers that
+// care about whole runs (ignorable-whitespace skipping) aggregate until
+// the next non-Text event.
+
+#ifndef XIC_XML_STREAM_TOKENIZER_H_
+#define XIC_XML_STREAM_TOKENIZER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/limits.h"
+#include "util/status.h"
+
+namespace xic {
+
+/// A pull source of raw document bytes. Implementations are single-pass:
+/// the tokenizer reads each byte exactly once.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to `max` bytes into `buf`; returns the count read, 0 at
+  /// end of input.
+  virtual Result<size_t> Read(char* buf, size_t max) = 0;
+
+  /// Total input size when known upfront (strings, regular files) --
+  /// lets the tokenizer enforce max_document_bytes with the same value
+  /// the DOM parser reports. Nullopt for unbounded streams.
+  virtual std::optional<uint64_t> size() const { return std::nullopt; }
+};
+
+/// Serves a string_view; the viewed bytes must outlive the source.
+class StringSource : public ByteSource {
+ public:
+  explicit StringSource(std::string_view text) : text_(text) {}
+  Result<size_t> Read(char* buf, size_t max) override;
+  std::optional<uint64_t> size() const override { return text_.size(); }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Reads a file in chunks; never holds more than one read's worth.
+class FileSource : public ByteSource {
+ public:
+  /// Opens `path`; kInvalidArgument with the errno detail on failure.
+  static Result<FileSource> Open(const std::string& path);
+  FileSource(FileSource&& other) noexcept;
+  FileSource& operator=(FileSource&& other) noexcept;
+  ~FileSource() override;
+
+  Result<size_t> Read(char* buf, size_t max) override;
+  std::optional<uint64_t> size() const override { return size_; }
+
+ private:
+  FileSource(std::FILE* file, std::optional<uint64_t> size)
+      : file_(file), size_(size) {}
+  std::FILE* file_ = nullptr;
+  std::optional<uint64_t> size_;
+};
+
+enum class StreamEventKind {
+  kDoctype,       // DOCTYPE seen: name + raw internal subset
+  kStartElement,  // start tag (attributes normalized + attached)
+  kEndElement,    // end tag, or synthesized for a self-closing tag
+  kText,          // one chunk of character data (normalized, expanded)
+  kEndDocument,   // input fully consumed; terminal
+};
+
+/// One tokenizer event. All views are valid only until the next Next()
+/// call (they point into the tokenizer's internal buffers).
+struct StreamEvent {
+  StreamEventKind kind = StreamEventKind::kEndDocument;
+  /// Element name (start/end), or DOCTYPE name.
+  std::string_view name;
+  /// kText: one chunk of character data.
+  std::string_view text;
+  /// kText: the chunk consists solely of XML S whitespace. A whole run
+  /// is ignorable iff every chunk of the run has this set.
+  bool text_all_space = true;
+  /// kStartElement: attributes in document order; a repeated name keeps
+  /// the last value (DOM SetAttribute semantics), in first-seen position.
+  struct Attr {
+    std::string_view name;
+    std::string_view value;  // normalized (Section 3.3.3), expanded
+  };
+  std::vector<Attr> attrs;
+  /// kDoctype: raw text between '[' and ']' (empty when absent).
+  std::string_view internal_subset;
+  /// kDoctype: a '[' was present, even if the subset is empty (the DOM
+  /// parser parses "[]" as an empty DTD but no-'[' as no DTD at all).
+  bool has_internal_subset = false;
+};
+
+struct StreamTokenizerOptions {
+  /// Hard input bounds; the same fields the DOM parser enforces
+  /// (document bytes, nesting depth, attributes per element, expansion
+  /// output), with the same kResourceExhausted messages.
+  ResourceLimits limits;
+  /// Checked once per start tag, like the DOM parser.
+  Deadline deadline;
+  /// Read granularity and the rough ceiling for one kText chunk.
+  size_t chunk_bytes = 64 * 1024;
+};
+
+class StreamTokenizer {
+ public:
+  StreamTokenizer(ByteSource& source, StreamTokenizerOptions options = {});
+
+  /// Pulls the next event. After kEndDocument (terminal), further calls
+  /// keep returning kEndDocument. An error status is also terminal and
+  /// matches the DOM parser's rendering ("XML: <what> at line L, column
+  /// C" / limit / deadline statuses).
+  Status Next(StreamEvent* event);
+
+  /// Open-element depth (root start tag => 1 while open).
+  size_t depth() const { return stack_.size(); }
+
+  /// Bytes of input consumed so far (diagnostics).
+  uint64_t consumed_bytes() const { return base_ + start_; }
+
+ private:
+  enum class State {
+    kProlog,        // before the root element
+    kDoctypeClose,  // kDoctype emitted; "]...>" not yet consumed
+    kContent,       // inside the document element
+    kEpilog,        // after the root element closed
+    kDone,
+  };
+
+  // -- Buffer management ----------------------------------------------------
+  // buf_[start_, end_) is unread input; base_ counts bytes consumed
+  // before buf_[0]. Fill() reads more (compacting first), FillPinned()
+  // grows without compacting so offsets stay stable while one construct
+  // (tag / DOCTYPE) is being scanned.
+  Status Fill();
+  Status FillPinned();
+  /// Makes >= want bytes available if the input has them; sets *have to
+  /// the available count (may be < want at EOF).
+  Status Ensure(size_t want, size_t* have);
+  size_t available() const { return end_ - start_; }
+  char at(size_t i) const { return buf_[start_ + i]; }
+  bool Peek(std::string_view token) const;
+  /// Consumes n bytes, maintaining line/column.
+  void Consume(size_t n);
+
+  struct Mark {
+    uint64_t abs = 0, line = 1, line_start = 0;
+  };
+
+  // -- Grammar --------------------------------------------------------------
+  Status NextProlog(StreamEvent* event, bool* emitted);
+  Status ParseDoctype(StreamEvent* event);
+  Status FinishDoctypeClose();
+  Status NextContent(StreamEvent* event);
+  Status ParseStartTag(StreamEvent* event);
+  Status ParseEndTag(StreamEvent* event);
+  Status NextEpilog(StreamEvent* event);
+  /// Skips whitespace / comments / non-xml-decl PIs (prolog + epilog).
+  Status SkipMisc();
+  Status SkipSpace();
+  /// True when positioned on "<?xml" with a complete reserved target
+  /// (may Fill to see the byte after the target).
+  Result<bool> PeekXmlDecl();
+  /// Skips a construct ending at `terminator` (comment body, PI, XML
+  /// declaration), streaming through the buffer. `what` names the
+  /// unterminated error, reported at `mark`; empty `what` consumes
+  /// silently to EOF (SkipMisc semantics).
+  Status SkipUntil(std::string_view terminator, const std::string& what,
+                   const Mark& mark);
+  /// Streams CDATA content into text_buf_ until "]]>"; sets *emitted
+  /// when a full chunk was flushed into `event` mid-section.
+  Status ScanCdata(StreamEvent* event, bool* emitted);
+  /// Expands "&...;" at the cursor.
+  Status ParseReference(std::string* out);
+  void AppendText(char c);
+  void AppendTextRun(const char* data, size_t n);
+  /// Emits the buffered text as one kText chunk (swaps into emit_buf_).
+  void EmitText(StreamEvent* event);
+
+  Mark Here() const;
+  Status ErrorAt(const Mark& mark, const std::string& what) const;
+  Status Error(const std::string& what) const;
+
+  ByteSource& source_;
+  StreamTokenizerOptions options_;
+
+  std::string buf_;
+  size_t start_ = 0, end_ = 0;
+  uint64_t base_ = 0;        // bytes consumed before buf_[0]
+  bool eof_ = false;         // source exhausted
+  uint64_t total_read_ = 0;  // all bytes pulled from the source
+  bool started_ = false;     // first Next() ran the upfront size check
+
+  uint64_t line_ = 1;        // 1-based line of the cursor
+  uint64_t line_start_ = 0;  // absolute offset just after the last '\n'
+
+  State state_ = State::kProlog;
+  std::vector<std::string> stack_;  // open element names
+  bool pending_end_ = false;        // synthesized EndElement (self-closing)
+  std::string last_name_;           // backs kEndElement name views
+  std::string doctype_name_;
+  std::string doctype_subset_;
+
+  bool in_cdata_ = false;   // mid-CDATA across Next() calls
+  bool cdata_cr_ = false;   // CDATA normalizer saw '\r' last
+  Mark cdata_mark_;         // section start, for "unterminated CDATA"
+  std::string text_buf_;    // pending character data
+  std::string emit_buf_;    // backs the previous kText event's view
+  bool text_all_space_ = true;
+  std::vector<std::string> attr_store_;  // slow-path attr values (reused)
+  uint64_t expanded_bytes_ = 0;          // shared expansion budget
+};
+
+}  // namespace xic
+
+#endif  // XIC_XML_STREAM_TOKENIZER_H_

@@ -14,7 +14,7 @@ namespace {
 
 bool IsAllWhitespace(std::string_view text) {
   for (char c : text) {
-    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    if (!IsXmlSpace(c)) return false;
   }
   return true;
 }
@@ -41,7 +41,7 @@ class XmlParser {
  private:
   Status ParseProlog() {
     SkipMisc();
-    if (Peek("<?xml")) {
+    if (PeekXmlDecl()) {
       size_t end = text_.find("?>", pos_);
       if (end == std::string_view::npos) {
         return Error("unterminated XML declaration");
@@ -126,146 +126,175 @@ class XmlParser {
     return Status::OK();
   }
 
-  // Parses one element at nesting depth `depth` (root = 1); attaches it
-  // to `parent` (or makes it the root).
-  Result<VertexId> ParseElement(VertexId parent, size_t depth) {
-    XIC_RETURN_IF_ERROR(CheckLimit(depth, options_.limits.max_tree_depth,
-                                   "max_tree_depth",
-                                   "element nesting depth"));
-    XIC_RETURN_IF_ERROR(options_.deadline.Check("XML parse"));
-    if (pos_ >= text_.size() || text_[pos_] != '<') {
-      return Result<VertexId>(Error("expected '<'"));
-    }
-    ++pos_;
-    // Names are views into the input buffer (zero-copy): the only copy
-    // happens inside the tree's symbol table, once per distinct name.
-    XIC_ASSIGN_OR_RETURN(std::string_view name, ParseName());
-    VertexId v = doc_.tree.AddVertex(name);
-    if (parent != kInvalidVertex) {
-      XIC_RETURN_IF_ERROR(doc_.tree.AddChildVertex(parent, v));
-    }
-    // Attributes.
-    size_t num_attrs = 0;
-    while (true) {
-      SkipSpace();
-      if (pos_ >= text_.size()) {
-        return Result<VertexId>(Error("unterminated start tag"));
-      }
-      if (text_[pos_] == '>') {
-        ++pos_;
-        break;
-      }
-      if (Peek("/>")) {
-        pos_ += 2;
-        return v;
-      }
-      XIC_RETURN_IF_ERROR(CheckLimit(
-          ++num_attrs, options_.limits.max_attributes_per_element,
-          "max_attributes_per_element",
-          "attributes on element " + std::string(name)));
-      XIC_ASSIGN_OR_RETURN(std::string_view attr, ParseName());
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != '=') {
-        return Result<VertexId>(Error("expected '=' after attribute name"));
-      }
-      ++pos_;
-      SkipSpace();
-      XIC_ASSIGN_OR_RETURN(std::string_view raw, ParseQuoted());
-      doc_.tree.SetAttribute(v, attr, MakeAttrValue(name, attr, raw));
-    }
-    // Content.
+  // One element currently open during the iterative content walk. `name`
+  // is a view into the input buffer (stable for the whole parse).
+  struct OpenElement {
+    std::string_view name;
+    VertexId vertex = kInvalidVertex;
     std::string text_buffer;
-    auto flush_text = [&] {
-      if (text_buffer.empty()) return;
+  };
+
+  // Parses one element subtree with an explicit open-element stack (no
+  // recursion, so max_tree_depth can be raised arbitrarily without
+  // overflowing the native stack); attaches the top element to `parent`
+  // (or makes it the root). `depth` is the nesting depth of the first
+  // start tag (root = 1).
+  Result<VertexId> ParseElement(VertexId parent, size_t depth) {
+    std::vector<OpenElement> stack;
+    auto flush_text = [&](OpenElement& open) {
+      if (open.text_buffer.empty()) return;
       if (!(options_.skip_ignorable_whitespace &&
-            IsAllWhitespace(text_buffer))) {
-        doc_.tree.AddChildText(v, std::move(text_buffer));
+            IsAllWhitespace(open.text_buffer))) {
+        doc_.tree.AddChildText(open.vertex, std::move(open.text_buffer));
       }
-      text_buffer.clear();
+      open.text_buffer.clear();
     };
     while (true) {
-      if (pos_ >= text_.size()) {
-        return Result<VertexId>(
-            Error("unterminated element " + std::string(name)));
+      // Positioned at a start tag.
+      XIC_RETURN_IF_ERROR(CheckLimit(depth + stack.size(),
+                                     options_.limits.max_tree_depth,
+                                     "max_tree_depth",
+                                     "element nesting depth"));
+      XIC_RETURN_IF_ERROR(options_.deadline.Check("XML parse"));
+      if (pos_ >= text_.size() || text_[pos_] != '<') {
+        return Result<VertexId>(Error("expected '<'"));
       }
-      if (Peek("</")) {
-        flush_text();
-        pos_ += 2;
-        XIC_ASSIGN_OR_RETURN(std::string_view close, ParseName());
-        if (close != name) {
-          return Result<VertexId>(
-              Error("mismatched end tag </" + std::string(close) +
-                    "> for <" + std::string(name) + ">"));
-        }
+      ++pos_;
+      // Names are views into the input buffer (zero-copy): the only copy
+      // happens inside the tree's symbol table, once per distinct name.
+      XIC_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+      VertexId v = doc_.tree.AddVertex(name);
+      VertexId p = stack.empty() ? parent : stack.back().vertex;
+      if (p != kInvalidVertex) {
+        XIC_RETURN_IF_ERROR(doc_.tree.AddChildVertex(p, v));
+      }
+      // Attributes.
+      bool self_closing = false;
+      size_t num_attrs = 0;
+      while (true) {
         SkipSpace();
-        if (pos_ >= text_.size() || text_[pos_] != '>') {
-          return Result<VertexId>(Error("expected '>' in end tag"));
+        if (pos_ >= text_.size()) {
+          return Result<VertexId>(Error("unterminated start tag"));
+        }
+        if (text_[pos_] == '>') {
+          ++pos_;
+          break;
+        }
+        if (Peek("/>")) {
+          pos_ += 2;
+          self_closing = true;
+          break;
+        }
+        XIC_RETURN_IF_ERROR(CheckLimit(
+            ++num_attrs, options_.limits.max_attributes_per_element,
+            "max_attributes_per_element",
+            "attributes on element " + std::string(name)));
+        XIC_ASSIGN_OR_RETURN(std::string_view attr, ParseName());
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '=') {
+          return Result<VertexId>(Error("expected '=' after attribute name"));
         }
         ++pos_;
-        return v;
+        SkipSpace();
+        XIC_ASSIGN_OR_RETURN(std::string_view raw, ParseQuoted());
+        doc_.tree.SetAttribute(v, attr, MakeAttrValue(name, attr, raw));
       }
-      if (Peek("<!--")) {
-        size_t end = text_.find("-->", pos_ + 4);
-        if (end == std::string_view::npos) {
-          return Result<VertexId>(Error("unterminated comment"));
-        }
-        pos_ = end + 3;
-        continue;
-      }
-      if (Peek("<![CDATA[")) {
-        size_t end = text_.find("]]>", pos_ + 9);
-        if (end == std::string_view::npos) {
-          return Result<VertexId>(Error("unterminated CDATA"));
-        }
-        AppendNormalized(text_.substr(pos_ + 9, end - pos_ - 9),
-                         &text_buffer);
-        pos_ = end + 3;
-        continue;
-      }
-      if (Peek("<?")) {
-        size_t end = text_.find("?>", pos_ + 2);
-        if (end == std::string_view::npos) {
-          return Result<VertexId>(Error("unterminated PI"));
-        }
-        pos_ = end + 2;
-        continue;
-      }
-      if (text_[pos_] == '<') {
-        flush_text();
-        XIC_ASSIGN_OR_RETURN(VertexId child, ParseElement(v, depth + 1));
-        (void)child;
-        continue;
-      }
-      if (text_[pos_] == '&') {
-        XIC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
-        text_buffer += expanded;
-        continue;
-      }
-      if (text_[pos_] == ']' && Peek("]]>")) {
-        // XML 1.0 section 2.4: "]]>" must not appear in content except as
-        // the end of a CDATA section.
-        return Result<VertexId>(Error("']]>' not allowed in content"));
-      }
-      if (text_[pos_] == '\r') {
-        // Section 2.11 line-end normalization: \r\n and bare \r both
-        // become a single \n.
-        text_buffer += '\n';
-        ++pos_;
-        if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
-        continue;
-      }
-      // Copy the whole plain-text run at once instead of byte-at-a-time.
-      size_t run_end = pos_;
-      while (run_end < text_.size() && text_[run_end] != '<' &&
-             text_[run_end] != '&' && text_[run_end] != ']' &&
-             text_[run_end] != '\r') {
-        ++run_end;
-      }
-      if (run_end == pos_) {
-        text_buffer += text_[pos_++];  // lone ']' not starting "]]>"
+      if (self_closing) {
+        if (stack.empty()) return v;
       } else {
-        text_buffer.append(text_.data() + pos_, run_end - pos_);
-        pos_ = run_end;
+        stack.push_back(OpenElement{name, v, {}});
+      }
+      // Content of the innermost open element; leaves this loop either by
+      // closing the subtree's first element (return) or at a child start
+      // tag (back to the outer loop).
+      bool at_child_start = false;
+      while (!at_child_start && !stack.empty()) {
+        OpenElement& top = stack.back();
+        if (pos_ >= text_.size()) {
+          return Result<VertexId>(
+              Error("unterminated element " + std::string(top.name)));
+        }
+        if (Peek("</")) {
+          flush_text(top);
+          pos_ += 2;
+          XIC_ASSIGN_OR_RETURN(std::string_view close, ParseName());
+          if (close != top.name) {
+            return Result<VertexId>(
+                Error("mismatched end tag </" + std::string(close) +
+                      "> for <" + std::string(top.name) + ">"));
+          }
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return Result<VertexId>(Error("expected '>' in end tag"));
+          }
+          ++pos_;
+          VertexId closed = top.vertex;
+          stack.pop_back();
+          if (stack.empty()) return closed;
+          continue;
+        }
+        if (Peek("<!--")) {
+          size_t end = text_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) {
+            return Result<VertexId>(Error("unterminated comment"));
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (Peek("<![CDATA[")) {
+          size_t end = text_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) {
+            return Result<VertexId>(Error("unterminated CDATA"));
+          }
+          AppendNormalized(text_.substr(pos_ + 9, end - pos_ - 9),
+                           &top.text_buffer);
+          pos_ = end + 3;
+          continue;
+        }
+        if (Peek("<?")) {
+          size_t end = text_.find("?>", pos_ + 2);
+          if (end == std::string_view::npos) {
+            return Result<VertexId>(Error("unterminated PI"));
+          }
+          pos_ = end + 2;
+          continue;
+        }
+        if (text_[pos_] == '<') {
+          flush_text(top);
+          at_child_start = true;
+          continue;
+        }
+        if (text_[pos_] == '&') {
+          XIC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
+          top.text_buffer += expanded;
+          continue;
+        }
+        if (text_[pos_] == ']' && Peek("]]>")) {
+          // XML 1.0 section 2.4: "]]>" must not appear in content except
+          // as the end of a CDATA section.
+          return Result<VertexId>(Error("']]>' not allowed in content"));
+        }
+        if (text_[pos_] == '\r') {
+          // Section 2.11 line-end normalization: \r\n and bare \r both
+          // become a single \n.
+          top.text_buffer += '\n';
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+          continue;
+        }
+        // Copy the whole plain-text run at once instead of byte-at-a-time.
+        size_t run_end = pos_;
+        while (run_end < text_.size() && text_[run_end] != '<' &&
+               text_[run_end] != '&' && text_[run_end] != ']' &&
+               text_[run_end] != '\r') {
+          ++run_end;
+        }
+        if (run_end == pos_) {
+          top.text_buffer += text_[pos_++];  // lone ']' not starting "]]>"
+        } else {
+          top.text_buffer.append(text_.data() + pos_, run_end - pos_);
+          pos_ = run_end;
+        }
       }
     }
   }
@@ -362,67 +391,11 @@ class XmlParser {
     }
     std::string_view ref = text_.substr(pos_ + 1, end - pos_ - 1);
     pos_ = end + 1;
-    if (ref == "lt") return std::string("<");
-    if (ref == "gt") return std::string(">");
-    if (ref == "amp") return std::string("&");
-    if (ref == "apos") return std::string("'");
-    if (ref == "quot") return std::string("\"");
-    if (!ref.empty() && ref[0] == '#') {
-      int base = 10;
-      std::string_view digits = ref.substr(1);
-      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
-        base = 16;
-        digits = digits.substr(1);
-      }
-      if (digits.empty()) {
-        return Result<std::string>(Error("empty character reference"));
-      }
-      unsigned long code = 0;
-      for (char c : digits) {
-        int d;
-        if (c >= '0' && c <= '9') {
-          d = c - '0';
-        } else if (base == 16 && std::isxdigit(static_cast<unsigned char>(c))) {
-          d = std::tolower(c) - 'a' + 10;
-        } else {
-          return Result<std::string>(Error("bad character reference"));
-        }
-        code = code * base + static_cast<unsigned long>(d);
-        if (code > 0x10FFFF) {
-          return Result<std::string>(Error("character reference out of range"));
-        }
-      }
-      // Only XML Chars are referencable (Section 2.2): #x9 | #xA | #xD |
-      // [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF]. This
-      // excludes NUL, other C0 controls, surrogates and #xFFFE/#xFFFF.
-      bool valid = code == 0x9 || code == 0xA || code == 0xD ||
-                   (code >= 0x20 && code <= 0xD7FF) ||
-                   (code >= 0xE000 && code <= 0xFFFD) || code >= 0x10000;
-      if (!valid) {
-        return Result<std::string>(
-            Error("character reference to invalid XML character"));
-      }
-      // UTF-8 encode.
-      std::string out;
-      if (code < 0x80) {
-        out += static_cast<char>(code);
-      } else if (code < 0x800) {
-        out += static_cast<char>(0xC0 | (code >> 6));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-      } else if (code < 0x10000) {
-        out += static_cast<char>(0xE0 | (code >> 12));
-        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-      } else {
-        out += static_cast<char>(0xF0 | (code >> 18));
-        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
-        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-      }
-      return out;
+    Result<std::string> expanded = ExpandXmlEntity(ref);
+    if (!expanded.ok()) {
+      return Result<std::string>(Error(expanded.status().message()));
     }
-    return Result<std::string>(
-        Error("unknown entity reference &" + std::string(ref) + ";"));
+    return expanded;
   }
 
   // Tokenizes a raw attribute string into the paper's set-of-values form,
@@ -431,26 +404,8 @@ class XmlParser {
                           std::string_view raw) {
     const DtdStructure* dtd =
         doc_.dtd.has_value() ? &*doc_.dtd : options_.dtd;
-    if (dtd != nullptr && dtd->IsSetValued(element, attr)) {
-      AttrValue out;
-      size_t i = 0;
-      while (i < raw.size()) {
-        while (i < raw.size() &&
-               std::isspace(static_cast<unsigned char>(raw[i]))) {
-          ++i;
-        }
-        size_t start = i;
-        while (i < raw.size() &&
-               !std::isspace(static_cast<unsigned char>(raw[i]))) {
-          ++i;
-        }
-        if (i > start) out.emplace(raw.substr(start, i - start));
-      }
-      return out;
-    }
-    AttrValue out;
-    out.emplace(raw);
-    return out;
+    return TokenizeAttrValue(
+        raw, dtd != nullptr && dtd->IsSetValued(element, attr));
   }
 
   Result<std::string_view> ParseName() {
@@ -468,10 +423,23 @@ class XmlParser {
   }
 
   void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size() && IsXmlSpace(text_[pos_])) {
       ++pos_;
     }
+  }
+
+  // True when pos_ sits on a PI whose target is the reserved name "xml"
+  // (case-insensitive, exactly) -- i.e. an XML declaration. "<?xml-..."
+  // and "<?xmlfoo..." are ordinary processing instructions.
+  bool PeekXmlDecl() const {
+    if (!Peek("<?")) return false;
+    size_t t = pos_ + 2;
+    size_t n = 0;
+    while (t + n < text_.size() && IsNameChar(text_[t + n])) ++n;
+    if (n != 3) return false;
+    return (text_[t] == 'x' || text_[t] == 'X') &&
+           (text_[t + 1] == 'm' || text_[t + 1] == 'M') &&
+           (text_[t + 2] == 'l' || text_[t + 2] == 'L');
   }
 
   // Skips whitespace, comments and processing instructions.
@@ -485,7 +453,7 @@ class XmlParser {
           return;
         }
         pos_ = end + 3;
-      } else if (Peek("<?") && !Peek("<?xml")) {
+      } else if (Peek("<?") && !PeekXmlDecl()) {
         size_t end = text_.find("?>", pos_ + 2);
         if (end == std::string_view::npos) {
           pos_ = text_.size();
@@ -523,6 +491,92 @@ class XmlParser {
 };
 
 }  // namespace
+
+Result<std::string> ExpandXmlEntity(std::string_view ref) {
+  if (ref == "lt") return std::string("<");
+  if (ref == "gt") return std::string(">");
+  if (ref == "amp") return std::string("&");
+  if (ref == "apos") return std::string("'");
+  if (ref == "quot") return std::string("\"");
+  if (!ref.empty() && ref[0] == '#') {
+    int base = 10;
+    std::string_view digits = ref.substr(1);
+    if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+      base = 16;
+      digits = digits.substr(1);
+    }
+    if (digits.empty()) {
+      return Result<std::string>(
+          Status::ParseError("empty character reference"));
+    }
+    unsigned long code = 0;
+    for (char c : digits) {
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (base == 16 && std::isxdigit(static_cast<unsigned char>(c))) {
+        d = std::tolower(c) - 'a' + 10;
+      } else {
+        return Result<std::string>(
+            Status::ParseError("bad character reference"));
+      }
+      code = code * base + static_cast<unsigned long>(d);
+      if (code > 0x10FFFF) {
+        return Result<std::string>(
+            Status::ParseError("character reference out of range"));
+      }
+    }
+    // Only XML Chars are referencable (Section 2.2): #x9 | #xA | #xD |
+    // [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF]. This
+    // excludes NUL, other C0 controls, surrogates and #xFFFE/#xFFFF.
+    bool valid = code == 0x9 || code == 0xA || code == 0xD ||
+                 (code >= 0x20 && code <= 0xD7FF) ||
+                 (code >= 0xE000 && code <= 0xFFFD) || code >= 0x10000;
+    if (!valid) {
+      return Result<std::string>(
+          Status::ParseError("character reference to invalid XML character"));
+    }
+    // UTF-8 encode.
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+  return Result<std::string>(Status::ParseError(
+      "unknown entity reference &" + std::string(ref) + ";"));
+}
+
+AttrValue TokenizeAttrValue(std::string_view raw, bool set_valued) {
+  AttrValue out;
+  if (!set_valued) {
+    out.emplace(raw);
+    return out;
+  }
+  // Set-valued (IDREFS-style) attributes split on XML S whitespace only:
+  // \f/\v are data bytes, not separators, so extents cannot change under
+  // locale-flavored isspace.
+  size_t i = 0;
+  while (i < raw.size()) {
+    while (i < raw.size() && IsXmlSpace(raw[i])) ++i;
+    size_t start = i;
+    while (i < raw.size() && !IsXmlSpace(raw[i])) ++i;
+    if (i > start) out.emplace(raw.substr(start, i - start));
+  }
+  return out;
+}
 
 Result<XmlDocument> ParseXml(const std::string& text,
                              const XmlParseOptions& options) {

@@ -54,6 +54,19 @@ struct XmlDocument {
 Result<XmlDocument> ParseXml(const std::string& text,
                              const XmlParseOptions& options = {});
 
+/// Tokenizes a normalized attribute value into the paper's set-of-values
+/// form: split on XML S whitespace when `set_valued` (IDREFS / NMTOKENS),
+/// else a singleton containing `raw` verbatim. Shared by the DOM parser
+/// and the streaming validator so extents agree byte-for-byte.
+AttrValue TokenizeAttrValue(std::string_view raw, bool set_valued);
+
+/// Decodes one entity/character reference (the text between '&' and ';')
+/// to its UTF-8 expansion. Shared by the DOM parser and the streaming
+/// tokenizer so both accept exactly the same references with the same
+/// error texts (the returned ParseError carries the bare description; the
+/// caller adds line/column).
+Result<std::string> ExpandXmlEntity(std::string_view ref);
+
 }  // namespace xic
 
 #endif  // XIC_XML_XML_PARSER_H_

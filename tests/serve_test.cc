@@ -422,6 +422,35 @@ TEST(DispatcherTest, CacheHitReportIsByteIdenticalToColdCompile) {
   EXPECT_EQ(again.body, cold_response.body);
 }
 
+TEST(DispatcherTest, ValidateStreamMatchesValidateByteForByte) {
+  // The streaming verb must produce the same report bytes and verdict
+  // as the materialized one -- only the mode header differs -- for an
+  // ok document, a violating document, and a parse failure.
+  Dispatcher dispatcher(FastOptions());
+  const char* docs[] = {kValidDoc, kViolatingDoc,
+                        "<!DOCTYPE bib [ <!ELEMENT bib EMPTY> ]><bib>"};
+  for (const char* doc : docs) {
+    Response dom = dispatcher.Handle(
+        MakeRequest("validate", doc, {{"id", "r1"}}));
+    Response stream = dispatcher.Handle(
+        MakeRequest("validate.stream", doc, {{"id", "r1"}}));
+    EXPECT_EQ(stream.body, dom.body);
+    EXPECT_EQ(stream.status.ToString(), dom.status.ToString());
+    EXPECT_EQ(stream.headers.at("mode"), "stream");
+    EXPECT_EQ(dom.headers.count("mode"), 0u);
+    auto verdict = dom.headers.find("verdict");
+    if (verdict != dom.headers.end()) {
+      EXPECT_EQ(stream.headers.at("verdict"), verdict->second);
+    }
+    EXPECT_EQ(stream.headers.at("schema"), dom.headers.at("schema"));
+  }
+  // Both verbs share one compiled plan: the stream request after the
+  // materialized one is a cache hit.
+  Response hit = dispatcher.Handle(
+      MakeRequest("validate.stream", kValidDoc, {{"id", "r2"}}));
+  EXPECT_EQ(hit.headers.at("cache"), "hit");
+}
+
 TEST(DispatcherTest, SchemaHeaderSkipsDoctypeRequirement) {
   Dispatcher dispatcher(FastOptions());
   Response put = dispatcher.Handle(MakeRequest("schema.put", kSchema));

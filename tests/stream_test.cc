@@ -1,0 +1,451 @@
+// Streaming validation: tokenizer event goldens, DOM-vs-stream verdict
+// parity (byte-identical reports across the committed corpus and across
+// spill budgets), spill-threshold behavior, and the XML-parser
+// conformance regressions that rode along with the tokenizer work
+// (reserved PI targets, XML-S whitespace, deep documents).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "constraints/checker.h"
+#include "constraints/well_formed.h"
+#include "engine/stream_validator.h"
+#include "fuzzing/corpus.h"
+#include "model/structural_validator.h"
+#include "util/strings.h"
+#include "xml/dtdc_io.h"
+#include "xml/stream_tokenizer.h"
+#include "xml/xml_parser.h"
+
+namespace xic {
+namespace {
+
+// -- Tokenizer event goldens ----------------------------------------------
+
+// Renders the full event stream, aggregating consecutive kText chunks
+// into one entry (the run split is an implementation detail callers are
+// told to paper over).
+std::vector<std::string> Events(const std::string& text,
+                                size_t chunk_bytes = 64 * 1024,
+                                Status* error = nullptr) {
+  StringSource source(text);
+  StreamTokenizerOptions options;
+  options.chunk_bytes = chunk_bytes;
+  StreamTokenizer tok(source, options);
+  std::vector<std::string> out;
+  std::string run;
+  auto flush = [&] {
+    if (!run.empty()) out.push_back("text[" + run + "]");
+    run.clear();
+  };
+  StreamEvent ev;
+  for (;;) {
+    Status s = tok.Next(&ev);
+    if (!s.ok()) {
+      if (error != nullptr) *error = s;
+      flush();
+      out.push_back("ERROR");
+      return out;
+    }
+    switch (ev.kind) {
+      case StreamEventKind::kDoctype:
+        flush();
+        out.push_back(std::string("doctype:") + std::string(ev.name) +
+                      (ev.has_internal_subset ? "[subset]" : ""));
+        break;
+      case StreamEventKind::kStartElement: {
+        flush();
+        std::string e = "start:" + std::string(ev.name);
+        for (const StreamEvent::Attr& a : ev.attrs) {
+          e += " " + std::string(a.name) + "=" + std::string(a.value);
+        }
+        out.push_back(e);
+        break;
+      }
+      case StreamEventKind::kEndElement:
+        flush();
+        out.push_back("end:" + std::string(ev.name));
+        break;
+      case StreamEventKind::kText:
+        run.append(ev.text);
+        break;
+      case StreamEventKind::kEndDocument:
+        flush();
+        out.push_back("eod");
+        return out;
+    }
+  }
+}
+
+TEST(StreamTokenizer, EventGolden) {
+  std::vector<std::string> events = Events(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE r [<!ELEMENT r ANY>]>\n"
+      "<r a=\"x&amp;y\"  b=\" 1\n2 \"><e/>hi<![CDATA[<&]]></r>");
+  std::vector<std::string> want = {
+      "doctype:r[subset]",
+      // Attribute values arrive normalized (Section 3.3.3: the newline
+      // became a space) and entity-expanded.
+      "start:r a=x&y b= 1 2 ",
+      "start:e",
+      "end:e",  // synthesized for the self-closing tag
+      "text[hi<&]",
+      "end:r",
+      "eod",
+  };
+  EXPECT_EQ(events, want);
+}
+
+TEST(StreamTokenizer, TextRunsSplitIntoChunksReassembleExactly) {
+  std::string big(10000, 'x');
+  big[137] = '\n';
+  std::string text = "<r>" + big + "</r>";
+  // A 64-byte chunk ceiling forces the run through many kText events;
+  // the reassembled bytes must equal the DOM parser's one text child.
+  std::vector<std::string> events = Events(text, 64);
+  Result<XmlDocument> dom = ParseXml(text);
+  ASSERT_TRUE(dom.ok()) << dom.status();
+  const DataTree& t = dom.value().tree;
+  ASSERT_EQ(t.children(t.root()).size(), 1u);
+  const std::string& dom_text =
+      std::get<std::string>(t.children(t.root())[0]);
+  std::vector<std::string> want = {"start:r", "text[" + dom_text + "]",
+                                   "end:r", "eod"};
+  EXPECT_EQ(events, want);
+}
+
+TEST(StreamTokenizer, DoctypeDistinguishesEmptySubsetFromNone) {
+  // "<!DOCTYPE r []>" carries an (empty) DTD; "<!DOCTYPE r>" carries
+  // none -- the DOM parser treats them differently and so must we.
+  std::vector<std::string> with = Events("<!DOCTYPE r []><r/>");
+  std::vector<std::string> without = Events("<!DOCTYPE r><r/>");
+  ASSERT_FALSE(with.empty());
+  ASSERT_FALSE(without.empty());
+  EXPECT_EQ(with[0], "doctype:r[subset]");
+  EXPECT_EQ(without[0], "doctype:r");
+}
+
+TEST(StreamTokenizer, ErrorsMatchDomParserByteForByte) {
+  const char* cases[] = {
+      "<r>unclosed",
+      "<r></mismatch>",
+      "<r>a ]]> b</r>",
+      "<r>&bogus;</r>",
+      "<r a=\"1\" a=\"1\"><r/>",
+      "no markup at all",
+      "<r/><r2/>",
+  };
+  for (const char* text : cases) {
+    Result<XmlDocument> dom = ParseXml(text);
+    ASSERT_FALSE(dom.ok()) << text;
+    Status stream_error = Status::OK();
+    Events(text, 64, &stream_error);
+    EXPECT_EQ(dom.status().ToString(), stream_error.ToString()) << text;
+  }
+}
+
+// -- XML parser conformance regressions -----------------------------------
+
+TEST(XmlConformance, XmlStylesheetPiIsNotReserved) {
+  // Only the exact target "xml" (case-insensitive) is reserved; a PI
+  // target that merely *starts* with those letters is an ordinary PI.
+  const std::string text =
+      "<?xml version=\"1.0\"?>\n"
+      "<?xml-stylesheet type=\"text/css\" href=\"s.css\"?>\n"
+      "<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]>\n"
+      "<?xmlfoo keep going?>\n"
+      "<r>body<?xml-model here too?></r>\n"
+      "<?xml-stylesheet in the epilog?>";
+  Result<XmlDocument> dom = ParseXml(text);
+  ASSERT_TRUE(dom.ok()) << dom.status();
+  const DataTree& t = dom.value().tree;
+  ASSERT_EQ(t.children(t.root()).size(), 1u);
+  EXPECT_EQ(std::get<std::string>(t.children(t.root())[0]), "body");
+  // The tokenizer agrees: PIs vanish, the text child survives.
+  std::vector<std::string> events = Events(text);
+  std::vector<std::string> want = {"doctype:r[subset]", "start:r",
+                                   "text[body]", "end:r", "eod"};
+  EXPECT_EQ(events, want);
+}
+
+TEST(XmlConformance, FormFeedAndVerticalTabAreNotXmlSpace) {
+  // XML S is exactly {0x20, 0x9, 0xA, 0xD}; std::isspace's extra \f and
+  // \v must not make a text run "ignorable"...
+  EXPECT_FALSE(IsXmlSpace('\f'));
+  EXPECT_FALSE(IsXmlSpace('\v'));
+  EXPECT_TRUE(IsXmlSpace(' ') && IsXmlSpace('\t') && IsXmlSpace('\n') &&
+              IsXmlSpace('\r'));
+  const std::string text =
+      "<!DOCTYPE r [<!ELEMENT r (e*)><!ELEMENT e EMPTY>]>\n"
+      "<r>\f<e/></r>";
+  Result<XmlDocument> dom = ParseXml(text);
+  ASSERT_TRUE(dom.ok()) << dom.status();
+  const DataTree& t = dom.value().tree;
+  // The \f run is real character data: it must survive as a text child
+  // and fail the element-only content model.
+  ASSERT_EQ(t.children(t.root()).size(), 2u);
+  StructuralValidator validator(*dom.value().dtd);
+  ValidationReport report = validator.Validate(t);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].message,
+            "children [#PCDATA e] do not match content model of r");
+  // ...and must not split set-valued attribute values either.
+  EXPECT_EQ(TokenizeAttrValue("a\fb \vc", true),
+            (AttrValue{"a\fb", "\vc"}));
+}
+
+TEST(XmlConformance, DeepDocumentParsesWithoutRecursion) {
+  // 50k nested elements: the iterative ParseElement and the tokenizer's
+  // explicit stack both survive depths that would overflow a recursive
+  // descent, once max_tree_depth is raised.
+  constexpr size_t kDepth = 50000;
+  std::string text = "<!DOCTYPE a [<!ELEMENT a (a?)>]>\n";
+  for (size_t i = 0; i < kDepth; ++i) text += "<a>";
+  for (size_t i = 0; i < kDepth; ++i) text += "</a>";
+  XmlParseOptions options;
+  options.limits.max_tree_depth = kDepth + 1;
+  Result<XmlDocument> dom = ParseXml(text, options);
+  ASSERT_TRUE(dom.ok()) << dom.status();
+  EXPECT_EQ(dom.value().tree.size(), kDepth);
+  StreamOptions sopt;
+  sopt.limits.max_tree_depth = kDepth + 1;
+  StringSource source(text);
+  SelfDescribingStreamResult stream =
+      StreamValidateSelfDescribing(source, sopt);
+  ASSERT_TRUE(stream.outcome.parse.ok()) << stream.outcome.parse;
+  EXPECT_EQ(stream.outcome.stats.vertices, kDepth);
+  EXPECT_TRUE(stream.outcome.structure.ok())
+      << stream.outcome.structure.ToString();
+}
+
+// -- DOM / stream verdict parity ------------------------------------------
+
+// Runs the xicheck pipeline both ways and demands byte-identical
+// verdicts at every stage; returns an explanation on divergence.
+testing::AssertionResult VerdictsAgree(const std::string& text,
+                                       size_t spill_budget,
+                                       bool allow_missing) {
+  StreamOptions sopt;
+  sopt.validation.allow_missing_attributes = allow_missing;
+  sopt.spill_budget_bytes = spill_budget;
+  sopt.chunk_bytes = 96;
+  StringSource source(text);
+  SelfDescribingStreamResult s = StreamValidateSelfDescribing(source, sopt);
+
+  Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+  std::string dom_parse = parsed.ok() ? "OK" : parsed.status().ToString();
+  std::string stream_parse =
+      s.outcome.parse.ok() ? "OK" : s.outcome.parse.ToString();
+  if (dom_parse != stream_parse) {
+    return testing::AssertionFailure() << "parse status: DOM \"" << dom_parse
+                                       << "\" vs stream \"" << stream_parse
+                                       << "\"";
+  }
+  if (!parsed.ok()) return testing::AssertionSuccess();
+  const SelfDescribingDocument& doc = parsed.value();
+  if (doc.document.dtd.has_value() != s.has_dtd) {
+    return testing::AssertionFailure() << "DTD presence diverged";
+  }
+  if (!doc.document.dtd.has_value()) return testing::AssertionSuccess();
+  const DtdStructure& dtd = *doc.document.dtd;
+
+  ValidationOptions vopt;
+  vopt.allow_missing_attributes = allow_missing;
+  StructuralValidator validator(dtd, vopt);
+  ValidationReport dom_structure = validator.Validate(doc.document.tree);
+  if (dom_structure.ToString() != s.outcome.structure.ToString()) {
+    return testing::AssertionFailure()
+           << "structure reports:\n--- DOM ---\n" << dom_structure.ToString()
+           << "--- stream ---\n" << s.outcome.structure.ToString();
+  }
+  if (doc.sigma.has_value() != s.sigma.has_value()) {
+    return testing::AssertionFailure() << "sigma presence diverged";
+  }
+  if (!doc.sigma.has_value()) return testing::AssertionSuccess();
+  const ConstraintSet& sigma = *doc.sigma;
+  Status wf = CheckWellFormed(sigma, dtd);
+  if (wf.ToString() != s.well_formed.ToString()) {
+    return testing::AssertionFailure()
+           << "well-formedness: DOM \"" << wf.ToString() << "\" vs stream \""
+           << s.well_formed.ToString() << "\"";
+  }
+  if (!wf.ok()) return testing::AssertionSuccess();
+  ConstraintChecker checker(dtd, sigma);
+  ConstraintReport dom_report = checker.Check(doc.document.tree);
+  if (dom_report.ToString(sigma) != s.outcome.constraints.ToString(sigma)) {
+    return testing::AssertionFailure()
+           << "constraint reports (spill budget " << spill_budget
+           << "):\n--- DOM ---\n" << dom_report.ToString(sigma)
+           << "--- stream ---\n" << s.outcome.constraints.ToString(sigma);
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(StreamParity, EveryCommittedCorpusDocumentAgrees) {
+  size_t seen = 0;
+  for (const auto& it : std::filesystem::directory_iterator(XIC_CORPUS_DIR)) {
+    if (it.path().extension() != ".corpus") continue;
+    std::ifstream in(it.path());
+    ASSERT_TRUE(in) << it.path();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<fuzz::CorpusEntry> entry = fuzz::ParseCorpusEntry(buffer.str());
+    ASSERT_TRUE(entry.ok()) << it.path() << ": " << entry.status();
+    ++seen;
+    // Every committed document -- whatever oracle family it pins -- must
+    // validate identically both ways, spilling or not.
+    for (size_t budget : {size_t{0}, size_t{1}}) {
+      EXPECT_TRUE(VerdictsAgree(entry.value().document, budget, true))
+          << it.path() << " (spill budget " << budget << ")";
+      EXPECT_TRUE(VerdictsAgree(entry.value().document, budget, false))
+          << it.path() << " (strict attributes, spill budget " << budget
+          << ")";
+    }
+  }
+  EXPECT_GE(seen, 12u) << "corpus directory went missing?";
+}
+
+// A document whose key/ID/FK extents dwarf any sane budget.
+std::string WideDocument(size_t rows) {
+  std::string text =
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE db [\n"
+      "<!ELEMENT db (t*)>\n"
+      "<!ELEMENT t EMPTY>\n"
+      "<!ATTLIST t k CDATA #REQUIRED r IDREF #REQUIRED oid ID #REQUIRED>\n"
+      "<!-- xic:constraints language=L_id\n"
+      "  id t.oid\n"
+      "  key t.k\n"
+      "  fk t.r -> t.oid\n"
+      "-->\n"
+      "]>\n"
+      "<db>\n";
+  for (size_t i = 0; i < rows; ++i) {
+    std::string n = std::to_string(i);
+    // Sprinkle duplicate keys, dangling references and duplicate IDs.
+    std::string k = (i % 97 == 0) ? "dup" : "k" + n;
+    std::string r = (i % 89 == 0) ? "nowhere" : "o" + n;
+    std::string oid = (i % 101 == 0) ? "same" : "o" + n;
+    text += "<t k=\"" + k + "\" r=\"" + r + "\" oid=\"" + oid + "\"/>\n";
+  }
+  text += "</db>\n";
+  return text;
+}
+
+TEST(StreamSpill, CrossingTheBudgetSpillsAndPreservesTheVerdict) {
+  std::string text = WideDocument(3000);
+  // Unlimited in-memory first, as the reference verdict.
+  StreamOptions keep;
+  keep.validation.allow_missing_attributes = true;
+  keep.spill_budget_bytes = 0;
+  StringSource s1(text);
+  SelfDescribingStreamResult in_memory = StreamValidateSelfDescribing(s1, keep);
+  ASSERT_TRUE(in_memory.outcome.parse.ok()) << in_memory.outcome.parse;
+  EXPECT_EQ(in_memory.outcome.stats.spilled_bytes, 0u);
+  ASSERT_TRUE(in_memory.sigma.has_value());
+  EXPECT_FALSE(in_memory.outcome.constraints.ok());
+
+  // A 4 KiB budget forces every extent through the disk path.
+  StreamOptions spill = keep;
+  spill.spill_budget_bytes = 4096;
+  StringSource s2(text);
+  SelfDescribingStreamResult spilled = StreamValidateSelfDescribing(s2, spill);
+  ASSERT_TRUE(spilled.outcome.parse.ok()) << spilled.outcome.parse;
+  EXPECT_GT(spilled.outcome.stats.spilled_bytes, 0u);
+  EXPECT_GT(spilled.outcome.stats.spill_runs, 0u);
+  EXPECT_GT(spilled.outcome.stats.extent_records, 0u);
+  EXPECT_EQ(in_memory.outcome.structure.ToString(),
+            spilled.outcome.structure.ToString());
+  EXPECT_EQ(in_memory.outcome.constraints.ToString(*in_memory.sigma),
+            spilled.outcome.constraints.ToString(*spilled.sigma));
+  // And both agree with the materialized checker.
+  EXPECT_TRUE(VerdictsAgree(text, 4096, true));
+}
+
+TEST(StreamParity, TruncationAndStrictAttributesMatch) {
+  // max_violations truncation must keep the DOM checkers' prefix, and
+  // strict attribute mode must report missing declared attributes in
+  // plan order.
+  std::string text =
+      "<!DOCTYPE db [\n"
+      "<!ELEMENT db (t*)>\n"
+      "<!ELEMENT t EMPTY>\n"
+      "<!ATTLIST t a CDATA #REQUIRED b CDATA #REQUIRED>\n"
+      "<!-- xic:constraints language=L\n"
+      "  key t.a\n"
+      "-->\n"
+      "]>\n"
+      "<db><t/><t b=\"1\"/><t a=\"1\"/><t a=\"1\"/><x/></db>\n";
+  for (bool allow_missing : {true, false}) {
+    StreamOptions sopt;
+    sopt.validation.allow_missing_attributes = allow_missing;
+    sopt.validation.max_violations = 2;
+    sopt.check.max_violations = 1;
+    StringSource source(text);
+    SelfDescribingStreamResult s = StreamValidateSelfDescribing(source, sopt);
+    ASSERT_TRUE(s.outcome.parse.ok()) << s.outcome.parse;
+
+    Result<SelfDescribingDocument> parsed = ParseDocumentWithDtdC(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ValidationOptions vopt;
+    vopt.allow_missing_attributes = allow_missing;
+    vopt.max_violations = 2;
+    StructuralValidator validator(*parsed.value().document.dtd, vopt);
+    EXPECT_EQ(validator.Validate(parsed.value().document.tree).ToString(),
+              s.outcome.structure.ToString());
+    CheckOptions copt;
+    copt.max_violations = 1;
+    ConstraintChecker checker(*parsed.value().document.dtd,
+                              *parsed.value().sigma, copt);
+    EXPECT_EQ(
+        checker.Check(parsed.value().document.tree).ToString(
+            *parsed.value().sigma),
+        s.outcome.constraints.ToString(*s.sigma));
+  }
+}
+
+TEST(StreamValidator, PrecompiledPlanRunsManyDocuments) {
+  // The StreamValidator front door: compile once, stream many.
+  Result<DtdC> schema = ParseDtdC(
+      "<!ELEMENT db (t*)>\n"
+      "<!ELEMENT t EMPTY>\n"
+      "<!ATTLIST t k CDATA #REQUIRED>\n"
+      "<!-- xic:constraints language=L\n  key t.k\n-->\n",
+      "db");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(schema.value().sigma.has_value());
+  StreamOptions options;
+  options.spill_budget_bytes = 1;  // force the spill path
+  StreamValidator validator(schema.value().dtd, *schema.value().sigma,
+                            options);
+  ASSERT_TRUE(validator.status().ok()) << validator.status();
+
+  StringSource good("<db><t k=\"a\"/><t k=\"b\"/></db>");
+  StreamOutcome ok = validator.Run(good);
+  EXPECT_TRUE(ok.ok()) << ok.parse << ok.structure.ToString();
+
+  StringSource dup("<db><t k=\"a\"/><t k=\"a\"/></db>");
+  StreamOutcome bad = validator.Run(dup);
+  ASSERT_TRUE(bad.parse.ok());
+  ASSERT_EQ(bad.constraints.violations.size(), 1u);
+  EXPECT_EQ(bad.constraints.violations[0].message, "duplicate key [a]");
+  EXPECT_EQ(bad.constraints.violations[0].witnesses,
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(StreamValidator, DocumentWithoutSubsetHasNoDtd) {
+  StreamOptions options;
+  StringSource source("<!DOCTYPE r>\n<r>anything</r>");
+  SelfDescribingStreamResult s = StreamValidateSelfDescribing(source, options);
+  EXPECT_TRUE(s.outcome.parse.ok()) << s.outcome.parse;
+  EXPECT_EQ(s.doctype_name, "r");
+  EXPECT_FALSE(s.has_dtd);
+}
+
+}  // namespace
+}  // namespace xic

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Generate a large self-describing XML document for streaming tests.
+
+Writes a catalog/book document of roughly SIZE_MB MiB with an embedded
+DTD^C (key book.isbn, sfk ref.to -> book.isbn). Every key is unique and
+every ref resolves, so `xicheck` exits 0 -- unless --violations N asks
+for N dangling refs spread through the document (then the constraint
+checker must report exactly N violations).
+
+The document streams to disk in bounded chunks, so generating a
+multi-GiB input needs a few MiB of RAM -- the generator practices what
+the streaming validator preaches. Used by CI's stream-smoke step and the
+README's RSS-vs-size table.
+
+Usage: gen_stream_doc.py SIZE_MB OUT.xml [--violations N]
+"""
+
+import argparse
+import sys
+
+PROLOG = """<?xml version="1.0"?>
+<!DOCTYPE catalog [
+<!ELEMENT catalog (book*)>
+<!ELEMENT book (title, author*, ref)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST ref to NMTOKENS #REQUIRED>
+<!-- xic:constraints
+key book.isbn
+sfk ref.to -> book.isbn
+-->
+]>
+"""
+
+
+def row(n, dangle=False):
+    isbn = f"i{n}"
+    # Row 1 references itself; later rows reference their predecessor.
+    to = "nowhere" if dangle else f"i{max(n - 1, 1)}"
+    return (
+        f'<book isbn="{isbn}"><title>Streaming validation row {n}</title>'
+        "<author>First Author</author><author>Second Author</author>"
+        f'<ref to="{to}"/></book>'
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("size_mb", type=int)
+    parser.add_argument("out")
+    parser.add_argument("--violations", type=int, default=0)
+    args = parser.parse_args()
+    target = args.size_mb << 20
+    written = 0
+    n = 0
+    # Spread the requested violations evenly through the body.
+    stride = 0
+    if args.violations > 0:
+        approx_rows = max(target // len(row(10**9)), args.violations + 1)
+        stride = max(approx_rows // (args.violations + 1), 1)
+    injected = 0
+    with open(args.out, "w", encoding="ascii") as f:
+        f.write(PROLOG)
+        written = len(PROLOG)
+        f.write("<catalog>")
+        buffer = []
+        buffered = 0
+        while written + buffered < target:
+            n += 1
+            bad = (
+                stride > 0
+                and injected < args.violations
+                and n % stride == 0
+            )
+            if bad:
+                injected += 1
+            buffer.append(row(n, dangle=bad))
+            buffered += len(buffer[-1])
+            if buffered >= 4 << 20:
+                f.write("".join(buffer))
+                written += buffered
+                buffer = []
+                buffered = 0
+        f.write("".join(buffer))
+        f.write("</catalog>\n")
+    if args.violations > 0 and injected < args.violations:
+        print(f"only injected {injected}/{args.violations}", file=sys.stderr)
+        return 1
+    print(f"{args.out}: {n} rows, ~{(written + buffered) >> 20} MiB, "
+          f"{injected} expected violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

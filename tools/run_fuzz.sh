@@ -37,7 +37,7 @@ if [ ! -e "${corpus[0]}" ]; then
 fi
 "${fuzzer}" "${corpus[@]}" || status=$?
 
-for oracle in checker incremental implication roundtrip lint; do
+for oracle in checker incremental implication roundtrip lint stream; do
   echo "== oracle ${oracle}: seeds ${first_seed}..$((first_seed + trials - 1))" >&2
   rc=0
   "${fuzzer}" --oracle "${oracle}" --seeds "${first_seed}" --trials "${trials}" || rc=$?
